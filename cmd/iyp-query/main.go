@@ -1,0 +1,82 @@
+// Command iyp-query runs Cypher queries against an IYP snapshot, either
+// one-shot (-q) or as a line-oriented REPL on stdin.
+//
+// Usage:
+//
+//	iyp-query -db iyp.snapshot -q "MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn"
+//	iyp-query -db iyp.snapshot            # REPL: one query per ; terminator
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"iyp"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dbPath  = flag.String("db", "iyp.snapshot", "snapshot to query")
+		query   = flag.String("q", "", "query to run (empty = REPL on stdin)")
+		maxRows = flag.Int("rows", 50, "max rows to display (0 = all)")
+		explain = flag.Bool("explain", false, "describe the match strategy instead of executing")
+	)
+	flag.Parse()
+
+	db, err := iyp.Load(*dbPath)
+	if err != nil {
+		log.Fatalf("iyp-query: %v", err)
+	}
+
+	runOne := func(q string) {
+		if *explain {
+			out, err := db.Explain(q)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				return
+			}
+			fmt.Print(out)
+			return
+		}
+		t0 := time.Now()
+		res, err := db.Query(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		fmt.Print(res.Table(*maxRows))
+		fmt.Printf("took %s\n", time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *query != "" {
+		runOne(*query)
+		return
+	}
+
+	st := db.Stats()
+	fmt.Printf("IYP snapshot %s: %d nodes, %d relationships\n", *dbPath, st.Nodes, st.Rels)
+	fmt.Println("Enter Cypher queries terminated by ';' (Ctrl-D to exit).")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var buf strings.Builder
+	fmt.Print("iyp> ")
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") {
+			q := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(buf.String()), ";"))
+			buf.Reset()
+			if q != "" {
+				runOne(q)
+			}
+			fmt.Print("iyp> ")
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command iyp-report reproduces the paper's evaluation: it runs the RiPKI
+// and DNS-robustness studies, their extensions, and the SPoF analysis
+// against a snapshot (or a fresh build), printing each table and figure
+// next to the paper's published values.
+//
+// Usage:
+//
+//	iyp-report -db iyp.snapshot            # use an existing snapshot
+//	iyp-report -scale 0.5                  # build fresh at half scale
+//	iyp-report -db iyp.snapshot -inventory # also print the dataset inventory
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"iyp"
+	"iyp/internal/crawlers"
+	"iyp/internal/ontology"
+	"iyp/internal/studies"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dbPath    = flag.String("db", "", "snapshot to analyze (empty = build fresh)")
+		scale     = flag.Float64("scale", 1.0, "build scale when -db is empty")
+		seed      = flag.Int64("seed", 42, "build seed when -db is empty")
+		inventory = flag.Bool("inventory", false, "print the dataset inventory and graph statistics")
+		sneak     = flag.Bool("sneakpeek", false, "walk the graph around the top-ranked domain (Figure 4)")
+		validate  = flag.Bool("validate", false, "check the graph against the ontology before reporting")
+	)
+	flag.Parse()
+
+	var (
+		db  *iyp.DB
+		err error
+	)
+	if *dbPath != "" {
+		db, err = iyp.Load(*dbPath)
+	} else {
+		db, err = iyp.Build(context.Background(), iyp.Options{Scale: *scale, Seed: *seed, Logf: log.Printf})
+	}
+	if err != nil {
+		log.Fatalf("iyp-report: %v", err)
+	}
+
+	if *validate {
+		if issues := ontology.ValidateGraph(db.Graph(), 50); len(issues) > 0 {
+			fmt.Printf("== Ontology violations (%d) ==\n", len(issues))
+			for _, v := range issues {
+				fmt.Println("  " + v.String())
+			}
+			fmt.Println()
+		} else {
+			fmt.Println("ontology validation: clean")
+		}
+	}
+
+	if *inventory {
+		fmt.Println("== Dataset inventory (Table 8) ==")
+		orgs := map[string]int{}
+		for _, c := range crawlers.All() {
+			ref := c.Reference()
+			orgs[ref.Organization]++
+			fmt.Printf("  %-28s %s\n", ref.Name, ref.Organization)
+		}
+		fmt.Printf("%d datasets from %d organizations\n\n", len(crawlers.All()), len(orgs))
+		fmt.Println("== Graph statistics ==")
+		fmt.Println(db.Stats())
+	}
+
+	t0 := time.Now()
+	rep, err := studies.RunAll(db.Graph())
+	if err != nil {
+		log.Fatalf("iyp-report: %v", err)
+	}
+	fmt.Println(rep)
+	fmt.Printf("(all studies completed in %s)\n", time.Since(t0).Round(time.Millisecond))
+
+	if *sneak {
+		sp, err := studies.SneakPeek(db.Graph(), 1, 3)
+		if err != nil {
+			log.Fatalf("iyp-report: sneak peek: %v", err)
+		}
+		fmt.Printf("\n== Figure 4: neighbourhood of %s ==\n", sp.Domain)
+		for _, l := range sp.Lines {
+			fmt.Println("  " + l)
+		}
+		fmt.Printf("%d relationships from %d distinct datasets: %v\n",
+			len(sp.Lines), len(sp.Datasets), sp.Datasets)
+	}
+}

@@ -1,0 +1,41 @@
+// Command iyp-serve runs the public-instance query API (paper §3.1) over a
+// snapshot: POST /db/query with {"query": "...", "params": {...}}, plus
+// GET /db/schema and /db/stats.
+//
+// Usage:
+//
+//	iyp-serve -db iyp.snapshot -addr :7474
+//	curl -s localhost:7474/db/query -d '{"query":"MATCH (n:AS) RETURN count(n) AS n"}'
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+
+	"iyp"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		dbPath = flag.String("db", "iyp.snapshot", "snapshot to serve")
+		addr   = flag.String("addr", ":7474", "listen address")
+	)
+	flag.Parse()
+
+	db, err := iyp.Load(*dbPath)
+	if err != nil {
+		log.Fatalf("iyp-serve: %v", err)
+	}
+	st := db.Stats()
+	log.Printf("serving %d nodes, %d relationships on %s", st.Nodes, st.Rels, *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := db.ListenAndServe(ctx, *addr); err != nil {
+		log.Fatalf("iyp-serve: %v", err)
+	}
+}

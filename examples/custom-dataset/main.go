@@ -1,0 +1,125 @@
+// Custom dataset: the "local instance" workflow of paper §6.1 — build the
+// public knowledge graph, integrate your own (possibly confidential)
+// dataset with a custom crawler, annotate studied resources with a tag,
+// save a snapshot, and query the enriched graph.
+//
+//	go run ./examples/custom-dataset
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"iyp"
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+)
+
+// blocklist is the confidential in-house dataset of this example: ASNs a
+// fictional SOC wants flagged, one "asn,reason" pair per line.
+const blocklist = `asn,reason
+1001,observed scanning
+1013,spam source
+1030,bulletproof hosting
+`
+
+// BlocklistCrawler imports the in-house dataset exactly like the built-in
+// crawlers import public ones: parse, map onto the ontology, annotate with
+// provenance.
+type BlocklistCrawler struct{ ingest.Base }
+
+// Run implements ingest.Crawler.
+func (c *BlocklistCrawler) Run(ctx context.Context, s *ingest.Session) error {
+	tag, err := s.TagNode("SOC Blocklist")
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(blocklist, "\n")[1:] {
+		fields := strings.Split(strings.TrimSpace(line), ",")
+		if len(fields) != 2 {
+			continue
+		}
+		as, err := s.Node(ontology.AS, fields[0])
+		if err != nil {
+			continue
+		}
+		if err := s.Link(ontology.Categorized, as, tag, graph.Props{
+			"reason": graph.String(fields[1]),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Build the regular public graph (small scale for the example).
+	db, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Run the private crawler against the same graph.
+	crawler := &BlocklistCrawler{ingest.Base{
+		Org: "Example SOC", Name: "example.blocklist",
+		InfoURL: "https://intranet.example/blocklist",
+	}}
+	session := ingest.NewSession(db.Graph(), nil, crawler.Reference())
+	if err := crawler.Run(context.Background(), session); err != nil {
+		log.Fatal(err)
+	}
+	nodes, links := session.Counts()
+	fmt.Printf("private dataset imported: %d new nodes, %d links\n", nodes, links)
+
+	// 3. The private data now joins every public dataset: which prefixes
+	// do the flagged ASes originate, and are popular domains hosted
+	// there?
+	res, err := db.Query(`
+MATCH (t:Tag {label:'SOC Blocklist'})-[:CATEGORIZED]-(a:AS)-[:ORIGINATE]-(pfx:Prefix)
+OPTIONAL MATCH (pfx)-[:PART_OF]-(:IP)-[:RESOLVES_TO]-(h:HostName)
+RETURN a.asn AS asn, count(DISTINCT pfx) AS prefixes, count(DISTINCT h) AS hostnames
+ORDER BY asn`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nflagged ASes joined against public routing and DNS data:")
+	fmt.Print(res.Table(10))
+
+	// 4. Annotate the graph in Cypher directly (paper §6.1: tagging the
+	// set of studied resources to simplify subsequent queries).
+	if _, err := db.Query(`
+MATCH (t:Tag {label:'SOC Blocklist'})-[:CATEGORIZED]-(a:AS)-[:ORIGINATE]-(pfx:Prefix)
+SET pfx.under_review = true`); err != nil {
+		log.Fatal(err)
+	}
+	res, err = db.Query(`MATCH (pfx:Prefix) WHERE pfx.under_review = true RETURN count(pfx) AS n`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := res.Rows[0][0].AsInt()
+	fmt.Printf("\nprefixes marked for review: %d\n", n)
+
+	// 5. Snapshot the enriched local instance.
+	dir, err := os.MkdirTemp("", "iyp-custom")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "local.snapshot")
+	if err := db.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	re, err := iyp.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := re.Stats()
+	fmt.Printf("snapshot round-trip ok: %d nodes, %d relationships\n", st.Nodes, st.Rels)
+}

@@ -1,0 +1,54 @@
+// Dataset comparison: the paper's §6.1 workflow — IYP unifies datasets
+// while keeping each addressable by reference_name, so two feeds that
+// should agree can be diffed with a couple of queries. The paper found a
+// real IPv6 origin bug in the BGPKIT feed this way and had it fixed
+// upstream; the simulated feed plants the same class of error, and this
+// program hunts it down.
+//
+//	go run ./examples/dataset-comparison
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"iyp"
+	"iyp/internal/studies"
+)
+
+func main() {
+	log.SetFlags(0)
+	db, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.25})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := studies.CompareOriginDatasets(db.Graph())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+
+	if len(res.Discrepancies) == 0 {
+		fmt.Println("feeds agree everywhere — nothing to report upstream")
+		return
+	}
+	fmt.Println("\nFollowing the paper's §2.3 recommendation, these findings would be")
+	fmt.Println("reported to the data provider so the original dataset gets fixed —")
+	fmt.Println("\"leading for the error to be fixed at the origin and corrected in")
+	fmt.Println("subsequent IYP snapshots\" (§6.1).")
+
+	// The same unified graph answers the follow-up question immediately:
+	// does anything popular sit in the mis-attributed space?
+	for _, d := range res.Discrepancies {
+		q, err := db.QueryParams(`
+MATCH (p:Prefix {prefix: $prefix})-[:PART_OF]-(:IP)-[:RESOLVES_TO]-(h:HostName)
+RETURN count(DISTINCT h) AS hosts`, map[string]iyp.Value{"prefix": iyp.StringValue(d.Prefix)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, _ := q.ScalarInt()
+		fmt.Printf("  %s hosts %d measured hostnames\n", d.Prefix, n)
+	}
+}

@@ -1,0 +1,64 @@
+// DNS robustness study: the reproduction of the paper's §4.2 — RFC 2182
+// best practices (Table 3) and shared DNS infrastructure (Tables 4 and 5).
+//
+//	go run ./examples/dns-robustness [-scale 0.25]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+
+	"iyp"
+	"iyp/internal/studies"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.25, "knowledge-graph scale")
+	flag.Parse()
+
+	db, err := iyp.Build(context.Background(), iyp.Options{Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := db.Graph()
+
+	bp, err := studies.DNSBestPractice(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 3 — nameserver best practice for .com/.net/.org domains")
+	fmt.Printf("  coverage of Tranco:  %5.1f%%  (paper: 49%%)\n", bp.CoveragePct)
+	fmt.Printf("  discarded (no glue): %5.1f%%  (paper: 10%%)\n", bp.DiscardedPct)
+	fmt.Printf("  meet RFC 2182:       %5.1f%%  (paper: 18%%)\n", bp.MeetPct)
+	fmt.Printf("  exceed requirements: %5.1f%%  (paper: 67%%)\n", bp.ExceedPct)
+	fmt.Printf("  do not meet:         %5.1f%%  (paper: 4%%)\n", bp.NotMeetPct)
+	fmt.Printf("  in-zone glue:        %5.1f%%  (paper: 76%%)\n\n", bp.InZoneGluePct)
+
+	si, err := studies.SharedInfrastructure(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 4 — shared infrastructure, .com/.net/.org (median / max group size)")
+	fmt.Printf("  grouped by NS set:     %6d / %-6d (paper 2024 at 1M: 9 / 6k)\n",
+		si.ByNS.MedianGroupSize, si.ByNS.MaxGroupSize)
+	fmt.Printf("  grouped by /24:        %6d / %-6d (paper 2024 at 1M: 3.9k / 114k)\n\n",
+		si.BySlash24.MedianGroupSize, si.BySlash24.MaxGroupSize)
+
+	fmt.Println("Table 5 — extensions the original study left as future work")
+	fmt.Printf("  .com/.net/.org by BGP prefix: %6d / %-6d (paper: 4.1k / 114k)\n",
+		si.ByBGPPrefix.MedianGroupSize, si.ByBGPPrefix.MaxGroupSize)
+	fmt.Printf("  all Tranco by BGP prefix:     %6d / %-6d (paper: 6k / 187k)\n",
+		si.AllByBGPPrefix.MedianGroupSize, si.AllByBGPPrefix.MaxGroupSize)
+	fmt.Printf("  all Tranco by NS set:         %6d / %-6d (paper: 15 / 25k)\n",
+		si.AllByNS.MedianGroupSize, si.AllByNS.MaxGroupSize)
+
+	// The paper's key observation: grouping by BGP prefix barely changes
+	// the /24 numbers, validating the original study's assumption.
+	fmt.Println("\nObservation: /24 grouping vs BGP-prefix grouping:")
+	fmt.Printf("  medians %d vs %d, maxima %d vs %d — the original /24 assumption is sound\n",
+		si.BySlash24.MedianGroupSize, si.ByBGPPrefix.MedianGroupSize,
+		si.BySlash24.MaxGroupSize, si.ByBGPPrefix.MaxGroupSize)
+}

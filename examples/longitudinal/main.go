@@ -1,0 +1,82 @@
+// Longitudinal analysis: the paper's §7 notes that IYP models snapshots in
+// time, and that the authors ran a longitudinal study by operating
+// multiple instances representing different dates and merging results
+// themselves. This example reproduces that workflow: build two snapshots —
+// one calibrated to the 2015 RiPKI-era Internet, one to 2024 — save both
+// to disk, reload them as independent instances, run the *same* query
+// against each, and merge the trend.
+//
+//	go run ./examples/longitudinal
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"iyp"
+	"iyp/internal/simnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	dir, err := os.MkdirTemp("", "iyp-longitudinal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Build and persist the two dated snapshots, exactly as one would
+	// archive the weekly public dumps.
+	snapshots := map[string]simnet.Config{
+		"2015-05-01": simnet.Config2015().Scale(0.15),
+		"2024-05-01": simnet.DefaultConfig().Scale(0.15),
+	}
+	paths := map[string]string{}
+	for date, cfg := range snapshots {
+		db, err := iyp.Build(context.Background(), iyp.Options{Config: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := filepath.Join(dir, "iyp-"+date+".snapshot")
+		if err := db.Save(p); err != nil {
+			log.Fatal(err)
+		}
+		paths[date] = p
+		st := db.Stats()
+		fmt.Printf("snapshot %s: %d nodes, %d relationships -> %s\n", date, st.Nodes, st.Rels, p)
+	}
+
+	// The longitudinal query: RPKI coverage of routed prefixes, per
+	// snapshot. One shared query, N instances, merged by hand — the
+	// paper's §7 workflow.
+	const coverageQuery = `
+MATCH (p:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+WITH p, collect(t.label) AS labels
+WITH p, size([l IN labels WHERE l <> 'RPKI NotFound']) > 0 AS covered
+RETURN toFloat(count(CASE WHEN covered THEN 1 END)) * 100 / count(*) AS pct`
+
+	fmt.Println("\nRPKI coverage of the routed table, per snapshot:")
+	results := map[string]float64{}
+	for _, date := range []string{"2015-05-01", "2024-05-01"} {
+		db, err := iyp.Load(paths[date])
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := db.Query(coverageQuery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pct, err := res.ScalarFloat()
+		if err != nil {
+			log.Fatal(err)
+		}
+		results[date] = pct
+		fmt.Printf("  %s: %5.1f%%\n", date, pct)
+	}
+	fmt.Printf("\ntrend: RPKI coverage grew %.0fx between the snapshots\n", results["2024-05-01"]/results["2015-05-01"])
+	fmt.Println("(the real Internet went from ~6% of web prefixes in 2015 to >50% in 2024 — paper §4.1)")
+}

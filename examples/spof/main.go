@@ -1,0 +1,63 @@
+// SPoF analysis: the paper's §5.2 — cascading single points of failure in
+// the DNS resolution chain (direct, third-party, and hierarchical
+// dependencies), at country and AS granularity (Figures 5 and 6), for both
+// the Tranco and Cisco Umbrella top lists.
+//
+//	go run ./examples/spof [-scale 0.25]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"iyp"
+	"iyp/internal/studies"
+)
+
+func main() {
+	log.SetFlags(0)
+	scale := flag.Float64("scale", 0.25, "knowledge-graph scale")
+	flag.Parse()
+
+	db, err := iyp.Build(context.Background(), iyp.Options{Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := db.Graph()
+
+	for _, list := range []string{"Tranco top 1M", "Cisco Umbrella Top 1M"} {
+		for _, level := range []string{"country", "AS"} {
+			res, err := studies.SPoF(g, list, level, 8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fig := "Figure 5"
+			if level == "AS" {
+				fig = "Figure 6"
+			}
+			fmt.Printf("%s — %s-based SPoF, %s (%d domains)\n", fig, level, list, res.Domains)
+			fmt.Printf("  %-34s %8s %12s %14s\n", level, "direct", "third-party", "hierarchical")
+			for _, e := range res.Entries {
+				fmt.Printf("  %-34s %8d %12d %14d  %s\n",
+					e.Key, e.Direct, e.ThirdParty, e.Hierarchical, bar(e.Total(), res.Domains))
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println("Paper shape check: third-party SPoF concentrates on US infrastructure")
+	fmt.Println("operators; hierarchical SPoF follows ccTLD registry countries (RU, CN, GB);")
+	fmt.Println("infrastructure DNS operators appear mostly as third-party dependencies while")
+	fmt.Println("registrar-style DNS appears mostly as direct dependencies.")
+}
+
+// bar renders a proportional ASCII bar.
+func bar(n, total int) string {
+	if total == 0 {
+		return ""
+	}
+	w := n * 30 / total
+	return strings.Repeat("#", w)
+}

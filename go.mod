@@ -1,0 +1,3 @@
+module iyp
+
+go 1.24

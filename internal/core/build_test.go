@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"iyp/internal/crawlers"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/simnet"
+)
+
+func smallConfig() simnet.Config {
+	return simnet.DefaultConfig().Scale(0.03)
+}
+
+func TestBuildEndToEnd(t *testing.T) {
+	var logs []string
+	res, err := Build(context.Background(), BuildOptions{
+		Config: smallConfig(),
+		Logf:   func(f string, a ...any) { logs = append(logs, f) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumNodes() == 0 || res.Graph.NumRels() == 0 {
+		t.Fatal("empty graph")
+	}
+	if res.Internet == nil || res.Catalog == nil {
+		t.Error("build result missing model/catalog")
+	}
+	if res.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+	if len(logs) == 0 {
+		t.Error("Logf never called")
+	}
+	// Identity indexes exist for every ontology entity.
+	for _, e := range ontology.Entities() {
+		if e.IdentityKey != "" && !res.Graph.HasIndex(e.Name, e.IdentityKey) {
+			t.Errorf("missing identity index on %s.%s", e.Name, e.IdentityKey)
+		}
+	}
+	// Refinement ran: IP nodes carry af and PART_OF links.
+	ips := res.Graph.NodesByLabel(ontology.IP)
+	if len(ips) == 0 {
+		t.Fatal("no IP nodes")
+	}
+	withAF := 0
+	for _, id := range ips {
+		if !res.Graph.NodeProp(id, "af").IsNull() {
+			withAF++
+		}
+	}
+	if withAF != len(ips) {
+		t.Errorf("af set on %d/%d IPs", withAF, len(ips))
+	}
+}
+
+func TestBuildDefaultsConfig(t *testing.T) {
+	// A zero Config falls back to simnet.DefaultConfig — just verify the
+	// plumbing decides sizes (full default build is exercised elsewhere).
+	res, err := Build(context.Background(), BuildOptions{Config: smallConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Report.Crawls); got != 47 {
+		t.Errorf("crawls = %d", got)
+	}
+}
+
+func TestBuildWithCrawlerSubset(t *testing.T) {
+	res, err := Build(context.Background(), BuildOptions{
+		Config:   smallConfig(),
+		Crawlers: []ingest.Crawler{crawlers.NewTranco(), crawlers.NewBGPKITPfx2as()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Report.Crawls); got != 2 {
+		t.Fatalf("crawls = %d, want 2", got)
+	}
+	st := res.Graph.Stats()
+	if st.ByLabel[ontology.DomainName] == 0 || st.ByLabel[ontology.Prefix] == 0 {
+		t.Error("subset build missing expected nodes")
+	}
+	// Datasets not crawled must leave no trace.
+	if st.ByRelType[ontology.MemberOf] != 0 {
+		t.Error("unexpected MEMBER_OF relationships from uncrawled datasets")
+	}
+}
+
+func TestBuildInvalidConfig(t *testing.T) {
+	bad := smallConfig()
+	bad.NumASes = 1
+	if _, err := Build(context.Background(), BuildOptions{Config: bad}); err == nil {
+		t.Error("invalid config should fail the build")
+	}
+}
+
+func TestBuildHTTPFetchPath(t *testing.T) {
+	res, err := Build(context.Background(), BuildOptions{Config: smallConfig(), UseHTTP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Report.Failed() {
+		t.Errorf("dataset %s failed over HTTP: %v", c.Dataset, c.Err)
+	}
+}
+
+func TestBuildReportRendering(t *testing.T) {
+	res, err := Build(context.Background(), BuildOptions{Config: smallConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Report.String()
+	if !strings.Contains(out, "bgpkit.pfx2asn") || !strings.Contains(out, "total:") {
+		t.Errorf("report rendering incomplete:\n%s", out)
+	}
+}
+
+func TestBuiltGraphValidatesAgainstOntology(t *testing.T) {
+	// The complete pipeline — crawl plus refinement — must produce a
+	// graph that conforms to the ontology.
+	res, err := Build(context.Background(), BuildOptions{Config: smallConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ontology.ValidateGraph(res.Graph, 20); len(got) != 0 {
+		t.Errorf("built graph violates the ontology:\n%v", got)
+	}
+}

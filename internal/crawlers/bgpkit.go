@@ -1,0 +1,110 @@
+package crawlers
+
+import (
+	"context"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// BGPKITPfx2as imports BGPKIT's prefix-to-origin-AS mapping: the prefix
+// originations seen across all RIS and RouteViews collectors. This is the
+// routing backbone of the graph (paper Table 1).
+type BGPKITPfx2as struct{ ingest.Base }
+
+// NewBGPKITPfx2as returns the crawler.
+func NewBGPKITPfx2as() *BGPKITPfx2as {
+	return &BGPKITPfx2as{ingest.Base{
+		Org: "BGPKIT", Name: "bgpkit.pfx2asn",
+		InfoURL: "https://data.bgpkit.com/pfx2as", DataURL: source.PathBGPKITPfx2as,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *BGPKITPfx2as) Run(ctx context.Context, s *ingest.Session) error {
+	type row struct {
+		Prefix string `json:"prefix"`
+		ASN    uint32 `json:"asn"`
+		Count  int    `json:"count"`
+	}
+	return fetchJSONLines(ctx, s, source.PathBGPKITPfx2as, func(r row) error {
+		pfx, err := s.Node(ontology.Prefix, r.Prefix)
+		if err != nil {
+			return nil // skip malformed prefixes, never corrupt the import
+		}
+		as, err := s.Node(ontology.AS, r.ASN)
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.Originate, as, pfx, graph.Props{"count": graph.Int(int64(r.Count))})
+	})
+}
+
+// BGPKITAs2rel imports BGPKIT's AS-level relationship inference
+// (peer-to-peer and provider-customer edges).
+type BGPKITAs2rel struct{ ingest.Base }
+
+// NewBGPKITAs2rel returns the crawler.
+func NewBGPKITAs2rel() *BGPKITAs2rel {
+	return &BGPKITAs2rel{ingest.Base{
+		Org: "BGPKIT", Name: "bgpkit.as2rel",
+		InfoURL: "https://data.bgpkit.com", DataURL: source.PathBGPKITAs2rel,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *BGPKITAs2rel) Run(ctx context.Context, s *ingest.Session) error {
+	type row struct {
+		ASN1 uint32 `json:"asn1"`
+		ASN2 uint32 `json:"asn2"`
+		Rel  int    `json:"rel"`
+	}
+	return fetchJSONLines(ctx, s, source.PathBGPKITAs2rel, func(r row) error {
+		a1, err := s.Node(ontology.AS, r.ASN1)
+		if err != nil {
+			return err
+		}
+		a2, err := s.Node(ontology.AS, r.ASN2)
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.PeersWith, a1, a2, graph.Props{"rel": graph.Int(int64(r.Rel))})
+	})
+}
+
+// BGPKITPeerStats imports BGPKIT's collector peer statistics, yielding the
+// AS-to-BGP-collector peering edges shown in the paper's Figure 4 (AT&T
+// peering with rrc00).
+type BGPKITPeerStats struct{ ingest.Base }
+
+// NewBGPKITPeerStats returns the crawler.
+func NewBGPKITPeerStats() *BGPKITPeerStats {
+	return &BGPKITPeerStats{ingest.Base{
+		Org: "BGPKIT", Name: "bgpkit.peerstats",
+		InfoURL: "https://data.bgpkit.com", DataURL: source.PathBGPKITPeerStats,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *BGPKITPeerStats) Run(ctx context.Context, s *ingest.Session) error {
+	type row struct {
+		Collector string `json:"collector"`
+		ASN       uint32 `json:"asn"`
+		NumV4Pfxs int    `json:"num_v4_pfxs"`
+	}
+	return fetchJSONLines(ctx, s, source.PathBGPKITPeerStats, func(r row) error {
+		col, err := s.Node(ontology.BGPCollector, r.Collector)
+		if err != nil {
+			return err
+		}
+		as, err := s.Node(ontology.AS, r.ASN)
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.PeersWith, as, col, graph.Props{
+			"num_v4_pfxs": graph.Int(int64(r.NumV4Pfxs)),
+		})
+	})
+}

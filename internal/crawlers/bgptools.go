@@ -1,0 +1,103 @@
+package crawlers
+
+import (
+	"context"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// BGPToolsASNames imports BGP.Tools AS names.
+type BGPToolsASNames struct{ ingest.Base }
+
+// NewBGPToolsASNames returns the crawler.
+func NewBGPToolsASNames() *BGPToolsASNames {
+	return &BGPToolsASNames{ingest.Base{
+		Org: "BGP.Tools", Name: "bgptools.as_names",
+		InfoURL: "https://bgp.tools/kb/api", DataURL: source.PathBGPToolsASNames,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *BGPToolsASNames) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchCSV(ctx, s, source.PathBGPToolsASNames, true, func(rec []string) error {
+		if len(rec) < 2 {
+			return nil
+		}
+		as, err := s.Node(ontology.AS, rec[0])
+		if err != nil {
+			return nil
+		}
+		name, err := s.NameNode(rec[1])
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.NameRel, as, name, nil)
+	})
+}
+
+// BGPToolsTags imports the BGP.Tools AS classification tags — the source
+// of the 'Content Delivery Network', 'Academic', 'Government' and 'DDoS
+// Mitigation' tags the RPKI study groups by (paper §4.1.4).
+type BGPToolsTags struct{ ingest.Base }
+
+// NewBGPToolsTags returns the crawler.
+func NewBGPToolsTags() *BGPToolsTags {
+	return &BGPToolsTags{ingest.Base{
+		Org: "BGP.Tools", Name: "bgptools.tags",
+		InfoURL: "https://bgp.tools/kb/api", DataURL: source.PathBGPToolsTags,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *BGPToolsTags) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchCSV(ctx, s, source.PathBGPToolsTags, false, func(rec []string) error {
+		if len(rec) < 2 {
+			return nil
+		}
+		as, err := s.Node(ontology.AS, rec[0])
+		if err != nil {
+			return nil
+		}
+		tag, err := s.TagNode(rec[1])
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.Categorized, as, tag, nil)
+	})
+}
+
+// BGPToolsAnycast imports the BGP.Tools anycast prefix tags (both address
+// families), tagging prefixes as 'Anycast' as in the paper's Figure 4.
+type BGPToolsAnycast struct{ ingest.Base }
+
+// NewBGPToolsAnycast returns the crawler.
+func NewBGPToolsAnycast() *BGPToolsAnycast {
+	return &BGPToolsAnycast{ingest.Base{
+		Org: "BGP.Tools", Name: "bgptools.anycast_prefixes",
+		InfoURL: "https://github.com/bgptools/anycast-prefixes", DataURL: source.PathBGPToolsAnycast4,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *BGPToolsAnycast) Run(ctx context.Context, s *ingest.Session) error {
+	tag, err := s.TagNode("Anycast")
+	if err != nil {
+		return err
+	}
+	importFile := func(path string, af int) error {
+		return fetchLines(ctx, s, path, func(line string) error {
+			pfx, err := s.Node(ontology.Prefix, line)
+			if err != nil {
+				return nil
+			}
+			return s.Link(ontology.Categorized, pfx, tag, graph.Props{"af": graph.Int(int64(af))})
+		})
+	}
+	if err := importFile(source.PathBGPToolsAnycast4, 4); err != nil {
+		return err
+	}
+	return importFile(source.PathBGPToolsAnycast6, 6)
+}

@@ -1,0 +1,157 @@
+package crawlers
+
+import (
+	"context"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// CAIDAASRank imports CAIDA's ASRank: customer-cone ranking, AS names,
+// organizations and countries.
+type CAIDAASRank struct{ ingest.Base }
+
+// NewCAIDAASRank returns the crawler.
+func NewCAIDAASRank() *CAIDAASRank {
+	return &CAIDAASRank{ingest.Base{
+		Org: "CAIDA", Name: "caida.asrank",
+		InfoURL: "https://doi.org/10.21986/CAIDA.DATA.AS-RANK", DataURL: source.PathCAIDAASRank,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *CAIDAASRank) Run(ctx context.Context, s *ingest.Session) error {
+	ranking, err := s.Node(ontology.Ranking, "CAIDA ASRank")
+	if err != nil {
+		return err
+	}
+	type row struct {
+		Rank    int    `json:"rank"`
+		ASN     uint32 `json:"asn"`
+		ASNName string `json:"asnName"`
+		Cone    struct {
+			NumberASNs int `json:"numberAsns"`
+		} `json:"cone"`
+		Country struct {
+			ISO string `json:"iso"`
+		} `json:"country"`
+		Organization struct {
+			OrgID   string `json:"orgId"`
+			OrgName string `json:"orgName"`
+		} `json:"organization"`
+	}
+	return fetchJSONLines(ctx, s, source.PathCAIDAASRank, func(r row) error {
+		as, err := s.Node(ontology.AS, r.ASN)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.Rank, as, ranking, graph.Props{
+			"rank":        graph.Int(int64(r.Rank)),
+			"cone_number": graph.Int(int64(r.Cone.NumberASNs)),
+		}); err != nil {
+			return err
+		}
+		if r.ASNName != "" {
+			name, err := s.NameNode(r.ASNName)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.NameRel, as, name, nil); err != nil {
+				return err
+			}
+		}
+		if r.Country.ISO != "" {
+			cc, err := s.Node(ontology.Country, r.Country.ISO)
+			if err == nil {
+				if err := s.Link(ontology.CountryRel, as, cc, nil); err != nil {
+					return err
+				}
+			}
+		}
+		if r.Organization.OrgName != "" {
+			org, err := s.Node(ontology.Organization, r.Organization.OrgName)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.ManagedBy, as, org, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// CAIDAIXPs imports CAIDA's IXP dataset: exchanges, their external
+// identifiers, and AS memberships.
+type CAIDAIXPs struct{ ingest.Base }
+
+// NewCAIDAIXPs returns the crawler.
+func NewCAIDAIXPs() *CAIDAIXPs {
+	return &CAIDAIXPs{ingest.Base{
+		Org: "CAIDA", Name: "caida.ixs",
+		InfoURL: "https://www.caida.org/catalog/datasets/ixps", DataURL: source.PathCAIDAIXPs,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *CAIDAIXPs) Run(ctx context.Context, s *ingest.Session) error {
+	type ixRow struct {
+		IXID    int    `json:"ix_id"`
+		Name    string `json:"name"`
+		Country string `json:"country"`
+		PDBID   int    `json:"pdb_id"`
+	}
+	// ix_id → IXP node, for the membership pass below.
+	ixByID := map[int]graph.NodeID{}
+	err := fetchJSONLines(ctx, s, source.PathCAIDAIXPs, func(r ixRow) error {
+		ixp, err := s.Node(ontology.IXP, r.Name)
+		if err != nil {
+			return err
+		}
+		ixByID[r.IXID] = ixp
+		caidaID, err := s.Node(ontology.CaidaIXID, r.IXID)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.ExternalID, ixp, caidaID, nil); err != nil {
+			return err
+		}
+		if r.PDBID != 0 {
+			pdbID, err := s.Node(ontology.PeeringdbIXID, r.PDBID)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.ExternalID, ixp, pdbID, nil); err != nil {
+				return err
+			}
+		}
+		if r.Country != "" {
+			if cc, err := s.Node(ontology.Country, r.Country); err == nil {
+				if err := s.Link(ontology.CountryRel, ixp, cc, nil); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	type memberRow struct {
+		IXID int    `json:"ix_id"`
+		ASN  uint32 `json:"asn"`
+	}
+	return fetchJSONLines(ctx, s, source.PathCAIDAIXPASNs, func(r memberRow) error {
+		ixp, ok := ixByID[r.IXID]
+		if !ok {
+			return nil
+		}
+		as, err := s.Node(ontology.AS, r.ASN)
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.MemberOf, as, ixp, nil)
+	})
+}

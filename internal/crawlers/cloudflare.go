@@ -1,0 +1,165 @@
+package crawlers
+
+import (
+	"context"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// CloudflareRanking imports the Cloudflare Radar domain ranking.
+type CloudflareRanking struct{ ingest.Base }
+
+// NewCloudflareRanking returns the crawler.
+func NewCloudflareRanking() *CloudflareRanking {
+	return &CloudflareRanking{ingest.Base{
+		Org: "Cloudflare", Name: "cloudflare.ranking_bucket",
+		InfoURL: "https://radar.cloudflare.com", DataURL: source.PathCloudflareRanking,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *CloudflareRanking) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		Result struct {
+			Top []struct {
+				Domain string `json:"domain"`
+				Rank   int    `json:"rank"`
+			} `json:"top_0"`
+		} `json:"result"`
+	}
+	d, err := fetchJSON[doc](ctx, s, source.PathCloudflareRanking)
+	if err != nil {
+		return err
+	}
+	ranking, err := s.Node(ontology.Ranking, "Cloudflare top 1M")
+	if err != nil {
+		return err
+	}
+	for _, e := range d.Result.Top {
+		dom, err := s.Node(ontology.DomainName, e.Domain)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.Rank, dom, ranking, graph.Props{"rank": graph.Int(int64(e.Rank))}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CloudflareTopDomains imports the Cloudflare Radar top-domains dataset
+// (the static top-1000 bucket).
+type CloudflareTopDomains struct{ ingest.Base }
+
+// NewCloudflareTopDomains returns the crawler.
+func NewCloudflareTopDomains() *CloudflareTopDomains {
+	return &CloudflareTopDomains{ingest.Base{
+		Org: "Cloudflare", Name: "cloudflare.top_domains",
+		InfoURL: "https://radar.cloudflare.com", DataURL: source.PathCloudflareTopDomains,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *CloudflareTopDomains) Run(ctx context.Context, s *ingest.Session) error {
+	ranking, err := s.Node(ontology.Ranking, "Cloudflare top 1000 domains")
+	if err != nil {
+		return err
+	}
+	rank := 0
+	return fetchLines(ctx, s, source.PathCloudflareTopDomains, func(line string) error {
+		rank++
+		dom, err := s.Node(ontology.DomainName, line)
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.Rank, dom, ranking, graph.Props{"rank": graph.Int(int64(rank))})
+	})
+}
+
+// CloudflareDNSTopAses imports the Radar per-domain top querying ASes
+// (QUERIED_FROM relationships, Figure 4's bottom branch).
+type CloudflareDNSTopAses struct{ ingest.Base }
+
+// NewCloudflareDNSTopAses returns the crawler.
+func NewCloudflareDNSTopAses() *CloudflareDNSTopAses {
+	return &CloudflareDNSTopAses{ingest.Base{
+		Org: "Cloudflare", Name: "cloudflare.dns_top_ases",
+		InfoURL: "https://radar.cloudflare.com", DataURL: source.PathCloudflareDNSTopAses,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *CloudflareDNSTopAses) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		Result map[string][]struct {
+			ClientASN    uint32  `json:"clientASN"`
+			ClientASName string  `json:"clientASName"`
+			Value        float64 `json:"value"`
+		} `json:"result"`
+	}
+	d, err := fetchJSON[doc](ctx, s, source.PathCloudflareDNSTopAses)
+	if err != nil {
+		return err
+	}
+	for domain, ases := range d.Result {
+		dom, err := s.Node(ontology.DomainName, domain)
+		if err != nil {
+			return err
+		}
+		for _, a := range ases {
+			as, err := s.Node(ontology.AS, a.ClientASN)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.QueriedFrom, dom, as, graph.Props{"value": graph.Float(a.Value)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CloudflareDNSTopLocations imports the Radar per-domain top querying
+// countries.
+type CloudflareDNSTopLocations struct{ ingest.Base }
+
+// NewCloudflareDNSTopLocations returns the crawler.
+func NewCloudflareDNSTopLocations() *CloudflareDNSTopLocations {
+	return &CloudflareDNSTopLocations{ingest.Base{
+		Org: "Cloudflare", Name: "cloudflare.dns_top_locations",
+		InfoURL: "https://radar.cloudflare.com", DataURL: source.PathCloudflareDNSTopLoc,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *CloudflareDNSTopLocations) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		Result map[string][]struct {
+			ClientCountryAlpha2 string  `json:"clientCountryAlpha2"`
+			Value               float64 `json:"value"`
+		} `json:"result"`
+	}
+	d, err := fetchJSON[doc](ctx, s, source.PathCloudflareDNSTopLoc)
+	if err != nil {
+		return err
+	}
+	for domain, locs := range d.Result {
+		dom, err := s.Node(ontology.DomainName, domain)
+		if err != nil {
+			return err
+		}
+		for _, l := range locs {
+			cc, err := s.Node(ontology.Country, l.ClientCountryAlpha2)
+			if err != nil {
+				continue
+			}
+			if err := s.Link(ontology.QueriedFrom, dom, cc, graph.Props{"value": graph.Float(l.Value)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

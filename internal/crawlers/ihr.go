@@ -1,0 +1,133 @@
+package crawlers
+
+import (
+	"context"
+	"strconv"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// IHRHegemony imports IHR's AS Hegemony scores: the inter-dependence of
+// ASes inferred from BGP data.
+type IHRHegemony struct{ ingest.Base }
+
+// NewIHRHegemony returns the crawler.
+func NewIHRHegemony() *IHRHegemony {
+	return &IHRHegemony{ingest.Base{
+		Org: "IHR", Name: "ihr.hegemony",
+		InfoURL: "https://ihr.iijlab.net", DataURL: source.PathIHRHegemony,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *IHRHegemony) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchCSV(ctx, s, source.PathIHRHegemony, true, func(rec []string) error {
+		if len(rec) < 4 {
+			return nil
+		}
+		origin, err1 := strconv.ParseUint(rec[0], 10, 32)
+		asn, err2 := strconv.ParseUint(rec[1], 10, 32)
+		hege, err3 := strconv.ParseFloat(rec[2], 64)
+		af, err4 := strconv.Atoi(rec[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil
+		}
+		as, err := s.Node(ontology.AS, uint32(asn))
+		if err != nil {
+			return err
+		}
+		if origin == 0 {
+			// Global hegemony: a property of the AS itself.
+			return s.G.SetNodeProp(as, "hegemony", graph.Float(hege))
+		}
+		org, err := s.Node(ontology.AS, uint32(origin))
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.DependsOn, org, as, graph.Props{
+			"hege": graph.Float(hege),
+			"af":   graph.Int(int64(af)),
+		})
+	})
+}
+
+// IHRCountryDependency imports IHR's country-level AS dependency.
+type IHRCountryDependency struct{ ingest.Base }
+
+// NewIHRCountryDependency returns the crawler.
+func NewIHRCountryDependency() *IHRCountryDependency {
+	return &IHRCountryDependency{ingest.Base{
+		Org: "IHR", Name: "ihr.country_dependency",
+		InfoURL: "https://ihr.iijlab.net", DataURL: source.PathIHRCountryDep,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *IHRCountryDependency) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchCSV(ctx, s, source.PathIHRCountryDep, true, func(rec []string) error {
+		if len(rec) < 3 {
+			return nil
+		}
+		asn, err1 := strconv.ParseUint(rec[1], 10, 32)
+		hege, err2 := strconv.ParseFloat(rec[2], 64)
+		if err1 != nil || err2 != nil {
+			return nil
+		}
+		cc, err := s.Node(ontology.Country, rec[0])
+		if err != nil {
+			return nil
+		}
+		as, err := s.Node(ontology.AS, uint32(asn))
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.CountryRel, as, cc, graph.Props{"hege": graph.Float(hege)})
+	})
+}
+
+// IHRROVTags are the RPKI/IRR validation tags produced by IHR's ROV
+// dataset — the exact labels the paper's Listing 4 matches with STARTS
+// WITH 'RPKI Invalid'.
+type IHRROV struct{ ingest.Base }
+
+// NewIHRROV returns the crawler.
+func NewIHRROV() *IHRROV {
+	return &IHRROV{ingest.Base{
+		Org: "IHR", Name: "ihr.rov",
+		InfoURL: "https://ihr.iijlab.net/ihr/en-us/rov", DataURL: source.PathIHRROV,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *IHRROV) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchCSV(ctx, s, source.PathIHRROV, true, func(rec []string) error {
+		if len(rec) < 4 {
+			return nil
+		}
+		asn, err := strconv.ParseUint(rec[1], 10, 32)
+		if err != nil {
+			return nil
+		}
+		pfx, err := s.Node(ontology.Prefix, rec[0])
+		if err != nil {
+			return nil
+		}
+		props := graph.Props{"origin_asn": graph.Int(int64(asn))}
+		for _, label := range []string{rec[2], rec[3]} {
+			if label == "" {
+				continue
+			}
+			tag, err := s.TagNode(label)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.Categorized, pfx, tag, props); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,421 @@
+package crawlers
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/netutil"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// PCHRouting imports a Packet Clearing House daily routing snapshot (one
+// address family per crawler, as PCH publishes them).
+type PCHRouting struct {
+	ingest.Base
+	path string
+}
+
+// NewPCHRoutingV4 returns the IPv4 snapshot crawler.
+func NewPCHRoutingV4() *PCHRouting {
+	return &PCHRouting{
+		Base: ingest.Base{Org: "PCH", Name: "pch.daily_routing_snapshots_v4",
+			InfoURL: "https://www.pch.net/resources/Routing_Data", DataURL: source.PathPCHRoutingV4},
+		path: source.PathPCHRoutingV4,
+	}
+}
+
+// NewPCHRoutingV6 returns the IPv6 snapshot crawler.
+func NewPCHRoutingV6() *PCHRouting {
+	return &PCHRouting{
+		Base: ingest.Base{Org: "PCH", Name: "pch.daily_routing_snapshots_v6",
+			InfoURL: "https://www.pch.net/resources/Routing_Data", DataURL: source.PathPCHRoutingV6},
+		path: source.PathPCHRoutingV6,
+	}
+}
+
+// Run implements ingest.Crawler.
+func (c *PCHRouting) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchLines(ctx, s, c.path, func(line string) error {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil
+		}
+		pfx, err := s.Node(ontology.Prefix, fields[0])
+		if err != nil {
+			return nil
+		}
+		as, err := s.Node(ontology.AS, fields[1])
+		if err != nil {
+			return nil
+		}
+		return s.Link(ontology.Originate, as, pfx, nil)
+	})
+}
+
+// EmileAbenASNames imports the community-maintained asnames list.
+type EmileAbenASNames struct{ ingest.Base }
+
+// NewEmileAbenASNames returns the crawler.
+func NewEmileAbenASNames() *EmileAbenASNames {
+	return &EmileAbenASNames{ingest.Base{
+		Org: "Emile Aben", Name: "emileaben.as_names",
+		InfoURL: "https://github.com/emileaben/asnames", DataURL: source.PathEmileAbenASNames,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *EmileAbenASNames) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchLines(ctx, s, source.PathEmileAbenASNames, func(line string) error {
+		sp := strings.SplitN(line, " ", 2)
+		if len(sp) != 2 {
+			return nil
+		}
+		asn, err := netutil.ParseASN(sp[0])
+		if err != nil {
+			return nil
+		}
+		name := strings.Trim(sp[1], `"`)
+		as, err := s.Node(ontology.AS, asn)
+		if err != nil {
+			return err
+		}
+		nameID, err := s.NameNode(name)
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.NameRel, as, nameID, nil)
+	})
+}
+
+// StanfordASdb imports Stanford's ASdb business-type classification.
+type StanfordASdb struct{ ingest.Base }
+
+// NewStanfordASdb returns the crawler.
+func NewStanfordASdb() *StanfordASdb {
+	return &StanfordASdb{ingest.Base{
+		Org: "Stanford", Name: "stanford.asdb",
+		InfoURL: "https://asdb.stanford.edu", DataURL: source.PathStanfordASdb,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *StanfordASdb) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchCSV(ctx, s, source.PathStanfordASdb, true, func(rec []string) error {
+		if len(rec) < 3 {
+			return nil
+		}
+		as, err := s.Node(ontology.AS, rec[0])
+		if err != nil {
+			return nil
+		}
+		for layer, label := range map[int]string{1: rec[1], 2: rec[2]} {
+			if label == "" {
+				continue
+			}
+			tag, err := s.TagNode(label)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.Categorized, as, tag, graph.Props{
+				"layer": graph.Int(int64(layer)),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// RoVista imports Virginia Tech's RoVista ROV-filtering measurements.
+type RoVista struct{ ingest.Base }
+
+// NewRoVista returns the crawler.
+func NewRoVista() *RoVista {
+	return &RoVista{ingest.Base{
+		Org: "Virginia Tech", Name: "rovista.validating_rov",
+		InfoURL: "https://rovista.netsecurelab.org", DataURL: source.PathRoVista,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *RoVista) Run(ctx context.Context, s *ingest.Session) error {
+	type row struct {
+		ASN   uint32  `json:"asn"`
+		Ratio float64 `json:"ratio"`
+	}
+	rows, err := fetchJSON[[]row](ctx, s, source.PathRoVista)
+	if err != nil {
+		return err
+	}
+	validating, err := s.TagNode("Validating RPKI ROV")
+	if err != nil {
+		return err
+	}
+	notValidating, err := s.TagNode("Not Validating RPKI ROV")
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		as, err := s.Node(ontology.AS, r.ASN)
+		if err != nil {
+			return err
+		}
+		tag := notValidating
+		if r.Ratio > 0.5 {
+			tag = validating
+		}
+		if err := s.Link(ontology.Categorized, as, tag, graph.Props{
+			"ratio": graph.Float(r.Ratio),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// APNICPopulation imports APNIC's per-economy AS population estimates.
+type APNICPopulation struct{ ingest.Base }
+
+// NewAPNICPopulation returns the crawler.
+func NewAPNICPopulation() *APNICPopulation {
+	return &APNICPopulation{ingest.Base{
+		Org: "APNIC", Name: "apnic.eyeball",
+		InfoURL: "https://stats.labs.apnic.net/aspop", DataURL: source.PathAPNICPop,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *APNICPopulation) Run(ctx context.Context, s *ingest.Session) error {
+	type row struct {
+		CC      string  `json:"cc"`
+		ASN     uint32  `json:"asn"`
+		Percent float64 `json:"percent"`
+	}
+	return fetchJSONLines(ctx, s, source.PathAPNICPop, func(r row) error {
+		cc, err := s.Node(ontology.Country, r.CC)
+		if err != nil {
+			return nil
+		}
+		as, err := s.Node(ontology.AS, r.ASN)
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.Population, as, cc, graph.Props{
+			"percent": graph.Float(r.Percent),
+		})
+	})
+}
+
+// WorldBankPopulation imports the World Bank country population estimate.
+type WorldBankPopulation struct{ ingest.Base }
+
+// NewWorldBankPopulation returns the crawler.
+func NewWorldBankPopulation() *WorldBankPopulation {
+	return &WorldBankPopulation{ingest.Base{
+		Org: "World Bank", Name: "worldbank.country_pop",
+		InfoURL: "https://www.worldbank.org", DataURL: source.PathWorldBankPop,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *WorldBankPopulation) Run(ctx context.Context, s *ingest.Session) error {
+	estimate, err := s.Node(ontology.Estimate, "World Bank population estimate")
+	if err != nil {
+		return err
+	}
+	return fetchCSV(ctx, s, source.PathWorldBankPop, true, func(rec []string) error {
+		if len(rec) < 2 {
+			return nil
+		}
+		pop, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil
+		}
+		cc, err := s.Node(ontology.Country, rec[0])
+		if err != nil {
+			return nil
+		}
+		return s.Link(ontology.Population, cc, estimate, graph.Props{
+			"value": graph.Int(pop),
+		})
+	})
+}
+
+// CitizenLab imports the Citizen Lab URL testing lists.
+type CitizenLab struct{ ingest.Base }
+
+// NewCitizenLab returns the crawler.
+func NewCitizenLab() *CitizenLab {
+	return &CitizenLab{ingest.Base{
+		Org: "Citizen Lab", Name: "citizenlab.urldb",
+		InfoURL: "https://github.com/citizenlab/test-lists", DataURL: source.PathCitizenLab,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *CitizenLab) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchCSV(ctx, s, source.PathCitizenLab, true, func(rec []string) error {
+		if len(rec) < 2 {
+			return nil
+		}
+		url, err := s.Node(ontology.URL, rec[0])
+		if err != nil {
+			return nil
+		}
+		tag, err := s.TagNode(rec[1])
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.Categorized, url, tag, nil); err != nil {
+			return err
+		}
+		if len(rec) >= 5 && rec[4] != "" && rec[4] != "GLOBAL" {
+			if cc, err := s.Node(ontology.Country, rec[4]); err == nil {
+				return s.Link(ontology.CountryRel, url, cc, nil)
+			}
+		}
+		return nil
+	})
+}
+
+// SimulaMetRDNS imports rir-data.org's reverse-DNS delegations: which
+// nameservers manage the reverse zones of each prefix.
+type SimulaMetRDNS struct{ ingest.Base }
+
+// NewSimulaMetRDNS returns the crawler.
+func NewSimulaMetRDNS() *SimulaMetRDNS {
+	return &SimulaMetRDNS{ingest.Base{
+		Org: "SimulaMet", Name: "simulamet.rdns",
+		InfoURL: "https://rir-data.org", DataURL: source.PathSimulaMetRDNS,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *SimulaMetRDNS) Run(ctx context.Context, s *ingest.Session) error {
+	type row struct {
+		Prefix      string   `json:"prefix"`
+		Nameservers []string `json:"nameservers"`
+	}
+	return fetchJSONLines(ctx, s, source.PathSimulaMetRDNS, func(r row) error {
+		pfx, err := s.Node(ontology.Prefix, r.Prefix)
+		if err != nil {
+			return nil
+		}
+		for _, nsName := range r.Nameservers {
+			ns, err := s.Node(ontology.HostName, nsName)
+			if err != nil {
+				continue
+			}
+			if err := s.G.AddLabel(ns, ontology.AuthoritativeNameServer); err != nil {
+				return err
+			}
+			if err := s.Link(ontology.ManagedBy, pfx, ns, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// InetIntelAS2Org imports Georgia Tech's Internet Intelligence Lab
+// AS-to-Organization mapping, including sibling relations.
+type InetIntelAS2Org struct{ ingest.Base }
+
+// NewInetIntelAS2Org returns the crawler.
+func NewInetIntelAS2Org() *InetIntelAS2Org {
+	return &InetIntelAS2Org{ingest.Base{
+		Org: "Internet Intelligence Lab", Name: "inetintel.as_org",
+		InfoURL: "https://github.com/InetIntel/Dataset-AS-to-Organization-Mapping",
+		DataURL: source.PathInetIntelAS2Org,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *InetIntelAS2Org) Run(ctx context.Context, s *ingest.Session) error {
+	type row struct {
+		ASN      uint32   `json:"asn"`
+		OrgName  string   `json:"org_name"`
+		Country  string   `json:"country"`
+		Siblings []uint32 `json:"siblings"`
+	}
+	return fetchJSONLines(ctx, s, source.PathInetIntelAS2Org, func(r row) error {
+		as, err := s.Node(ontology.AS, r.ASN)
+		if err != nil {
+			return err
+		}
+		org, err := s.Node(ontology.Organization, r.OrgName)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.ManagedBy, as, org, nil); err != nil {
+			return err
+		}
+		for _, sib := range r.Siblings {
+			if sib <= r.ASN {
+				continue // one SIBLING_OF edge per pair
+			}
+			sibNode, err := s.Node(ontology.AS, sib)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.SiblingOf, as, sibNode, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// AliceLG imports one IXP route-server looking glass (Alice-LG API): the
+// route server's neighbors become IXP memberships.
+type AliceLG struct {
+	ingest.Base
+	lg string
+}
+
+// NewAliceLG returns the crawler for one looking glass.
+func NewAliceLG(lg string) *AliceLG {
+	return &AliceLG{
+		Base: ingest.Base{Org: "Alice-LG", Name: "alice_lg." + lg,
+			InfoURL: "https://github.com/alice-lg/alice-lg",
+			DataURL: source.PathAliceLGPrefix + lg + "/neighbors.json"},
+		lg: lg,
+	}
+}
+
+// Run implements ingest.Crawler.
+func (c *AliceLG) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		IXPName   string `json:"ixp_name"`
+		Neighbors []struct {
+			ASN         uint32 `json:"asn"`
+			Description string `json:"description"`
+			State       string `json:"state"`
+		} `json:"neighbors"`
+	}
+	d, err := fetchJSON[doc](ctx, s, fmt.Sprintf("%s%s/neighbors.json", source.PathAliceLGPrefix, c.lg))
+	if err != nil {
+		return err
+	}
+	ixp, err := s.Node(ontology.IXP, d.IXPName)
+	if err != nil {
+		return err
+	}
+	for _, n := range d.Neighbors {
+		as, err := s.Node(ontology.AS, n.ASN)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.MemberOf, as, ixp, graph.Props{
+			"state": graph.String(n.State),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

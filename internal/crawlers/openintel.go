@@ -1,0 +1,163 @@
+package crawlers
+
+import (
+	"context"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// openintelResolutionRow is one processed OpenINTEL record.
+type openintelResolutionRow struct {
+	QueryName    string `json:"query_name"`
+	ResponseType string `json:"response_type"`
+	Answer       string `json:"answer"`
+}
+
+// importResolutions maps A/AAAA records to (:HostName)-[:RESOLVES_TO]->(:IP).
+func importResolutions(ctx context.Context, s *ingest.Session, path string) error {
+	return fetchJSONLines(ctx, s, path, func(r openintelResolutionRow) error {
+		if r.ResponseType != "A" && r.ResponseType != "AAAA" {
+			return nil
+		}
+		host, err := s.Node(ontology.HostName, r.QueryName)
+		if err != nil {
+			return nil
+		}
+		ip, err := s.Node(ontology.IP, r.Answer)
+		if err != nil {
+			return nil
+		}
+		return s.Link(ontology.ResolvesTo, host, ip, nil)
+	})
+}
+
+// OpenINTELTranco1M imports the OpenINTEL active DNS measurements for the
+// Tranco top-1M list: the dataset Listing 3 pins with
+// {reference_name:'openintel.tranco1m'}.
+type OpenINTELTranco1M struct{ ingest.Base }
+
+// NewOpenINTELTranco1M returns the crawler.
+func NewOpenINTELTranco1M() *OpenINTELTranco1M {
+	return &OpenINTELTranco1M{ingest.Base{
+		Org: "OpenINTEL", Name: "openintel.tranco1m",
+		InfoURL: "https://openintel.nl", DataURL: source.PathOpenINTELTranco1M,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *OpenINTELTranco1M) Run(ctx context.Context, s *ingest.Session) error {
+	return importResolutions(ctx, s, source.PathOpenINTELTranco1M)
+}
+
+// OpenINTELUmbrella1M imports the OpenINTEL measurements for the Cisco
+// Umbrella list.
+type OpenINTELUmbrella1M struct{ ingest.Base }
+
+// NewOpenINTELUmbrella1M returns the crawler.
+func NewOpenINTELUmbrella1M() *OpenINTELUmbrella1M {
+	return &OpenINTELUmbrella1M{ingest.Base{
+		Org: "OpenINTEL", Name: "openintel.umbrella1m",
+		InfoURL: "https://openintel.nl", DataURL: source.PathOpenINTELUmbrella1M,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *OpenINTELUmbrella1M) Run(ctx context.Context, s *ingest.Session) error {
+	return importResolutions(ctx, s, source.PathOpenINTELUmbrella1M)
+}
+
+// OpenINTELNS imports the OpenINTEL nameserver measurements: NS
+// delegations become (:DomainName)-[:MANAGED_BY]->(:AuthoritativeNameServer)
+// and glue records become nameserver RESOLVES_TO edges. This replaces the
+// original DNS-robustness study's zone files (paper §4.2).
+type OpenINTELNS struct{ ingest.Base }
+
+// NewOpenINTELNS returns the crawler.
+func NewOpenINTELNS() *OpenINTELNS {
+	return &OpenINTELNS{ingest.Base{
+		Org: "OpenINTEL", Name: "openintel.ns",
+		InfoURL: "https://openintel.nl", DataURL: source.PathOpenINTELNS,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *OpenINTELNS) Run(ctx context.Context, s *ingest.Session) error {
+	// The feed repeats records across measured zones; a relationship is
+	// imported once (IYP's batched importers deduplicate the same way).
+	seen := map[openintelResolutionRow]bool{}
+	return fetchJSONLines(ctx, s, source.PathOpenINTELNS, func(r openintelResolutionRow) error {
+		if seen[r] {
+			return nil
+		}
+		seen[r] = true
+		switch r.ResponseType {
+		case "NS":
+			dom, err := s.Node(ontology.DomainName, r.QueryName)
+			if err != nil {
+				return nil
+			}
+			// Nameservers are HostName nodes carrying the
+			// AuthoritativeNameServer label: one node per name, whatever
+			// datasets mention it.
+			ns, err := s.Node(ontology.HostName, r.Answer)
+			if err != nil {
+				return nil
+			}
+			if err := s.G.AddLabel(ns, ontology.AuthoritativeNameServer); err != nil {
+				return err
+			}
+			return s.Link(ontology.ManagedBy, dom, ns, nil)
+		case "A", "AAAA":
+			host, err := s.Node(ontology.HostName, r.QueryName)
+			if err != nil {
+				return nil
+			}
+			ip, err := s.Node(ontology.IP, r.Answer)
+			if err != nil {
+				return nil
+			}
+			return s.Link(ontology.ResolvesTo, host, ip, graph.Props{"glue": graph.Bool(true)})
+		}
+		return nil
+	})
+}
+
+// OpenINTELDNSGraph imports the UTwente DNS dependency graph: per-domain
+// transitive infrastructure dependencies with their type (direct,
+// third-party, hierarchical), powering the SPoF analysis of paper §5.2.
+type OpenINTELDNSGraph struct{ ingest.Base }
+
+// NewOpenINTELDNSGraph returns the crawler.
+func NewOpenINTELDNSGraph() *OpenINTELDNSGraph {
+	return &OpenINTELDNSGraph{ingest.Base{
+		Org: "UTwente", Name: "openintel.dnsgraph",
+		InfoURL: "https://dnsgraph.dacs.utwente.nl", DataURL: source.PathOpenINTELDNSGraph,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *OpenINTELDNSGraph) Run(ctx context.Context, s *ingest.Session) error {
+	type row struct {
+		Domain  string `json:"domain"`
+		DepASN  uint32 `json:"dep_asn"`
+		DepCC   string `json:"dep_cc"`
+		DepType string `json:"dep_type"`
+	}
+	return fetchJSONLines(ctx, s, source.PathOpenINTELDNSGraph, func(r row) error {
+		dom, err := s.Node(ontology.DomainName, r.Domain)
+		if err != nil {
+			return nil
+		}
+		as, err := s.Node(ontology.AS, r.DepASN)
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.DependsOn, dom, as, graph.Props{
+			"dep_type": graph.String(r.DepType),
+			"dep_cc":   graph.String(r.DepCC),
+		})
+	})
+}

@@ -1,0 +1,259 @@
+package crawlers
+
+import (
+	"context"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// PeeringDBOrg imports PeeringDB organizations.
+type PeeringDBOrg struct{ ingest.Base }
+
+// NewPeeringDBOrg returns the crawler.
+func NewPeeringDBOrg() *PeeringDBOrg {
+	return &PeeringDBOrg{ingest.Base{
+		Org: "PeeringDB", Name: "peeringdb.org",
+		InfoURL: "https://www.peeringdb.com", DataURL: source.PathPeeringDBOrg,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *PeeringDBOrg) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		Data []struct {
+			ID      int    `json:"id"`
+			Name    string `json:"name"`
+			Country string `json:"country"`
+			Website string `json:"website"`
+		} `json:"data"`
+	}
+	d, err := fetchJSON[doc](ctx, s, source.PathPeeringDBOrg)
+	if err != nil {
+		return err
+	}
+	for _, o := range d.Data {
+		org, err := s.Node(ontology.Organization, o.Name)
+		if err != nil {
+			return err
+		}
+		pdbID, err := s.Node(ontology.PeeringdbOrgID, o.ID)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.ExternalID, org, pdbID, nil); err != nil {
+			return err
+		}
+		if o.Country != "" {
+			if cc, err := s.Node(ontology.Country, o.Country); err == nil {
+				if err := s.Link(ontology.CountryRel, org, cc, nil); err != nil {
+					return err
+				}
+			}
+		}
+		if o.Website != "" {
+			url, err := s.Node(ontology.URL, o.Website)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.Website, org, url, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PeeringDBFac imports PeeringDB co-location facilities.
+type PeeringDBFac struct{ ingest.Base }
+
+// NewPeeringDBFac returns the crawler.
+func NewPeeringDBFac() *PeeringDBFac {
+	return &PeeringDBFac{ingest.Base{
+		Org: "PeeringDB", Name: "peeringdb.fac",
+		InfoURL: "https://www.peeringdb.com", DataURL: source.PathPeeringDBFac,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *PeeringDBFac) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		Data []struct {
+			ID      int    `json:"id"`
+			Name    string `json:"name"`
+			Country string `json:"country"`
+			OrgID   int    `json:"org_id"`
+			OrgName string `json:"org_name"`
+		} `json:"data"`
+	}
+	d, err := fetchJSON[doc](ctx, s, source.PathPeeringDBFac)
+	if err != nil {
+		return err
+	}
+	for _, f := range d.Data {
+		fac, err := s.Node(ontology.Facility, f.Name)
+		if err != nil {
+			return err
+		}
+		pdbID, err := s.Node(ontology.PeeringdbFacID, f.ID)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.ExternalID, fac, pdbID, nil); err != nil {
+			return err
+		}
+		if f.Country != "" {
+			if cc, err := s.Node(ontology.Country, f.Country); err == nil {
+				if err := s.Link(ontology.CountryRel, fac, cc, nil); err != nil {
+					return err
+				}
+			}
+		}
+		if f.OrgName != "" {
+			org, err := s.Node(ontology.Organization, f.OrgName)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.ManagedBy, fac, org, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PeeringDBIX imports PeeringDB exchanges.
+type PeeringDBIX struct{ ingest.Base }
+
+// NewPeeringDBIX returns the crawler.
+func NewPeeringDBIX() *PeeringDBIX {
+	return &PeeringDBIX{ingest.Base{
+		Org: "PeeringDB", Name: "peeringdb.ix",
+		InfoURL: "https://www.peeringdb.com", DataURL: source.PathPeeringDBIX,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *PeeringDBIX) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		Data []struct {
+			ID      int    `json:"id"`
+			Name    string `json:"name"`
+			Country string `json:"country"`
+		} `json:"data"`
+	}
+	d, err := fetchJSON[doc](ctx, s, source.PathPeeringDBIX)
+	if err != nil {
+		return err
+	}
+	for _, ix := range d.Data {
+		ixp, err := s.Node(ontology.IXP, ix.Name)
+		if err != nil {
+			return err
+		}
+		pdbID, err := s.Node(ontology.PeeringdbIXID, ix.ID)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.ExternalID, ixp, pdbID, nil); err != nil {
+			return err
+		}
+		if ix.Country != "" {
+			if cc, err := s.Node(ontology.Country, ix.Country); err == nil {
+				if err := s.Link(ontology.CountryRel, ixp, cc, nil); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// PeeringDBIXLan imports IXP memberships (the ix/ixlan API), including the
+// peering policy and port-speed details the paper cites as relationship
+// properties (§2.2).
+type PeeringDBIXLan struct{ ingest.Base }
+
+// NewPeeringDBIXLan returns the crawler.
+func NewPeeringDBIXLan() *PeeringDBIXLan {
+	return &PeeringDBIXLan{ingest.Base{
+		Org: "PeeringDB", Name: "peeringdb.ixlan",
+		InfoURL: "https://www.peeringdb.com", DataURL: source.PathPeeringDBIXLan,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *PeeringDBIXLan) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		Data []struct {
+			IXID   int    `json:"ix_id"`
+			IXName string `json:"ix_name"`
+			ASN    uint32 `json:"asn"`
+			Speed  int    `json:"speed"`
+			Policy string `json:"policy"`
+		} `json:"data"`
+	}
+	d, err := fetchJSON[doc](ctx, s, source.PathPeeringDBIXLan)
+	if err != nil {
+		return err
+	}
+	for _, m := range d.Data {
+		ixp, err := s.Node(ontology.IXP, m.IXName)
+		if err != nil {
+			return err
+		}
+		as, err := s.Node(ontology.AS, m.ASN)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.MemberOf, as, ixp, graph.Props{
+			"speed":  graph.Int(int64(m.Speed)),
+			"policy": graph.String(m.Policy),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PeeringDBNetFac imports AS presence at facilities.
+type PeeringDBNetFac struct{ ingest.Base }
+
+// NewPeeringDBNetFac returns the crawler.
+func NewPeeringDBNetFac() *PeeringDBNetFac {
+	return &PeeringDBNetFac{ingest.Base{
+		Org: "PeeringDB", Name: "peeringdb.netfac",
+		InfoURL: "https://www.peeringdb.com", DataURL: source.PathPeeringDBNetFac,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *PeeringDBNetFac) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		Data []struct {
+			LocalASN uint32 `json:"local_asn"`
+			FacID    int    `json:"fac_id"`
+			FacName  string `json:"fac_name"`
+		} `json:"data"`
+	}
+	d, err := fetchJSON[doc](ctx, s, source.PathPeeringDBNetFac)
+	if err != nil {
+		return err
+	}
+	for _, nf := range d.Data {
+		fac, err := s.Node(ontology.Facility, nf.FacName)
+		if err != nil {
+			return err
+		}
+		as, err := s.Node(ontology.AS, nf.LocalASN)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.LocatedIn, as, fac, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package crawlers
+
+import (
+	"context"
+	"strconv"
+	"strings"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/netutil"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// TrancoRanking is the canonical Tranco node name used by paper queries
+// (Listings 4-6).
+const TrancoRanking = "Tranco top 1M"
+
+// Tranco imports the Tranco top-1M list: the popularity ranking both
+// reproduced studies are built on.
+type Tranco struct{ ingest.Base }
+
+// NewTranco returns the crawler.
+func NewTranco() *Tranco {
+	return &Tranco{ingest.Base{
+		Org: "Tranco", Name: "tranco.top1m",
+		InfoURL: "https://tranco-list.eu", DataURL: source.PathTranco,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *Tranco) Run(ctx context.Context, s *ingest.Session) error {
+	ranking, err := s.Node(ontology.Ranking, TrancoRanking)
+	if err != nil {
+		return err
+	}
+	return fetchCSV(ctx, s, source.PathTranco, false, func(rec []string) error {
+		if len(rec) < 2 {
+			return nil
+		}
+		rank, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil
+		}
+		dom, err := s.Node(ontology.DomainName, rec[1])
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.Rank, dom, ranking, graph.Props{"rank": graph.Int(int64(rank))})
+	})
+}
+
+// CiscoUmbrella imports the Cisco Umbrella popularity list. Umbrella ranks
+// hostnames (FQDNs), so entries with more than two labels become HostName
+// nodes while registered domains become DomainName nodes, as in IYP.
+type CiscoUmbrella struct{ ingest.Base }
+
+// NewCiscoUmbrella returns the crawler.
+func NewCiscoUmbrella() *CiscoUmbrella {
+	return &CiscoUmbrella{ingest.Base{
+		Org: "Cisco", Name: "cisco.umbrella_top1m",
+		InfoURL: "https://s3-us-west-1.amazonaws.com/umbrella-static/index.html",
+		DataURL: source.PathCiscoUmbrella,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *CiscoUmbrella) Run(ctx context.Context, s *ingest.Session) error {
+	ranking, err := s.Node(ontology.Ranking, "Cisco Umbrella Top 1M")
+	if err != nil {
+		return err
+	}
+	return fetchCSV(ctx, s, source.PathCiscoUmbrella, false, func(rec []string) error {
+		if len(rec) < 2 {
+			return nil
+		}
+		rank, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil
+		}
+		host := netutil.CanonicalHostname(rec[1])
+		entity := ontology.DomainName
+		if strings.Count(host, ".") > 1 {
+			entity = ontology.HostName
+		}
+		node, err := s.Node(entity, host)
+		if err != nil {
+			return err
+		}
+		return s.Link(ontology.Rank, node, ranking, graph.Props{"rank": graph.Int(int64(rank))})
+	})
+}

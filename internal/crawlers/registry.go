@@ -1,0 +1,94 @@
+package crawlers
+
+import (
+	"iyp/internal/ingest"
+	"iyp/internal/source"
+)
+
+// All returns every crawler of the reproduction: 47 datasets across 23
+// organizations, mirroring the paper's Table 8.
+func All() []ingest.Crawler {
+	var cs []ingest.Crawler
+	// Alice-LG looking glasses (7 datasets).
+	for _, lg := range source.AliceLGNames {
+		cs = append(cs, NewAliceLG(lg))
+	}
+	cs = append(cs,
+		// APNIC.
+		NewAPNICPopulation(),
+		// BGPKIT.
+		NewBGPKITPfx2as(),
+		NewBGPKITAs2rel(),
+		NewBGPKITPeerStats(),
+		// BGP.Tools.
+		NewBGPToolsASNames(),
+		NewBGPToolsTags(),
+		NewBGPToolsAnycast(),
+		// CAIDA.
+		NewCAIDAASRank(),
+		NewCAIDAIXPs(),
+		// Cisco.
+		NewCiscoUmbrella(),
+		// Citizen Lab.
+		NewCitizenLab(),
+		// Cloudflare.
+		NewCloudflareRanking(),
+		NewCloudflareTopDomains(),
+		NewCloudflareDNSTopAses(),
+		NewCloudflareDNSTopLocations(),
+		// Emile Aben.
+		NewEmileAbenASNames(),
+		// IHR.
+		NewIHRHegemony(),
+		NewIHRCountryDependency(),
+		NewIHRROV(),
+		// Internet Intelligence Lab.
+		NewInetIntelAS2Org(),
+		// NRO.
+		NewNRODelegated(),
+		// OpenINTEL.
+		NewOpenINTELTranco1M(),
+		NewOpenINTELUmbrella1M(),
+		NewOpenINTELNS(),
+		NewOpenINTELDNSGraph(),
+		// PCH.
+		NewPCHRoutingV4(),
+		NewPCHRoutingV6(),
+		// PeeringDB.
+		NewPeeringDBOrg(),
+		NewPeeringDBFac(),
+		NewPeeringDBIX(),
+		NewPeeringDBIXLan(),
+		NewPeeringDBNetFac(),
+		// RIPE NCC.
+		NewRIPEASNames(),
+		NewRIPERPKI(),
+		NewRIPEAtlas(),
+		// SimulaMet.
+		NewSimulaMetRDNS(),
+		// Stanford.
+		NewStanfordASdb(),
+		// Tranco.
+		NewTranco(),
+		// Virginia Tech.
+		NewRoVista(),
+		// World Bank.
+		NewWorldBankPopulation(),
+	)
+	return cs
+}
+
+// Organizations returns the distinct data-provider organizations covered
+// by All(), for the dataset inventory report.
+func Organizations() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range All() {
+		org := c.Reference().Organization
+		if !seen[org] {
+			seen[org] = true
+			out = append(out, org)
+		}
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package crawlers
+
+import (
+	"context"
+	"strconv"
+	"strings"
+
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/netutil"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// RIPEASNames imports RIPE NCC's asnames.txt ("<asn> <NAME>, <CC>").
+type RIPEASNames struct{ ingest.Base }
+
+// NewRIPEASNames returns the crawler.
+func NewRIPEASNames() *RIPEASNames {
+	return &RIPEASNames{ingest.Base{
+		Org: "RIPE NCC", Name: "ripe.as_names",
+		InfoURL: "https://ftp.ripe.net/ripe/asnames", DataURL: source.PathRIPEASNames,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *RIPEASNames) Run(ctx context.Context, s *ingest.Session) error {
+	return fetchLines(ctx, s, source.PathRIPEASNames, func(line string) error {
+		sp := strings.SplitN(line, " ", 2)
+		if len(sp) != 2 {
+			return nil
+		}
+		asn, err := netutil.ParseASN(sp[0])
+		if err != nil {
+			return nil
+		}
+		rest := sp[1]
+		name := rest
+		cc := ""
+		if i := strings.LastIndex(rest, ", "); i >= 0 {
+			name, cc = rest[:i], strings.TrimSpace(rest[i+2:])
+		}
+		as, err := s.Node(ontology.AS, asn)
+		if err != nil {
+			return err
+		}
+		nameID, err := s.NameNode(name)
+		if err != nil {
+			return err
+		}
+		if err := s.Link(ontology.NameRel, as, nameID, nil); err != nil {
+			return err
+		}
+		if cc != "" {
+			if ccID, err := s.Node(ontology.Country, cc); err == nil {
+				return s.Link(ontology.CountryRel, as, ccID, nil)
+			}
+		}
+		return nil
+	})
+}
+
+// RIPERPKI imports the validated RPKI ROAs: the
+// ROUTE_ORIGIN_AUTHORIZATION relationships of Figure 4.
+type RIPERPKI struct{ ingest.Base }
+
+// NewRIPERPKI returns the crawler.
+func NewRIPERPKI() *RIPERPKI {
+	return &RIPERPKI{ingest.Base{
+		Org: "RIPE NCC", Name: "ripe.roa",
+		InfoURL: "https://ftp.ripe.net/rpki", DataURL: source.PathRIPERPKIROAs,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *RIPERPKI) Run(ctx context.Context, s *ingest.Session) error {
+	type doc struct {
+		ROAs []struct {
+			ASN       string `json:"asn"`
+			Prefix    string `json:"prefix"`
+			MaxLength int    `json:"maxLength"`
+			TA        string `json:"ta"`
+		} `json:"roas"`
+	}
+	d, err := fetchJSON[doc](ctx, s, source.PathRIPERPKIROAs)
+	if err != nil {
+		return err
+	}
+	for _, roa := range d.ROAs {
+		asn, err := netutil.ParseASN(roa.ASN)
+		if err != nil {
+			continue
+		}
+		as, err := s.Node(ontology.AS, asn)
+		if err != nil {
+			return err
+		}
+		pfx, err := s.Node(ontology.Prefix, roa.Prefix)
+		if err != nil {
+			continue
+		}
+		if err := s.Link(ontology.RouteOriginAuthorization, as, pfx, graph.Props{
+			"maxLength": graph.Int(int64(roa.MaxLength)),
+			"ta":        graph.String(roa.TA),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RIPEAtlas imports RIPE Atlas probe and measurement metadata: probes with
+// their host AS, country and address; measurements with their targets
+// (TARGET relationships, Figure 4's top branch).
+type RIPEAtlas struct{ ingest.Base }
+
+// NewRIPEAtlas returns the crawler.
+func NewRIPEAtlas() *RIPEAtlas {
+	return &RIPEAtlas{ingest.Base{
+		Org: "RIPE NCC", Name: "ripe.atlas",
+		InfoURL: "https://atlas.ripe.net", DataURL: source.PathRIPEAtlasMeas,
+	}}
+}
+
+// Run implements ingest.Crawler.
+func (c *RIPEAtlas) Run(ctx context.Context, s *ingest.Session) error {
+	type probesDoc struct {
+		Results []struct {
+			ID          int    `json:"id"`
+			ASNv4       uint32 `json:"asn_v4"`
+			CountryCode string `json:"country_code"`
+			AddressV4   string `json:"address_v4"`
+			Status      struct {
+				Name string `json:"name"`
+			} `json:"status"`
+		} `json:"results"`
+	}
+	pd, err := fetchJSON[probesDoc](ctx, s, source.PathRIPEAtlasProbes)
+	if err != nil {
+		return err
+	}
+	probeNode := map[int]graph.NodeID{}
+	for _, p := range pd.Results {
+		node, err := s.NodeWithProps(ontology.AtlasProbe, p.ID, graph.Props{
+			"status": graph.String(p.Status.Name),
+		})
+		if err != nil {
+			return err
+		}
+		probeNode[p.ID] = node
+		if p.ASNv4 != 0 {
+			as, err := s.Node(ontology.AS, p.ASNv4)
+			if err != nil {
+				return err
+			}
+			if err := s.Link(ontology.LocatedIn, node, as, nil); err != nil {
+				return err
+			}
+		}
+		if p.CountryCode != "" {
+			if cc, err := s.Node(ontology.Country, p.CountryCode); err == nil {
+				if err := s.Link(ontology.CountryRel, node, cc, nil); err != nil {
+					return err
+				}
+			}
+		}
+		if p.AddressV4 != "" {
+			if ip, err := s.Node(ontology.IP, p.AddressV4); err == nil {
+				if err := s.Link(ontology.Assigned, node, ip, nil); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	type measDoc struct {
+		Results []struct {
+			ID       int    `json:"id"`
+			Type     string `json:"type"`
+			AF       int    `json:"af"`
+			Target   string `json:"target"`
+			TargetIP string `json:"target_ip"`
+			Status   struct {
+				Name string `json:"name"`
+			} `json:"status"`
+			Probes []int `json:"probes"`
+		} `json:"results"`
+	}
+	md, err := fetchJSON[measDoc](ctx, s, source.PathRIPEAtlasMeas)
+	if err != nil {
+		return err
+	}
+	for _, m := range md.Results {
+		node, err := s.NodeWithProps(ontology.AtlasMeasurement, m.ID, graph.Props{
+			"type":   graph.String(m.Type),
+			"af":     graph.Int(int64(m.AF)),
+			"status": graph.String(m.Status.Name),
+		})
+		if err != nil {
+			return err
+		}
+		// Target is an IP or a hostname.
+		var target graph.NodeID
+		if m.TargetIP != "" {
+			target, err = s.Node(ontology.IP, m.TargetIP)
+		} else if _, perr := strconv.Atoi(strings.ReplaceAll(m.Target, ".", "")); perr == nil && strings.Count(m.Target, ".") == 3 {
+			target, err = s.Node(ontology.IP, m.Target)
+		} else {
+			target, err = s.Node(ontology.HostName, m.Target)
+		}
+		if err == nil && target != 0 {
+			if err := s.Link(ontology.Target, node, target, nil); err != nil {
+				return err
+			}
+		}
+		for _, pid := range m.Probes {
+			pn, ok := probeNode[pid]
+			if !ok {
+				continue
+			}
+			if err := s.Link(ontology.PartOf, pn, node, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

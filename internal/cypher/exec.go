@@ -1,0 +1,781 @@
+package cypher
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"iyp/internal/graph"
+)
+
+// Result is a query result table.
+type Result struct {
+	Columns []string
+	Rows    [][]Val
+
+	// Write-summary counters (CREATE/MERGE/SET/DELETE queries).
+	NodesCreated int
+	RelsCreated  int
+	PropsSet     int
+	NodesDeleted int
+	RelsDeleted  int
+
+	g *graph.Graph
+}
+
+type executor struct {
+	g      *graph.Graph
+	ec     *evalCtx
+	res    *Result
+	params map[string]graph.Value
+}
+
+// Run parses and executes src against g. params provides $parameter values
+// (may be nil).
+func Run(g *graph.Graph, src string, params map[string]graph.Value) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return RunQuery(g, q, params)
+}
+
+// RunQuery executes an already-parsed query. The same *Query may be
+// executed many times (e.g. in benchmarks) without re-parsing.
+func RunQuery(g *graph.Graph, q *Query, params map[string]graph.Value) (*Result, error) {
+	res, err := runSingle(g, q, params)
+	if err != nil {
+		return nil, err
+	}
+	for cur := q; cur.Next != nil; cur = cur.Next {
+		next, err := runSingle(g, cur.Next, params)
+		if err != nil {
+			return nil, err
+		}
+		if len(next.Columns) != len(res.Columns) {
+			return nil, &Error{Msg: fmt.Sprintf("UNION column counts differ: %d vs %d", len(res.Columns), len(next.Columns))}
+		}
+		for i := range res.Columns {
+			if res.Columns[i] != next.Columns[i] {
+				return nil, &Error{Msg: "UNION column names differ: `" + res.Columns[i] + "` vs `" + next.Columns[i] + "`"}
+			}
+		}
+		res.Rows = append(res.Rows, next.Rows...)
+		if !cur.UnionAll {
+			seen := map[string]bool{}
+			dedup := res.Rows[:0]
+			for _, vals := range res.Rows {
+				key := ""
+				for _, v := range vals {
+					key += v.groupKey() + "\x1e"
+				}
+				if !seen[key] {
+					seen[key] = true
+					dedup = append(dedup, vals)
+				}
+			}
+			res.Rows = dedup
+		}
+	}
+	return res, nil
+}
+
+// runSingle executes one UNION branch.
+func runSingle(g *graph.Graph, q *Query, params map[string]graph.Value) (*Result, error) {
+	if params == nil {
+		params = map[string]graph.Value{}
+	}
+	ex := &executor{g: g, params: params, res: &Result{g: g}}
+	ex.ec = &evalCtx{g: g, params: params, ex: ex}
+
+	rows := []row{{}}
+	var err error
+	for i, cl := range q.Clauses {
+		last := i == len(q.Clauses)-1
+		switch c := cl.(type) {
+		case *MatchClause:
+			rows, err = ex.applyMatch(c, rows)
+		case *WithClause:
+			rows, err = ex.applyWith(c, rows)
+		case *UnwindClause:
+			rows, err = ex.applyUnwind(c, rows)
+		case *CreateClause:
+			rows, err = ex.applyCreate(c, rows)
+		case *MergeClause:
+			rows, err = ex.applyMerge(c, rows)
+		case *SetClause:
+			rows, err = ex.applySet(c, rows)
+		case *DeleteClause:
+			rows, err = ex.applyDelete(c, rows)
+		case *RemoveClause:
+			rows, err = ex.applyRemove(c, rows)
+		case *ReturnClause:
+			if !last {
+				return nil, &Error{Msg: "RETURN must be the final clause"}
+			}
+			if err := ex.applyReturn(c, rows); err != nil {
+				return nil, err
+			}
+			return ex.res, nil
+		default:
+			return nil, &Error{Msg: fmt.Sprintf("unsupported clause %T", cl)}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ex.res, nil
+}
+
+// --- MATCH ---
+
+// parallelMatchThreshold is the input-row count above which a MATCH clause
+// fans out across CPUs. The graph store is safe for concurrent reads and
+// each input row is matched independently, so the only cost is the
+// per-chunk bookkeeping; small inputs stay single-threaded.
+const parallelMatchThreshold = 256
+
+func (ex *executor) applyMatch(c *MatchClause, in []row) ([]row, error) {
+	matchRow := func(r row) ([]row, error) {
+		matches, err := ex.matchOnce(c.Patterns, c.Where, r, -1)
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 && c.Optional {
+			// Bind all new pattern variables to null.
+			nr := r.clone()
+			for _, name := range patternVars(c.Patterns) {
+				if _, bound := nr.get(name); !bound {
+					nr = append(nr, binding{name, NullVal()})
+				}
+			}
+			return []row{nr}, nil
+		}
+		return matches, nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if len(in) < parallelMatchThreshold || workers < 2 {
+		var out []row
+		for _, r := range in {
+			matches, err := matchRow(r)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, matches...)
+		}
+		return out, nil
+	}
+
+	// Parallel fan-out with per-input-row result slots, preserving the
+	// deterministic row order of the sequential path.
+	results := make([][]row, len(in))
+	errs := make([]error, workers)
+	var next int64
+	var mu sync.Mutex
+	take := func(n int) (int, int) {
+		mu.Lock()
+		defer mu.Unlock()
+		start := int(next)
+		if start >= len(in) {
+			return 0, 0
+		}
+		end := start + n
+		if end > len(in) {
+			end = len(in)
+		}
+		next = int64(end)
+		return start, end
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				start, end := take(64)
+				if start == end {
+					return
+				}
+				for i := start; i < end; i++ {
+					matches, err := matchRow(in[i])
+					if err != nil {
+						errs[w] = err
+						return
+					}
+					results[i] = matches
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []row
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	return out, nil
+}
+
+// matchOnce enumerates extensions of seed satisfying patterns (and where,
+// if non-nil). limit < 0 means unlimited.
+func (ex *executor) matchOnce(patterns []PatternPath, where Expr, seed row, limit int) ([]row, error) {
+	var out []row
+	m := &matcher{
+		ec:      ex.ec,
+		g:       ex.g,
+		binding: seed.clone(),
+	}
+	m.emit = func() error {
+		if where != nil {
+			v, err := ex.ec.eval(where, m.binding)
+			if err != nil {
+				return err
+			}
+			if b, null := truth(v); null || !b {
+				return nil
+			}
+		}
+		out = append(out, m.binding.clone())
+		if limit >= 0 && len(out) >= limit {
+			return errStop
+		}
+		return nil
+	}
+	if err := m.solvePaths(patterns, 0); err != nil && err != errStop {
+		return nil, err
+	}
+	return out, nil
+}
+
+func patternVars(patterns []PatternPath) []string {
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, p := range patterns {
+		add(p.Var)
+		for _, n := range p.Nodes {
+			add(n.Var)
+		}
+		for _, r := range p.Rels {
+			add(r.Var)
+		}
+	}
+	return names
+}
+
+// --- UNWIND ---
+
+func (ex *executor) applyUnwind(c *UnwindClause, in []row) ([]row, error) {
+	var out []row
+	for _, r := range in {
+		v, err := ex.ec.eval(c.Expr, r)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		elems, err := listElems(v)
+		if err != nil {
+			// UNWIND of a non-list treats the value as a singleton.
+			elems = []Val{v}
+		}
+		for _, e := range elems {
+			nr := r.clone()
+			nr.set(c.Alias, e)
+			out = append(out, nr)
+		}
+	}
+	return out, nil
+}
+
+// --- WITH / RETURN (projection) ---
+
+func (ex *executor) applyWith(c *WithClause, in []row) ([]row, error) {
+	items := c.Items
+	if c.Star {
+		items = append(starItems(in), items...)
+	}
+	projected, origs, _, err := ex.project(items, c.Distinct, in)
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.orderRows(projected, origs, c.OrderBy); err != nil {
+		return nil, err
+	}
+	if projected, err = ex.skipLimit(projected, c.Skip, c.Limit); err != nil {
+		return nil, err
+	}
+	if c.Where != nil {
+		var filtered []row
+		for _, r := range projected {
+			v, err := ex.ec.eval(c.Where, r)
+			if err != nil {
+				return nil, err
+			}
+			if b, null := truth(v); !null && b {
+				filtered = append(filtered, r)
+			}
+		}
+		projected = filtered
+	}
+	return projected, nil
+}
+
+func (ex *executor) applyReturn(c *ReturnClause, in []row) error {
+	items := c.Items
+	if c.Star {
+		items = append(starItems(in), items...)
+	}
+	if len(items) == 0 {
+		return &Error{Msg: "RETURN requires at least one item"}
+	}
+	projected, origs, cols, err := ex.project(items, c.Distinct, in)
+	if err != nil {
+		return err
+	}
+	if err := ex.orderRows(projected, origs, c.OrderBy); err != nil {
+		return err
+	}
+	if projected, err = ex.skipLimit(projected, c.Skip, c.Limit); err != nil {
+		return err
+	}
+	ex.res.Columns = cols
+	ex.res.Rows = make([][]Val, len(projected))
+	for i, r := range projected {
+		vals := make([]Val, len(cols))
+		for j, col := range cols {
+			v, ok := r.get(col)
+			if !ok {
+				v = NullVal()
+			}
+			vals[j] = v
+		}
+		ex.res.Rows[i] = vals
+	}
+	return nil
+}
+
+func starItems(in []row) []ReturnItem {
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range in {
+		for _, b := range r {
+			if !seen[b.name] {
+				seen[b.name] = true
+				names = append(names, b.name)
+			}
+		}
+	}
+	sort.Strings(names)
+	items := make([]ReturnItem, len(names))
+	for i, n := range names {
+		items[i] = ReturnItem{Expr: &Variable{Name: n}, Text: n}
+	}
+	return items
+}
+
+func colName(it ReturnItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	return it.Text
+}
+
+// project evaluates items over rows, aggregating if any item contains an
+// aggregate function. It returns projected rows keyed by column name plus,
+// for non-aggregating projections, the original input row of each
+// projected row (for ORDER BY expressions referencing unprojected
+// variables).
+func (ex *executor) project(items []ReturnItem, distinct bool, in []row) ([]row, []row, []string, error) {
+	cols := make([]string, len(items))
+	nameSeen := map[string]bool{}
+	for i, it := range items {
+		c := colName(it)
+		if nameSeen[c] {
+			return nil, nil, nil, &Error{Msg: "duplicate column name `" + c + "` (use AS to disambiguate)"}
+		}
+		nameSeen[c] = true
+		cols[i] = c
+	}
+
+	hasAgg := false
+	for _, it := range items {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+			break
+		}
+	}
+
+	var projected, origs []row
+	if !hasAgg {
+		projected = make([]row, 0, len(in))
+		origs = make([]row, 0, len(in))
+		for _, r := range in {
+			nr := make(row, 0, len(items))
+			for i, it := range items {
+				v, err := ex.ec.eval(it.Expr, r)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				nr = append(nr, binding{cols[i], v})
+			}
+			projected = append(projected, nr)
+			origs = append(origs, r)
+		}
+	} else {
+		var err error
+		projected, err = ex.aggregate(items, cols, in)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	if distinct {
+		seen := map[string]bool{}
+		out := projected[:0]
+		var outOrigs []row
+		for i, r := range projected {
+			key := ""
+			for _, b := range r {
+				key += b.val.groupKey() + "\x1e"
+			}
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, r)
+				if origs != nil {
+					outOrigs = append(outOrigs, origs[i])
+				}
+			}
+		}
+		projected = out
+		origs = outOrigs
+	}
+	return projected, origs, cols, nil
+}
+
+// aggregate groups rows by the non-aggregate items and folds aggregate
+// functions per group.
+func (ex *executor) aggregate(items []ReturnItem, cols []string, in []row) ([]row, error) {
+	type itemPlan struct {
+		isAgg     bool
+		rewritten Expr      // with aggregate calls replaced by placeholders
+		aggs      []*FnCall // aggregate calls in this item
+		aggNames  []string  // placeholder variable names
+	}
+	plans := make([]itemPlan, len(items))
+	nAggs := 0
+	for i, it := range items {
+		if !containsAggregate(it.Expr) {
+			plans[i] = itemPlan{isAgg: false, rewritten: it.Expr}
+			continue
+		}
+		p := itemPlan{isAgg: true}
+		p.rewritten = rewriteAggregates(it.Expr, func(fc *FnCall) Expr {
+			name := fmt.Sprintf("\x00agg%d", nAggs)
+			nAggs++
+			p.aggs = append(p.aggs, fc)
+			p.aggNames = append(p.aggNames, name)
+			return &Variable{Name: name}
+		})
+		plans[i] = p
+	}
+
+	type group struct {
+		rep    row // representative input row
+		keys   []Val
+		states []*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	for _, r := range in {
+		var keyParts []Val
+		key := ""
+		for i, p := range plans {
+			if p.isAgg {
+				continue
+			}
+			v, err := ex.ec.eval(items[i].Expr, r)
+			if err != nil {
+				return nil, err
+			}
+			keyParts = append(keyParts, v)
+			key += v.groupKey() + "\x1e"
+		}
+		grp := groups[key]
+		if grp == nil {
+			grp = &group{rep: r, keys: keyParts}
+			for _, p := range plans {
+				for _, fc := range p.aggs {
+					grp.states = append(grp.states, newAggState(fc))
+				}
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		si := 0
+		for _, p := range plans {
+			for ai, fc := range p.aggs {
+				_ = ai
+				st := grp.states[si]
+				si++
+				if err := st.add(ex.ec, r, fc); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Aggregation over zero rows with no grouping keys yields one row of
+	// aggregate identities (count(*) = 0 etc.).
+	allAgg := true
+	for _, p := range plans {
+		if !p.isAgg {
+			allAgg = false
+			break
+		}
+	}
+	if len(groups) == 0 && allAgg {
+		grp := &group{rep: row{}}
+		for _, p := range plans {
+			for _, fc := range p.aggs {
+				grp.states = append(grp.states, newAggState(fc))
+			}
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	out := make([]row, 0, len(groups))
+	for _, key := range order {
+		grp := groups[key]
+		nr := make(row, 0, len(items))
+		ki, si := 0, 0
+		env := grp.rep.clone()
+		for i, p := range plans {
+			if !p.isAgg {
+				nr = append(nr, binding{cols[i], grp.keys[ki]})
+				env.set(cols[i], grp.keys[ki])
+				ki++
+				continue
+			}
+			for ai := range p.aggs {
+				v, err := grp.states[si].finish()
+				if err != nil {
+					return nil, err
+				}
+				env.set(p.aggNames[ai], v)
+				si++
+			}
+			v, err := ex.ec.eval(p.rewritten, env)
+			if err != nil {
+				return nil, err
+			}
+			nr = append(nr, binding{cols[i], v})
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+// rewriteAggregates replaces every aggregate FnCall in e with the
+// expression produced by repl, returning the rewritten tree (inputs are
+// not mutated).
+func rewriteAggregates(e Expr, repl func(*FnCall) Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *FnCall:
+		if isAggregateFn(x.Name) {
+			return repl(x)
+		}
+		nx := *x
+		nx.Args = make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			nx.Args[i] = rewriteAggregates(a, repl)
+		}
+		return &nx
+	case *BinaryExpr:
+		nx := *x
+		nx.Left = rewriteAggregates(x.Left, repl)
+		nx.Right = rewriteAggregates(x.Right, repl)
+		return &nx
+	case *UnaryExpr:
+		nx := *x
+		nx.X = rewriteAggregates(x.X, repl)
+		return &nx
+	case *IsNullExpr:
+		nx := *x
+		nx.X = rewriteAggregates(x.X, repl)
+		return &nx
+	case *PropAccess:
+		nx := *x
+		nx.Target = rewriteAggregates(x.Target, repl)
+		return &nx
+	case *ListExpr:
+		nx := *x
+		nx.Elems = make([]Expr, len(x.Elems))
+		for i, el := range x.Elems {
+			nx.Elems[i] = rewriteAggregates(el, repl)
+		}
+		return &nx
+	case *MapExpr:
+		nx := *x
+		nx.Exprs = make([]Expr, len(x.Exprs))
+		for i, el := range x.Exprs {
+			nx.Exprs[i] = rewriteAggregates(el, repl)
+		}
+		return &nx
+	case *IndexExpr:
+		nx := *x
+		nx.Target = rewriteAggregates(x.Target, repl)
+		nx.Index = rewriteAggregates(x.Index, repl)
+		nx.SliceLo = rewriteAggregates(x.SliceLo, repl)
+		nx.SliceHi = rewriteAggregates(x.SliceHi, repl)
+		return &nx
+	case *CaseExpr:
+		nx := *x
+		nx.Operand = rewriteAggregates(x.Operand, repl)
+		nx.Else = rewriteAggregates(x.Else, repl)
+		nx.Whens = make([]Expr, len(x.Whens))
+		nx.Thens = make([]Expr, len(x.Thens))
+		for i := range x.Whens {
+			nx.Whens[i] = rewriteAggregates(x.Whens[i], repl)
+			nx.Thens[i] = rewriteAggregates(x.Thens[i], repl)
+		}
+		return &nx
+	default:
+		return e
+	}
+}
+
+// --- ORDER BY / SKIP / LIMIT ---
+
+func (ex *executor) orderRows(rows []row, origs []row, sortItems []SortItem) error {
+	if len(sortItems) == 0 {
+		return nil
+	}
+	type sortKey struct {
+		vals []Val
+	}
+	keys := make([]sortKey, len(rows))
+	for i, r := range rows {
+		env := r
+		if origs != nil {
+			// Sort expressions may reference both projected aliases and
+			// pre-projection variables; aliases win on collision.
+			env = origs[i].clone()
+			for _, b := range r {
+				env.set(b.name, b.val)
+			}
+		}
+		ks := make([]Val, len(sortItems))
+		for j, si := range sortItems {
+			v, err := ex.ec.eval(si.Expr, env)
+			if err != nil {
+				return err
+			}
+			ks[j] = v
+		}
+		keys[i].vals = ks
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for j, si := range sortItems {
+			c := compareVals(keys[idx[a]].vals[j], keys[idx[b]].vals[j])
+			if c == 0 {
+				continue
+			}
+			if si.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	sorted := make([]row, len(rows))
+	for i, j := range idx {
+		sorted[i] = rows[j]
+	}
+	copy(rows, sorted)
+	return nil
+}
+
+// compareVals orders values for ORDER BY: nulls sort last, scalars by
+// Compare, everything else by groupKey for stability.
+func compareVals(a, b Val) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	}
+	as, aok := a.Scalar()
+	bs, bok := b.Scalar()
+	if aok && bok {
+		c, _ := as.Compare(bs)
+		return c
+	}
+	ak, bk := a.groupKey(), b.groupKey()
+	switch {
+	case ak < bk:
+		return -1
+	case ak > bk:
+		return 1
+	}
+	return 0
+}
+
+func (ex *executor) skipLimit(rows []row, skipE, limitE Expr) ([]row, error) {
+	if skipE != nil {
+		v, err := ex.ec.eval(skipE, row{})
+		if err != nil {
+			return nil, err
+		}
+		n, ok := v.AsInt()
+		if !ok || n < 0 {
+			return nil, &Error{Msg: "SKIP requires a non-negative integer"}
+		}
+		if int(n) >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[n:]
+		}
+	}
+	if limitE != nil {
+		v, err := ex.ec.eval(limitE, row{})
+		if err != nil {
+			return nil, err
+		}
+		n, ok := v.AsInt()
+		if !ok || n < 0 {
+			return nil, &Error{Msg: "LIMIT requires a non-negative integer"}
+		}
+		if int(n) < len(rows) {
+			rows = rows[:n]
+		}
+	}
+	return rows, nil
+}

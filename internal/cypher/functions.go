@@ -1,0 +1,506 @@
+package cypher
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"iyp/internal/graph"
+)
+
+// callFn dispatches non-aggregate function calls.
+func (c *evalCtx) callFn(x *FnCall, r row) (Val, error) {
+	args := make([]Val, len(x.Args))
+	for i, a := range x.Args {
+		v, err := c.eval(a, r)
+		if err != nil {
+			return NullVal(), err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return &Error{Msg: x.Name + "() expects " + strconv.Itoa(n) + " argument(s)"}
+		}
+		return nil
+	}
+
+	switch x.Name {
+	case "coalesce":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return NullVal(), nil
+
+	case "exists":
+		// Legacy exists(n.prop).
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		return boolVal(!args[0].IsNull()), nil
+
+	case "id":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		if n, ok := args[0].AsNode(); ok {
+			return ScalarVal(graph.Int(int64(n))), nil
+		}
+		if rel, ok := args[0].AsRel(); ok {
+			return ScalarVal(graph.Int(int64(rel))), nil
+		}
+		if args[0].IsNull() {
+			return NullVal(), nil
+		}
+		return NullVal(), &Error{Msg: "id() expects a node or relationship"}
+
+	case "labels":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		if args[0].IsNull() {
+			return NullVal(), nil
+		}
+		n, ok := args[0].AsNode()
+		if !ok {
+			return NullVal(), &Error{Msg: "labels() expects a node"}
+		}
+		return ScalarVal(graph.Strings(c.g.NodeLabels(n)...)), nil
+
+	case "type":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		if args[0].IsNull() {
+			return NullVal(), nil
+		}
+		rel, ok := args[0].AsRel()
+		if !ok {
+			return NullVal(), &Error{Msg: "type() expects a relationship"}
+		}
+		return ScalarVal(graph.String(c.g.RelType(rel))), nil
+
+	case "properties":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		var props graph.Props
+		if n, ok := args[0].AsNode(); ok {
+			props = c.g.NodeProps(n)
+		} else if rel, ok := args[0].AsRel(); ok {
+			props = c.g.RelProps(rel)
+		} else if args[0].IsNull() {
+			return NullVal(), nil
+		} else if m, ok := args[0].AsMap(); ok {
+			return MapVal(m), nil
+		} else {
+			return NullVal(), &Error{Msg: "properties() expects a node or relationship"}
+		}
+		m := make(map[string]Val, len(props))
+		for k, v := range props {
+			m[k] = ScalarVal(v)
+		}
+		return MapVal(m), nil
+
+	case "keys":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		var ks []string
+		if n, ok := args[0].AsNode(); ok {
+			ks = c.g.NodeProps(n).Keys()
+		} else if rel, ok := args[0].AsRel(); ok {
+			ks = c.g.RelProps(rel).Keys()
+		} else if m, ok := args[0].AsMap(); ok {
+			for k := range m {
+				ks = append(ks, k)
+			}
+			sortStrings(ks)
+		} else if args[0].IsNull() {
+			return NullVal(), nil
+		} else {
+			return NullVal(), &Error{Msg: "keys() expects a node, relationship or map"}
+		}
+		return ScalarVal(graph.Strings(ks...)), nil
+
+	case "startnode", "endnode":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		if args[0].IsNull() {
+			return NullVal(), nil
+		}
+		rel, ok := args[0].AsRel()
+		if !ok {
+			return NullVal(), &Error{Msg: x.Name + "() expects a relationship"}
+		}
+		from, to := c.g.RelEndpoints(rel)
+		if x.Name == "startnode" {
+			return NodeVal(from), nil
+		}
+		return NodeVal(to), nil
+
+	case "nodes":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		ns, _, ok := args[0].AsPath()
+		if !ok {
+			return NullVal(), &Error{Msg: "nodes() expects a path"}
+		}
+		out := make([]Val, len(ns))
+		for i, n := range ns {
+			out[i] = NodeVal(n)
+		}
+		return ListVal(out), nil
+
+	case "relationships":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		_, rs, ok := args[0].AsPath()
+		if !ok {
+			return NullVal(), &Error{Msg: "relationships() expects a path"}
+		}
+		out := make([]Val, len(rs))
+		for i, rel := range rs {
+			out[i] = RelVal(rel)
+		}
+		return ListVal(out), nil
+
+	case "size", "length":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		a := args[0]
+		if a.IsNull() {
+			return NullVal(), nil
+		}
+		if _, rs, ok := a.AsPath(); ok {
+			return ScalarVal(graph.Int(int64(len(rs)))), nil
+		}
+		if s, ok := a.AsString(); ok {
+			return ScalarVal(graph.Int(int64(len(s)))), nil
+		}
+		if elems, err := listElems(a); err == nil {
+			return ScalarVal(graph.Int(int64(len(elems)))), nil
+		}
+		if m, ok := a.AsMap(); ok {
+			return ScalarVal(graph.Int(int64(len(m)))), nil
+		}
+		return NullVal(), &Error{Msg: x.Name + "() expects a string, list or path"}
+
+	case "head":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		elems, err := listElems(args[0])
+		if err != nil || len(elems) == 0 {
+			return NullVal(), nil
+		}
+		return elems[0], nil
+
+	case "last":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		elems, err := listElems(args[0])
+		if err != nil || len(elems) == 0 {
+			return NullVal(), nil
+		}
+		return elems[len(elems)-1], nil
+
+	case "tail":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		elems, err := listElems(args[0])
+		if err != nil {
+			return NullVal(), nil
+		}
+		if len(elems) == 0 {
+			return ListVal(nil), nil
+		}
+		return ListVal(append([]Val(nil), elems[1:]...)), nil
+
+	case "reverse":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		if s, ok := args[0].AsString(); ok {
+			rs := []rune(s)
+			for i, j := 0, len(rs)-1; i < j; i, j = i+1, j-1 {
+				rs[i], rs[j] = rs[j], rs[i]
+			}
+			return ScalarVal(graph.String(string(rs))), nil
+		}
+		elems, err := listElems(args[0])
+		if err != nil {
+			return NullVal(), nil
+		}
+		out := make([]Val, len(elems))
+		for i, e := range elems {
+			out[len(elems)-1-i] = e
+		}
+		return ListVal(out), nil
+
+	case "range":
+		if len(args) < 2 || len(args) > 3 {
+			return NullVal(), &Error{Msg: "range() expects 2 or 3 arguments"}
+		}
+		lo, ok1 := args[0].AsInt()
+		hi, ok2 := args[1].AsInt()
+		step := int64(1)
+		if len(args) == 3 {
+			s, ok := args[2].AsInt()
+			if !ok || s == 0 {
+				return NullVal(), &Error{Msg: "range() step must be a non-zero integer"}
+			}
+			step = s
+		}
+		if !ok1 || !ok2 {
+			return NullVal(), &Error{Msg: "range() bounds must be integers"}
+		}
+		var out []Val
+		if step > 0 {
+			for v := lo; v <= hi; v += step {
+				out = append(out, ScalarVal(graph.Int(v)))
+			}
+		} else {
+			for v := lo; v >= hi; v += step {
+				out = append(out, ScalarVal(graph.Int(v)))
+			}
+		}
+		return ListVal(out), nil
+
+	// --- string functions ---
+	case "toupper", "tolower", "trim", "ltrim", "rtrim":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		if args[0].IsNull() {
+			return NullVal(), nil
+		}
+		s, ok := args[0].AsString()
+		if !ok {
+			return NullVal(), &Error{Msg: x.Name + "() expects a string"}
+		}
+		switch x.Name {
+		case "toupper":
+			s = strings.ToUpper(s)
+		case "tolower":
+			s = strings.ToLower(s)
+		case "trim":
+			s = strings.TrimSpace(s)
+		case "ltrim":
+			s = strings.TrimLeft(s, " \t\r\n")
+		case "rtrim":
+			s = strings.TrimRight(s, " \t\r\n")
+		}
+		return ScalarVal(graph.String(s)), nil
+
+	case "split":
+		if err := need(2); err != nil {
+			return NullVal(), err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return NullVal(), nil
+		}
+		s, ok1 := args[0].AsString()
+		sep, ok2 := args[1].AsString()
+		if !ok1 || !ok2 {
+			return NullVal(), &Error{Msg: "split() expects strings"}
+		}
+		return ScalarVal(graph.Strings(strings.Split(s, sep)...)), nil
+
+	case "replace":
+		if err := need(3); err != nil {
+			return NullVal(), err
+		}
+		s, ok1 := args[0].AsString()
+		old, ok2 := args[1].AsString()
+		new_, ok3 := args[2].AsString()
+		if !ok1 || !ok2 || !ok3 {
+			if args[0].IsNull() || args[1].IsNull() || args[2].IsNull() {
+				return NullVal(), nil
+			}
+			return NullVal(), &Error{Msg: "replace() expects strings"}
+		}
+		return ScalarVal(graph.String(strings.ReplaceAll(s, old, new_))), nil
+
+	case "substring":
+		if len(args) < 2 || len(args) > 3 {
+			return NullVal(), &Error{Msg: "substring() expects 2 or 3 arguments"}
+		}
+		if args[0].IsNull() {
+			return NullVal(), nil
+		}
+		s, ok := args[0].AsString()
+		start, ok2 := args[1].AsInt()
+		if !ok || !ok2 {
+			return NullVal(), &Error{Msg: "substring() expects (string, int[, int])"}
+		}
+		st := clamp(int(start), 0, len(s))
+		end := len(s)
+		if len(args) == 3 {
+			l, ok := args[2].AsInt()
+			if !ok {
+				return NullVal(), &Error{Msg: "substring() length must be an integer"}
+			}
+			end = clamp(st+int(l), st, len(s))
+		}
+		return ScalarVal(graph.String(s[st:end])), nil
+
+	case "left", "right":
+		if err := need(2); err != nil {
+			return NullVal(), err
+		}
+		s, ok := args[0].AsString()
+		n, ok2 := args[1].AsInt()
+		if !ok || !ok2 {
+			if args[0].IsNull() {
+				return NullVal(), nil
+			}
+			return NullVal(), &Error{Msg: x.Name + "() expects (string, int)"}
+		}
+		k := clamp(int(n), 0, len(s))
+		if x.Name == "left" {
+			return ScalarVal(graph.String(s[:k])), nil
+		}
+		return ScalarVal(graph.String(s[len(s)-k:])), nil
+
+	// --- conversions ---
+	case "tostring":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		a := args[0]
+		if a.IsNull() {
+			return NullVal(), nil
+		}
+		if s, ok := a.AsString(); ok {
+			return ScalarVal(graph.String(s)), nil
+		}
+		if sc, ok := a.Scalar(); ok {
+			return ScalarVal(graph.String(sc.String())), nil
+		}
+		return NullVal(), &Error{Msg: "toString() expects a scalar"}
+
+	case "tointeger":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		a := args[0]
+		if a.IsNull() {
+			return NullVal(), nil
+		}
+		if i, ok := a.AsInt(); ok {
+			return ScalarVal(graph.Int(i)), nil
+		}
+		if f, ok := a.AsFloat(); ok {
+			return ScalarVal(graph.Int(int64(f))), nil
+		}
+		if s, ok := a.AsString(); ok {
+			if i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64); err == nil {
+				return ScalarVal(graph.Int(i)), nil
+			}
+			if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+				return ScalarVal(graph.Int(int64(f))), nil
+			}
+			return NullVal(), nil
+		}
+		return NullVal(), nil
+
+	case "tofloat":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		a := args[0]
+		if a.IsNull() {
+			return NullVal(), nil
+		}
+		if f, ok := a.AsFloat(); ok {
+			return ScalarVal(graph.Float(f)), nil
+		}
+		if s, ok := a.AsString(); ok {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(s), 64); err == nil {
+				return ScalarVal(graph.Float(f)), nil
+			}
+			return NullVal(), nil
+		}
+		return NullVal(), nil
+
+	case "toboolean":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		a := args[0]
+		if a.IsNull() {
+			return NullVal(), nil
+		}
+		if b, ok := a.AsBool(); ok {
+			return boolVal(b), nil
+		}
+		if s, ok := a.AsString(); ok {
+			switch strings.ToLower(strings.TrimSpace(s)) {
+			case "true":
+				return boolVal(true), nil
+			case "false":
+				return boolVal(false), nil
+			}
+			return NullVal(), nil
+		}
+		return NullVal(), nil
+
+	// --- numeric functions ---
+	case "abs", "ceil", "floor", "round", "sqrt", "sign", "log", "log10", "exp":
+		if err := need(1); err != nil {
+			return NullVal(), err
+		}
+		a := args[0]
+		if a.IsNull() {
+			return NullVal(), nil
+		}
+		if i, ok := a.AsInt(); ok && x.Name == "abs" {
+			if i < 0 {
+				i = -i
+			}
+			return ScalarVal(graph.Int(i)), nil
+		}
+		f, ok := a.AsFloat()
+		if !ok {
+			return NullVal(), &Error{Msg: x.Name + "() expects a number"}
+		}
+		switch x.Name {
+		case "abs":
+			f = math.Abs(f)
+		case "ceil":
+			f = math.Ceil(f)
+		case "floor":
+			f = math.Floor(f)
+		case "round":
+			f = math.Round(f)
+		case "sqrt":
+			f = math.Sqrt(f)
+		case "log":
+			f = math.Log(f)
+		case "log10":
+			f = math.Log10(f)
+		case "exp":
+			f = math.Exp(f)
+		case "sign":
+			switch {
+			case f > 0:
+				return ScalarVal(graph.Int(1)), nil
+			case f < 0:
+				return ScalarVal(graph.Int(-1)), nil
+			default:
+				return ScalarVal(graph.Int(0)), nil
+			}
+		}
+		return ScalarVal(graph.Float(f)), nil
+	}
+	return NullVal(), &Error{Msg: "unknown function " + x.Name + "()"}
+}

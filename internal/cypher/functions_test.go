@@ -1,0 +1,228 @@
+package cypher
+
+import (
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+func TestPercentileDiscAndStDevP(t *testing.T) {
+	g := graph.New()
+	for _, v := range []int64{10, 20, 30, 40} {
+		g.AddNode([]string{"N"}, graph.Props{"v": graph.Int(v)})
+	}
+	res := mustRun(t, g, `
+MATCH (n:N)
+RETURN percentileDisc(n.v, 0.5) AS med, percentileDisc(n.v, 1.0) AS top,
+       stDevP(n.v) AS sdp`, nil)
+	med, _ := res.Get(0, "med")
+	if f, _ := med.AsFloat(); f != 20 {
+		t.Errorf("percentileDisc(0.5) = %v, want 20", med)
+	}
+	top, _ := res.Get(0, "top")
+	if f, _ := top.AsFloat(); f != 40 {
+		t.Errorf("percentileDisc(1.0) = %v, want 40", top)
+	}
+	sdp, _ := res.Get(0, "sdp")
+	if f, _ := sdp.AsFloat(); f < 11.1 || f > 11.3 { // population stdev ≈ 11.18
+		t.Errorf("stDevP = %v", sdp)
+	}
+	// Percentile out of range errors.
+	if _, err := Run(g, `MATCH (n:N) RETURN percentileCont(n.v, 1.5) AS x`, nil); err == nil {
+		t.Error("percentile > 1 should error")
+	}
+}
+
+func TestRangeWithNegativeStep(t *testing.T) {
+	v := evalScalar(t, "range(5, 1, -2)")
+	l, ok := v.AsList()
+	if !ok || len(l) != 3 {
+		t.Fatalf("range(5,1,-2) = %v", v)
+	}
+	if i, _ := l[0].AsInt(); i != 5 {
+		t.Errorf("first = %v", l[0])
+	}
+	if i, _ := l[2].AsInt(); i != 1 {
+		t.Errorf("last = %v", l[2])
+	}
+	if _, err := Run(graph.New(), "RETURN range(1, 5, 0) AS v", nil); err == nil {
+		t.Error("zero step should error")
+	}
+}
+
+func TestStringFunctionNullPropagation(t *testing.T) {
+	for _, expr := range []string{
+		"toUpper(null)", "split(null, ',')", "substring(null, 1)",
+		"replace(null, 'a', 'b')", "toString(null)", "toInteger(null)",
+		"size(null)", "abs(null)",
+	} {
+		if got := evalScalar(t, expr); !got.IsNull() {
+			t.Errorf("%s = %v, want null", expr, got)
+		}
+	}
+}
+
+func TestCoalesceWithEntities(t *testing.T) {
+	g := buildTinyIYP(t)
+	res := mustRun(t, g, `
+MATCH (x:AS {asn: 65001})
+OPTIONAL MATCH (x)-[:NAME]-(n:Name)
+RETURN coalesce(n.name, 'unnamed') AS name`, nil)
+	if v, _ := res.Get(0, "name"); v.String() != "unnamed" {
+		t.Errorf("coalesce fallback = %v", v)
+	}
+}
+
+func TestLabelsOnMultiLabelNode(t *testing.T) {
+	g := graph.New()
+	id := g.AddNode([]string{"HostName", "AuthoritativeNameServer"}, graph.Props{"name": graph.String("ns1.example.com")})
+	_ = id
+	res := mustRun(t, g, `MATCH (n:AuthoritativeNameServer) RETURN labels(n) AS ls`, nil)
+	ls, _ := res.Get(0, "ls")
+	sc, _ := ls.Scalar()
+	list, _ := sc.AsList()
+	if len(list) != 2 {
+		t.Errorf("labels = %v", ls)
+	}
+}
+
+func TestTypeAlternationInPattern(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode([]string{"N"}, nil)
+	b := g.AddNode([]string{"N"}, nil)
+	c := g.AddNode([]string{"N"}, nil)
+	mustRel(t, g, "R", a, b, nil)
+	mustRel(t, g, "S", a, c, nil)
+	mustRel(t, g, "T", b, c, nil)
+	res := mustRun(t, g, `MATCH (x:N)-[r:R|S]->(y:N) RETURN count(*) AS n`, nil)
+	if v, _ := res.Get(0, "n"); mustInt(t, v) != 2 {
+		t.Errorf("alternation matched %v rels, want 2", v)
+	}
+}
+
+func TestRelPropertyFilterInPattern(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode([]string{"N"}, nil)
+	b := g.AddNode([]string{"N"}, nil)
+	mustRel(t, g, "R", a, b, graph.Props{"src": graph.String("x")})
+	mustRel(t, g, "R", a, b, graph.Props{"src": graph.String("y")})
+	res := mustRun(t, g, `MATCH (:N)-[r:R {src: 'x'}]->(:N) RETURN count(r) AS n`, nil)
+	if v, _ := res.Get(0, "n"); mustInt(t, v) != 1 {
+		t.Errorf("rel prop filter matched %v", v)
+	}
+	// And through a bound rel variable with a WHERE on its property.
+	res = mustRun(t, g, `MATCH (:N)-[r:R]->(:N) WHERE r.src = 'y' RETURN count(r) AS n`, nil)
+	if v, _ := res.Get(0, "n"); mustInt(t, v) != 1 {
+		t.Errorf("rel where filter matched %v", v)
+	}
+}
+
+func TestSelfLoopMatching(t *testing.T) {
+	g := graph.New()
+	a := g.AddNode([]string{"N"}, nil)
+	mustRel(t, g, "R", a, a, nil)
+	res := mustRun(t, g, `MATCH (x:N)-[:R]->(y:N) RETURN count(*) AS n`, nil)
+	if v, _ := res.Get(0, "n"); mustInt(t, v) != 1 {
+		t.Errorf("self loop directed = %v", v)
+	}
+	// Undirected: the loop matches once, not twice.
+	res = mustRun(t, g, `MATCH (x:N)-[:R]-(y:N) RETURN count(*) AS n`, nil)
+	if v, _ := res.Get(0, "n"); mustInt(t, v) != 1 {
+		t.Errorf("self loop undirected = %v", v)
+	}
+}
+
+func TestMergeIsPerRow(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 3; i++ {
+		g.AddNode([]string{"Src"}, graph.Props{"v": graph.Int(int64(i))})
+	}
+	// MERGE with a property derived from each row: creates three targets.
+	mustRun(t, g, `MATCH (s:Src) MERGE (t:Dst {v: s.v})`, nil)
+	if got := g.CountByLabel("Dst"); got != 3 {
+		t.Errorf("Dst nodes = %d, want 3", got)
+	}
+	// Running again creates nothing new.
+	mustRun(t, g, `MATCH (s:Src) MERGE (t:Dst {v: s.v})`, nil)
+	if got := g.CountByLabel("Dst"); got != 3 {
+		t.Errorf("Dst nodes after re-merge = %d", got)
+	}
+}
+
+func TestOptionalMatchWhereSemantics(t *testing.T) {
+	g := buildTinyIYP(t)
+	// WHERE inside OPTIONAL MATCH filters the optional part, keeping the
+	// outer row with nulls.
+	res := mustRun(t, g, `
+MATCH (x:AS)
+OPTIONAL MATCH (x)-[:ORIGINATE]->(p:Prefix) WHERE p.prefix STARTS WITH '203.'
+RETURN x.asn AS asn, p.prefix AS prefix ORDER BY asn`, nil)
+	if res.Len() != 2 {
+		t.Fatalf("rows = %d", res.Len())
+	}
+	for i := 0; i < 2; i++ {
+		if v, _ := res.Get(i, "prefix"); !v.IsNull() {
+			t.Errorf("row %d prefix = %v, want null", i, v)
+		}
+	}
+}
+
+func TestWithStarPlusExtraItem(t *testing.T) {
+	g := buildTinyIYP(t)
+	res := mustRun(t, g, `
+MATCH (x:AS {asn: 2497})
+WITH *, x.asn * 2 AS double
+RETURN x.asn AS asn, double`, nil)
+	if v, _ := res.Get(0, "double"); mustInt(t, v) != 4994 {
+		t.Errorf("double = %v", v)
+	}
+}
+
+func TestWriteSummaryCounters(t *testing.T) {
+	g := graph.New()
+	res := mustRun(t, g, `CREATE (a:N {v: 1}), (b:N {v: 2}) CREATE (a)-[:R]->(b)`, nil)
+	if res.NodesCreated != 2 || res.RelsCreated != 1 {
+		t.Errorf("create summary: %+v", res)
+	}
+	res = mustRun(t, g, `MATCH (n:N) SET n.w = 0`, nil)
+	if res.PropsSet != 2 {
+		t.Errorf("props set = %d", res.PropsSet)
+	}
+	res = mustRun(t, g, `MATCH (n:N) DETACH DELETE n`, nil)
+	if res.NodesDeleted != 2 || res.RelsDeleted != 1 {
+		t.Errorf("delete summary: %+v", res)
+	}
+	// The write-only table rendering mentions the counters.
+	if out := res.Table(0); out == "" {
+		t.Error("summary table empty")
+	}
+}
+
+func TestErrorMessagesCarryContext(t *testing.T) {
+	g := graph.New()
+	_, err := Run(g, `RETURN undefinedVar`, nil)
+	if err == nil || err.Error() == "" {
+		t.Fatal("expected error for undefined variable")
+	}
+	g.AddNode([]string{"N"}, nil)
+	_, err = Run(g, `MATCH (a) RETURN sum(a)`, nil)
+	if err == nil {
+		t.Fatal("sum over nodes should error")
+	}
+	_, err = Run(g, `MATCH (a) WITH count(a) AS c RETURN count(c) + undefined AS x`, nil)
+	if err == nil {
+		t.Fatal("undefined in aggregate expression should error")
+	}
+}
+
+func TestDeepPropertyOfOptionalNull(t *testing.T) {
+	g := graph.New()
+	g.AddNode([]string{"N"}, nil)
+	res := mustRun(t, g, `
+MATCH (n:N)
+OPTIONAL MATCH (n)-[:MISSING]->(m)
+RETURN m.deep.chain AS v`, nil)
+	if v, _ := res.Get(0, "v"); !v.IsNull() {
+		t.Errorf("property chain on null = %v", v)
+	}
+}

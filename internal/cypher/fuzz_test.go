@@ -1,0 +1,99 @@
+package cypher
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+// TestParserNeverPanics feeds the parser mangled fragments of real
+// queries and raw noise: every input must produce a value or an error,
+// never a panic (the HTTP query endpoint is exposed to arbitrary input).
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS) WHERE x.asn <> y.asn RETURN DISTINCT p.prefix`,
+		`MATCH (a)-[r:R*1..3]->(b) RETURN a, collect(r) AS rs ORDER BY a.x SKIP 1 LIMIT 2`,
+		`MERGE (a:AS {asn: 1}) ON CREATE SET a.x = 1 ON MATCH SET a.y = 2 RETURN a`,
+		`UNWIND [1, 2, 3] AS v WITH v WHERE v > 1 RETURN CASE v WHEN 2 THEN 'two' ELSE 'many' END AS w`,
+		`MATCH p = shortestPath((a)-[*..5]-(b)) RETURN nodes(p), length(p)`,
+		`RETURN {a: [1, 'x', null], b: $param}['a'][0..2] AS v UNION ALL RETURN 1 AS v`,
+	}
+	r := rand.New(rand.NewSource(31))
+	mangle := func(s string) string {
+		b := []byte(s)
+		switch r.Intn(4) {
+		case 0: // truncate
+			if len(b) > 0 {
+				b = b[:r.Intn(len(b))]
+			}
+		case 1: // delete a span
+			if len(b) > 4 {
+				i := r.Intn(len(b) - 3)
+				b = append(b[:i], b[i+1+r.Intn(3):]...)
+			}
+		case 2: // flip random bytes
+			for k := 0; k < 3 && len(b) > 0; k++ {
+				b[r.Intn(len(b))] = byte(r.Intn(128))
+			}
+		case 3: // duplicate a span
+			if len(b) > 4 {
+				i := r.Intn(len(b) - 3)
+				b = append(b[:i+3], b[i:]...)
+			}
+		}
+		return string(b)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("parser panicked: %v", p)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		src := mangle(seeds[r.Intn(len(seeds))])
+		_, _ = Parse(src) // must not panic
+	}
+	// Raw noise, including multi-byte runes and control characters.
+	alphabet := "(){}[]<>-=:.,|*'\"`$ \n\tMATCHRETURNwherexyz0123456789é\x00\x7f"
+	for i := 0; i < 5000; i++ {
+		var sb strings.Builder
+		for j := 0; j < r.Intn(40); j++ {
+			sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		_, _ = Parse(sb.String())
+	}
+}
+
+// TestExecutorNeverPanicsOnValidParses executes every randomly mangled
+// query that happens to parse; execution must error or succeed, never
+// panic.
+func TestExecutorNeverPanicsOnValidParses(t *testing.T) {
+	g := buildTinyIYP(t)
+	seeds := []string{
+		`MATCH (x:AS) RETURN x.asn`,
+		`MATCH (x:AS)-[:ORIGINATE]->(p) RETURN count(p) AS n`,
+		`MATCH (t:Tag) WHERE t.label STARTS WITH 'RPKI' RETURN t.label ORDER BY t.label`,
+		`UNWIND range(1, 5) AS v RETURN sum(v) AS s`,
+	}
+	r := rand.New(rand.NewSource(77))
+	defer func() {
+		if p := recover(); p != nil {
+			t.Fatalf("executor panicked: %v", p)
+		}
+	}()
+	for i := 0; i < 3000; i++ {
+		src := seeds[r.Intn(len(seeds))]
+		b := []byte(src)
+		for k := 0; k < r.Intn(3); k++ {
+			if len(b) > 0 {
+				b[r.Intn(len(b))] = byte(' ' + r.Intn(90))
+			}
+		}
+		q, err := Parse(string(b))
+		if err != nil {
+			continue
+		}
+		_, _ = RunQuery(g, q, map[string]graph.Value{"param": graph.Int(1)})
+	}
+}

@@ -1,0 +1,378 @@
+package cypher
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.peekByteAt(1) == '*':
+			start := l.mark()
+			l.advance(2)
+			for {
+				if l.pos >= len(l.src) {
+					return errorf(start, "unterminated block comment")
+				}
+				if l.peekByte() == '*' && l.peekByteAt(1) == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (l *lexer) mark() token {
+	return token{pos: l.pos, line: l.line, col: l.col}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	t := l.mark()
+	if l.pos >= len(l.src) {
+		t.kind = tokEOF
+		return t, nil
+	}
+	c := l.peekByte()
+	switch c {
+	case '(':
+		l.advance(1)
+		t.kind = tokLParen
+		return t, nil
+	case ')':
+		l.advance(1)
+		t.kind = tokRParen
+		return t, nil
+	case '[':
+		l.advance(1)
+		t.kind = tokLBracket
+		return t, nil
+	case ']':
+		l.advance(1)
+		t.kind = tokRBracket
+		return t, nil
+	case '{':
+		l.advance(1)
+		t.kind = tokLBrace
+		return t, nil
+	case '}':
+		l.advance(1)
+		t.kind = tokRBrace
+		return t, nil
+	case ':':
+		l.advance(1)
+		t.kind = tokColon
+		return t, nil
+	case ',':
+		l.advance(1)
+		t.kind = tokComma
+		return t, nil
+	case '|':
+		l.advance(1)
+		t.kind = tokPipe
+		return t, nil
+	case '+':
+		l.advance(1)
+		t.kind = tokPlus
+		return t, nil
+	case '*':
+		l.advance(1)
+		t.kind = tokStar
+		return t, nil
+	case '/':
+		l.advance(1)
+		t.kind = tokSlash
+		return t, nil
+	case '%':
+		l.advance(1)
+		t.kind = tokPercent
+		return t, nil
+	case '^':
+		l.advance(1)
+		t.kind = tokCaret
+		return t, nil
+	case '=':
+		l.advance(1)
+		t.kind = tokEq
+		return t, nil
+	case '-':
+		if l.peekByteAt(1) == '>' {
+			l.advance(2)
+			t.kind = tokArrowR
+			return t, nil
+		}
+		l.advance(1)
+		t.kind = tokDash
+		return t, nil
+	case '<':
+		switch l.peekByteAt(1) {
+		case '=':
+			l.advance(2)
+			t.kind = tokLe
+		case '>':
+			l.advance(2)
+			t.kind = tokNeq
+		default:
+			l.advance(1)
+			t.kind = tokLt
+		}
+		return t, nil
+	case '>':
+		if l.peekByteAt(1) == '=' {
+			l.advance(2)
+			t.kind = tokGe
+		} else {
+			l.advance(1)
+			t.kind = tokGt
+		}
+		return t, nil
+	case '.':
+		if l.peekByteAt(1) == '.' {
+			l.advance(2)
+			t.kind = tokDotDot
+			return t, nil
+		}
+		if isDigit(l.peekByteAt(1)) {
+			return l.lexNumber()
+		}
+		l.advance(1)
+		t.kind = tokDot
+		return t, nil
+	case '\'', '"':
+		return l.lexString(c)
+	case '$':
+		l.advance(1)
+		start := l.pos
+		for l.pos < len(l.src) {
+			r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			l.advance(size)
+		}
+		if l.pos == start {
+			return token{}, errorf(t, "expected parameter name after '$'")
+		}
+		t.kind = tokParam
+		t.text = l.src[start:l.pos]
+		return t, nil
+	case '`':
+		// Backquoted identifier.
+		l.advance(1)
+		start := l.pos
+		for l.pos < len(l.src) && l.peekByte() != '`' {
+			l.advance(1)
+		}
+		if l.pos >= len(l.src) {
+			return token{}, errorf(t, "unterminated backquoted identifier")
+		}
+		t.kind = tokIdent
+		t.text = l.src[start:l.pos]
+		l.advance(1)
+		return t, nil
+	}
+	if isDigit(c) {
+		return l.lexNumber()
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	if isIdentStart(r) {
+		start := l.pos
+		for l.pos < len(l.src) {
+			r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			l.advance(size)
+		}
+		text := l.src[start:l.pos]
+		if keywords[strings.ToUpper(text)] {
+			// Keep the original spelling: keywords double as label and
+			// property names (e.g. the :AS entity), which are
+			// case-sensitive. Keyword comparison upper-cases on demand.
+			t.kind = tokKeyword
+		} else {
+			t.kind = tokIdent
+		}
+		t.text = text
+		return t, nil
+	}
+	return token{}, errorf(t, "unexpected character %q", string(rune(c)))
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) lexNumber() (token, error) {
+	t := l.mark()
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) && isDigit(l.peekByte()) {
+		l.advance(1)
+	}
+	if l.peekByte() == '.' && isDigit(l.peekByteAt(1)) {
+		isFloat = true
+		l.advance(1)
+		for l.pos < len(l.src) && isDigit(l.peekByte()) {
+			l.advance(1)
+		}
+	}
+	if c := l.peekByte(); c == 'e' || c == 'E' {
+		// Exponent must be followed by optional sign and digits.
+		off := 1
+		if s := l.peekByteAt(1); s == '+' || s == '-' {
+			off = 2
+		}
+		if isDigit(l.peekByteAt(off)) {
+			isFloat = true
+			l.advance(off)
+			for l.pos < len(l.src) && isDigit(l.peekByte()) {
+				l.advance(1)
+			}
+		}
+	}
+	t.text = l.src[start:l.pos]
+	if isFloat {
+		t.kind = tokFloat
+	} else {
+		t.kind = tokInt
+	}
+	return t, nil
+}
+
+func (l *lexer) lexString(quote byte) (token, error) {
+	t := l.mark()
+	l.advance(1)
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, errorf(t, "unterminated string literal")
+		}
+		c := l.peekByte()
+		if c == quote {
+			l.advance(1)
+			break
+		}
+		if c == '\\' {
+			esc := l.peekByteAt(1)
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\', '\'', '"', '`':
+				sb.WriteByte(esc)
+			case 'u':
+				if l.pos+6 > len(l.src) {
+					return token{}, errorf(t, "invalid unicode escape")
+				}
+				var code rune
+				for i := 2; i < 6; i++ {
+					d := l.src[l.pos+i]
+					code <<= 4
+					switch {
+					case d >= '0' && d <= '9':
+						code |= rune(d - '0')
+					case d >= 'a' && d <= 'f':
+						code |= rune(d-'a') + 10
+					case d >= 'A' && d <= 'F':
+						code |= rune(d-'A') + 10
+					default:
+						return token{}, errorf(t, "invalid unicode escape")
+					}
+				}
+				sb.WriteRune(code)
+				l.advance(6)
+				continue
+			default:
+				return token{}, errorf(t, "invalid escape sequence \\%c", esc)
+			}
+			l.advance(2)
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		sb.WriteRune(r)
+		l.advance(size)
+	}
+	t.kind = tokString
+	t.text = sb.String()
+	return t, nil
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

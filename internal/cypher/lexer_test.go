@@ -1,0 +1,135 @@
+package cypher
+
+import "testing"
+
+func lex(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lexAll(%q): %v", src, err)
+	}
+	return toks
+}
+
+func kinds(toks []token) []tokenKind {
+	out := make([]tokenKind, 0, len(toks))
+	for _, t := range toks {
+		out = append(out, t.kind)
+	}
+	return out
+}
+
+func TestLexSymbols(t *testing.T) {
+	toks := lex(t, "()[]{}:,.|+*/%^=")
+	want := []tokenKind{
+		tokLParen, tokRParen, tokLBracket, tokRBracket, tokLBrace, tokRBrace,
+		tokColon, tokComma, tokDot, tokPipe, tokPlus, tokStar, tokSlash,
+		tokPercent, tokCaret, tokEq, tokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexArrowsAndComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		want []tokenKind
+	}{
+		{"->", []tokenKind{tokArrowR, tokEOF}},
+		{"-", []tokenKind{tokDash, tokEOF}},
+		{"<-", []tokenKind{tokLt, tokDash, tokEOF}},
+		{"<", []tokenKind{tokLt, tokEOF}},
+		{"<=", []tokenKind{tokLe, tokEOF}},
+		{"<>", []tokenKind{tokNeq, tokEOF}},
+		{">", []tokenKind{tokGt, tokEOF}},
+		{">=", []tokenKind{tokGe, tokEOF}},
+		{"..", []tokenKind{tokDotDot, tokEOF}},
+		{"-->", []tokenKind{tokDash, tokArrowR, tokEOF}},
+	}
+	for _, tc := range cases {
+		got := kinds(lex(t, tc.src))
+		if len(got) != len(tc.want) {
+			t.Errorf("%q: kinds = %v, want %v", tc.src, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%q token %d = %v, want %v", tc.src, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestLexKeywordsPreserveSpelling(t *testing.T) {
+	toks := lex(t, "match As aS RETURN")
+	for i, want := range []string{"match", "As", "aS", "RETURN"} {
+		if toks[i].kind != tokKeyword || toks[i].text != want {
+			t.Errorf("token %d = %v %q, want keyword %q", i, toks[i].kind, toks[i].text, want)
+		}
+	}
+}
+
+func TestLexIdentifiersAndParams(t *testing.T) {
+	toks := lex(t, "foo _bar baz9 $param `quoted name`")
+	if toks[0].kind != tokIdent || toks[0].text != "foo" {
+		t.Errorf("token 0 = %+v", toks[0])
+	}
+	if toks[1].kind != tokIdent || toks[1].text != "_bar" {
+		t.Errorf("token 1 = %+v", toks[1])
+	}
+	if toks[3].kind != tokParam || toks[3].text != "param" {
+		t.Errorf("param = %+v", toks[3])
+	}
+	if toks[4].kind != tokIdent || toks[4].text != "quoted name" {
+		t.Errorf("backquoted = %+v", toks[4])
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lex(t, "a\n  b")
+	if toks[0].line != 1 || toks[0].col != 1 {
+		t.Errorf("a at %d:%d", toks[0].line, toks[0].col)
+	}
+	if toks[1].line != 2 || toks[1].col != 3 {
+		t.Errorf("b at %d:%d", toks[1].line, toks[1].col)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"'open",
+		"`open",
+		"/* open",
+		`"bad \q escape"`,
+		"@",
+		`'bad \u00zz'`,
+	} {
+		if _, err := lexAll(src); err == nil {
+			t.Errorf("lexAll(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexUnicodeIdent(t *testing.T) {
+	toks := lex(t, "héllo")
+	if toks[0].kind != tokIdent || toks[0].text != "héllo" {
+		t.Errorf("unicode ident = %+v", toks[0])
+	}
+}
+
+func TestLexCommentsSkipped(t *testing.T) {
+	toks := lex(t, "a // line comment\n/* block\ncomment */ b")
+	if len(toks) != 3 { // a, b, EOF
+		t.Fatalf("tokens = %d", len(toks))
+	}
+	if toks[1].text != "b" {
+		t.Errorf("second token = %q", toks[1].text)
+	}
+}

@@ -1,0 +1,658 @@
+package cypher
+
+import (
+	"iyp/internal/graph"
+)
+
+// Pattern matching. A MATCH clause's comma-separated paths are solved
+// sequentially against a shared binding and a shared used-relationship set
+// (Cypher's relationship-isomorphism rule: a relationship may appear at
+// most once per MATCH pattern).
+
+// errStop is a sentinel used to abort enumeration once a row limit is hit.
+var errStop = &Error{Msg: "stop"}
+
+type matcher struct {
+	ec      *evalCtx
+	g       *graph.Graph
+	binding row           // mutated during search (append + truncate)
+	used    []graph.RelID // rels used by the current pattern (stack)
+	emit    func() error  // called with binding fully extended
+}
+
+func (m *matcher) relUsed(id graph.RelID) bool {
+	for _, u := range m.used {
+		if u == id {
+			return true
+		}
+	}
+	return false
+}
+
+// solvePaths matches paths[idx:] and invokes m.emit for every complete
+// assignment.
+func (m *matcher) solvePaths(paths []PatternPath, idx int) error {
+	if idx >= len(paths) {
+		return m.emit()
+	}
+	return m.solvePath(paths[idx], func() error {
+		return m.solvePaths(paths, idx+1)
+	})
+}
+
+// solvePath enumerates assignments for a single path, calling cont for
+// each.
+func (m *matcher) solvePath(path PatternPath, cont func() error) error {
+	if path.Shortest {
+		return m.solveShortest(path, cont)
+	}
+	return m.solvePathAll(path, cont)
+}
+
+// solveShortest matches shortestPath((a)-[*min..max]-(b)) by BFS: for each
+// candidate start node, a breadth-first expansion discovers every
+// reachable node at its minimal depth; each node satisfying the end
+// pattern yields exactly one (shortest) path.
+func (m *matcher) solveShortest(path PatternPath, cont func() error) error {
+	rp := path.Rels[0]
+	startNP, endNP := path.Nodes[0], path.Nodes[1]
+	// Anchor at the cheaper end, flipping the pattern when needed.
+	if m.anchorCost(endNP) < m.anchorCost(startNP) {
+		startNP, endNP = endNP, startNP
+		switch rp.Dir {
+		case DirRight:
+			rp.Dir = DirLeft
+		case DirLeft:
+			rp.Dir = DirRight
+		}
+	}
+	var dir graph.Dir
+	switch rp.Dir {
+	case DirAny:
+		dir = graph.DirBoth
+	case DirRight:
+		dir = graph.DirOut
+	case DirLeft:
+		dir = graph.DirIn
+	}
+	maxHops := rp.MaxHops
+	if maxHops < 0 {
+		maxHops = 1 << 30
+	}
+
+	return m.forAnchorCandidates(startNP, func(start graph.NodeID) error {
+		startMark, ok := m.bindNode(startNP, start)
+		if !ok {
+			return nil
+		}
+		defer func() { m.binding = m.binding[:startMark] }()
+
+		type bfsNode struct {
+			id    graph.NodeID
+			depth int
+		}
+		// Parent edge per discovered node, for path reconstruction.
+		parentRel := map[graph.NodeID]graph.RelID{}
+		parentNode := map[graph.NodeID]graph.NodeID{}
+		visited := map[graph.NodeID]bool{start: true}
+		queue := []bfsNode{{start, 0}}
+
+		emitAt := func(end graph.NodeID, depth int) error {
+			if depth < rp.MinHops {
+				return nil
+			}
+			endMark, ok := m.bindNode(endNP, end)
+			if !ok {
+				return nil
+			}
+			// Reconstruct the node/rel chain start..end.
+			var rels []graph.RelID
+			var nodes []graph.NodeID
+			for cur := end; cur != start; cur = parentNode[cur] {
+				rels = append(rels, parentRel[cur])
+				nodes = append(nodes, cur)
+			}
+			nodes = append(nodes, start)
+			for i, j := 0, len(rels)-1; i < j; i, j = i+1, j-1 {
+				rels[i], rels[j] = rels[j], rels[i]
+			}
+			for i, j := 0, len(nodes)-1; i < j; i, j = i+1, j-1 {
+				nodes[i], nodes[j] = nodes[j], nodes[i]
+			}
+			if rp.Var != "" {
+				vs := make([]Val, len(rels))
+				for i, r := range rels {
+					vs[i] = RelVal(r)
+				}
+				m.binding = append(m.binding, binding{rp.Var, ListVal(vs)})
+			}
+			if path.Var != "" {
+				m.binding = append(m.binding, binding{path.Var, PathVal(nodes, rels)})
+			}
+			err := cont()
+			m.binding = m.binding[:endMark]
+			return err
+		}
+
+		// Zero-hop case: start may satisfy the end pattern.
+		if rp.MinHops == 0 {
+			if err := emitAt(start, 0); err != nil {
+				return err
+			}
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur.depth >= maxHops {
+				continue
+			}
+			for _, rid := range m.g.Rels(cur.id, dir, rp.Types, nil) {
+				ok, err := m.relPropsMatch(rp, rid)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				from, to := m.g.RelEndpoints(rid)
+				other := to
+				if to == cur.id && from != cur.id {
+					other = from
+				}
+				if visited[other] {
+					continue
+				}
+				visited[other] = true
+				parentRel[other] = rid
+				parentNode[other] = cur.id
+				if err := emitAt(other, cur.depth+1); err != nil {
+					return err
+				}
+				queue = append(queue, bfsNode{other, cur.depth + 1})
+			}
+		}
+		return nil
+	})
+}
+
+// solvePathAll is the general backtracking matcher.
+func (m *matcher) solvePathAll(path PatternPath, cont func() error) error {
+	// Per-position state for path-variable construction.
+	nodeIDs := make([]graph.NodeID, len(path.Nodes))
+	relVals := make([]Val, len(path.Rels))
+
+	anchor := m.chooseAnchor(path)
+
+	finish := func() error {
+		mark := len(m.binding)
+		if path.Var != "" {
+			if _, exists := m.binding.get(path.Var); !exists {
+				m.binding = append(m.binding, binding{path.Var, m.buildPath(path, nodeIDs, relVals)})
+			}
+		}
+		err := cont()
+		m.binding = m.binding[:mark]
+		return err
+	}
+
+	// expandRight then expandLeft, then finish.
+	var right func(i int) error
+	var left func(i int) error
+
+	right = func(i int) error {
+		if i >= len(path.Rels) {
+			return left(anchor)
+		}
+		return m.expandStep(path, i, i+1, nodeIDs, relVals, func() error {
+			return right(i + 1)
+		})
+	}
+	left = func(i int) error {
+		if i <= 0 {
+			return finish()
+		}
+		return m.expandStep(path, i-1, i-1, nodeIDs, relVals, func() error {
+			return left(i - 1)
+		})
+	}
+
+	return m.forAnchorCandidates(path.Nodes[anchor], func(id graph.NodeID) error {
+		np := path.Nodes[anchor]
+		mark, ok := m.bindNode(np, id)
+		if !ok {
+			return nil
+		}
+		nodeIDs[anchor] = id
+		err := right(anchor)
+		m.binding = m.binding[:mark]
+		return err
+	})
+}
+
+// expandStep matches path.Rels[relIdx] between the already-bound node at
+// position fromIdx and the node at the other end (toIdx = fromIdx±1...).
+// fromIdx is the bound side: when toIdx == relIdx+1 we move rightward; when
+// toIdx == relIdx we move leftward (and fromIdx is relIdx+1).
+func (m *matcher) expandStep(path PatternPath, relIdx, toIdx int, nodeIDs []graph.NodeID, relVals []Val, cont func() error) error {
+	rightward := toIdx == relIdx+1
+	var fromIdx int
+	if rightward {
+		fromIdx = relIdx
+	} else {
+		fromIdx = relIdx + 1
+	}
+	cur := nodeIDs[fromIdx]
+	rp := path.Rels[relIdx]
+	np := path.Nodes[toIdx]
+
+	// Direction relative to the bound node.
+	var dir graph.Dir
+	switch rp.Dir {
+	case DirAny:
+		dir = graph.DirBoth
+	case DirRight: // pattern arrow Nodes[relIdx] -> Nodes[relIdx+1]
+		if rightward {
+			dir = graph.DirOut
+		} else {
+			dir = graph.DirIn
+		}
+	case DirLeft:
+		if rightward {
+			dir = graph.DirIn
+		} else {
+			dir = graph.DirOut
+		}
+	}
+
+	if rp.VarLen {
+		return m.expandVarLen(rp, np, cur, dir, toIdx, nodeIDs, relVals, relIdx, cont)
+	}
+
+	// Bound relationship variable: verify instead of scanning.
+	if rp.Var != "" {
+		if bv, ok := m.binding.get(rp.Var); ok {
+			rid, isRel := bv.AsRel()
+			if !isRel {
+				return nil
+			}
+			return m.tryRel(rp, np, cur, dir, rid, toIdx, nodeIDs, relVals, relIdx, true, cont)
+		}
+	}
+
+	rels := m.g.Rels(cur, dir, rp.Types, nil)
+	for _, rid := range rels {
+		if err := m.tryRel(rp, np, cur, dir, rid, toIdx, nodeIDs, relVals, relIdx, false, cont); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tryRel attempts to use relationship rid for pattern position relIdx.
+func (m *matcher) tryRel(rp RelPattern, np NodePattern, cur graph.NodeID, dir graph.Dir, rid graph.RelID, toIdx int, nodeIDs []graph.NodeID, relVals []Val, relIdx int, preBound bool, cont func() error) error {
+	if m.relUsed(rid) {
+		return nil
+	}
+	from, to := m.g.RelEndpoints(rid)
+	if from == 0 {
+		return nil
+	}
+	// Verify incidence & direction for pre-bound rels (scanned rels
+	// already satisfy them).
+	var other graph.NodeID
+	switch {
+	case from == cur:
+		other = to
+		if dir == graph.DirIn && to != cur {
+			return nil
+		}
+	case to == cur:
+		other = from
+		if dir == graph.DirOut {
+			return nil
+		}
+	default:
+		return nil
+	}
+	if preBound {
+		// Type check for pre-bound rels.
+		if len(rp.Types) > 0 {
+			t := m.g.RelType(rid)
+			found := false
+			for _, want := range rp.Types {
+				if t == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil
+			}
+		}
+	}
+	ok, err := m.relPropsMatch(rp, rid)
+	if err != nil || !ok {
+		return err
+	}
+
+	mark, ok := m.bindNode(np, other)
+	if !ok {
+		return nil
+	}
+	if rp.Var != "" && !preBound {
+		m.binding = append(m.binding, binding{rp.Var, RelVal(rid)})
+	}
+	m.used = append(m.used, rid)
+	nodeIDs[toIdx] = other
+	relVals[relIdx] = RelVal(rid)
+
+	err = cont()
+
+	m.used = m.used[:len(m.used)-1]
+	m.binding = m.binding[:mark]
+	return err
+}
+
+// expandVarLen handles -[:T*min..max]- steps. The relationship variable (if
+// any) binds to the list of traversed relationships.
+func (m *matcher) expandVarLen(rp RelPattern, np NodePattern, cur graph.NodeID, dir graph.Dir, toIdx int, nodeIDs []graph.NodeID, relVals []Val, relIdx int, cont func() error) error {
+	maxHops := rp.MaxHops
+	if maxHops < 0 {
+		maxHops = 1 << 30 // bounded by relationship uniqueness
+	}
+	var pathRels []graph.RelID
+
+	attempt := func(at graph.NodeID) error {
+		mark, ok := m.bindNode(np, at)
+		if !ok {
+			return nil
+		}
+		if rp.Var != "" {
+			if _, exists := m.binding.get(rp.Var); !exists {
+				vs := make([]Val, len(pathRels))
+				for i, r := range pathRels {
+					vs[i] = RelVal(r)
+				}
+				m.binding = append(m.binding, binding{rp.Var, ListVal(vs)})
+			}
+		}
+		nodeIDs[toIdx] = at
+		vs := make([]Val, len(pathRels))
+		for i, r := range pathRels {
+			vs[i] = RelVal(r)
+		}
+		relVals[relIdx] = ListVal(vs)
+
+		err := cont()
+
+		m.binding = m.binding[:mark]
+		return err
+	}
+
+	var dfs func(at graph.NodeID, depth int) error
+	dfs = func(at graph.NodeID, depth int) error {
+		if depth >= rp.MinHops {
+			if err := attempt(at); err != nil {
+				return err
+			}
+		}
+		if depth >= maxHops {
+			return nil
+		}
+		rels := m.g.Rels(at, dir, rp.Types, nil)
+		for _, rid := range rels {
+			if m.relUsed(rid) {
+				continue
+			}
+			ok, err := m.relPropsMatch(rp, rid)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			from, to := m.g.RelEndpoints(rid)
+			other := to
+			if to == at && from != at {
+				other = from
+			}
+			m.used = append(m.used, rid)
+			pathRels = append(pathRels, rid)
+			err = dfs(other, depth+1)
+			pathRels = pathRels[:len(pathRels)-1]
+			m.used = m.used[:len(m.used)-1]
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return dfs(cur, 0)
+}
+
+// bindNode checks node pattern np against node id given the current
+// binding, binds np.Var if new, and returns the binding mark to truncate
+// back to on backtrack. ok is false when the node does not satisfy the
+// pattern.
+func (m *matcher) bindNode(np NodePattern, id graph.NodeID) (mark int, ok bool) {
+	mark = len(m.binding)
+	if np.Var != "" {
+		if bv, exists := m.binding.get(np.Var); exists {
+			bn, isNode := bv.AsNode()
+			if !isNode || bn != id {
+				return mark, false
+			}
+			if !m.nodeSatisfies(np, id) {
+				return mark, false
+			}
+			return mark, true
+		}
+	}
+	if !m.nodeSatisfies(np, id) {
+		return mark, false
+	}
+	if np.Var == "" {
+		return mark, true
+	}
+	m.binding = append(m.binding, binding{np.Var, NodeVal(id)})
+	return mark, true
+}
+
+func (m *matcher) nodeSatisfies(np NodePattern, id graph.NodeID) bool {
+	for _, l := range np.Labels {
+		if !m.g.NodeHasLabel(id, l) {
+			return false
+		}
+	}
+	for key, expr := range np.Props {
+		want, err := m.ec.eval(expr, m.binding)
+		if err != nil {
+			return false
+		}
+		ws, ok := want.Scalar()
+		if !ok {
+			return false
+		}
+		if !m.g.NodeProp(id, key).Equal(ws) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *matcher) relPropsMatch(rp RelPattern, rid graph.RelID) (bool, error) {
+	for key, expr := range rp.Props {
+		want, err := m.ec.eval(expr, m.binding)
+		if err != nil {
+			return false, err
+		}
+		ws, ok := want.Scalar()
+		if !ok {
+			return false, nil
+		}
+		if !m.g.RelProp(rid, key).Equal(ws) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// chooseAnchor picks the node position to start matching from: a bound
+// variable if present, otherwise the position with the smallest estimated
+// candidate set.
+func (m *matcher) chooseAnchor(path PatternPath) int {
+	best, bestCost := 0, int(^uint(0)>>1)
+	for i, np := range path.Nodes {
+		cost := m.anchorCost(np)
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+func (m *matcher) anchorCost(np NodePattern) int {
+	if np.Var != "" {
+		if v, ok := m.binding.get(np.Var); ok {
+			if _, isNode := v.AsNode(); isNode {
+				return 0
+			}
+		}
+	}
+	if len(np.Labels) > 0 {
+		minCount := int(^uint(0) >> 1)
+		for _, l := range np.Labels {
+			c := m.g.CountByLabel(l)
+			if c < minCount {
+				minCount = c
+			}
+		}
+		if len(np.Props) > 0 {
+			// Indexed equality lookups are far cheaper than label scans;
+			// approximate with a big discount.
+			for _, l := range np.Labels {
+				for key := range np.Props {
+					if m.g.HasIndex(l, key) {
+						return 1 + minCount/1024
+					}
+				}
+			}
+			return 1 + minCount/2
+		}
+		return 2 + minCount
+	}
+	return 3 + m.g.NumNodes()
+}
+
+// forAnchorCandidates enumerates candidate node IDs for the anchor
+// position.
+func (m *matcher) forAnchorCandidates(np NodePattern, fn func(graph.NodeID) error) error {
+	// Bound variable.
+	if np.Var != "" {
+		if v, ok := m.binding.get(np.Var); ok {
+			if id, isNode := v.AsNode(); isNode {
+				return fn(id)
+			}
+			return nil // bound to a non-node: cannot match
+		}
+	}
+	// Indexed or scanned property equality.
+	if len(np.Labels) > 0 && len(np.Props) > 0 {
+		// Use the first (label, prop) pair that is indexed, else the
+		// first pair at all; remaining constraints are verified by
+		// nodeSatisfies.
+		var label, key string
+		var val graph.Value
+		found := false
+		for _, l := range np.Labels {
+			for k, expr := range np.Props {
+				v, err := m.ec.eval(expr, m.binding)
+				if err != nil {
+					continue
+				}
+				sv, ok := v.Scalar()
+				if !ok {
+					continue
+				}
+				if m.g.HasIndex(l, k) {
+					label, key, val, found = l, k, sv, true
+					break
+				}
+				if !found {
+					label, key, val, found = l, k, sv, true
+				}
+			}
+			if found && m.g.HasIndex(label, key) {
+				break
+			}
+		}
+		if found {
+			for _, id := range m.g.NodesByProp(label, key, val) {
+				if err := fn(id); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if len(np.Labels) > 0 {
+		// Scan the rarest label.
+		label := np.Labels[0]
+		minCount := m.g.CountByLabel(label)
+		for _, l := range np.Labels[1:] {
+			if c := m.g.CountByLabel(l); c < minCount {
+				label, minCount = l, c
+			}
+		}
+		for _, id := range m.g.NodesByLabel(label) {
+			if err := fn(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var outerErr error
+	m.g.EachNode(func(id graph.NodeID) bool {
+		if err := fn(id); err != nil {
+			outerErr = err
+			return false
+		}
+		return true
+	})
+	return outerErr
+}
+
+func (m *matcher) buildPath(path PatternPath, nodeIDs []graph.NodeID, relVals []Val) Val {
+	var rels []graph.RelID
+	for _, rv := range relVals {
+		if rid, ok := rv.AsRel(); ok {
+			rels = append(rels, rid)
+			continue
+		}
+		if list, ok := rv.AsList(); ok {
+			for _, e := range list {
+				if rid, ok := e.AsRel(); ok {
+					rels = append(rels, rid)
+				}
+			}
+		}
+	}
+	// Reconstruct the full node sequence by walking the relationships:
+	// variable-length steps traverse nodes that have no pattern position
+	// of their own, but nodes(p) must still report them.
+	nodes := make([]graph.NodeID, 0, len(rels)+1)
+	if len(nodeIDs) > 0 {
+		cur := nodeIDs[0]
+		nodes = append(nodes, cur)
+		for _, rid := range rels {
+			from, to := m.g.RelEndpoints(rid)
+			if from == cur {
+				cur = to
+			} else {
+				cur = from
+			}
+			nodes = append(nodes, cur)
+		}
+	}
+	return PathVal(nodes, rels)
+}

@@ -1,0 +1,316 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseListing1(t *testing.T) {
+	q := mustParse(t, `
+// Select ASes originating prefixes
+MATCH (x:AS)-[:ORIGINATE]-(:Prefix)
+RETURN DISTINCT x.asn`)
+	if len(q.Clauses) != 2 {
+		t.Fatalf("clauses = %d", len(q.Clauses))
+	}
+	m, ok := q.Clauses[0].(*MatchClause)
+	if !ok {
+		t.Fatalf("first clause %T", q.Clauses[0])
+	}
+	if len(m.Patterns) != 1 {
+		t.Fatalf("patterns = %d", len(m.Patterns))
+	}
+	path := m.Patterns[0]
+	if len(path.Nodes) != 2 || len(path.Rels) != 1 {
+		t.Fatalf("path shape: %d nodes %d rels", len(path.Nodes), len(path.Rels))
+	}
+	if path.Nodes[0].Var != "x" || path.Nodes[0].Labels[0] != "AS" {
+		t.Errorf("node 0: %+v", path.Nodes[0])
+	}
+	if path.Nodes[1].Var != "" || path.Nodes[1].Labels[0] != "Prefix" {
+		t.Errorf("node 1: %+v", path.Nodes[1])
+	}
+	if path.Rels[0].Dir != DirAny || path.Rels[0].Types[0] != "ORIGINATE" {
+		t.Errorf("rel: %+v", path.Rels[0])
+	}
+	r, ok := q.Clauses[1].(*ReturnClause)
+	if !ok || !r.Distinct || len(r.Items) != 1 {
+		t.Fatalf("return clause wrong: %+v", q.Clauses[1])
+	}
+	pa, ok := r.Items[0].Expr.(*PropAccess)
+	if !ok || pa.Key != "asn" {
+		t.Errorf("return item: %+v", r.Items[0].Expr)
+	}
+}
+
+func TestParseDirections(t *testing.T) {
+	cases := []struct {
+		src  string
+		want RelDir
+	}{
+		{`MATCH (a)-[:R]->(b) RETURN a`, DirRight},
+		{`MATCH (a)<-[:R]-(b) RETURN a`, DirLeft},
+		{`MATCH (a)-[:R]-(b) RETURN a`, DirAny},
+		{`MATCH (a)-->(b) RETURN a`, DirRight},
+		{`MATCH (a)<--(b) RETURN a`, DirLeft},
+		{`MATCH (a)--(b) RETURN a`, DirAny},
+	}
+	for _, tc := range cases {
+		q := mustParse(t, tc.src)
+		m := q.Clauses[0].(*MatchClause)
+		if got := m.Patterns[0].Rels[0].Dir; got != tc.want {
+			t.Errorf("%s: dir = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestParseRelAlternationAndProps(t *testing.T) {
+	q := mustParse(t, `MATCH (a)-[r:A|B|:C {k: 'v', n: 1}]->(b) RETURN r`)
+	rel := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+	if rel.Var != "r" {
+		t.Errorf("rel var = %q", rel.Var)
+	}
+	if len(rel.Types) != 3 || rel.Types[0] != "A" || rel.Types[2] != "C" {
+		t.Errorf("types = %v", rel.Types)
+	}
+	if len(rel.Props) != 2 {
+		t.Errorf("props = %v", rel.Props)
+	}
+}
+
+func TestParseVarLength(t *testing.T) {
+	cases := []struct {
+		src      string
+		min, max int
+	}{
+		{`MATCH (a)-[:R*]->(b) RETURN a`, 1, -1},
+		{`MATCH (a)-[:R*2]->(b) RETURN a`, 2, 2},
+		{`MATCH (a)-[:R*1..3]->(b) RETURN a`, 1, 3},
+		{`MATCH (a)-[:R*..4]->(b) RETURN a`, 1, 4},
+		{`MATCH (a)-[:R*2..]->(b) RETURN a`, 2, -1},
+	}
+	for _, tc := range cases {
+		q := mustParse(t, tc.src)
+		rel := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+		if !rel.VarLen || rel.MinHops != tc.min || rel.MaxHops != tc.max {
+			t.Errorf("%s: varlen=%v min=%d max=%d", tc.src, rel.VarLen, rel.MinHops, rel.MaxHops)
+		}
+	}
+}
+
+func TestParseKeywordCollisions(t *testing.T) {
+	// :AS is both a keyword (aliasing) and the paper's central entity;
+	// `count`, `contains` etc. can be property names.
+	q := mustParse(t, `MATCH (x:AS {asn: 1})-[:ORIGINATE {count: 2}]-(p) RETURN x.asn AS asn`)
+	node := q.Clauses[0].(*MatchClause).Patterns[0].Nodes[0]
+	if node.Labels[0] != "AS" {
+		t.Errorf("label = %q, want AS (case preserved)", node.Labels[0])
+	}
+	rel := q.Clauses[0].(*MatchClause).Patterns[0].Rels[0]
+	if _, ok := rel.Props["count"]; !ok {
+		t.Error("property `count` lost")
+	}
+	ret := q.Clauses[1].(*ReturnClause)
+	if ret.Items[0].Alias != "asn" {
+		t.Errorf("alias = %q", ret.Items[0].Alias)
+	}
+}
+
+func TestParseWhereOperators(t *testing.T) {
+	q := mustParse(t, `
+MATCH (t:Tag)
+WHERE t.label STARTS WITH 'RPKI' AND NOT t.x ENDS WITH 'y' OR t.z CONTAINS 'q'
+  AND t.n IN [1, 2, 3] AND t.m IS NOT NULL AND t.o IS NULL XOR t.p <> 4
+RETURN t`)
+	m := q.Clauses[0].(*MatchClause)
+	if m.Where == nil {
+		t.Fatal("where missing")
+	}
+	// Top level must be XOR (lowest-binding after OR in our grammar: OR
+	// is lowest, XOR next). Verify it parses into *some* boolean tree.
+	if _, ok := m.Where.(*BinaryExpr); !ok {
+		t.Fatalf("where = %T", m.Where)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	q := mustParse(t, `RETURN 1 + 2 * 3 ^ 2 AS v`)
+	// 1 + (2 * (3 ^ 2)) = 19
+	e := q.Clauses[0].(*ReturnClause).Items[0].Expr
+	add, ok := e.(*BinaryExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("top = %#v", e)
+	}
+	mul, ok := add.Right.(*BinaryExpr)
+	if !ok || mul.Op != OpMul {
+		t.Fatalf("right = %#v", add.Right)
+	}
+	pow, ok := mul.Right.(*BinaryExpr)
+	if !ok || pow.Op != OpPow {
+		t.Fatalf("mul right = %#v", mul.Right)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	mustParse(t, `RETURN CASE WHEN 1 < 2 THEN 'a' ELSE 'b' END AS v`)
+	mustParse(t, `MATCH (n) RETURN CASE n.x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END AS v`)
+	if _, err := Parse(`RETURN CASE END AS v`); err == nil {
+		t.Error("CASE without WHEN should fail")
+	}
+}
+
+func TestParseListsAndComprehension(t *testing.T) {
+	mustParse(t, `RETURN [1, 'a', [true]] AS l`)
+	mustParse(t, `RETURN [] AS l`)
+	mustParse(t, `RETURN [x IN [1,2,3] WHERE x > 1 | x * 10] AS l`)
+	mustParse(t, `RETURN [x IN [1,2,3]] AS l`)
+	mustParse(t, `RETURN range(1, 5)[2] AS v, [1,2,3][0..2] AS s, [1,2,3][..2] AS s2`)
+}
+
+func TestParseExistsAndCountSubquery(t *testing.T) {
+	q := mustParse(t, `MATCH (a:AS) WHERE EXISTS { (a)-[:ORIGINATE]-(:Prefix) } RETURN a`)
+	w := q.Clauses[0].(*MatchClause).Where
+	if _, ok := w.(*ExistsExpr); !ok {
+		t.Fatalf("where = %T", w)
+	}
+	q = mustParse(t, `MATCH (a:AS) RETURN COUNT { MATCH (a)-[:ORIGINATE]-(:Prefix) } AS n`)
+	e := q.Clauses[1].(*ReturnClause).Items[0].Expr
+	if _, ok := e.(*CountExpr); !ok {
+		t.Fatalf("count subquery = %T", e)
+	}
+	// legacy exists(expr)
+	q = mustParse(t, `MATCH (a) WHERE exists(a.x) RETURN a`)
+	if fc, ok := q.Clauses[0].(*MatchClause).Where.(*FnCall); !ok || fc.Name != "exists" {
+		t.Fatal("legacy exists() not parsed")
+	}
+}
+
+func TestParseWriteClauses(t *testing.T) {
+	mustParse(t, `CREATE (a:AS {asn: 1})-[:NAME]->(n:Name {name: 'x'})`)
+	mustParse(t, `MERGE (a:AS {asn: 1}) ON CREATE SET a.fresh = true ON MATCH SET a.seen = true RETURN a`)
+	mustParse(t, `MATCH (a) SET a.x = 1, a:Extra, a += {y: 2}`)
+	mustParse(t, `MATCH (a) DELETE a`)
+	mustParse(t, `MATCH (a) DETACH DELETE a`)
+	mustParse(t, `UNWIND [1,2] AS x RETURN x`)
+}
+
+func TestParseWithPipeline(t *testing.T) {
+	q := mustParse(t, `
+MATCH (x:AS)
+WITH x.asn AS asn ORDER BY asn DESC SKIP 1 LIMIT 10 WHERE asn > 5
+RETURN count(asn) AS n`)
+	w := q.Clauses[1].(*WithClause)
+	if w.Skip == nil || w.Limit == nil || w.Where == nil || len(w.OrderBy) != 1 || !w.OrderBy[0].Desc {
+		t.Fatalf("with clause: %+v", w)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	q := mustParse(t, `MATCH (a) WITH * RETURN *`)
+	if !q.Clauses[1].(*WithClause).Star || !q.Clauses[2].(*ReturnClause).Star {
+		t.Error("star flags not set")
+	}
+}
+
+func TestParseParamsAndComments(t *testing.T) {
+	q := mustParse(t, `
+/* block
+   comment */
+MATCH (x:AS {asn: $asn}) // trailing
+RETURN x`)
+	node := q.Clauses[0].(*MatchClause).Patterns[0].Nodes[0]
+	p, ok := node.Props["asn"].(*Param)
+	if !ok || p.Name != "asn" {
+		t.Fatalf("param = %#v", node.Props["asn"])
+	}
+}
+
+func TestParsePathVariable(t *testing.T) {
+	q := mustParse(t, `MATCH p = (a)-[:R*1..2]->(b) RETURN length(p) AS n`)
+	if q.Clauses[0].(*MatchClause).Patterns[0].Var != "p" {
+		t.Error("path variable lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"MATCH",
+		"MATCH (a",
+		"MATCH (a) RETURN",
+		"RETURN 1 +",
+		"MATCH (a)-[:R(b) RETURN a",
+		"MATCH (a)<-[:R]->(b) RETURN a", // both directions
+		"FROB (a)",
+		"MATCH (a) WHERE RETURN a",
+		"RETURN 'unterminated",
+		"MATCH (a) RETURN a LIMIT RETURN",
+		"RETURN $",
+		"MATCH (a) RETURN a; MATCH (b) RETURN b", // ; is not valid Cypher input here
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("MATCH (a)\nWHERE !!\nRETURN a")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestParseBackquotedIdent(t *testing.T) {
+	q := mustParse(t, "MATCH (a:`Weird Label`) RETURN a.`weird prop` AS v")
+	if q.Clauses[0].(*MatchClause).Patterns[0].Nodes[0].Labels[0] != "Weird Label" {
+		t.Error("backquoted label lost")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q := mustParse(t, `RETURN 'a\n\t\\\'b' AS v, "q\"x" AS w, 'é' AS e`)
+	items := q.Clauses[0].(*ReturnClause).Items
+	if lit := items[0].Expr.(*Literal); lit.S != "a\n\t\\'b" {
+		t.Errorf("escape 1 = %q", lit.S)
+	}
+	if lit := items[1].Expr.(*Literal); lit.S != `q"x` {
+		t.Errorf("escape 2 = %q", lit.S)
+	}
+	if lit := items[2].Expr.(*Literal); lit.S != "é" {
+		t.Errorf("unicode escape = %q", lit.S)
+	}
+}
+
+func TestParseNumberForms(t *testing.T) {
+	q := mustParse(t, `RETURN 42 AS i, 4.5 AS f, 1e3 AS e, 2.5e-2 AS e2, .5 AS dot`)
+	items := q.Clauses[0].(*ReturnClause).Items
+	if lit := items[0].Expr.(*Literal); lit.Kind != LitInt || lit.I != 42 {
+		t.Errorf("int literal: %+v", lit)
+	}
+	if lit := items[1].Expr.(*Literal); lit.Kind != LitFloat || lit.F != 4.5 {
+		t.Errorf("float literal: %+v", lit)
+	}
+	if lit := items[2].Expr.(*Literal); lit.Kind != LitFloat || lit.F != 1000 {
+		t.Errorf("exponent literal: %+v", lit)
+	}
+	if lit := items[3].Expr.(*Literal); lit.F != 0.025 {
+		t.Errorf("neg exponent literal: %+v", lit)
+	}
+	if lit := items[4].Expr.(*Literal); lit.F != 0.5 {
+		t.Errorf("leading-dot literal: %+v", lit)
+	}
+}

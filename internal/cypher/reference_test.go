@@ -1,0 +1,235 @@
+package cypher
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+// TestMatcherAgainstBruteForce cross-checks the pattern matcher against an
+// independent brute-force enumerator on random graphs and random chain
+// patterns. The invariant: for any pattern, the engine's match count
+// equals exhaustive enumeration honoring label filters, relationship
+// types, direction, and within-pattern relationship uniqueness.
+func TestMatcherAgainstBruteForce(t *testing.T) {
+	labels := []string{"A", "B"}
+	relTypes := []string{"R", "S"}
+
+	type relInfo struct {
+		id       graph.RelID
+		typ      string
+		from, to graph.NodeID
+	}
+
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		n := 4 + r.Intn(5)
+		var nodes []graph.NodeID
+		nodeLabel := map[graph.NodeID]string{}
+		for i := 0; i < n; i++ {
+			l := labels[r.Intn(len(labels))]
+			id := g.AddNode([]string{l}, graph.Props{"i": graph.Int(int64(i))})
+			nodes = append(nodes, id)
+			nodeLabel[id] = l
+		}
+		var rels []relInfo
+		m := n + r.Intn(2*n)
+		for i := 0; i < m; i++ {
+			from := nodes[r.Intn(n)]
+			to := nodes[r.Intn(n)]
+			typ := relTypes[r.Intn(len(relTypes))]
+			id, err := g.AddRel(typ, from, to, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rels = append(rels, relInfo{id, typ, from, to})
+		}
+
+		for trial := 0; trial < 12; trial++ {
+			hops := 1 + r.Intn(2)
+			// Random node constraints: "" = unlabeled.
+			nodeLbl := make([]string, hops+1)
+			for i := range nodeLbl {
+				if r.Intn(2) == 0 {
+					nodeLbl[i] = labels[r.Intn(len(labels))]
+				}
+			}
+			relTyp := make([]string, hops)
+			relDir := make([]int, hops) // 0 any, 1 right, 2 left
+			for i := 0; i < hops; i++ {
+				if r.Intn(2) == 0 {
+					relTyp[i] = relTypes[r.Intn(len(relTypes))]
+				}
+				relDir[i] = r.Intn(3)
+			}
+
+			// Build the Cypher pattern with distinct node variables.
+			var sb strings.Builder
+			sb.WriteString("MATCH ")
+			for i := 0; i <= hops; i++ {
+				fmt.Fprintf(&sb, "(n%d", i)
+				if nodeLbl[i] != "" {
+					sb.WriteString(":" + nodeLbl[i])
+				}
+				sb.WriteString(")")
+				if i < hops {
+					tpart := ""
+					if relTyp[i] != "" {
+						tpart = ":" + relTyp[i]
+					}
+					switch relDir[i] {
+					case 0:
+						fmt.Fprintf(&sb, "-[%s]-", tpart)
+					case 1:
+						fmt.Fprintf(&sb, "-[%s]->", tpart)
+					case 2:
+						fmt.Fprintf(&sb, "<-[%s]-", tpart)
+					}
+				}
+			}
+			sb.WriteString(" RETURN count(*) AS n")
+			query := sb.String()
+
+			res, err := Run(g, query, nil)
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %q: %v", seed, trial, query, err)
+			}
+			got, err := res.ScalarInt()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Brute force: enumerate every (node..., rel...) assignment.
+			var count int64
+			var rec func(pos int, cur graph.NodeID, used []graph.RelID)
+			nodeOK := func(id graph.NodeID, want string) bool {
+				return want == "" || nodeLabel[id] == want
+			}
+			rec = func(pos int, cur graph.NodeID, used []graph.RelID) {
+				if pos == hops {
+					count++
+					return
+				}
+				for _, ri := range rels {
+					if relTyp[pos] != "" && ri.typ != relTyp[pos] {
+						continue
+					}
+					dup := false
+					for _, u := range used {
+						if u == ri.id {
+							dup = true
+							break
+						}
+					}
+					if dup {
+						continue
+					}
+					// Orientations consistent with the pattern direction.
+					tryNext := func(next graph.NodeID) {
+						if !nodeOK(next, nodeLbl[pos+1]) {
+							return
+						}
+						rec(pos+1, next, append(used, ri.id))
+					}
+					switch relDir[pos] {
+					case 1: // cur -> next
+						if ri.from == cur {
+							tryNext(ri.to)
+						}
+					case 2: // next -> cur
+						if ri.to == cur {
+							tryNext(ri.from)
+						}
+					default: // either
+						if ri.from == cur {
+							tryNext(ri.to)
+						}
+						if ri.to == cur && ri.from != ri.to {
+							tryNext(ri.from)
+						}
+					}
+				}
+			}
+			for _, start := range nodes {
+				if nodeOK(start, nodeLbl[0]) {
+					rec(0, start, nil)
+				}
+			}
+
+			if got != count {
+				t.Fatalf("seed %d trial %d: %q: engine %d, brute force %d", seed, trial, query, got, count)
+			}
+		}
+	}
+}
+
+// TestVarLenAgainstBruteForce cross-checks bounded variable-length
+// expansion the same way.
+func TestVarLenAgainstBruteForce(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		g := graph.New()
+		n := 4 + r.Intn(3)
+		var nodes []graph.NodeID
+		for i := 0; i < n; i++ {
+			nodes = append(nodes, g.AddNode([]string{"N"}, nil))
+		}
+		type edge struct {
+			id       graph.RelID
+			from, to graph.NodeID
+		}
+		var edges []edge
+		for i := 0; i < n+r.Intn(n); i++ {
+			from, to := nodes[r.Intn(n)], nodes[r.Intn(n)]
+			id, _ := g.AddRel("E", from, to, nil)
+			edges = append(edges, edge{id, from, to})
+		}
+		minH := 1 + r.Intn(2)
+		maxH := minH + r.Intn(2)
+		query := fmt.Sprintf("MATCH (a:N)-[:E*%d..%d]->(b:N) RETURN count(*) AS n", minH, maxH)
+		res, err := Run(g, query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := res.ScalarInt()
+
+		// Brute force: count distinct directed walks of length
+		// [minH, maxH] without repeating an edge.
+		var count int64
+		var rec func(cur graph.NodeID, depth int, used []graph.RelID)
+		rec = func(cur graph.NodeID, depth int, used []graph.RelID) {
+			if depth >= minH {
+				count++
+			}
+			if depth == maxH {
+				return
+			}
+			for _, e := range edges {
+				if e.from != cur {
+					continue
+				}
+				dup := false
+				for _, u := range used {
+					if u == e.id {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				rec(e.to, depth+1, append(used, e.id))
+			}
+		}
+		for _, start := range nodes {
+			rec(start, 0, nil)
+		}
+		if got != count {
+			t.Fatalf("seed %d: %s: engine %d, brute force %d", seed, query, got, count)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Len returns the number of result rows.
+func (r *Result) Len() int { return len(r.Rows) }
+
+// Get returns the value in rowIdx at the named column.
+func (r *Result) Get(rowIdx int, col string) (Val, bool) {
+	for i, c := range r.Columns {
+		if c == col {
+			return r.Rows[rowIdx][i], true
+		}
+	}
+	return NullVal(), false
+}
+
+// Column returns all values of the named column, in row order.
+func (r *Result) Column(col string) ([]Val, bool) {
+	idx := -1
+	for i, c := range r.Columns {
+		if c == col {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]Val, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row[idx]
+	}
+	return out, true
+}
+
+// Strings extracts a column of string values, skipping nulls. ok is false
+// when the column does not exist.
+func (r *Result) Strings(col string) ([]string, bool) {
+	vals, ok := r.Column(col)
+	if !ok {
+		return nil, false
+	}
+	out := make([]string, 0, len(vals))
+	for _, v := range vals {
+		if s, ok := v.AsString(); ok {
+			out = append(out, s)
+		}
+	}
+	return out, true
+}
+
+// Ints extracts a column of integer values, skipping non-ints.
+func (r *Result) Ints(col string) ([]int64, bool) {
+	vals, ok := r.Column(col)
+	if !ok {
+		return nil, false
+	}
+	out := make([]int64, 0, len(vals))
+	for _, v := range vals {
+		if i, ok := v.AsInt(); ok {
+			out = append(out, i)
+		}
+	}
+	return out, true
+}
+
+// ScalarInt returns the single int value of a one-row, one-column result
+// (the common shape of COUNT queries).
+func (r *Result) ScalarInt() (int64, error) {
+	if len(r.Rows) != 1 || len(r.Columns) != 1 {
+		return 0, fmt.Errorf("cypher: expected a 1x1 result, got %dx%d", len(r.Rows), len(r.Columns))
+	}
+	i, ok := r.Rows[0][0].AsInt()
+	if !ok {
+		return 0, fmt.Errorf("cypher: result value %v is not an integer", r.Rows[0][0])
+	}
+	return i, nil
+}
+
+// ScalarFloat returns the single numeric value of a 1x1 result.
+func (r *Result) ScalarFloat() (float64, error) {
+	if len(r.Rows) != 1 || len(r.Columns) != 1 {
+		return 0, fmt.Errorf("cypher: expected a 1x1 result, got %dx%d", len(r.Rows), len(r.Columns))
+	}
+	f, ok := r.Rows[0][0].AsFloat()
+	if !ok {
+		return 0, fmt.Errorf("cypher: result value %v is not numeric", r.Rows[0][0])
+	}
+	return f, nil
+}
+
+// Native converts the table into []map[string]any for JSON encoding.
+func (r *Result) Native() []map[string]any {
+	out := make([]map[string]any, len(r.Rows))
+	for i, vals := range r.Rows {
+		m := make(map[string]any, len(r.Columns))
+		for j, c := range r.Columns {
+			m[c] = vals[j].Native(r.g)
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Table renders the result as an aligned text table (up to maxRows rows;
+// maxRows <= 0 shows everything).
+func (r *Result) Table(maxRows int) string {
+	if len(r.Columns) == 0 {
+		return fmt.Sprintf("(no columns; created %d nodes, %d rels; set %d props; deleted %d nodes, %d rels)\n",
+			r.NodesCreated, r.RelsCreated, r.PropsSet, r.NodesDeleted, r.RelsDeleted)
+	}
+	rows := r.Rows
+	truncated := 0
+	if maxRows > 0 && len(rows) > maxRows {
+		truncated = len(rows) - maxRows
+		rows = rows[:maxRows]
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rows))
+	for i, vals := range rows {
+		cells[i] = make([]string, len(vals))
+		for j, v := range vals {
+			s := v.String()
+			if len(s) > 60 {
+				s = s[:57] + "..."
+			}
+			cells[i][j] = s
+			if len(s) > widths[j] {
+				widths[j] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for j, c := range r.Columns {
+		if j > 0 {
+			sb.WriteString(" | ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[j], c)
+	}
+	sb.WriteByte('\n')
+	for j := range r.Columns {
+		if j > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", widths[j]))
+	}
+	sb.WriteByte('\n')
+	for _, cs := range cells {
+		for j, s := range cs {
+			if j > 0 {
+				sb.WriteString(" | ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[j], s)
+		}
+		sb.WriteByte('\n')
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&sb, "... (%d more rows)\n", truncated)
+	}
+	fmt.Fprintf(&sb, "(%d rows)\n", len(r.Rows))
+	return sb.String()
+}

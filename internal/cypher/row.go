@@ -1,0 +1,52 @@
+package cypher
+
+// row is a set of variable bindings, represented as a small append-only
+// slice: queries bind a handful of variables, so linear lookup beats a
+// hash map, cloning is one contiguous copy, and pattern-matching backtrack
+// is a cheap truncation. The executor's hot path (millions of binding
+// extensions per analytical query) is dominated by these operations.
+type row []binding
+
+type binding struct {
+	name string
+	val  Val
+}
+
+// get returns the binding for name.
+func (r row) get(name string) (Val, bool) {
+	for i := range r {
+		if r[i].name == name {
+			return r[i].val, true
+		}
+	}
+	return Val{}, false
+}
+
+// set replaces an existing binding or appends a new one.
+func (r *row) set(name string, v Val) {
+	for i := range *r {
+		if (*r)[i].name == name {
+			(*r)[i].val = v
+			return
+		}
+	}
+	*r = append(*r, binding{name, v})
+}
+
+// del removes a binding (used only outside the matcher's truncate-based
+// backtracking).
+func (r *row) del(name string) {
+	for i := range *r {
+		if (*r)[i].name == name {
+			*r = append((*r)[:i], (*r)[i+1:]...)
+			return
+		}
+	}
+}
+
+// clone returns an independent copy with room to grow.
+func (r row) clone() row {
+	out := make(row, len(r), len(r)+4)
+	copy(out, r)
+	return out
+}

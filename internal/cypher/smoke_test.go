@@ -1,0 +1,190 @@
+package cypher
+
+import (
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+// buildTinyIYP creates a small IYP-shaped graph used across engine tests:
+//
+//	(:AS {asn:2497})-[:ORIGINATE]->(:Prefix {prefix:"192.0.2.0/24"})
+//	(:AS {asn:65001})-[:ORIGINATE]->(same prefix)    // MOAS
+//	(:AS {asn:2497})-[:NAME]->(:Name {name:"IIJ"})
+//	(:AS {asn:2497})-[:COUNTRY]->(:Country {country_code:"JP"})
+//	(:Prefix)-[:CATEGORIZED]->(:Tag {label:"RPKI Valid"})
+func buildTinyIYP(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	as1 := g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(2497)})
+	as2 := g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(65001)})
+	pfx := g.AddNode([]string{"Prefix"}, graph.Props{"prefix": graph.String("192.0.2.0/24"), "af": graph.Int(4)})
+	name := g.AddNode([]string{"Name"}, graph.Props{"name": graph.String("IIJ")})
+	cc := g.AddNode([]string{"Country"}, graph.Props{"country_code": graph.String("JP")})
+	tag := g.AddNode([]string{"Tag"}, graph.Props{"label": graph.String("RPKI Valid")})
+	mustRel(t, g, "ORIGINATE", as1, pfx, graph.Props{"reference_name": graph.String("bgpkit.pfx2asn")})
+	mustRel(t, g, "ORIGINATE", as2, pfx, graph.Props{"reference_name": graph.String("bgpkit.pfx2asn")})
+	mustRel(t, g, "NAME", as1, name, nil)
+	mustRel(t, g, "COUNTRY", as1, cc, nil)
+	mustRel(t, g, "CATEGORIZED", pfx, tag, nil)
+	return g
+}
+
+func mustRel(t testing.TB, g *graph.Graph, typ string, from, to graph.NodeID, props graph.Props) graph.RelID {
+	t.Helper()
+	id, err := g.AddRel(typ, from, to, props)
+	if err != nil {
+		t.Fatalf("AddRel(%s): %v", typ, err)
+	}
+	return id
+}
+
+func mustRun(t testing.TB, g *graph.Graph, q string, params map[string]graph.Value) *Result {
+	t.Helper()
+	res, err := Run(g, q, params)
+	if err != nil {
+		t.Fatalf("query %q failed: %v", q, err)
+	}
+	return res
+}
+
+func TestSmokeListing1OriginatingASes(t *testing.T) {
+	g := buildTinyIYP(t)
+	// Listing 1 from the paper, verbatim.
+	res := mustRun(t, g, `
+// Select ASes originating prefixes
+MATCH (x:AS)-[:ORIGINATE]-(:Prefix)
+// Return the AS's ASN
+RETURN DISTINCT x.asn`, nil)
+	asns, _ := res.Ints("x.asn")
+	if len(asns) != 2 {
+		t.Fatalf("want 2 originating ASes, got %v", asns)
+	}
+}
+
+func TestSmokeListing2MOAS(t *testing.T) {
+	g := buildTinyIYP(t)
+	// Listing 2 from the paper, verbatim.
+	res := mustRun(t, g, `
+MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS)
+WHERE x.asn <> y.asn
+RETURN DISTINCT p.prefix`, nil)
+	pfxs, _ := res.Strings("p.prefix")
+	if len(pfxs) != 1 || pfxs[0] != "192.0.2.0/24" {
+		t.Fatalf("want MOAS prefix 192.0.2.0/24, got %v", pfxs)
+	}
+}
+
+func TestSmokeAggregation(t *testing.T) {
+	g := buildTinyIYP(t)
+	res := mustRun(t, g, `
+MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)
+RETURN count(DISTINCT p) AS prefixes, count(*) AS pairs`, nil)
+	if v, _ := res.Get(0, "prefixes"); mustInt(t, v) != 1 {
+		t.Errorf("prefixes = %v, want 1", v)
+	}
+	if v, _ := res.Get(0, "pairs"); mustInt(t, v) != 2 {
+		t.Errorf("pairs = %v, want 2", v)
+	}
+}
+
+func TestSmokeWhereStartsWith(t *testing.T) {
+	g := buildTinyIYP(t)
+	res := mustRun(t, g, `
+MATCH (p:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+RETURN p.prefix`, nil)
+	if res.Len() != 1 {
+		t.Fatalf("want 1 row, got %d", res.Len())
+	}
+}
+
+func TestSmokeDirectedMatch(t *testing.T) {
+	g := buildTinyIYP(t)
+	// Direction: ORIGINATE goes AS -> Prefix, so reversed arrow matches
+	// nothing.
+	res := mustRun(t, g, `MATCH (x:AS)<-[:ORIGINATE]-(:Prefix) RETURN x.asn`, nil)
+	if res.Len() != 0 {
+		t.Fatalf("reversed direction should not match, got %d rows", res.Len())
+	}
+	res = mustRun(t, g, `MATCH (x:AS)-[:ORIGINATE]->(:Prefix) RETURN x.asn`, nil)
+	if res.Len() != 2 {
+		t.Fatalf("forward direction should match 2 rows, got %d", res.Len())
+	}
+}
+
+func TestSmokeWithOrderLimit(t *testing.T) {
+	g := buildTinyIYP(t)
+	res := mustRun(t, g, `
+MATCH (x:AS)
+WITH x.asn AS asn
+ORDER BY asn DESC
+LIMIT 1
+RETURN asn`, nil)
+	if res.Len() != 1 {
+		t.Fatalf("want 1 row, got %d", res.Len())
+	}
+	if v, _ := res.Get(0, "asn"); mustInt(t, v) != 65001 {
+		t.Errorf("asn = %v, want 65001", v)
+	}
+}
+
+func TestSmokeCreateMergeSetDelete(t *testing.T) {
+	g := graph.New()
+	res := mustRun(t, g, `CREATE (a:AS {asn: 64500})-[:NAME]->(n:Name {name: 'TEST'}) RETURN a.asn`, nil)
+	if res.NodesCreated != 2 || res.RelsCreated != 1 {
+		t.Fatalf("created %d nodes %d rels", res.NodesCreated, res.RelsCreated)
+	}
+	// MERGE finds the existing node.
+	res = mustRun(t, g, `MERGE (a:AS {asn: 64500}) ON MATCH SET a.seen = true RETURN a.seen`, nil)
+	if v, _ := res.Get(0, "a.seen"); !mustBool(t, v) {
+		t.Fatalf("ON MATCH SET not applied: %v", v)
+	}
+	if g.NumNodes() != 2 {
+		t.Fatalf("MERGE created a duplicate: %d nodes", g.NumNodes())
+	}
+	mustRun(t, g, `MATCH (a:AS {asn: 64500}) DETACH DELETE a`, nil)
+	if got := g.CountByLabel("AS"); got != 0 {
+		t.Fatalf("AS not deleted: %d", got)
+	}
+}
+
+func TestSmokeParams(t *testing.T) {
+	g := buildTinyIYP(t)
+	res := mustRun(t, g, `MATCH (x:AS {asn: $asn}) RETURN count(x) AS n`,
+		map[string]graph.Value{"asn": graph.Int(2497)})
+	if v, _ := res.Get(0, "n"); mustInt(t, v) != 1 {
+		t.Fatalf("param match failed: %v", v)
+	}
+}
+
+func TestSmokeCollectAndUnwind(t *testing.T) {
+	g := buildTinyIYP(t)
+	res := mustRun(t, g, `
+MATCH (x:AS)
+WITH collect(x.asn) AS asns
+UNWIND asns AS a
+RETURN a ORDER BY a`, nil)
+	got, _ := res.Ints("a")
+	if len(got) != 2 || got[0] != 2497 || got[1] != 65001 {
+		t.Fatalf("collect/unwind round-trip = %v", got)
+	}
+}
+
+func mustInt(t testing.TB, v Val) int64 {
+	t.Helper()
+	i, ok := v.AsInt()
+	if !ok {
+		t.Fatalf("value %v is not an int", v)
+	}
+	return i
+}
+
+func mustBool(t testing.TB, v Val) bool {
+	t.Helper()
+	b, ok := v.AsBool()
+	if !ok {
+		t.Fatalf("value %v is not a bool", v)
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+// Package cypher implements the query language of the reproduction: a
+// substantial subset of Neo4j's Cypher sufficient to run every query in the
+// IYP paper (Listings 1-6 and the study notebooks) verbatim, plus the
+// CREATE/MERGE/SET/DELETE clauses the ETL and tests use.
+//
+// Supported surface:
+//
+//	MATCH / OPTIONAL MATCH with multi-part patterns, property maps,
+//	relationship type alternation (:A|B), direction, and bounded
+//	variable-length paths (*min..max)
+//	WHERE with boolean algebra, comparisons, IN, STARTS WITH, ENDS WITH,
+//	CONTAINS, IS [NOT] NULL, EXISTS { ... } subpattern predicates
+//	WITH / RETURN with DISTINCT, aliases, aggregates (count, collect, sum,
+//	avg, min, max, percentileCont/Disc, stDev), ORDER BY, SKIP, LIMIT
+//	UNWIND, CREATE, MERGE (with ON CREATE/ON MATCH SET), SET, DELETE,
+//	DETACH DELETE, CASE expressions, list/map literals, $parameters
+package cypher
+
+import "fmt"
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword // normalized upper-case in text
+	tokString
+	tokInt
+	tokFloat
+	tokParam // $name
+
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokColon    // :
+	tokComma    // ,
+	tokDot      // .
+	tokDotDot   // ..
+	tokPipe     // |
+	tokDash     // -
+	tokArrowR   // ->
+	tokLt       // <
+	tokGt       // >
+	tokLe       // <=
+	tokGe       // >=
+	tokEq       // =
+	tokNeq      // <>
+	tokPlus     // +
+	tokStar     // *
+	tokSlash    // /
+	tokPercent  // %
+	tokCaret    // ^
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "end of input", tokIdent: "identifier", tokKeyword: "keyword",
+		tokString: "string", tokInt: "integer", tokFloat: "float", tokParam: "parameter",
+		tokLParen: "'('", tokRParen: "')'", tokLBracket: "'['", tokRBracket: "']'",
+		tokLBrace: "'{'", tokRBrace: "'}'", tokColon: "':'", tokComma: "','",
+		tokDot: "'.'", tokDotDot: "'..'", tokPipe: "'|'", tokDash: "'-'",
+		tokArrowR: "'->'", tokLt: "'<'", tokGt: "'>'", tokLe: "'<='", tokGe: "'>='",
+		tokEq: "'='", tokNeq: "'<>'", tokPlus: "'+'", tokStar: "'*'",
+		tokSlash: "'/'", tokPercent: "'%'", tokCaret: "'^'",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind tokenKind
+	text string // for idents: original spelling; keywords: upper-cased
+	pos  int    // byte offset in the source
+	line int
+	col  int
+}
+
+// keywords recognized by the lexer (case-insensitive). Everything else is
+// an identifier.
+var keywords = map[string]bool{
+	"MATCH": true, "OPTIONAL": true, "WHERE": true, "RETURN": true,
+	"WITH": true, "DISTINCT": true, "ORDER": true, "BY": true, "ASC": true,
+	"ASCENDING": true, "DESC": true, "DESCENDING": true, "SKIP": true,
+	"LIMIT": true, "AND": true, "OR": true, "XOR": true, "NOT": true,
+	"IN": true, "STARTS": true, "ENDS": true, "CONTAINS": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "AS": true, "CREATE": true,
+	"MERGE": true, "SET": true, "DELETE": true, "DETACH": true,
+	"UNWIND": true, "ON": true, "REMOVE": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "EXISTS": true, "COUNT": true, "UNION": true,
+	"ALL": true,
+}
+
+// Error is a query error carrying source position information.
+type Error struct {
+	Msg  string
+	Line int
+	Col  int
+}
+
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("cypher: line %d col %d: %s", e.Line, e.Col, e.Msg)
+	}
+	return "cypher: " + e.Msg
+}
+
+func errorf(t token, format string, args ...any) error {
+	return &Error{Msg: fmt.Sprintf(format, args...), Line: t.line, Col: t.col}
+}

@@ -1,0 +1,354 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"iyp/internal/graph"
+)
+
+// ValKind tags runtime values produced by query evaluation.
+type ValKind uint8
+
+const (
+	// ValScalar wraps a graph.Value (null, bool, int, float, string, or a
+	// list of scalars).
+	ValScalar ValKind = iota
+	// ValNode references a graph node.
+	ValNode
+	// ValRel references a graph relationship.
+	ValRel
+	// ValList is a list of runtime values (may mix entities and scalars).
+	ValList
+	// ValPath is a matched path: nodes and the relationships between them.
+	ValPath
+	// ValMap is a string-keyed map of runtime values (map literals,
+	// properties(x)).
+	ValMap
+)
+
+// Val is a runtime value: either a scalar, a graph entity reference, a
+// list, or a path.
+type Val struct {
+	kind   ValKind
+	scalar graph.Value
+	node   graph.NodeID
+	rel    graph.RelID
+	list   []Val
+	pNodes []graph.NodeID
+	pRels  []graph.RelID
+	m      map[string]Val
+}
+
+// ScalarVal wraps a graph.Value.
+func ScalarVal(v graph.Value) Val { return Val{kind: ValScalar, scalar: v} }
+
+// NullVal returns the scalar null.
+func NullVal() Val { return ScalarVal(graph.Null()) }
+
+// NodeVal references node id.
+func NodeVal(id graph.NodeID) Val { return Val{kind: ValNode, node: id} }
+
+// RelVal references relationship id.
+func RelVal(id graph.RelID) Val { return Val{kind: ValRel, rel: id} }
+
+// ListVal wraps a list.
+func ListVal(vs []Val) Val { return Val{kind: ValList, list: vs} }
+
+// MapVal wraps a map. The map is used directly; callers must not mutate it
+// afterwards.
+func MapVal(m map[string]Val) Val { return Val{kind: ValMap, m: m} }
+
+// PathVal builds a path value.
+func PathVal(nodes []graph.NodeID, rels []graph.RelID) Val {
+	return Val{kind: ValPath, pNodes: nodes, pRels: rels}
+}
+
+// Kind returns the value's kind.
+func (v Val) Kind() ValKind { return v.kind }
+
+// IsNull reports whether v is the scalar null.
+func (v Val) IsNull() bool { return v.kind == ValScalar && v.scalar.IsNull() }
+
+// Scalar returns the wrapped graph.Value; ok is false for non-scalars.
+func (v Val) Scalar() (graph.Value, bool) { return v.scalar, v.kind == ValScalar }
+
+// AsNode returns the node ID; ok is false for non-nodes.
+func (v Val) AsNode() (graph.NodeID, bool) { return v.node, v.kind == ValNode }
+
+// AsRel returns the relationship ID; ok is false for non-rels.
+func (v Val) AsRel() (graph.RelID, bool) { return v.rel, v.kind == ValRel }
+
+// AsList returns list elements; ok is false for non-lists.
+func (v Val) AsList() ([]Val, bool) { return v.list, v.kind == ValList }
+
+// AsMap returns map entries; ok is false for non-maps. The returned map
+// must not be mutated.
+func (v Val) AsMap() (map[string]Val, bool) { return v.m, v.kind == ValMap }
+
+// AsPath returns path nodes and rels; ok is false for non-paths.
+func (v Val) AsPath() ([]graph.NodeID, []graph.RelID, bool) {
+	return v.pNodes, v.pRels, v.kind == ValPath
+}
+
+// Convenience scalar accessors used heavily by studies and tests.
+
+// AsString returns a string payload.
+func (v Val) AsString() (string, bool) {
+	if v.kind != ValScalar {
+		return "", false
+	}
+	return v.scalar.AsString()
+}
+
+// AsInt returns an int payload.
+func (v Val) AsInt() (int64, bool) {
+	if v.kind != ValScalar {
+		return 0, false
+	}
+	return v.scalar.AsInt()
+}
+
+// AsFloat returns a float payload (converting ints).
+func (v Val) AsFloat() (float64, bool) {
+	if v.kind != ValScalar {
+		return 0, false
+	}
+	return v.scalar.AsFloat()
+}
+
+// AsBool returns a bool payload.
+func (v Val) AsBool() (bool, bool) {
+	if v.kind != ValScalar {
+		return false, false
+	}
+	return v.scalar.AsBool()
+}
+
+// Equal implements Cypher equality: entities compare by identity, scalars
+// by value, lists element-wise.
+func (v Val) Equal(o Val) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case ValScalar:
+		return v.scalar.Equal(o.scalar)
+	case ValNode:
+		return v.node == o.node
+	case ValRel:
+		return v.rel == o.rel
+	case ValList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case ValMap:
+		if len(v.m) != len(o.m) {
+			return false
+		}
+		for k, e := range v.m {
+			oe, ok := o.m[k]
+			if !ok || !e.Equal(oe) {
+				return false
+			}
+		}
+		return true
+	case ValPath:
+		if len(v.pNodes) != len(o.pNodes) || len(v.pRels) != len(o.pRels) {
+			return false
+		}
+		for i := range v.pNodes {
+			if v.pNodes[i] != o.pNodes[i] {
+				return false
+			}
+		}
+		for i := range v.pRels {
+			if v.pRels[i] != o.pRels[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// groupKey returns a comparable string encoding of the value, used for
+// DISTINCT, grouping and IN-set membership.
+func (v Val) groupKey() string {
+	var sb strings.Builder
+	v.appendKey(&sb)
+	return sb.String()
+}
+
+func (v Val) appendKey(sb *strings.Builder) {
+	switch v.kind {
+	case ValScalar:
+		sb.WriteByte('S')
+		sb.WriteString(scalarKey(v.scalar))
+	case ValNode:
+		sb.WriteByte('N')
+		sb.WriteString(strconv.FormatUint(uint64(v.node), 10))
+	case ValRel:
+		sb.WriteByte('R')
+		sb.WriteString(strconv.FormatUint(uint64(v.rel), 10))
+	case ValList:
+		sb.WriteByte('L')
+		sb.WriteString(strconv.Itoa(len(v.list)))
+		for _, e := range v.list {
+			sb.WriteByte(0x1f)
+			e.appendKey(sb)
+		}
+	case ValMap:
+		sb.WriteByte('M')
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			sb.WriteByte(0x1f)
+			sb.WriteString(k)
+			sb.WriteByte('=')
+			v.m[k].appendKey(sb)
+		}
+	case ValPath:
+		sb.WriteByte('P')
+		for _, n := range v.pNodes {
+			fmt.Fprintf(sb, "n%d", n)
+		}
+		for _, r := range v.pRels {
+			fmt.Fprintf(sb, "r%d", r)
+		}
+	}
+}
+
+func scalarKey(v graph.Value) string {
+	switch v.Kind() {
+	case graph.KindNull:
+		return "_"
+	case graph.KindBool:
+		b, _ := v.AsBool()
+		return "b" + strconv.FormatBool(b)
+	case graph.KindInt:
+		i, _ := v.AsInt()
+		return "i" + strconv.FormatInt(i, 10)
+	case graph.KindFloat:
+		// Integral floats collide with ints, consistent with Equal.
+		f, _ := v.AsFloat()
+		if f == float64(int64(f)) {
+			return "i" + strconv.FormatInt(int64(f), 10)
+		}
+		return "f" + strconv.FormatFloat(f, 'g', -1, 64)
+	case graph.KindString:
+		s, _ := v.AsString()
+		return "s" + s
+	case graph.KindList:
+		l, _ := v.AsList()
+		var sb strings.Builder
+		sb.WriteString("l")
+		for _, e := range l {
+			sb.WriteByte(0x1f)
+			sb.WriteString(scalarKey(e))
+		}
+		return sb.String()
+	}
+	return "?"
+}
+
+// Native converts v to plain Go data for JSON / display. Nodes and
+// relationships render as maps with their labels/type and properties.
+func (v Val) Native(g *graph.Graph) any {
+	switch v.kind {
+	case ValScalar:
+		return v.scalar.Native()
+	case ValNode:
+		return map[string]any{
+			"_id":        uint64(v.node),
+			"labels":     g.NodeLabels(v.node),
+			"properties": propsNative(g.NodeProps(v.node)),
+		}
+	case ValRel:
+		from, to := g.RelEndpoints(v.rel)
+		return map[string]any{
+			"_id":        uint64(v.rel),
+			"type":       g.RelType(v.rel),
+			"from":       uint64(from),
+			"to":         uint64(to),
+			"properties": propsNative(g.RelProps(v.rel)),
+		}
+	case ValList:
+		out := make([]any, len(v.list))
+		for i, e := range v.list {
+			out[i] = e.Native(g)
+		}
+		return out
+	case ValMap:
+		out := make(map[string]any, len(v.m))
+		for k, e := range v.m {
+			out[k] = e.Native(g)
+		}
+		return out
+	case ValPath:
+		nodes := make([]any, len(v.pNodes))
+		for i, n := range v.pNodes {
+			nodes[i] = NodeVal(n).Native(g)
+		}
+		rels := make([]any, len(v.pRels))
+		for i, r := range v.pRels {
+			rels[i] = RelVal(r).Native(g)
+		}
+		return map[string]any{"nodes": nodes, "relationships": rels}
+	}
+	return nil
+}
+
+func propsNative(p graph.Props) map[string]any {
+	out := make(map[string]any, len(p))
+	for k, v := range p {
+		out[k] = v.Native()
+	}
+	return out
+}
+
+// String renders the value for debugging and table output (without
+// resolving entity properties).
+func (v Val) String() string {
+	switch v.kind {
+	case ValScalar:
+		if s, ok := v.scalar.AsString(); ok {
+			return s
+		}
+		return v.scalar.String()
+	case ValNode:
+		return fmt.Sprintf("(#%d)", v.node)
+	case ValRel:
+		return fmt.Sprintf("[#%d]", v.rel)
+	case ValList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case ValMap:
+		keys := make([]string, 0, len(v.m))
+		for k := range v.m {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + ": " + v.m[k].String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case ValPath:
+		return fmt.Sprintf("path(%d nodes)", len(v.pNodes))
+	}
+	return "?"
+}

@@ -1,0 +1,298 @@
+package cypher
+
+import (
+	"iyp/internal/graph"
+)
+
+// Write clauses: CREATE, MERGE, SET, DELETE. The IYP ETL pipeline writes
+// through the ingest package's batched API for speed, but the query
+// language supports writes so that users of a local instance can annotate
+// the graph (paper §6.1: adding temporal SPoF relationships, tagging
+// studied resources).
+
+func (ex *executor) applyCreate(c *CreateClause, in []row) ([]row, error) {
+	out := make([]row, 0, len(in))
+	for _, r := range in {
+		nr := r.clone()
+		for _, pat := range c.Patterns {
+			if err := ex.createPath(pat, &nr); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+// createPath instantiates one pattern path, reusing bound variables and
+// creating everything else.
+func (ex *executor) createPath(pat PatternPath, r *row) error {
+	ids := make([]graph.NodeID, len(pat.Nodes))
+	for i, np := range pat.Nodes {
+		id, err := ex.resolveOrCreateNode(np, r)
+		if err != nil {
+			return err
+		}
+		ids[i] = id
+	}
+	var relIDs []graph.RelID
+	for i, rp := range pat.Rels {
+		if rp.VarLen {
+			return &Error{Msg: "cannot CREATE a variable-length relationship"}
+		}
+		if len(rp.Types) != 1 {
+			return &Error{Msg: "CREATE requires exactly one relationship type"}
+		}
+		from, to := ids[i], ids[i+1]
+		if rp.Dir == DirLeft {
+			from, to = to, from
+		}
+		props, err := ex.evalProps(rp.Props, *r)
+		if err != nil {
+			return err
+		}
+		rid, err := ex.g.AddRel(rp.Types[0], from, to, props)
+		if err != nil {
+			return err
+		}
+		ex.res.RelsCreated++
+		relIDs = append(relIDs, rid)
+		if rp.Var != "" {
+			if _, bound := r.get(rp.Var); bound {
+				return &Error{Msg: "relationship variable `" + rp.Var + "` already bound"}
+			}
+			r.set(rp.Var, RelVal(rid))
+		}
+	}
+	if pat.Var != "" {
+		r.set(pat.Var, PathVal(ids, relIDs))
+	}
+	return nil
+}
+
+func (ex *executor) resolveOrCreateNode(np NodePattern, r *row) (graph.NodeID, error) {
+	if np.Var != "" {
+		if v, bound := r.get(np.Var); bound {
+			id, ok := v.AsNode()
+			if !ok {
+				return 0, &Error{Msg: "variable `" + np.Var + "` is not a node"}
+			}
+			if len(np.Labels) > 0 || len(np.Props) > 0 {
+				return 0, &Error{Msg: "cannot add labels or properties to bound variable `" + np.Var + "` in CREATE"}
+			}
+			return id, nil
+		}
+	}
+	props, err := ex.evalProps(np.Props, *r)
+	if err != nil {
+		return 0, err
+	}
+	id := ex.g.AddNode(np.Labels, props)
+	ex.res.NodesCreated++
+	if np.Var != "" {
+		r.set(np.Var, NodeVal(id))
+	}
+	return id, nil
+}
+
+func (ex *executor) evalProps(exprs map[string]Expr, r row) (graph.Props, error) {
+	if len(exprs) == 0 {
+		return nil, nil
+	}
+	props := make(graph.Props, len(exprs))
+	for k, e := range exprs {
+		v, err := ex.ec.eval(e, r)
+		if err != nil {
+			return nil, err
+		}
+		sc, ok := v.Scalar()
+		if !ok {
+			return nil, &Error{Msg: "property `" + k + "` must be a scalar value"}
+		}
+		if !sc.IsNull() {
+			props[k] = sc
+		}
+	}
+	return props, nil
+}
+
+// --- MERGE ---
+
+func (ex *executor) applyMerge(c *MergeClause, in []row) ([]row, error) {
+	out := make([]row, 0, len(in))
+	for _, r := range in {
+		matches, err := ex.matchOnce([]PatternPath{c.Pattern}, nil, r, -1)
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) > 0 {
+			for _, m := range matches {
+				if err := ex.applySetItems(c.OnMatchSet, m); err != nil {
+					return nil, err
+				}
+				out = append(out, m)
+			}
+			continue
+		}
+		nr := r.clone()
+		if err := ex.createPath(c.Pattern, &nr); err != nil {
+			return nil, err
+		}
+		if err := ex.applySetItems(c.OnCreateSet, nr); err != nil {
+			return nil, err
+		}
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+// --- SET ---
+
+func (ex *executor) applySet(c *SetClause, in []row) ([]row, error) {
+	for _, r := range in {
+		if err := ex.applySetItems(c.Items, r); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+func (ex *executor) applySetItems(items []SetItem, r row) error {
+	for _, it := range items {
+		target, bound := r.get(it.Var)
+		if !bound {
+			return &Error{Msg: "variable `" + it.Var + "` not defined in SET"}
+		}
+		if target.IsNull() {
+			continue // SET on null (from OPTIONAL MATCH) is a no-op
+		}
+		switch {
+		case it.Label != "":
+			id, ok := target.AsNode()
+			if !ok {
+				return &Error{Msg: "cannot add a label to a non-node"}
+			}
+			if err := ex.g.AddLabel(id, it.Label); err != nil {
+				return err
+			}
+		case it.MapMerge:
+			v, err := ex.ec.eval(it.Value, r)
+			if err != nil {
+				return err
+			}
+			m, ok := v.AsMap()
+			if !ok {
+				return &Error{Msg: "+= requires a map value"}
+			}
+			for k, mv := range m {
+				sc, ok := mv.Scalar()
+				if !ok {
+					return &Error{Msg: "property `" + k + "` must be a scalar value"}
+				}
+				if err := ex.setEntityProp(target, k, sc); err != nil {
+					return err
+				}
+			}
+		default:
+			v, err := ex.ec.eval(it.Value, r)
+			if err != nil {
+				return err
+			}
+			sc, ok := v.Scalar()
+			if !ok {
+				return &Error{Msg: "property `" + it.Key + "` must be a scalar value"}
+			}
+			if err := ex.setEntityProp(target, it.Key, sc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (ex *executor) setEntityProp(target Val, key string, v graph.Value) error {
+	if id, ok := target.AsNode(); ok {
+		ex.res.PropsSet++
+		return ex.g.SetNodeProp(id, key, v)
+	}
+	if id, ok := target.AsRel(); ok {
+		ex.res.PropsSet++
+		return ex.g.SetRelProp(id, key, v)
+	}
+	return &Error{Msg: "SET target must be a node or relationship"}
+}
+
+// --- REMOVE ---
+
+func (ex *executor) applyRemove(c *RemoveClause, in []row) ([]row, error) {
+	for _, r := range in {
+		for _, it := range c.Items {
+			target, bound := r.get(it.Var)
+			if !bound {
+				return nil, &Error{Msg: "variable `" + it.Var + "` not defined in REMOVE"}
+			}
+			if target.IsNull() {
+				continue
+			}
+			if err := ex.setEntityProp(target, it.Key, graph.Null()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return in, nil
+}
+
+// --- DELETE ---
+
+func (ex *executor) applyDelete(c *DeleteClause, in []row) ([]row, error) {
+	// Collect first: multiple rows may reference the same entity.
+	nodeSet := map[graph.NodeID]struct{}{}
+	relSet := map[graph.RelID]struct{}{}
+	for _, r := range in {
+		for _, e := range c.Exprs {
+			v, err := ex.ec.eval(e, r)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if id, ok := v.AsNode(); ok {
+				nodeSet[id] = struct{}{}
+				continue
+			}
+			if id, ok := v.AsRel(); ok {
+				relSet[id] = struct{}{}
+				continue
+			}
+			return nil, &Error{Msg: "DELETE target must be a node or relationship"}
+		}
+	}
+	for id := range relSet {
+		if ex.g.RelType(id) == "" {
+			continue // already deleted
+		}
+		if err := ex.g.DeleteRel(id); err != nil {
+			return nil, err
+		}
+		ex.res.RelsDeleted++
+	}
+	for id := range nodeSet {
+		if !ex.g.HasNode(id) {
+			continue
+		}
+		degree := ex.g.Degree(id, graph.DirBoth, nil)
+		if !c.Detach && degree > 0 {
+			return nil, &Error{Msg: "cannot DELETE a node with relationships (use DETACH DELETE)"}
+		}
+		if err := ex.g.DeleteNode(id); err != nil {
+			return nil, err
+		}
+		ex.res.NodesDeleted++
+		// DETACH DELETE implicitly removes the incident relationships;
+		// rels between two deleted nodes are gone by the time the second
+		// node's degree is read, so this never double-counts.
+		ex.res.RelsDeleted += degree
+	}
+	return in, nil
+}

@@ -1,0 +1,444 @@
+package graph
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Snapshot format: a gzip stream wrapping a simple length-prefixed binary
+// layout. The paper distributes IYP as weekly Neo4j dumps (§3.1); Save/Load
+// provide the equivalent distribution channel for this reproduction.
+//
+//	magic "IYPG" | version u8
+//	label table:  uvarint count, strings
+//	type table:   uvarint count, strings
+//	node slots:   uvarint count, per slot: present u8, [labels, props]
+//	rel slots:    uvarint count, per slot: present u8, [type, from, to, props]
+//	index list:   uvarint count, per entry: label string, key string
+
+const (
+	snapshotMagic   = "IYPG"
+	snapshotVersion = 1
+)
+
+type snapshotWriter struct {
+	w   *bufio.Writer
+	buf []byte
+	err error
+}
+
+func (sw *snapshotWriter) uvarint(v uint64) {
+	if sw.err != nil {
+		return
+	}
+	sw.buf = binary.AppendUvarint(sw.buf[:0], v)
+	_, sw.err = sw.w.Write(sw.buf)
+}
+
+func (sw *snapshotWriter) byte(b byte) {
+	if sw.err != nil {
+		return
+	}
+	sw.err = sw.w.WriteByte(b)
+}
+
+func (sw *snapshotWriter) string(s string) {
+	sw.uvarint(uint64(len(s)))
+	if sw.err != nil {
+		return
+	}
+	_, sw.err = sw.w.WriteString(s)
+}
+
+func (sw *snapshotWriter) value(v Value) {
+	sw.byte(byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindBool:
+		if v.b {
+			sw.byte(1)
+		} else {
+			sw.byte(0)
+		}
+	case KindInt:
+		sw.uvarint(uint64(v.i)) // two's complement round-trips through uint64
+	case KindFloat:
+		sw.uvarint(math.Float64bits(v.f))
+	case KindString:
+		sw.string(v.s)
+	case KindList:
+		sw.uvarint(uint64(len(v.list)))
+		for _, e := range v.list {
+			sw.value(e)
+		}
+	}
+}
+
+func (sw *snapshotWriter) props(p Props) {
+	sw.uvarint(uint64(len(p)))
+	// Deterministic order keeps snapshots byte-stable for identical graphs.
+	for _, k := range p.Keys() {
+		sw.string(k)
+		sw.value(p[k])
+	}
+}
+
+// Save writes the graph snapshot to w.
+func (g *Graph) Save(w io.Writer) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+
+	zw := gzip.NewWriter(w)
+	sw := &snapshotWriter{w: bufio.NewWriterSize(zw, 1<<16)}
+
+	if _, err := sw.w.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	sw.byte(snapshotVersion)
+
+	sw.uvarint(uint64(len(g.labelNames)))
+	for _, s := range g.labelNames {
+		sw.string(s)
+	}
+	sw.uvarint(uint64(len(g.typeNames)))
+	for _, s := range g.typeNames {
+		sw.string(s)
+	}
+
+	sw.uvarint(uint64(len(g.nodes)))
+	for _, n := range g.nodes {
+		if n == nil {
+			sw.byte(0)
+			continue
+		}
+		sw.byte(1)
+		sw.uvarint(uint64(len(n.labels)))
+		for _, l := range n.labels {
+			sw.uvarint(uint64(l))
+		}
+		sw.props(n.props)
+	}
+
+	sw.uvarint(uint64(len(g.rels)))
+	for _, r := range g.rels {
+		if r == nil {
+			sw.byte(0)
+			continue
+		}
+		sw.byte(1)
+		sw.uvarint(uint64(r.typ))
+		sw.uvarint(uint64(r.from))
+		sw.uvarint(uint64(r.to))
+		sw.props(r.props)
+	}
+
+	sw.uvarint(uint64(len(g.propIdx)))
+	for pid := range g.propIdx {
+		sw.string(g.labelNames[pid.label])
+		sw.string(pid.key)
+	}
+
+	if sw.err != nil {
+		return fmt.Errorf("graph: snapshot write: %w", sw.err)
+	}
+	if err := sw.w.Flush(); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+type snapshotReader struct {
+	r *bufio.Reader
+}
+
+func (sr *snapshotReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(sr.r)
+}
+
+func (sr *snapshotReader) byte() (byte, error) {
+	return sr.r.ReadByte()
+}
+
+func (sr *snapshotReader) string() (string, error) {
+	n, err := sr.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<28 {
+		return "", fmt.Errorf("graph: snapshot string length %d too large", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(sr.r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (sr *snapshotReader) value() (Value, error) {
+	kb, err := sr.byte()
+	if err != nil {
+		return Null(), err
+	}
+	switch Kind(kb) {
+	case KindNull:
+		return Null(), nil
+	case KindBool:
+		b, err := sr.byte()
+		if err != nil {
+			return Null(), err
+		}
+		return Bool(b != 0), nil
+	case KindInt:
+		u, err := sr.uvarint()
+		if err != nil {
+			return Null(), err
+		}
+		return Int(int64(u)), nil
+	case KindFloat:
+		u, err := sr.uvarint()
+		if err != nil {
+			return Null(), err
+		}
+		return Float(math.Float64frombits(u)), nil
+	case KindString:
+		s, err := sr.string()
+		if err != nil {
+			return Null(), err
+		}
+		return String(s), nil
+	case KindList:
+		n, err := sr.uvarint()
+		if err != nil {
+			return Null(), err
+		}
+		if n > 1<<24 {
+			return Null(), fmt.Errorf("graph: snapshot list length %d too large", n)
+		}
+		vs := make([]Value, n)
+		for i := range vs {
+			if vs[i], err = sr.value(); err != nil {
+				return Null(), err
+			}
+		}
+		return List(vs...), nil
+	}
+	return Null(), fmt.Errorf("graph: snapshot: unknown value kind %d", kb)
+}
+
+func (sr *snapshotReader) props() (Props, error) {
+	n, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	p := make(Props, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := sr.string()
+		if err != nil {
+			return nil, err
+		}
+		v, err := sr.value()
+		if err != nil {
+			return nil, err
+		}
+		p[k] = v
+	}
+	return p, nil
+}
+
+// Load reads a snapshot written by Save and returns the reconstructed
+// graph, including rebuilt adjacency, label indexes, and property indexes.
+func Load(r io.Reader) (*Graph, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: snapshot: %w", err)
+	}
+	defer zr.Close()
+	sr := &snapshotReader{r: bufio.NewReaderSize(zr, 1<<16)}
+
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(sr.r, magic); err != nil {
+		return nil, fmt.Errorf("graph: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("graph: not a snapshot (bad magic %q)", magic)
+	}
+	ver, err := sr.byte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != snapshotVersion {
+		return nil, fmt.Errorf("graph: unsupported snapshot version %d", ver)
+	}
+
+	g := New()
+
+	nLabels, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nLabels; i++ {
+		s, err := sr.string()
+		if err != nil {
+			return nil, err
+		}
+		g.internLabel(s)
+	}
+	nTypes, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nTypes; i++ {
+		s, err := sr.string()
+		if err != nil {
+			return nil, err
+		}
+		g.internType(s)
+	}
+
+	nNodes, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	g.nodes = make([]*Node, 0, nNodes)
+	for i := uint64(0); i < nNodes; i++ {
+		present, err := sr.byte()
+		if err != nil {
+			return nil, err
+		}
+		if present == 0 {
+			g.nodes = append(g.nodes, nil)
+			continue
+		}
+		nl, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{id: NodeID(i + 1), labels: make([]labelID, nl)}
+		for j := range n.labels {
+			l, err := sr.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if l >= nLabels {
+				return nil, fmt.Errorf("graph: snapshot: label id %d out of range", l)
+			}
+			n.labels[j] = labelID(l)
+		}
+		if n.props, err = sr.props(); err != nil {
+			return nil, err
+		}
+		g.nodes = append(g.nodes, n)
+		g.nodeCount++
+	}
+
+	nRels, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	g.rels = make([]*Rel, 0, nRels)
+	for i := uint64(0); i < nRels; i++ {
+		present, err := sr.byte()
+		if err != nil {
+			return nil, err
+		}
+		if present == 0 {
+			g.rels = append(g.rels, nil)
+			continue
+		}
+		typ, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if typ >= nTypes {
+			return nil, fmt.Errorf("graph: snapshot: type id %d out of range", typ)
+		}
+		from, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		to, err := sr.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		props, err := sr.props()
+		if err != nil {
+			return nil, err
+		}
+		r := &Rel{id: RelID(i + 1), typ: typeID(typ), from: NodeID(from), to: NodeID(to), props: props}
+		fn, tn := g.node(r.from), g.node(r.to)
+		if fn == nil || tn == nil {
+			return nil, fmt.Errorf("graph: snapshot: relationship %d references missing node", r.id)
+		}
+		g.rels = append(g.rels, r)
+		g.relCount++
+		fn.out = append(fn.out, r.id)
+		tn.in = append(tn.in, r.id)
+	}
+
+	// Rebuild label index.
+	for _, n := range g.nodes {
+		if n == nil {
+			continue
+		}
+		for _, lid := range n.labels {
+			set := g.labelIdx[lid]
+			if set == nil {
+				set = make(map[NodeID]struct{})
+				g.labelIdx[lid] = set
+			}
+			set[n.id] = struct{}{}
+		}
+	}
+
+	nIdx, err := sr.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nIdx; i++ {
+		label, err := sr.string()
+		if err != nil {
+			return nil, err
+		}
+		key, err := sr.string()
+		if err != nil {
+			return nil, err
+		}
+		g.ensureIndexLocked(label, key)
+	}
+
+	return g, nil
+}
+
+// SaveFile writes a snapshot to path atomically (temp file + rename).
+func (g *Graph) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := g.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a snapshot from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

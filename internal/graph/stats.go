@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the graph contents, the information `iyp-report
+// inventory` prints and tests assert on.
+type Stats struct {
+	Nodes     int
+	Rels      int
+	ByLabel   map[string]int
+	ByRelType map[string]int
+}
+
+// Stats computes a summary of the graph.
+func (g *Graph) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := Stats{
+		Nodes:     g.nodeCount,
+		Rels:      g.relCount,
+		ByLabel:   make(map[string]int, len(g.labelNames)),
+		ByRelType: make(map[string]int, len(g.typeNames)),
+	}
+	for lid, set := range g.labelIdx {
+		if len(set) > 0 {
+			s.ByLabel[g.labelNames[lid]] = len(set)
+		}
+	}
+	for _, r := range g.rels {
+		if r == nil {
+			continue
+		}
+		s.ByRelType[g.typeNames[r.typ]]++
+	}
+	return s
+}
+
+// String renders the stats as an aligned text table.
+func (s Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "nodes: %d  relationships: %d\n", s.Nodes, s.Rels)
+	sb.WriteString("node labels:\n")
+	for _, k := range sortedKeys(s.ByLabel) {
+		fmt.Fprintf(&sb, "  %-28s %d\n", k, s.ByLabel[k])
+	}
+	sb.WriteString("relationship types:\n")
+	for _, k := range sortedKeys(s.ByRelType) {
+		fmt.Fprintf(&sb, "  %-28s %d\n", k, s.ByRelType[k])
+	}
+	return sb.String()
+}
+
+func sortedKeys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

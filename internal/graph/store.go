@@ -1,0 +1,750 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeID identifies a node. IDs are assigned sequentially starting at 1; 0
+// is never a valid ID.
+type NodeID uint64
+
+// RelID identifies a relationship, with the same conventions as NodeID.
+type RelID uint64
+
+type labelID uint16
+type typeID uint16
+
+// Node is a labeled property vertex. Fields are unexported; all access goes
+// through methods so the store can synchronize and maintain indexes.
+type Node struct {
+	id     NodeID
+	labels []labelID // sorted
+	props  Props
+	out    []RelID
+	in     []RelID
+}
+
+// Rel is a typed, directed edge with properties.
+type Rel struct {
+	id    RelID
+	typ   typeID
+	from  NodeID
+	to    NodeID
+	props Props
+}
+
+// ID returns the node's identifier.
+func (n *Node) ID() NodeID { return n.id }
+
+// ID returns the relationship's identifier.
+func (r *Rel) ID() RelID { return r.id }
+
+// From returns the source node ID.
+func (r *Rel) From() NodeID { return r.from }
+
+// To returns the destination node ID.
+func (r *Rel) To() NodeID { return r.to }
+
+// Other returns the endpoint of r that is not n.
+func (r *Rel) Other(n NodeID) NodeID {
+	if r.from == n {
+		return r.to
+	}
+	return r.from
+}
+
+type propIdxID struct {
+	label labelID
+	key   string
+}
+
+// Graph is the in-memory property graph. All exported methods are safe for
+// concurrent use; reads proceed in parallel under an RWMutex.
+type Graph struct {
+	mu sync.RWMutex
+
+	labelNames []string
+	labelIDs   map[string]labelID
+	typeNames  []string
+	typeIDs    map[string]typeID
+
+	nodes []*Node // index id-1; nil = deleted
+	rels  []*Rel
+
+	labelIdx map[labelID]map[NodeID]struct{}
+	propIdx  map[propIdxID]map[indexKey]map[NodeID]struct{}
+
+	nodeCount int
+	relCount  int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		labelIDs: make(map[string]labelID),
+		typeIDs:  make(map[string]typeID),
+		labelIdx: make(map[labelID]map[NodeID]struct{}),
+		propIdx:  make(map[propIdxID]map[indexKey]map[NodeID]struct{}),
+	}
+}
+
+// --- interning (callers hold mu) ---
+
+func (g *Graph) internLabel(name string) labelID {
+	if id, ok := g.labelIDs[name]; ok {
+		return id
+	}
+	id := labelID(len(g.labelNames))
+	g.labelNames = append(g.labelNames, name)
+	g.labelIDs[name] = id
+	return id
+}
+
+func (g *Graph) internType(name string) typeID {
+	if id, ok := g.typeIDs[name]; ok {
+		return id
+	}
+	id := typeID(len(g.typeNames))
+	g.typeNames = append(g.typeNames, name)
+	g.typeIDs[name] = id
+	return id
+}
+
+// Labels returns all label names ever used, sorted.
+func (g *Graph) Labels() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, len(g.labelNames))
+	copy(out, g.labelNames)
+	sort.Strings(out)
+	return out
+}
+
+// RelTypes returns all relationship type names ever used, sorted.
+func (g *Graph) RelTypes() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, len(g.typeNames))
+	copy(out, g.typeNames)
+	sort.Strings(out)
+	return out
+}
+
+// --- node lifecycle ---
+
+// AddNode creates a node with the given labels and a copy of props.
+func (g *Graph) AddNode(labels []string, props Props) NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addNodeLocked(labels, props)
+}
+
+func (g *Graph) addNodeLocked(labels []string, props Props) NodeID {
+	n := &Node{
+		id:    NodeID(len(g.nodes) + 1),
+		props: props.Clone(),
+	}
+	if n.props == nil {
+		n.props = Props{}
+	}
+	for _, l := range labels {
+		n.labels = insertLabel(n.labels, g.internLabel(l))
+	}
+	g.nodes = append(g.nodes, n)
+	g.nodeCount++
+	for _, lid := range n.labels {
+		g.indexNodeLabelLocked(n, lid)
+	}
+	return n.id
+}
+
+func insertLabel(ls []labelID, l labelID) []labelID {
+	i := sort.Search(len(ls), func(i int) bool { return ls[i] >= l })
+	if i < len(ls) && ls[i] == l {
+		return ls
+	}
+	ls = append(ls, 0)
+	copy(ls[i+1:], ls[i:])
+	ls[i] = l
+	return ls
+}
+
+func (g *Graph) indexNodeLabelLocked(n *Node, lid labelID) {
+	set := g.labelIdx[lid]
+	if set == nil {
+		set = make(map[NodeID]struct{})
+		g.labelIdx[lid] = set
+	}
+	set[n.id] = struct{}{}
+	// Populate any property indexes that exist for this label.
+	for key, v := range n.props {
+		g.propIndexAddLocked(lid, key, v, n.id)
+	}
+}
+
+func (g *Graph) propIndexAddLocked(lid labelID, key string, v Value, id NodeID) {
+	idx, ok := g.propIdx[propIdxID{lid, key}]
+	if !ok {
+		return
+	}
+	k := v.key()
+	set := idx[k]
+	if set == nil {
+		set = make(map[NodeID]struct{})
+		idx[k] = set
+	}
+	set[id] = struct{}{}
+}
+
+func (g *Graph) propIndexRemoveLocked(lid labelID, key string, v Value, id NodeID) {
+	idx, ok := g.propIdx[propIdxID{lid, key}]
+	if !ok {
+		return
+	}
+	k := v.key()
+	if set := idx[k]; set != nil {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(idx, k)
+		}
+	}
+}
+
+// node returns the live node for id (callers hold mu).
+func (g *Graph) node(id NodeID) *Node {
+	if id == 0 || int(id) > len(g.nodes) {
+		return nil
+	}
+	return g.nodes[id-1]
+}
+
+func (g *Graph) rel(id RelID) *Rel {
+	if id == 0 || int(id) > len(g.rels) {
+		return nil
+	}
+	return g.rels[id-1]
+}
+
+// HasNode reports whether id refers to a live node.
+func (g *Graph) HasNode(id NodeID) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.node(id) != nil
+}
+
+// AddLabel adds a label to an existing node.
+func (g *Graph) AddLabel(id NodeID, label string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.node(id)
+	if n == nil {
+		return fmt.Errorf("graph: no node %d", id)
+	}
+	lid := g.internLabel(label)
+	before := len(n.labels)
+	n.labels = insertLabel(n.labels, lid)
+	if len(n.labels) != before {
+		g.indexNodeLabelLocked(n, lid)
+	}
+	return nil
+}
+
+// NodeLabels returns the node's labels, sorted by name.
+func (g *Graph) NodeLabels(id NodeID) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := g.node(id)
+	if n == nil {
+		return nil
+	}
+	out := make([]string, len(n.labels))
+	for i, lid := range n.labels {
+		out[i] = g.labelNames[lid]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodeHasLabel reports whether the node carries label.
+func (g *Graph) NodeHasLabel(id NodeID, label string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := g.node(id)
+	if n == nil {
+		return false
+	}
+	lid, ok := g.labelIDs[label]
+	if !ok {
+		return false
+	}
+	i := sort.Search(len(n.labels), func(i int) bool { return n.labels[i] >= lid })
+	return i < len(n.labels) && n.labels[i] == lid
+}
+
+// SetNodeProp sets (or with a Null value, clears) a node property,
+// maintaining any property indexes.
+func (g *Graph) SetNodeProp(id NodeID, key string, v Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.node(id)
+	if n == nil {
+		return fmt.Errorf("graph: no node %d", id)
+	}
+	if old, ok := n.props[key]; ok {
+		for _, lid := range n.labels {
+			g.propIndexRemoveLocked(lid, key, old, id)
+		}
+	}
+	if v.IsNull() {
+		delete(n.props, key)
+		return nil
+	}
+	n.props[key] = v
+	for _, lid := range n.labels {
+		g.propIndexAddLocked(lid, key, v, id)
+	}
+	return nil
+}
+
+// NodeProp returns a node property (Null when absent or node missing).
+func (g *Graph) NodeProp(id NodeID, key string) Value {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := g.node(id)
+	if n == nil {
+		return Null()
+	}
+	return n.props[key]
+}
+
+// NodeProps returns a copy of the node's property map.
+func (g *Graph) NodeProps(id NodeID) Props {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := g.node(id)
+	if n == nil {
+		return nil
+	}
+	return n.props.Clone()
+}
+
+// DeleteNode removes a node and all its relationships (DETACH DELETE).
+func (g *Graph) DeleteNode(id NodeID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := g.node(id)
+	if n == nil {
+		return fmt.Errorf("graph: no node %d", id)
+	}
+	for _, rid := range append(append([]RelID{}, n.out...), n.in...) {
+		if r := g.rel(rid); r != nil {
+			g.deleteRelLocked(r)
+		}
+	}
+	for _, lid := range n.labels {
+		delete(g.labelIdx[lid], id)
+		for key, v := range n.props {
+			g.propIndexRemoveLocked(lid, key, v, id)
+		}
+	}
+	g.nodes[id-1] = nil
+	g.nodeCount--
+	return nil
+}
+
+// --- relationships ---
+
+// AddRel creates a relationship of the given type from→to with a copy of
+// props.
+func (g *Graph) AddRel(typ string, from, to NodeID, props Props) (RelID, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addRelLocked(typ, from, to, props)
+}
+
+func (g *Graph) addRelLocked(typ string, from, to NodeID, props Props) (RelID, error) {
+	fn, tn := g.node(from), g.node(to)
+	if fn == nil || tn == nil {
+		return 0, fmt.Errorf("graph: relationship %s endpoints %d->%d: missing node", typ, from, to)
+	}
+	r := &Rel{
+		id:    RelID(len(g.rels) + 1),
+		typ:   g.internType(typ),
+		from:  from,
+		to:    to,
+		props: props.Clone(),
+	}
+	if r.props == nil {
+		r.props = Props{}
+	}
+	g.rels = append(g.rels, r)
+	g.relCount++
+	fn.out = append(fn.out, r.id)
+	tn.in = append(tn.in, r.id)
+	return r.id, nil
+}
+
+func (g *Graph) deleteRelLocked(r *Rel) {
+	if fn := g.node(r.from); fn != nil {
+		fn.out = removeID(fn.out, r.id)
+	}
+	if tn := g.node(r.to); tn != nil {
+		tn.in = removeID(tn.in, r.id)
+	}
+	g.rels[r.id-1] = nil
+	g.relCount--
+}
+
+func removeID(ids []RelID, id RelID) []RelID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// DeleteRel removes a relationship.
+func (g *Graph) DeleteRel(id RelID) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.rel(id)
+	if r == nil {
+		return fmt.Errorf("graph: no relationship %d", id)
+	}
+	g.deleteRelLocked(r)
+	return nil
+}
+
+// RelType returns the relationship's type name.
+func (g *Graph) RelType(id RelID) string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r := g.rel(id)
+	if r == nil {
+		return ""
+	}
+	return g.typeNames[r.typ]
+}
+
+// RelEndpoints returns the from and to node IDs (0,0 when missing).
+func (g *Graph) RelEndpoints(id RelID) (NodeID, NodeID) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r := g.rel(id)
+	if r == nil {
+		return 0, 0
+	}
+	return r.from, r.to
+}
+
+// SetRelProp sets (or clears, with Null) a relationship property.
+func (g *Graph) SetRelProp(id RelID, key string, v Value) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r := g.rel(id)
+	if r == nil {
+		return fmt.Errorf("graph: no relationship %d", id)
+	}
+	if v.IsNull() {
+		delete(r.props, key)
+	} else {
+		r.props[key] = v
+	}
+	return nil
+}
+
+// RelProp returns a relationship property (Null when absent).
+func (g *Graph) RelProp(id RelID, key string) Value {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r := g.rel(id)
+	if r == nil {
+		return Null()
+	}
+	return r.props[key]
+}
+
+// RelProps returns a copy of the relationship's property map.
+func (g *Graph) RelProps(id RelID) Props {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	r := g.rel(id)
+	if r == nil {
+		return nil
+	}
+	return r.props.Clone()
+}
+
+// --- traversal ---
+
+// Dir selects traversal direction relative to a node.
+type Dir uint8
+
+const (
+	// DirOut follows relationships leaving the node.
+	DirOut Dir = iota
+	// DirIn follows relationships entering the node.
+	DirIn
+	// DirBoth follows relationships in either direction.
+	DirBoth
+)
+
+// Rels appends to buf the IDs of relationships incident to node id in the
+// given direction, optionally filtered to the named types (nil/empty =
+// all). It returns the extended buffer, enabling allocation reuse in the
+// query executor's hot path.
+func (g *Graph) Rels(id NodeID, dir Dir, types []string, buf []RelID) []RelID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := g.node(id)
+	if n == nil {
+		return buf
+	}
+	var want []typeID
+	if len(types) > 0 {
+		want = make([]typeID, 0, len(types))
+		for _, t := range types {
+			tid, ok := g.typeIDs[t]
+			if !ok {
+				continue // type never used: matches nothing
+			}
+			want = append(want, tid)
+		}
+		if len(want) == 0 {
+			return buf
+		}
+	}
+	match := func(r *Rel) bool {
+		if want == nil {
+			return true
+		}
+		for _, w := range want {
+			if r.typ == w {
+				return true
+			}
+		}
+		return false
+	}
+	if dir == DirOut || dir == DirBoth {
+		for _, rid := range n.out {
+			if r := g.rel(rid); r != nil && match(r) {
+				buf = append(buf, rid)
+			}
+		}
+	}
+	if dir == DirIn || dir == DirBoth {
+		for _, rid := range n.in {
+			if r := g.rel(rid); r != nil && match(r) {
+				// A self-loop already appeared in the out scan.
+				if dir == DirBoth && r.from == r.to {
+					continue
+				}
+				buf = append(buf, rid)
+			}
+		}
+	}
+	return buf
+}
+
+// Degree returns the number of incident relationships in the given
+// direction, optionally filtered by type.
+func (g *Graph) Degree(id NodeID, dir Dir, types []string) int {
+	return len(g.Rels(id, dir, types, nil))
+}
+
+// --- scans & indexes ---
+
+// EachNode calls fn for every live node until fn returns false.
+func (g *Graph) EachNode(fn func(NodeID) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, n := range g.nodes {
+		if n == nil {
+			continue
+		}
+		if !fn(n.id) {
+			return
+		}
+	}
+}
+
+// EachRel calls fn for every live relationship until fn returns false.
+func (g *Graph) EachRel(fn func(RelID) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for _, r := range g.rels {
+		if r == nil {
+			continue
+		}
+		if !fn(r.id) {
+			return
+		}
+	}
+}
+
+// NodesByLabel returns the IDs of all nodes carrying label, in ascending
+// order.
+func (g *Graph) NodesByLabel(label string) []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	lid, ok := g.labelIDs[label]
+	if !ok {
+		return nil
+	}
+	set := g.labelIdx[lid]
+	out := make([]NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CountByLabel returns the number of nodes carrying label.
+func (g *Graph) CountByLabel(label string) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	lid, ok := g.labelIDs[label]
+	if !ok {
+		return 0
+	}
+	return len(g.labelIdx[lid])
+}
+
+// EnsureIndex creates (and backfills) a hash index on (label, property) if
+// it does not already exist.
+func (g *Graph) EnsureIndex(label, key string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ensureIndexLocked(label, key)
+}
+
+func (g *Graph) ensureIndexLocked(label, key string) map[indexKey]map[NodeID]struct{} {
+	lid := g.internLabel(label)
+	pid := propIdxID{lid, key}
+	if idx, ok := g.propIdx[pid]; ok {
+		return idx
+	}
+	idx := make(map[indexKey]map[NodeID]struct{})
+	g.propIdx[pid] = idx
+	for id := range g.labelIdx[lid] {
+		n := g.node(id)
+		if n == nil {
+			continue
+		}
+		if v, ok := n.props[key]; ok {
+			g.propIndexAddLocked(lid, key, v, id)
+		}
+	}
+	return idx
+}
+
+// HasIndex reports whether an index exists on (label, key).
+func (g *Graph) HasIndex(label, key string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	lid, ok := g.labelIDs[label]
+	if !ok {
+		return false
+	}
+	_, ok = g.propIdx[propIdxID{lid, key}]
+	return ok
+}
+
+// NodesByProp returns nodes with label whose property key equals v. It uses
+// the (label,key) index when present and otherwise falls back to scanning
+// the label's nodes.
+func (g *Graph) NodesByProp(label, key string, v Value) []NodeID {
+	g.mu.RLock()
+	lid, ok := g.labelIDs[label]
+	if !ok {
+		g.mu.RUnlock()
+		return nil
+	}
+	if idx, ok := g.propIdx[propIdxID{lid, key}]; ok {
+		set := idx[v.key()]
+		out := make([]NodeID, 0, len(set))
+		for id := range set {
+			out = append(out, id)
+		}
+		g.mu.RUnlock()
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	var out []NodeID
+	for id := range g.labelIdx[lid] {
+		n := g.node(id)
+		if n == nil {
+			continue
+		}
+		if pv, ok := n.props[key]; ok && pv.Equal(v) {
+			out = append(out, id)
+		}
+	}
+	g.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MergeNode finds the node with the given label whose identity property
+// key equals v, creating it (with extraLabels and props) when absent.
+// It reports whether the node was created. When the node exists, props are
+// merged in (existing values win) and extraLabels are added — mirroring the
+// upsert semantics of the IYP importers.
+func (g *Graph) MergeNode(label, key string, v Value, extraLabels []string, props Props) (NodeID, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	// Identity lookups always deserve an index.
+	idx := g.ensureIndexLocked(label, key)
+	if set := idx[v.key()]; len(set) > 0 {
+		var id NodeID
+		for nid := range set {
+			if id == 0 || nid < id {
+				id = nid
+			}
+		}
+		n := g.node(id)
+		for _, l := range extraLabels {
+			elid := g.internLabel(l)
+			before := len(n.labels)
+			n.labels = insertLabel(n.labels, elid)
+			if len(n.labels) != before {
+				g.indexNodeLabelLocked(n, elid)
+			}
+		}
+		for k, pv := range props {
+			if _, exists := n.props[k]; !exists {
+				n.props[k] = pv
+				for _, l := range n.labels {
+					g.propIndexAddLocked(l, k, pv, id)
+				}
+			}
+		}
+		return id, false
+	}
+	all := props.Clone()
+	if all == nil {
+		all = Props{}
+	}
+	all[key] = v
+	labels := append([]string{label}, extraLabels...)
+	id := g.addNodeLocked(labels, all)
+	return id, true
+}
+
+// NumNodes returns the live node count.
+func (g *Graph) NumNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nodeCount
+}
+
+// NumRels returns the live relationship count.
+func (g *Graph) NumRels() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.relCount
+}

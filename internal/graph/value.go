@@ -1,0 +1,402 @@
+// Package graph implements the labeled property graph that backs IYP — the
+// reproduction's stand-in for Neo4j. It stores labeled nodes, typed directed
+// relationships, and arbitrary properties on both; maintains per-(label,
+// property) hash indexes and unique identity constraints; and persists to
+// compressed binary snapshots.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the property value types the graph can store. The set
+// mirrors what the IYP importers need: Cypher literals plus homogeneous or
+// mixed lists.
+type Kind uint8
+
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindList
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindList:
+		return "list"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged union of the property types. The zero Value is Null.
+// Values are immutable by convention: accessors return copies of list
+// contents where mutation could leak.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64
+	f    float64
+	s    string
+	list []Value
+}
+
+// Constructors.
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// Bool wraps a boolean.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Int wraps an integer.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float wraps a float.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// String wraps a string.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// List wraps a list of values. The slice is used directly; callers must not
+// mutate it afterwards.
+func List(vs ...Value) Value { return Value{kind: KindList, list: vs} }
+
+// Strings builds a list value from strings.
+func Strings(ss ...string) Value {
+	vs := make([]Value, len(ss))
+	for i, s := range ss {
+		vs[i] = String(s)
+	}
+	return List(vs...)
+}
+
+// Of converts a native Go value (bool, integer kinds, floats, string,
+// []any, []string, []int, nil, or Value itself) into a Value. It panics on
+// unsupported types; use it only with trusted inputs.
+func Of(v any) Value {
+	switch x := v.(type) {
+	case nil:
+		return Null()
+	case Value:
+		return x
+	case bool:
+		return Bool(x)
+	case int:
+		return Int(int64(x))
+	case int32:
+		return Int(int64(x))
+	case int64:
+		return Int(x)
+	case uint32:
+		return Int(int64(x))
+	case uint64:
+		return Int(int64(x))
+	case float32:
+		return Float(float64(x))
+	case float64:
+		return Float(x)
+	case string:
+		return String(x)
+	case []string:
+		return Strings(x...)
+	case []int:
+		vs := make([]Value, len(x))
+		for i, n := range x {
+			vs[i] = Int(int64(n))
+		}
+		return List(vs...)
+	case []any:
+		vs := make([]Value, len(x))
+		for i, e := range x {
+			vs[i] = Of(e)
+		}
+		return List(vs...)
+	case []Value:
+		return List(x...)
+	default:
+		panic(fmt.Sprintf("graph: unsupported property type %T", v))
+	}
+}
+
+// Accessors.
+
+// Kind returns the value's kind tag.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsBool returns the boolean payload; ok is false for other kinds.
+func (v Value) AsBool() (bool, bool) { return v.b, v.kind == KindBool }
+
+// AsInt returns the integer payload; ok is false for other kinds.
+func (v Value) AsInt() (int64, bool) { return v.i, v.kind == KindInt }
+
+// AsFloat returns a float payload, converting ints; ok is false otherwise.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, true
+	case KindInt:
+		return float64(v.i), true
+	}
+	return 0, false
+}
+
+// AsString returns the string payload; ok is false for other kinds.
+func (v Value) AsString() (string, bool) { return v.s, v.kind == KindString }
+
+// AsList returns the list payload; ok is false for other kinds. The
+// returned slice must not be mutated.
+func (v Value) AsList() ([]Value, bool) { return v.list, v.kind == KindList }
+
+// Native converts a Value back into a plain Go value for JSON encoding and
+// user-facing APIs.
+func (v Value) Native() any {
+	switch v.kind {
+	case KindNull:
+		return nil
+	case KindBool:
+		return v.b
+	case KindInt:
+		return v.i
+	case KindFloat:
+		return v.f
+	case KindString:
+		return v.s
+	case KindList:
+		out := make([]any, len(v.list))
+		for i, e := range v.list {
+			out[i] = e.Native()
+		}
+		return out
+	}
+	return nil
+}
+
+// String renders the value roughly as a Cypher literal.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindList:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, e := range v.list {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	}
+	return "?"
+}
+
+// Equal reports deep semantic equality. Ints and floats compare
+// numerically (Int(2) equals Float(2.0)), matching Cypher semantics.
+func (v Value) Equal(o Value) bool {
+	if v.isNumeric() && o.isNumeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		// Exact int comparison when both are ints avoids float rounding.
+		if v.kind == KindInt && o.kind == KindInt {
+			return v.i == o.i
+		}
+		return a == b
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindString:
+		return v.s == o.s
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Compare orders two values: -1, 0, +1. Cross-kind comparisons order by
+// kind tag (null < bool < numeric < string < list), numerics compare
+// numerically. The second return is false when the values are not
+// meaningfully comparable in Cypher (we still produce a stable order for
+// sorting).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.isNumeric() && o.isNumeric() {
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.kind != o.kind {
+		ka, kb := kindOrder(v.kind), kindOrder(o.kind)
+		switch {
+		case ka < kb:
+			return -1, false
+		case ka > kb:
+			return 1, false
+		default:
+			return 0, false
+		}
+	}
+	switch v.kind {
+	case KindNull:
+		return 0, false
+	case KindBool:
+		switch {
+		case !v.b && o.b:
+			return -1, true
+		case v.b && !o.b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case KindString:
+		return strings.Compare(v.s, o.s), true
+	case KindList:
+		n := min(len(v.list), len(o.list))
+		for i := 0; i < n; i++ {
+			if c, _ := v.list[i].Compare(o.list[i]); c != 0 {
+				return c, true
+			}
+		}
+		switch {
+		case len(v.list) < len(o.list):
+			return -1, true
+		case len(v.list) > len(o.list):
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func kindOrder(k Kind) int {
+	switch k {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	case KindString:
+		return 3
+	case KindList:
+		return 4
+	}
+	return 5
+}
+
+// indexKey is a comparable encoding of a Value for use as a map key in
+// property indexes and DISTINCT/grouping sets. Lists are flattened into a
+// string encoding; floats that are integral normalize to the int encoding
+// so Int(2) and Float(2.0) collide, consistent with Equal.
+type indexKey struct {
+	kind Kind
+	b    bool
+	i    int64
+	s    string
+}
+
+func (v Value) key() indexKey {
+	switch v.kind {
+	case KindNull:
+		return indexKey{kind: KindNull}
+	case KindBool:
+		return indexKey{kind: KindBool, b: v.b}
+	case KindInt:
+		return indexKey{kind: KindInt, i: v.i}
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			return indexKey{kind: KindInt, i: int64(v.f)}
+		}
+		return indexKey{kind: KindFloat, i: int64(math.Float64bits(v.f))}
+	case KindString:
+		return indexKey{kind: KindString, s: v.s}
+	case KindList:
+		var sb strings.Builder
+		for i, e := range v.list {
+			if i > 0 {
+				sb.WriteByte(0)
+			}
+			k := e.key()
+			fmt.Fprintf(&sb, "%d:%v:%d:%s", k.kind, k.b, k.i, k.s)
+		}
+		return indexKey{kind: KindList, s: sb.String()}
+	}
+	return indexKey{}
+}
+
+// Props is a property map attached to a node or relationship.
+type Props map[string]Value
+
+// Clone returns a shallow copy of the map (values are immutable).
+func (p Props) Clone() Props {
+	if p == nil {
+		return nil
+	}
+	out := make(Props, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Keys returns the sorted property names.
+func (p Props) Keys() []string {
+	ks := make([]string, 0, len(p))
+	for k := range p {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

@@ -1,0 +1,226 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() || Null().Kind() != KindNull {
+		t.Error("Null() is not null")
+	}
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Error("Bool round-trip failed")
+	}
+	if i, ok := Int(-42).AsInt(); !ok || i != -42 {
+		t.Error("Int round-trip failed")
+	}
+	if f, ok := Float(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Error("Float round-trip failed")
+	}
+	// Ints convert to floats via AsFloat.
+	if f, ok := Int(3).AsFloat(); !ok || f != 3.0 {
+		t.Error("Int.AsFloat failed")
+	}
+	if s, ok := String("x").AsString(); !ok || s != "x" {
+		t.Error("String round-trip failed")
+	}
+	l, ok := Strings("a", "b").AsList()
+	if !ok || len(l) != 2 {
+		t.Error("Strings round-trip failed")
+	}
+	// Wrong-kind accessors report !ok.
+	if _, ok := Int(1).AsString(); ok {
+		t.Error("Int.AsString should fail")
+	}
+	if _, ok := String("x").AsInt(); ok {
+		t.Error("String.AsInt should fail")
+	}
+	if _, ok := String("x").AsFloat(); ok {
+		t.Error("String.AsFloat should fail")
+	}
+}
+
+func TestOf(t *testing.T) {
+	tests := []struct {
+		in   any
+		want Value
+	}{
+		{nil, Null()},
+		{true, Bool(true)},
+		{int(7), Int(7)},
+		{int32(7), Int(7)},
+		{int64(7), Int(7)},
+		{uint32(7), Int(7)},
+		{uint64(7), Int(7)},
+		{float32(1.5), Float(1.5)},
+		{float64(1.5), Float(1.5)},
+		{"s", String("s")},
+		{[]string{"a"}, Strings("a")},
+		{[]int{1, 2}, List(Int(1), Int(2))},
+		{[]any{"a", 1}, List(String("a"), Int(1))},
+		{Int(9), Int(9)},
+	}
+	for _, tc := range tests {
+		if got := Of(tc.in); !got.Equal(tc.want) {
+			t.Errorf("Of(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Of(struct{}{}) should panic")
+		}
+	}()
+	Of(struct{}{})
+}
+
+func TestValueNativeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null(), Bool(true), Int(-3), Float(0.25), String("hello"),
+		List(Int(1), String("two"), List(Bool(false))),
+	}
+	for _, v := range vals {
+		back := Of(v.Native())
+		if !v.Equal(back) {
+			t.Errorf("Native round-trip: %v -> %v", v, back)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(2).Equal(Float(2.0)) {
+		t.Error("Int(2) should equal Float(2.0) (Cypher numeric equality)")
+	}
+	if Int(2).Equal(Float(2.5)) {
+		t.Error("Int(2) should not equal Float(2.5)")
+	}
+	if Int(0).Equal(String("0")) {
+		t.Error("Int(0) should not equal String(\"0\")")
+	}
+	if !List(Int(1), Int(2)).Equal(List(Int(1), Float(2))) {
+		t.Error("lists should compare element-wise numerically")
+	}
+	if List(Int(1)).Equal(List(Int(1), Int(2))) {
+		t.Error("lists of different length should differ")
+	}
+	if !Null().Equal(Null()) {
+		t.Error("Null equals Null (value identity, not Cypher ternary)")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	lt := func(a, b Value) {
+		t.Helper()
+		if c, _ := a.Compare(b); c >= 0 {
+			t.Errorf("%v should be < %v", a, b)
+		}
+		if c, _ := b.Compare(a); c <= 0 {
+			t.Errorf("%v should be > %v", b, a)
+		}
+	}
+	lt(Int(1), Int(2))
+	lt(Int(1), Float(1.5))
+	lt(Float(-0.5), Int(0))
+	lt(String("a"), String("b"))
+	lt(Bool(false), Bool(true))
+	lt(List(Int(1)), List(Int(1), Int(0)))
+	lt(List(Int(1), Int(2)), List(Int(2)))
+	if c, _ := Int(5).Compare(Float(5)); c != 0 {
+		t.Error("Int(5) should compare equal to Float(5)")
+	}
+}
+
+func TestValueCompareTotalOrderProperty(t *testing.T) {
+	// Compare must be antisymmetric and transitive over random scalars:
+	// the ORDER BY implementation relies on it.
+	r := rand.New(rand.NewSource(5))
+	randVal := func() Value {
+		switch r.Intn(4) {
+		case 0:
+			return Int(int64(r.Intn(20) - 10))
+		case 1:
+			return Float(float64(r.Intn(40))/4 - 5)
+		case 2:
+			return String(string(rune('a' + r.Intn(5))))
+		default:
+			return Bool(r.Intn(2) == 0)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		a, b, c := randVal(), randVal(), randVal()
+		ab, _ := a.Compare(b)
+		ba, _ := b.Compare(a)
+		if ab != -ba {
+			t.Fatalf("antisymmetry violated: %v vs %v (%d, %d)", a, b, ab, ba)
+		}
+		bc, _ := b.Compare(c)
+		ac, _ := a.Compare(c)
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			t.Fatalf("transitivity violated: %v <= %v <= %v but a > c", a, b, c)
+		}
+	}
+}
+
+func TestIndexKeyConsistentWithEqual(t *testing.T) {
+	// Equal values must produce equal index keys (index correctness);
+	// checked over random int/float pairs including the integral-float
+	// collision case.
+	f := func(i int64) bool {
+		a, b := Int(i), Float(float64(i))
+		if math.Abs(float64(i)) > 1<<52 {
+			return true // beyond float64 exactness
+		}
+		return a.Equal(b) == (a.key() == b.key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Int(1).key() == Int(2).key() {
+		t.Error("distinct ints must not collide")
+	}
+	if String("a").key() == String("b").key() {
+		t.Error("distinct strings must not collide")
+	}
+	if Strings("a", "b").key() != Strings("a", "b").key() {
+		t.Error("equal lists must share a key")
+	}
+	if Strings("a", "b").key() == Strings("a", "c").key() {
+		t.Error("distinct lists must not collide")
+	}
+}
+
+func TestPropsCloneAndKeys(t *testing.T) {
+	p := Props{"b": Int(1), "a": String("x")}
+	c := p.Clone()
+	c["c"] = Bool(true)
+	if _, ok := p["c"]; ok {
+		t.Error("Clone is not independent")
+	}
+	if !reflect.DeepEqual(p.Keys(), []string{"a", "b"}) {
+		t.Errorf("Keys = %v", p.Keys())
+	}
+	if Props(nil).Clone() != nil {
+		t.Error("nil Props clone should be nil")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "null"},
+		{Bool(true), "true"},
+		{Int(-7), "-7"},
+		{String("a"), `"a"`},
+		{List(Int(1), String("x")), `[1, "x"]`},
+	}
+	for _, tc := range tests {
+		if got := tc.v.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}

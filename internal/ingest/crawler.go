@@ -1,0 +1,229 @@
+// Package ingest is the ETL framework of the reproduction: the Crawler
+// interface each dataset importer implements, the Session API that gives
+// crawlers canonicalizing, provenance-annotating access to the graph
+// (paper §2.3), and the parallel pipeline runner with per-crawler error
+// isolation.
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"iyp/internal/graph"
+	"iyp/internal/netutil"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// Crawler imports one dataset into the knowledge graph.
+type Crawler interface {
+	// Reference identifies the dataset (organization, unique name,
+	// URLs). The pipeline stamps fetch time.
+	Reference() ontology.Reference
+	// Run fetches the dataset through the session's fetcher and writes
+	// nodes and relationships via the session.
+	Run(ctx context.Context, s *Session) error
+}
+
+// Session is a crawler's window into the graph. It enforces the ontology's
+// canonical identifier forms, deduplicates nodes, annotates every
+// relationship with the dataset's provenance, and counts writes.
+//
+// A Session is used by a single crawler goroutine; the underlying graph
+// handles cross-crawler synchronization.
+type Session struct {
+	G       *graph.Graph
+	Fetcher source.Fetcher
+
+	ref   ontology.Reference
+	cache map[cacheKey]graph.NodeID
+
+	// Write counters for the pipeline report.
+	nodesCreated int
+	linksCreated int
+}
+
+type cacheKey struct {
+	entity string
+	id     string
+}
+
+// NewSession builds a session for one crawler run. Most callers go through
+// Pipeline.Run; tests use this directly.
+func NewSession(g *graph.Graph, f source.Fetcher, ref ontology.Reference) *Session {
+	return &Session{G: g, Fetcher: f, ref: ref, cache: map[cacheKey]graph.NodeID{}}
+}
+
+// Reference returns the provenance attached to this session's writes.
+func (s *Session) Reference() ontology.Reference { return s.ref }
+
+// Fetch retrieves a dataset payload through the session's fetcher.
+func (s *Session) Fetch(ctx context.Context, path string) ([]byte, error) {
+	return source.ReadAll(ctx, s.Fetcher, path)
+}
+
+// Node upserts the node of the given entity with identity value id,
+// canonicalizing the identifier per the ontology (paper §2.3: IP
+// addresses, prefixes, ASNs and country codes are normalized so that one
+// node uniquely represents one resource across all datasets).
+func (s *Session) Node(entity string, id any) (graph.NodeID, error) {
+	key := ontology.IdentityKey(entity)
+	if key == "" {
+		return 0, fmt.Errorf("ingest: entity %q has no identity property", entity)
+	}
+	v, err := canonicalValue(entity, id)
+	if err != nil {
+		return 0, err
+	}
+	ck := cacheKey{entity, v.String()}
+	if nid, ok := s.cache[ck]; ok {
+		return nid, nil
+	}
+	nid, created := s.G.MergeNode(entity, key, v, nil, nil)
+	if created {
+		s.nodesCreated++
+	}
+	s.cache[ck] = nid
+	return nid, nil
+}
+
+// NodeWithProps is Node plus extra properties set on creation (existing
+// values win, as in the IYP importers).
+func (s *Session) NodeWithProps(entity string, id any, props graph.Props) (graph.NodeID, error) {
+	nid, err := s.Node(entity, id)
+	if err != nil {
+		return 0, err
+	}
+	for k, v := range props {
+		if s.G.NodeProp(nid, k).IsNull() {
+			if err := s.G.SetNodeProp(nid, k, v); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return nid, nil
+}
+
+// canonicalValue normalizes an identity value for the entity.
+func canonicalValue(entity string, id any) (graph.Value, error) {
+	switch entity {
+	case ontology.AS:
+		switch x := id.(type) {
+		case string:
+			asn, err := netutil.ParseASN(x)
+			if err != nil {
+				return graph.Null(), err
+			}
+			return graph.Int(int64(asn)), nil
+		default:
+			return graph.Of(id), nil
+		}
+	case ontology.IP:
+		sv, ok := asString(id)
+		if !ok {
+			return graph.Null(), fmt.Errorf("ingest: IP identity must be a string, got %T", id)
+		}
+		c, err := netutil.CanonicalIP(sv)
+		if err != nil {
+			return graph.Null(), err
+		}
+		return graph.String(c), nil
+	case ontology.Prefix:
+		sv, ok := asString(id)
+		if !ok {
+			return graph.Null(), fmt.Errorf("ingest: prefix identity must be a string, got %T", id)
+		}
+		c, err := netutil.CanonicalPrefix(sv)
+		if err != nil {
+			return graph.Null(), err
+		}
+		return graph.String(c), nil
+	case ontology.Country:
+		sv, ok := asString(id)
+		if !ok {
+			return graph.Null(), fmt.Errorf("ingest: country identity must be a string, got %T", id)
+		}
+		cc, ok := netutil.CanonicalCountryCode(sv)
+		if !ok {
+			// Keep unknown codes as-is (upper-cased); refinement fills
+			// in what it can.
+			cc = strings.ToUpper(strings.TrimSpace(sv))
+		}
+		return graph.String(cc), nil
+	case ontology.HostName, ontology.DomainName, ontology.AuthoritativeNameServer:
+		sv, ok := asString(id)
+		if !ok {
+			return graph.Null(), fmt.Errorf("ingest: hostname identity must be a string, got %T", id)
+		}
+		return graph.String(netutil.CanonicalHostname(sv)), nil
+	case ontology.URL:
+		sv, ok := asString(id)
+		if !ok {
+			return graph.Null(), fmt.Errorf("ingest: URL identity must be a string, got %T", id)
+		}
+		return graph.String(strings.TrimSpace(sv)), nil
+	default:
+		return graph.Of(id), nil
+	}
+}
+
+func asString(id any) (string, bool) {
+	switch x := id.(type) {
+	case string:
+		return x, true
+	case graph.Value:
+		return x.AsString()
+	}
+	return "", false
+}
+
+// Link creates a relationship annotated with the session's provenance
+// reference. Extra props are merged in (reference properties win on
+// collision, guaranteeing provenance integrity).
+func (s *Session) Link(typ string, from, to graph.NodeID, props graph.Props) error {
+	all := s.ref.Annotate(props.Clone())
+	if _, err := s.G.AddRel(typ, from, to, all); err != nil {
+		return fmt.Errorf("ingest: %s: %w", s.ref.Name, err)
+	}
+	s.linksCreated++
+	return nil
+}
+
+// Counts returns the session's write counters.
+func (s *Session) Counts() (nodes, links int) { return s.nodesCreated, s.linksCreated }
+
+// --- base crawler ---
+
+// Base provides the Reference plumbing shared by all crawlers; embed it
+// and set the fields.
+type Base struct {
+	Org     string
+	Name    string
+	InfoURL string
+	DataURL string
+}
+
+// Reference implements the Crawler interface's provenance half.
+func (b Base) Reference() ontology.Reference {
+	return ontology.Reference{
+		Organization: b.Org,
+		Name:         b.Name,
+		InfoURL:      b.InfoURL,
+		DataURL:      b.DataURL,
+	}
+}
+
+// --- shared helpers used by multiple crawlers ---
+
+// NameNode upserts a Name node (shared helper, used by every AS-names
+// crawler). Cross-crawler deduplication is handled by the graph's
+// identity-index upsert, which is atomic.
+func (s *Session) NameNode(name string) (graph.NodeID, error) {
+	return s.Node(ontology.Name, name)
+}
+
+// TagNode upserts a Tag node by label.
+func (s *Session) TagNode(label string) (graph.NodeID, error) {
+	return s.Node(ontology.Tag, label)
+}

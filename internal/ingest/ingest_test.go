@@ -1,0 +1,272 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"iyp/internal/graph"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+func testSession(t *testing.T) *Session {
+	t.Helper()
+	g := graph.New()
+	return NewSession(g, source.NewCatalog(), ontology.Reference{
+		Organization: "Test Org", Name: "test.dataset",
+	})
+}
+
+func TestSessionNodeCanonicalization(t *testing.T) {
+	s := testSession(t)
+
+	// The paper's §2.3 example: two spellings of one IPv6 prefix must
+	// merge into a single node.
+	a, err := s.Node(ontology.Prefix, "2001:DB8::/32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Node(ontology.Prefix, "2001:0db8::/32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("prefix spellings did not deduplicate")
+	}
+	if v, _ := s.G.NodeProp(a, "prefix").AsString(); v != "2001:db8::/32" {
+		t.Errorf("canonical form = %q", v)
+	}
+
+	// ASN spellings.
+	x, _ := s.Node(ontology.AS, "AS2497")
+	y, _ := s.Node(ontology.AS, uint32(2497))
+	z, _ := s.Node(ontology.AS, "2497")
+	if x != y || y != z {
+		t.Error("ASN spellings did not deduplicate")
+	}
+
+	// IP spellings.
+	i1, _ := s.Node(ontology.IP, "2001:DB8:0:0:0:0:0:1")
+	i2, _ := s.Node(ontology.IP, "2001:db8::1")
+	if i1 != i2 {
+		t.Error("IP spellings did not deduplicate")
+	}
+
+	// Country codes: alpha-3 folds into alpha-2.
+	c1, _ := s.Node(ontology.Country, "usa")
+	c2, _ := s.Node(ontology.Country, "US")
+	if c1 != c2 {
+		t.Error("country codes did not deduplicate")
+	}
+	// Unknown codes survive upper-cased rather than erroring.
+	c3, err := s.Node(ontology.Country, "zz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.G.NodeProp(c3, "country_code").AsString(); v != "ZZ" {
+		t.Errorf("unknown country = %q", v)
+	}
+
+	// Hostnames: case and trailing dot.
+	h1, _ := s.Node(ontology.HostName, "WWW.Example.COM.")
+	h2, _ := s.Node(ontology.HostName, "www.example.com")
+	if h1 != h2 {
+		t.Error("hostname spellings did not deduplicate")
+	}
+
+	// Invalid identifiers error instead of creating garbage nodes.
+	if _, err := s.Node(ontology.IP, "not-an-ip"); err == nil {
+		t.Error("invalid IP should error")
+	}
+	if _, err := s.Node(ontology.Prefix, "10.0.0.0/99"); err == nil {
+		t.Error("invalid prefix should error")
+	}
+	if _, err := s.Node(ontology.AS, "ASxyz"); err == nil {
+		t.Error("invalid ASN should error")
+	}
+	if _, err := s.Node("NotAnEntity", "x"); err == nil {
+		t.Error("unknown entity should error")
+	}
+}
+
+func TestSessionNodeCountsAndCache(t *testing.T) {
+	s := testSession(t)
+	for i := 0; i < 3; i++ {
+		if _, err := s.Node(ontology.AS, uint32(1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nodes, _ := s.Counts()
+	if nodes != 1 {
+		t.Errorf("nodesCreated = %d, want 1", nodes)
+	}
+}
+
+func TestSessionLinkProvenance(t *testing.T) {
+	s := testSession(t)
+	a, _ := s.Node(ontology.AS, uint32(1))
+	p, _ := s.Node(ontology.Prefix, "10.0.0.0/8")
+	if err := s.Link(ontology.Originate, a, p, graph.Props{"count": graph.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	_, links := s.Counts()
+	if links != 1 {
+		t.Errorf("linksCreated = %d", links)
+	}
+	rels := s.G.Rels(a, graph.DirOut, nil, nil)
+	if len(rels) != 1 {
+		t.Fatalf("rels = %d", len(rels))
+	}
+	props := s.G.RelProps(rels[0])
+	if v, _ := props[ontology.PropReferenceName].AsString(); v != "test.dataset" {
+		t.Errorf("provenance name = %v", props[ontology.PropReferenceName])
+	}
+	if v, _ := props[ontology.PropReferenceOrg].AsString(); v != "Test Org" {
+		t.Errorf("provenance org = %v", props[ontology.PropReferenceOrg])
+	}
+	if v, _ := props["count"].AsInt(); v != 2 {
+		t.Error("caller props lost")
+	}
+}
+
+func TestNodeWithProps(t *testing.T) {
+	s := testSession(t)
+	id, err := s.NodeWithProps(ontology.AtlasProbe, 42, graph.Props{"status": graph.String("Connected")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.G.NodeProp(id, "status").AsString(); v != "Connected" {
+		t.Error("props not set on create")
+	}
+	// Existing values win.
+	if _, err := s.NodeWithProps(ontology.AtlasProbe, 42, graph.Props{"status": graph.String("Abandoned")}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.G.NodeProp(id, "status").AsString(); v != "Connected" {
+		t.Error("existing prop overwritten")
+	}
+}
+
+// --- pipeline ---
+
+type fakeCrawler struct {
+	Base
+	run func(ctx context.Context, s *Session) error
+}
+
+func (f *fakeCrawler) Run(ctx context.Context, s *Session) error { return f.run(ctx, s) }
+
+func TestPipelineRunsAllCrawlersInParallel(t *testing.T) {
+	g := graph.New()
+	var crawlers []Crawler
+	for i := 0; i < 10; i++ {
+		asn := uint32(1000 + i)
+		crawlers = append(crawlers, &fakeCrawler{
+			Base: Base{Org: "T", Name: "t.ds" + string(rune('a'+i))},
+			run: func(_ context.Context, s *Session) error {
+				id, err := s.Node(ontology.AS, asn)
+				if err != nil {
+					return err
+				}
+				name, err := s.NameNode("X")
+				if err != nil {
+					return err
+				}
+				return s.Link(ontology.NameRel, id, name, nil)
+			},
+		})
+	}
+	p := &Pipeline{Graph: g, Fetcher: source.NewCatalog(), Crawlers: crawlers, Concurrency: 4}
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Crawls) != 10 || len(rep.Failed()) != 0 {
+		t.Fatalf("report: %d crawls, %d failed", len(rep.Crawls), len(rep.Failed()))
+	}
+	if got := g.CountByLabel("AS"); got != 10 {
+		t.Errorf("AS nodes = %d", got)
+	}
+	// The shared Name node deduplicated across parallel sessions.
+	if got := g.CountByLabel("Name"); got != 1 {
+		t.Errorf("Name nodes = %d, want 1", got)
+	}
+	if !strings.Contains(rep.String(), "t.dsa") {
+		t.Error("report table missing dataset names")
+	}
+}
+
+func TestPipelineIsolatesErrorsAndPanics(t *testing.T) {
+	g := graph.New()
+	crawlers := []Crawler{
+		&fakeCrawler{Base: Base{Org: "T", Name: "t.ok"}, run: func(_ context.Context, s *Session) error {
+			_, err := s.Node(ontology.AS, uint32(1))
+			return err
+		}},
+		&fakeCrawler{Base: Base{Org: "T", Name: "t.fails"}, run: func(context.Context, *Session) error {
+			return errors.New("feed is down")
+		}},
+		&fakeCrawler{Base: Base{Org: "T", Name: "t.panics"}, run: func(context.Context, *Session) error {
+			panic("malformed data")
+		}},
+	}
+	p := &Pipeline{Graph: g, Fetcher: source.NewCatalog(), Crawlers: crawlers}
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := rep.Failed()
+	if len(failed) != 2 {
+		t.Fatalf("failed = %d, want 2", len(failed))
+	}
+	// One dataset failing must not abort the others.
+	if got := g.CountByLabel("AS"); got != 1 {
+		t.Errorf("AS nodes = %d (good crawler should have run)", got)
+	}
+	for _, f := range failed {
+		if f.Err == nil {
+			t.Error("failed crawl without error")
+		}
+		if f.Dataset == "t.panics" && !strings.Contains(f.Err.Error(), "panic") {
+			t.Errorf("panic not converted to error: %v", f.Err)
+		}
+	}
+}
+
+func TestPipelineStampsFetchTime(t *testing.T) {
+	g := graph.New()
+	fixed := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	c := &fakeCrawler{Base: Base{Org: "T", Name: "t.x"}, run: func(_ context.Context, s *Session) error {
+		a, _ := s.Node(ontology.AS, uint32(1))
+		b, _ := s.Node(ontology.AS, uint32(2))
+		return s.Link(ontology.PeersWith, a, b, nil)
+	}}
+	p := &Pipeline{Graph: g, Fetcher: source.NewCatalog(), Crawlers: []Crawler{c}, FetchTime: fixed}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	g.EachRel(func(id graph.RelID) bool {
+		if v, _ := g.RelProp(id, ontology.PropReferenceFetch).AsString(); v == "2024-05-01T00:00:00Z" {
+			found = true
+		}
+		return true
+	})
+	if !found {
+		t.Error("fetch time not stamped on relationships")
+	}
+}
+
+func TestPipelineContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := &Pipeline{Graph: graph.New(), Fetcher: source.NewCatalog(), Crawlers: []Crawler{
+		&fakeCrawler{Base: Base{Org: "T", Name: "t.x"}, run: func(context.Context, *Session) error { return nil }},
+	}}
+	if _, err := p.Run(ctx); err == nil {
+		t.Error("cancelled context should surface an error")
+	}
+}

@@ -1,0 +1,146 @@
+package ingest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"iyp/internal/graph"
+	"iyp/internal/source"
+)
+
+// Pipeline runs a set of crawlers against one graph, in parallel, with
+// per-crawler error isolation: a failing dataset never aborts the build
+// (the real IYP pipeline behaves the same way — a stale or broken feed
+// costs one dataset, not the snapshot).
+type Pipeline struct {
+	Graph   *graph.Graph
+	Fetcher source.Fetcher
+	// Crawlers to run. Order is irrelevant; dependencies between
+	// datasets do not exist by design (refinement passes run after).
+	Crawlers []Crawler
+	// Concurrency bounds parallel crawler execution (0 = 4).
+	Concurrency int
+	// FetchTime is stamped on all provenance (zero = now).
+	FetchTime time.Time
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// CrawlReport describes one crawler's outcome.
+type CrawlReport struct {
+	Dataset      string
+	Organization string
+	Duration     time.Duration
+	NodesCreated int
+	LinksCreated int
+	Err          error
+}
+
+// Report is the pipeline outcome.
+type Report struct {
+	Crawls []CrawlReport
+	Total  time.Duration
+}
+
+// Failed returns the subset of crawls that errored.
+func (r Report) Failed() []CrawlReport {
+	var out []CrawlReport
+	for _, c := range r.Crawls {
+		if c.Err != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the report as a table.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-32s %-22s %10s %10s %10s\n", "dataset", "organization", "nodes", "links", "duration")
+	for _, c := range r.Crawls {
+		status := fmt.Sprintf("%10d %10d %10s", c.NodesCreated, c.LinksCreated, c.Duration.Round(time.Millisecond))
+		if c.Err != nil {
+			status = "ERROR: " + c.Err.Error()
+		}
+		fmt.Fprintf(&sb, "%-32s %-22s %s\n", c.Dataset, c.Organization, status)
+	}
+	fmt.Fprintf(&sb, "total: %s\n", r.Total.Round(time.Millisecond))
+	return sb.String()
+}
+
+// Run executes all crawlers and returns the report. The only error
+// returned is a context cancellation; dataset-level failures are recorded
+// in the report.
+func (p *Pipeline) Run(ctx context.Context) (Report, error) {
+	start := time.Now()
+	conc := p.Concurrency
+	if conc <= 0 {
+		conc = 4
+	}
+	fetchTime := p.FetchTime
+	if fetchTime.IsZero() {
+		fetchTime = time.Now().UTC()
+	}
+	logf := p.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	sem := make(chan struct{}, conc)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		reports []CrawlReport
+	)
+	for _, c := range p.Crawlers {
+		if err := ctx.Err(); err != nil {
+			return Report{}, err
+		}
+		wg.Add(1)
+		go func(c Crawler) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			ref := c.Reference()
+			ref.FetchTime = fetchTime
+			s := NewSession(p.Graph, p.Fetcher, ref)
+			t0 := time.Now()
+			err := runIsolated(ctx, c, s)
+			nodes, links := s.Counts()
+			mu.Lock()
+			reports = append(reports, CrawlReport{
+				Dataset:      ref.Name,
+				Organization: ref.Organization,
+				Duration:     time.Since(t0),
+				NodesCreated: nodes,
+				LinksCreated: links,
+				Err:          err,
+			})
+			mu.Unlock()
+			if err != nil {
+				logf("crawler %s failed: %v", ref.Name, err)
+			} else {
+				logf("crawler %s done: %d nodes, %d links in %s", ref.Name, nodes, links, time.Since(t0).Round(time.Millisecond))
+			}
+		}(c)
+	}
+	wg.Wait()
+	sort.Slice(reports, func(i, j int) bool { return reports[i].Dataset < reports[j].Dataset })
+	return Report{Crawls: reports, Total: time.Since(start)}, ctx.Err()
+}
+
+// runIsolated converts crawler panics into errors so one malformed dataset
+// cannot take down the build.
+func runIsolated(ctx context.Context, c Crawler, s *Session) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ingest: crawler panic: %v", r)
+		}
+	}()
+	return c.Run(ctx, s)
+}

@@ -1,0 +1,114 @@
+package netutil
+
+import "strings"
+
+// CountryInfo holds the identity fields the IYP refinement pass guarantees
+// on every Country node (paper §2.3): two-letter code, three-letter code,
+// and a common name.
+type CountryInfo struct {
+	Alpha2 string
+	Alpha3 string
+	Name   string
+}
+
+// countries is an ISO-3166-1 extract covering every economy the simulated
+// datasets reference. IYP itself ships the full table; the reproduction
+// needs only the economies simnet can assign.
+var countries = []CountryInfo{
+	{"AR", "ARG", "Argentina"},
+	{"AT", "AUT", "Austria"},
+	{"AU", "AUS", "Australia"},
+	{"BE", "BEL", "Belgium"},
+	{"BG", "BGR", "Bulgaria"},
+	{"BR", "BRA", "Brazil"},
+	{"CA", "CAN", "Canada"},
+	{"CH", "CHE", "Switzerland"},
+	{"CL", "CHL", "Chile"},
+	{"CN", "CHN", "China"},
+	{"CO", "COL", "Colombia"},
+	{"CZ", "CZE", "Czechia"},
+	{"DE", "DEU", "Germany"},
+	{"DK", "DNK", "Denmark"},
+	{"EE", "EST", "Estonia"},
+	{"EG", "EGY", "Egypt"},
+	{"ES", "ESP", "Spain"},
+	{"FI", "FIN", "Finland"},
+	{"FR", "FRA", "France"},
+	{"GB", "GBR", "United Kingdom"},
+	{"GR", "GRC", "Greece"},
+	{"HK", "HKG", "Hong Kong"},
+	{"HU", "HUN", "Hungary"},
+	{"ID", "IDN", "Indonesia"},
+	{"IE", "IRL", "Ireland"},
+	{"IL", "ISR", "Israel"},
+	{"IN", "IND", "India"},
+	{"IT", "ITA", "Italy"},
+	{"JP", "JPN", "Japan"},
+	{"KE", "KEN", "Kenya"},
+	{"KR", "KOR", "South Korea"},
+	{"MX", "MEX", "Mexico"},
+	{"MY", "MYS", "Malaysia"},
+	{"NG", "NGA", "Nigeria"},
+	{"NL", "NLD", "Netherlands"},
+	{"NO", "NOR", "Norway"},
+	{"NZ", "NZL", "New Zealand"},
+	{"PH", "PHL", "Philippines"},
+	{"PL", "POL", "Poland"},
+	{"PT", "PRT", "Portugal"},
+	{"RO", "ROU", "Romania"},
+	{"RU", "RUS", "Russia"},
+	{"SA", "SAU", "Saudi Arabia"},
+	{"SE", "SWE", "Sweden"},
+	{"SG", "SGP", "Singapore"},
+	{"TH", "THA", "Thailand"},
+	{"TR", "TUR", "Turkey"},
+	{"TW", "TWN", "Taiwan"},
+	{"UA", "UKR", "Ukraine"},
+	{"US", "USA", "United States"},
+	{"VN", "VNM", "Vietnam"},
+	{"ZA", "ZAF", "South Africa"},
+}
+
+var (
+	byAlpha2 = map[string]CountryInfo{}
+	byAlpha3 = map[string]CountryInfo{}
+)
+
+func init() {
+	for _, c := range countries {
+		byAlpha2[c.Alpha2] = c
+		byAlpha3[c.Alpha3] = c
+	}
+}
+
+// LookupCountry resolves a two- or three-letter country code (any case) to
+// its CountryInfo.
+func LookupCountry(code string) (CountryInfo, bool) {
+	c := strings.ToUpper(strings.TrimSpace(code))
+	switch len(c) {
+	case 2:
+		info, ok := byAlpha2[c]
+		return info, ok
+	case 3:
+		info, ok := byAlpha3[c]
+		return info, ok
+	}
+	return CountryInfo{}, false
+}
+
+// CanonicalCountryCode returns the upper-case alpha-2 code for a two- or
+// three-letter code, the identity property of Country nodes.
+func CanonicalCountryCode(code string) (string, bool) {
+	info, ok := LookupCountry(code)
+	if !ok {
+		return "", false
+	}
+	return info.Alpha2, true
+}
+
+// Countries returns the full table (copy), ordered by alpha-2 code.
+func Countries() []CountryInfo {
+	out := make([]CountryInfo, len(countries))
+	copy(out, countries)
+	return out
+}

@@ -1,0 +1,70 @@
+package netutil
+
+import "testing"
+
+func TestLookupCountry(t *testing.T) {
+	tests := []struct {
+		in     string
+		alpha2 string
+		ok     bool
+	}{
+		{"US", "US", true},
+		{"us", "US", true},
+		{" jp ", "JP", true},
+		{"USA", "US", true},
+		{"DEU", "DE", true},
+		{"XX", "", false},
+		{"XXX", "", false},
+		{"U", "", false},
+		{"", "", false},
+	}
+	for _, tc := range tests {
+		info, ok := LookupCountry(tc.in)
+		if ok != tc.ok {
+			t.Errorf("LookupCountry(%q) ok = %v, want %v", tc.in, ok, tc.ok)
+			continue
+		}
+		if ok && info.Alpha2 != tc.alpha2 {
+			t.Errorf("LookupCountry(%q) = %q, want %q", tc.in, info.Alpha2, tc.alpha2)
+		}
+	}
+}
+
+func TestCanonicalCountryCode(t *testing.T) {
+	if cc, ok := CanonicalCountryCode("gbr"); !ok || cc != "GB" {
+		t.Errorf("CanonicalCountryCode(gbr) = %q, %v", cc, ok)
+	}
+	if _, ok := CanonicalCountryCode("ZZZ"); ok {
+		t.Error("CanonicalCountryCode(ZZZ) should fail")
+	}
+}
+
+func TestCountriesTableConsistency(t *testing.T) {
+	cs := Countries()
+	if len(cs) < 50 {
+		t.Fatalf("countries table has %d entries, want >= 50", len(cs))
+	}
+	seen2 := map[string]bool{}
+	seen3 := map[string]bool{}
+	for _, c := range cs {
+		if len(c.Alpha2) != 2 || len(c.Alpha3) != 3 || c.Name == "" {
+			t.Errorf("malformed entry %+v", c)
+		}
+		if seen2[c.Alpha2] || seen3[c.Alpha3] {
+			t.Errorf("duplicate code in %+v", c)
+		}
+		seen2[c.Alpha2] = true
+		seen3[c.Alpha3] = true
+		// alpha2 and alpha3 must resolve to the same record.
+		a, _ := LookupCountry(c.Alpha2)
+		b, _ := LookupCountry(c.Alpha3)
+		if a != b || a != c {
+			t.Errorf("lookup mismatch for %+v", c)
+		}
+	}
+	// Returned slice is a copy: mutating it must not corrupt the table.
+	cs[0].Alpha2 = "!!"
+	if _, ok := LookupCountry(Countries()[0].Alpha2); !ok {
+		t.Error("Countries() exposed internal state")
+	}
+}

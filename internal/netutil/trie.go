@@ -1,0 +1,178 @@
+package netutil
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// PrefixTrie is a binary (uncompressed-path, per-family) trie over IP
+// prefixes with an arbitrary payload per prefix. It supports the two
+// refinement lookups from paper §2.3: longest-prefix match for an address
+// (IP→Prefix PART_OF) and closest covering prefix for a prefix
+// (Prefix→Prefix PART_OF), plus exact lookup and ordered enumeration.
+//
+// The zero value is not usable; create with NewPrefixTrie. PrefixTrie is not
+// safe for concurrent mutation; concurrent lookups are safe after all
+// inserts complete.
+type PrefixTrie[V any] struct {
+	v4, v6 *trieNode[V]
+	size   int
+}
+
+type trieNode[V any] struct {
+	child [2]*trieNode[V]
+	// set marks a terminating prefix at this node.
+	set    bool
+	prefix netip.Prefix
+	value  V
+}
+
+// NewPrefixTrie returns an empty trie.
+func NewPrefixTrie[V any]() *PrefixTrie[V] {
+	return &PrefixTrie[V]{v4: &trieNode[V]{}, v6: &trieNode[V]{}}
+}
+
+// Len returns the number of distinct prefixes stored.
+func (t *PrefixTrie[V]) Len() int { return t.size }
+
+func (t *PrefixTrie[V]) rootFor(a netip.Addr) *trieNode[V] {
+	if a.Is4() {
+		return t.v4
+	}
+	return t.v6
+}
+
+// addrBit returns bit i (0 = most significant) of address a.
+func addrBit(a netip.Addr, i int) int {
+	b := a.AsSlice()
+	return int(b[i/8]>>(7-i%8)) & 1
+}
+
+// Insert stores value under prefix, replacing any existing value. The
+// prefix is masked to its canonical form first.
+func (t *PrefixTrie[V]) Insert(prefix netip.Prefix, value V) {
+	p := prefix.Masked()
+	a := p.Addr().Unmap()
+	p = netip.PrefixFrom(a, p.Bits())
+	n := t.rootFor(a)
+	for i := 0; i < p.Bits(); i++ {
+		bit := addrBit(a, i)
+		if n.child[bit] == nil {
+			n.child[bit] = &trieNode[V]{}
+		}
+		n = n.child[bit]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.set = true
+	n.prefix = p
+	n.value = value
+}
+
+// InsertString parses and inserts a textual prefix.
+func (t *PrefixTrie[V]) InsertString(prefix string, value V) error {
+	p, err := netip.ParsePrefix(prefix)
+	if err != nil {
+		return fmt.Errorf("netutil: trie insert %q: %w", prefix, err)
+	}
+	t.Insert(p, value)
+	return nil
+}
+
+// Lookup returns the longest stored prefix containing addr.
+func (t *PrefixTrie[V]) Lookup(addr netip.Addr) (netip.Prefix, V, bool) {
+	a := addr.Unmap()
+	n := t.rootFor(a)
+	var (
+		best   netip.Prefix
+		bestV  V
+		found  bool
+		maxLen = a.BitLen()
+	)
+	for i := 0; ; i++ {
+		if n.set {
+			best, bestV, found = n.prefix, n.value, true
+		}
+		if i >= maxLen {
+			break
+		}
+		next := n.child[addrBit(a, i)]
+		if next == nil {
+			break
+		}
+		n = next
+	}
+	return best, bestV, found
+}
+
+// LookupString is Lookup for a textual address.
+func (t *PrefixTrie[V]) LookupString(ip string) (netip.Prefix, V, bool) {
+	a, err := netip.ParseAddr(ip)
+	if err != nil {
+		var zero V
+		return netip.Prefix{}, zero, false
+	}
+	return t.Lookup(a)
+}
+
+// Covering returns the longest stored prefix that strictly contains p —
+// i.e. the closest covering (parent) prefix, as used to link a routed
+// prefix to its less-specific cover.
+func (t *PrefixTrie[V]) Covering(p netip.Prefix) (netip.Prefix, V, bool) {
+	p = p.Masked()
+	a := p.Addr().Unmap()
+	n := t.rootFor(a)
+	var (
+		best  netip.Prefix
+		bestV V
+		found bool
+	)
+	for i := 0; i < p.Bits(); i++ {
+		if n.set && n.prefix.Bits() < p.Bits() {
+			best, bestV, found = n.prefix, n.value, true
+		}
+		next := n.child[addrBit(a, i)]
+		if next == nil {
+			return best, bestV, found
+		}
+		n = next
+	}
+	return best, bestV, found
+}
+
+// Exact returns the value stored at exactly prefix p.
+func (t *PrefixTrie[V]) Exact(p netip.Prefix) (V, bool) {
+	p = p.Masked()
+	a := p.Addr().Unmap()
+	n := t.rootFor(a)
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[addrBit(a, i)]
+		if n == nil {
+			var zero V
+			return zero, false
+		}
+	}
+	if n.set {
+		return n.value, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Walk visits every stored prefix in trie (DFS, v4 before v6, 0-branch
+// first, shorter prefixes before their more-specifics). The walk stops if
+// fn returns false.
+func (t *PrefixTrie[V]) Walk(fn func(netip.Prefix, V) bool) {
+	var rec func(n *trieNode[V]) bool
+	rec = func(n *trieNode[V]) bool {
+		if n == nil {
+			return true
+		}
+		if n.set && !fn(n.prefix, n.value) {
+			return false
+		}
+		return rec(n.child[0]) && rec(n.child[1])
+	}
+	_ = rec(t.v4) && rec(t.v6)
+}

@@ -1,0 +1,188 @@
+package netutil
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func mustPrefix(t testing.TB, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestTrieLookupBasics(t *testing.T) {
+	trie := NewPrefixTrie[string]()
+	for _, p := range []string{"10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24", "2001:db8::/32", "2001:db8:1::/48"} {
+		if err := trie.InsertString(p, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if trie.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", trie.Len())
+	}
+	tests := []struct {
+		ip   string
+		want string
+		ok   bool
+	}{
+		{ip: "10.1.2.3", want: "10.1.2.0/24", ok: true},
+		{ip: "10.1.3.4", want: "10.1.0.0/16", ok: true},
+		{ip: "10.2.0.1", want: "10.0.0.0/8", ok: true},
+		{ip: "11.0.0.1", ok: false},
+		{ip: "2001:db8:1::7", want: "2001:db8:1::/48", ok: true},
+		{ip: "2001:db8:2::7", want: "2001:db8::/32", ok: true},
+		{ip: "2001:db9::1", ok: false},
+	}
+	for _, tc := range tests {
+		p, v, ok := trie.LookupString(tc.ip)
+		if ok != tc.ok {
+			t.Errorf("Lookup(%s) ok = %v, want %v", tc.ip, ok, tc.ok)
+			continue
+		}
+		if ok && (p.String() != tc.want || v != tc.want) {
+			t.Errorf("Lookup(%s) = %s, want %s", tc.ip, p, tc.want)
+		}
+	}
+	if _, _, ok := trie.LookupString("garbage"); ok {
+		t.Error("Lookup(garbage) should not match")
+	}
+}
+
+func TestTrieCovering(t *testing.T) {
+	trie := NewPrefixTrie[int]()
+	trie.Insert(mustPrefix(t, "10.0.0.0/8"), 8)
+	trie.Insert(mustPrefix(t, "10.1.0.0/16"), 16)
+	trie.Insert(mustPrefix(t, "10.1.2.0/24"), 24)
+
+	p, v, ok := trie.Covering(mustPrefix(t, "10.1.2.0/24"))
+	if !ok || p.String() != "10.1.0.0/16" || v != 16 {
+		t.Errorf("Covering(/24) = %s (%d, %v), want 10.1.0.0/16", p, v, ok)
+	}
+	p, _, ok = trie.Covering(mustPrefix(t, "10.1.2.128/25"))
+	if !ok || p.String() != "10.1.2.0/24" {
+		t.Errorf("Covering(/25) = %s, want 10.1.2.0/24", p)
+	}
+	if _, _, ok := trie.Covering(mustPrefix(t, "10.0.0.0/8")); ok {
+		t.Error("Covering(/8) should have no parent")
+	}
+	if _, _, ok := trie.Covering(mustPrefix(t, "192.168.0.0/16")); ok {
+		t.Error("Covering(unrelated) should have no parent")
+	}
+}
+
+func TestTrieExactAndOverwrite(t *testing.T) {
+	trie := NewPrefixTrie[int]()
+	trie.Insert(mustPrefix(t, "10.0.0.0/8"), 1)
+	trie.Insert(mustPrefix(t, "10.0.0.0/8"), 2) // overwrite, not duplicate
+	if trie.Len() != 1 {
+		t.Fatalf("Len = %d after overwrite, want 1", trie.Len())
+	}
+	v, ok := trie.Exact(mustPrefix(t, "10.0.0.0/8"))
+	if !ok || v != 2 {
+		t.Errorf("Exact = %d, %v; want 2", v, ok)
+	}
+	if _, ok := trie.Exact(mustPrefix(t, "10.0.0.0/9")); ok {
+		t.Error("Exact(/9) should miss")
+	}
+}
+
+func TestTrieWalk(t *testing.T) {
+	trie := NewPrefixTrie[int]()
+	prefixes := []string{"10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16", "2001:db8::/32"}
+	for i, p := range prefixes {
+		trie.Insert(mustPrefix(t, p), i)
+	}
+	var seen []string
+	trie.Walk(func(p netip.Prefix, _ int) bool {
+		seen = append(seen, p.String())
+		return true
+	})
+	if len(seen) != len(prefixes) {
+		t.Fatalf("Walk visited %d, want %d (%v)", len(seen), len(prefixes), seen)
+	}
+	// v4 before v6, less-specific before more-specific on the same branch.
+	if seen[len(seen)-1] != "2001:db8::/32" {
+		t.Errorf("Walk order: v6 should come last, got %v", seen)
+	}
+	// Early termination.
+	count := 0
+	trie.Walk(func(netip.Prefix, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("Walk early stop visited %d, want 2", count)
+	}
+}
+
+// TestTrieMatchesLinearScan cross-checks trie LPM against a brute-force
+// scan on random data — the property that the refinement pass depends on.
+func TestTrieMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	trie := NewPrefixTrie[string]()
+	var prefixes []netip.Prefix
+	for i := 0; i < 300; i++ {
+		bits := 8 + r.Intn(17) // /8../24
+		addr := netip.AddrFrom4([4]byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), 0})
+		p := netip.PrefixFrom(addr, bits).Masked()
+		trie.Insert(p, p.String())
+		prefixes = append(prefixes, p)
+	}
+	linear := func(a netip.Addr) (netip.Prefix, bool) {
+		var best netip.Prefix
+		found := false
+		for _, p := range prefixes {
+			if p.Contains(a) && (!found || p.Bits() > best.Bits()) {
+				best = p
+				found = true
+			}
+		}
+		return best, found
+	}
+	for i := 0; i < 2000; i++ {
+		a := netip.AddrFrom4([4]byte{byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256)), byte(r.Intn(256))})
+		wantP, wantOK := linear(a)
+		gotP, _, gotOK := trie.Lookup(a)
+		if wantOK != gotOK || (wantOK && wantP != gotP) {
+			t.Fatalf("Lookup(%s) = %v,%v; linear scan = %v,%v", a, gotP, gotOK, wantP, wantOK)
+		}
+	}
+}
+
+// TestTrieCoveringMatchesLinearScan does the same for covering-prefix
+// lookups.
+func TestTrieCoveringMatchesLinearScan(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	trie := NewPrefixTrie[int]()
+	var prefixes []netip.Prefix
+	for i := 0; i < 200; i++ {
+		bits := 8 + r.Intn(17)
+		addr := netip.AddrFrom4([4]byte{byte(r.Intn(64)), byte(r.Intn(256)), 0, 0})
+		p := netip.PrefixFrom(addr, bits).Masked()
+		trie.Insert(p, i)
+		prefixes = append(prefixes, p)
+	}
+	linearCover := func(q netip.Prefix) (netip.Prefix, bool) {
+		var best netip.Prefix
+		found := false
+		for _, p := range prefixes {
+			if p.Bits() < q.Bits() && p.Contains(q.Addr()) && (!found || p.Bits() > best.Bits()) {
+				best = p
+				found = true
+			}
+		}
+		return best, found
+	}
+	for _, q := range prefixes {
+		wantP, wantOK := linearCover(q)
+		gotP, _, gotOK := trie.Covering(q)
+		if wantOK != gotOK || (wantOK && wantP != gotP) {
+			t.Fatalf("Covering(%s) = %v,%v; linear = %v,%v", q, gotP, gotOK, wantP, wantOK)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package ontology defines the IYP ontology (paper §2.2): the entities
+// (node types), relationship types, identity properties, and provenance
+// annotations that give every element of the knowledge graph an
+// unequivocal meaning. It is the contract between dataset importers
+// (internal/crawlers), the graph, and queries.
+package ontology
+
+import "sort"
+
+// Entity names (node labels), following the Neo4j naming convention used
+// by IYP: camel-case beginning with an upper-case character. This is the
+// complete list from Table 6 of the paper.
+const (
+	AS                      = "AS"
+	AtlasMeasurement        = "AtlasMeasurement"
+	AtlasProbe              = "AtlasProbe"
+	AuthoritativeNameServer = "AuthoritativeNameServer"
+	BGPCollector            = "BGPCollector"
+	CaidaIXID               = "CaidaIXID"
+	Country                 = "Country"
+	DomainName              = "DomainName"
+	Estimate                = "Estimate"
+	Facility                = "Facility"
+	HostName                = "HostName"
+	IP                      = "IP"
+	IXP                     = "IXP"
+	Name                    = "Name"
+	OpaqueID                = "OpaqueID"
+	Organization            = "Organization"
+	PeeringdbFacID          = "PeeringdbFacID"
+	PeeringdbIXID           = "PeeringdbIXID"
+	PeeringdbNetID          = "PeeringdbNetID"
+	PeeringdbOrgID          = "PeeringdbOrgID"
+	Prefix                  = "Prefix"
+	Ranking                 = "Ranking"
+	Tag                     = "Tag"
+	URL                     = "URL"
+)
+
+// Relationship type names, upper-case with underscores per the Neo4j
+// convention. This is the complete list from Table 7 of the paper.
+const (
+	AliasOf                  = "ALIAS_OF"
+	Assigned                 = "ASSIGNED"
+	Available                = "AVAILABLE"
+	Categorized              = "CATEGORIZED"
+	CountryRel               = "COUNTRY"
+	DependsOn                = "DEPENDS_ON"
+	ExternalID               = "EXTERNAL_ID"
+	LocatedIn                = "LOCATED_IN"
+	ManagedBy                = "MANAGED_BY"
+	MemberOf                 = "MEMBER_OF"
+	NameRel                  = "NAME"
+	Originate                = "ORIGINATE"
+	Parent                   = "PARENT"
+	PartOf                   = "PART_OF"
+	PeersWith                = "PEERS_WITH"
+	Population               = "POPULATION"
+	QueriedFrom              = "QUERIED_FROM"
+	Rank                     = "RANK"
+	Reserved                 = "RESERVED"
+	ResolvesTo               = "RESOLVES_TO"
+	RouteOriginAuthorization = "ROUTE_ORIGIN_AUTHORIZATION"
+	SiblingOf                = "SIBLING_OF"
+	Target                   = "TARGET"
+	Website                  = "WEBSITE"
+)
+
+// EntityDef describes one entity: its identity property (the property that
+// uniquely identifies a node, enforced in canonical form) and a
+// human-readable description.
+type EntityDef struct {
+	Name        string
+	IdentityKey string // "" when the entity is loosely identified
+	Description string
+}
+
+// RelDef describes one relationship type.
+type RelDef struct {
+	Name        string
+	Description string
+}
+
+// entities is the ontology's entity table (paper Table 6).
+var entities = []EntityDef{
+	{AS, "asn", "Autonomous System, uniquely identified by its AS number."},
+	{AtlasMeasurement, "id", "RIPE Atlas measurement."},
+	{AtlasProbe, "id", "RIPE Atlas probe."},
+	{AuthoritativeNameServer, "name", "Authoritative DNS nameserver for a set of domain names."},
+	{BGPCollector, "name", "A RIPE RIS or RouteViews BGP collector."},
+	{CaidaIXID, "id", "Unique identifier for IXPs from CAIDA's IXP dataset."},
+	{Country, "country_code", "An economy, identified by its two-letter (alpha-2) code; alpha3 and name are completed by refinement."},
+	{DomainName, "name", "Any DNS domain name that is not a FQDN (see HostName)."},
+	{Estimate, "name", "A report that approximates a quantity, e.g. the World Bank population estimate."},
+	{Facility, "name", "Co-location facility for IXPs and ASes."},
+	{HostName, "name", "A fully qualified domain name."},
+	{IP, "ip", "An IPv4 or IPv6 address in canonical form; af property gives the address family."},
+	{IXP, "name", "An Internet Exchange Point, loosely identified by name or via EXTERNAL_ID."},
+	{Name, "name", "A name associated with a network resource."},
+	{OpaqueID, "id", "The opaque-id value found in RIR delegated files; same id = same resource holder."},
+	{Organization, "name", "An organization, loosely identified by name or via EXTERNAL_ID."},
+	{PeeringdbFacID, "id", "Unique identifier for a Facility as assigned by PeeringDB."},
+	{PeeringdbIXID, "id", "Unique identifier for an IXP as assigned by PeeringDB."},
+	{PeeringdbNetID, "id", "Unique identifier for an AS as assigned by PeeringDB."},
+	{PeeringdbOrgID, "id", "Unique identifier for an Organization as assigned by PeeringDB."},
+	{Prefix, "prefix", "An IPv4 or IPv6 prefix in canonical form; af property gives the address family."},
+	{Ranking, "name", "A specific ranking of Internet resources; rank values live on RANK relationships."},
+	{Tag, "label", "The output of a manual or automated classification."},
+	{URL, "url", "The full URL for an Internet resource."},
+}
+
+// rels is the ontology's relationship table (paper Table 7).
+var rels = []RelDef{
+	{AliasOf, "Equivalent to the CNAME record in DNS; relates two HostNames."},
+	{Assigned, "RIR allocation of a resource (AS, Prefix) to a resource holder (OpaqueID), or the assigned IP of an AtlasProbe."},
+	{Available, "Resource (AS, Prefix) not allocated and available at the related RIR (OpaqueID)."},
+	{Categorized, "Resource (AS, Prefix, URL) classified according to the related Tag."},
+	{CountryRel, "Relates any node to its country (geo-location or registration, depending on the dataset)."},
+	{DependsOn, "AS or Prefix whose reachability depends on a certain AS (e.g. AS Hegemony)."},
+	{ExternalID, "Relates a node to an identifier used by an organization (e.g. PeeringdbIXID)."},
+	{LocatedIn, "Location of a resource at a geographical or topological location (e.g. IXP in Facility, AtlasProbe in AS)."},
+	{ManagedBy, "Entity in charge of a resource: AS managed by Organization, DomainName managed by AuthoritativeNameServer."},
+	{MemberOf, "Membership, e.g. AS member of IXP."},
+	{NameRel, "Relates an entity to its usual or registered name."},
+	{Originate, "Prefix seen as originated by an AS in BGP."},
+	{Parent, "Zone cut between a parent DNS zone and a more specific zone (two DomainNames)."},
+	{PartOf, "One entity contained in another: IP in Prefix, Prefix in covering Prefix, HostName/URL in DomainName."},
+	{PeersWith, "BGP adjacency between two ASes or between an AS and a BGPCollector."},
+	{Population, "AS hosting a fraction of a country's Internet population, or a country's population estimate."},
+	{QueriedFrom, "DomainName queried most from an AS or Country (Cloudflare Radar)."},
+	{Rank, "Resource appearing in a Ranking; rank property gives the position."},
+	{Reserved, "AS or Prefix reserved for a certain purpose by RIRs or IANA."},
+	{ResolvesTo, "HostName resolving to an IP address."},
+	{RouteOriginAuthorization, "AS authorized by RPKI to originate the Prefix."},
+	{SiblingOf, "ASes or Organizations representing the same entity."},
+	{Target, "AtlasMeasurement probing an IP, HostName, or AS."},
+	{Website, "Common website (URL) for an Organization, Facility, IXP, or AS."},
+}
+
+var (
+	entityByName = map[string]EntityDef{}
+	relByName    = map[string]RelDef{}
+)
+
+func init() {
+	for _, e := range entities {
+		entityByName[e.Name] = e
+	}
+	for _, r := range rels {
+		relByName[r.Name] = r
+	}
+}
+
+// Entities returns the entity definitions sorted by name.
+func Entities() []EntityDef {
+	out := append([]EntityDef(nil), entities...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Relationships returns the relationship definitions sorted by name.
+func Relationships() []RelDef {
+	out := append([]RelDef(nil), rels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LookupEntity returns the definition for an entity name.
+func LookupEntity(name string) (EntityDef, bool) {
+	e, ok := entityByName[name]
+	return e, ok
+}
+
+// LookupRelationship returns the definition for a relationship type.
+func LookupRelationship(name string) (RelDef, bool) {
+	r, ok := relByName[name]
+	return r, ok
+}
+
+// IdentityKey returns the identity property for an entity ("" when loosely
+// identified or unknown).
+func IdentityKey(entity string) string {
+	return entityByName[entity].IdentityKey
+}

@@ -1,0 +1,133 @@
+package ontology
+
+import (
+	"fmt"
+
+	"iyp/internal/graph"
+	"iyp/internal/netutil"
+)
+
+// Violation is one ontology-conformance failure found in a graph.
+type Violation struct {
+	// Kind classifies the failure: "unknown-label", "unknown-rel-type",
+	// "missing-identity", "non-canonical", "missing-provenance".
+	Kind string
+	// Detail identifies the offending element.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Detail }
+
+// ValidateGraph checks a knowledge graph against the ontology: every node
+// label must be a defined entity, every relationship type a defined type,
+// every node must carry its identity property in canonical form, and every
+// relationship must carry provenance (paper §2.2/§2.3). At most maxIssues
+// violations are returned (0 = 100).
+//
+// A graph built by the standard pipeline validates cleanly; violations
+// indicate a buggy custom crawler or hand-edited data.
+func ValidateGraph(g *graph.Graph, maxIssues int) []Violation {
+	if maxIssues <= 0 {
+		maxIssues = 100
+	}
+	var out []Violation
+	add := func(kind, format string, args ...any) bool {
+		out = append(out, Violation{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+		return len(out) < maxIssues
+	}
+
+	// Labels and relationship types must exist in the ontology.
+	for _, l := range g.Labels() {
+		if _, ok := LookupEntity(l); !ok {
+			if !add("unknown-label", "node label %q is not an ontology entity", l) {
+				return out
+			}
+		}
+	}
+	for _, ty := range g.RelTypes() {
+		if _, ok := LookupRelationship(ty); !ok {
+			if !add("unknown-rel-type", "relationship type %q is not in the ontology", ty) {
+				return out
+			}
+		}
+	}
+
+	// Per-entity identity and canonical-form checks.
+	for _, e := range Entities() {
+		if e.IdentityKey == "" {
+			continue
+		}
+		for _, id := range g.NodesByLabel(e.Name) {
+			v := g.NodeProp(id, e.IdentityKey)
+			if v.IsNull() {
+				if !add("missing-identity", "%s node %d lacks %s", e.Name, id, e.IdentityKey) {
+					return out
+				}
+				continue
+			}
+			if msg := canonicalViolation(e.Name, v); msg != "" {
+				if !add("non-canonical", "%s node %d: %s", e.Name, id, msg) {
+					return out
+				}
+			}
+		}
+	}
+
+	// Every relationship carries its dataset provenance.
+	ok := true
+	g.EachRel(func(id graph.RelID) bool {
+		if g.RelProp(id, PropReferenceName).IsNull() {
+			ok = add("missing-provenance", "relationship %d (%s) lacks %s",
+				id, g.RelType(id), PropReferenceName)
+			return ok
+		}
+		return true
+	})
+	return out
+}
+
+// canonicalViolation reports why an identity value is not canonical ("" =
+// fine).
+func canonicalViolation(entity string, v graph.Value) string {
+	s, isString := v.AsString()
+	switch entity {
+	case AS:
+		if _, ok := v.AsInt(); !ok {
+			return fmt.Sprintf("asn %v is not an integer", v)
+		}
+	case IP:
+		if !isString {
+			return "ip is not a string"
+		}
+		if c, err := netutil.CanonicalIP(s); err != nil || c != s {
+			return fmt.Sprintf("ip %q is not canonical", s)
+		}
+	case Prefix:
+		if !isString {
+			return "prefix is not a string"
+		}
+		if c, err := netutil.CanonicalPrefix(s); err != nil || c != s {
+			return fmt.Sprintf("prefix %q is not canonical", s)
+		}
+	case Country:
+		if !isString {
+			return "country_code is not a string"
+		}
+		if len(s) != 2 {
+			return fmt.Sprintf("country_code %q is not alpha-2", s)
+		}
+		for _, r := range s {
+			if r < 'A' || r > 'Z' {
+				return fmt.Sprintf("country_code %q is not upper-case", s)
+			}
+		}
+	case HostName, DomainName, AuthoritativeNameServer:
+		if !isString {
+			return "name is not a string"
+		}
+		if netutil.CanonicalHostname(s) != s {
+			return fmt.Sprintf("hostname %q is not canonical", s)
+		}
+	}
+	return ""
+}

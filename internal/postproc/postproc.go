@@ -1,0 +1,224 @@
+// Package postproc implements the graph refinement passes of paper §2.3:
+// after all datasets are imported, IYP adds common knowledge that is
+// implicit in the data — address families, IP-to-prefix containment,
+// covering prefixes, URL-to-hostname and hostname-to-domain links, DNS
+// zone cuts, and complete country identifiers. These additions are "safe
+// to implement and simplify queries".
+package postproc
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"iyp/internal/graph"
+	"iyp/internal/netutil"
+	"iyp/internal/ontology"
+)
+
+// Pass is one refinement step.
+type Pass struct {
+	Name string
+	Run  func(*graph.Graph, ontology.Reference) error
+}
+
+// Passes returns the standard refinement pipeline, in execution order.
+func Passes() []Pass {
+	return []Pass{
+		{"iyp.address_family", addressFamily},
+		{"iyp.ip2prefix", ipToPrefix},
+		{"iyp.covering_prefix", coveringPrefix},
+		{"iyp.url2hostname", urlToHostname},
+		{"iyp.dns_hierarchy", dnsHierarchy},
+		{"iyp.country_information", countryInformation},
+	}
+}
+
+// Run executes all refinement passes.
+func Run(g *graph.Graph, fetchTime time.Time, logf func(string, ...any)) error {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	for _, p := range Passes() {
+		ref := ontology.Reference{
+			Organization: "Internet Yellow Pages",
+			Name:         p.Name,
+			FetchTime:    fetchTime,
+		}
+		t0 := time.Now()
+		if err := p.Run(g, ref); err != nil {
+			return fmt.Errorf("postproc: %s: %w", p.Name, err)
+		}
+		logf("refinement %s done in %s", p.Name, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// addressFamily sets the af property (4 or 6) on every IP and Prefix node.
+func addressFamily(g *graph.Graph, _ ontology.Reference) error {
+	for _, label := range []string{ontology.IP, ontology.Prefix} {
+		key := ontology.IdentityKey(label)
+		for _, id := range g.NodesByLabel(label) {
+			v, ok := g.NodeProp(id, key).AsString()
+			if !ok {
+				continue
+			}
+			af, err := netutil.AddressFamily(v)
+			if err != nil {
+				continue
+			}
+			if err := g.SetNodeProp(id, "af", graph.Int(int64(af))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// prefixTrie builds an LPM trie over all Prefix nodes.
+func prefixTrie(g *graph.Graph) *netutil.PrefixTrie[graph.NodeID] {
+	trie := netutil.NewPrefixTrie[graph.NodeID]()
+	for _, id := range g.NodesByLabel(ontology.Prefix) {
+		v, ok := g.NodeProp(id, "prefix").AsString()
+		if !ok {
+			continue
+		}
+		p, err := netip.ParsePrefix(v)
+		if err != nil {
+			continue
+		}
+		trie.Insert(p, id)
+	}
+	return trie
+}
+
+// ipToPrefix links each IP node to the longest matching Prefix node
+// (IP PART_OF Prefix).
+func ipToPrefix(g *graph.Graph, ref ontology.Reference) error {
+	trie := prefixTrie(g)
+	props := ref.Props()
+	for _, id := range g.NodesByLabel(ontology.IP) {
+		ip, ok := g.NodeProp(id, "ip").AsString()
+		if !ok {
+			continue
+		}
+		_, pfxNode, found := trie.LookupString(ip)
+		if !found {
+			continue
+		}
+		if _, err := g.AddRel(ontology.PartOf, id, pfxNode, props); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// coveringPrefix links each Prefix node to its closest covering Prefix
+// node (Prefix PART_OF Prefix).
+func coveringPrefix(g *graph.Graph, ref ontology.Reference) error {
+	trie := prefixTrie(g)
+	props := ref.Props()
+	for _, id := range g.NodesByLabel(ontology.Prefix) {
+		v, ok := g.NodeProp(id, "prefix").AsString()
+		if !ok {
+			continue
+		}
+		p, err := netip.ParsePrefix(v)
+		if err != nil {
+			continue
+		}
+		_, coverNode, found := trie.Covering(p)
+		if !found || coverNode == id {
+			continue
+		}
+		if _, err := g.AddRel(ontology.PartOf, id, coverNode, props); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// urlToHostname links each URL node to its HostName node (URL PART_OF
+// HostName), creating the hostname when needed.
+func urlToHostname(g *graph.Graph, ref ontology.Reference) error {
+	props := ref.Props()
+	for _, id := range g.NodesByLabel(ontology.URL) {
+		raw, ok := g.NodeProp(id, "url").AsString()
+		if !ok {
+			continue
+		}
+		host := netutil.HostnameFromURL(raw)
+		if host == "" {
+			continue
+		}
+		hostNode, _ := g.MergeNode(ontology.HostName, "name", graph.String(host), nil, nil)
+		if _, err := g.AddRel(ontology.PartOf, id, hostNode, props); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dnsHierarchy links HostName nodes to their registered DomainName
+// (HostName PART_OF DomainName) and materializes zone cuts between
+// registered domains and their TLD (DomainName PARENT DomainName, child
+// pointing at parent zone).
+func dnsHierarchy(g *graph.Graph, ref ontology.Reference) error {
+	props := ref.Props()
+	// HostName -> DomainName.
+	for _, id := range g.NodesByLabel(ontology.HostName) {
+		name, ok := g.NodeProp(id, "name").AsString()
+		if !ok {
+			continue
+		}
+		sld, ok := netutil.SecondLevelDomain(name)
+		if !ok {
+			continue
+		}
+		domNode, _ := g.MergeNode(ontology.DomainName, "name", graph.String(sld), nil, nil)
+		if domNode == id {
+			continue // hostname that *is* the registered domain node
+		}
+		if _, err := g.AddRel(ontology.PartOf, id, domNode, props); err != nil {
+			return err
+		}
+	}
+	// DomainName -> TLD zone cut.
+	for _, id := range g.NodesByLabel(ontology.DomainName) {
+		name, ok := g.NodeProp(id, "name").AsString()
+		if !ok {
+			continue
+		}
+		tld := netutil.TopLevelDomain(name)
+		if tld == "" || tld == name {
+			continue
+		}
+		tldNode, _ := g.MergeNode(ontology.DomainName, "name", graph.String(tld), nil, nil)
+		if _, err := g.AddRel(ontology.Parent, id, tldNode, props); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// countryInformation guarantees every Country node has alpha-2, alpha-3,
+// and common-name properties.
+func countryInformation(g *graph.Graph, _ ontology.Reference) error {
+	for _, id := range g.NodesByLabel(ontology.Country) {
+		code, ok := g.NodeProp(id, "country_code").AsString()
+		if !ok {
+			continue
+		}
+		info, ok := netutil.LookupCountry(code)
+		if !ok {
+			continue
+		}
+		if err := g.SetNodeProp(id, "alpha3", graph.String(info.Alpha3)); err != nil {
+			return err
+		}
+		if err := g.SetNodeProp(id, "name", graph.String(info.Name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Package server implements the HTTP query API of the public IYP instance
+// (paper §3.1): a JSON endpoint for Cypher queries plus schema and
+// statistics endpoints. It is the reproduction's equivalent of the Neo4j
+// HTTP API the paper's public deployment exposes.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"iyp/internal/cypher"
+	"iyp/internal/graph"
+	"iyp/internal/ontology"
+)
+
+// Server serves read-only query access to a graph.
+type Server struct {
+	g   *graph.Graph
+	mux *http.ServeMux
+	// MaxRows caps the number of rows returned per query (0 = 100000).
+	MaxRows int
+}
+
+// New builds the API handler.
+func New(g *graph.Graph) *Server {
+	s := &Server{g: g, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /db/query", s.handleQuery)
+	s.mux.HandleFunc("POST /db/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /db/schema", s.handleSchema)
+	s.mux.HandleFunc("GET /db/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type queryRequest struct {
+	Query  string         `json:"query"`
+	Params map[string]any `json:"params"`
+}
+
+type queryResponse struct {
+	Columns []string         `json:"columns"`
+	Rows    []map[string]any `json:"rows"`
+	Count   int              `json:"count"`
+	TookMS  int64            `json:"took_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
+		return
+	}
+	params := map[string]graph.Value{}
+	for k, v := range req.Params {
+		params[k] = graph.Of(normalizeParam(v))
+	}
+	t0 := time.Now()
+	res, err := cypher.Run(s.g, req.Query, params)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	maxRows := s.MaxRows
+	if maxRows <= 0 {
+		maxRows = 100000
+	}
+	rows := res.Native()
+	if len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Columns: res.Columns,
+		Rows:    rows,
+		Count:   res.Len(),
+		TookMS:  time.Since(t0).Milliseconds(),
+	})
+}
+
+// normalizeParam converts JSON numbers (float64) with integral values to
+// ints, matching how Cypher parameters behave in practice.
+func normalizeParam(v any) any {
+	switch x := v.(type) {
+	case float64:
+		if x == float64(int64(x)) {
+			return int64(x)
+		}
+	case []any:
+		for i, e := range x {
+			x[i] = normalizeParam(e)
+		}
+	}
+	return v
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid request body: " + err.Error()})
+		return
+	}
+	if req.Query == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
+		return
+	}
+	plan, err := cypher.Explain(s.g, req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+}
+
+type schemaResponse struct {
+	Entities      []ontology.EntityDef `json:"entities"`
+	Relationships []ontology.RelDef    `json:"relationships"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, schemaResponse{
+		Entities:      ontology.Entities(),
+		Relationships: ontology.Relationships(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.g.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.New()
+	a := g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(2497)})
+	b := g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(65001)})
+	p := g.AddNode([]string{"Prefix"}, graph.Props{"prefix": graph.String("192.0.2.0/24")})
+	_, _ = g.AddRel("ORIGINATE", a, p, nil)
+	_, _ = g.AddRel("PEERS_WITH", a, b, nil)
+	return g
+}
+
+func post(t *testing.T, srv http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/db/query", bytes.NewReader([]byte(body)))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	srv := New(testGraph())
+	w := post(t, srv, `{"query": "MATCH (x:AS) RETURN x.asn AS asn ORDER BY asn"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Columns []string         `json:"columns"`
+		Rows    []map[string]any `json:"rows"`
+		Count   int              `json:"count"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 2 || len(resp.Rows) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Rows[0]["asn"] != float64(2497) { // JSON numbers decode as float64
+		t.Errorf("first row = %v", resp.Rows[0])
+	}
+}
+
+func TestQueryEndpointWithParams(t *testing.T) {
+	srv := New(testGraph())
+	w := post(t, srv, `{"query": "MATCH (x:AS {asn: $asn}) RETURN count(x) AS n", "params": {"asn": 2497}}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	_ = json.Unmarshal(w.Body.Bytes(), &resp)
+	// JSON integer params must coerce to graph ints for index lookups.
+	if resp.Rows[0]["n"] != float64(1) {
+		t.Errorf("param query = %v", resp.Rows[0])
+	}
+}
+
+func TestQueryEndpointNodeSerialization(t *testing.T) {
+	srv := New(testGraph())
+	w := post(t, srv, `{"query": "MATCH (x:AS {asn: 2497}) RETURN x"}`)
+	var resp struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	_ = json.Unmarshal(w.Body.Bytes(), &resp)
+	node, ok := resp.Rows[0]["x"].(map[string]any)
+	if !ok {
+		t.Fatalf("node row = %v", resp.Rows[0])
+	}
+	if node["labels"].([]any)[0] != "AS" {
+		t.Errorf("node labels = %v", node["labels"])
+	}
+	props := node["properties"].(map[string]any)
+	if props["asn"] != float64(2497) {
+		t.Errorf("node props = %v", props)
+	}
+}
+
+func TestQueryEndpointErrors(t *testing.T) {
+	srv := New(testGraph())
+	cases := []struct {
+		body string
+		code int
+	}{
+		{`{"query": "MATCH (x:AS RETURN x"}`, http.StatusBadRequest}, // parse error
+		{`{"query": ""}`, http.StatusBadRequest},                     // missing query
+		{`not json`, http.StatusBadRequest},                          // bad body
+	}
+	for _, tc := range cases {
+		w := post(t, srv, tc.body)
+		if w.Code != tc.code {
+			t.Errorf("body %q: status %d, want %d", tc.body, w.Code, tc.code)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+			t.Errorf("body %q: error payload missing: %s", tc.body, w.Body)
+		}
+	}
+	// GET on the query endpoint is not allowed.
+	req := httptest.NewRequest(http.MethodGet, "/db/query", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /db/query = %d", w.Code)
+	}
+}
+
+func TestSchemaEndpoint(t *testing.T) {
+	srv := New(testGraph())
+	req := httptest.NewRequest(http.MethodGet, "/db/schema", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d", w.Code)
+	}
+	var resp struct {
+		Entities      []struct{ Name string } `json:"entities"`
+		Relationships []struct{ Name string } `json:"relationships"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Entities) != 24 || len(resp.Relationships) != 24 {
+		t.Errorf("schema sizes: %d entities, %d relationships", len(resp.Entities), len(resp.Relationships))
+	}
+}
+
+func TestStatsAndHealthEndpoints(t *testing.T) {
+	srv := New(testGraph())
+	req := httptest.NewRequest(http.MethodGet, "/db/stats", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	var st struct {
+		Nodes int
+		Rels  int
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Nodes != 3 || st.Rels != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Errorf("healthz = %d", w.Code)
+	}
+}
+
+func TestMaxRowsCap(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 50; i++ {
+		g.AddNode([]string{"N"}, graph.Props{"i": graph.Int(int64(i))})
+	}
+	srv := New(g)
+	srv.MaxRows = 10
+	w := post(t, srv, `{"query": "MATCH (n:N) RETURN n.i AS i"}`)
+	var resp struct {
+		Rows  []map[string]any `json:"rows"`
+		Count int              `json:"count"`
+	}
+	_ = json.Unmarshal(w.Body.Bytes(), &resp)
+	if len(resp.Rows) != 10 {
+		t.Errorf("rows = %d, want capped 10", len(resp.Rows))
+	}
+	if resp.Count != 50 {
+		t.Errorf("count = %d, want full 50", resp.Count)
+	}
+}
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := New(testGraph())
+	req := httptest.NewRequest(http.MethodPost, "/db/explain",
+		bytes.NewReader([]byte(`{"query": "MATCH (x:AS)-[:ORIGINATE]->(p:Prefix) RETURN p"}`)))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", w.Code, w.Body)
+	}
+	var resp struct {
+		Plan string `json:"plan"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Plan == "" {
+		t.Error("empty plan")
+	}
+	// Parse errors surface as 400.
+	req = httptest.NewRequest(http.MethodPost, "/db/explain", bytes.NewReader([]byte(`{"query": "MATCH ("}`)))
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("bad query explain status = %d", w.Code)
+	}
+}

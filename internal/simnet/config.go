@@ -1,0 +1,263 @@
+// Package simnet generates a deterministic synthetic Internet: AS-level
+// topology, address allocation, RPKI, DNS hosting, IXPs, rankings, and
+// measurement infrastructure. It is the reproduction's substitute for the
+// live data feeds the paper ingests (BGPKIT, OpenINTEL, PeeringDB, RIPE,
+// Cloudflare, ...): internal/source renders slices of this model in each
+// provider's native format, and the crawlers parse those renderings exactly
+// as the real pipeline would.
+//
+// Generator parameters are calibrated so that the 2024-side statistics of
+// the paper's evaluation (Tables 2-5, Figures 5-6, §5.1) come out with the
+// same shape: who wins, by what rough factor, and where the crossovers sit.
+package simnet
+
+import "fmt"
+
+// Config controls the size and statistical shape of the generated
+// Internet. The zero value is not usable; start from DefaultConfig.
+type Config struct {
+	// Seed makes generation deterministic. Two runs with identical
+	// Config produce identical Internets.
+	Seed int64
+
+	// NumASes is the number of Autonomous Systems.
+	NumASes int
+	// NumOrgs is the number of organizations; several ASes may map to
+	// one organization (SIBLING_OF).
+	NumOrgs int
+	// NumDomains is the length of the simulated Tranco list. The paper
+	// uses the real top-1M; benchmarks use 20k-100k scaled replicas.
+	NumDomains int
+	// NumIXPs is the number of Internet Exchange Points.
+	NumIXPs int
+	// NumFacilities is the number of co-location facilities.
+	NumFacilities int
+	// NumNSProviders is the number of managed-DNS providers.
+	NumNSProviders int
+	// NumProbes is the number of RIPE Atlas probes.
+	NumProbes int
+	// NumMeasurements is the number of RIPE Atlas measurements.
+	NumMeasurements int
+	// NumCitizenLabURLs is the number of Citizen Lab test-list URLs.
+	NumCitizenLabURLs int
+
+	// RPKI calibration (paper Table 2 and §4.1, 2024 side).
+	RPKI RPKIConfig
+	// DNS calibration (paper Tables 3-5, §5, 2024 side).
+	DNS DNSConfig
+
+	// PlantedOriginErrors is the number of IPv6 prefixes whose BGPKIT
+	// pfx2as rendering carries a wrong origin AS — the data-quality bug
+	// the paper reports discovering by comparing datasets in IYP (§6.1).
+	// The comparison study (studies.CompareOriginDatasets) must find
+	// exactly these.
+	PlantedOriginErrors int
+}
+
+// RPKIConfig holds per-category ROA coverage rates and the invalid rate.
+type RPKIConfig struct {
+	// InvalidRate is the fraction of routed (prefix, origin) pairs whose
+	// BGP origin conflicts with RPKI (paper: 0.12%).
+	InvalidRate float64
+	// InvalidMaxLenShare is the fraction of invalids caused by a wrong
+	// max-length in the ROA rather than a wrong origin (paper: 75%).
+	InvalidMaxLenShare float64
+	// CoverageByCategory maps an AS category to the fraction of its
+	// prefixes covered by a ROA. Categories absent from the map use
+	// DefaultCoverage.
+	CoverageByCategory map[string]float64
+	// DefaultCoverage applies to categories not listed above.
+	DefaultCoverage float64
+}
+
+// DNSConfig calibrates domain hosting and nameserver infrastructure.
+type DNSConfig struct {
+	// TLDShares maps TLD (without dot) to its share of the domain list.
+	// Shares must sum to <= 1; the remainder spreads over ccTLDs.
+	TLDShares map[string]float64
+	// DiscardedShare is the fraction of .com/.net/.org domains with no
+	// usable glue records (paper Table 3: 10%).
+	DiscardedShare float64
+	// NotMeetShare is the fraction with a single nameserver (4%).
+	NotMeetShare float64
+	// MeetShare is the fraction with exactly two nameservers (18%).
+	MeetShare float64
+	// The remainder exceeds the RFC 2182 requirements (67%).
+
+	// InZoneGlueShare is the fraction of kept domains whose nameservers
+	// live under .com/.net/.org (76%).
+	InZoneGlueShare float64
+	// SelfHostedShare is the fraction of domains operating their own
+	// nameservers (unique NS sets) instead of a managed provider.
+	SelfHostedShare float64
+	// NSRPKICoverage is the fraction of nameserver-hosting prefixes
+	// covered by RPKI (paper §5.1.1: 48%), applied with a popularity
+	// bias so that ~84% of domains sit behind covered nameservers.
+	NSRPKICoverage float64
+}
+
+// DefaultConfig returns the calibrated configuration at roughly 1/50 of
+// the real Internet's scale: 20k Tranco domains, 3k ASes. Tests use
+// smaller copies via Scale.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                42,
+		NumASes:             3000,
+		NumOrgs:             2400,
+		NumDomains:          20000,
+		NumIXPs:             60,
+		NumFacilities:       120,
+		NumNSProviders:      120,
+		NumProbes:           800,
+		NumMeasurements:     300,
+		NumCitizenLabURLs:   500,
+		PlantedOriginErrors: 3,
+		RPKI: RPKIConfig{
+			InvalidRate:        0.0012,
+			InvalidMaxLenShare: 0.75,
+			CoverageByCategory: map[string]float64{
+				CatCDN:        0.65,
+				CatDDoS:       0.76,
+				CatAcademic:   0.16,
+				CatGovernment: 0.21,
+				CatCloud:      0.62,
+				CatHosting:    0.60,
+				CatDNS:        0.48,
+				CatISP:        0.45,
+				CatEnterprise: 0.35,
+			},
+			DefaultCoverage: 0.42,
+		},
+		DNS: DNSConfig{
+			TLDShares: map[string]float64{
+				"com": 0.40, "net": 0.05, "org": 0.04,
+				"io": 0.03, "co": 0.02, "info": 0.02,
+			},
+			DiscardedShare:  0.10,
+			NotMeetShare:    0.04,
+			MeetShare:       0.18,
+			InZoneGlueShare: 0.76,
+			SelfHostedShare: 0.12,
+			NSRPKICoverage:  0.48,
+		},
+	}
+}
+
+// Config2015 returns a configuration calibrated to the original RiPKI
+// study's 2015 measurements (Table 2's first row): RPKI deployment nearly
+// nonexistent (6% coverage overall, 0.9% for CDNs), so the reproduction
+// can generate the paper's historical baseline instead of quoting it.
+func Config2015() Config {
+	c := DefaultConfig()
+	c.Seed = 2015
+	c.RPKI = RPKIConfig{
+		InvalidRate:        0.0009,
+		InvalidMaxLenShare: 0.5,
+		CoverageByCategory: map[string]float64{
+			CatCDN:        0.009,
+			CatDDoS:       0.05,
+			CatAcademic:   0.03,
+			CatGovernment: 0.02,
+			CatCloud:      0.05,
+			CatHosting:    0.06,
+			CatDNS:        0.05,
+			CatISP:        0.08,
+			CatEnterprise: 0.05,
+		},
+		DefaultCoverage: 0.05,
+	}
+	c.DNS.NSRPKICoverage = 0.04
+	return c
+}
+
+// Scale returns a copy of c with all size knobs multiplied by f (rates are
+// untouched). Useful for quick tests (f < 1) and heavyweight benchmarks
+// (f > 1).
+func (c Config) Scale(f float64) Config {
+	scale := func(n int, minimum int) int {
+		v := int(float64(n) * f)
+		if v < minimum {
+			return minimum
+		}
+		return v
+	}
+	c.NumASes = scale(c.NumASes, 60)
+	c.NumOrgs = scale(c.NumOrgs, 40)
+	c.NumDomains = scale(c.NumDomains, 200)
+	// At least as many IXPs as Alice-LG looking glasses (7).
+	c.NumIXPs = scale(c.NumIXPs, 8)
+	c.NumFacilities = scale(c.NumFacilities, 8)
+	c.NumNSProviders = scale(c.NumNSProviders, 10)
+	c.NumProbes = scale(c.NumProbes, 20)
+	c.NumMeasurements = scale(c.NumMeasurements, 10)
+	c.NumCitizenLabURLs = scale(c.NumCitizenLabURLs, 20)
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.NumASes < 10 {
+		return fmt.Errorf("simnet: NumASes %d too small (need >= 10)", c.NumASes)
+	}
+	if c.NumOrgs < 5 {
+		return fmt.Errorf("simnet: NumOrgs %d too small (need >= 5)", c.NumOrgs)
+	}
+	if c.NumDomains < 50 {
+		return fmt.Errorf("simnet: NumDomains %d too small (need >= 50)", c.NumDomains)
+	}
+	if c.NumNSProviders < 2 {
+		return fmt.Errorf("simnet: NumNSProviders %d too small (need >= 2)", c.NumNSProviders)
+	}
+	if c.NumIXPs < 7 {
+		return fmt.Errorf("simnet: NumIXPs %d too small (need >= 7, one per Alice-LG looking glass)", c.NumIXPs)
+	}
+	share := c.DNS.DiscardedShare + c.DNS.NotMeetShare + c.DNS.MeetShare
+	if share > 1 {
+		return fmt.Errorf("simnet: DNS shares sum to %.2f > 1", share)
+	}
+	if c.RPKI.InvalidRate < 0 || c.RPKI.InvalidRate > 0.5 {
+		return fmt.Errorf("simnet: RPKI invalid rate %.4f out of range", c.RPKI.InvalidRate)
+	}
+	var sum float64
+	for _, s := range c.DNS.TLDShares {
+		sum += s
+	}
+	if sum > 1 {
+		return fmt.Errorf("simnet: TLD shares sum to %.2f > 1", sum)
+	}
+	return nil
+}
+
+// AS categories used throughout the model. These double as BGP.Tools-style
+// tags and ASdb-style classifications in the rendered datasets.
+const (
+	CatTier1      = "Tier1"
+	CatISP        = "ISP"
+	CatCDN        = "CDN"
+	CatCloud      = "Cloud"
+	CatHosting    = "Hosting"
+	CatDNS        = "DNS"
+	CatAcademic   = "Academic"
+	CatGovernment = "Government"
+	CatDDoS       = "DDoS Mitigation"
+	CatEnterprise = "Enterprise"
+	CatRegistry   = "Registry"
+)
+
+// categoryShares is the distribution of primary categories over ASes.
+var categoryShares = []struct {
+	Cat   string
+	Share float64
+}{
+	{CatTier1, 0.004},
+	{CatISP, 0.42},
+	{CatCDN, 0.012},
+	{CatCloud, 0.03},
+	{CatHosting, 0.12},
+	{CatDNS, 0.02},
+	{CatAcademic, 0.07},
+	{CatGovernment, 0.05},
+	{CatDDoS, 0.008},
+	{CatRegistry, 0.012},
+	{CatEnterprise, 0.254},
+}

@@ -1,0 +1,196 @@
+package simnet
+
+import "fmt"
+
+// --- IXPs and facilities ---
+
+func (g *generator) genIXPs() {
+	nIXP := g.cfg.NumIXPs
+	nFac := g.cfg.NumFacilities
+	for i := 0; i < nFac; i++ {
+		cc := g.pickCountry()
+		f := &Facility{
+			ID:      3000 + i,
+			Name:    fmt.Sprintf("DataDock %s-%02d", cc, i+1),
+			Country: cc,
+		}
+		if g.r.bernoulli(0.8) {
+			f.PeeringdbOrgID = g.in.Orgs[g.r.Intn(len(g.in.Orgs))].PeeringdbOrgID
+		}
+		g.in.Facilities = append(g.in.Facilities, f)
+	}
+	// IXP member counts follow a heavy-tailed distribution: the biggest
+	// exchanges (DE-CIX/AMS-IX/LINX-alikes) connect a large share of
+	// all networks.
+	memberSizes := g.r.zipfSizes(len(g.in.ASes)*2, nIXP, 1.1)
+	for i := 0; i < nIXP; i++ {
+		cc := g.pickCountry()
+		ix := &IXP{
+			ID:             100 + i,
+			PeeringdbIXID:  500 + i,
+			Name:           fmt.Sprintf("IX-%s-%02d", cc, i+1),
+			Country:        cc,
+			RouteServerASN: uint32(64496 + i),
+			AliceLG:        i < 7, // the paper imports seven Alice-LG looking glasses
+		}
+		seen := map[uint32]bool{}
+		for m := 0; m < memberSizes[i]; m++ {
+			a := g.in.ASes[g.r.powerLawInt(0, len(g.in.ASes)-1, 1.2)]
+			if seen[a.ASN] {
+				continue
+			}
+			seen[a.ASN] = true
+			ix.Members = append(ix.Members, a.ASN)
+			a.IXPMemberships = append(a.IXPMemberships, ix.ID)
+		}
+		// Each IXP is present in 1-3 facilities.
+		nf := g.r.intBetween(1, 3)
+		for f := 0; f < nf; f++ {
+			fac := g.in.Facilities[g.r.Intn(len(g.in.Facilities))]
+			if !hasInt(ix.FacilityIDs, fac.ID) {
+				ix.FacilityIDs = append(ix.FacilityIDs, fac.ID)
+				fac.IXPIDs = append(fac.IXPIDs, ix.ID)
+			}
+		}
+		g.in.IXPs = append(g.in.IXPs, ix)
+	}
+	// Facility tenants.
+	for _, f := range g.in.Facilities {
+		nt := g.r.intBetween(2, 25)
+		for t := 0; t < nt; t++ {
+			a := g.in.ASes[g.r.powerLawInt(0, len(g.in.ASes)-1, 1.2)]
+			if !hasASN(f.TenantASNs, a.ASN) {
+				f.TenantASNs = append(f.TenantASNs, a.ASN)
+			}
+		}
+	}
+}
+
+func hasInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// --- BGP collectors ---
+
+func (g *generator) genCollectors() {
+	specs := []struct{ name, project string }{
+		{"rrc00", "ris"}, {"rrc01", "ris"}, {"rrc03", "ris"},
+		{"rrc04", "ris"}, {"rrc06", "ris"}, {"rrc10", "ris"},
+		{"route-views2", "routeviews"}, {"route-views3", "routeviews"},
+		{"route-views.linx", "routeviews"}, {"route-views.sydney", "routeviews"},
+	}
+	for _, sp := range specs {
+		c := &Collector{Name: sp.name, Project: sp.project}
+		// Collectors peer preferentially with large networks.
+		nPeers := g.r.intBetween(15, 60)
+		seen := map[uint32]bool{}
+		for i := 0; i < nPeers; i++ {
+			a := g.in.ASes[g.r.powerLawInt(0, len(g.in.ASes)-1, 1.5)]
+			if !seen[a.ASN] {
+				seen[a.ASN] = true
+				c.Peers = append(c.Peers, a.ASN)
+			}
+		}
+		g.in.Collectors = append(g.in.Collectors, c)
+	}
+}
+
+// --- RIPE Atlas ---
+
+func (g *generator) genAtlas() {
+	for i := 0; i < g.cfg.NumProbes; i++ {
+		cc := g.pickCountry()
+		pool := g.eyeballs[cc]
+		if len(pool) == 0 {
+			continue
+		}
+		a := pool[g.r.powerLawInt(0, len(pool)-1, 1.2)]
+		p := &Probe{
+			ID:      1000 + i,
+			ASNv4:   a.ASN,
+			Country: cc,
+			Status:  []string{"Connected", "Connected", "Connected", "Disconnected", "Abandoned"}[g.r.Intn(5)],
+		}
+		for _, pf := range a.Prefixes {
+			if pf.AF == 4 {
+				p.IPv4 = pf.NextHostIP()
+				break
+			}
+		}
+		g.in.Probes = append(g.in.Probes, p)
+	}
+	connected := make([]*Probe, 0, len(g.in.Probes))
+	for _, p := range g.in.Probes {
+		if p.Status == "Connected" {
+			connected = append(connected, p)
+		}
+	}
+	for i := 0; i < g.cfg.NumMeasurements; i++ {
+		m := &Measurement{
+			ID:     5000 + i,
+			Type:   []string{"ping", "ping", "traceroute"}[g.r.Intn(3)],
+			AF:     []int{4, 4, 6}[g.r.Intn(3)],
+			Status: []string{"Ongoing", "Ongoing", "Stopped"}[g.r.Intn(3)],
+		}
+		// Measurements target popular hostnames, occasionally raw IPs.
+		d := g.in.Domains[g.r.powerLawInt(0, len(g.in.Domains)-1, 1.6)]
+		if g.r.bernoulli(0.8) || len(d.HostIPv4) == 0 {
+			m.Target = d.Name
+		} else {
+			m.Target = d.HostIPv4[0]
+			m.TargetIsIP = true
+		}
+		nP := g.r.intBetween(3, 15)
+		for j := 0; j < nP && len(connected) > 0; j++ {
+			m.ProbeIDs = append(m.ProbeIDs, connected[g.r.Intn(len(connected))].ID)
+		}
+		g.in.Measures = append(g.in.Measures, m)
+	}
+}
+
+// --- Citizen Lab URL test lists ---
+
+var citizenLabCategories = []string{
+	"NEWS", "POLR", "HUMR", "GRP", "SRCH", "COMT", "ECON", "GOVT", "CULTR",
+}
+
+func (g *generator) genCitizenLab() {
+	for i := 0; i < g.cfg.NumCitizenLabURLs; i++ {
+		d := g.in.Domains[g.r.powerLawInt(0, len(g.in.Domains)-1, 1.1)]
+		scheme := "https"
+		if g.r.bernoulli(0.2) {
+			scheme = "http"
+		}
+		path := ""
+		if g.r.bernoulli(0.4) {
+			path = fmt.Sprintf("/%s", []string{"news", "about", "index.html", "en"}[g.r.Intn(4)])
+		}
+		country := "GLOBAL"
+		if g.r.bernoulli(0.5) {
+			country = g.pickCountry()
+		}
+		g.in.CitizenURLs = append(g.in.CitizenURLs, &CitizenLabURL{
+			URL:      fmt.Sprintf("%s://www.%s%s", scheme, d.Name, path),
+			Category: citizenLabCategories[g.r.Intn(len(citizenLabCategories))],
+			Country:  country,
+		})
+	}
+}
+
+// --- populations ---
+
+func (g *generator) genPopulations() {
+	for _, c := range g.in.Countries {
+		w, ok := countryWeights[c.Alpha2]
+		if !ok {
+			w = defaultCountryWeight
+		}
+		// Rough absolute scale: weights sum to ~1 over 5B Internet users.
+		g.in.Populations[c.Alpha2] = int64(w * 5e9 * (0.8 + g.r.Float64()*0.4))
+	}
+}

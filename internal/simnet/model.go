@@ -1,0 +1,294 @@
+package simnet
+
+import "iyp/internal/netutil"
+
+// Internet is the fully generated synthetic Internet model. All slices are
+// in deterministic order; Domains is ordered by Tranco rank (index 0 =
+// rank 1).
+type Internet struct {
+	Cfg Config
+
+	Countries   []netutil.CountryInfo
+	Orgs        []*Org
+	ASes        []*AS
+	Prefixes    []*Prefix
+	IXPs        []*IXP
+	Facilities  []*Facility
+	TLDs        []*TLD
+	NSProviders []*NSProvider
+	Domains     []*Domain
+	Collectors  []*Collector
+	Probes      []*Probe
+	Measures    []*Measurement
+	CitizenURLs []*CitizenLabURL
+
+	// Populations maps alpha-2 country code to an absolute population
+	// estimate (World Bank dataset).
+	Populations map[string]int64
+
+	// PlantedErrors records the (prefix, wrong origin) pairs deliberately
+	// corrupted in the BGPKIT rendering (paper §6.1: IYP surfaced exactly
+	// such an IPv6 error in the real BGPKIT dataset). Ground truth for
+	// the dataset-comparison study.
+	PlantedErrors []PlantedOriginError
+
+	asByASN map[uint32]*AS
+}
+
+// PlantedOriginError is one deliberately corrupted pfx2as record.
+type PlantedOriginError struct {
+	Prefix      string
+	TrueOrigin  uint32
+	WrongOrigin uint32
+}
+
+// ASByASN resolves an ASN to its model record.
+func (in *Internet) ASByASN(asn uint32) *AS { return in.asByASN[asn] }
+
+// Org is a resource-holding organization.
+type Org struct {
+	ID      int
+	Name    string
+	Country string // alpha-2
+	// PeeringdbOrgID is this org's PeeringDB identifier (0 = not in
+	// PeeringDB).
+	PeeringdbOrgID int
+	// ASes managed by this organization.
+	ASes []*AS
+}
+
+// AS is an Autonomous System.
+type AS struct {
+	ASN      uint32
+	Name     string
+	Org      *Org
+	Country  string // alpha-2 registration country
+	RIR      string // "arin", "ripencc", "apnic", "lacnic", "afrinic"
+	OpaqueID string // RIR delegated-file opaque id
+
+	// Category is the primary business category (see Cat* constants).
+	Category string
+	// Tags are BGP.Tools-style classification tags (includes Category).
+	Tags []string
+	// ASdbLayer1/Layer2 are the Stanford ASdb classification.
+	ASdbLayer1 string
+	ASdbLayer2 string
+
+	// Rank is the CAIDA ASRank position (1 = biggest customer cone).
+	Rank     int
+	ConeSize int
+	// Hegemony is the IHR AS-hegemony score in [0, 1].
+	Hegemony float64
+	// RoVistaScore is the Virginia Tech ROV-filtering score in [0, 1].
+	RoVistaScore float64
+
+	// Peers, Providers and Customers are AS-level adjacencies (ASNs).
+	Peers     []uint32
+	Providers []uint32
+	Customers []uint32
+
+	// RPKIAdopter gates whether this AS registers ROAs at all.
+	RPKIAdopter bool
+	// PeeringdbNetID is the PeeringDB net identifier (0 = absent).
+	PeeringdbNetID int
+	// IXPMemberships lists IXP IDs this AS peers at.
+	IXPMemberships []int
+	// PopShare maps country code to the fraction of that country's
+	// Internet population served by this AS (APNIC-style estimate).
+	PopShare map[string]float64
+
+	// Prefixes originated by this AS.
+	Prefixes []*Prefix
+}
+
+// RPKI validation states for a routed (prefix, origin) pair, mirroring the
+// tags IHR's ROV dataset assigns in IYP.
+const (
+	RPKIValid               = "RPKI Valid"
+	RPKIInvalid             = "RPKI Invalid"
+	RPKIInvalidMoreSpecific = "RPKI Invalid, more specific"
+	RPKINotFound            = "RPKI NotFound"
+)
+
+// IRR validation states.
+const (
+	IRRValid    = "IRR Valid"
+	IRRInvalid  = "IRR Invalid"
+	IRRNotFound = "IRR NotFound"
+)
+
+// ROA is a Route Origin Authorization.
+type ROA struct {
+	Prefix    string
+	ASN       uint32
+	MaxLength int
+}
+
+// Prefix is a routed BGP prefix.
+type Prefix struct {
+	CIDR string // canonical form
+	AF   int    // 4 or 6
+	// Origin is the AS originating this prefix in BGP.
+	Origin *AS
+	// MOASOrigin is a second origin AS (nil unless multi-origin).
+	MOASOrigin *AS
+	// ROA covering this prefix (nil when RPKI does not cover it).
+	ROA *ROA
+	// RPKIStatus is the validation outcome of the (prefix, Origin) pair.
+	RPKIStatus string
+	// IRRStatus is the IRR validation outcome.
+	IRRStatus string
+	// Anycast marks BGP.Tools-anycast-tagged prefixes.
+	Anycast bool
+	// HostedIPs counts addresses assigned out of this prefix so far
+	// (used by the generator to carve IPs).
+	HostedIPs int
+	// WebHosted marks prefixes that host ranked web content (apex
+	// addresses), as opposed to nameserver or probe space.
+	WebHosted bool
+}
+
+// IXP is an Internet Exchange Point.
+type IXP struct {
+	ID            int // CAIDA IX ID
+	PeeringdbIXID int
+	Name          string
+	Country       string
+	Members       []uint32 // member ASNs
+	FacilityIDs   []int
+	// RouteServerASN is the IXP's route-server ASN (for Alice-LG).
+	RouteServerASN uint32
+	// AliceLG marks the IXPs whose route server exposes an Alice-LG
+	// looking glass (the paper imports seven of them).
+	AliceLG bool
+}
+
+// Facility is a co-location facility.
+type Facility struct {
+	ID             int // PeeringDB fac id
+	Name           string
+	Country        string
+	TenantASNs     []uint32
+	IXPIDs         []int
+	PeeringdbOrgID int
+}
+
+// TLD is a top-level domain with its registry operator.
+type TLD struct {
+	Name    string // without dot, e.g. "com"
+	CC      bool   // country-code TLD
+	Country string // registry country (alpha-2)
+	// RegistryAS runs the TLD's authoritative infrastructure; resolving
+	// any name under the TLD hierarchically depends on it.
+	RegistryAS *AS
+}
+
+// NSProvider is a managed-DNS provider.
+type NSProvider struct {
+	ID   int
+	Name string // e.g. "dnsprov3"
+	Org  *Org
+	AS   *AS
+	// Zone is the provider's nameserver domain, e.g. "dnsprov3.net".
+	Zone string
+	// ZoneTLD is the TLD of Zone (decides in-zone glue for com/net/org).
+	ZoneTLD string
+	// Variants are the provider's nameserver sets; a customer domain is
+	// assigned one variant. Grouping domains by NS set therefore groups
+	// by (provider, variant), while grouping by nameserver /24 or BGP
+	// prefix merges the whole provider.
+	Variants []*NSVariant
+	// ThirdParty is the provider whose nameservers serve the provider's
+	// own Zone (nil = self-hosted), creating third-party dependency
+	// chains in the DNS resolution graph.
+	ThirdParty *NSProvider
+}
+
+// NSVariant is one of a provider's nameserver sets.
+type NSVariant struct {
+	Servers []*Nameserver
+}
+
+// Nameserver is one authoritative DNS server.
+type Nameserver struct {
+	Name     string // FQDN
+	IPv4     string
+	IPv6     string
+	V4Prefix *Prefix
+	V6Prefix *Prefix
+	Provider *NSProvider // nil for self-hosted domain nameservers
+}
+
+// Domain is one ranked (Tranco) domain.
+type Domain struct {
+	Name string // registered domain, e.g. "example042.com"
+	TLD  *TLD
+	Rank int // Tranco rank, 1-based
+
+	// Apex hosting.
+	HostIPv4   []string
+	HostIPv6   []string
+	HostPrefix []*Prefix // prefixes covering the apex IPs
+	HostAS     *AS
+
+	// Nameservers serving the zone; empty when the domain has no glue
+	// (the "discarded" bucket of the DNS-robustness study).
+	NS []*Nameserver
+	// Provider is the managed-DNS provider (nil when self-hosted).
+	Provider *NSProvider
+	// SelfHosted marks domains running their own nameservers.
+	SelfHosted bool
+	// HasGlue reports whether the zone has usable glue records.
+	HasGlue bool
+	// InZoneGlue reports whether the nameserver names fall under
+	// .com/.net/.org (the original study's in-zone criterion).
+	InZoneGlue bool
+
+	// UmbrellaRank is the Cisco Umbrella rank (0 = not listed).
+	UmbrellaRank int
+	// CloudflareRank is the Cloudflare Radar rank (0 = not listed).
+	CloudflareRank int
+	// TopQueryASNs are the ASes querying this domain the most
+	// (Cloudflare Radar QUERIED_FROM).
+	TopQueryASNs []uint32
+}
+
+// Hostnames returns the resolvable FQDNs of the domain (apex and www).
+func (d *Domain) Hostnames() []string {
+	return []string{d.Name, "www." + d.Name}
+}
+
+// Collector is a RIPE RIS or RouteViews BGP collector.
+type Collector struct {
+	Name    string // e.g. "rrc00", "route-views2"
+	Project string // "ris" or "routeviews"
+	Peers   []uint32
+}
+
+// Probe is a RIPE Atlas probe.
+type Probe struct {
+	ID      int
+	ASNv4   uint32
+	Country string
+	IPv4    string
+	Status  string // "Connected", "Disconnected", "Abandoned"
+}
+
+// Measurement is a RIPE Atlas measurement.
+type Measurement struct {
+	ID     int
+	Type   string // "ping", "traceroute"
+	AF     int
+	Target string // hostname or IP
+	// TargetIsIP distinguishes IP targets from hostname targets.
+	TargetIsIP bool
+	ProbeIDs   []int
+	Status     string // "Ongoing", "Stopped"
+}
+
+// CitizenLabURL is an entry of the Citizen Lab URL test lists.
+type CitizenLabURL struct {
+	URL      string
+	Category string
+	Country  string // "GLOBAL" or alpha-2
+}

@@ -1,0 +1,96 @@
+package simnet
+
+import (
+	"math"
+	"math/rand"
+)
+
+// rng wraps math/rand with the sampling helpers the generator uses.
+// Everything derives from the single seeded source so generation is fully
+// deterministic.
+type rng struct {
+	*rand.Rand
+}
+
+func newRNG(seed int64) *rng {
+	return &rng{rand.New(rand.NewSource(seed))}
+}
+
+// bernoulli returns true with probability p.
+func (r *rng) bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// intBetween returns a uniform integer in [lo, hi] inclusive.
+func (r *rng) intBetween(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// zipfSizes partitions total items over n buckets with a Zipf-like
+// distribution of exponent s (bucket i gets weight 1/(i+1)^s). Every
+// bucket receives at least one item while items remain.
+func (r *rng) zipfSizes(total, n int, s float64) []int {
+	if n <= 0 {
+		return nil
+	}
+	weights := make([]float64, n)
+	var sum float64
+	for i := range weights {
+		weights[i] = 1.0 / pow(float64(i+1), s)
+		sum += weights[i]
+	}
+	sizes := make([]int, n)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(weights[i] / sum * float64(total))
+		assigned += sizes[i]
+	}
+	// Distribute rounding remainder over the head.
+	for i := 0; assigned < total; i = (i + 1) % n {
+		sizes[i]++
+		assigned++
+	}
+	return sizes
+}
+
+// weightedIndex samples an index proportionally to weights.
+func (r *rng) weightedIndex(weights []float64) int {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	x := r.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// powerLawInt samples an integer in [lo, hi] with density proportional to
+// (x-lo+1)^(-alpha) — heavy head at lo. Sampling is shifted to start at 1
+// so a zero lower bound is well-defined for any alpha.
+func (r *rng) powerLawInt(lo, hi int, alpha float64) int {
+	if hi <= lo {
+		return lo
+	}
+	// Inverse-CDF sampling of a bounded Pareto over [1, hi-lo+1].
+	u := r.Float64()
+	h := float64(hi-lo) + 2
+	x := pow(1+u*(pow(h, 1-alpha)-1), 1/(1-alpha))
+	v := lo + int(x) - 1
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

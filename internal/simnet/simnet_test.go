@@ -1,0 +1,405 @@
+package simnet
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+
+	"iyp/internal/netutil"
+)
+
+var (
+	genOnce sync.Once
+	genNet  *Internet
+)
+
+// testNet generates a 0.2-scale Internet once for the whole package.
+func testNet(t *testing.T) *Internet {
+	t.Helper()
+	genOnce.Do(func() {
+		in, err := Generate(DefaultConfig().Scale(0.2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		genNet = in
+	})
+	return genNet
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := DefaultConfig()
+	bad.NumASes = 2
+	if bad.Validate() == nil {
+		t.Error("tiny NumASes should fail validation")
+	}
+	bad = DefaultConfig()
+	bad.NumIXPs = 3
+	if bad.Validate() == nil {
+		t.Error("NumIXPs < 7 should fail validation")
+	}
+	bad = DefaultConfig()
+	bad.DNS.MeetShare = 0.95
+	if bad.Validate() == nil {
+		t.Error("DNS shares > 1 should fail validation")
+	}
+	bad = DefaultConfig()
+	bad.RPKI.InvalidRate = 0.9
+	if bad.Validate() == nil {
+		t.Error("absurd invalid rate should fail validation")
+	}
+}
+
+func TestScaleRespectsMinimums(t *testing.T) {
+	c := DefaultConfig().Scale(0.001)
+	if err := c.Validate(); err != nil {
+		t.Errorf("heavily scaled-down config must stay valid: %v", err)
+	}
+	if c.NumIXPs < 7 {
+		t.Errorf("NumIXPs = %d after scaling", c.NumIXPs)
+	}
+	up := DefaultConfig().Scale(2)
+	if up.NumDomains != 40000 {
+		t.Errorf("scale 2 domains = %d", up.NumDomains)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultConfig().Scale(0.05)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.ASes) != len(b.ASes) || len(a.Domains) != len(b.Domains) {
+		t.Fatal("sizes differ between identical seeds")
+	}
+	for i := range a.ASes {
+		if a.ASes[i].ASN != b.ASes[i].ASN || a.ASes[i].Category != b.ASes[i].Category {
+			t.Fatalf("AS %d differs", i)
+		}
+	}
+	for i := range a.Domains {
+		if a.Domains[i].Name != b.Domains[i].Name {
+			t.Fatalf("domain %d differs: %s vs %s", i, a.Domains[i].Name, b.Domains[i].Name)
+		}
+	}
+	// A different seed must actually change the output.
+	cfg2 := cfg
+	cfg2.Seed = 43
+	c, _ := Generate(cfg2)
+	same := true
+	for i := range a.Domains {
+		if a.Domains[i].Name != c.Domains[i].Name {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical domain lists")
+	}
+}
+
+func TestPrefixesAreDisjointAndCanonical(t *testing.T) {
+	in := testNet(t)
+	seen := map[string]bool{}
+	for _, p := range in.Prefixes {
+		if seen[p.CIDR] {
+			t.Fatalf("duplicate prefix %s", p.CIDR)
+		}
+		seen[p.CIDR] = true
+		pp, err := netip.ParsePrefix(p.CIDR)
+		if err != nil {
+			t.Fatalf("invalid prefix %s: %v", p.CIDR, err)
+		}
+		if pp != pp.Masked() {
+			t.Fatalf("prefix %s not canonical", p.CIDR)
+		}
+		if (p.AF == 4) != pp.Addr().Is4() {
+			t.Fatalf("prefix %s AF mismatch", p.CIDR)
+		}
+		if p.Origin == nil {
+			t.Fatalf("prefix %s has no origin", p.CIDR)
+		}
+	}
+	// No prefix may be contained in another (overlaps would corrupt the
+	// IP-to-prefix refinement): every covering lookup must come up empty.
+	trie := netutil.NewPrefixTrie[int]()
+	for i, p := range in.Prefixes {
+		trie.Insert(netip.MustParsePrefix(p.CIDR), i)
+	}
+	for _, p := range in.Prefixes {
+		if cover, _, ok := trie.Covering(netip.MustParsePrefix(p.CIDR)); ok {
+			t.Fatalf("prefix %s is covered by allocated prefix %s", p.CIDR, cover)
+		}
+	}
+}
+
+func TestTopologyInvariants(t *testing.T) {
+	in := testNet(t)
+	ranks := map[int]bool{}
+	for _, a := range in.ASes {
+		if a.Rank <= 0 || a.Rank > len(in.ASes) {
+			t.Fatalf("AS%d rank %d out of range", a.ASN, a.Rank)
+		}
+		if ranks[a.Rank] {
+			t.Fatalf("duplicate rank %d", a.Rank)
+		}
+		ranks[a.Rank] = true
+		if a.Hegemony < 0 || a.Hegemony > 1 {
+			t.Fatalf("AS%d hegemony %f", a.ASN, a.Hegemony)
+		}
+		// Provider/customer edges are symmetric.
+		for _, prov := range a.Providers {
+			p := in.ASByASN(prov)
+			if p == nil {
+				t.Fatalf("AS%d provider %d missing", a.ASN, prov)
+			}
+			if !hasASN(p.Customers, a.ASN) {
+				t.Fatalf("provider edge %d->%d not mirrored", a.ASN, prov)
+			}
+		}
+	}
+	// Tier-1s form a full mesh.
+	var tier1 []*AS
+	for _, a := range in.ASes {
+		if a.Category == CatTier1 {
+			tier1 = append(tier1, a)
+		}
+	}
+	if len(tier1) < 2 {
+		t.Fatal("not enough tier-1 ASes")
+	}
+	for _, a := range tier1 {
+		for _, b := range tier1 {
+			if a != b && !hasASN(a.Peers, b.ASN) {
+				t.Errorf("tier1 %d and %d not peered", a.ASN, b.ASN)
+			}
+		}
+	}
+}
+
+func TestRPKICalibration(t *testing.T) {
+	in := testNet(t)
+	var covered, invalid int
+	for _, p := range in.Prefixes {
+		if p.ROA != nil {
+			covered++
+		}
+		switch p.RPKIStatus {
+		case RPKIInvalid, RPKIInvalidMoreSpecific:
+			invalid++
+		case RPKIValid, RPKINotFound:
+		default:
+			t.Fatalf("prefix %s has unknown status %q", p.CIDR, p.RPKIStatus)
+		}
+		// Invariant: a status other than NotFound implies a ROA.
+		if p.RPKIStatus != RPKINotFound && p.ROA == nil {
+			t.Fatalf("prefix %s status %s without ROA", p.CIDR, p.RPKIStatus)
+		}
+	}
+	covRate := float64(covered) / float64(len(in.Prefixes))
+	if covRate < 0.40 || covRate > 0.65 {
+		t.Errorf("overall ROA coverage %.3f outside plausible band", covRate)
+	}
+	invRate := float64(invalid) / float64(len(in.Prefixes))
+	if invRate > 0.01 {
+		t.Errorf("invalid rate %.4f too high", invRate)
+	}
+}
+
+func TestDomainInvariants(t *testing.T) {
+	in := testNet(t)
+	if len(in.Domains) == 0 {
+		t.Fatal("no domains")
+	}
+	seen := map[string]bool{}
+	var glue, inZone int
+	for i, d := range in.Domains {
+		if d.Rank != i+1 {
+			t.Fatalf("domain %s rank %d at index %d", d.Name, d.Rank, i)
+		}
+		if seen[d.Name] {
+			t.Fatalf("duplicate domain %s", d.Name)
+		}
+		seen[d.Name] = true
+		if d.TLD == nil {
+			t.Fatalf("domain %s has no TLD", d.Name)
+		}
+		if d.HasGlue {
+			glue++
+			if len(d.NS) == 0 {
+				t.Fatalf("domain %s has glue but no nameservers", d.Name)
+			}
+			if d.InZoneGlue {
+				inZone++
+			}
+		} else if len(d.NS) != 0 {
+			t.Fatalf("domain %s has nameservers without glue", d.Name)
+		}
+	}
+	glueRate := float64(glue) / float64(len(in.Domains))
+	if glueRate < 0.80 || glueRate > 0.97 {
+		t.Errorf("glue rate %.3f outside calibration band", glueRate)
+	}
+	inZoneRate := float64(inZone) / float64(glue)
+	if inZoneRate < 0.6 || inZoneRate > 0.9 {
+		t.Errorf("in-zone rate %.3f outside calibration band", inZoneRate)
+	}
+}
+
+func TestTLDRegistryStability(t *testing.T) {
+	in := testNet(t)
+	// Each TLD keeps a registry AS registered in the TLD's country — the
+	// invariant behind Figure 5's hierarchical dependencies.
+	for _, tld := range in.TLDs {
+		if tld.RegistryAS == nil {
+			t.Fatalf("TLD %s has no registry", tld.Name)
+		}
+		if tld.RegistryAS.Country != tld.Country {
+			t.Errorf("TLD .%s registry in %s, want %s", tld.Name, tld.RegistryAS.Country, tld.Country)
+		}
+	}
+	// gTLD registries are American.
+	for _, name := range []string{"com", "net", "org"} {
+		for _, tld := range in.TLDs {
+			if tld.Name == name && tld.Country != "US" {
+				t.Errorf("gTLD .%s registered in %s", name, tld.Country)
+			}
+		}
+	}
+}
+
+func TestNSProviderInvariants(t *testing.T) {
+	in := testNet(t)
+	for _, p := range in.NSProviders {
+		if len(p.Variants) == 0 {
+			t.Fatalf("provider %s has no variants", p.Name)
+		}
+		for _, v := range p.Variants {
+			if len(v.Servers) < 1 || len(v.Servers) > 7 {
+				t.Fatalf("provider %s variant size %d", p.Name, len(v.Servers))
+			}
+			for _, srv := range v.Servers {
+				if srv.Provider != p {
+					t.Fatal("server provider backlink broken")
+				}
+				if srv.IPv4 == "" {
+					t.Fatalf("provider %s server %s lacks IPv4", p.Name, srv.Name)
+				}
+			}
+		}
+		if p.ThirdParty == p {
+			t.Fatalf("provider %s is its own third party", p.Name)
+		}
+	}
+}
+
+func TestRandHelpers(t *testing.T) {
+	r := newRNG(1)
+	// zipfSizes conserves the total and is non-increasing in the head.
+	sizes := r.zipfSizes(1000, 10, 1.2)
+	sum := 0
+	for _, s := range sizes {
+		sum += s
+	}
+	if sum != 1000 {
+		t.Errorf("zipfSizes sum = %d", sum)
+	}
+	if sizes[0] < sizes[len(sizes)-1] {
+		t.Errorf("zipf head %d < tail %d", sizes[0], sizes[len(sizes)-1])
+	}
+	// powerLawInt stays in bounds and is head-heavy — including with a
+	// zero lower bound (regression: the old implementation degenerated
+	// for lo = 0 and alpha > 1).
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.powerLawInt(0, 9, 1.5)
+		if v < 0 || v > 9 {
+			t.Fatalf("powerLawInt out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[9] {
+		t.Errorf("power law not head-heavy: %v", counts)
+	}
+	if counts[9] == 0 {
+		t.Errorf("power law never reaches the tail: %v", counts)
+	}
+	if got := r.powerLawInt(5, 5, 2); got != 5 {
+		t.Errorf("degenerate range = %d", got)
+	}
+	// intBetween inclusive bounds.
+	for i := 0; i < 100; i++ {
+		v := r.intBetween(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("intBetween out of range: %d", v)
+		}
+	}
+}
+
+func TestNextHostIPStaysInPrefix(t *testing.T) {
+	in := testNet(t)
+	p := in.Prefixes[0]
+	pp := netip.MustParsePrefix(p.CIDR)
+	ip := p.NextHostIP()
+	a, err := netip.ParseAddr(ip)
+	if err != nil || !pp.Contains(a) {
+		t.Errorf("NextHostIP %s outside %s", ip, p.CIDR)
+	}
+}
+
+func TestConfig2015(t *testing.T) {
+	cfg := Config2015()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("2015 config invalid: %v", err)
+	}
+	in, err := Generate(cfg.Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := 0
+	for _, p := range in.Prefixes {
+		if p.ROA != nil {
+			cov++
+		}
+	}
+	rate := float64(cov) / float64(len(in.Prefixes))
+	if rate > 0.15 {
+		t.Errorf("2015 coverage %.3f too high", rate)
+	}
+	if rate == 0 {
+		t.Error("2015 coverage exactly zero — the era had *some* ROAs")
+	}
+}
+
+func TestPlantedErrorsDeterministicAndV6(t *testing.T) {
+	cfg := DefaultConfig().Scale(0.1)
+	a, _ := Generate(cfg)
+	b, _ := Generate(cfg)
+	if len(a.PlantedErrors) != cfg.PlantedOriginErrors {
+		t.Fatalf("planted = %d, want %d", len(a.PlantedErrors), cfg.PlantedOriginErrors)
+	}
+	if len(a.PlantedErrors) != len(b.PlantedErrors) {
+		t.Fatal("planted errors differ between identical seeds")
+	}
+	for i := range a.PlantedErrors {
+		if a.PlantedErrors[i] != b.PlantedErrors[i] {
+			t.Fatal("planted errors not deterministic")
+		}
+		if a.PlantedErrors[i].TrueOrigin == a.PlantedErrors[i].WrongOrigin {
+			t.Error("planted error with identical origins")
+		}
+	}
+	// Disabled knob plants nothing.
+	cfg.PlantedOriginErrors = 0
+	c, _ := Generate(cfg)
+	if len(c.PlantedErrors) != 0 {
+		t.Errorf("planted = %d with knob off", len(c.PlantedErrors))
+	}
+}

@@ -1,0 +1,184 @@
+// Package source is the provider side of the reproduction's data pipeline:
+// it renders slices of the simulated Internet (internal/simnet) into each
+// data provider's native wire format — BGPKIT JSONL, PeeringDB-style JSON
+// APIs, NRO delegated-extended records, RPKI ROA JSON, Tranco CSV, and so
+// on — and serves them through a Fetcher, either in-process or over real
+// HTTP. Crawlers (internal/crawlers) consume these payloads exactly as the
+// real IYP pipeline consumes the live feeds.
+package source
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fetcher retrieves a dataset payload by its path (a provider-relative
+// URL).
+type Fetcher interface {
+	// Fetch returns the payload at path. The caller closes the reader.
+	Fetch(ctx context.Context, path string) (io.ReadCloser, error)
+}
+
+// Catalog is an immutable set of rendered datasets keyed by path. It
+// implements Fetcher directly (in-process fetching) and can be served over
+// HTTP.
+type Catalog struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+	// ModTime simulates the provider-side last-modified timestamp.
+	ModTime time.Time
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{files: map[string][]byte{}, ModTime: time.Now().UTC()}
+}
+
+// Put stores a payload under path.
+func (c *Catalog) Put(path string, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.files[normalize(path)] = data
+}
+
+// Paths returns all dataset paths, sorted.
+func (c *Catalog) Paths() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.files))
+	for p := range c.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the total byte size of all rendered datasets.
+func (c *Catalog) Size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, b := range c.files {
+		n += len(b)
+	}
+	return n
+}
+
+func normalize(p string) string { return strings.TrimPrefix(p, "/") }
+
+// Fetch implements Fetcher.
+func (c *Catalog) Fetch(_ context.Context, path string) (io.ReadCloser, error) {
+	c.mu.RLock()
+	data, ok := c.files[normalize(path)]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("source: dataset %q not found", path)
+	}
+	return io.NopCloser(bytes.NewReader(data)), nil
+}
+
+// ServeHTTP lets a catalog be mounted as a provider web server.
+func (c *Catalog) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.mu.RLock()
+	data, ok := c.files[normalize(r.URL.Path)]
+	mod := c.ModTime
+	c.mu.RUnlock()
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Last-Modified", mod.Format(http.TimeFormat))
+	w.Header().Set("Content-Type", contentType(r.URL.Path))
+	_, _ = w.Write(data)
+}
+
+func contentType(path string) string {
+	switch {
+	case strings.HasSuffix(path, ".json"), strings.HasSuffix(path, ".jsonl"):
+		return "application/json"
+	case strings.HasSuffix(path, ".csv"):
+		return "text/csv"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// Server runs a catalog behind a real HTTP listener on localhost, so the
+// fetch path exercises the actual network stack (the closest offline
+// equivalent of hitting the providers' servers).
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	base string
+}
+
+// Serve starts an HTTP server for the catalog on a random localhost port.
+func Serve(c *Catalog) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("source: listen: %w", err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: c, ReadHeaderTimeout: 5 * time.Second},
+		ln:   ln,
+		base: "http://" + ln.Addr().String(),
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// BaseURL returns the server's base URL (http://127.0.0.1:port).
+func (s *Server) BaseURL() string { return s.base }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// HTTPFetcher fetches datasets from a base URL over HTTP.
+type HTTPFetcher struct {
+	Base   string
+	Client *http.Client
+}
+
+// Fetch implements Fetcher over HTTP.
+func (f *HTTPFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
+	client := f.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	url := strings.TrimSuffix(f.Base, "/") + "/" + normalize(path)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("source: build request for %s: %w", url, err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("source: fetch %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("source: fetch %s: unexpected status %s", url, resp.Status)
+	}
+	return resp.Body, nil
+}
+
+// ReadAll fetches a path and returns the full payload.
+func ReadAll(ctx context.Context, f Fetcher, path string) ([]byte, error) {
+	rc, err := f.Fetch(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	return io.ReadAll(rc)
+}

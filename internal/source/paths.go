@@ -1,0 +1,91 @@
+package source
+
+// Dataset paths: the contract between renderers (provider side) and
+// crawlers (consumer side). One path per dataset of Table 8.
+const (
+	// Alice-LG looking glasses: per-IXP neighbor dumps.
+	PathAliceLGPrefix = "alice-lg/" // + <lg-name>/neighbors.json
+
+	// APNIC population estimates.
+	PathAPNICPop = "apnic/aspop.jsonl"
+
+	// BGPKIT.
+	PathBGPKITPfx2as    = "bgpkit/pfx2as.jsonl"
+	PathBGPKITAs2rel    = "bgpkit/as2rel.jsonl"
+	PathBGPKITPeerStats = "bgpkit/peer-stats.jsonl"
+
+	// BGP.Tools.
+	PathBGPToolsASNames  = "bgptools/asns.csv"
+	PathBGPToolsTags     = "bgptools/tags.csv"
+	PathBGPToolsAnycast4 = "bgptools/anycast-prefixes-v4.txt"
+	PathBGPToolsAnycast6 = "bgptools/anycast-prefixes-v6.txt"
+
+	// CAIDA.
+	PathCAIDAASRank  = "caida/asrank.jsonl"
+	PathCAIDAIXPs    = "caida/ixs.jsonl"
+	PathCAIDAIXPASNs = "caida/ix-asns.jsonl"
+
+	// Cisco Umbrella.
+	PathCiscoUmbrella = "cisco/top-1m.csv"
+
+	// Citizen Lab.
+	PathCitizenLab = "citizenlab/global.csv"
+
+	// Cloudflare Radar.
+	PathCloudflareRanking    = "cloudflare/radar/ranking/top.json"
+	PathCloudflareDNSTopAses = "cloudflare/radar/dns/top-ases.json"
+	PathCloudflareDNSTopLoc  = "cloudflare/radar/dns/top-locations.json"
+	PathCloudflareTopDomains = "cloudflare/radar/datasets/top-domains.csv"
+
+	// Emile Aben AS names.
+	PathEmileAbenASNames = "emileaben/asnames.txt"
+
+	// IHR.
+	PathIHRHegemony   = "ihr/hegemony.csv"
+	PathIHRCountryDep = "ihr/country-dependency.csv"
+	PathIHRROV        = "ihr/rov.csv"
+
+	// Internet Intelligence Lab.
+	PathInetIntelAS2Org = "inetintel/as2org.jsonl"
+
+	// NRO delegated-extended.
+	PathNRODelegated = "nro/delegated-extended"
+
+	// OpenINTEL.
+	PathOpenINTELTranco1M   = "openintel/tranco1m.jsonl"
+	PathOpenINTELUmbrella1M = "openintel/umbrella1m.jsonl"
+	PathOpenINTELNS         = "openintel/ns.jsonl"
+	PathOpenINTELDNSGraph   = "openintel/dnsgraph.jsonl"
+
+	// Packet Clearing House.
+	PathPCHRoutingV4 = "pch/routing-snapshot-v4.txt"
+	PathPCHRoutingV6 = "pch/routing-snapshot-v6.txt"
+
+	// PeeringDB API endpoints.
+	PathPeeringDBOrg    = "peeringdb/api/org.json"
+	PathPeeringDBFac    = "peeringdb/api/fac.json"
+	PathPeeringDBIX     = "peeringdb/api/ix.json"
+	PathPeeringDBIXLan  = "peeringdb/api/ixlan.json"
+	PathPeeringDBNetFac = "peeringdb/api/netfac.json"
+
+	// RIPE NCC.
+	PathRIPEASNames     = "ripe/asnames.txt"
+	PathRIPERPKIROAs    = "ripe/rpki/roas.json"
+	PathRIPEAtlasMeas   = "ripe/atlas/measurements.json"
+	PathRIPEAtlasProbes = "ripe/atlas/probes.json"
+
+	// SimulaMet rir-data.org rDNS.
+	PathSimulaMetRDNS = "simulamet/rdns.jsonl"
+
+	// Stanford ASdb.
+	PathStanfordASdb = "stanford/asdb.csv"
+
+	// Tranco.
+	PathTranco = "tranco/top-1m.csv"
+
+	// Virginia Tech RoVista.
+	PathRoVista = "virginiatech/rovista.json"
+
+	// World Bank.
+	PathWorldBankPop = "worldbank/population.csv"
+)

@@ -1,0 +1,39 @@
+package source
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"iyp/internal/simnet"
+)
+
+// Render builds the full provider catalog from a simulated Internet: every
+// dataset of Table 8 in its native format.
+func Render(in *simnet.Internet) *Catalog {
+	c := NewCatalog()
+	renderRouting(c, in)
+	renderDNS(c, in)
+	renderOrgs(c, in)
+	return c
+}
+
+// jsonLines renders a slice of records as JSONL (one JSON object per
+// line), the dominant format among the imported datasets.
+func jsonLines[T any](rows []T) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range rows {
+		// Encode never fails for the plain structs used here.
+		_ = enc.Encode(r)
+	}
+	return buf.Bytes()
+}
+
+func jsonBlob(v any) []byte {
+	b, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		panic(fmt.Sprintf("source: marshal: %v", err))
+	}
+	return b
+}

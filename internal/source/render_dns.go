@@ -1,0 +1,268 @@
+package source
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"iyp/internal/simnet"
+)
+
+// renderDNS produces the domain-list and DNS-resolution datasets.
+func renderDNS(c *Catalog, in *simnet.Internet) {
+	renderTranco(c, in)
+	renderUmbrella(c, in)
+	renderCloudflare(c, in)
+	renderOpenINTEL(c, in)
+	renderSimulaMet(c, in)
+	renderCitizenLab(c, in)
+}
+
+// --- Tranco (CSV "rank,domain") ---
+
+func renderTranco(c *Catalog, in *simnet.Internet) {
+	var buf bytes.Buffer
+	for _, d := range in.Domains {
+		fmt.Fprintf(&buf, "%d,%s\n", d.Rank, d.Name)
+	}
+	c.Put(PathTranco, buf.Bytes())
+}
+
+// --- Cisco Umbrella (CSV "rank,host") ---
+
+func renderUmbrella(c *Catalog, in *simnet.Internet) {
+	type entry struct {
+		rank int
+		host string
+	}
+	var rows []entry
+	for _, d := range in.Domains {
+		if d.UmbrellaRank == 0 {
+			continue
+		}
+		// Umbrella lists hostnames: apex and frequently www.
+		rows = append(rows, entry{d.UmbrellaRank, d.Name})
+		if d.UmbrellaRank%3 != 0 {
+			rows = append(rows, entry{d.UmbrellaRank, "www." + d.Name})
+		}
+	}
+	var buf bytes.Buffer
+	n := 1
+	for _, r := range rows {
+		fmt.Fprintf(&buf, "%d,%s\n", n, r.host)
+		n++
+	}
+	c.Put(PathCiscoUmbrella, buf.Bytes())
+}
+
+// --- Cloudflare Radar ---
+
+type cfRankingEntry struct {
+	Domain string `json:"domain"`
+	Rank   int    `json:"rank"`
+}
+
+type cfTopAS struct {
+	ClientASN    uint32  `json:"clientASN"`
+	ClientASName string  `json:"clientASName"`
+	Value        float64 `json:"value"`
+}
+
+type cfTopLocation struct {
+	ClientCountryAlpha2 string  `json:"clientCountryAlpha2"`
+	Value               float64 `json:"value"`
+}
+
+func renderCloudflare(c *Catalog, in *simnet.Internet) {
+	var ranking struct {
+		Result struct {
+			Top []cfRankingEntry `json:"top_0"`
+		} `json:"result"`
+	}
+	var topCSV bytes.Buffer
+	topAses := map[string][]cfTopAS{}
+	topLocs := map[string][]cfTopLocation{}
+	for _, d := range in.Domains {
+		if d.CloudflareRank == 0 {
+			continue
+		}
+		ranking.Result.Top = append(ranking.Result.Top, cfRankingEntry{Domain: d.Name, Rank: d.CloudflareRank})
+		if d.CloudflareRank <= 1000 {
+			fmt.Fprintf(&topCSV, "%s\n", d.Name)
+		}
+		if len(d.TopQueryASNs) > 0 {
+			var ases []cfTopAS
+			locSeen := map[string]float64{}
+			for i, asn := range d.TopQueryASNs {
+				name := ""
+				cc := ""
+				if a := in.ASByASN(asn); a != nil {
+					name = a.Name
+					cc = a.Country
+				}
+				v := 100.0 / float64(i+2)
+				ases = append(ases, cfTopAS{ClientASN: asn, ClientASName: name, Value: v})
+				if cc != "" {
+					locSeen[cc] += v
+				}
+			}
+			topAses[d.Name] = ases
+			ccs := make([]string, 0, len(locSeen))
+			for cc := range locSeen {
+				ccs = append(ccs, cc)
+			}
+			sort.Strings(ccs)
+			locs := make([]cfTopLocation, 0, len(ccs))
+			for _, cc := range ccs {
+				locs = append(locs, cfTopLocation{ClientCountryAlpha2: cc, Value: locSeen[cc]})
+			}
+			topLocs[d.Name] = locs
+		}
+	}
+	c.Put(PathCloudflareRanking, jsonBlob(ranking))
+	c.Put(PathCloudflareTopDomains, topCSV.Bytes())
+	c.Put(PathCloudflareDNSTopAses, jsonBlob(map[string]any{"result": topAses}))
+	c.Put(PathCloudflareDNSTopLoc, jsonBlob(map[string]any{"result": topLocs}))
+}
+
+// --- OpenINTEL ---
+
+// openintelRow mirrors one record of the processed OpenINTEL dumps IYP
+// imports: a DNS response for a measured query name.
+type openintelRow struct {
+	QueryName    string `json:"query_name"`
+	ResponseType string `json:"response_type"` // A, AAAA, NS
+	Answer       string `json:"answer"`
+}
+
+func renderOpenINTEL(c *Catalog, in *simnet.Internet) {
+	var tranco, umbrella, ns []openintelRow
+	emitHost := func(rows *[]openintelRow, host string, d *simnet.Domain) {
+		for _, ip := range d.HostIPv4 {
+			*rows = append(*rows, openintelRow{QueryName: host, ResponseType: "A", Answer: ip})
+		}
+		for _, ip := range d.HostIPv6 {
+			*rows = append(*rows, openintelRow{QueryName: host, ResponseType: "AAAA", Answer: ip})
+		}
+	}
+	// Glue records are emitted once per nameserver, not once per zone
+	// delegating to it: a managed-DNS nameserver serves thousands of
+	// zones and the processed dump deduplicates its address records.
+	glueSeen := map[string]bool{}
+	for _, d := range in.Domains {
+		// tranco1m: A/AAAA for apex and www.
+		emitHost(&tranco, d.Name, d)
+		emitHost(&tranco, "www."+d.Name, d)
+		if d.UmbrellaRank > 0 {
+			emitHost(&umbrella, d.Name, d)
+			emitHost(&umbrella, "www."+d.Name, d)
+		}
+		// ns: NS records for the zone plus glue A/AAAA for the
+		// nameservers (only when glue exists, replicating the original
+		// study's limitation).
+		if !d.HasGlue {
+			continue
+		}
+		for _, srv := range d.NS {
+			ns = append(ns, openintelRow{QueryName: d.Name, ResponseType: "NS", Answer: srv.Name})
+			if glueSeen[srv.Name] {
+				continue
+			}
+			glueSeen[srv.Name] = true
+			if srv.IPv4 != "" {
+				ns = append(ns, openintelRow{QueryName: srv.Name, ResponseType: "A", Answer: srv.IPv4})
+			}
+			if srv.IPv6 != "" {
+				ns = append(ns, openintelRow{QueryName: srv.Name, ResponseType: "AAAA", Answer: srv.IPv6})
+			}
+		}
+	}
+	c.Put(PathOpenINTELTranco1M, jsonLines(tranco))
+	c.Put(PathOpenINTELUmbrella1M, jsonLines(umbrella))
+	c.Put(PathOpenINTELNS, jsonLines(ns))
+
+	renderDNSGraph(c, in)
+}
+
+// dnsgraphRow is one dependency edge of the UTwente DNS dependency graph:
+// resolving Domain transitively requires infrastructure of DepASN
+// (registered in DepCC).
+type dnsgraphRow struct {
+	Domain  string `json:"domain"`
+	DepASN  uint32 `json:"dep_asn"`
+	DepCC   string `json:"dep_cc"`
+	DepType string `json:"dep_type"` // direct, thirdparty, hierarchical
+}
+
+func renderDNSGraph(c *Catalog, in *simnet.Internet) {
+	var rows []dnsgraphRow
+	for _, d := range in.Domains {
+		if !d.HasGlue {
+			continue
+		}
+		seen := map[string]bool{}
+		emit := func(a *simnet.AS, typ string) {
+			if a == nil {
+				return
+			}
+			key := fmt.Sprintf("%d|%s", a.ASN, typ)
+			if seen[key] {
+				return
+			}
+			seen[key] = true
+			rows = append(rows, dnsgraphRow{Domain: d.Name, DepASN: a.ASN, DepCC: a.Country, DepType: typ})
+		}
+		// Direct: the ASes announcing the nameserver addresses.
+		for _, srv := range d.NS {
+			if srv.V4Prefix != nil {
+				emit(srv.V4Prefix.Origin, "direct")
+			}
+			if srv.V6Prefix != nil {
+				emit(srv.V6Prefix.Origin, "direct")
+			}
+		}
+		// Third-party: the provider's own zone is served by another
+		// operator's infrastructure.
+		if d.Provider != nil && d.Provider.ThirdParty != nil {
+			emit(d.Provider.ThirdParty.AS, "thirdparty")
+		}
+		// Hierarchical: the TLD registry.
+		emit(d.TLD.RegistryAS, "hierarchical")
+	}
+	c.Put(PathOpenINTELDNSGraph, jsonLines(rows))
+}
+
+// --- SimulaMet rDNS (rir-data.org) ---
+
+type rdnsRow struct {
+	Prefix      string   `json:"prefix"`
+	Nameservers []string `json:"nameservers"`
+}
+
+func renderSimulaMet(c *Catalog, in *simnet.Internet) {
+	var rows []rdnsRow
+	for i, p := range in.Prefixes {
+		if p.AF != 4 || i%3 != 0 { // a third of v4 space has rDNS delegations
+			continue
+		}
+		rows = append(rows, rdnsRow{
+			Prefix: p.CIDR,
+			Nameservers: []string{
+				fmt.Sprintf("ns1.rdns-as%d.net", p.Origin.ASN),
+				fmt.Sprintf("ns2.rdns-as%d.net", p.Origin.ASN),
+			},
+		})
+	}
+	c.Put(PathSimulaMetRDNS, jsonLines(rows))
+}
+
+// --- Citizen Lab URL test lists ---
+
+func renderCitizenLab(c *Catalog, in *simnet.Internet) {
+	var buf bytes.Buffer
+	buf.WriteString("url,category_code,category_description,date_added,source,notes\n")
+	for _, u := range in.CitizenURLs {
+		fmt.Fprintf(&buf, "%s,%s,%s,2023-06-01,%s,\n", u.URL, u.Category, u.Category, u.Country)
+	}
+	c.Put(PathCitizenLab, buf.Bytes())
+}

@@ -1,0 +1,179 @@
+package source
+
+import (
+	"bytes"
+	"fmt"
+
+	"iyp/internal/simnet"
+)
+
+// renderOrgs produces the organization-, facility- and population-centric
+// datasets.
+func renderOrgs(c *Catalog, in *simnet.Internet) {
+	renderPeeringDB(c, in)
+	renderInetIntel(c, in)
+	renderStanfordASdb(c, in)
+	renderAPNIC(c, in)
+	renderWorldBank(c, in)
+}
+
+// --- PeeringDB API ---
+
+type pdbOrg struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	Country string `json:"country"`
+	Website string `json:"website,omitempty"`
+}
+
+type pdbFac struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	Country string `json:"country"`
+	OrgID   int    `json:"org_id,omitempty"`
+	OrgName string `json:"org_name,omitempty"`
+}
+
+type pdbIX struct {
+	ID      int    `json:"id"`
+	Name    string `json:"name"`
+	Country string `json:"country"`
+}
+
+type pdbIXLan struct {
+	IXID   int    `json:"ix_id"`
+	IXName string `json:"ix_name"`
+	ASN    uint32 `json:"asn"`
+	// Speed and policy become relationship properties in IYP.
+	Speed  int    `json:"speed"`
+	Policy string `json:"policy"`
+}
+
+type pdbNetFac struct {
+	LocalASN uint32 `json:"local_asn"`
+	FacID    int    `json:"fac_id"`
+	FacName  string `json:"fac_name"`
+}
+
+func pdbData[T any](rows []T) []byte {
+	return jsonBlob(map[string]any{"data": rows})
+}
+
+func renderPeeringDB(c *Catalog, in *simnet.Internet) {
+	var orgs []pdbOrg
+	for _, o := range in.Orgs {
+		if o.PeeringdbOrgID == 0 {
+			continue
+		}
+		orgs = append(orgs, pdbOrg{
+			ID: o.PeeringdbOrgID, Name: o.Name, Country: o.Country,
+			Website: fmt.Sprintf("https://www.org%d.example", o.ID),
+		})
+	}
+	c.Put(PathPeeringDBOrg, pdbData(orgs))
+
+	orgNameByID := map[int]string{}
+	for _, o := range in.Orgs {
+		if o.PeeringdbOrgID != 0 {
+			orgNameByID[o.PeeringdbOrgID] = o.Name
+		}
+	}
+	var facs []pdbFac
+	for _, f := range in.Facilities {
+		facs = append(facs, pdbFac{
+			ID: f.ID, Name: f.Name, Country: f.Country,
+			OrgID: f.PeeringdbOrgID, OrgName: orgNameByID[f.PeeringdbOrgID],
+		})
+	}
+	c.Put(PathPeeringDBFac, pdbData(facs))
+
+	var ixs []pdbIX
+	var lans []pdbIXLan
+	for _, ix := range in.IXPs {
+		ixs = append(ixs, pdbIX{ID: ix.PeeringdbIXID, Name: ix.Name, Country: ix.Country})
+		for i, m := range ix.Members {
+			lans = append(lans, pdbIXLan{
+				IXID: ix.PeeringdbIXID, IXName: ix.Name, ASN: m,
+				Speed:  []int{1000, 10000, 100000}[i%3],
+				Policy: []string{"Open", "Selective", "Restrictive"}[i%3],
+			})
+		}
+	}
+	c.Put(PathPeeringDBIX, pdbData(ixs))
+	c.Put(PathPeeringDBIXLan, pdbData(lans))
+
+	var netfacs []pdbNetFac
+	for _, f := range in.Facilities {
+		for _, asn := range f.TenantASNs {
+			netfacs = append(netfacs, pdbNetFac{LocalASN: asn, FacID: f.ID, FacName: f.Name})
+		}
+	}
+	c.Put(PathPeeringDBNetFac, pdbData(netfacs))
+}
+
+// --- Internet Intelligence Lab AS-to-Organization ---
+
+type inetIntelRow struct {
+	ASN      uint32   `json:"asn"`
+	OrgName  string   `json:"org_name"`
+	Country  string   `json:"country"`
+	Siblings []uint32 `json:"siblings"`
+}
+
+func renderInetIntel(c *Catalog, in *simnet.Internet) {
+	var rows []inetIntelRow
+	for _, a := range in.ASes {
+		var sib []uint32
+		for _, other := range a.Org.ASes {
+			if other.ASN != a.ASN {
+				sib = append(sib, other.ASN)
+			}
+		}
+		rows = append(rows, inetIntelRow{ASN: a.ASN, OrgName: a.Org.Name, Country: a.Org.Country, Siblings: sib})
+	}
+	c.Put(PathInetIntelAS2Org, jsonLines(rows))
+}
+
+// --- Stanford ASdb ---
+
+func renderStanfordASdb(c *Catalog, in *simnet.Internet) {
+	var buf bytes.Buffer
+	buf.WriteString("asn,category_layer1,category_layer2\n")
+	for _, a := range in.ASes {
+		fmt.Fprintf(&buf, "AS%d,%q,%q\n", a.ASN, a.ASdbLayer1, a.ASdbLayer2)
+	}
+	c.Put(PathStanfordASdb, buf.Bytes())
+}
+
+// --- APNIC population estimates ---
+
+type apnicPopRow struct {
+	CC      string  `json:"cc"`
+	ASN     uint32  `json:"asn"`
+	Percent float64 `json:"percent"`
+}
+
+func renderAPNIC(c *Catalog, in *simnet.Internet) {
+	var rows []apnicPopRow
+	for _, a := range in.ASes {
+		for cc, share := range a.PopShare {
+			if share >= 0.005 {
+				rows = append(rows, apnicPopRow{CC: cc, ASN: a.ASN, Percent: share * 100})
+			}
+		}
+	}
+	c.Put(PathAPNICPop, jsonLines(rows))
+}
+
+// --- World Bank population ---
+
+func renderWorldBank(c *Catalog, in *simnet.Internet) {
+	var buf bytes.Buffer
+	buf.WriteString("country_code,population\n")
+	for _, cinfo := range in.Countries {
+		if pop, ok := in.Populations[cinfo.Alpha2]; ok {
+			fmt.Fprintf(&buf, "%s,%d\n", cinfo.Alpha3, pop)
+		}
+	}
+	c.Put(PathWorldBankPop, buf.Bytes())
+}

@@ -1,0 +1,459 @@
+package source
+
+import (
+	"bytes"
+	"encoding/csv"
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"iyp/internal/simnet"
+)
+
+// renderRouting produces the BGP-, RPKI- and registry-flavoured datasets.
+func renderRouting(c *Catalog, in *simnet.Internet) {
+	renderBGPKIT(c, in)
+	renderPCH(c, in)
+	renderBGPTools(c, in)
+	renderCAIDA(c, in)
+	renderIHR(c, in)
+	renderRIPE(c, in)
+	renderNRO(c, in)
+	renderRoVista(c, in)
+	renderEmileAben(c, in)
+	renderAliceLG(c, in)
+}
+
+// --- BGPKIT ---
+
+type bgpkitPfx2asRow struct {
+	Prefix string `json:"prefix"`
+	ASN    uint32 `json:"asn"`
+	Count  int    `json:"count"`
+}
+
+type bgpkitAs2relRow struct {
+	ASN1 uint32 `json:"asn1"`
+	ASN2 uint32 `json:"asn2"`
+	Rel  int    `json:"rel"` // 0 = peer, 1 = asn1 is provider of asn2
+}
+
+type bgpkitPeerStatsRow struct {
+	Collector string `json:"collector"`
+	ASN       uint32 `json:"asn"`
+	NumV4Pfxs int    `json:"num_v4_pfxs"`
+}
+
+func renderBGPKIT(c *Catalog, in *simnet.Internet) {
+	// The planted data-quality errors (paper §6.1) corrupt only this
+	// dataset; PCH and IHR keep the true origins, so cross-dataset
+	// comparison can expose the bug.
+	wrongOrigin := map[string]uint32{}
+	for _, e := range in.PlantedErrors {
+		wrongOrigin[e.Prefix] = e.WrongOrigin
+	}
+	var pfx []bgpkitPfx2asRow
+	for _, p := range in.Prefixes {
+		origin := p.Origin.ASN
+		if w, ok := wrongOrigin[p.CIDR]; ok {
+			origin = w
+		}
+		pfx = append(pfx, bgpkitPfx2asRow{Prefix: p.CIDR, ASN: origin, Count: 2})
+		if p.MOASOrigin != nil {
+			pfx = append(pfx, bgpkitPfx2asRow{Prefix: p.CIDR, ASN: p.MOASOrigin.ASN, Count: 1})
+		}
+	}
+	c.Put(PathBGPKITPfx2as, jsonLines(pfx))
+
+	var rels []bgpkitAs2relRow
+	for _, a := range in.ASes {
+		for _, peer := range a.Peers {
+			if a.ASN < peer { // emit each peering once
+				rels = append(rels, bgpkitAs2relRow{ASN1: a.ASN, ASN2: peer, Rel: 0})
+			}
+		}
+		for _, cust := range a.Customers {
+			rels = append(rels, bgpkitAs2relRow{ASN1: a.ASN, ASN2: cust, Rel: 1})
+		}
+	}
+	c.Put(PathBGPKITAs2rel, jsonLines(rels))
+
+	var stats []bgpkitPeerStatsRow
+	for _, col := range in.Collectors {
+		for _, peer := range col.Peers {
+			n := 0
+			if a := in.ASByASN(peer); a != nil {
+				n = len(a.Prefixes)
+			}
+			stats = append(stats, bgpkitPeerStatsRow{Collector: col.Name, ASN: peer, NumV4Pfxs: n})
+		}
+	}
+	c.Put(PathBGPKITPeerStats, jsonLines(stats))
+}
+
+// --- PCH daily routing snapshots ---
+
+func renderPCH(c *Catalog, in *simnet.Internet) {
+	var v4, v6 bytes.Buffer
+	// PCH's view covers most but not all of the table.
+	for i, p := range in.Prefixes {
+		if i%10 == 9 { // ~90% visibility
+			continue
+		}
+		out := &v4
+		if p.AF == 6 {
+			out = &v6
+		}
+		fmt.Fprintf(out, "%s %d\n", p.CIDR, p.Origin.ASN)
+	}
+	c.Put(PathPCHRoutingV4, v4.Bytes())
+	c.Put(PathPCHRoutingV6, v6.Bytes())
+}
+
+// --- BGP.Tools ---
+
+func renderBGPTools(c *Catalog, in *simnet.Internet) {
+	var names, tags bytes.Buffer
+	names.WriteString("asn,name,class\n")
+	for _, a := range in.ASes {
+		fmt.Fprintf(&names, "AS%d,%q,%s\n", a.ASN, a.Name, a.Category)
+		for _, t := range a.Tags {
+			fmt.Fprintf(&tags, "AS%d,%q\n", a.ASN, t)
+		}
+	}
+	c.Put(PathBGPToolsASNames, names.Bytes())
+	c.Put(PathBGPToolsTags, tags.Bytes())
+
+	var any4, any6 bytes.Buffer
+	for _, p := range in.Prefixes {
+		if !p.Anycast {
+			continue
+		}
+		if p.AF == 4 {
+			fmt.Fprintln(&any4, p.CIDR)
+		} else {
+			fmt.Fprintln(&any6, p.CIDR)
+		}
+	}
+	c.Put(PathBGPToolsAnycast4, any4.Bytes())
+	c.Put(PathBGPToolsAnycast6, any6.Bytes())
+}
+
+// --- CAIDA ---
+
+type caidaASRankRow struct {
+	Rank    int    `json:"rank"`
+	ASN     uint32 `json:"asn"`
+	ASNName string `json:"asnName"`
+	Cone    struct {
+		NumberASNs int `json:"numberAsns"`
+	} `json:"cone"`
+	Country struct {
+		ISO string `json:"iso"`
+	} `json:"country"`
+	Organization struct {
+		OrgID   string `json:"orgId"`
+		OrgName string `json:"orgName"`
+	} `json:"organization"`
+}
+
+type caidaIXRow struct {
+	IXID    int    `json:"ix_id"`
+	Name    string `json:"name"`
+	Country string `json:"country"`
+	PDBID   int    `json:"pdb_id,omitempty"`
+}
+
+type caidaIXASNRow struct {
+	IXID int    `json:"ix_id"`
+	ASN  uint32 `json:"asn"`
+}
+
+func renderCAIDA(c *Catalog, in *simnet.Internet) {
+	var ranks []caidaASRankRow
+	for _, a := range in.ASes {
+		var row caidaASRankRow
+		row.Rank = a.Rank
+		row.ASN = a.ASN
+		row.ASNName = a.Name
+		row.Cone.NumberASNs = a.ConeSize
+		row.Country.ISO = a.Country
+		row.Organization.OrgID = fmt.Sprintf("ORG-%d", a.Org.ID)
+		row.Organization.OrgName = a.Org.Name
+		ranks = append(ranks, row)
+	}
+	c.Put(PathCAIDAASRank, jsonLines(ranks))
+
+	var ixs []caidaIXRow
+	var members []caidaIXASNRow
+	for _, ix := range in.IXPs {
+		ixs = append(ixs, caidaIXRow{IXID: ix.ID, Name: ix.Name, Country: ix.Country, PDBID: ix.PeeringdbIXID})
+		for _, m := range ix.Members {
+			members = append(members, caidaIXASNRow{IXID: ix.ID, ASN: m})
+		}
+	}
+	c.Put(PathCAIDAIXPs, jsonLines(ixs))
+	c.Put(PathCAIDAIXPASNs, jsonLines(members))
+}
+
+// --- IHR ---
+
+func renderIHR(c *Catalog, in *simnet.Internet) {
+	var heg bytes.Buffer
+	heg.WriteString("originasn,asn,hege,af\n")
+	for _, a := range in.ASes {
+		// Origin 0 rows are the global hegemony scores.
+		if a.Hegemony > 0.0005 {
+			fmt.Fprintf(&heg, "0,%d,%.6f,4\n", a.ASN, a.Hegemony)
+		}
+		for _, prov := range a.Providers {
+			fmt.Fprintf(&heg, "%d,%d,%.6f,4\n", a.ASN, prov, 0.3+0.5/float64(1+len(a.Providers)))
+		}
+	}
+	c.Put(PathIHRHegemony, heg.Bytes())
+
+	var dep bytes.Buffer
+	dep.WriteString("country,asn,hege\n")
+	byCC := eyeballsByCountry(in)
+	ccs := make([]string, 0, len(byCC))
+	for cc := range byCC {
+		ccs = append(ccs, cc)
+	}
+	sort.Strings(ccs)
+	for _, cc := range ccs {
+		for _, a := range byCC[cc] {
+			if share := a.PopShare[cc]; share > 0.01 {
+				fmt.Fprintf(&dep, "%s,%d,%.4f\n", cc, a.ASN, share)
+			}
+		}
+	}
+	c.Put(PathIHRCountryDep, dep.Bytes())
+
+	// Status labels contain commas ("RPKI Invalid, more specific"), so the
+	// ROV dataset must be written with proper CSV quoting.
+	var rov bytes.Buffer
+	rovw := csv.NewWriter(&rov)
+	_ = rovw.Write([]string{"prefix", "origin_asn", "rpki_status", "irr_status"})
+	for _, p := range in.Prefixes {
+		_ = rovw.Write([]string{p.CIDR, fmt.Sprint(p.Origin.ASN), p.RPKIStatus, p.IRRStatus})
+		if p.MOASOrigin != nil {
+			// Legitimate multi-origin prefixes carry a ROA per origin,
+			// so a covered MOAS prefix validates for both origins.
+			status := simnet.RPKINotFound
+			if p.ROA != nil {
+				status = simnet.RPKIValid
+			}
+			_ = rovw.Write([]string{p.CIDR, fmt.Sprint(p.MOASOrigin.ASN), status, simnet.IRRNotFound})
+		}
+	}
+	rovw.Flush()
+	c.Put(PathIHRROV, rov.Bytes())
+}
+
+func eyeballsByCountry(in *simnet.Internet) map[string][]*simnet.AS {
+	out := map[string][]*simnet.AS{}
+	for _, a := range in.ASes {
+		for cc := range a.PopShare {
+			out[cc] = append(out[cc], a)
+		}
+	}
+	return out
+}
+
+// --- RIPE NCC ---
+
+type ripeROA struct {
+	ASN       string `json:"asn"`
+	Prefix    string `json:"prefix"`
+	MaxLength int    `json:"maxLength"`
+	TA        string `json:"ta"`
+}
+
+func renderRIPE(c *Catalog, in *simnet.Internet) {
+	var names bytes.Buffer
+	for _, a := range in.ASes {
+		// RIPE asnames.txt format: "<asn> <name>, <CC>".
+		fmt.Fprintf(&names, "%d %s, %s\n", a.ASN, strings.ToUpper(strings.Fields(a.Name)[0]), a.Country)
+	}
+	c.Put(PathRIPEASNames, names.Bytes())
+
+	var roas struct {
+		ROAs []ripeROA `json:"roas"`
+	}
+	for _, p := range in.Prefixes {
+		if p.ROA == nil {
+			continue
+		}
+		ta := "ripe"
+		switch p.Origin.RIR {
+		case "arin":
+			ta = "arin"
+		case "apnic":
+			ta = "apnic"
+		case "lacnic":
+			ta = "lacnic"
+		case "afrinic":
+			ta = "afrinic"
+		}
+		roas.ROAs = append(roas.ROAs, ripeROA{
+			ASN:       fmt.Sprintf("AS%d", p.ROA.ASN),
+			Prefix:    p.ROA.Prefix,
+			MaxLength: p.ROA.MaxLength,
+			TA:        ta,
+		})
+		if p.MOASOrigin != nil {
+			// The second origin of a legitimately multi-origin prefix
+			// registers its own ROA.
+			roas.ROAs = append(roas.ROAs, ripeROA{
+				ASN:       fmt.Sprintf("AS%d", p.MOASOrigin.ASN),
+				Prefix:    p.CIDR,
+				MaxLength: p.ROA.MaxLength,
+				TA:        ta,
+			})
+		}
+	}
+	c.Put(PathRIPERPKIROAs, jsonBlob(roas))
+
+	renderAtlas(c, in)
+}
+
+type atlasStatus struct {
+	Name string `json:"name"`
+}
+
+type atlasProbeRow struct {
+	ID          int         `json:"id"`
+	ASNv4       uint32      `json:"asn_v4,omitempty"`
+	CountryCode string      `json:"country_code"`
+	AddressV4   string      `json:"address_v4,omitempty"`
+	Status      atlasStatus `json:"status"`
+}
+
+type atlasMeasRow struct {
+	ID       int         `json:"id"`
+	Type     string      `json:"type"`
+	AF       int         `json:"af"`
+	Target   string      `json:"target"`
+	TargetIP string      `json:"target_ip,omitempty"`
+	Status   atlasStatus `json:"status"`
+	Probes   []int       `json:"probes"`
+}
+
+func renderAtlas(c *Catalog, in *simnet.Internet) {
+	var probes struct {
+		Results []atlasProbeRow `json:"results"`
+	}
+	for _, p := range in.Probes {
+		probes.Results = append(probes.Results, atlasProbeRow{
+			ID: p.ID, ASNv4: p.ASNv4, CountryCode: p.Country,
+			AddressV4: p.IPv4, Status: atlasStatus{Name: p.Status},
+		})
+	}
+	c.Put(PathRIPEAtlasProbes, jsonBlob(probes))
+
+	var meas struct {
+		Results []atlasMeasRow `json:"results"`
+	}
+	for _, m := range in.Measures {
+		row := atlasMeasRow{
+			ID: m.ID, Type: m.Type, AF: m.AF, Target: m.Target,
+			Status: atlasStatus{Name: m.Status}, Probes: m.ProbeIDs,
+		}
+		if m.TargetIsIP {
+			row.TargetIP = m.Target
+		}
+		meas.Results = append(meas.Results, row)
+	}
+	c.Put(PathRIPEAtlasMeas, jsonBlob(meas))
+}
+
+// --- NRO delegated-extended ---
+
+// renderNRO emits the NRO extended allocation and assignment report in its
+// real pipe-separated format:
+//
+//	registry|cc|type|start|value|date|status|opaque-id
+func renderNRO(c *Catalog, in *simnet.Internet) {
+	var buf bytes.Buffer
+	records := 0
+	var body bytes.Buffer
+	for _, a := range in.ASes {
+		fmt.Fprintf(&body, "%s|%s|asn|%d|1|20150801|allocated|%s\n", a.RIR, a.Country, a.ASN, a.OpaqueID)
+		records++
+		for _, p := range a.Prefixes {
+			pp := netip.MustParsePrefix(p.CIDR)
+			if p.AF == 4 {
+				count := 1 << (32 - pp.Bits())
+				fmt.Fprintf(&body, "%s|%s|ipv4|%s|%d|20160101|allocated|%s\n", a.RIR, a.Country, pp.Addr(), count, a.OpaqueID)
+			} else {
+				fmt.Fprintf(&body, "%s|%s|ipv6|%s|%d|20160101|allocated|%s\n", a.RIR, a.Country, pp.Addr(), pp.Bits(), a.OpaqueID)
+			}
+			records++
+		}
+	}
+	fmt.Fprintf(&buf, "2.0|nro|20240501|%d|19830101|20240501|+0000\n", records)
+	buf.Write(body.Bytes())
+	c.Put(PathNRODelegated, buf.Bytes())
+}
+
+// --- Virginia Tech RoVista ---
+
+type rovistaRow struct {
+	ASN   uint32  `json:"asn"`
+	Ratio float64 `json:"ratio"`
+}
+
+func renderRoVista(c *Catalog, in *simnet.Internet) {
+	var rows []rovistaRow
+	for _, a := range in.ASes {
+		rows = append(rows, rovistaRow{ASN: a.ASN, Ratio: a.RoVistaScore})
+	}
+	c.Put(PathRoVista, jsonBlob(rows))
+}
+
+// --- Emile Aben asnames ---
+
+func renderEmileAben(c *Catalog, in *simnet.Internet) {
+	var buf bytes.Buffer
+	for _, a := range in.ASes {
+		fmt.Fprintf(&buf, "%d \"%s\"\n", a.ASN, a.Name)
+	}
+	c.Put(PathEmileAbenASNames, buf.Bytes())
+}
+
+// --- Alice-LG looking glasses ---
+
+type aliceNeighbor struct {
+	ASN         uint32 `json:"asn"`
+	Description string `json:"description"`
+	State       string `json:"state"`
+}
+
+type aliceNeighborsDoc struct {
+	IXPName   string          `json:"ixp_name"`
+	Neighbors []aliceNeighbor `json:"neighbors"`
+}
+
+// AliceLGNames are the looking-glass identifiers the crawlers fetch, fixed
+// regardless of model size (the paper imports these seven).
+var AliceLGNames = []string{"amsix", "bcix", "decix", "ixbr", "linx", "megaport", "netnod"}
+
+func renderAliceLG(c *Catalog, in *simnet.Internet) {
+	i := 0
+	for _, ix := range in.IXPs {
+		if !ix.AliceLG || i >= len(AliceLGNames) {
+			continue
+		}
+		doc := aliceNeighborsDoc{IXPName: ix.Name}
+		for _, m := range ix.Members {
+			desc := ""
+			if a := in.ASByASN(m); a != nil {
+				desc = a.Name
+			}
+			doc.Neighbors = append(doc.Neighbors, aliceNeighbor{ASN: m, Description: desc, State: "up"})
+		}
+		c.Put(PathAliceLGPrefix+AliceLGNames[i]+"/neighbors.json", jsonBlob(doc))
+		i++
+	}
+}

@@ -1,0 +1,54 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+)
+
+// RetryFetcher wraps another Fetcher with bounded retries and exponential
+// backoff. Dataset providers rate-limit and flake; the real IYP pipeline
+// re-fetches rather than losing a dataset for the week, and so does this
+// one when fetching over HTTP.
+type RetryFetcher struct {
+	// Base performs the actual fetches.
+	Base Fetcher
+	// Attempts is the maximum number of tries per fetch (0 = 3).
+	Attempts int
+	// Backoff is the initial delay between tries, doubled each retry
+	// (0 = 100ms). Context cancellation interrupts the wait.
+	Backoff time.Duration
+}
+
+// Fetch implements Fetcher with retries.
+func (f *RetryFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
+	attempts := f.Attempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	backoff := f.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	var lastErr error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		rc, err := f.Base.Fetch(ctx, path)
+		if err == nil {
+			return rc, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, fmt.Errorf("source: fetch %s failed after %d attempts: %w", path, attempts, lastErr)
+}

@@ -1,0 +1,337 @@
+package source
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"iyp/internal/simnet"
+)
+
+func testInternet(t testing.TB) *simnet.Internet {
+	t.Helper()
+	in, err := simnet.Generate(simnet.DefaultConfig().Scale(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestCatalogBasics(t *testing.T) {
+	c := NewCatalog()
+	c.Put("/a/b.txt", []byte("hello"))
+	rc, err := c.Fetch(context.Background(), "a/b.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := ReadAll(context.Background(), c, "/a/b.txt")
+	rc.Close()
+	if string(data) != "hello" {
+		t.Errorf("payload = %q", data)
+	}
+	if _, err := c.Fetch(context.Background(), "missing"); err == nil {
+		t.Error("missing path should error")
+	}
+	if got := c.Paths(); len(got) != 1 || got[0] != "a/b.txt" {
+		t.Errorf("Paths = %v", got)
+	}
+	if c.Size() != 5 {
+		t.Errorf("Size = %d", c.Size())
+	}
+}
+
+func TestRenderProducesAllDatasets(t *testing.T) {
+	in := testInternet(t)
+	c := Render(in)
+	// Every declared dataset path must be present and non-trivial.
+	want := []string{
+		PathAPNICPop, PathBGPKITPfx2as, PathBGPKITAs2rel, PathBGPKITPeerStats,
+		PathBGPToolsASNames, PathBGPToolsTags, PathBGPToolsAnycast4, PathBGPToolsAnycast6,
+		PathCAIDAASRank, PathCAIDAIXPs, PathCAIDAIXPASNs, PathCiscoUmbrella,
+		PathCitizenLab, PathCloudflareRanking, PathCloudflareDNSTopAses,
+		PathCloudflareDNSTopLoc, PathCloudflareTopDomains, PathEmileAbenASNames,
+		PathIHRHegemony, PathIHRCountryDep, PathIHRROV, PathInetIntelAS2Org,
+		PathNRODelegated, PathOpenINTELTranco1M, PathOpenINTELUmbrella1M,
+		PathOpenINTELNS, PathOpenINTELDNSGraph, PathPCHRoutingV4, PathPCHRoutingV6,
+		PathPeeringDBOrg, PathPeeringDBFac, PathPeeringDBIX, PathPeeringDBIXLan,
+		PathPeeringDBNetFac, PathRIPEASNames, PathRIPERPKIROAs, PathRIPEAtlasMeas,
+		PathRIPEAtlasProbes, PathSimulaMetRDNS, PathStanfordASdb, PathTranco,
+		PathRoVista, PathWorldBankPop,
+	}
+	for _, lg := range AliceLGNames {
+		want = append(want, PathAliceLGPrefix+lg+"/neighbors.json")
+	}
+	for _, p := range want {
+		data, err := ReadAll(context.Background(), c, p)
+		if err != nil {
+			t.Errorf("dataset %s: %v", p, err)
+			continue
+		}
+		if len(data) == 0 {
+			t.Errorf("dataset %s is empty", p)
+		}
+	}
+}
+
+func TestRenderTrancoFormat(t *testing.T) {
+	in := testInternet(t)
+	c := Render(in)
+	data, _ := ReadAll(context.Background(), c, PathTranco)
+	r := csv.NewReader(bytes.NewReader(data))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(in.Domains) {
+		t.Fatalf("tranco rows = %d, want %d", len(recs), len(in.Domains))
+	}
+	if recs[0][0] != "1" {
+		t.Errorf("first rank = %q", recs[0][0])
+	}
+	if !strings.Contains(recs[0][1], ".") {
+		t.Errorf("first domain = %q", recs[0][1])
+	}
+}
+
+func TestRenderROVQuotesCommaLabels(t *testing.T) {
+	in := testInternet(t)
+	c := Render(in)
+	data, _ := ReadAll(context.Background(), c, PathIHRROV)
+	r := csv.NewReader(bytes.NewReader(data))
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("ROV CSV must parse cleanly: %v", err)
+	}
+	for _, rec := range recs[1:] {
+		if len(rec) != 4 {
+			t.Fatalf("ROV row has %d fields: %v", len(rec), rec)
+		}
+	}
+	// At least one "more specific" label must round-trip intact when the
+	// model generated any.
+	hasMoreSpecific := false
+	for _, p := range in.Prefixes {
+		if p.RPKIStatus == simnet.RPKIInvalidMoreSpecific {
+			hasMoreSpecific = true
+		}
+	}
+	if hasMoreSpecific && !bytes.Contains(data, []byte(`"RPKI Invalid, more specific"`)) {
+		t.Error("comma-bearing label not quoted")
+	}
+}
+
+func TestRenderRPKIROAsJSON(t *testing.T) {
+	in := testInternet(t)
+	c := Render(in)
+	data, _ := ReadAll(context.Background(), c, PathRIPERPKIROAs)
+	var doc struct {
+		ROAs []struct {
+			ASN       string `json:"asn"`
+			Prefix    string `json:"prefix"`
+			MaxLength int    `json:"maxLength"`
+			TA        string `json:"ta"`
+		} `json:"roas"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, p := range in.Prefixes {
+		if p.ROA != nil {
+			covered++
+		}
+		if p.ROA != nil && p.MOASOrigin != nil {
+			covered++ // second ROA for the second origin
+		}
+	}
+	if len(doc.ROAs) != covered {
+		t.Errorf("ROAs = %d, want %d", len(doc.ROAs), covered)
+	}
+	for _, roa := range doc.ROAs[:min(5, len(doc.ROAs))] {
+		if !strings.HasPrefix(roa.ASN, "AS") || roa.MaxLength == 0 || roa.TA == "" {
+			t.Errorf("malformed ROA: %+v", roa)
+		}
+	}
+}
+
+func TestRenderNRODelegatedFormat(t *testing.T) {
+	in := testInternet(t)
+	c := Render(in)
+	data, _ := ReadAll(context.Background(), c, PathNRODelegated)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		t.Fatal("empty delegated file")
+	}
+	header := strings.Split(sc.Text(), "|")
+	if len(header) != 7 || header[0] != "2.0" || header[1] != "nro" {
+		t.Fatalf("header = %v", header)
+	}
+	rows := 0
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), "|")
+		if len(fields) != 8 {
+			t.Fatalf("row has %d fields: %q", len(fields), sc.Text())
+		}
+		switch fields[2] {
+		case "asn", "ipv4", "ipv6":
+		default:
+			t.Fatalf("unexpected type %q", fields[2])
+		}
+		rows++
+	}
+	if rows == 0 {
+		t.Fatal("no delegation records")
+	}
+}
+
+func TestRenderBGPKITPfx2asIncludesMOAS(t *testing.T) {
+	in := testInternet(t)
+	c := Render(in)
+	data, _ := ReadAll(context.Background(), c, PathBGPKITPfx2as)
+	dec := json.NewDecoder(bytes.NewReader(data))
+	counts := map[string]int{}
+	for dec.More() {
+		var row struct {
+			Prefix string `json:"prefix"`
+			ASN    uint32 `json:"asn"`
+		}
+		if err := dec.Decode(&row); err != nil {
+			t.Fatal(err)
+		}
+		counts[row.Prefix]++
+	}
+	moas := 0
+	for _, p := range in.Prefixes {
+		if p.MOASOrigin != nil {
+			moas++
+			if counts[p.CIDR] != 2 {
+				t.Errorf("MOAS prefix %s has %d rows", p.CIDR, counts[p.CIDR])
+			}
+		}
+	}
+	if len(counts) != len(in.Prefixes) {
+		t.Errorf("distinct prefixes = %d, want %d", len(counts), len(in.Prefixes))
+	}
+}
+
+func TestHTTPServerRoundTrip(t *testing.T) {
+	c := NewCatalog()
+	c.Put("x/data.json", []byte(`{"ok": true}`))
+	srv, err := Serve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	f := &HTTPFetcher{Base: srv.BaseURL()}
+	data, err := ReadAll(context.Background(), f, "x/data.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"ok": true}` {
+		t.Errorf("payload = %q", data)
+	}
+	if _, err := ReadAll(context.Background(), f, "missing"); err == nil {
+		t.Error("404 should surface as an error")
+	}
+	// Context cancellation propagates.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.Fetch(ctx, "x/data.json"); err == nil {
+		t.Error("cancelled fetch should error")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	cfg := simnet.DefaultConfig().Scale(0.05)
+	in1, _ := simnet.Generate(cfg)
+	in2, _ := simnet.Generate(cfg)
+	c1, c2 := Render(in1), Render(in2)
+	p1, p2 := c1.Paths(), c2.Paths()
+	if len(p1) != len(p2) {
+		t.Fatalf("path counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for _, p := range p1 {
+		d1, _ := ReadAll(context.Background(), c1, p)
+		d2, _ := ReadAll(context.Background(), c2, p)
+		if !bytes.Equal(d1, d2) {
+			t.Errorf("dataset %s differs between identical seeds", p)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// flakyFetcher fails the first N fetches of each path.
+type flakyFetcher struct {
+	base     Fetcher
+	failures int
+	seen     map[string]int
+}
+
+func (f *flakyFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
+	if f.seen == nil {
+		f.seen = map[string]int{}
+	}
+	if f.seen[path] < f.failures {
+		f.seen[path]++
+		return nil, errors.New("transient failure")
+	}
+	return f.base.Fetch(ctx, path)
+}
+
+func TestRetryFetcherRecovers(t *testing.T) {
+	c := NewCatalog()
+	c.Put("d", []byte("payload"))
+	rf := &RetryFetcher{
+		Base:    &flakyFetcher{base: c, failures: 2},
+		Backoff: time.Millisecond,
+	}
+	data, err := ReadAll(context.Background(), rf, "d")
+	if err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if string(data) != "payload" {
+		t.Errorf("payload = %q", data)
+	}
+}
+
+func TestRetryFetcherGivesUp(t *testing.T) {
+	rf := &RetryFetcher{
+		Base:     &flakyFetcher{base: NewCatalog(), failures: 100},
+		Attempts: 2,
+		Backoff:  time.Millisecond,
+	}
+	if _, err := ReadAll(context.Background(), rf, "d"); err == nil {
+		t.Error("exhausted retries should fail")
+	}
+}
+
+func TestRetryFetcherHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rf := &RetryFetcher{
+		Base:    &flakyFetcher{base: NewCatalog(), failures: 100},
+		Backoff: time.Minute, // would block without cancellation
+	}
+	start := time.Now()
+	if _, err := rf.Fetch(ctx, "d"); err == nil {
+		t.Error("cancelled retry should fail")
+	}
+	if time.Since(start) > time.Second {
+		t.Error("cancellation did not interrupt the backoff")
+	}
+}

@@ -1,0 +1,253 @@
+package studies
+
+import (
+	"sort"
+	"strings"
+
+	"iyp/internal/cypher"
+	"iyp/internal/graph"
+	"iyp/internal/netutil"
+)
+
+// DNSBestPracticeResult is Table 3: RFC 2182 nameserver best practice over
+// the .com/.net/.org portion of the Tranco list.
+type DNSBestPracticeResult struct {
+	// CoveragePct is the share of Tranco domains under .com/.net/.org
+	// (paper: 49%).
+	CoveragePct float64
+	// DiscardedPct is the share of those domains without usable glue
+	// (paper: 10%).
+	DiscardedPct float64
+	// MeetPct have exactly two nameservers (paper: 18%).
+	MeetPct float64
+	// ExceedPct have more than two (paper: 67%).
+	ExceedPct float64
+	// NotMeetPct have a single nameserver (paper: 4%).
+	NotMeetPct float64
+	// InZoneGluePct is the share of kept domains with in-zone glue
+	// (paper: 76%).
+	InZoneGluePct float64
+	// Domains is the number of studied (.com/.net/.org) domains.
+	Domains int
+}
+
+// domainNS fetches ranked domains (optionally restricted to
+// .com/.net/.org) with their nameserver sets via the zone cuts added at
+// refinement.
+func domainNS(g *graph.Graph, comNetOrgOnly bool) (*cypher.Result, error) {
+	q := `
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:PARENT]->(tld:DomainName)
+WHERE tld.name IN ['com', 'net', 'org']
+OPTIONAL MATCH (d)-[:MANAGED_BY]-(ns:AuthoritativeNameServer)
+RETURN d.name AS domain, collect(DISTINCT ns.name) AS nameservers`
+	if !comNetOrgOnly {
+		q = `
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)
+OPTIONAL MATCH (d)-[:MANAGED_BY]-(ns:AuthoritativeNameServer)
+RETURN d.name AS domain, collect(DISTINCT ns.name) AS nameservers`
+	}
+	return run(g, "dns-robustness", q, nil)
+}
+
+// DNSBestPractice reproduces Table 3.
+func DNSBestPractice(g *graph.Graph) (DNSBestPracticeResult, error) {
+	var out DNSBestPracticeResult
+	total, err := trancoSize(g)
+	if err != nil {
+		return out, err
+	}
+	res, err := domainNS(g, true)
+	if err != nil {
+		return out, err
+	}
+	var discarded, meet, exceed, notMeet, inZone, kept int
+	for i := range res.Rows {
+		nsv, _ := res.Get(i, "nameservers")
+		names := stringList(nsv)
+		switch {
+		case len(names) == 0:
+			discarded++
+			continue
+		case len(names) == 1:
+			notMeet++
+		case len(names) == 2:
+			meet++
+		default:
+			exceed++
+		}
+		kept++
+		for _, n := range names {
+			tld := netutil.TopLevelDomain(n)
+			if tld == "com" || tld == "net" || tld == "org" {
+				inZone++
+				break
+			}
+		}
+	}
+	out.Domains = res.Len()
+	out.CoveragePct = pct(out.Domains, total)
+	out.DiscardedPct = pct(discarded, out.Domains)
+	out.MeetPct = pct(meet, out.Domains)
+	out.ExceedPct = pct(exceed, out.Domains)
+	out.NotMeetPct = pct(notMeet, out.Domains)
+	out.InZoneGluePct = pct(inZone, kept)
+	return out, nil
+}
+
+// stringList extracts string elements from a (possibly nested) list Val.
+func stringList(v cypher.Val) []string {
+	list, ok := v.AsList()
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(list))
+	for _, e := range list {
+		if s, ok := e.AsString(); ok && s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// GroupStats summarizes a shared-infrastructure grouping: domains grouped
+// by an identical key set (nameserver set, /24 set, or BGP-prefix set).
+type GroupStats struct {
+	// Groups is the number of distinct groups.
+	Groups int
+	// MedianGroupSize is the median, over domains, of the size of the
+	// group the domain belongs to (the paper's "half the domains share
+	// ... with at least N others").
+	MedianGroupSize int
+	// MaxGroupSize is the size of the largest group.
+	MaxGroupSize int
+}
+
+// groupDomains groups domains by the canonical form of their key sets.
+func groupDomains(keysByDomain map[string][]string) GroupStats {
+	groups := map[string]int{}
+	domainGroup := map[string]string{}
+	for domain, keys := range keysByDomain {
+		if len(keys) == 0 {
+			continue
+		}
+		ks := append([]string(nil), keys...)
+		sort.Strings(ks)
+		// Deduplicate: the same /24 or prefix reached through several
+		// nameservers is one element of the key set.
+		uniq := ks[:0]
+		for i, k := range ks {
+			if i == 0 || k != ks[i-1] {
+				uniq = append(uniq, k)
+			}
+		}
+		key := strings.Join(uniq, "|")
+		groups[key]++
+		domainGroup[domain] = key
+	}
+	var sizes []int
+	for _, key := range domainGroup {
+		sizes = append(sizes, groups[key])
+	}
+	sort.Ints(sizes)
+	st := GroupStats{Groups: len(groups)}
+	if len(sizes) > 0 {
+		st.MedianGroupSize = sizes[len(sizes)/2]
+		st.MaxGroupSize = sizes[len(sizes)-1]
+	}
+	return st
+}
+
+// SharedInfraResult is Table 4 (plus Table 5's extensions): DNS
+// infrastructure sharing at several granularities.
+type SharedInfraResult struct {
+	// ByNS groups .com/.net/.org domains by exact nameserver set
+	// (paper 2024: median 9, max 6k).
+	ByNS GroupStats
+	// BySlash24 groups by the /24 prefixes of the nameservers
+	// (paper 2024: median 3.9k, max 114k).
+	BySlash24 GroupStats
+	// ByBGPPrefix groups by the BGP prefixes of the nameservers —
+	// Table 5 row 1 (paper: median 4.1k, max 114k).
+	ByBGPPrefix GroupStats
+	// AllByNS / AllByBGPPrefix drop the 3-TLD restriction — Table 5
+	// rows 2-3 (paper: 15/25k and 6k/187k).
+	AllByNS        GroupStats
+	AllByBGPPrefix GroupStats
+}
+
+// nsInfraQuery returns one row per (domain, nameserver) with the
+// nameserver's IPv4 addresses and covering BGP prefixes. The com/net/org
+// variant replicates the original study's zone-file limitation.
+const nsInfraComNetOrg = `
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:PARENT]->(tld:DomainName)
+WHERE tld.name IN ['com', 'net', 'org']
+MATCH (d)-[:MANAGED_BY]-(ns:AuthoritativeNameServer)
+OPTIONAL MATCH (ns)-[:RESOLVES_TO]-(ip:IP {af:4})-[:PART_OF]-(pfx:Prefix)
+RETURN d.name AS domain, ns.name AS ns, collect(DISTINCT ip.ip) AS ips, collect(DISTINCT pfx.prefix) AS prefixes`
+
+// nsInfraAll is the Table 5 variant over the whole list (the paper's
+// Listing 6, without the /24 computation).
+const nsInfraAll = `
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:MANAGED_BY]-(ns:AuthoritativeNameServer)
+OPTIONAL MATCH (ns)-[:RESOLVES_TO]-(ip:IP {af:4})-[:PART_OF]-(pfx:Prefix)
+RETURN d.name AS domain, ns.name AS ns, collect(DISTINCT ip.ip) AS ips, collect(DISTINCT pfx.prefix) AS prefixes`
+
+// foldInfraRows accumulates the per-(domain, nameserver) rows into the
+// three grouping key sets.
+func foldInfraRows(res *cypher.Result) (byNS, bySlash24, byPrefix map[string][]string) {
+	byNS = map[string][]string{}
+	bySlash24 = map[string][]string{}
+	byPrefix = map[string][]string{}
+	for i := range res.Rows {
+		dv, _ := res.Get(i, "domain")
+		nv, _ := res.Get(i, "ns")
+		domain, _ := dv.AsString()
+		ns, _ := nv.AsString()
+		ipsV, _ := res.Get(i, "ips")
+		pfxV, _ := res.Get(i, "prefixes")
+		byNS[domain] = append(byNS[domain], ns)
+		for _, ip := range stringList(ipsV) {
+			if s24, err := netutil.Slash24(ip); err == nil {
+				bySlash24[domain] = append(bySlash24[domain], s24)
+			}
+		}
+		byPrefix[domain] = append(byPrefix[domain], stringList(pfxV)...)
+	}
+	return byNS, bySlash24, byPrefix
+}
+
+// SharedInfraComNetOrg reproduces Table 4 (plus the BGP-prefix row of
+// Table 5): grouping restricted to .com/.net/.org, as the original study's
+// zone files were.
+func SharedInfraComNetOrg(g *graph.Graph) (byNS, bySlash24, byPrefix GroupStats, err error) {
+	res, err := run(g, "shared-infra", nsInfraComNetOrg, nil)
+	if err != nil {
+		return byNS, bySlash24, byPrefix, err
+	}
+	ns, s24, pfx := foldInfraRows(res)
+	return groupDomains(ns), groupDomains(s24), groupDomains(pfx), nil
+}
+
+// SharedInfraAllTranco reproduces Table 5's all-Tranco rows (the paper's
+// Listing 6 without the TLD restriction).
+func SharedInfraAllTranco(g *graph.Graph) (byNS, byPrefix GroupStats, err error) {
+	res, err := run(g, "shared-infra-all", nsInfraAll, nil)
+	if err != nil {
+		return byNS, byPrefix, err
+	}
+	ns, _, pfx := foldInfraRows(res)
+	return groupDomains(ns), groupDomains(pfx), nil
+}
+
+// SharedInfrastructure reproduces Table 4 and Table 5 together.
+func SharedInfrastructure(g *graph.Graph) (SharedInfraResult, error) {
+	var out SharedInfraResult
+	var err error
+	if out.ByNS, out.BySlash24, out.ByBGPPrefix, err = SharedInfraComNetOrg(g); err != nil {
+		return out, err
+	}
+	if out.AllByNS, out.AllByBGPPrefix, err = SharedInfraAllTranco(g); err != nil {
+		return out, err
+	}
+	return out, nil
+}

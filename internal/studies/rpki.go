@@ -1,0 +1,352 @@
+// Package studies reproduces the paper's evaluation on top of the
+// knowledge graph: the RiPKI study (§4.1, Table 2), the DNS-robustness
+// study (§4.2, Tables 3-4), their extensions (Table 5, §5.1), and the
+// SPoF-in-the-DNS-chain analysis (§5.2, Figures 5-6). Every study is a
+// handful of IYP queries plus a few lines of aggregation, exactly like the
+// paper's Jupyter notebooks.
+package studies
+
+import (
+	"fmt"
+	"strings"
+
+	"iyp/internal/cypher"
+	"iyp/internal/graph"
+)
+
+// TrancoRankingName is the Ranking node the studies pivot on.
+const TrancoRankingName = "Tranco top 1M"
+
+// run executes a query, wrapping errors with the study context.
+func run(g *graph.Graph, study, q string, params map[string]graph.Value) (*cypher.Result, error) {
+	res, err := cypher.Run(g, q, params)
+	if err != nil {
+		return nil, fmt.Errorf("studies: %s: %w", study, err)
+	}
+	return res, nil
+}
+
+// rpkiCovered reports whether an IHR ROV tag label means "covered by a
+// ROA" (valid or invalid — everything except NotFound).
+func rpkiCovered(label string) bool {
+	return strings.HasPrefix(label, "RPKI") && label != "RPKI NotFound"
+}
+
+// rpkiInvalid reports whether a tag label is one of the two invalid
+// states.
+func rpkiInvalid(label string) bool {
+	return strings.HasPrefix(label, "RPKI Invalid")
+}
+
+// RPKIResult is the 2024 column of Table 2, plus the max-length share of
+// invalids quoted in §4.1.3.
+type RPKIResult struct {
+	// TotalPrefixes is the number of distinct prefixes hosting Tranco
+	// domains (the denominator of CoveredPct/InvalidPct).
+	TotalPrefixes int
+	// InvalidPct is the share of prefixes with an RPKI-invalid
+	// announcement (paper: 0.12%).
+	InvalidPct float64
+	// InvalidMaxLenPct is the share of invalids caused by a wrong max
+	// length (paper: 75%).
+	InvalidMaxLenPct float64
+	// CoveredPct is the share of prefixes covered by RPKI (paper: 52.2%).
+	CoveredPct float64
+	// Top100kPct / Bottom100kPct are coverage for the first and last
+	// tenth of the ranking (paper: 55.2% / 61.5%).
+	Top100kPct    float64
+	Bottom100kPct float64
+	// CDNPct is coverage over prefixes originated by
+	// 'Content Delivery Network'-tagged ASes hosting Tranco domains
+	// (paper: 68.4%).
+	CDNPct float64
+}
+
+// rpkiPrefixQuery returns the distinct (prefix, RPKI tag) pairs for
+// domains in a rank window (0,0 = all). It follows the paper's Listing 4:
+// ranked domain -> hostname -> OpenINTEL resolution -> covering prefix ->
+// IHR ROV tag.
+const rpkiPrefixQuery = `
+MATCH (:Ranking {name:'Tranco top 1M'})-[r:RANK]-(d:DomainName)
+WHERE r.rank >= $lo AND r.rank <= $hi
+MATCH (d)-[:PART_OF]-(h:HostName)-[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(:IP)-[:PART_OF]-(pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+RETURN DISTINCT pfx.prefix AS prefix, t.label AS label`
+
+// rpkiCDNQuery restricts the prefixes to CDN-originated ones, using the
+// BGP.Tools tag as in §4.1.3.
+const rpkiCDNQuery = `
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)
+MATCH (d)-[:PART_OF]-(h:HostName)-[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(:IP)-[:PART_OF]-(pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+MATCH (pfx)-[:ORIGINATE]-(:AS)-[:CATEGORIZED]-(:Tag {label:'Content Delivery Network'})
+RETURN DISTINCT pfx.prefix AS prefix, t.label AS label`
+
+// prefixCoverage folds (prefix,label) rows into coverage statistics. A
+// prefix counts as covered/invalid if any of its origins is.
+func prefixCoverage(res *cypher.Result) (total int, coveredPct, invalidPct, invalidMaxLenPct float64) {
+	type state struct{ covered, invalid, moreSpecific bool }
+	byPrefix := map[string]*state{}
+	for i := range res.Rows {
+		pv, _ := res.Get(i, "prefix")
+		lv, _ := res.Get(i, "label")
+		prefix, ok1 := pv.AsString()
+		label, ok2 := lv.AsString()
+		if !ok1 || !ok2 {
+			continue
+		}
+		st := byPrefix[prefix]
+		if st == nil {
+			st = &state{}
+			byPrefix[prefix] = st
+		}
+		if rpkiCovered(label) {
+			st.covered = true
+		}
+		if rpkiInvalid(label) {
+			st.invalid = true
+			if label == "RPKI Invalid, more specific" {
+				st.moreSpecific = true
+			}
+		}
+	}
+	total = len(byPrefix)
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	var covered, invalid, moreSpecific int
+	for _, st := range byPrefix {
+		if st.covered {
+			covered++
+		}
+		if st.invalid {
+			invalid++
+			if st.moreSpecific {
+				moreSpecific++
+			}
+		}
+	}
+	coveredPct = pct(covered, total)
+	invalidPct = pct(invalid, total)
+	if invalid > 0 {
+		invalidMaxLenPct = pct(moreSpecific, invalid)
+	}
+	return total, coveredPct, invalidPct, invalidMaxLenPct
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// trancoSize returns the number of ranked Tranco domains.
+func trancoSize(g *graph.Graph) (int, error) {
+	res, err := run(g, "tranco-size",
+		`MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName) RETURN count(DISTINCT d) AS n`, nil)
+	if err != nil {
+		return 0, err
+	}
+	n, err := res.ScalarInt()
+	return int(n), err
+}
+
+// RPKI reproduces the RiPKI study (Table 2's 2024 row). The "Top 100k" and
+// "Bottom 100k" windows scale to the first and last tenth of the simulated
+// list, preserving the paper's 100k-out-of-1M proportions.
+func RPKI(g *graph.Graph) (RPKIResult, error) {
+	var out RPKIResult
+	n, err := trancoSize(g)
+	if err != nil {
+		return out, err
+	}
+	window := func(lo, hi int) (*cypher.Result, error) {
+		return run(g, "ripki", rpkiPrefixQuery, map[string]graph.Value{
+			"lo": graph.Int(int64(lo)), "hi": graph.Int(int64(hi)),
+		})
+	}
+
+	all, err := window(1, n)
+	if err != nil {
+		return out, err
+	}
+	out.TotalPrefixes, out.CoveredPct, out.InvalidPct, out.InvalidMaxLenPct = prefixCoverage(all)
+
+	top, err := window(1, n/10)
+	if err != nil {
+		return out, err
+	}
+	_, out.Top100kPct, _, _ = prefixCoverage(top)
+
+	bottom, err := window(n-n/10+1, n)
+	if err != nil {
+		return out, err
+	}
+	_, out.Bottom100kPct, _, _ = prefixCoverage(bottom)
+
+	cdn, err := run(g, "ripki-cdn", rpkiCDNQuery, nil)
+	if err != nil {
+		return out, err
+	}
+	_, out.CDNPct, _, _ = prefixCoverage(cdn)
+	return out, nil
+}
+
+// CategoryCoverage is one row of the §4.1.4 analysis: RPKI coverage of
+// prefixes originated by ASes carrying a BGP.Tools tag.
+type CategoryCoverage struct {
+	Tag        string
+	Prefixes   int
+	CoveredPct float64
+}
+
+// RPKIByCategory reproduces §4.1.4: RPKI deployment per AS classification
+// tag (paper: Academic 16%, Government 21%, DDoS Mitigation 76%).
+func RPKIByCategory(g *graph.Graph, tags []string) ([]CategoryCoverage, error) {
+	const q = `
+MATCH (pfx:Prefix)-[:ORIGINATE]-(:AS)-[:CATEGORIZED {reference_name:'bgptools.tags'}]-(:Tag {label:$tag})
+MATCH (pfx)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+RETURN DISTINCT pfx.prefix AS prefix, t.label AS label`
+	var out []CategoryCoverage
+	for _, tag := range tags {
+		res, err := run(g, "rpki-by-category", q, map[string]graph.Value{"tag": graph.String(tag)})
+		if err != nil {
+			return nil, err
+		}
+		total, covered, _, _ := prefixCoverage(res)
+		out = append(out, CategoryCoverage{Tag: tag, Prefixes: total, CoveredPct: covered})
+	}
+	return out, nil
+}
+
+// NameserverRPKIResult is §5.1.1: RPKI coverage of the DNS infrastructure.
+type NameserverRPKIResult struct {
+	// PrefixCoveredPct is the share of nameserver-hosting prefixes
+	// covered by RPKI (paper: 48%).
+	PrefixCoveredPct float64
+	// DomainCoveredPct is the share of Tranco domains served by at least
+	// one RPKI-covered nameserver (paper: 84%).
+	DomainCoveredPct float64
+	// Prefixes and Domains are the respective denominators.
+	Prefixes int
+	Domains  int
+}
+
+// NameserverRPKI reproduces §5.1.1 by swapping the hostname branch of the
+// RiPKI query for the MANAGED_BY branch (the paper's description of the
+// reused query).
+func NameserverRPKI(g *graph.Graph) (NameserverRPKIResult, error) {
+	const q = `
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:MANAGED_BY]-(ns:AuthoritativeNameServer)
+MATCH (ns)-[:RESOLVES_TO]-(:IP)-[:PART_OF]-(pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+RETURN d.name AS domain, pfx.prefix AS prefix, t.label AS label`
+	var out NameserverRPKIResult
+	res, err := run(g, "nameserver-rpki", q, nil)
+	if err != nil {
+		return out, err
+	}
+	prefixCovered := map[string]bool{}
+	domainCovered := map[string]bool{}
+	for i := range res.Rows {
+		dv, _ := res.Get(i, "domain")
+		pv, _ := res.Get(i, "prefix")
+		lv, _ := res.Get(i, "label")
+		domain, _ := dv.AsString()
+		prefix, _ := pv.AsString()
+		label, _ := lv.AsString()
+		cov := rpkiCovered(label)
+		prefixCovered[prefix] = prefixCovered[prefix] || cov
+		domainCovered[domain] = domainCovered[domain] || cov
+	}
+	out.Prefixes = len(prefixCovered)
+	out.Domains = len(domainCovered)
+	var pc, dc int
+	for _, v := range prefixCovered {
+		if v {
+			pc++
+		}
+	}
+	for _, v := range domainCovered {
+		if v {
+			dc++
+		}
+	}
+	out.PrefixCoveredPct = pct(pc, out.Prefixes)
+	out.DomainCoveredPct = pct(dc, out.Domains)
+	return out, nil
+}
+
+// DomainWeightedRPKIResult is §5.1.2: counting domains instead of
+// prefixes.
+type DomainWeightedRPKIResult struct {
+	// TrancoPct is the share of Tranco domains hosted on RPKI-covered
+	// prefixes (paper: 78.8% vs 52.2% prefix-weighted).
+	TrancoPct float64
+	// CDNPct is the same over CDN-hosted domains (paper: 96% vs 68.4%).
+	CDNPct float64
+	// Domains / CDNDomains are the denominators.
+	Domains    int
+	CDNDomains int
+}
+
+// DomainWeightedRPKI reproduces §5.1.2 by changing the RETURN statement of
+// the RiPKI query to count hostnames (domains) instead of prefixes.
+func DomainWeightedRPKI(g *graph.Graph) (DomainWeightedRPKIResult, error) {
+	var out DomainWeightedRPKIResult
+	const q = `
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)
+MATCH (d)-[:PART_OF]-(h:HostName)-[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(:IP)-[:PART_OF]-(pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+RETURN d.name AS domain, pfx.prefix AS prefix, t.label AS label`
+	res, err := run(g, "domain-weighted-rpki", q, nil)
+	if err != nil {
+		return out, err
+	}
+	covered := map[string]bool{}
+	for i := range res.Rows {
+		dv, _ := res.Get(i, "domain")
+		lv, _ := res.Get(i, "label")
+		domain, _ := dv.AsString()
+		label, _ := lv.AsString()
+		covered[domain] = covered[domain] || rpkiCovered(label)
+	}
+	out.Domains = len(covered)
+	var c int
+	for _, v := range covered {
+		if v {
+			c++
+		}
+	}
+	out.TrancoPct = pct(c, out.Domains)
+
+	const qCDN = `
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)
+MATCH (d)-[:PART_OF]-(h:HostName)-[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(:IP)-[:PART_OF]-(pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+MATCH (pfx)-[:ORIGINATE]-(:AS)-[:CATEGORIZED]-(:Tag {label:'Content Delivery Network'})
+RETURN d.name AS domain, pfx.prefix AS prefix, t.label AS label`
+	resCDN, err := run(g, "domain-weighted-rpki-cdn", qCDN, nil)
+	if err != nil {
+		return out, err
+	}
+	coveredCDN := map[string]bool{}
+	for i := range resCDN.Rows {
+		dv, _ := resCDN.Get(i, "domain")
+		lv, _ := resCDN.Get(i, "label")
+		domain, _ := dv.AsString()
+		label, _ := lv.AsString()
+		coveredCDN[domain] = coveredCDN[domain] || rpkiCovered(label)
+	}
+	out.CDNDomains = len(coveredCDN)
+	c = 0
+	for _, v := range coveredCDN {
+		if v {
+			c++
+		}
+	}
+	out.CDNPct = pct(c, out.CDNDomains)
+	return out, nil
+}

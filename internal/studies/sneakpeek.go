@@ -1,0 +1,100 @@
+package studies
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iyp/internal/graph"
+	"iyp/internal/ontology"
+)
+
+// SneakPeek reproduces the spirit of the paper's Figure 4: starting from a
+// popular domain name, walk the fused graph a few hops and report every
+// relationship together with the dataset it came from, demonstrating how
+// many independent datasets meet around a single resource (13 in the
+// paper's example).
+type SneakPeekResult struct {
+	Domain   string
+	Lines    []string
+	Datasets []string // distinct reference_name values encountered
+}
+
+// SneakPeek expands maxHops hops around the domain with the given Tranco
+// rank (rank 1 = most popular).
+func SneakPeek(g *graph.Graph, rank, maxHops int) (SneakPeekResult, error) {
+	var out SneakPeekResult
+	res, err := run(g, "sneakpeek", `
+MATCH (:Ranking {name:'Tranco top 1M'})-[r:RANK {rank:$rank}]-(d:DomainName)
+RETURN d.name AS name LIMIT 1`, map[string]graph.Value{"rank": graph.Int(int64(rank))})
+	if err != nil {
+		return out, err
+	}
+	if res.Len() == 0 {
+		return out, fmt.Errorf("studies: no domain at rank %d", rank)
+	}
+	name, _ := res.Rows[0][0].AsString()
+	out.Domain = name
+
+	start := g.NodesByProp(ontology.DomainName, "name", graph.String(name))
+	if len(start) == 0 {
+		return out, fmt.Errorf("studies: domain node %q not found", name)
+	}
+
+	type qItem struct {
+		id   graph.NodeID
+		hops int
+	}
+	seenNodes := map[graph.NodeID]bool{start[0]: true}
+	seenRels := map[graph.RelID]bool{}
+	datasets := map[string]bool{}
+	queue := []qItem{{start[0], 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.hops >= maxHops {
+			continue
+		}
+		for _, rid := range g.Rels(cur.id, graph.DirBoth, nil, nil) {
+			if seenRels[rid] {
+				continue
+			}
+			seenRels[rid] = true
+			from, to := g.RelEndpoints(rid)
+			other := from
+			if from == cur.id {
+				other = to
+			}
+			ref, _ := g.RelProp(rid, ontology.PropReferenceName).AsString()
+			if ref != "" {
+				datasets[ref] = true
+			}
+			out.Lines = append(out.Lines, fmt.Sprintf("%s -[%s {%s}]- %s",
+				nodeLabel(g, cur.id), g.RelType(rid), ref, nodeLabel(g, other)))
+			if !seenNodes[other] {
+				seenNodes[other] = true
+				queue = append(queue, qItem{other, cur.hops + 1})
+			}
+		}
+	}
+	for d := range datasets {
+		out.Datasets = append(out.Datasets, d)
+	}
+	sort.Strings(out.Datasets)
+	return out, nil
+}
+
+// nodeLabel renders a node as (:Label {identity}) for the walk output.
+func nodeLabel(g *graph.Graph, id graph.NodeID) string {
+	labels := g.NodeLabels(id)
+	identity := ""
+	for _, l := range labels {
+		if key := ontology.IdentityKey(l); key != "" {
+			if v := g.NodeProp(id, key); !v.IsNull() {
+				identity = v.String()
+				break
+			}
+		}
+	}
+	return fmt.Sprintf("(:%s %s)", strings.Join(labels, ":"), identity)
+}

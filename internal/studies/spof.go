@@ -1,0 +1,154 @@
+package studies
+
+import (
+	"sort"
+
+	"iyp/internal/graph"
+)
+
+// Dependency types in the DNS resolution chain (paper §5.2).
+const (
+	DepDirect       = "direct"
+	DepThirdParty   = "thirdparty"
+	DepHierarchical = "hierarchical"
+)
+
+// SPoFEntry is one bar of Figures 5/6: how many domains have this
+// country (or AS) as a single point of failure, per dependency type.
+type SPoFEntry struct {
+	// Key is a country code (Figure 5) or "AS<asn> <name>" (Figure 6).
+	Key          string
+	Direct       int
+	ThirdParty   int
+	Hierarchical int
+}
+
+// Total is the entry's overall SPoF count.
+func (e SPoFEntry) Total() int { return e.Direct + e.ThirdParty + e.Hierarchical }
+
+// SPoFResult is the full Figure 5 or Figure 6 series for one top list.
+type SPoFResult struct {
+	List    string // ranking name
+	Level   string // "country" or "AS"
+	Entries []SPoFEntry
+	// Domains is the number of domains analyzed.
+	Domains int
+}
+
+// spofQuery pulls, per ranked domain, its DNS-chain dependencies with
+// type, AS and registration country (RIR delegated files, as the paper
+// specifies).
+const spofQuery = `
+MATCH (:Ranking {name:$list})-[:RANK]-(d:DomainName)-[dep:DEPENDS_ON]->(a:AS)
+MATCH (a)-[:COUNTRY {reference_name:'nro.delegated_stats'}]-(c:Country)
+OPTIONAL MATCH (a)-[:NAME {reference_name:'bgptools.as_names'}]-(n:Name)
+RETURN d.name AS domain, dep.dep_type AS typ, a.asn AS asn, c.country_code AS cc, n.name AS asname`
+
+// SPoF computes country- or AS-level single points of failure in the DNS
+// chain of the given top list (Figure 5 when level == "country", Figure 6
+// when level == "AS"). A domain contributes a SPoF for a dependency type
+// when every one of its dependencies of that type maps to a single
+// country/AS — losing it breaks resolution.
+func SPoF(g *graph.Graph, list, level string, topN int) (SPoFResult, error) {
+	out := SPoFResult{List: list, Level: level}
+	res, err := run(g, "spof", spofQuery, map[string]graph.Value{"list": graph.String(list)})
+	if err != nil {
+		return out, err
+	}
+	// domain -> dep type -> set of keys.
+	type depSet map[string]map[string]bool
+	domains := map[string]depSet{}
+	for i := range res.Rows {
+		dv, _ := res.Get(i, "domain")
+		tv, _ := res.Get(i, "typ")
+		domain, _ := dv.AsString()
+		typ, _ := tv.AsString()
+		var key string
+		if level == "country" {
+			cv, _ := res.Get(i, "cc")
+			key, _ = cv.AsString()
+		} else {
+			av, _ := res.Get(i, "asn")
+			asn, _ := av.AsInt()
+			nv, _ := res.Get(i, "asname")
+			name, _ := nv.AsString()
+			key = asKey(asn, name)
+		}
+		if key == "" || typ == "" {
+			continue
+		}
+		ds := domains[domain]
+		if ds == nil {
+			ds = depSet{}
+			domains[domain] = ds
+		}
+		if ds[typ] == nil {
+			ds[typ] = map[string]bool{}
+		}
+		ds[typ][key] = true
+	}
+	out.Domains = len(domains)
+
+	counts := map[string]*SPoFEntry{}
+	bump := func(key, typ string) {
+		e := counts[key]
+		if e == nil {
+			e = &SPoFEntry{Key: key}
+			counts[key] = e
+		}
+		switch typ {
+		case DepDirect:
+			e.Direct++
+		case DepThirdParty:
+			e.ThirdParty++
+		case DepHierarchical:
+			e.Hierarchical++
+		}
+	}
+	for _, ds := range domains {
+		for typ, keys := range ds {
+			if len(keys) != 1 {
+				continue // redundancy across countries/ASes: no SPoF
+			}
+			for key := range keys {
+				bump(key, typ)
+			}
+		}
+	}
+	for _, e := range counts {
+		out.Entries = append(out.Entries, *e)
+	}
+	sort.Slice(out.Entries, func(i, j int) bool {
+		if out.Entries[i].Total() != out.Entries[j].Total() {
+			return out.Entries[i].Total() > out.Entries[j].Total()
+		}
+		return out.Entries[i].Key < out.Entries[j].Key
+	})
+	if topN > 0 && len(out.Entries) > topN {
+		out.Entries = out.Entries[:topN]
+	}
+	return out, nil
+}
+
+func asKey(asn int64, name string) string {
+	if name == "" {
+		return formatASN(asn)
+	}
+	return formatASN(asn) + " " + name
+}
+
+func formatASN(asn int64) string {
+	// Tiny integer formatting without fmt in the hot path.
+	if asn == 0 {
+		return "AS0"
+	}
+	var buf [24]byte
+	i := len(buf)
+	n := asn
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return "AS" + string(buf[i:])
+}

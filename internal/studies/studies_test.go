@@ -1,0 +1,361 @@
+package studies
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"iyp/internal/core"
+	"iyp/internal/graph"
+	"iyp/internal/simnet"
+)
+
+// The studies are validated against a 0.25-scale knowledge graph built
+// once per package run. Assertions check the *shape* constraints the paper
+// reports, with bands wide enough for the reduced scale.
+var (
+	buildOnce sync.Once
+	buildG    *graph.Graph
+	buildNet  *simnet.Internet
+)
+
+func studyGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	buildOnce.Do(func() {
+		res, err := core.Build(context.Background(), core.BuildOptions{
+			Config: simnet.DefaultConfig().Scale(0.25),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed := res.Report.Failed(); len(failed) > 0 {
+			t.Fatalf("datasets failed: %+v", failed)
+		}
+		buildG = res.Graph
+		buildNet = res.Internet
+	})
+	return buildG
+}
+
+// studyInternet returns the ground-truth model behind studyGraph.
+func studyInternet(t *testing.T) *simnet.Internet {
+	t.Helper()
+	studyGraph(t)
+	return buildNet
+}
+
+func between(t *testing.T, name string, v, lo, hi float64) {
+	t.Helper()
+	if v < lo || v > hi {
+		t.Errorf("%s = %.2f, want in [%.1f, %.1f]", name, v, lo, hi)
+	}
+}
+
+func TestRPKIShape(t *testing.T) {
+	r, err := RPKI(studyGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 2, 2024 side: invalid rate tiny, about half the
+	// prefixes covered, CDN clearly above average, bottom 100k above (or
+	// at least not far below) top 100k.
+	between(t, "InvalidPct", r.InvalidPct, 0.01, 1.5)
+	between(t, "CoveredPct", r.CoveredPct, 45, 65)
+	between(t, "CDNPct", r.CDNPct, 60, 90)
+	if r.CDNPct <= r.CoveredPct {
+		t.Errorf("CDN coverage %.1f should exceed overall %.1f", r.CDNPct, r.CoveredPct)
+	}
+	if r.Bottom100kPct < r.Top100kPct-6 {
+		t.Errorf("bottom-100k %.1f far below top-100k %.1f (paper: bottom > top)", r.Bottom100kPct, r.Top100kPct)
+	}
+	if r.TotalPrefixes < 100 {
+		t.Errorf("only %d distinct prefixes back the statistic", r.TotalPrefixes)
+	}
+	// 2024 is radically better than 2015 — the paper's headline.
+	if r.CoveredPct < Paper2015RiPKI.CoveredPct*4 {
+		t.Errorf("2024 coverage %.1f not clearly above the 2015 baseline %.1f", r.CoveredPct, Paper2015RiPKI.CoveredPct)
+	}
+}
+
+func TestRPKIByCategoryShape(t *testing.T) {
+	cats, err := RPKIByCategory(studyGraph(t), []string{"Academic", "Government", "DDoS Mitigation"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cats) != 3 {
+		t.Fatalf("categories = %d", len(cats))
+	}
+	byTag := map[string]CategoryCoverage{}
+	for _, c := range cats {
+		byTag[c.Tag] = c
+		if c.Prefixes == 0 {
+			t.Errorf("category %s matched no prefixes", c.Tag)
+		}
+	}
+	// §4.1.4: DDoS mitigation far above academic and government.
+	if byTag["DDoS Mitigation"].CoveredPct < byTag["Academic"].CoveredPct+20 {
+		t.Errorf("DDoS %.1f should far exceed Academic %.1f",
+			byTag["DDoS Mitigation"].CoveredPct, byTag["Academic"].CoveredPct)
+	}
+	between(t, "Academic", byTag["Academic"].CoveredPct, 5, 35)
+	between(t, "Government", byTag["Government"].CoveredPct, 5, 40)
+	between(t, "DDoS", byTag["DDoS Mitigation"].CoveredPct, 60, 95)
+}
+
+func TestNameserverRPKIShape(t *testing.T) {
+	r, err := NameserverRPKI(studyGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.1.1: prefix-level below hostname-level coverage; domain-level
+	// far above prefix-level (provider concentration).
+	between(t, "NS PrefixCoveredPct", r.PrefixCoveredPct, 35, 65)
+	between(t, "NS DomainCoveredPct", r.DomainCoveredPct, 70, 99)
+	if r.DomainCoveredPct < r.PrefixCoveredPct+15 {
+		t.Errorf("domain-level %.1f should far exceed prefix-level %.1f",
+			r.DomainCoveredPct, r.PrefixCoveredPct)
+	}
+}
+
+func TestDomainWeightedRPKIShape(t *testing.T) {
+	g := studyGraph(t)
+	dw, err := DomainWeightedRPKI(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RPKI(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.1.2: counting domains instead of prefixes raises coverage, and
+	// CDN-hosted domains are nearly all covered.
+	if dw.TrancoPct <= r.CoveredPct {
+		t.Errorf("domain-weighted %.1f should exceed prefix-weighted %.1f", dw.TrancoPct, r.CoveredPct)
+	}
+	if dw.CDNPct <= dw.TrancoPct {
+		t.Errorf("CDN domain coverage %.1f should exceed overall %.1f", dw.CDNPct, dw.TrancoPct)
+	}
+	between(t, "CDN domain coverage", dw.CDNPct, 75, 100)
+}
+
+func TestDNSBestPracticeShape(t *testing.T) {
+	r, err := DNSBestPractice(studyGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 3, 2024 side.
+	between(t, "CoveragePct", r.CoveragePct, 42, 56)
+	between(t, "DiscardedPct", r.DiscardedPct, 5, 15)
+	between(t, "MeetPct", r.MeetPct, 10, 26)
+	between(t, "ExceedPct", r.ExceedPct, 55, 80)
+	between(t, "NotMeetPct", r.NotMeetPct, 1, 9)
+	between(t, "InZoneGluePct", r.InZoneGluePct, 65, 90)
+	// Exceed dominates meet — the 2018->2024 trend reversal the paper
+	// highlights.
+	if r.ExceedPct < r.MeetPct*2 {
+		t.Errorf("exceed %.1f should dwarf meet %.1f", r.ExceedPct, r.MeetPct)
+	}
+	total := r.DiscardedPct + r.MeetPct + r.ExceedPct + r.NotMeetPct
+	if total < 98 || total > 102 {
+		t.Errorf("buckets sum to %.1f%%", total)
+	}
+}
+
+func TestSharedInfrastructureShape(t *testing.T) {
+	r, err := SharedInfrastructure(studyGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 4: /24 groups far bigger than exact-NS-set groups.
+	if r.BySlash24.MaxGroupSize < r.ByNS.MaxGroupSize {
+		t.Errorf("/24 max %d < NS max %d", r.BySlash24.MaxGroupSize, r.ByNS.MaxGroupSize)
+	}
+	if r.BySlash24.MedianGroupSize < r.ByNS.MedianGroupSize {
+		t.Errorf("/24 median %d < NS median %d", r.BySlash24.MedianGroupSize, r.ByNS.MedianGroupSize)
+	}
+	// Table 5: BGP-prefix grouping approximates /24 grouping (the
+	// paper's validation of the original study's assumption).
+	ratio := float64(r.ByBGPPrefix.MaxGroupSize) / float64(r.BySlash24.MaxGroupSize)
+	if ratio < 0.8 || ratio > 1.3 {
+		t.Errorf("BGP-prefix max %d vs /24 max %d: ratio %.2f not ~1",
+			r.ByBGPPrefix.MaxGroupSize, r.BySlash24.MaxGroupSize, ratio)
+	}
+	// All-Tranco groups exceed the 3-TLD-restricted ones.
+	if r.AllByBGPPrefix.MaxGroupSize < r.ByBGPPrefix.MaxGroupSize {
+		t.Errorf("all-Tranco max %d < com/net/org max %d",
+			r.AllByBGPPrefix.MaxGroupSize, r.ByBGPPrefix.MaxGroupSize)
+	}
+	if r.ByNS.Groups == 0 || r.BySlash24.Groups == 0 {
+		t.Error("empty groupings")
+	}
+}
+
+func TestSPoFShape(t *testing.T) {
+	g := studyGraph(t)
+	country, err := SPoF(g, TrancoRankingName, "country", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if country.Domains == 0 || len(country.Entries) == 0 {
+		t.Fatal("empty SPoF result")
+	}
+	// Figure 5: the US leads third-party dependencies.
+	usThird, maxThird := 0, 0
+	for _, e := range country.Entries {
+		if e.Key == "US" {
+			usThird = e.ThirdParty
+		}
+		if e.ThirdParty > maxThird {
+			maxThird = e.ThirdParty
+		}
+	}
+	if usThird == 0 || usThird != maxThird {
+		t.Errorf("US should lead third-party SPoF (US=%d, max=%d)", usThird, maxThird)
+	}
+	// ccTLD countries appear with hierarchical dependencies.
+	hier := map[string]int{}
+	for _, e := range country.Entries {
+		hier[e.Key] = e.Hierarchical
+	}
+	for _, cc := range []string{"RU", "CN"} {
+		if hier[cc] == 0 {
+			t.Errorf("country %s missing hierarchical SPoF (got %v)", cc, hier)
+		}
+	}
+
+	// Figure 6: infrastructure DNS mostly third-party, registry ASes
+	// exclusively hierarchical.
+	as, err := SPoF(g, TrancoRankingName, "AS", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawThirdPartyHeavy, sawRegistry bool
+	for _, e := range as.Entries {
+		if e.ThirdParty > 0 && e.ThirdParty >= e.Direct {
+			sawThirdPartyHeavy = true
+		}
+		if strings.Contains(e.Key, "REGISTRY") && e.Hierarchical > 0 && e.Direct == 0 {
+			sawRegistry = true
+		}
+	}
+	if !sawThirdPartyHeavy {
+		t.Error("no third-party-dominant AS in the top entries (paper: Akamai-like operators)")
+	}
+	if !sawRegistry {
+		t.Error("no registry AS with pure hierarchical SPoF")
+	}
+	// TopN honored.
+	if len(as.Entries) > 10 {
+		t.Errorf("topN not applied: %d entries", len(as.Entries))
+	}
+}
+
+func TestSPoFUmbrellaList(t *testing.T) {
+	res, err := SPoF(studyGraph(t), "Cisco Umbrella Top 1M", "country", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Domains == 0 {
+		t.Error("Umbrella SPoF analyzed no domains")
+	}
+}
+
+func TestSneakPeek(t *testing.T) {
+	sp, err := SneakPeek(studyGraph(t), 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Domain == "" || len(sp.Lines) == 0 {
+		t.Fatal("empty sneak peek")
+	}
+	// The paper's Figure 4 walk touches 13 datasets; a 3-hop walk in the
+	// reproduction should fuse a comparable number.
+	if len(sp.Datasets) < 8 {
+		t.Errorf("sneak peek fused %d datasets (%v), want >= 8", len(sp.Datasets), sp.Datasets)
+	}
+}
+
+func TestRunAllAndReportRendering(t *testing.T) {
+	rep, err := RunAll(studyGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, want := range []string{
+		"Table 2", "Table 3", "Table 4/5", "Figure 5", "Figure 6",
+		"§4.1.4", "§5.1.1", "§5.1.2", "RiPKI (2015, paper)", "this reproduction",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestCompareOriginDatasetsFindsPlantedErrors(t *testing.T) {
+	// Paper §6.1: diffing BGPKIT's pfx2asn against IHR's ROV data exposed
+	// an IPv6 origin bug in the real feed. The simulator plants the same
+	// class of error; the comparison must surface exactly those prefixes.
+	g := studyGraph(t)
+	res, err := CompareOriginDatasets(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PrefixesCompared < 1000 {
+		t.Fatalf("compared only %d prefixes", res.PrefixesCompared)
+	}
+	found := map[string]bool{}
+	for _, d := range res.Discrepancies {
+		found[d.Prefix] = true
+		if d.AF != 6 {
+			t.Errorf("discrepancy on %s has af %d; the planted bug is IPv6-only", d.Prefix, d.AF)
+		}
+		if len(d.OnlyInA) == 0 || len(d.OnlyInB) == 0 {
+			t.Errorf("discrepancy %+v should disagree on origins in both directions", d)
+		}
+	}
+	for _, e := range studyInternet(t).PlantedErrors {
+		if !found[e.Prefix] {
+			t.Errorf("planted error on %s not found (got %v)", e.Prefix, found)
+		}
+	}
+	if len(res.Discrepancies) != len(studyInternet(t).PlantedErrors) {
+		t.Errorf("discrepancies = %d, planted = %d (false positives?)",
+			len(res.Discrepancies), len(studyInternet(t).PlantedErrors))
+	}
+	if !strings.Contains(res.String(), "discrepancies") {
+		t.Error("comparison rendering broken")
+	}
+}
+
+func TestTable2BothRowsGenerated(t *testing.T) {
+	// Table 2's 2015 row, generated: the same study against an Internet
+	// whose RPKI deployment is calibrated to the RiPKI-era measurements.
+	res, err := core.Build(context.Background(), core.BuildOptions{
+		Config: simnet.Config2015().Scale(0.2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r15, err := RPKI(res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	between(t, "2015 CoveredPct", r15.CoveredPct, 1, 13)
+	between(t, "2015 CDNPct", r15.CDNPct, 0, 8)
+	r24, err := RPKI(studyGraph(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	growth := r24.CoveredPct / r15.CoveredPct
+	if growth < 4 {
+		t.Errorf("2015->2024 coverage growth %.1fx, want the paper's ~9x order", growth)
+	}
+	// In 2015 CDNs lagged badly (0.9%); in 2024 they lead.
+	if r15.CDNPct >= r15.CoveredPct {
+		t.Errorf("2015 CDN coverage %.1f should lag overall %.1f", r15.CDNPct, r15.CoveredPct)
+	}
+	if r24.CDNPct <= r24.CoveredPct {
+		t.Errorf("2024 CDN coverage %.1f should lead overall %.1f", r24.CDNPct, r24.CoveredPct)
+	}
+}

@@ -1,0 +1,168 @@
+// Package iyp is the public API of the Internet Yellow Pages reproduction:
+// a knowledge graph for Internet resources (Fontugne et al., IMC 2024),
+// rebuilt in pure Go. It bundles a labeled property-graph database, a
+// Cypher query engine, the IYP ontology, 47 dataset crawlers fed by a
+// deterministic synthetic-Internet simulator, and the refinement passes
+// that fuse everything into one harmonized database.
+//
+// Quick start:
+//
+//	db, err := iyp.Build(ctx, iyp.Options{})
+//	res, err := db.Query(`MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn`)
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// reproduction of the paper's evaluation.
+package iyp
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"iyp/internal/core"
+	"iyp/internal/cypher"
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/server"
+	"iyp/internal/simnet"
+	"iyp/internal/source"
+)
+
+// Options configures Build. The zero value builds the default-scale graph
+// (3k ASes, 20k ranked domains) with in-process dataset fetching.
+type Options struct {
+	// Scale multiplies the default dataset sizes (0 = 1.0). 0.1 builds a
+	// small graph in well under a second; 5 approaches the scale knee of
+	// a laptop build.
+	Scale float64
+	// Seed fixes the synthetic-Internet seed (0 = default 42).
+	Seed int64
+	// Config, when non-zero, overrides Scale/Seed entirely.
+	Config simnet.Config
+	// UseHTTP fetches datasets over a real localhost HTTP server instead
+	// of in-process.
+	UseHTTP bool
+	// Concurrency bounds parallel crawlers (0 = 4).
+	Concurrency int
+	// Logf receives build progress (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// DB is a built (or loaded) IYP knowledge graph.
+type DB struct {
+	g *graph.Graph
+	// Report holds the per-dataset import outcome (empty for loaded
+	// snapshots).
+	Report ingest.Report
+}
+
+// Build constructs the knowledge graph: simulate the Internet, render the
+// 47 datasets, crawl them all, refine, index.
+func Build(ctx context.Context, opts Options) (*DB, error) {
+	cfg := opts.Config
+	if cfg.NumASes == 0 {
+		cfg = simnet.DefaultConfig()
+		if opts.Scale > 0 {
+			cfg = cfg.Scale(opts.Scale)
+		}
+		if opts.Seed != 0 {
+			cfg.Seed = opts.Seed
+		}
+	}
+	res, err := core.Build(ctx, core.BuildOptions{
+		Config:      cfg,
+		UseHTTP:     opts.UseHTTP,
+		Concurrency: opts.Concurrency,
+		Logf:        opts.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{g: res.Graph, Report: res.Report}, nil
+}
+
+// Wrap exposes an existing graph as a DB (used by tests and studies that
+// build through internal/core directly).
+func Wrap(g *graph.Graph) *DB { return &DB{g: g} }
+
+// Graph returns the underlying property graph.
+func (db *DB) Graph() *graph.Graph { return db.g }
+
+// Query runs a Cypher query.
+func (db *DB) Query(q string) (*cypher.Result, error) {
+	return cypher.Run(db.g, q, nil)
+}
+
+// QueryParams runs a Cypher query with $parameters.
+func (db *DB) QueryParams(q string, params map[string]graph.Value) (*cypher.Result, error) {
+	return cypher.Run(db.g, q, params)
+}
+
+// Stats summarizes graph contents.
+func (db *DB) Stats() graph.Stats { return db.g.Stats() }
+
+// Explain describes how a query would be matched (anchor and access-path
+// choice per MATCH pattern) without executing it.
+func (db *DB) Explain(q string) (string, error) {
+	return cypher.Explain(db.g, q)
+}
+
+// Save writes a compressed snapshot to path (the equivalent of the weekly
+// public dumps, paper §3.1).
+func (db *DB) Save(path string) error { return db.g.SaveFile(path) }
+
+// Load reads a snapshot produced by Save.
+func Load(path string) (*DB, error) {
+	g, err := graph.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{g: g}, nil
+}
+
+// Handler returns the HTTP query API handler (POST /db/query, GET
+// /db/schema, GET /db/stats) for running a public read-only instance.
+func (db *DB) Handler() http.Handler { return server.New(db.g) }
+
+// ListenAndServe runs the query API on addr until ctx is done.
+func (db *DB) ListenAndServe(ctx context.Context, addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           db.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	case err := <-errc:
+		return fmt.Errorf("iyp: serve: %w", err)
+	}
+}
+
+// Fetcher is re-exported for custom-dataset integrations (see
+// examples/custom-dataset).
+type Fetcher = source.Fetcher
+
+// Value is the property/parameter value type, re-exported so callers can
+// build query parameters without importing internal packages.
+type Value = graph.Value
+
+// StringValue wraps a string parameter.
+func StringValue(s string) Value { return graph.String(s) }
+
+// IntValue wraps an integer parameter.
+func IntValue(i int64) Value { return graph.Int(i) }
+
+// FloatValue wraps a float parameter.
+func FloatValue(f float64) Value { return graph.Float(f) }
+
+// BoolValue wraps a boolean parameter.
+func BoolValue(b bool) Value { return graph.Bool(b) }
+
+// ListValue wraps a list parameter.
+func ListValue(vs ...Value) Value { return graph.List(vs...) }

@@ -1,0 +1,315 @@
+package iyp_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"iyp"
+	"iyp/internal/graph"
+)
+
+var (
+	buildOnce sync.Once
+	buildDB   *iyp.DB
+)
+
+// testDB builds one small knowledge graph for all integration tests.
+func testDB(t *testing.T) *iyp.DB {
+	t.Helper()
+	buildOnce.Do(func() {
+		db, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if failed := db.Report.Failed(); len(failed) > 0 {
+			t.Fatalf("failed datasets: %+v", failed)
+		}
+		buildDB = db
+	})
+	return buildDB
+}
+
+func TestBuildProducesHarmonizedGraph(t *testing.T) {
+	db := testDB(t)
+	st := db.Stats()
+	if st.Nodes < 5000 || st.Rels < 20000 {
+		t.Fatalf("graph too small: %d nodes, %d rels", st.Nodes, st.Rels)
+	}
+	// All 47 datasets imported.
+	if len(db.Report.Crawls) != 47 {
+		t.Errorf("crawls = %d", len(db.Report.Crawls))
+	}
+}
+
+// TestPaperListingsVerbatim runs the paper's published queries unmodified.
+func TestPaperListingsVerbatim(t *testing.T) {
+	db := testDB(t)
+
+	// Listing 1.
+	res, err := db.Query(`
+// Select ASes originating prefixes
+MATCH (x:AS)-[:ORIGINATE]-(:Prefix)
+// Return the AS's ASN
+RETURN DISTINCT x.asn`)
+	if err != nil {
+		t.Fatalf("listing 1: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Error("listing 1: no originating ASes")
+	}
+
+	// Listing 2.
+	res, err = db.Query(`
+// Find Prefixes with two originating ASes
+MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS)
+// Make sure that the ASNs of the two ASes are different
+WHERE x.asn <> y.asn
+// Return the prefix attribute of the Prefix node
+RETURN DISTINCT p.prefix`)
+	if err != nil {
+		t.Fatalf("listing 2: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Error("listing 2: no MOAS prefixes (the model plants some)")
+	}
+
+	// Listing 3 shape (organization parameterized: the simulated graph
+	// has no CERN).
+	res, err = db.QueryParams(`
+MATCH (org:Organization)-[:MANAGED_BY]-(:AS)-[:ORIGINATE]-(pfx:Prefix)-[:CATEGORIZED]-(:Tag {label:'RPKI Valid'})
+WHERE org.name STARTS WITH $prefix
+MATCH (pfx)-[:PART_OF]-(:IP)-[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(h:HostName)
+RETURN DISTINCT h.name`, map[string]graph.Value{"prefix": graph.String("ORG-")})
+	if err != nil {
+		t.Fatalf("listing 3: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Error("listing 3: no hostnames in RPKI-valid space")
+	}
+
+	// Listing 4.
+	res, err = db.Query(`
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)--(h:HostName)
+-[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(:IP)-[:PART_OF]-(pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI Invalid'
+RETURN count(DISTINCT pfx)`)
+	if err != nil {
+		t.Fatalf("listing 4: %v", err)
+	}
+	if res.Len() != 1 {
+		t.Error("listing 4: expected a single count row")
+	}
+
+	// Listing 5 (reproducing the /24 grouping input).
+	res, err = db.Query(`
+MATCH (:Ranking {name: 'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:PARENT]->(tld:DomainName)
+WHERE tld.name IN ['com', 'net', 'org']
+MATCH (d)-[:MANAGED_BY]-(a:AuthoritativeNameServer)-[:RESOLVES_TO]-(i:IP {af:4})
+RETURN d.name AS domain, collect(DISTINCT i.ip) AS ips`)
+	if err != nil {
+		t.Fatalf("listing 5: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Error("listing 5: no rows")
+	}
+
+	// Listing 6 verbatim.
+	res, err = db.Query(`
+// List prefixes of nameservers for all domain names in Tranco
+MATCH (r:Ranking {name: 'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:MANAGED_BY]-(a:AuthoritativeNameServer)
+-[:RESOLVES_TO]-(i:IP {af:4})-[:PART_OF]-(pfx:Prefix)
+RETURN d, COLLECT(DISTINCT pfx)`)
+	if err != nil {
+		t.Fatalf("listing 6: %v", err)
+	}
+	if res.Len() == 0 {
+		t.Error("listing 6: no rows")
+	}
+}
+
+func TestFigure4Neighborhood(t *testing.T) {
+	// The sneak-peek walk of Figure 4: the top domain's 2-hop
+	// neighbourhood must fuse several independent datasets.
+	db := testDB(t)
+	res, err := db.Query(`
+MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK {rank: 1}]-(d:DomainName)-[r]-(x)
+RETURN DISTINCT r.reference_name AS dataset`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() < 3 {
+		t.Errorf("top domain's direct neighbourhood spans %d datasets", res.Len())
+	}
+}
+
+func TestSnapshotRoundTripThroughFacade(t *testing.T) {
+	db := testDB(t)
+	path := filepath.Join(t.TempDir(), "iyp.snapshot")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	re, err := iyp.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := db.Stats(), re.Stats()
+	if a.Nodes != b.Nodes || a.Rels != b.Rels {
+		t.Fatalf("snapshot mismatch: %d/%d vs %d/%d", a.Nodes, a.Rels, b.Nodes, b.Rels)
+	}
+	// Queries behave identically on the loaded snapshot.
+	q := `MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN count(DISTINCT x) AS n`
+	r1, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := re.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, _ := r1.ScalarInt()
+	n2, _ := r2.ScalarInt()
+	if n1 != n2 {
+		t.Errorf("query differs after reload: %d vs %d", n1, n2)
+	}
+}
+
+func TestHTTPQueryAPI(t *testing.T) {
+	db := testDB(t)
+	srv := httptest.NewServer(db.Handler())
+	defer srv.Close()
+
+	body := `{"query": "MATCH (x:AS) RETURN count(x) AS n"}`
+	resp, err := http.Post(srv.URL+"/db/query", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Rows []map[string]any `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 1 || out.Rows[0]["n"].(float64) < 100 {
+		t.Errorf("rows = %v", out.Rows)
+	}
+}
+
+func TestBuildDeterministicAcrossRuns(t *testing.T) {
+	db1, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := db1.Stats(), db2.Stats()
+	if s1.Nodes != s2.Nodes || s1.Rels != s2.Rels {
+		t.Errorf("same seed, different graphs: %d/%d vs %d/%d", s1.Nodes, s1.Rels, s2.Nodes, s2.Rels)
+	}
+}
+
+func TestBuildOverHTTPFetch(t *testing.T) {
+	// The UseHTTP path fetches every dataset through a real localhost
+	// HTTP server — the closest offline stand-in for the live pipeline.
+	db, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.02, UseHTTP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := db.Report.Failed(); len(failed) > 0 {
+		t.Fatalf("HTTP build failed datasets: %+v", failed)
+	}
+	if db.Stats().Nodes == 0 {
+		t.Error("HTTP build produced an empty graph")
+	}
+}
+
+func TestWriteQueriesOnLocalInstance(t *testing.T) {
+	// Paper §6.1: a local instance supports annotating the graph.
+	db, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`
+MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:CATEGORIZED]-(:Tag {label: 'RPKI Invalid'})
+SET x.under_review = true
+RETURN count(DISTINCT x) AS n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PropsSet == 0 {
+		t.Skip("no invalid prefixes at this tiny scale")
+	}
+	check, err := db.Query(`MATCH (x:AS) WHERE x.under_review = true RETURN count(x) AS n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := check.ScalarInt(); n == 0 {
+		t.Error("annotation did not persist")
+	}
+}
+
+func TestListenAndServeLifecycle(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- db.ListenAndServe(ctx, "127.0.0.1:0") }()
+	// Cancelling the context shuts the server down cleanly.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown returned %v", err)
+	}
+	// A bad address surfaces as an error.
+	if err := db.ListenAndServe(context.Background(), "256.0.0.1:http"); err == nil {
+		t.Error("bad address should error")
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	db := testDB(t)
+	res, err := db.QueryParams(`
+RETURN $s AS s, $i AS i, $f AS f, $b AS b, size($l) AS n`,
+		map[string]iyp.Value{
+			"s": iyp.StringValue("x"),
+			"i": iyp.IntValue(7),
+			"f": iyp.FloatValue(2.5),
+			"b": iyp.BoolValue(true),
+			"l": iyp.ListValue(iyp.IntValue(1), iyp.IntValue(2)),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := res.Get(0, "n"); func() int64 { i, _ := v.AsInt(); return i }() != 2 {
+		t.Errorf("list param size = %v", v)
+	}
+	if v, _ := res.Get(0, "f"); func() float64 { f, _ := v.AsFloat(); return f }() != 2.5 {
+		t.Errorf("float param = %v", v)
+	}
+}
+
+func TestLoadMissingSnapshot(t *testing.T) {
+	if _, err := iyp.Load("/nonexistent/iyp.snapshot"); err == nil {
+		t.Error("Load of missing file should error")
+	}
+}
+
+func TestExplainThroughFacade(t *testing.T) {
+	db := testDB(t)
+	out, err := db.Explain(`MATCH (x:AS {asn: 1001})-[:ORIGINATE]->(p:Prefix) RETURN p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Error("empty explain output")
+	}
+}
