@@ -86,7 +86,7 @@ func BenchmarkListing1_OriginatingASes(b *testing.B) {
 	b.ResetTimer()
 	var rows int
 	for i := 0; i < b.N; i++ {
-		res, err := benchDB.Query(`MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn`)
+		res, err := benchDB.Query(context.Background(), `MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn`)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func BenchmarkListing2_MOAS(b *testing.B) {
 	b.ResetTimer()
 	var rows int
 	for i := 0; i < b.N; i++ {
-		res, err := benchDB.Query(`
+		res, err := benchDB.Query(context.Background(), `
 MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS)
 WHERE x.asn <> y.asn
 RETURN DISTINCT p.prefix`)
@@ -117,7 +117,7 @@ func BenchmarkListing3_BranchingPattern(b *testing.B) {
 	benchGraph(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := benchDB.Query(`
+		_, err := benchDB.Query(context.Background(), `
 MATCH (org:Organization)-[:MANAGED_BY]-(:AS)-[:ORIGINATE]-(pfx:Prefix)-[:CATEGORIZED]-(:Tag {label:'RPKI Valid'})
 WHERE org.name STARTS WITH 'ORG-US'
 MATCH (pfx)-[:PART_OF]-(:IP)-[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(h:HostName)
@@ -325,7 +325,7 @@ func BenchmarkAblation_IndexedVsScanLookup(b *testing.B) {
 	benchGraph(b)
 	b.Run("indexed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := benchDB.Query(`MATCH (x:AS {asn: 1001}) RETURN x.asn`); err != nil {
+			if _, err := benchDB.Query(context.Background(), `MATCH (x:AS {asn: 1001}) RETURN x.asn`); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -333,7 +333,7 @@ func BenchmarkAblation_IndexedVsScanLookup(b *testing.B) {
 	b.Run("scan", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			// The inequality forces the planner off the equality index.
-			if _, err := benchDB.Query(`MATCH (x:AS) WHERE x.asn >= 1001 AND x.asn <= 1001 RETURN x.asn`); err != nil {
+			if _, err := benchDB.Query(context.Background(), `MATCH (x:AS) WHERE x.asn >= 1001 AND x.asn <= 1001 RETURN x.asn`); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -9,6 +9,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -25,6 +26,7 @@ func main() {
 		dbPath  = flag.String("db", "iyp.snapshot", "snapshot to query")
 		query   = flag.String("q", "", "query to run (empty = REPL on stdin)")
 		maxRows = flag.Int("rows", 50, "max rows to display (0 = all)")
+		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
 		explain = flag.Bool("explain", false, "describe the match strategy instead of executing")
 	)
 	flag.Parse()
@@ -44,8 +46,12 @@ func main() {
 			fmt.Print(out)
 			return
 		}
+		var opts []iyp.QueryOption
+		if *timeout > 0 {
+			opts = append(opts, iyp.WithTimeout(*timeout))
+		}
 		t0 := time.Now()
-		res, err := db.Query(q)
+		res, err := db.Query(context.Background(), q, opts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			return

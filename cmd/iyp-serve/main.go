@@ -1,28 +1,38 @@
 // Command iyp-serve runs the public-instance query API (paper §3.1) over a
-// snapshot: POST /db/query with {"query": "...", "params": {...}}, plus
-// GET /db/schema and /db/stats.
+// snapshot: POST /v1/query with {"query": "...", "params": {...},
+// "timeout_ms": ..., "max_rows": ...}, plus POST /v1/explain,
+// GET /v1/schema, GET /v1/stats, GET /metrics and GET /healthz. The
+// original /db/* paths remain as aliases.
 //
 // Usage:
 //
 //	iyp-serve -db iyp.snapshot -addr :7474
-//	curl -s localhost:7474/db/query -d '{"query":"MATCH (n:AS) RETURN count(n) AS n"}'
+//	curl -s localhost:7474/v1/query -d '{"query":"MATCH (n:AS) RETURN count(n) AS n"}'
 package main
 
 import (
 	"context"
 	"flag"
 	"log"
+	"net/http"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"iyp"
+	"iyp/internal/server"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		dbPath = flag.String("db", "iyp.snapshot", "snapshot to serve")
-		addr   = flag.String("addr", ":7474", "listen address")
+		dbPath      = flag.String("db", "iyp.snapshot", "snapshot to serve")
+		addr        = flag.String("addr", ":7474", "listen address")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on the per-request timeout_ms field")
+		maxRows     = flag.Int("max-rows", 100000, "default per-query row budget")
+		concurrency = flag.Int("concurrency", 64, "max queries executing at once (excess gets 429)")
+		slowQuery   = flag.Duration("slow-query", time.Second, "log queries slower than this")
 	)
 	flag.Parse()
 
@@ -33,9 +43,32 @@ func main() {
 	st := db.Stats()
 	log.Printf("serving %d nodes, %d relationships on %s", st.Nodes, st.Rels, *addr)
 
+	handler := server.New(db.Graph(), server.Config{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultMaxRows: *maxRows,
+		MaxConcurrent:  *concurrency,
+		SlowQuery:      *slowQuery,
+		Logf:           log.Printf,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if err := db.ListenAndServe(ctx, *addr); err != nil {
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatalf("iyp-serve: shutdown: %v", err)
+		}
+	case err := <-errc:
 		log.Fatalf("iyp-serve: %v", err)
 	}
 }

@@ -81,7 +81,7 @@ func main() {
 	// 3. The private data now joins every public dataset: which prefixes
 	// do the flagged ASes originate, and are popular domains hosted
 	// there?
-	res, err := db.Query(`
+	res, err := db.Query(context.Background(), `
 MATCH (t:Tag {label:'SOC Blocklist'})-[:CATEGORIZED]-(a:AS)-[:ORIGINATE]-(pfx:Prefix)
 OPTIONAL MATCH (pfx)-[:PART_OF]-(:IP)-[:RESOLVES_TO]-(h:HostName)
 RETURN a.asn AS asn, count(DISTINCT pfx) AS prefixes, count(DISTINCT h) AS hostnames
@@ -94,12 +94,12 @@ ORDER BY asn`)
 
 	// 4. Annotate the graph in Cypher directly (paper §6.1: tagging the
 	// set of studied resources to simplify subsequent queries).
-	if _, err := db.Query(`
+	if _, err := db.Query(context.Background(), `
 MATCH (t:Tag {label:'SOC Blocklist'})-[:CATEGORIZED]-(a:AS)-[:ORIGINATE]-(pfx:Prefix)
 SET pfx.under_review = true`); err != nil {
 		log.Fatal(err)
 	}
-	res, err = db.Query(`MATCH (pfx:Prefix) WHERE pfx.under_review = true RETURN count(pfx) AS n`)
+	res, err = db.Query(context.Background(), `MATCH (pfx:Prefix) WHERE pfx.under_review = true RETURN count(pfx) AS n`)
 	if err != nil {
 		log.Fatal(err)
 	}

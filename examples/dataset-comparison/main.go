@@ -42,9 +42,10 @@ func main() {
 	// The same unified graph answers the follow-up question immediately:
 	// does anything popular sit in the mis-attributed space?
 	for _, d := range res.Discrepancies {
-		q, err := db.QueryParams(`
+		q, err := db.Query(context.Background(), `
 MATCH (p:Prefix {prefix: $prefix})-[:PART_OF]-(:IP)-[:RESOLVES_TO]-(h:HostName)
-RETURN count(DISTINCT h) AS hosts`, map[string]iyp.Value{"prefix": iyp.StringValue(d.Prefix)})
+RETURN count(DISTINCT h) AS hosts`,
+			iyp.WithParams(map[string]iyp.Value{"prefix": iyp.StringValue(d.Prefix)}))
 		if err != nil {
 			log.Fatal(err)
 		}

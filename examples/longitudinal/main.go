@@ -66,7 +66,7 @@ RETURN toFloat(count(CASE WHEN covered THEN 1 END)) * 100 / count(*) AS pct`
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := db.Query(coverageQuery)
+		res, err := db.Query(context.Background(), coverageQuery)
 		if err != nil {
 			log.Fatal(err)
 		}

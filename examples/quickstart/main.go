@@ -8,16 +8,18 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"iyp"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// Build a 1/10-scale knowledge graph: 47 datasets from 23
 	// organizations, fused into one property graph.
-	db, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.1})
+	db, err := iyp.Build(ctx, iyp.Options{Scale: 0.1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,7 +28,7 @@ func main() {
 
 	// Listing 1: all ASes originating prefixes — a pure semantic pattern,
 	// no keywords involved.
-	res, err := db.Query(`
+	res, err := db.Query(ctx, `
 // Select ASes originating prefixes
 MATCH (x:AS)-[:ORIGINATE]-(:Prefix)
 // Return the AS's ASN
@@ -37,7 +39,7 @@ RETURN DISTINCT x.asn`)
 	fmt.Printf("Listing 1 — originating ASes: %d\n", res.Len())
 
 	// Listing 2: Multiple-Origin-AS prefixes.
-	res, err = db.Query(`
+	res, err = db.Query(ctx, `
 MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS)
 WHERE x.asn <> y.asn
 RETURN DISTINCT p.prefix`)
@@ -50,7 +52,7 @@ RETURN DISTINCT p.prefix`)
 	// Listing 3 pattern: popular hostnames in RPKI-valid prefixes
 	// originated by ASes of one organization (the paper uses CERN; we
 	// pick whichever organization manages the most RPKI-valid space).
-	res, err = db.Query(`
+	res, err = db.Query(ctx, `
 MATCH (org:Organization)-[:MANAGED_BY]-(:AS)-[:ORIGINATE]-(pfx:Prefix)-[:CATEGORIZED]-(:Tag {label:'RPKI Valid'})
 MATCH (pfx)-[:PART_OF]-(:IP)-[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(h:HostName)
 RETURN org.name AS org, count(DISTINCT h.name) AS hostnames
@@ -64,7 +66,7 @@ LIMIT 5`)
 
 	// Figure 4 flavour: everything the graph knows around one popular
 	// domain, across datasets.
-	res, err = db.Query(`
+	res, err = db.Query(ctx, `
 MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK {rank:1}]-(d:DomainName)
 MATCH (d)-[:PART_OF]-(h:HostName)-[:RESOLVES_TO]-(ip:IP)-[:PART_OF]-(pfx:Prefix)-[:ORIGINATE]-(a:AS)-[:NAME]-(n:Name)
 RETURN DISTINCT d.name AS domain, h.name AS host, ip.ip AS ip, pfx.prefix AS prefix, a.asn AS asn, n.name AS as_name
@@ -77,11 +79,14 @@ LIMIT 5`)
 
 	// Beyond the paper: the graph answers AS-level reachability questions
 	// directly — how many peering hops separate two popular origin ASes?
-	res, err = db.Query(`
+	// Traversals like this can blow up on dense graphs, so cap the query
+	// with a deadline and a row budget.
+	res, err = db.Query(ctx, `
 MATCH (a:AS)-[:ORIGINATE]-(:Prefix) WITH a ORDER BY a.asn LIMIT 1
 MATCH (b:AS)-[:ORIGINATE]-(:Prefix) WITH a, b ORDER BY b.asn DESC LIMIT 1
 MATCH p = shortestPath((a)-[:PEERS_WITH*..8]-(b))
-RETURN a.asn AS from, b.asn AS to, length(p) AS hops`)
+RETURN a.asn AS from, b.asn AS to, length(p) AS hops`,
+		iyp.WithTimeout(10*time.Second), iyp.WithMaxRows(100))
 	if err != nil {
 		log.Fatal(err)
 	}

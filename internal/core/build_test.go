@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"strings"
+	"sync"
 	"testing"
 
 	"iyp/internal/crawlers"
@@ -16,10 +17,18 @@ func smallConfig() simnet.Config {
 }
 
 func TestBuildEndToEnd(t *testing.T) {
-	var logs []string
+	// Logf is called from parallel crawler goroutines; guard the slice.
+	var (
+		mu   sync.Mutex
+		logs []string
+	)
 	res, err := Build(context.Background(), BuildOptions{
 		Config: smallConfig(),
-		Logf:   func(f string, a ...any) { logs = append(logs, f) },
+		Logf: func(f string, a ...any) {
+			mu.Lock()
+			logs = append(logs, f)
+			mu.Unlock()
+		},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -10,7 +10,7 @@ import (
 // evalCtx carries everything expression evaluation needs.
 type evalCtx struct {
 	g      *graph.Graph
-	params map[string]graph.Value
+	params map[string]Val
 	ex     *executor // for EXISTS/COUNT subqueries; may be nil in tests
 }
 
@@ -41,7 +41,7 @@ func (c *evalCtx) eval(e Expr, r row) (Val, error) {
 		if !ok {
 			return NullVal(), &Error{Msg: "parameter $" + x.Name + " not provided"}
 		}
-		return ScalarVal(v), nil
+		return v, nil
 	case *PropAccess:
 		t, err := c.eval(x.Target, r)
 		if err != nil {

@@ -1,6 +1,7 @@
 package cypher
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,6 +14,11 @@ import (
 type Result struct {
 	Columns []string
 	Rows    [][]Val
+
+	// Truncated reports that rows were dropped because the query hit an
+	// ExecOptions.MaxRows budget. Rows trimmed by an explicit LIMIT do
+	// not count as truncation.
+	Truncated bool
 
 	// Write-summary counters (CREATE/MERGE/SET/DELETE queries).
 	NodesCreated int
@@ -28,28 +34,112 @@ type executor struct {
 	g      *graph.Graph
 	ec     *evalCtx
 	res    *Result
-	params map[string]graph.Value
+	params map[string]Val
+	ctx    context.Context
+	budget int // max final result rows (0 = unlimited)
+	ticks  int // cooperative-cancellation tick counter (single-threaded paths)
+}
+
+// tickMask controls how often cooperative loops poll ctx.Err(): every
+// (tickMask+1) iterations. Cheap enough for the row loops it guards while
+// keeping deadline overshoot in the microsecond range.
+const tickMask = 255
+
+// tick is called once per row in the executor's single-threaded loops
+// (aggregation, projection, UNWIND, sequential MATCH input). It polls the
+// context every tickMask+1 calls.
+func (ex *executor) tick() error {
+	ex.ticks++
+	if ex.ticks&tickMask == 0 {
+		return ctxErr(ex.ctx)
+	}
+	return nil
+}
+
+// ctxErr converts a context failure into a *Error wrapping the cause, so
+// callers can errors.Is against context.DeadlineExceeded / Canceled.
+func ctxErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return &Error{Msg: "query interrupted: " + err.Error(), Cause: err}
+	}
+	return nil
+}
+
+// ExecOptions control query execution.
+type ExecOptions struct {
+	// Params provides $parameter values (may be nil).
+	Params map[string]graph.Value
+	// ParamVals provides $parameter values in the engine's runtime
+	// representation, which unlike graph.Value can carry maps and nested
+	// lists (use ValOf to build them from native Go values). Keys here
+	// shadow Params.
+	ParamVals map[string]Val
+	// MaxRows, when > 0, bounds the number of result rows. Where the
+	// query shape allows it (final RETURN without aggregation, DISTINCT
+	// or ORDER BY), enumeration stops early instead of trimming a fully
+	// materialized result. Result.Truncated reports whether rows were
+	// dropped.
+	MaxRows int
 }
 
 // Run parses and executes src against g. params provides $parameter values
 // (may be nil).
 func Run(g *graph.Graph, src string, params map[string]graph.Value) (*Result, error) {
+	return RunCtx(context.Background(), g, src, params)
+}
+
+// RunCtx parses and executes src against g under ctx: cancellation and
+// deadlines are honoured cooperatively inside the match, aggregation and
+// projection loops, so a pathological query stops within microseconds of
+// the context expiring.
+func RunCtx(ctx context.Context, g *graph.Graph, src string, params map[string]graph.Value) (*Result, error) {
 	q, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return RunQuery(g, q, params)
+	return Exec(ctx, g, q, ExecOptions{Params: params})
 }
 
 // RunQuery executes an already-parsed query. The same *Query may be
-// executed many times (e.g. in benchmarks) without re-parsing.
+// executed many times (and concurrently) without re-parsing; execution
+// never mutates the parsed tree.
 func RunQuery(g *graph.Graph, q *Query, params map[string]graph.Value) (*Result, error) {
-	res, err := runSingle(g, q, params)
+	return Exec(context.Background(), g, q, ExecOptions{Params: params})
+}
+
+// Exec executes an already-parsed query under ctx with the given options.
+// It is the engine's full-control entry point; Run, RunCtx and RunQuery
+// are thin wrappers around it.
+func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	// With UNION branches the budget cannot be pushed into a branch
+	// (dedup across branches may need more input rows than it keeps), so
+	// it is applied to the merged result only.
+	branchBudget := opts.MaxRows
+	if q.Next != nil {
+		branchBudget = 0
+	}
+	params := make(map[string]Val, len(opts.Params)+len(opts.ParamVals))
+	for k, v := range opts.Params {
+		params[k] = ScalarVal(v)
+	}
+	for k, v := range opts.ParamVals {
+		params[k] = v
+	}
+	res, err := runSingle(ctx, g, q, params, branchBudget)
 	if err != nil {
 		return nil, err
 	}
 	for cur := q; cur.Next != nil; cur = cur.Next {
-		next, err := runSingle(g, cur.Next, params)
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		next, err := runSingle(ctx, g, cur.Next, params, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -78,24 +168,41 @@ func RunQuery(g *graph.Graph, q *Query, params map[string]graph.Value) (*Result,
 			res.Rows = dedup
 		}
 	}
+	if opts.MaxRows > 0 && len(res.Rows) > opts.MaxRows {
+		res.Rows = res.Rows[:opts.MaxRows]
+		res.Truncated = true
+	}
 	return res, nil
 }
 
 // runSingle executes one UNION branch.
-func runSingle(g *graph.Graph, q *Query, params map[string]graph.Value) (*Result, error) {
+func runSingle(ctx context.Context, g *graph.Graph, q *Query, params map[string]Val, budget int) (*Result, error) {
 	if params == nil {
-		params = map[string]graph.Value{}
+		params = map[string]Val{}
 	}
-	ex := &executor{g: g, params: params, res: &Result{g: g}}
+	ex := &executor{g: g, params: params, res: &Result{g: g}, ctx: ctx, budget: budget}
 	ex.ec = &evalCtx{g: g, params: params, ex: ex}
 
 	rows := []row{{}}
 	var err error
 	for i, cl := range q.Clauses {
 		last := i == len(q.Clauses)-1
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
 		switch c := cl.(type) {
 		case *MatchClause:
-			rows, err = ex.applyMatch(c, rows)
+			// When this MATCH directly feeds the final RETURN and the
+			// projection is row-per-row (no aggregate, DISTINCT or ORDER
+			// BY), an explicit LIMIT and/or the row budget caps how many
+			// matches are needed — enumeration stops early.
+			cap := -1
+			if last2 := i == len(q.Clauses)-2; last2 && !c.Optional {
+				if ret, ok := q.Clauses[i+1].(*ReturnClause); ok {
+					cap = ex.returnRowCap(ret)
+				}
+			}
+			rows, err = ex.applyMatch(c, rows, cap)
 		case *WithClause:
 			rows, err = ex.applyWith(c, rows)
 		case *UnwindClause:
@@ -136,9 +243,9 @@ func runSingle(g *graph.Graph, q *Query, params map[string]graph.Value) (*Result
 // per-chunk bookkeeping; small inputs stay single-threaded.
 const parallelMatchThreshold = 256
 
-func (ex *executor) applyMatch(c *MatchClause, in []row) ([]row, error) {
-	matchRow := func(r row) ([]row, error) {
-		matches, err := ex.matchOnce(c.Patterns, c.Where, r, -1)
+func (ex *executor) applyMatch(c *MatchClause, in []row, cap int) ([]row, error) {
+	matchRow := func(r row, limit int) ([]row, error) {
+		matches, err := ex.matchOnce(c.Patterns, c.Where, r, limit)
 		if err != nil {
 			return nil, err
 		}
@@ -156,10 +263,20 @@ func (ex *executor) applyMatch(c *MatchClause, in []row) ([]row, error) {
 	}
 
 	workers := runtime.GOMAXPROCS(0)
-	if len(in) < parallelMatchThreshold || workers < 2 {
+	if cap >= 0 || len(in) < parallelMatchThreshold || workers < 2 {
 		var out []row
 		for _, r := range in {
-			matches, err := matchRow(r)
+			if err := ex.tick(); err != nil {
+				return nil, err
+			}
+			limit := -1
+			if cap >= 0 {
+				limit = cap - len(out)
+				if limit <= 0 {
+					break
+				}
+			}
+			matches, err := matchRow(r, limit)
 			if err != nil {
 				return nil, err
 			}
@@ -194,12 +311,16 @@ func (ex *executor) applyMatch(c *MatchClause, in []row) ([]row, error) {
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if err := ctxErr(ex.ctx); err != nil {
+					errs[w] = err
+					return
+				}
 				start, end := take(64)
 				if start == end {
 					return
 				}
 				for i := start; i < end; i++ {
-					matches, err := matchRow(in[i])
+					matches, err := matchRow(in[i], -1)
 					if err != nil {
 						errs[w] = err
 						return
@@ -229,6 +350,7 @@ func (ex *executor) matchOnce(patterns []PatternPath, where Expr, seed row, limi
 	m := &matcher{
 		ec:      ex.ec,
 		g:       ex.g,
+		ctx:     ex.ctx,
 		binding: seed.clone(),
 	}
 	m.emit = func() error {
@@ -251,6 +373,58 @@ func (ex *executor) matchOnce(patterns []PatternPath, where Expr, seed row, limi
 		return nil, err
 	}
 	return out, nil
+}
+
+// returnRowCap computes how many input rows the final RETURN clause can
+// consume before further matches are provably discarded: skip + limit
+// and/or skip + budget + 1 (the +1 detects truncation). It returns -1 when
+// the projection is not row-per-row (aggregates, DISTINCT, ORDER BY) or
+// when SKIP/LIMIT are not statically evaluable, meaning no cap applies.
+func (ex *executor) returnRowCap(c *ReturnClause) int {
+	if c.Distinct || len(c.OrderBy) > 0 {
+		return -1
+	}
+	for _, it := range c.Items {
+		if containsAggregate(it.Expr) {
+			return -1
+		}
+	}
+	evalN := func(e Expr) (int, bool) {
+		v, err := ex.ec.eval(e, row{})
+		if err != nil {
+			return 0, false
+		}
+		n, ok := v.AsInt()
+		if !ok || n < 0 {
+			return 0, false
+		}
+		return int(n), true
+	}
+	skip := 0
+	if c.Skip != nil {
+		n, ok := evalN(c.Skip)
+		if !ok {
+			return -1
+		}
+		skip = n
+	}
+	need := -1
+	if c.Limit != nil {
+		n, ok := evalN(c.Limit)
+		if !ok {
+			return -1
+		}
+		need = n
+	}
+	if ex.budget > 0 {
+		if b := ex.budget + 1; need < 0 || b < need {
+			need = b
+		}
+	}
+	if need < 0 {
+		return -1
+	}
+	return skip + need
 }
 
 func patternVars(patterns []PatternPath) []string {
@@ -292,6 +466,9 @@ func (ex *executor) applyUnwind(c *UnwindClause, in []row) ([]row, error) {
 			elems = []Val{v}
 		}
 		for _, e := range elems {
+			if err := ex.tick(); err != nil {
+				return nil, err
+			}
 			nr := r.clone()
 			nr.set(c.Alias, e)
 			out = append(out, nr)
@@ -350,6 +527,10 @@ func (ex *executor) applyReturn(c *ReturnClause, in []row) error {
 	}
 	if projected, err = ex.skipLimit(projected, c.Skip, c.Limit); err != nil {
 		return err
+	}
+	if ex.budget > 0 && len(projected) > ex.budget {
+		projected = projected[:ex.budget]
+		ex.res.Truncated = true
 	}
 	ex.res.Columns = cols
 	ex.res.Rows = make([][]Val, len(projected))
@@ -423,6 +604,9 @@ func (ex *executor) project(items []ReturnItem, distinct bool, in []row) ([]row,
 		projected = make([]row, 0, len(in))
 		origs = make([]row, 0, len(in))
 		for _, r := range in {
+			if err := ex.tick(); err != nil {
+				return nil, nil, nil, err
+			}
 			nr := make(row, 0, len(items))
 			for i, it := range items {
 				v, err := ex.ec.eval(it.Expr, r)
@@ -501,6 +685,9 @@ func (ex *executor) aggregate(items []ReturnItem, cols []string, in []row) ([]ro
 	var order []string
 
 	for _, r := range in {
+		if err := ex.tick(); err != nil {
+			return nil, err
+		}
 		var keyParts []Val
 		key := ""
 		for i, p := range plans {
@@ -672,6 +859,9 @@ func (ex *executor) orderRows(rows []row, origs []row, sortItems []SortItem) err
 	}
 	keys := make([]sortKey, len(rows))
 	for i, r := range rows {
+		if err := ex.tick(); err != nil {
+			return err
+		}
 		env := r
 		if origs != nil {
 			// Sort expressions may reference both projected aliases and

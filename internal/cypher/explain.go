@@ -18,7 +18,7 @@ func Explain(g *graph.Graph, src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	ec := &evalCtx{g: g, params: map[string]graph.Value{}}
+	ec := &evalCtx{g: g, params: map[string]Val{}}
 	m := &matcher{ec: ec, g: g, binding: row{}}
 
 	var sb strings.Builder

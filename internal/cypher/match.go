@@ -1,6 +1,8 @@
 package cypher
 
 import (
+	"context"
+
 	"iyp/internal/graph"
 )
 
@@ -15,9 +17,23 @@ var errStop = &Error{Msg: "stop"}
 type matcher struct {
 	ec      *evalCtx
 	g       *graph.Graph
-	binding row           // mutated during search (append + truncate)
-	used    []graph.RelID // rels used by the current pattern (stack)
-	emit    func() error  // called with binding fully extended
+	ctx     context.Context // nil = never cancelled (Explain)
+	binding row             // mutated during search (append + truncate)
+	used    []graph.RelID   // rels used by the current pattern (stack)
+	emit    func() error    // called with binding fully extended
+	ticks   int             // cooperative-cancellation tick counter
+}
+
+// tick polls the context every tickMask+1 calls. It sits on the matcher's
+// hottest loops (one call per candidate binding), so a pathological
+// pattern enumeration notices an expired deadline within a few thousand
+// candidate attempts.
+func (m *matcher) tick() error {
+	m.ticks++
+	if m.ticks&tickMask == 0 && m.ctx != nil {
+		return ctxErr(m.ctx)
+	}
+	return nil
 }
 
 func (m *matcher) relUsed(id graph.RelID) bool {
@@ -81,7 +97,10 @@ func (m *matcher) solveShortest(path PatternPath, cont func() error) error {
 	}
 
 	return m.forAnchorCandidates(startNP, func(start graph.NodeID) error {
-		startMark, ok := m.bindNode(startNP, start)
+		startMark, ok, err := m.bindNode(startNP, start)
+		if err != nil {
+			return err
+		}
 		if !ok {
 			return nil
 		}
@@ -101,7 +120,10 @@ func (m *matcher) solveShortest(path PatternPath, cont func() error) error {
 			if depth < rp.MinHops {
 				return nil
 			}
-			endMark, ok := m.bindNode(endNP, end)
+			endMark, ok, err := m.bindNode(endNP, end)
+			if err != nil {
+				return err
+			}
 			if !ok {
 				return nil
 			}
@@ -129,7 +151,7 @@ func (m *matcher) solveShortest(path PatternPath, cont func() error) error {
 			if path.Var != "" {
 				m.binding = append(m.binding, binding{path.Var, PathVal(nodes, rels)})
 			}
-			err := cont()
+			err = cont()
 			m.binding = m.binding[:endMark]
 			return err
 		}
@@ -141,6 +163,9 @@ func (m *matcher) solveShortest(path PatternPath, cont func() error) error {
 			}
 		}
 		for len(queue) > 0 {
+			if err := m.tick(); err != nil {
+				return err
+			}
 			cur := queue[0]
 			queue = queue[1:]
 			if cur.depth >= maxHops {
@@ -218,12 +243,15 @@ func (m *matcher) solvePathAll(path PatternPath, cont func() error) error {
 
 	return m.forAnchorCandidates(path.Nodes[anchor], func(id graph.NodeID) error {
 		np := path.Nodes[anchor]
-		mark, ok := m.bindNode(np, id)
+		mark, ok, err := m.bindNode(np, id)
+		if err != nil {
+			return err
+		}
 		if !ok {
 			return nil
 		}
 		nodeIDs[anchor] = id
-		err := right(anchor)
+		err = right(anchor)
 		m.binding = m.binding[:mark]
 		return err
 	})
@@ -335,7 +363,10 @@ func (m *matcher) tryRel(rp RelPattern, np NodePattern, cur graph.NodeID, dir gr
 		return err
 	}
 
-	mark, ok := m.bindNode(np, other)
+	mark, ok, err := m.bindNode(np, other)
+	if err != nil {
+		return err
+	}
 	if !ok {
 		return nil
 	}
@@ -363,7 +394,10 @@ func (m *matcher) expandVarLen(rp RelPattern, np NodePattern, cur graph.NodeID, 
 	var pathRels []graph.RelID
 
 	attempt := func(at graph.NodeID) error {
-		mark, ok := m.bindNode(np, at)
+		mark, ok, err := m.bindNode(np, at)
+		if err != nil {
+			return err
+		}
 		if !ok {
 			return nil
 		}
@@ -383,7 +417,7 @@ func (m *matcher) expandVarLen(rp RelPattern, np NodePattern, cur graph.NodeID, 
 		}
 		relVals[relIdx] = ListVal(vs)
 
-		err := cont()
+		err = cont()
 
 		m.binding = m.binding[:mark]
 		return err
@@ -401,6 +435,9 @@ func (m *matcher) expandVarLen(rp RelPattern, np NodePattern, cur graph.NodeID, 
 		}
 		rels := m.g.Rels(at, dir, rp.Types, nil)
 		for _, rid := range rels {
+			if err := m.tick(); err != nil {
+				return err
+			}
 			if m.relUsed(rid) {
 				continue
 			}
@@ -434,28 +471,31 @@ func (m *matcher) expandVarLen(rp RelPattern, np NodePattern, cur graph.NodeID, 
 // binding, binds np.Var if new, and returns the binding mark to truncate
 // back to on backtrack. ok is false when the node does not satisfy the
 // pattern.
-func (m *matcher) bindNode(np NodePattern, id graph.NodeID) (mark int, ok bool) {
+func (m *matcher) bindNode(np NodePattern, id graph.NodeID) (mark int, ok bool, err error) {
 	mark = len(m.binding)
+	if err := m.tick(); err != nil {
+		return mark, false, err
+	}
 	if np.Var != "" {
 		if bv, exists := m.binding.get(np.Var); exists {
 			bn, isNode := bv.AsNode()
 			if !isNode || bn != id {
-				return mark, false
+				return mark, false, nil
 			}
 			if !m.nodeSatisfies(np, id) {
-				return mark, false
+				return mark, false, nil
 			}
-			return mark, true
+			return mark, true, nil
 		}
 	}
 	if !m.nodeSatisfies(np, id) {
-		return mark, false
+		return mark, false, nil
 	}
 	if np.Var == "" {
-		return mark, true
+		return mark, true, nil
 	}
 	m.binding = append(m.binding, binding{np.Var, NodeVal(id)})
-	return mark, true
+	return mark, true, nil
 }
 
 func (m *matcher) nodeSatisfies(np NodePattern, id graph.NodeID) bool {

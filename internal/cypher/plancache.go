@@ -1,0 +1,103 @@
+package cypher
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// PlanCache is a bounded, concurrency-safe LRU cache of parsed queries,
+// keyed by the exact query string. Parsed *Query values are never mutated
+// by execution, so a cached plan may be executed by many goroutines at
+// once. A public serving instance uses it to parse each distinct query
+// text exactly once, however many times clients repeat it.
+type PlanCache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type planEntry struct {
+	src string
+	q   *Query
+}
+
+// DefaultPlanCacheSize is the capacity used when NewPlanCache is given a
+// non-positive value.
+const DefaultPlanCacheSize = 512
+
+// NewPlanCache returns a cache holding up to capacity parsed queries
+// (capacity <= 0 uses DefaultPlanCacheSize).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element, capacity),
+		order:    list.New(),
+	}
+}
+
+// Get returns the parsed form of src, parsing and caching it on a miss.
+// Parse errors are returned without being cached: failed parses bail out
+// cheaply and caching them would let garbage evict useful plans.
+func (c *PlanCache) Get(src string) (*Query, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[src]; ok {
+		c.order.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*planEntry).q, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	// Parse outside the lock so a slow parse doesn't serialize other
+	// queries; two goroutines racing on the same new query simply parse
+	// twice, and the second insert wins harmlessly.
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if el, ok := c.entries[src]; ok {
+		c.order.MoveToFront(el)
+		q = el.Value.(*planEntry).q
+	} else {
+		c.entries[src] = c.order.PushFront(&planEntry{src: src, q: q})
+		for c.order.Len() > c.capacity {
+			oldest := c.order.Back()
+			c.order.Remove(oldest)
+			delete(c.entries, oldest.Value.(*planEntry).src)
+		}
+	}
+	c.mu.Unlock()
+	return q, nil
+}
+
+// CacheStats is a point-in-time snapshot of plan-cache effectiveness.
+type CacheStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Size     int    `json:"size"`
+	Capacity int    `json:"capacity"`
+}
+
+// Stats reports hit/miss counters and current occupancy.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	size := c.order.Len()
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Size:     size,
+		Capacity: c.capacity,
+	}
+}

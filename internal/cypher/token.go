@@ -95,11 +95,16 @@ var keywords = map[string]bool{
 	"ALL": true,
 }
 
-// Error is a query error carrying source position information.
+// Error is a query error carrying source position information and, for
+// interrupted queries, the underlying context error.
 type Error struct {
 	Msg  string
 	Line int
 	Col  int
+	// Cause, when non-nil, is the error that interrupted execution
+	// (context.DeadlineExceeded, context.Canceled). Exposed through
+	// Unwrap so callers can use errors.Is.
+	Cause error
 }
 
 func (e *Error) Error() string {
@@ -108,6 +113,9 @@ func (e *Error) Error() string {
 	}
 	return "cypher: " + e.Msg
 }
+
+// Unwrap exposes the interrupting error for errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Cause }
 
 func errorf(t token, format string, args ...any) error {
 	return &Error{Msg: fmt.Sprintf(format, args...), Line: t.line, Col: t.col}

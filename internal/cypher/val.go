@@ -65,6 +65,53 @@ func PathVal(nodes []graph.NodeID, rels []graph.RelID) Val {
 	return Val{kind: ValPath, pNodes: nodes, pRels: rels}
 }
 
+// ValOf converts a native Go value — the shapes encoding/json produces —
+// into the engine's runtime representation. Unlike graph.Of it supports
+// nested maps and lists (as ExecOptions.ParamVals entries) and returns an
+// error instead of panicking on unsupported types.
+func ValOf(v any) (Val, error) {
+	switch x := v.(type) {
+	case nil:
+		return NullVal(), nil
+	case Val:
+		return x, nil
+	case graph.Value:
+		return ScalarVal(x), nil
+	case bool:
+		return ScalarVal(graph.Bool(x)), nil
+	case int:
+		return ScalarVal(graph.Int(int64(x))), nil
+	case int64:
+		return ScalarVal(graph.Int(x)), nil
+	case float64:
+		return ScalarVal(graph.Float(x)), nil
+	case string:
+		return ScalarVal(graph.String(x)), nil
+	case []any:
+		vs := make([]Val, len(x))
+		for i, e := range x {
+			ev, err := ValOf(e)
+			if err != nil {
+				return NullVal(), err
+			}
+			vs[i] = ev
+		}
+		return ListVal(vs), nil
+	case map[string]any:
+		m := make(map[string]Val, len(x))
+		for k, e := range x {
+			ev, err := ValOf(e)
+			if err != nil {
+				return NullVal(), err
+			}
+			m[k] = ev
+		}
+		return MapVal(m), nil
+	default:
+		return NullVal(), &Error{Msg: fmt.Sprintf("unsupported parameter value of type %T", v)}
+	}
+}
+
 // Kind returns the value's kind.
 func (v Val) Kind() ValKind { return v.kind }
 

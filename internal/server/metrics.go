@@ -1,0 +1,83 @@
+package server
+
+// Serving metrics for the public query API, exposed at GET /metrics in
+// the Prometheus text exposition format. Everything is lock-free atomics:
+// the metrics path must cost nothing compared to query execution.
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"iyp/internal/cypher"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the query-duration
+// histogram, chosen to straddle the paper instance's interactive range:
+// sub-millisecond index lookups up to multi-second analytical scans.
+var latencyBuckets = [...]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+type metrics struct {
+	queries   atomic.Uint64 // completed query requests (any outcome)
+	errors    atomic.Uint64 // parse/runtime failures
+	timeouts  atomic.Uint64 // deadline-exceeded queries
+	canceled  atomic.Uint64 // client-cancelled queries
+	rejected  atomic.Uint64 // 429s from the concurrency limiter
+	truncated atomic.Uint64 // responses with truncated=true
+	rows      atomic.Uint64 // result rows returned to clients
+	inflight  atomic.Int64  // queries currently executing
+
+	// Histogram: buckets[i] counts observations <= latencyBuckets[i];
+	// buckets[len] is the +Inf overflow. Non-cumulative internally,
+	// accumulated at render time per Prometheus convention.
+	buckets    [len(latencyBuckets) + 1]atomic.Uint64
+	durationNS atomic.Uint64
+}
+
+func (m *metrics) observe(d time.Duration) {
+	m.queries.Add(1)
+	m.durationNS.Add(uint64(d.Nanoseconds()))
+	s := d.Seconds()
+	for i, ub := range latencyBuckets {
+		if s <= ub {
+			m.buckets[i].Add(1)
+			return
+		}
+	}
+	m.buckets[len(latencyBuckets)].Add(1)
+}
+
+// write renders the Prometheus text format, folding in plan-cache stats.
+func (m *metrics) write(w io.Writer, cache cypher.CacheStats) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("iyp_queries_total", "Completed query requests.", m.queries.Load())
+	counter("iyp_query_errors_total", "Queries that failed to parse or execute.", m.errors.Load())
+	counter("iyp_query_timeouts_total", "Queries stopped by a deadline.", m.timeouts.Load())
+	counter("iyp_query_canceled_total", "Queries stopped by client cancellation.", m.canceled.Load())
+	counter("iyp_query_rejected_total", "Requests rejected by the concurrency limiter.", m.rejected.Load())
+	counter("iyp_query_truncated_total", "Responses truncated by a row budget.", m.truncated.Load())
+	counter("iyp_rows_returned_total", "Result rows returned to clients.", m.rows.Load())
+	gauge("iyp_queries_in_flight", "Queries currently executing.", m.inflight.Load())
+
+	counter("iyp_plan_cache_hits_total", "Plan cache hits.", cache.Hits)
+	counter("iyp_plan_cache_misses_total", "Plan cache misses.", cache.Misses)
+	gauge("iyp_plan_cache_size", "Parsed plans currently cached.", int64(cache.Size))
+	gauge("iyp_plan_cache_capacity", "Plan cache capacity.", int64(cache.Capacity))
+
+	fmt.Fprintf(w, "# HELP iyp_query_duration_seconds Query latency.\n# TYPE iyp_query_duration_seconds histogram\n")
+	var cum uint64
+	for i, ub := range latencyBuckets {
+		cum += m.buckets[i].Load()
+		fmt.Fprintf(w, "iyp_query_duration_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.buckets[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "iyp_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "iyp_query_duration_seconds_sum %g\n", float64(m.durationNS.Load())/1e9)
+	fmt.Fprintf(w, "iyp_query_duration_seconds_count %d\n", cum)
+}

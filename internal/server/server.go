@@ -1,11 +1,21 @@
 // Package server implements the HTTP query API of the public IYP instance
-// (paper §3.1): a JSON endpoint for Cypher queries plus schema and
-// statistics endpoints. It is the reproduction's equivalent of the Neo4j
-// HTTP API the paper's public deployment exposes.
+// (paper §3.1): a JSON endpoint for Cypher queries plus schema, statistics
+// and metrics endpoints. It is the reproduction's equivalent of the Neo4j
+// HTTP API the paper's public deployment exposes, hardened for arbitrary
+// user Cypher under heavy load: every query runs under a deadline and a
+// row budget, a concurrency limiter sheds load instead of queueing it, a
+// plan cache parses each distinct query text once, and GET /metrics
+// exposes the serving counters.
+//
+// Endpoints are versioned under /v1/ (POST /v1/query, POST /v1/explain,
+// GET /v1/schema, GET /v1/stats); the original /db/* paths remain as
+// aliases for existing clients.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"time"
 
@@ -14,21 +24,92 @@ import (
 	"iyp/internal/ontology"
 )
 
-// Server serves read-only query access to a graph.
-type Server struct {
-	g   *graph.Graph
-	mux *http.ServeMux
-	// MaxRows caps the number of rows returned per query (0 = 100000).
-	MaxRows int
+// Config tunes the serving layer. The zero value serves with production
+// defaults; see the field comments for each.
+type Config struct {
+	// Cache is the plan cache to use (nil = a fresh cache of
+	// cypher.DefaultPlanCacheSize entries). Sharing one cache between
+	// the HTTP server and embedded DB queries maximizes hit rate.
+	Cache *cypher.PlanCache
+	// DefaultTimeout bounds queries that don't request their own
+	// timeout_ms (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the per-request timeout_ms field (0 = 2m).
+	MaxTimeout time.Duration
+	// DefaultMaxRows bounds result rows when the request doesn't set
+	// max_rows (0 = 100000).
+	DefaultMaxRows int
+	// HardMaxRows caps the per-request max_rows field (0 = 1000000).
+	HardMaxRows int
+	// MaxConcurrent bounds queries executing at once; excess requests
+	// get 429 immediately rather than queueing (0 = 64).
+	MaxConcurrent int
+	// SlowQuery is the latency above which a completed query is logged
+	// through Logf (0 = 1s).
+	SlowQuery time.Duration
+	// Logf receives slow-query and lifecycle logs (nil = silent).
+	Logf func(format string, args ...any)
 }
 
-// New builds the API handler.
-func New(g *graph.Graph) *Server {
-	s := &Server{g: g, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /db/query", s.handleQuery)
-	s.mux.HandleFunc("POST /db/explain", s.handleExplain)
-	s.mux.HandleFunc("GET /db/schema", s.handleSchema)
-	s.mux.HandleFunc("GET /db/stats", s.handleStats)
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.DefaultMaxRows <= 0 {
+		c.DefaultMaxRows = 100000
+	}
+	if c.HardMaxRows <= 0 {
+		c.HardMaxRows = 1000000
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.SlowQuery <= 0 {
+		c.SlowQuery = time.Second
+	}
+	return c
+}
+
+// Server serves read-only query access to a graph.
+type Server struct {
+	g     *graph.Graph
+	mux   *http.ServeMux
+	cfg   Config
+	cache *cypher.PlanCache
+	sem   chan struct{} // concurrency limiter (len == queries in flight)
+	met   metrics
+}
+
+// New builds the API handler. An optional Config tunes timeouts, budgets
+// and the shared plan cache; New(g) uses production defaults.
+func New(g *graph.Graph, cfgs ...Config) *Server {
+	var cfg Config
+	if len(cfgs) > 0 {
+		cfg = cfgs[0]
+	}
+	cfg = cfg.withDefaults()
+	cache := cfg.Cache
+	if cache == nil {
+		cache = cypher.NewPlanCache(0)
+	}
+	s := &Server{
+		g:     g,
+		mux:   http.NewServeMux(),
+		cfg:   cfg,
+		cache: cache,
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+	// v1 API plus legacy /db/* aliases.
+	for _, prefix := range []string{"/v1", "/db"} {
+		s.mux.HandleFunc("POST "+prefix+"/query", s.handleQuery)
+		s.mux.HandleFunc("POST "+prefix+"/explain", s.handleExplain)
+		s.mux.HandleFunc("GET "+prefix+"/schema", s.handleSchema)
+		s.mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	}
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -43,57 +124,136 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 type queryRequest struct {
 	Query  string         `json:"query"`
 	Params map[string]any `json:"params"`
+	// TimeoutMS overrides the server's default query deadline, capped at
+	// Config.MaxTimeout.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// MaxRows overrides the server's default row budget, capped at
+	// Config.HardMaxRows.
+	MaxRows int `json:"max_rows"`
 }
 
 type queryResponse struct {
 	Columns []string         `json:"columns"`
 	Rows    []map[string]any `json:"rows"`
-	Count   int              `json:"count"`
-	TookMS  int64            `json:"took_ms"`
+	// Count is the number of rows in this response. When Truncated is
+	// true, more rows matched than the row budget allowed.
+	Count     int   `json:"count"`
+	Truncated bool  `json:"truncated"`
+	TookMS    int64 `json:"took_ms"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
+	// Code is a stable, machine-readable error class: bad_request,
+	// parse_error, query_error, timeout, canceled, too_many_requests.
+	Code string `json:"code"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	// Shed load immediately when at capacity: a public instance must not
+	// build an unbounded queue of expensive queries.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.met.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, "too_many_requests", "server is at its concurrent query limit, retry later")
+		return
+	}
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
 	var req queryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
 		return
 	}
 	if req.Query == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
+		writeError(w, http.StatusBadRequest, "bad_request", "missing query")
 		return
 	}
-	params := map[string]graph.Value{}
+	params := make(map[string]cypher.Val, len(req.Params))
 	for k, v := range req.Params {
-		params[k] = graph.Of(normalizeParam(v))
+		pv, err := cypher.ValOf(normalizeParam(v))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", "parameter $"+k+": "+err.Error())
+			return
+		}
+		params[k] = pv
 	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	maxRows := s.cfg.DefaultMaxRows
+	if req.MaxRows > 0 {
+		maxRows = req.MaxRows
+		if maxRows > s.cfg.HardMaxRows {
+			maxRows = s.cfg.HardMaxRows
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
 	t0 := time.Now()
-	res, err := cypher.Run(s.g, req.Query, params)
+	plan, err := s.cache.Get(req.Query)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		s.met.observe(time.Since(t0))
+		s.met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
-	maxRows := s.MaxRows
-	if maxRows <= 0 {
-		maxRows = 100000
+	res, err := cypher.Exec(ctx, s.g, plan, cypher.ExecOptions{ParamVals: params, MaxRows: maxRows})
+	took := time.Since(t0)
+	s.met.observe(took)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.timeouts.Add(1)
+			s.logf("slow query killed: deadline=%s query=%q", timeout, req.Query)
+			writeError(w, http.StatusGatewayTimeout, "timeout", err.Error())
+		case errors.Is(err, context.Canceled):
+			s.met.canceled.Add(1)
+			writeError(w, http.StatusRequestTimeout, "canceled", err.Error())
+		default:
+			s.met.errors.Add(1)
+			writeError(w, http.StatusBadRequest, "query_error", err.Error())
+		}
+		return
 	}
 	rows := res.Native()
-	if len(rows) > maxRows {
-		rows = rows[:maxRows]
+	s.met.rows.Add(uint64(len(rows)))
+	if res.Truncated {
+		s.met.truncated.Add(1)
+	}
+	if took >= s.cfg.SlowQuery {
+		s.logf("slow query: took_ms=%d rows=%d truncated=%v query=%q",
+			took.Milliseconds(), len(rows), res.Truncated, req.Query)
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Columns: res.Columns,
-		Rows:    rows,
-		Count:   res.Len(),
-		TookMS:  time.Since(t0).Milliseconds(),
+		Columns:   res.Columns,
+		Rows:      rows,
+		Count:     len(rows),
+		Truncated: res.Truncated,
+		TookMS:    took.Milliseconds(),
 	})
 }
 
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
 // normalizeParam converts JSON numbers (float64) with integral values to
-// ints, matching how Cypher parameters behave in practice.
+// ints, matching how Cypher parameters behave in practice. It recurses
+// through lists and objects so nested numbers normalize the same way as
+// top-level ones.
 func normalizeParam(v any) any {
 	switch x := v.(type) {
 	case float64:
@@ -104,6 +264,10 @@ func normalizeParam(v any) any {
 		for i, e := range x {
 			x[i] = normalizeParam(e)
 		}
+	case map[string]any:
+		for k, e := range x {
+			x[k] = normalizeParam(e)
+		}
 	}
 	return v
 }
@@ -111,16 +275,16 @@ func normalizeParam(v any) any {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "invalid request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
 		return
 	}
 	if req.Query == "" {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing query"})
+		writeError(w, http.StatusBadRequest, "bad_request", "missing query")
 		return
 	}
 	plan, err := cypher.Explain(s.g, req.Query)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
@@ -140,6 +304,15 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.g.Stats())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.write(w, s.cache.Stats())
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

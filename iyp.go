@@ -8,7 +8,15 @@
 // Quick start:
 //
 //	db, err := iyp.Build(ctx, iyp.Options{})
-//	res, err := db.Query(`MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn`)
+//	res, err := db.Query(ctx, `MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn`)
+//
+// Queries accept a context for cancellation and functional options for
+// parameters, deadlines and row budgets:
+//
+//	res, err := db.Query(ctx, `MATCH (x:AS {asn: $asn}) RETURN x.name`,
+//		iyp.WithParams(map[string]iyp.Value{"asn": iyp.IntValue(2497)}),
+//		iyp.WithTimeout(2*time.Second),
+//		iyp.WithMaxRows(1000))
 //
 // See examples/ for runnable programs and EXPERIMENTS.md for the
 // reproduction of the paper's evaluation.
@@ -51,10 +59,15 @@ type Options struct {
 
 // DB is a built (or loaded) IYP knowledge graph.
 type DB struct {
-	g *graph.Graph
+	g     *graph.Graph
+	cache *cypher.PlanCache
 	// Report holds the per-dataset import outcome (empty for loaded
 	// snapshots).
 	Report ingest.Report
+}
+
+func newDB(g *graph.Graph) *DB {
+	return &DB{g: g, cache: cypher.NewPlanCache(0)}
 }
 
 // Build constructs the knowledge graph: simulate the Internet, render the
@@ -79,24 +92,77 @@ func Build(ctx context.Context, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{g: res.Graph, Report: res.Report}, nil
+	db := newDB(res.Graph)
+	db.Report = res.Report
+	return db, nil
 }
 
 // Wrap exposes an existing graph as a DB (used by tests and studies that
 // build through internal/core directly).
-func Wrap(g *graph.Graph) *DB { return &DB{g: g} }
+func Wrap(g *graph.Graph) *DB { return newDB(g) }
 
 // Graph returns the underlying property graph.
 func (db *DB) Graph() *graph.Graph { return db.g }
 
-// Query runs a Cypher query.
-func (db *DB) Query(q string) (*cypher.Result, error) {
-	return cypher.Run(db.g, q, nil)
+// QueryOption configures a single Query call.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	params  map[string]graph.Value
+	timeout time.Duration
+	maxRows int
+}
+
+// WithParams supplies $parameter values for the query.
+func WithParams(params map[string]Value) QueryOption {
+	return func(c *queryConfig) { c.params = params }
+}
+
+// WithTimeout bounds the query's execution time. The deadline is enforced
+// cooperatively inside the engine's match, aggregation and projection
+// loops, so even pathological queries stop promptly. It composes with any
+// deadline already on the context — whichever expires first wins.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.timeout = d }
+}
+
+// WithMaxRows bounds the number of result rows. When the budget cuts the
+// result short, Result.Truncated is set; where the query shape allows it,
+// enumeration stops early instead of materializing everything and
+// trimming.
+func WithMaxRows(n int) QueryOption {
+	return func(c *queryConfig) { c.maxRows = n }
+}
+
+// Query runs a Cypher query under ctx. Cancellation and deadlines are
+// honoured mid-query. Parsed plans are cached per DB, so repeating a query
+// string skips the parser. Options tune parameters, deadline and row
+// budget per call.
+func (db *DB) Query(ctx context.Context, q string, opts ...QueryOption) (*cypher.Result, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	plan, err := db.cache.Get(q)
+	if err != nil {
+		return nil, err
+	}
+	return cypher.Exec(ctx, db.g, plan, cypher.ExecOptions{Params: cfg.params, MaxRows: cfg.maxRows})
 }
 
 // QueryParams runs a Cypher query with $parameters.
-func (db *DB) QueryParams(q string, params map[string]graph.Value) (*cypher.Result, error) {
-	return cypher.Run(db.g, q, params)
+//
+// Deprecated: use Query with WithParams.
+func (db *DB) QueryParams(q string, params map[string]Value) (*cypher.Result, error) {
+	return db.Query(context.Background(), q, WithParams(params))
 }
 
 // Stats summarizes graph contents.
@@ -118,12 +184,16 @@ func Load(path string) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{g: g}, nil
+	return newDB(g), nil
 }
 
-// Handler returns the HTTP query API handler (POST /db/query, GET
-// /db/schema, GET /db/stats) for running a public read-only instance.
-func (db *DB) Handler() http.Handler { return server.New(db.g) }
+// Handler returns the HTTP query API handler for running a public
+// read-only instance: POST /v1/query, POST /v1/explain, GET /v1/schema,
+// GET /v1/stats (plus legacy /db/* aliases), GET /metrics and
+// GET /healthz. The handler shares the DB's plan cache.
+func (db *DB) Handler() http.Handler {
+	return server.New(db.g, server.Config{Cache: db.cache})
+}
 
 // ListenAndServe runs the query API on addr until ctx is done.
 func (db *DB) ListenAndServe(ctx context.Context, addr string) error {

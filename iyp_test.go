@@ -4,14 +4,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"iyp"
-	"iyp/internal/graph"
 )
 
 var (
@@ -52,7 +56,7 @@ func TestPaperListingsVerbatim(t *testing.T) {
 	db := testDB(t)
 
 	// Listing 1.
-	res, err := db.Query(`
+	res, err := db.Query(context.Background(), `
 // Select ASes originating prefixes
 MATCH (x:AS)-[:ORIGINATE]-(:Prefix)
 // Return the AS's ASN
@@ -65,7 +69,7 @@ RETURN DISTINCT x.asn`)
 	}
 
 	// Listing 2.
-	res, err = db.Query(`
+	res, err = db.Query(context.Background(), `
 // Find Prefixes with two originating ASes
 MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS)
 // Make sure that the ASNs of the two ASes are different
@@ -81,11 +85,12 @@ RETURN DISTINCT p.prefix`)
 
 	// Listing 3 shape (organization parameterized: the simulated graph
 	// has no CERN).
-	res, err = db.QueryParams(`
+	res, err = db.Query(context.Background(), `
 MATCH (org:Organization)-[:MANAGED_BY]-(:AS)-[:ORIGINATE]-(pfx:Prefix)-[:CATEGORIZED]-(:Tag {label:'RPKI Valid'})
 WHERE org.name STARTS WITH $prefix
 MATCH (pfx)-[:PART_OF]-(:IP)-[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(h:HostName)
-RETURN DISTINCT h.name`, map[string]graph.Value{"prefix": graph.String("ORG-")})
+RETURN DISTINCT h.name`,
+		iyp.WithParams(map[string]iyp.Value{"prefix": iyp.StringValue("ORG-")}))
 	if err != nil {
 		t.Fatalf("listing 3: %v", err)
 	}
@@ -94,7 +99,7 @@ RETURN DISTINCT h.name`, map[string]graph.Value{"prefix": graph.String("ORG-")})
 	}
 
 	// Listing 4.
-	res, err = db.Query(`
+	res, err = db.Query(context.Background(), `
 MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)--(h:HostName)
 -[:RESOLVES_TO {reference_name:'openintel.tranco1m'}]-(:IP)-[:PART_OF]-(pfx:Prefix)-[:CATEGORIZED]-(t:Tag)
 WHERE t.label STARTS WITH 'RPKI Invalid'
@@ -107,7 +112,7 @@ RETURN count(DISTINCT pfx)`)
 	}
 
 	// Listing 5 (reproducing the /24 grouping input).
-	res, err = db.Query(`
+	res, err = db.Query(context.Background(), `
 MATCH (:Ranking {name: 'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:PARENT]->(tld:DomainName)
 WHERE tld.name IN ['com', 'net', 'org']
 MATCH (d)-[:MANAGED_BY]-(a:AuthoritativeNameServer)-[:RESOLVES_TO]-(i:IP {af:4})
@@ -120,7 +125,7 @@ RETURN d.name AS domain, collect(DISTINCT i.ip) AS ips`)
 	}
 
 	// Listing 6 verbatim.
-	res, err = db.Query(`
+	res, err = db.Query(context.Background(), `
 // List prefixes of nameservers for all domain names in Tranco
 MATCH (r:Ranking {name: 'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:MANAGED_BY]-(a:AuthoritativeNameServer)
 -[:RESOLVES_TO]-(i:IP {af:4})-[:PART_OF]-(pfx:Prefix)
@@ -137,7 +142,7 @@ func TestFigure4Neighborhood(t *testing.T) {
 	// The sneak-peek walk of Figure 4: the top domain's 2-hop
 	// neighbourhood must fuse several independent datasets.
 	db := testDB(t)
-	res, err := db.Query(`
+	res, err := db.Query(context.Background(), `
 MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK {rank: 1}]-(d:DomainName)-[r]-(x)
 RETURN DISTINCT r.reference_name AS dataset`)
 	if err != nil {
@@ -164,11 +169,11 @@ func TestSnapshotRoundTripThroughFacade(t *testing.T) {
 	}
 	// Queries behave identically on the loaded snapshot.
 	q := `MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN count(DISTINCT x) AS n`
-	r1, err := db.Query(q)
+	r1, err := db.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := re.Query(q)
+	r2, err := re.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +245,7 @@ func TestWriteQueriesOnLocalInstance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := db.Query(`
+	res, err := db.Query(context.Background(), `
 MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:CATEGORIZED]-(:Tag {label: 'RPKI Invalid'})
 SET x.under_review = true
 RETURN count(DISTINCT x) AS n`)
@@ -250,7 +255,7 @@ RETURN count(DISTINCT x) AS n`)
 	if res.PropsSet == 0 {
 		t.Skip("no invalid prefixes at this tiny scale")
 	}
-	check, err := db.Query(`MATCH (x:AS) WHERE x.under_review = true RETURN count(x) AS n`)
+	check, err := db.Query(context.Background(), `MATCH (x:AS) WHERE x.under_review = true RETURN count(x) AS n`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,6 +300,121 @@ RETURN $s AS s, $i AS i, $f AS f, $b AS b, size($l) AS n`,
 	if v, _ := res.Get(0, "f"); func() float64 { f, _ := v.AsFloat(); return f }() != 2.5 {
 		t.Errorf("float param = %v", v)
 	}
+}
+
+// TestQueryDeadlineAcceptance is the headline guarantee of the context-
+// aware engine: a 1ms deadline on a pathological query (a four-way
+// cartesian product over every AS) surfaces as context.DeadlineExceeded
+// in well under 100ms instead of running for minutes.
+func TestQueryDeadlineAcceptance(t *testing.T) {
+	db := testDB(t)
+	t0 := time.Now()
+	_, err := db.Query(context.Background(),
+		`MATCH (a:AS), (b:AS), (c:AS), (d:AS) RETURN count(*)`,
+		iyp.WithTimeout(time.Millisecond))
+	took := time.Since(t0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if took > 100*time.Millisecond {
+		t.Errorf("1ms-deadline query took %v; want well under 100ms", took)
+	}
+}
+
+func TestQueryPreCancelledContext(t *testing.T) {
+	db := testDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.Query(ctx, `MATCH (a:AS) RETURN a.asn`); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestQueryMaxRowsSetsTruncated(t *testing.T) {
+	db := testDB(t)
+	res, err := db.Query(context.Background(), `MATCH (a:AS) RETURN a.asn`, iyp.WithMaxRows(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 5 || !res.Truncated {
+		t.Errorf("rows = %d truncated = %v, want 5/true", res.Len(), res.Truncated)
+	}
+}
+
+// TestParallelQueriesOnOneDB hammers a single DB (and so a single plan
+// cache) from many goroutines; run with -race this doubles as the
+// concurrency-safety check for the whole query path.
+func TestParallelQueriesOnOneDB(t *testing.T) {
+	db := testDB(t)
+	queries := []string{
+		`MATCH (x:AS) RETURN count(x) AS n`,
+		`MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn`,
+		`MATCH (p:Prefix)-[:CATEGORIZED]-(t:Tag) RETURN t.label, count(p) AS n`,
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				q := queries[(w+i)%len(queries)]
+				if _, err := db.Query(context.Background(), q, iyp.WithMaxRows(100)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsReportCacheHits is the observability acceptance check:
+// repeating a query through the HTTP API must register plan-cache hits on
+// GET /metrics.
+func TestMetricsReportCacheHits(t *testing.T) {
+	db := testDB(t)
+	srv := httptest.NewServer(db.Handler())
+	defer srv.Close()
+
+	body := `{"query": "MATCH (x:AS) RETURN count(x) AS total_for_metrics"}`
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(srv.URL+"/v1/query", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, "iyp_plan_cache_hits_total ") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.Fields(line)[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < 2 {
+			t.Errorf("plan cache hits = %d after 3 identical queries, want >= 2", n)
+		}
+		return
+	}
+	t.Fatal("iyp_plan_cache_hits_total not found in /metrics output")
 }
 
 func TestLoadMissingSnapshot(t *testing.T) {
