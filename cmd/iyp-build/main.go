@@ -6,6 +6,7 @@
 // Usage:
 //
 //	iyp-build -o iyp.snapshot [-scale 1.0] [-seed 42] [-http] [-jobs 4] [-v]
+//	          [-crawler-timeout 0] [-min-success 0] [-critical a,b]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"iyp"
 )
@@ -21,20 +23,32 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		out     = flag.String("o", "iyp.snapshot", "output snapshot path")
-		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = 3k ASes, 20k domains)")
-		seed    = flag.Int64("seed", 42, "synthetic Internet seed")
-		useHTTP = flag.Bool("http", false, "fetch datasets over a localhost HTTP server")
-		jobs    = flag.Int("jobs", 4, "parallel crawlers")
-		verbose = flag.Bool("v", false, "log per-crawler progress")
+		out      = flag.String("o", "iyp.snapshot", "output snapshot path")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = 3k ASes, 20k domains)")
+		seed     = flag.Int64("seed", 42, "synthetic Internet seed")
+		useHTTP  = flag.Bool("http", false, "fetch datasets over a localhost HTTP server")
+		jobs     = flag.Int("jobs", 4, "parallel crawlers")
+		verbose  = flag.Bool("v", false, "log per-crawler progress")
+		timeout  = flag.Duration("crawler-timeout", 0, "per-crawler deadline; hung feeds are abandoned (0 = none)")
+		minRate  = flag.Float64("min-success", 0, "fraction of datasets that must ingest or the build fails (0 = best effort)")
+		critical = flag.String("critical", "", "comma-separated dataset names whose failure always fails the build")
 	)
 	flag.Parse()
 
 	opts := iyp.Options{
-		Scale:       *scale,
-		Seed:        *seed,
-		UseHTTP:     *useHTTP,
-		Concurrency: *jobs,
+		Scale:          *scale,
+		Seed:           *seed,
+		UseHTTP:        *useHTTP,
+		Concurrency:    *jobs,
+		CrawlerTimeout: *timeout,
+		MinSuccessRate: *minRate,
+	}
+	if *critical != "" {
+		for _, name := range strings.Split(*critical, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.CriticalDatasets = append(opts.CriticalDatasets, name)
+			}
+		}
 	}
 	if *verbose {
 		opts.Logf = log.Printf
@@ -45,7 +59,7 @@ func main() {
 	}
 	fmt.Print(db.Report)
 	if failed := db.Report.Failed(); len(failed) > 0 {
-		fmt.Fprintf(os.Stderr, "iyp-build: %d dataset(s) failed\n", len(failed))
+		fmt.Fprintf(os.Stderr, "iyp-build: %d dataset(s) failed; snapshot is degraded\n", len(failed))
 	}
 	if err := db.Save(*out); err != nil {
 		log.Fatalf("iyp-build: save: %v", err)

@@ -75,6 +75,11 @@ func main() {
 	if err := crawler.Run(context.Background(), session); err != nil {
 		log.Fatal(err)
 	}
+	// Sessions stage their writes; the dataset lands in the graph
+	// atomically at Commit (a failed Run above would have left no trace).
+	if err := session.Commit(); err != nil {
+		log.Fatal(err)
+	}
 	nodes, links := session.Counts()
 	fmt.Printf("private dataset imported: %d new nodes, %d links\n", nodes, links)
 

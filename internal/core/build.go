@@ -31,12 +31,33 @@ type BuildOptions struct {
 	UseHTTP bool
 	// Concurrency bounds parallel crawler execution (0 = 4).
 	Concurrency int
+	// CrawlerTimeout bounds one crawler's run (0 = none). Hung feeds are
+	// abandoned and reported failed; their staged writes are discarded.
+	CrawlerTimeout time.Duration
+	// MaxFetchBytes caps one dataset payload (0 = source default,
+	// 256 MiB), so a malformed giant feed cannot OOM the build.
+	MaxFetchBytes int64
+	// WrapFetcher, when set, wraps the build's dataset fetcher — the hook
+	// chaos tests use to inject faults (source.FaultFetcher) and operators
+	// use to add retry policies (source.RetryFetcher).
+	WrapFetcher func(source.Fetcher) source.Fetcher
 	// FetchTime is stamped on all provenance (zero = now).
 	FetchTime time.Time
 	// Logf receives progress lines (nil = silent).
 	Logf func(format string, args ...any)
 	// Crawlers overrides the dataset set (nil = all 47).
 	Crawlers []ingest.Crawler
+
+	// MinSuccessRate is the fraction of datasets in (0,1] that must ingest
+	// successfully for the build to be considered viable; below it the
+	// build fails instead of producing a degraded snapshot. 0 means
+	// best-effort: any number of dataset failures yields a (degraded)
+	// snapshot, matching the paper's one-feed-costs-one-dataset promise.
+	MinSuccessRate float64
+	// CriticalDatasets lists dataset reference names (e.g.
+	// "bgpkit.pfx2asn") whose failure always fails the build, regardless
+	// of MinSuccessRate.
+	CriticalDatasets []string
 }
 
 // BuildResult is a completed build.
@@ -77,8 +98,12 @@ func Build(ctx context.Context, opts BuildOptions) (*BuildResult, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		defer srv.Close()
-		fetcher = &source.HTTPFetcher{Base: srv.BaseURL()}
+		// Real network fetches get the hardened retry policy for free.
+		fetcher = &source.RetryFetcher{Base: &source.HTTPFetcher{Base: srv.BaseURL()}}
 		logf("serving datasets at %s", srv.BaseURL())
+	}
+	if opts.WrapFetcher != nil {
+		fetcher = opts.WrapFetcher(fetcher)
 	}
 
 	g := graph.New()
@@ -89,16 +114,25 @@ func Build(ctx context.Context, opts BuildOptions) (*BuildResult, error) {
 		cs = crawlers.All()
 	}
 	pipe := &ingest.Pipeline{
-		Graph:       g,
-		Fetcher:     fetcher,
-		Crawlers:    cs,
-		Concurrency: opts.Concurrency,
-		FetchTime:   opts.FetchTime,
-		Logf:        logf,
+		Graph:         g,
+		Fetcher:       fetcher,
+		Crawlers:      cs,
+		Concurrency:   opts.Concurrency,
+		Timeout:       opts.CrawlerTimeout,
+		MaxFetchBytes: opts.MaxFetchBytes,
+		FetchTime:     opts.FetchTime,
+		Logf:          logf,
 	}
 	report, err := pipe.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := applyBuildPolicy(&report, opts); err != nil {
+		logf("build policy: %v", err)
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if report.Degraded {
+		logf("build policy: %s", report.PolicyNote)
 	}
 
 	fetchTime := opts.FetchTime
@@ -118,6 +152,42 @@ func Build(ctx context.Context, opts BuildOptions) (*BuildResult, error) {
 		Catalog:  catalog,
 		Elapsed:  time.Since(start),
 	}, nil
+}
+
+// applyBuildPolicy evaluates the degraded-build policy and records the
+// decision on the report: fail the build when a critical dataset is lost or
+// the success rate falls below the operator's floor; otherwise proceed,
+// flagging the snapshot as degraded when any dataset failed.
+func applyBuildPolicy(rep *ingest.Report, opts BuildOptions) error {
+	total := len(rep.Crawls)
+	failed := rep.Failed()
+	if len(failed) == 0 {
+		rep.PolicyNote = fmt.Sprintf("clean: all %d datasets ingested", total)
+		return nil
+	}
+	rep.Degraded = true
+	names := make(map[string]error, len(failed))
+	for _, f := range failed {
+		names[f.Dataset] = f.Err
+	}
+	for _, crit := range opts.CriticalDatasets {
+		if err, ok := names[crit]; ok {
+			rep.PolicyNote = fmt.Sprintf("fail-fast: critical dataset %s failed", crit)
+			return fmt.Errorf("critical dataset %s failed: %w", crit, err)
+		}
+	}
+	ok := total - len(failed)
+	if total > 0 && opts.MinSuccessRate > 0 {
+		rate := float64(ok) / float64(total)
+		if rate < opts.MinSuccessRate {
+			rep.PolicyNote = fmt.Sprintf("fail-fast: %d/%d datasets ingested, below the %.0f%% floor",
+				ok, total, opts.MinSuccessRate*100)
+			return fmt.Errorf("only %d/%d datasets ingested (%.1f%%), below the required %.1f%%",
+				ok, total, 100*float64(ok)/float64(total), opts.MinSuccessRate*100)
+		}
+	}
+	rep.PolicyNote = fmt.Sprintf("degraded: %d/%d datasets ingested", ok, total)
+	return nil
 }
 
 // ensureIdentityIndexes creates the hash index behind every ontology

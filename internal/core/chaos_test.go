@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"iyp/internal/crawlers"
+	"iyp/internal/graph"
+	"iyp/internal/ingest"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+// chaosFetchTime pins provenance timestamps so faulted and reference builds
+// are byte-comparable.
+var chaosFetchTime = time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// chaosRules is the fault schedule of the chaos suite:
+//
+//   - tranco.top1m is deleted at the provider (permanent; retries must not
+//     even be attempted),
+//   - bgptools.tags is permanently flaky (every attempt fails; retries
+//     exhaust),
+//   - worldbank.country_pop truncates every body at the same offset, so
+//     mid-body resumption can never progress past it,
+//   - ihr.hegemony fails twice then recovers — the retry policy must cure
+//     it, and the dataset must NOT count as failed.
+func chaosRules() map[string]source.FaultRule {
+	return map[string]source.FaultRule{
+		source.PathTranco:       {NotFound: true},
+		source.PathBGPToolsTags: {ErrorRate: 1.0},
+		source.PathWorldBankPop: {TruncateRate: 1.0, TruncateAfter: 256},
+		source.PathIHRHegemony:  {FailFirst: 2},
+	}
+}
+
+// wantFailed is the exact dataset set chaosRules dooms.
+var wantFailed = map[string]bool{
+	"tranco.top1m":          true,
+	"bgptools.tags":         true,
+	"worldbank.country_pop": true,
+}
+
+func chaosBuild(t *testing.T, seed int64) (*BuildResult, *source.FaultFetcher) {
+	t.Helper()
+	var ff *source.FaultFetcher
+	res, err := Build(context.Background(), BuildOptions{
+		Config:    smallConfig(),
+		FetchTime: chaosFetchTime,
+		WrapFetcher: func(base source.Fetcher) source.Fetcher {
+			ff = &source.FaultFetcher{Base: base, Config: source.FaultConfig{
+				Seed:  seed,
+				Rules: chaosRules(),
+			}}
+			return &source.RetryFetcher{Base: ff, Attempts: 3, Backoff: time.Millisecond, Seed: seed}
+		},
+	})
+	if err != nil {
+		t.Fatalf("seed %d: faulted build failed entirely: %v", seed, err)
+	}
+	return res, ff
+}
+
+// TestChaosBuildDegradesToExactlyTheFailedDatasets is the central chaos
+// invariant: a build under fault injection must equal a clean build run
+// with only the surviving crawlers — the blast radius of a broken feed is
+// exactly that feed, nothing more.
+func TestChaosBuildDegradesToExactlyTheFailedDatasets(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	// CI sweeps extra seeds through the environment (see the chaos job in
+	// .github/workflows/ci.yml).
+	if s := os.Getenv("IYP_CHAOS_SEED"); s != "" {
+		extra, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad IYP_CHAOS_SEED %q: %v", s, err)
+		}
+		seeds = append(seeds, extra)
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			res, ff := chaosBuild(t, seed)
+
+			// Exactly the doomed datasets failed.
+			gotFailed := map[string]bool{}
+			for _, c := range res.Report.Failed() {
+				gotFailed[c.Dataset] = true
+			}
+			if len(gotFailed) != len(wantFailed) {
+				t.Fatalf("failed datasets = %v, want %v", gotFailed, wantFailed)
+			}
+			for name := range wantFailed {
+				if !gotFailed[name] {
+					t.Fatalf("dataset %s should have failed; failures: %v", name, gotFailed)
+				}
+			}
+			// The fail-twice-then-recover feed was cured by the retry
+			// policy — faults fired, but the dataset survived.
+			if gotFailed["ihr.hegemony"] {
+				t.Error("retry policy did not cure the fail-first feed")
+			}
+			if got := ff.InjectedFaults()[source.FaultFailFirst]; got != 2 {
+				t.Errorf("fail-first faults injected = %d, want 2", got)
+			}
+			// The build is flagged degraded.
+			if !res.Report.Degraded || res.Report.PolicyNote == "" {
+				t.Errorf("degraded build not flagged: degraded=%v note=%q",
+					res.Report.Degraded, res.Report.PolicyNote)
+			}
+
+			// Zero-trace: no relationship in the graph carries a failed
+			// dataset's provenance.
+			res.Graph.EachRel(func(id graph.RelID) bool {
+				ref, _ := res.Graph.RelProp(id, ontology.PropReferenceName).AsString()
+				if wantFailed[ref] {
+					t.Errorf("relationship %d carries provenance of failed dataset %s", id, ref)
+					return false
+				}
+				return true
+			})
+
+			// Reference: a clean build with only the surviving crawlers.
+			var survivors []ingest.Crawler
+			for _, c := range crawlers.All() {
+				if !gotFailed[c.Reference().Name] {
+					survivors = append(survivors, c)
+				}
+			}
+			ref, err := Build(context.Background(), BuildOptions{
+				Config:    smallConfig(),
+				FetchTime: chaosFetchTime,
+				Crawlers:  survivors,
+			})
+			if err != nil {
+				t.Fatalf("reference build failed: %v", err)
+			}
+			if n := len(ref.Report.Failed()); n != 0 {
+				t.Fatalf("reference build had %d failures", n)
+			}
+
+			// The faulted graph and the reference graph are the same graph.
+			got, want := res.Graph.Stats(), ref.Graph.Stats()
+			if got.Nodes != want.Nodes || got.Rels != want.Rels {
+				t.Errorf("graph size: faulted %d nodes/%d rels, reference %d nodes/%d rels",
+					got.Nodes, got.Rels, want.Nodes, want.Rels)
+			}
+			for label, n := range want.ByLabel {
+				if got.ByLabel[label] != n {
+					t.Errorf("label %s: faulted %d, reference %d", label, got.ByLabel[label], n)
+				}
+			}
+			for _, label := range res.Graph.Labels() {
+				if want.ByLabel[label] == 0 && got.ByLabel[label] != 0 {
+					t.Errorf("label %s: faulted build has %d extra nodes", label, got.ByLabel[label])
+				}
+			}
+			for ty, n := range want.ByRelType {
+				if got.ByRelType[ty] != n {
+					t.Errorf("reltype %s: faulted %d, reference %d", ty, got.ByRelType[ty], n)
+				}
+			}
+			for _, ty := range res.Graph.RelTypes() {
+				if want.ByRelType[ty] == 0 && got.ByRelType[ty] != 0 {
+					t.Errorf("reltype %s: faulted build has %d extra rels", ty, got.ByRelType[ty])
+				}
+			}
+
+			// Per-dataset links are deterministic: every surviving dataset
+			// imported the same number of relationships in both builds.
+			refLinks := map[string]int{}
+			for _, c := range ref.Report.Crawls {
+				refLinks[c.Dataset] = c.LinksCreated
+			}
+			for _, c := range res.Report.Crawls {
+				if c.Err != nil {
+					if c.LinksCreated != 0 || c.NodesCreated != 0 {
+						t.Errorf("failed dataset %s reports %d nodes/%d links, want 0/0",
+							c.Dataset, c.NodesCreated, c.LinksCreated)
+					}
+					continue
+				}
+				if c.LinksCreated != refLinks[c.Dataset] {
+					t.Errorf("dataset %s: faulted build imported %d links, reference %d",
+						c.Dataset, c.LinksCreated, refLinks[c.Dataset])
+				}
+			}
+		})
+	}
+}
+
+// TestChaosBuildUnderRandomTransientFaults stresses the retry layer: a
+// global low transient error rate plus latency jitter must be fully
+// absorbed — no dataset may fail, and the graph must match a fault-free
+// build exactly.
+func TestChaosBuildUnderRandomTransientFaults(t *testing.T) {
+	res, _ := func() (*BuildResult, *source.FaultFetcher) {
+		var ff *source.FaultFetcher
+		res, err := Build(context.Background(), BuildOptions{
+			Config:    smallConfig(),
+			FetchTime: chaosFetchTime,
+			WrapFetcher: func(base source.Fetcher) source.Fetcher {
+				ff = &source.FaultFetcher{Base: base, Config: source.FaultConfig{
+					Seed:    99,
+					Default: source.FaultRule{ErrorRate: 0.2, Latency: time.Microsecond},
+				}}
+				return &source.RetryFetcher{Base: ff, Attempts: 6, Backoff: time.Millisecond, Seed: 99}
+			},
+		})
+		if err != nil {
+			t.Fatalf("build under transient faults failed: %v", err)
+		}
+		return res, ff
+	}()
+	for _, c := range res.Report.Failed() {
+		t.Errorf("dataset %s failed despite retries: %v", c.Dataset, c.Err)
+	}
+	if res.Report.Degraded {
+		t.Error("fully-recovered build must not be flagged degraded")
+	}
+
+	clean, err := Build(context.Background(), BuildOptions{
+		Config:    smallConfig(),
+		FetchTime: chaosFetchTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := res.Graph.Stats(), clean.Graph.Stats()
+	if got.Nodes != want.Nodes || got.Rels != want.Rels {
+		t.Errorf("graph size: faulted %d/%d, clean %d/%d", got.Nodes, got.Rels, want.Nodes, want.Rels)
+	}
+}
+
+func TestChaosCriticalDatasetFailsBuild(t *testing.T) {
+	_, err := Build(context.Background(), BuildOptions{
+		Config:    smallConfig(),
+		FetchTime: chaosFetchTime,
+		WrapFetcher: func(base source.Fetcher) source.Fetcher {
+			return &source.FaultFetcher{Base: base, Config: source.FaultConfig{
+				Rules: map[string]source.FaultRule{source.PathTranco: {NotFound: true}},
+			}}
+		},
+		CriticalDatasets: []string{"tranco.top1m"},
+	})
+	if err == nil {
+		t.Fatal("losing a critical dataset must fail the build")
+	}
+	if got := err.Error(); !errors.Is(err, source.ErrNotFound) || !containsAll(got, "critical", "tranco.top1m") {
+		t.Errorf("error does not identify the critical dataset: %v", err)
+	}
+}
+
+func TestChaosMinSuccessRateFailsBuild(t *testing.T) {
+	_, err := Build(context.Background(), BuildOptions{
+		Config:    smallConfig(),
+		FetchTime: chaosFetchTime,
+		Crawlers:  []ingest.Crawler{crawlers.NewTranco(), crawlers.NewBGPKITPfx2as()},
+		WrapFetcher: func(base source.Fetcher) source.Fetcher {
+			return &source.FaultFetcher{Base: base, Config: source.FaultConfig{
+				Rules: map[string]source.FaultRule{source.PathTranco: {NotFound: true}},
+			}}
+		},
+		MinSuccessRate: 0.9, // 1/2 ingested = 50% < 90%
+	})
+	if err == nil {
+		t.Fatal("build below the success floor must fail")
+	}
+	if !containsAll(err.Error(), "1/2", "90") {
+		t.Errorf("error does not describe the floor violation: %v", err)
+	}
+}
+
+func containsAll(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if !strings.Contains(s, sub) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"iyp/internal/ingest"
+)
+
+func reportWith(datasets map[string]error) ingest.Report {
+	var rep ingest.Report
+	for name, err := range datasets {
+		rep.Crawls = append(rep.Crawls, ingest.CrawlReport{Dataset: name, Err: err})
+	}
+	return rep
+}
+
+func TestApplyBuildPolicyClean(t *testing.T) {
+	rep := reportWith(map[string]error{"a": nil, "b": nil, "c": nil})
+	if err := applyBuildPolicy(&rep, BuildOptions{MinSuccessRate: 1.0}); err != nil {
+		t.Fatalf("clean report must pass any floor: %v", err)
+	}
+	if rep.Degraded {
+		t.Error("clean report flagged degraded")
+	}
+	if !strings.Contains(rep.PolicyNote, "clean") || !strings.Contains(rep.PolicyNote, "3") {
+		t.Errorf("policy note = %q", rep.PolicyNote)
+	}
+}
+
+func TestApplyBuildPolicyBestEffortDegrades(t *testing.T) {
+	rep := reportWith(map[string]error{"a": nil, "b": errors.New("boom"), "c": nil})
+	if err := applyBuildPolicy(&rep, BuildOptions{}); err != nil {
+		t.Fatalf("best-effort policy must tolerate failures: %v", err)
+	}
+	if !rep.Degraded {
+		t.Error("lossy report not flagged degraded")
+	}
+	if !strings.Contains(rep.PolicyNote, "degraded: 2/3") {
+		t.Errorf("policy note = %q", rep.PolicyNote)
+	}
+	// The note reaches the rendered report.
+	if !strings.Contains(rep.String(), "policy: degraded: 2/3") {
+		t.Errorf("rendered report lacks the policy line:\n%s", rep.String())
+	}
+}
+
+func TestApplyBuildPolicyCriticalDataset(t *testing.T) {
+	cause := errors.New("boom")
+	rep := reportWith(map[string]error{"a": nil, "vital": cause})
+	err := applyBuildPolicy(&rep, BuildOptions{CriticalDatasets: []string{"vital"}})
+	if err == nil {
+		t.Fatal("critical dataset failure must fail the policy")
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("policy error does not wrap the crawl error: %v", err)
+	}
+	if !strings.Contains(rep.PolicyNote, "fail-fast") {
+		t.Errorf("policy note = %q", rep.PolicyNote)
+	}
+	// A critical dataset that succeeded does not trip the policy.
+	rep2 := reportWith(map[string]error{"vital": nil, "other": errors.New("boom")})
+	if err := applyBuildPolicy(&rep2, BuildOptions{CriticalDatasets: []string{"vital"}}); err != nil {
+		t.Errorf("non-critical failure tripped the critical policy: %v", err)
+	}
+}
+
+func TestApplyBuildPolicyMinSuccessRate(t *testing.T) {
+	// 3/4 = 75%.
+	mk := func() ingest.Report {
+		return reportWith(map[string]error{"a": nil, "b": nil, "c": nil, "d": errors.New("boom")})
+	}
+	rep := mk()
+	if err := applyBuildPolicy(&rep, BuildOptions{MinSuccessRate: 0.75}); err != nil {
+		t.Errorf("75%% success must satisfy a 75%% floor: %v", err)
+	}
+	rep = mk()
+	err := applyBuildPolicy(&rep, BuildOptions{MinSuccessRate: 0.80})
+	if err == nil {
+		t.Fatal("75% success must fail an 80% floor")
+	}
+	if !strings.Contains(err.Error(), "3/4") {
+		t.Errorf("floor error does not report the rate: %v", err)
+	}
+}

@@ -278,6 +278,9 @@ func TestCrawlerToleratesMalformedRows(t *testing.T) {
 	if err := NewTranco().Run(context.Background(), s); err != nil {
 		t.Fatalf("tolerant crawler errored: %v", err)
 	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
 	if got := g.CountByLabel(ontology.DomainName); got != 2 {
 		t.Errorf("domains = %d, want 2", got)
 	}

@@ -23,6 +23,9 @@ func runOn(t *testing.T, c ingest.Crawler, files map[string]string) *graph.Graph
 	if err := c.Run(context.Background(), s); err != nil {
 		t.Fatalf("%s: %v", c.Reference().Name, err)
 	}
+	if err := s.Commit(); err != nil {
+		t.Fatalf("%s: commit: %v", c.Reference().Name, err)
+	}
 	return g
 }
 

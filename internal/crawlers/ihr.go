@@ -41,7 +41,7 @@ func (c *IHRHegemony) Run(ctx context.Context, s *ingest.Session) error {
 		}
 		if origin == 0 {
 			// Global hegemony: a property of the AS itself.
-			return s.G.SetNodeProp(as, "hegemony", graph.Float(hege))
+			return s.SetNodeProp(as, "hegemony", graph.Float(hege))
 		}
 		org, err := s.Node(ontology.AS, uint32(origin))
 		if err != nil {

@@ -311,7 +311,7 @@ func (c *SimulaMetRDNS) Run(ctx context.Context, s *ingest.Session) error {
 			if err != nil {
 				continue
 			}
-			if err := s.G.AddLabel(ns, ontology.AuthoritativeNameServer); err != nil {
+			if err := s.AddLabel(ns, ontology.AuthoritativeNameServer); err != nil {
 				return err
 			}
 			if err := s.Link(ontology.ManagedBy, pfx, ns, nil); err != nil {

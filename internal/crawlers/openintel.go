@@ -106,7 +106,7 @@ func (c *OpenINTELNS) Run(ctx context.Context, s *ingest.Session) error {
 			if err != nil {
 				return nil
 			}
-			if err := s.G.AddLabel(ns, ontology.AuthoritativeNameServer); err != nil {
+			if err := s.AddLabel(ns, ontology.AuthoritativeNameServer); err != nil {
 				return err
 			}
 			return s.Link(ontology.ManagedBy, dom, ns, nil)

@@ -1,0 +1,137 @@
+package graph
+
+import "testing"
+
+func TestBatchStagesWithoutTouchingGraph(t *testing.T) {
+	g := New()
+	b := NewBatch()
+	a := b.MergeNode("AS", "asn", Int(1), nil, nil)
+	p := b.MergeNode("Prefix", "prefix", String("10.0.0.0/8"), nil, nil)
+	if err := b.AddRel("ORIGINATE", a, p, Props{"count": Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 0 || g.NumRels() != 0 {
+		t.Fatal("staging must not touch the graph")
+	}
+	nodes, rels := b.Staged()
+	if nodes != 2 || rels != 1 {
+		t.Errorf("staged = %d nodes, %d rels", nodes, rels)
+	}
+
+	res, err := g.ApplyBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesCreated != 2 || res.RelsCreated != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if g.NumNodes() != 2 || g.NumRels() != 1 {
+		t.Errorf("graph = %d nodes, %d rels", g.NumNodes(), g.NumRels())
+	}
+}
+
+func TestBatchMergesIntoExistingNodes(t *testing.T) {
+	g := New()
+	existing, _ := g.MergeNode("AS", "asn", Int(64500), nil, Props{"name": String("KEEP")})
+
+	b := NewBatch()
+	h := b.MergeNode("AS", "asn", Int(64500), []string{"Anycast"}, Props{"name": String("LOSE"), "rank": Int(7)})
+	res, err := g.ApplyBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodesCreated != 0 {
+		t.Errorf("existing node counted as created: %+v", res)
+	}
+	_ = h
+	if g.NumNodes() != 1 {
+		t.Errorf("nodes = %d, want 1 (identity merge)", g.NumNodes())
+	}
+	if v, _ := g.NodeProp(existing, "name").AsString(); v != "KEEP" {
+		t.Errorf("existing prop overwritten: %q", v)
+	}
+	if v, _ := g.NodeProp(existing, "rank").AsInt(); v != 7 {
+		t.Errorf("new prop not merged: %v", v)
+	}
+	if !g.NodeHasLabel(existing, "Anycast") {
+		t.Error("extra label not applied")
+	}
+}
+
+func TestBatchOrderedOps(t *testing.T) {
+	g := New()
+	b := NewBatch()
+	n := b.MergeNode("AS", "asn", Int(1), nil, nil)
+	if err := b.SetNodeProp(n, "hegemony", Float(0.25)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SetNodeProp(n, "hegemony", Float(0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddLabel(n, "Transit"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	id := g.NodesByProp("AS", "asn", Int(1))[0]
+	if v, _ := g.NodeProp(id, "hegemony").AsFloat(); v != 0.5 {
+		t.Errorf("last SetNodeProp must win, got %v", v)
+	}
+	if !g.NodeHasLabel(id, "Transit") {
+		t.Error("AddLabel not applied")
+	}
+	// SetNodeProp must keep property indexes consistent.
+	g.EnsureIndex("AS", "hegemony")
+	if got := g.NodesByProp("AS", "hegemony", Float(0.5)); len(got) != 1 {
+		t.Errorf("indexed lookup after batch = %d nodes", len(got))
+	}
+}
+
+func TestBatchMergePropsFirstStagedWins(t *testing.T) {
+	g := New()
+	b := NewBatch()
+	n := b.MergeNode("AtlasProbe", "id", Int(9), nil, Props{"status": String("Connected")})
+	if err := b.MergeProps(n, Props{"status": String("Abandoned"), "af": Int(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ApplyBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	id := g.NodesByProp("AtlasProbe", "id", Int(9))[0]
+	if v, _ := g.NodeProp(id, "status").AsString(); v != "Connected" {
+		t.Errorf("status = %q, want first staged value", v)
+	}
+	if v, _ := g.NodeProp(id, "af").AsInt(); v != 4 {
+		t.Errorf("af = %v", v)
+	}
+}
+
+func TestBatchRejectsInvalidHandles(t *testing.T) {
+	b := NewBatch()
+	n := b.MergeNode("AS", "asn", Int(1), nil, nil)
+	if err := b.AddRel("PEERS_WITH", n, n+1, nil); err == nil {
+		t.Error("out-of-range handle must be rejected at staging time")
+	}
+	if err := b.SetNodeProp(0, "x", Int(1)); err == nil {
+		t.Error("zero handle must be rejected")
+	}
+	if err := b.AddLabel(99, "X"); err == nil {
+		t.Error("unknown handle must be rejected")
+	}
+}
+
+func TestBatchDiscardLeavesGraphUntouched(t *testing.T) {
+	g := New()
+	before := g.Stats()
+	b := NewBatch()
+	a := b.MergeNode("AS", "asn", Int(1), nil, nil)
+	c := b.MergeNode("Country", "country_code", String("JP"), nil, nil)
+	_ = b.AddRel("COUNTRY", a, c, nil)
+	// Dropping b without ApplyBatch is the discard path.
+	b = nil
+	after := g.Stats()
+	if before.Nodes != after.Nodes || before.Rels != after.Rels {
+		t.Error("discarded batch mutated the graph")
+	}
+}

@@ -242,13 +242,17 @@ func (g *Graph) AddLabel(id NodeID, label string) error {
 	if n == nil {
 		return fmt.Errorf("graph: no node %d", id)
 	}
+	g.addLabelLocked(n, label)
+	return nil
+}
+
+func (g *Graph) addLabelLocked(n *Node, label string) {
 	lid := g.internLabel(label)
 	before := len(n.labels)
 	n.labels = insertLabel(n.labels, lid)
 	if len(n.labels) != before {
 		g.indexNodeLabelLocked(n, lid)
 	}
-	return nil
 }
 
 // NodeLabels returns the node's labels, sorted by name.
@@ -292,6 +296,11 @@ func (g *Graph) SetNodeProp(id NodeID, key string, v Value) error {
 	if n == nil {
 		return fmt.Errorf("graph: no node %d", id)
 	}
+	g.setNodePropLocked(n, id, key, v)
+	return nil
+}
+
+func (g *Graph) setNodePropLocked(n *Node, id NodeID, key string, v Value) {
 	if old, ok := n.props[key]; ok {
 		for _, lid := range n.labels {
 			g.propIndexRemoveLocked(lid, key, old, id)
@@ -299,13 +308,12 @@ func (g *Graph) SetNodeProp(id NodeID, key string, v Value) error {
 	}
 	if v.IsNull() {
 		delete(n.props, key)
-		return nil
+		return
 	}
 	n.props[key] = v
 	for _, lid := range n.labels {
 		g.propIndexAddLocked(lid, key, v, id)
 	}
-	return nil
 }
 
 // NodeProp returns a node property (Null when absent or node missing).
@@ -697,6 +705,10 @@ func (g *Graph) NodesByProp(label, key string, v Value) []NodeID {
 func (g *Graph) MergeNode(label, key string, v Value, extraLabels []string, props Props) (NodeID, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.mergeNodeLocked(label, key, v, extraLabels, props)
+}
+
+func (g *Graph) mergeNodeLocked(label, key string, v Value, extraLabels []string, props Props) (NodeID, bool) {
 	// Identity lookups always deserve an index.
 	idx := g.ensureIndexLocked(label, key)
 	if set := idx[v.key()]; len(set) > 0 {

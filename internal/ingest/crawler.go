@@ -30,16 +30,34 @@ type Crawler interface {
 // canonical identifier forms, deduplicates nodes, annotates every
 // relationship with the dataset's provenance, and counts writes.
 //
-// A Session is used by a single crawler goroutine; the underlying graph
-// handles cross-crawler synchronization.
+// A Session is a staging write-buffer: node upserts and links are recorded
+// against the session and applied to the graph in one atomic Commit, which
+// the pipeline issues only when the crawler's Run returned nil. A crawler
+// that errors, panics, or times out therefore contributes zero nodes, zero
+// links, and zero provenance to the shared graph — the paper's "a broken
+// feed costs one dataset, not the snapshot" promise extended to writes.
+//
+// Node IDs handed out by a session are staging handles, valid only for
+// calls back into the same session; they resolve to graph nodes at commit.
+//
+// A Session is used by a single crawler goroutine; commits from parallel
+// sessions are serialized by the graph.
 type Session struct {
-	G       *graph.Graph
 	Fetcher source.Fetcher
+	// MaxFetchBytes caps one Fetch payload (0 = source default). Oversized
+	// payloads fail the fetch with source.ErrPayloadTooLarge instead of
+	// ballooning the build.
+	MaxFetchBytes int64
 
+	g     *graph.Graph
 	ref   ontology.Reference
+	batch *graph.Batch
 	cache map[cacheKey]graph.NodeID
 
-	// Write counters for the pipeline report.
+	// Write counters for the pipeline report. Before Commit these count
+	// staged writes; after Commit, the writes actually applied.
+	committed    bool
+	resolved     []graph.NodeID
 	nodesCreated int
 	linksCreated int
 }
@@ -52,15 +70,50 @@ type cacheKey struct {
 // NewSession builds a session for one crawler run. Most callers go through
 // Pipeline.Run; tests use this directly.
 func NewSession(g *graph.Graph, f source.Fetcher, ref ontology.Reference) *Session {
-	return &Session{G: g, Fetcher: f, ref: ref, cache: map[cacheKey]graph.NodeID{}}
+	return &Session{g: g, Fetcher: f, ref: ref, batch: graph.NewBatch(), cache: map[cacheKey]graph.NodeID{}}
 }
 
 // Reference returns the provenance attached to this session's writes.
 func (s *Session) Reference() ontology.Reference { return s.ref }
 
+// Graph returns the target graph. Staged writes are invisible here until
+// Commit.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
 // Fetch retrieves a dataset payload through the session's fetcher.
 func (s *Session) Fetch(ctx context.Context, path string) ([]byte, error) {
-	return source.ReadAll(ctx, s.Fetcher, path)
+	return source.ReadAllLimit(ctx, s.Fetcher, path, s.MaxFetchBytes)
+}
+
+// Commit atomically applies every staged write to the graph and records the
+// applied write counts. It is idempotent; the pipeline calls it once after
+// a successful crawler run. Sessions that are never committed leave the
+// graph untouched.
+func (s *Session) Commit() error {
+	if s.committed {
+		return nil
+	}
+	res, err := s.g.ApplyBatch(s.batch)
+	if err != nil {
+		return fmt.Errorf("ingest: %s: commit: %w", s.ref.Name, err)
+	}
+	s.committed = true
+	s.resolved = res.IDs
+	s.nodesCreated = res.NodesCreated
+	s.linksCreated = res.RelsCreated
+	return nil
+}
+
+// Committed reports whether the session's writes have been applied.
+func (s *Session) Committed() bool { return s.committed }
+
+// Resolve translates a staging handle returned by Node into the graph node
+// it committed to (0 before Commit or for unknown handles).
+func (s *Session) Resolve(id graph.NodeID) graph.NodeID {
+	if !s.committed || id == 0 || int(id) > len(s.resolved) {
+		return 0
+	}
+	return s.resolved[id-1]
 }
 
 // Node upserts the node of the given entity with identity value id,
@@ -80,10 +133,8 @@ func (s *Session) Node(entity string, id any) (graph.NodeID, error) {
 	if nid, ok := s.cache[ck]; ok {
 		return nid, nil
 	}
-	nid, created := s.G.MergeNode(entity, key, v, nil, nil)
-	if created {
-		s.nodesCreated++
-	}
+	nid := s.batch.MergeNode(entity, key, v, nil, nil)
+	s.nodesCreated++
 	s.cache[ck] = nid
 	return nid, nil
 }
@@ -95,14 +146,29 @@ func (s *Session) NodeWithProps(entity string, id any, props graph.Props) (graph
 	if err != nil {
 		return 0, err
 	}
-	for k, v := range props {
-		if s.G.NodeProp(nid, k).IsNull() {
-			if err := s.G.SetNodeProp(nid, k, v); err != nil {
-				return 0, err
-			}
-		}
+	if err := s.batch.MergeProps(nid, props); err != nil {
+		return 0, fmt.Errorf("ingest: %s: %w", s.ref.Name, err)
 	}
 	return nid, nil
+}
+
+// SetNodeProp stages an unconditional property write on a session node
+// (crawlers that publish per-node metrics, e.g. hegemony scores, overwrite
+// rather than merge).
+func (s *Session) SetNodeProp(id graph.NodeID, key string, v graph.Value) error {
+	if err := s.batch.SetNodeProp(id, key, v); err != nil {
+		return fmt.Errorf("ingest: %s: %w", s.ref.Name, err)
+	}
+	return nil
+}
+
+// AddLabel stages an extra label on a session node (e.g. marking a
+// HostName as AuthoritativeNameServer).
+func (s *Session) AddLabel(id graph.NodeID, label string) error {
+	if err := s.batch.AddLabel(id, label); err != nil {
+		return fmt.Errorf("ingest: %s: %w", s.ref.Name, err)
+	}
+	return nil
 }
 
 // canonicalValue normalizes an identity value for the entity.
@@ -178,19 +244,21 @@ func asString(id any) (string, bool) {
 	return "", false
 }
 
-// Link creates a relationship annotated with the session's provenance
+// Link stages a relationship annotated with the session's provenance
 // reference. Extra props are merged in (reference properties win on
 // collision, guaranteeing provenance integrity).
 func (s *Session) Link(typ string, from, to graph.NodeID, props graph.Props) error {
 	all := s.ref.Annotate(props.Clone())
-	if _, err := s.G.AddRel(typ, from, to, all); err != nil {
+	if err := s.batch.AddRel(typ, from, to, all); err != nil {
 		return fmt.Errorf("ingest: %s: %w", s.ref.Name, err)
 	}
 	s.linksCreated++
 	return nil
 }
 
-// Counts returns the session's write counters.
+// Counts returns the session's write counters: staged writes before Commit,
+// applied writes after (upserts that merged into pre-existing nodes no
+// longer count as created).
 func (s *Session) Counts() (nodes, links int) { return s.nodesCreated, s.linksCreated }
 
 // --- base crawler ---

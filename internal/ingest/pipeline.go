@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,10 +13,16 @@ import (
 	"iyp/internal/source"
 )
 
+// ErrCrawlTimeout marks a crawler that exceeded the pipeline's per-crawler
+// deadline. Its staged writes were discarded.
+var ErrCrawlTimeout = errors.New("ingest: crawler timed out")
+
 // Pipeline runs a set of crawlers against one graph, in parallel, with
-// per-crawler error isolation: a failing dataset never aborts the build
-// (the real IYP pipeline behaves the same way — a stale or broken feed
-// costs one dataset, not the snapshot).
+// per-crawler fault isolation: a failing, panicking, or hung dataset never
+// aborts the build (the real IYP pipeline behaves the same way — a stale or
+// broken feed costs one dataset, not the snapshot), and because every
+// crawler stages its writes in its session and commits only on success, a
+// failed dataset also never leaves partial nodes or links behind.
 type Pipeline struct {
 	Graph   *graph.Graph
 	Fetcher source.Fetcher
@@ -24,13 +31,20 @@ type Pipeline struct {
 	Crawlers []Crawler
 	// Concurrency bounds parallel crawler execution (0 = 4).
 	Concurrency int
+	// Timeout bounds one crawler's run (0 = none). A crawler that
+	// overruns is abandoned and reported failed with ErrCrawlTimeout;
+	// its staged writes are discarded and the rest of the build proceeds.
+	Timeout time.Duration
+	// MaxFetchBytes caps a single dataset payload (0 = source default).
+	MaxFetchBytes int64
 	// FetchTime is stamped on all provenance (zero = now).
 	FetchTime time.Time
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
 
-// CrawlReport describes one crawler's outcome.
+// CrawlReport describes one crawler's outcome. For failed crawlers the
+// write counts are zero by construction: nothing was committed.
 type CrawlReport struct {
 	Dataset      string
 	Organization string
@@ -44,6 +58,12 @@ type CrawlReport struct {
 type Report struct {
 	Crawls []CrawlReport
 	Total  time.Duration
+	// Degraded is set when the snapshot was built without every dataset
+	// (some crawls failed but the build-policy allowed proceeding).
+	Degraded bool
+	// PolicyNote records the degraded-build decision for operators, e.g.
+	// "degraded: 45/47 datasets ingested".
+	PolicyNote string
 }
 
 // Failed returns the subset of crawls that errored.
@@ -69,12 +89,17 @@ func (r Report) String() string {
 		fmt.Fprintf(&sb, "%-32s %-22s %s\n", c.Dataset, c.Organization, status)
 	}
 	fmt.Fprintf(&sb, "total: %s\n", r.Total.Round(time.Millisecond))
+	if r.PolicyNote != "" {
+		fmt.Fprintf(&sb, "policy: %s\n", r.PolicyNote)
+	}
 	return sb.String()
 }
 
 // Run executes all crawlers and returns the report. The only error
 // returned is a context cancellation; dataset-level failures are recorded
-// in the report.
+// in the report. Every launched crawler is always awaited (or abandoned at
+// its deadline) before Run returns — an aborted build never leaves
+// goroutines racing on the report or the graph.
 func (p *Pipeline) Run(ctx context.Context) (Report, error) {
 	start := time.Now()
 	conc := p.Concurrency
@@ -97,8 +122,8 @@ func (p *Pipeline) Run(ctx context.Context) (Report, error) {
 		reports []CrawlReport
 	)
 	for _, c := range p.Crawlers {
-		if err := ctx.Err(); err != nil {
-			return Report{}, err
+		if ctx.Err() != nil {
+			break
 		}
 		wg.Add(1)
 		go func(c Crawler) {
@@ -106,32 +131,79 @@ func (p *Pipeline) Run(ctx context.Context) (Report, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 
-			ref := c.Reference()
-			ref.FetchTime = fetchTime
-			s := NewSession(p.Graph, p.Fetcher, ref)
-			t0 := time.Now()
-			err := runIsolated(ctx, c, s)
-			nodes, links := s.Counts()
+			rep := p.runOne(ctx, c, fetchTime)
 			mu.Lock()
-			reports = append(reports, CrawlReport{
-				Dataset:      ref.Name,
-				Organization: ref.Organization,
-				Duration:     time.Since(t0),
-				NodesCreated: nodes,
-				LinksCreated: links,
-				Err:          err,
-			})
+			reports = append(reports, rep)
 			mu.Unlock()
-			if err != nil {
-				logf("crawler %s failed: %v", ref.Name, err)
+			if rep.Err != nil {
+				logf("crawler %s failed: %v", rep.Dataset, rep.Err)
 			} else {
-				logf("crawler %s done: %d nodes, %d links in %s", ref.Name, nodes, links, time.Since(t0).Round(time.Millisecond))
+				logf("crawler %s done: %d nodes, %d links in %s", rep.Dataset, rep.NodesCreated, rep.LinksCreated, rep.Duration.Round(time.Millisecond))
 			}
 		}(c)
 	}
 	wg.Wait()
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Dataset < reports[j].Dataset })
 	return Report{Crawls: reports, Total: time.Since(start)}, ctx.Err()
+}
+
+// runOne supervises a single crawler: it runs it with the per-crawler
+// deadline, commits the session's staged writes only on clean success, and
+// otherwise discards them. A crawler that ignores its context past the
+// deadline is abandoned — safe, because an uncommitted session only ever
+// writes to its private staging buffer.
+func (p *Pipeline) runOne(ctx context.Context, c Crawler, fetchTime time.Time) CrawlReport {
+	ref := c.Reference()
+	ref.FetchTime = fetchTime
+	s := NewSession(p.Graph, p.Fetcher, ref)
+	s.MaxFetchBytes = p.MaxFetchBytes
+
+	cctx := ctx
+	if p.Timeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, p.Timeout)
+		defer cancel()
+	}
+
+	t0 := time.Now()
+	done := make(chan error, 1)
+	go func() { done <- runIsolated(cctx, c, s) }()
+
+	var err error
+	select {
+	case err = <-done:
+		if err == nil {
+			err = s.Commit()
+		}
+	case <-cctx.Done():
+		// The crawler is still running; abandon it without touching the
+		// session again (it keeps writing to its own staging buffer, which
+		// is never committed).
+		if p.Timeout > 0 && errors.Is(cctx.Err(), context.DeadlineExceeded) && ctx.Err() == nil {
+			err = fmt.Errorf("%w after %s (staged writes discarded)", ErrCrawlTimeout, p.Timeout)
+		} else {
+			err = cctx.Err()
+		}
+		return CrawlReport{
+			Dataset:      ref.Name,
+			Organization: ref.Organization,
+			Duration:     time.Since(t0),
+			Err:          err,
+		}
+	}
+
+	var nodes, links int
+	if err == nil {
+		nodes, links = s.Counts()
+	}
+	return CrawlReport{
+		Dataset:      ref.Name,
+		Organization: ref.Organization,
+		Duration:     time.Since(t0),
+		NodesCreated: nodes,
+		LinksCreated: links,
+		Err:          err,
+	}
 }
 
 // runIsolated converts crawler panics into errors so one malformed dataset

@@ -1,0 +1,57 @@
+package source
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// ErrNotFound marks a dataset that does not exist at the provider (missing
+// catalog path, HTTP 404). Retrying cannot cure it.
+var ErrNotFound = errors.New("not found")
+
+// ErrPayloadTooLarge marks a dataset payload that exceeded the fetch byte
+// cap (see ReadAllLimit). Retrying cannot cure it either: the feed itself
+// is malformed or hostile.
+var ErrPayloadTooLarge = errors.New("payload too large")
+
+// StatusError is a non-200 HTTP response from a provider.
+type StatusError struct {
+	URL        string
+	StatusCode int
+	Status     string
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("source: fetch %s: unexpected status %s", e.URL, e.Status)
+}
+
+// Is lets errors.Is(err, ErrNotFound) match HTTP 404/410 responses.
+func (e *StatusError) Is(target error) bool {
+	return target == ErrNotFound &&
+		(e.StatusCode == http.StatusNotFound || e.StatusCode == http.StatusGone)
+}
+
+// Permanent classifies a fetch error: true means retrying is pointless (the
+// dataset is gone, forbidden, or oversized), false means the failure looks
+// transient (network hiccups, 5xx, rate limits) and a retry may succeed.
+// RetryFetcher fails fast on permanent errors instead of burning its
+// backoff budget on them.
+func Permanent(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrNotFound) || errors.Is(err, ErrPayloadTooLarge) {
+		return true
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		switch se.StatusCode {
+		case http.StatusRequestTimeout, http.StatusTooEarly, http.StatusTooManyRequests:
+			return false // retryable 4xx
+		}
+		return se.StatusCode >= 400 && se.StatusCode < 500
+	}
+	return false
+}

@@ -1,0 +1,197 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sync"
+	"time"
+)
+
+// Fault kinds injected by FaultFetcher, also the keys of InjectedFaults.
+const (
+	FaultTransient = "transient"  // fetch fails with a retryable error
+	FaultNotFound  = "not-found"  // fetch fails permanently (ErrNotFound)
+	FaultTruncate  = "truncate"   // body dies mid-read after some bytes
+	FaultFailFirst = "fail-first" // deterministic fail-N-then-succeed
+)
+
+// FaultError is an injected failure. Transient kinds classify as retryable;
+// the not-found kind matches ErrNotFound and is permanent.
+type FaultError struct {
+	Path string
+	Kind string
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("source: injected %s fault on %s", e.Kind, e.Path)
+}
+
+// Unwrap makes injected not-found faults classify as permanent.
+func (e *FaultError) Unwrap() error {
+	if e.Kind == FaultNotFound {
+		return ErrNotFound
+	}
+	return nil
+}
+
+// FaultRule shapes the faults injected for a path (or, as
+// FaultConfig.Default, for every path without a specific rule).
+type FaultRule struct {
+	// ErrorRate is the probability in [0,1] that one fetch attempt fails
+	// with a transient error. 1.0 makes the path permanently flaky —
+	// every retry fails too.
+	ErrorRate float64
+	// NotFound fails every fetch permanently, as if the provider deleted
+	// the dataset.
+	NotFound bool
+	// FailFirst fails the first N fetch attempts of the path with a
+	// transient error, then lets them through — the classic flaky feed a
+	// retry policy must cure.
+	FailFirst int
+	// TruncateRate is the probability in [0,1] that a successful fetch's
+	// body dies mid-read (after TruncateAfter bytes) with a transient
+	// error, exercising mid-body retry paths.
+	TruncateRate float64
+	// TruncateAfter is how many bytes a truncated body delivers before
+	// failing (0 = 1024).
+	TruncateAfter int64
+	// Latency is added to every fetch of the path before any other fault
+	// fires (simulates slow feeds; respects context cancellation).
+	Latency time.Duration
+}
+
+// FaultConfig configures a FaultFetcher. All randomness derives from Seed,
+// the path, and the path's attempt counter — so a given (seed, path,
+// attempt) always rolls the same faults, independent of goroutine
+// interleaving across paths. Chaos tests replay identical fault schedules
+// from identical seeds.
+type FaultConfig struct {
+	Seed    int64
+	Default FaultRule
+	// Rules overrides Default per dataset path (leading "/" ignored).
+	Rules map[string]FaultRule
+}
+
+// FaultFetcher wraps any Fetcher with seeded, deterministic fault
+// injection: transient errors, permanent not-founds, added latency,
+// truncated bodies, and fail-N-times-then-succeed schedules, globally or
+// per path. It is the chaos half of the ingestion robustness suite — builds
+// run under a FaultFetcher must degrade to exactly "clean build minus the
+// failed datasets".
+type FaultFetcher struct {
+	Base   Fetcher
+	Config FaultConfig
+
+	mu       sync.Mutex
+	attempts map[string]int
+	injected map[string]int
+}
+
+func (f *FaultFetcher) rule(path string) FaultRule {
+	if r, ok := f.Config.Rules[normalize(path)]; ok {
+		return r
+	}
+	return f.Config.Default
+}
+
+// roll derives a deterministic uniform float in [0,1) for one decision.
+func (f *FaultFetcher) roll(path string, attempt int, tag string) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%s", f.Config.Seed, normalize(path), attempt, tag)
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
+
+func (f *FaultFetcher) record(kind string) {
+	if f.injected == nil {
+		f.injected = map[string]int{}
+	}
+	f.injected[kind]++
+}
+
+// InjectedFaults returns how many faults of each kind have fired so far.
+func (f *FaultFetcher) InjectedFaults() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.injected))
+	for k, v := range f.injected {
+		out[k] = v
+	}
+	return out
+}
+
+// Fetch implements Fetcher with fault injection.
+func (f *FaultFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
+	r := f.rule(path)
+
+	f.mu.Lock()
+	if f.attempts == nil {
+		f.attempts = map[string]int{}
+	}
+	attempt := f.attempts[normalize(path)]
+	f.attempts[normalize(path)]++
+	f.mu.Unlock()
+
+	if r.Latency > 0 {
+		if err := sleepCtx(ctx, r.Latency); err != nil {
+			return nil, err
+		}
+	}
+	fail := func(kind string) (io.ReadCloser, error) {
+		f.mu.Lock()
+		f.record(kind)
+		f.mu.Unlock()
+		return nil, &FaultError{Path: normalize(path), Kind: kind}
+	}
+	if r.NotFound {
+		return fail(FaultNotFound)
+	}
+	if attempt < r.FailFirst {
+		return fail(FaultFailFirst)
+	}
+	if r.ErrorRate > 0 && f.roll(path, attempt, "err") < r.ErrorRate {
+		return fail(FaultTransient)
+	}
+
+	rc, err := f.Base.Fetch(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if r.TruncateRate > 0 && f.roll(path, attempt, "trunc") < r.TruncateRate {
+		f.mu.Lock()
+		f.record(FaultTruncate)
+		f.mu.Unlock()
+		after := r.TruncateAfter
+		if after <= 0 {
+			after = 1024
+		}
+		return &truncReader{rc: rc, left: after, err: &FaultError{Path: normalize(path), Kind: FaultTruncate}}, nil
+	}
+	return rc, nil
+}
+
+// truncReader delivers up to left bytes then fails every subsequent read.
+type truncReader struct {
+	rc   io.ReadCloser
+	left int64
+	err  error
+}
+
+func (t *truncReader) Read(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, t.err
+	}
+	if int64(len(p)) > t.left {
+		p = p[:t.left]
+	}
+	n, err := t.rc.Read(p)
+	t.left -= int64(n)
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func (t *truncReader) Close() error { return t.rc.Close() }

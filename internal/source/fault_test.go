@@ -1,0 +1,203 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func faultCatalog() *Catalog {
+	c := NewCatalog()
+	c.Put("a", []byte("payload-a"))
+	c.Put("b", []byte("payload-b"))
+	c.Put("c", []byte("payload-c-is-quite-a-bit-longer-than-the-others"))
+	return c
+}
+
+func TestFaultFetcherDeterministicAcrossRuns(t *testing.T) {
+	// Same seed, same access sequence → identical outcomes, byte for byte.
+	run := func() []string {
+		ff := &FaultFetcher{Base: faultCatalog(), Config: FaultConfig{
+			Seed:    42,
+			Default: FaultRule{ErrorRate: 0.5},
+		}}
+		var out []string
+		for i := 0; i < 20; i++ {
+			for _, p := range []string{"a", "b", "c"} {
+				data, err := ReadAll(context.Background(), ff, p)
+				if err != nil {
+					out = append(out, fmt.Sprintf("%s:err:%v", p, err))
+				} else {
+					out = append(out, fmt.Sprintf("%s:ok:%d", p, len(data)))
+				}
+			}
+		}
+		return out
+	}
+	r1, r2 := run(), run()
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("outcome %d differs between identical seeds: %q vs %q", i, r1[i], r2[i])
+		}
+	}
+	// A 0.5 error rate over 60 fetches must produce both outcomes.
+	errs, oks := 0, 0
+	for _, o := range r1 {
+		if len(o) > 2 && o[2:5] == "err" {
+			errs++
+		} else {
+			oks++
+		}
+	}
+	if errs == 0 || oks == 0 {
+		t.Errorf("0.5 error rate produced %d errors / %d successes over 60 fetches", errs, oks)
+	}
+}
+
+func TestFaultFetcherSeedChangesSchedule(t *testing.T) {
+	run := func(seed int64) string {
+		ff := &FaultFetcher{Base: faultCatalog(), Config: FaultConfig{
+			Seed:    seed,
+			Default: FaultRule{ErrorRate: 0.5},
+		}}
+		s := ""
+		for i := 0; i < 30; i++ {
+			if _, err := ReadAll(context.Background(), ff, "a"); err != nil {
+				s += "x"
+			} else {
+				s += "."
+			}
+		}
+		return s
+	}
+	if run(1) == run(2) {
+		t.Error("different seeds produced identical fault schedules")
+	}
+}
+
+func TestFaultFetcherFailFirst(t *testing.T) {
+	ff := &FaultFetcher{Base: faultCatalog(), Config: FaultConfig{
+		Rules: map[string]FaultRule{"a": {FailFirst: 2}},
+	}}
+	for i := 0; i < 2; i++ {
+		_, err := ReadAll(context.Background(), ff, "a")
+		if err == nil {
+			t.Fatalf("attempt %d should fail", i)
+		}
+		var fe *FaultError
+		if !errors.As(err, &fe) || fe.Kind != FaultFailFirst {
+			t.Fatalf("attempt %d error = %v, want fail-first FaultError", i, err)
+		}
+		if Permanent(err) {
+			t.Errorf("fail-first fault must classify as transient: %v", err)
+		}
+	}
+	data, err := ReadAll(context.Background(), ff, "a")
+	if err != nil {
+		t.Fatalf("attempt 3 should succeed: %v", err)
+	}
+	if string(data) != "payload-a" {
+		t.Errorf("payload = %q", data)
+	}
+	// Other paths are unaffected.
+	if _, err := ReadAll(context.Background(), ff, "b"); err != nil {
+		t.Errorf("unruled path failed: %v", err)
+	}
+	if got := ff.InjectedFaults()[FaultFailFirst]; got != 2 {
+		t.Errorf("injected fail-first faults = %d, want 2", got)
+	}
+}
+
+func TestFaultFetcherFailFirstCuredByRetry(t *testing.T) {
+	// The canonical flaky feed: fails twice, then works — a RetryFetcher
+	// with three attempts must cure it transparently.
+	ff := &FaultFetcher{Base: faultCatalog(), Config: FaultConfig{
+		Rules: map[string]FaultRule{"a": {FailFirst: 2}},
+	}}
+	rf := &RetryFetcher{Base: ff, Attempts: 3, Backoff: time.Millisecond, Seed: 7}
+	data, err := ReadAll(context.Background(), rf, "a")
+	if err != nil {
+		t.Fatalf("retry did not cure the flaky feed: %v", err)
+	}
+	if string(data) != "payload-a" {
+		t.Errorf("payload = %q", data)
+	}
+}
+
+func TestFaultFetcherNotFoundIsPermanent(t *testing.T) {
+	ff := &FaultFetcher{Base: faultCatalog(), Config: FaultConfig{
+		Rules: map[string]FaultRule{"a": {NotFound: true}},
+	}}
+	_, err := ReadAll(context.Background(), ff, "a")
+	if err == nil {
+		t.Fatal("not-found fault should fail")
+	}
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("not-found fault does not match ErrNotFound: %v", err)
+	}
+	if !Permanent(err) {
+		t.Errorf("not-found fault must classify as permanent: %v", err)
+	}
+	// Wrapped in a RetryFetcher it fails fast: one attempt only.
+	cf := &countingFetcher{base: ff}
+	rf := &RetryFetcher{Base: cf, Attempts: 5, Backoff: time.Millisecond}
+	if _, err := rf.Fetch(context.Background(), "a"); err == nil {
+		t.Fatal("retrying a deleted dataset should still fail")
+	}
+	if cf.calls["a"] != 1 {
+		t.Errorf("deleted dataset fetched %d times, want 1 (fail fast)", cf.calls["a"])
+	}
+}
+
+func TestFaultFetcherTruncatesBodies(t *testing.T) {
+	ff := &FaultFetcher{Base: faultCatalog(), Config: FaultConfig{
+		Rules: map[string]FaultRule{"c": {TruncateRate: 1.0, TruncateAfter: 10}},
+	}}
+	data, err := ReadAll(context.Background(), ff, "c")
+	if err == nil {
+		t.Fatalf("truncated body should surface a read error (got %d bytes)", len(data))
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.Kind != FaultTruncate {
+		t.Fatalf("error = %v, want truncate FaultError", err)
+	}
+	if got := ff.InjectedFaults()[FaultTruncate]; got == 0 {
+		t.Error("truncate fault not recorded")
+	}
+}
+
+func TestFaultFetcherTruncationCuredByRetry(t *testing.T) {
+	// Truncation fires on roughly half the attempts (deterministically, per
+	// seed); the refetch reader re-fetches after each mid-body death and
+	// skips the prefix already delivered, so as soon as one attempt serves
+	// the body whole the payload completes intact.
+	ff := &FaultFetcher{Base: faultCatalog(), Config: FaultConfig{
+		Seed:  3,
+		Rules: map[string]FaultRule{"c": {TruncateRate: 0.5, TruncateAfter: 10}},
+	}}
+	rf := &RetryFetcher{Base: ff, Attempts: 8, Backoff: time.Millisecond, Seed: 7}
+	data, err := ReadAll(context.Background(), rf, "c")
+	if err != nil {
+		t.Fatalf("mid-body resume did not cure truncation: %v", err)
+	}
+	if string(data) != "payload-c-is-quite-a-bit-longer-than-the-others" {
+		t.Errorf("payload = %q", data)
+	}
+}
+
+func TestFaultFetcherLatencyRespectsContext(t *testing.T) {
+	ff := &FaultFetcher{Base: faultCatalog(), Config: FaultConfig{
+		Rules: map[string]FaultRule{"a": {Latency: time.Minute}},
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := ff.Fetch(ctx, "a"); err == nil {
+		t.Fatal("latency under a dead context should error")
+	}
+	if time.Since(start) > time.Second {
+		t.Errorf("cancellation did not interrupt the injected latency (%s)", time.Since(start))
+	}
+}

@@ -80,7 +80,7 @@ func (c *Catalog) Fetch(_ context.Context, path string) (io.ReadCloser, error) {
 	data, ok := c.files[normalize(path)]
 	c.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("source: dataset %q not found", path)
+		return nil, fmt.Errorf("source: dataset %q: %w", path, ErrNotFound)
 	}
 	return io.NopCloser(bytes.NewReader(data)), nil
 }
@@ -168,17 +168,39 @@ func (f *HTTPFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, er
 	}
 	if resp.StatusCode != http.StatusOK {
 		resp.Body.Close()
-		return nil, fmt.Errorf("source: fetch %s: unexpected status %s", url, resp.Status)
+		return nil, &StatusError{URL: url, StatusCode: resp.StatusCode, Status: resp.Status}
 	}
 	return resp.Body, nil
 }
 
-// ReadAll fetches a path and returns the full payload.
+// DefaultMaxPayloadBytes caps a single dataset payload read through
+// ReadAll: generous for any real feed, but finite, so a malformed or
+// fault-injected giant payload cannot OOM the build.
+const DefaultMaxPayloadBytes int64 = 256 << 20 // 256 MiB
+
+// ReadAll fetches a path and returns the full payload, capped at
+// DefaultMaxPayloadBytes.
 func ReadAll(ctx context.Context, f Fetcher, path string) ([]byte, error) {
+	return ReadAllLimit(ctx, f, path, 0)
+}
+
+// ReadAllLimit is ReadAll with an explicit byte cap (0 = the default).
+// Oversized payloads fail with an error matching ErrPayloadTooLarge.
+func ReadAllLimit(ctx context.Context, f Fetcher, path string, limit int64) ([]byte, error) {
+	if limit <= 0 {
+		limit = DefaultMaxPayloadBytes
+	}
 	rc, err := f.Fetch(ctx, path)
 	if err != nil {
 		return nil, err
 	}
 	defer rc.Close()
-	return io.ReadAll(rc)
+	data, err := io.ReadAll(io.LimitReader(rc, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("source: dataset %q exceeds the %d-byte fetch cap: %w", path, limit, ErrPayloadTooLarge)
+	}
+	return data, nil
 }

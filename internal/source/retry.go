@@ -2,46 +2,149 @@ package source
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"sync"
 	"time"
 )
 
-// RetryFetcher wraps another Fetcher with bounded retries and exponential
-// backoff. Dataset providers rate-limit and flake; the real IYP pipeline
-// re-fetches rather than losing a dataset for the week, and so does this
-// one when fetching over HTTP.
+// RetryFetcher wraps another Fetcher with bounded retries, exponential
+// backoff with full jitter, and error classification. Dataset providers
+// rate-limit and flake; the real IYP pipeline re-fetches rather than losing
+// a dataset for the week, and so does this one when fetching over HTTP.
+//
+// Hardening over a naive retry loop:
+//
+//   - Permanent errors (missing dataset, 4xx) fail fast instead of burning
+//     the whole backoff budget on an outcome that cannot change.
+//   - Backoff delays use full jitter (uniform in [0, cap]) so parallel
+//     crawlers hammered by one flaky provider don't retry in lockstep.
+//   - AttemptTimeout bounds each individual try, fetch and body read
+//     included, so one stalled connection cannot eat the crawler deadline.
+//   - The returned reader survives mid-body failures: a payload that dies
+//     halfway through is re-fetched and resumed transparently.
 type RetryFetcher struct {
 	// Base performs the actual fetches.
 	Base Fetcher
 	// Attempts is the maximum number of tries per fetch (0 = 3).
 	Attempts int
-	// Backoff is the initial delay between tries, doubled each retry
-	// (0 = 100ms). Context cancellation interrupts the wait.
+	// Backoff is the base delay between tries (0 = 100ms). The delay
+	// before try n is uniform in [0, Backoff·2ⁿ⁻¹], capped at MaxBackoff.
+	// Context cancellation interrupts the wait.
 	Backoff time.Duration
+	// MaxBackoff caps the jittered delay (0 = 10s).
+	MaxBackoff time.Duration
+	// AttemptTimeout bounds one try, including reading the body
+	// (0 = no per-attempt bound beyond the caller's context).
+	AttemptTimeout time.Duration
+	// Seed fixes the jitter sequence for reproducible schedules in tests
+	// (0 = seeded from the clock).
+	Seed int64
+	// IsPermanent overrides the error classifier (nil = Permanent).
+	IsPermanent func(error) bool
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
 }
 
-// Fetch implements Fetcher with retries.
-func (f *RetryFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
-	attempts := f.Attempts
-	if attempts <= 0 {
-		attempts = 3
+func (f *RetryFetcher) attempts() int {
+	if f.Attempts <= 0 {
+		return 3
 	}
-	backoff := f.Backoff
-	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
+	return f.Attempts
+}
+
+func (f *RetryFetcher) permanent(err error) bool {
+	if f.IsPermanent != nil {
+		return f.IsPermanent(err)
 	}
+	return Permanent(err)
+}
+
+// jittered returns a uniform delay in [0, min(base·2^try, MaxBackoff)].
+func (f *RetryFetcher) jittered(try int) time.Duration {
+	base := f.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxd := f.MaxBackoff
+	if maxd <= 0 {
+		maxd = 10 * time.Second
+	}
+	cap := base << uint(try)
+	if cap > maxd || cap <= 0 {
+		cap = maxd
+	}
+	f.once.Do(func() {
+		seed := f.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		f.rng = rand.New(rand.NewSource(seed))
+	})
+	f.mu.Lock()
+	d := time.Duration(f.rng.Int63n(int64(cap) + 1))
+	f.mu.Unlock()
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// cancelOnClose ties a per-attempt context to the body's lifetime.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// fetchOnce performs a single try under the per-attempt timeout. The
+// timeout covers reading the body too: the deadline is released only when
+// the returned reader is closed.
+func (f *RetryFetcher) fetchOnce(ctx context.Context, path string) (io.ReadCloser, error) {
+	if f.AttemptTimeout <= 0 {
+		return f.Base.Fetch(ctx, path)
+	}
+	actx, cancel := context.WithTimeout(ctx, f.AttemptTimeout)
+	rc, err := f.Base.Fetch(actx, path)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	return &cancelOnClose{ReadCloser: rc, cancel: cancel}, nil
+}
+
+// fetchRetry runs the classified retry loop and returns the first
+// successful body.
+func (f *RetryFetcher) fetchRetry(ctx context.Context, path string) (io.ReadCloser, error) {
+	attempts := f.attempts()
 	var lastErr error
 	for try := 0; try < attempts; try++ {
 		if try > 0 {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff):
+			if err := sleepCtx(ctx, f.jittered(try-1)); err != nil {
+				return nil, err
 			}
-			backoff *= 2
 		}
-		rc, err := f.Base.Fetch(ctx, path)
+		rc, err := f.fetchOnce(ctx, path)
 		if err == nil {
 			return rc, nil
 		}
@@ -49,6 +152,90 @@ func (f *RetryFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, e
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		if f.permanent(err) {
+			return nil, fmt.Errorf("source: fetch %s: permanent failure, not retried: %w", path, err)
+		}
 	}
 	return nil, fmt.Errorf("source: fetch %s failed after %d attempts: %w", path, attempts, lastErr)
 }
+
+// Fetch implements Fetcher with retries. The returned reader additionally
+// retries mid-body read failures by re-fetching the payload and skipping
+// the bytes already delivered.
+func (f *RetryFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
+	rc, err := f.fetchRetry(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	return &refetchReader{f: f, ctx: ctx, path: path, rc: rc, budget: f.attempts() - 1}, nil
+}
+
+// refetchReader resumes a payload whose body failed mid-read: it re-fetches
+// from the base fetcher and discards the prefix already handed to the
+// caller. budget bounds how many mid-body recoveries one payload gets.
+type refetchReader struct {
+	f      *RetryFetcher
+	ctx    context.Context
+	path   string
+	rc     io.ReadCloser
+	offset int64
+	budget int
+}
+
+func (r *refetchReader) Read(p []byte) (int, error) {
+	for {
+		n, err := r.rc.Read(p)
+		r.offset += int64(n)
+		if err == nil || errors.Is(err, io.EOF) {
+			return n, err
+		}
+		if n > 0 {
+			// Deliver what we got; the sticky error resurfaces on the next
+			// call and is handled there.
+			return n, nil
+		}
+		if rerr := r.reopen(err); rerr != nil {
+			return 0, rerr
+		}
+	}
+}
+
+// reopen re-fetches the payload after a mid-body failure and fast-forwards
+// past the bytes already delivered. cause is the read error being cured.
+func (r *refetchReader) reopen(cause error) error {
+	for {
+		if r.ctx.Err() != nil {
+			return cause
+		}
+		if r.budget <= 0 || r.f.permanent(cause) {
+			return fmt.Errorf("source: fetch %s: body failed at byte %d: %w", r.path, r.offset, cause)
+		}
+		r.budget--
+		r.rc.Close()
+		if err := sleepCtx(r.ctx, r.f.jittered(0)); err != nil {
+			return cause
+		}
+		rc, err := r.f.fetchOnce(r.ctx, r.path)
+		if err != nil {
+			cause = err
+			// Keep a closed-but-valid reader so a caller retrying Read
+			// after an error does not hit a nil body.
+			r.rc = io.NopCloser(errReader{err})
+			continue
+		}
+		if _, err := io.CopyN(io.Discard, rc, r.offset); err != nil && !errors.Is(err, io.EOF) {
+			rc.Close()
+			cause = err
+			r.rc = io.NopCloser(errReader{err})
+			continue
+		}
+		r.rc = rc
+		return nil
+	}
+}
+
+func (r *refetchReader) Close() error { return r.rc.Close() }
+
+type errReader struct{ err error }
+
+func (e errReader) Read([]byte) (int, error) { return 0, e.err }

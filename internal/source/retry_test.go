@@ -1,0 +1,259 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// countingFetcher wraps a Fetcher and counts Fetch calls per path.
+type countingFetcher struct {
+	base  Fetcher
+	calls map[string]int
+}
+
+func (f *countingFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
+	if f.calls == nil {
+		f.calls = map[string]int{}
+	}
+	f.calls[path]++
+	return f.base.Fetch(ctx, path)
+}
+
+func TestRetryFetcherFailsFastOnPermanentErrors(t *testing.T) {
+	// A missing dataset is permanent: exactly one attempt, no backoff burn.
+	cf := &countingFetcher{base: NewCatalog()}
+	rf := &RetryFetcher{Base: cf, Attempts: 5, Backoff: time.Millisecond}
+	_, err := rf.Fetch(context.Background(), "gone")
+	if err == nil {
+		t.Fatal("missing dataset should fail")
+	}
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("error does not match ErrNotFound: %v", err)
+	}
+	if !strings.Contains(err.Error(), "not retried") {
+		t.Errorf("error does not state the fail-fast: %v", err)
+	}
+	if cf.calls["gone"] != 1 {
+		t.Errorf("permanent error fetched %d times, want 1", cf.calls["gone"])
+	}
+}
+
+func TestRetryFetcherRetriesTransientErrors(t *testing.T) {
+	c := NewCatalog()
+	c.Put("d", []byte("ok"))
+	cf := &countingFetcher{base: &flakyFetcher{base: c, failures: 2}}
+	rf := &RetryFetcher{Base: cf, Attempts: 3, Backoff: time.Millisecond, Seed: 1}
+	data, err := ReadAll(context.Background(), rf, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "ok" {
+		t.Errorf("payload = %q", data)
+	}
+	if cf.calls["d"] != 3 {
+		t.Errorf("fetched %d times, want 3", cf.calls["d"])
+	}
+}
+
+// hangingFetcher blocks until the context dies, then succeeds on later
+// attempts.
+type hangingFetcher struct {
+	base  Fetcher
+	hangs int
+	seen  int
+}
+
+func (f *hangingFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
+	f.seen++
+	if f.seen <= f.hangs {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return f.base.Fetch(ctx, path)
+}
+
+func TestRetryFetcherAttemptTimeout(t *testing.T) {
+	// The first attempt stalls forever; the per-attempt deadline must cut it
+	// loose so the second attempt can succeed well before the caller's own
+	// deadline.
+	c := NewCatalog()
+	c.Put("slow", []byte("finally"))
+	rf := &RetryFetcher{
+		Base:           &hangingFetcher{base: c, hangs: 1},
+		Attempts:       3,
+		Backoff:        time.Millisecond,
+		AttemptTimeout: 20 * time.Millisecond,
+		Seed:           1,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	data, err := ReadAll(ctx, rf, "slow")
+	if err != nil {
+		t.Fatalf("per-attempt timeout did not recover: %v", err)
+	}
+	if string(data) != "finally" {
+		t.Errorf("payload = %q", data)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Errorf("recovery took %s; the stalled attempt was not bounded", time.Since(start))
+	}
+}
+
+// truncatingFetcher serves a body that dies mid-read for the first N
+// fetches, then serves it whole.
+type truncatingFetcher struct {
+	base   Fetcher
+	after  int64
+	truncs int
+	seen   int
+}
+
+func (f *truncatingFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
+	f.seen++
+	rc, err := f.base.Fetch(ctx, path)
+	if err != nil {
+		return nil, err
+	}
+	if f.seen <= f.truncs {
+		return &truncReader{rc: rc, left: f.after, err: errors.New("connection reset mid-body")}, nil
+	}
+	return rc, nil
+}
+
+func TestRetryFetcherResumesMidBodyFailure(t *testing.T) {
+	payload := strings.Repeat("0123456789", 1000) // 10 KB
+	c := NewCatalog()
+	c.Put("big", []byte(payload))
+	rf := &RetryFetcher{
+		Base:     &truncatingFetcher{base: c, after: 4096, truncs: 2},
+		Attempts: 3,
+		Backoff:  time.Millisecond,
+		Seed:     1,
+	}
+	data, err := ReadAll(context.Background(), rf, "big")
+	if err != nil {
+		t.Fatalf("mid-body retry did not recover: %v", err)
+	}
+	if string(data) != payload {
+		t.Fatalf("payload corrupted after resume: got %d bytes, want %d", len(data), len(payload))
+	}
+}
+
+func TestRetryFetcherMidBodyBudgetExhausted(t *testing.T) {
+	payload := strings.Repeat("x", 8192)
+	c := NewCatalog()
+	c.Put("big", []byte(payload))
+	rf := &RetryFetcher{
+		Base:     &truncatingFetcher{base: c, after: 1024, truncs: 100},
+		Attempts: 2,
+		Backoff:  time.Millisecond,
+		Seed:     1,
+	}
+	_, err := ReadAll(context.Background(), rf, "big")
+	if err == nil {
+		t.Fatal("persistent truncation should exhaust the recovery budget")
+	}
+	if !strings.Contains(err.Error(), "body failed at byte") {
+		t.Errorf("error does not describe the mid-body failure: %v", err)
+	}
+}
+
+func TestHTTPFetcherStatusClassification(t *testing.T) {
+	c := NewCatalog()
+	c.Put("present", []byte("here"))
+	srv, err := Serve(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	f := &HTTPFetcher{Base: srv.BaseURL()}
+
+	// 404 surfaces as a StatusError matching ErrNotFound → permanent.
+	_, err = f.Fetch(context.Background(), "absent")
+	if err == nil {
+		t.Fatal("404 should error")
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.StatusCode != http.StatusNotFound {
+		t.Fatalf("404 error = %#v, want StatusError{404}", err)
+	}
+	if !errors.Is(err, ErrNotFound) {
+		t.Error("404 does not match ErrNotFound")
+	}
+	if !Permanent(err) {
+		t.Error("404 should classify as permanent")
+	}
+
+	// Connection errors are transient: retrying may reach a recovered server.
+	srv.Close()
+	_, err = f.Fetch(context.Background(), "present")
+	if err == nil {
+		t.Fatal("connection to closed server should error")
+	}
+	if Permanent(err) {
+		t.Errorf("connection error should classify as transient: %v", err)
+	}
+}
+
+func TestPermanentClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrNotFound, true},
+		{ErrPayloadTooLarge, true},
+		{errors.New("dial tcp: connection refused"), false},
+		{&StatusError{StatusCode: http.StatusForbidden}, true},
+		{&StatusError{StatusCode: http.StatusNotFound}, true},
+		{&StatusError{StatusCode: http.StatusTooManyRequests}, false},
+		{&StatusError{StatusCode: http.StatusRequestTimeout}, false},
+		{&StatusError{StatusCode: http.StatusTooEarly}, false},
+		{&StatusError{StatusCode: http.StatusInternalServerError}, false},
+		{&StatusError{StatusCode: http.StatusBadGateway}, false},
+	}
+	for _, tc := range cases {
+		if got := Permanent(tc.err); got != tc.want {
+			t.Errorf("Permanent(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestReadAllLimitCapsPayloads(t *testing.T) {
+	c := NewCatalog()
+	c.Put("big", []byte(strings.Repeat("a", 2048)))
+
+	// Under the cap: full payload.
+	data, err := ReadAllLimit(context.Background(), c, "big", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 2048 {
+		t.Errorf("payload = %d bytes", len(data))
+	}
+	// Exactly at the cap: still fine.
+	if _, err := ReadAllLimit(context.Background(), c, "big", 2048); err != nil {
+		t.Errorf("payload at the cap should pass: %v", err)
+	}
+	// Over the cap: distinct, permanent error.
+	_, err = ReadAllLimit(context.Background(), c, "big", 1024)
+	if err == nil {
+		t.Fatal("oversized payload should fail")
+	}
+	if !errors.Is(err, ErrPayloadTooLarge) {
+		t.Errorf("error does not match ErrPayloadTooLarge: %v", err)
+	}
+	if !Permanent(err) {
+		t.Error("oversized payload should classify as permanent")
+	}
+	// 0 means the generous default, not zero bytes.
+	if _, err := ReadAllLimit(context.Background(), c, "big", 0); err != nil {
+		t.Errorf("default cap rejected a 2 KB payload: %v", err)
+	}
+}

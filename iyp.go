@@ -53,6 +53,17 @@ type Options struct {
 	UseHTTP bool
 	// Concurrency bounds parallel crawlers (0 = 4).
 	Concurrency int
+	// CrawlerTimeout bounds each dataset crawler's run (0 = none). A hung
+	// feed is abandoned and reported failed; its staged writes are
+	// discarded and the rest of the build proceeds.
+	CrawlerTimeout time.Duration
+	// MinSuccessRate is the fraction of datasets in (0,1] that must ingest
+	// successfully, else Build fails. 0 means best-effort: any number of
+	// dataset failures still yields a (degraded) snapshot.
+	MinSuccessRate float64
+	// CriticalDatasets lists dataset names (e.g. "bgpkit.pfx2asn") whose
+	// failure always fails the build.
+	CriticalDatasets []string
 	// Logf receives build progress (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -84,10 +95,13 @@ func Build(ctx context.Context, opts Options) (*DB, error) {
 		}
 	}
 	res, err := core.Build(ctx, core.BuildOptions{
-		Config:      cfg,
-		UseHTTP:     opts.UseHTTP,
-		Concurrency: opts.Concurrency,
-		Logf:        opts.Logf,
+		Config:           cfg,
+		UseHTTP:          opts.UseHTTP,
+		Concurrency:      opts.Concurrency,
+		CrawlerTimeout:   opts.CrawlerTimeout,
+		MinSuccessRate:   opts.MinSuccessRate,
+		CriticalDatasets: opts.CriticalDatasets,
+		Logf:             opts.Logf,
 	})
 	if err != nil {
 		return nil, err
