@@ -7,7 +7,13 @@
 // Usage:
 //
 //	iyp-serve -db iyp.snapshot -addr :7474
+//	iyp-serve -db ./iyp-store -addr :7474
 //	curl -s localhost:7474/v1/query -d '{"query":"MATCH (n:AS) RETURN count(n) AS n"}'
+//
+// When -db names a generation-store directory (written by iyp-build
+// -store), the newest snapshot generation that passes checksum
+// verification is served: a torn or bit-flipped latest dump costs one
+// generation, not the service. Skipped generations are logged.
 package main
 
 import (
@@ -15,13 +21,38 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"iyp"
+	"iyp/internal/graph"
 	"iyp/internal/server"
 )
+
+// load opens either a single snapshot file or a generation-store directory.
+// For a store, the newest generation that passes verification is served and
+// every skipped generation is logged with the reason it was passed over.
+func load(path string) (*iyp.DB, error) {
+	info, err := os.Stat(path)
+	if err == nil && info.IsDir() {
+		store, err := graph.OpenStore(path, graph.StoreOptions{})
+		if err != nil {
+			return nil, err
+		}
+		g, report, err := store.Open()
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range report.Skipped {
+			log.Printf("iyp-serve: skipped generation %d (%s): %s", s.Seq, s.Path, s.Reason)
+		}
+		log.Printf("iyp-serve: loaded generation %d from %s", report.Loaded.Seq, report.Loaded.Path)
+		return iyp.Wrap(g), nil
+	}
+	return iyp.Load(path)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -36,7 +67,7 @@ func main() {
 	)
 	flag.Parse()
 
-	db, err := iyp.Load(*dbPath)
+	db, err := load(*dbPath)
 	if err != nil {
 		log.Fatalf("iyp-serve: %v", err)
 	}

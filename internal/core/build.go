@@ -7,7 +7,9 @@ package core
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
+	"sort"
 	"time"
 
 	"iyp/internal/crawlers"
@@ -48,6 +50,18 @@ type BuildOptions struct {
 	// Crawlers overrides the dataset set (nil = all 47).
 	Crawlers []ingest.Crawler
 
+	// CheckpointDir, when set, makes the build resumable: every committed
+	// dataset batch is journaled there, and a later Build with Resume set
+	// replays the journals instead of re-fetching those datasets. The
+	// directory can be removed once the final snapshot is durably saved.
+	CheckpointDir string
+	// Resume restores progress from CheckpointDir before crawling. A
+	// checkpoint from a different configuration or dataset set is ignored
+	// (the build starts fresh and overwrites it).
+	Resume bool
+	// onCommit is a test hook observing successful commits in order.
+	onCommit func(dataset string)
+
 	// MinSuccessRate is the fraction of datasets in (0,1] that must ingest
 	// successfully for the build to be considered viable; below it the
 	// build fails instead of producing a degraded snapshot. 0 means
@@ -66,8 +80,24 @@ type BuildResult struct {
 	Report   ingest.Report
 	Internet *simnet.Internet
 	Catalog  *source.Catalog
+	// Resumed lists datasets restored from the checkpoint journal instead
+	// of being re-fetched (empty for non-resumed builds).
+	Resumed []string
 	// Elapsed is the total wall-clock build time.
 	Elapsed time.Duration
+}
+
+// buildFingerprint identifies a build's inputs — the simulated-Internet
+// configuration plus the exact dataset list, in order — so a checkpoint is
+// never resumed into a build it does not belong to. FetchTime is excluded:
+// the checkpoint pins it separately and the resumed build adopts it.
+func buildFingerprint(cfg simnet.Config, datasets []string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%#v\n", cfg)
+	for _, d := range datasets {
+		fmt.Fprintln(h, d)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
 }
 
 // Build constructs a full IYP knowledge graph.
@@ -113,20 +143,81 @@ func Build(ctx context.Context, opts BuildOptions) (*BuildResult, error) {
 	if cs == nil {
 		cs = crawlers.All()
 	}
+	datasets := make([]string, len(cs))
+	orgs := make(map[string]string, len(cs))
+	for i, c := range cs {
+		ref := c.Reference()
+		datasets[i] = ref.Name
+		orgs[ref.Name] = ref.Organization
+	}
+
+	// Pin the provenance timestamp up front: a resumed build must stamp
+	// freshly-crawled datasets with the same time the replayed ones carry.
+	fetchTime := opts.FetchTime
+	if fetchTime.IsZero() {
+		fetchTime = time.Now().UTC()
+	}
+
+	var (
+		cp       *ingest.Checkpoint
+		replayed []ingest.ReplayedCommit
+		runCs    = cs
+	)
+	if opts.CheckpointDir != "" {
+		cp, replayed, g, err = openOrCreateCheckpoint(opts, buildFingerprint(cfg, datasets), fetchTime, g, logf)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		defer cp.Close()
+		if len(replayed) > 0 {
+			// The checkpoint owns the timestamp now; drop the committed
+			// prefix from the crawl list.
+			fetchTime = cp.FetchTime()
+			done := make(map[string]bool, len(replayed))
+			for _, r := range replayed {
+				done[r.Dataset] = true
+			}
+			runCs = nil
+			for _, c := range cs {
+				if !done[c.Reference().Name] {
+					runCs = append(runCs, c)
+				}
+			}
+			logf("resumed %d dataset(s) from checkpoint %s; %d to crawl",
+				len(replayed), opts.CheckpointDir, len(runCs))
+		}
+	}
+
 	pipe := &ingest.Pipeline{
 		Graph:         g,
 		Fetcher:       fetcher,
-		Crawlers:      cs,
+		Crawlers:      runCs,
 		Concurrency:   opts.Concurrency,
 		Timeout:       opts.CrawlerTimeout,
 		MaxFetchBytes: opts.MaxFetchBytes,
-		FetchTime:     opts.FetchTime,
+		FetchTime:     fetchTime,
+		Checkpoint:    cp,
+		OnCommit:      opts.onCommit,
 		Logf:          logf,
 	}
 	report, err := pipe.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	// Replayed datasets count as ingested: fold them into the report so the
+	// build policy and operators see the whole dataset set, not just the
+	// re-crawled remainder.
+	var resumed []string
+	for _, r := range replayed {
+		resumed = append(resumed, r.Dataset)
+		report.Crawls = append(report.Crawls, ingest.CrawlReport{
+			Dataset:      r.Dataset,
+			Organization: orgs[r.Dataset],
+			NodesCreated: r.NodesCreated,
+			LinksCreated: r.LinksCreated,
+		})
+	}
+	sort.Slice(report.Crawls, func(i, j int) bool { return report.Crawls[i].Dataset < report.Crawls[j].Dataset })
 	if err := applyBuildPolicy(&report, opts); err != nil {
 		logf("build policy: %v", err)
 		return nil, fmt.Errorf("core: %w", err)
@@ -135,10 +226,6 @@ func Build(ctx context.Context, opts BuildOptions) (*BuildResult, error) {
 		logf("build policy: %s", report.PolicyNote)
 	}
 
-	fetchTime := opts.FetchTime
-	if fetchTime.IsZero() {
-		fetchTime = time.Now().UTC()
-	}
 	if err := postproc.Run(g, fetchTime, logf); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -150,8 +237,47 @@ func Build(ctx context.Context, opts BuildOptions) (*BuildResult, error) {
 		Report:   report,
 		Internet: in,
 		Catalog:  catalog,
+		Resumed:  resumed,
 		Elapsed:  time.Since(start),
 	}, nil
+}
+
+// openOrCreateCheckpoint resolves the build's checkpoint: on Resume it
+// opens the existing one, verifies it belongs to this build (fingerprint),
+// and replays its journals into g; any mismatch, damage, or absence falls
+// back to a fresh checkpoint — a bad checkpoint costs the resume, never the
+// build. The returned graph's state always matches the returned replay list
+// (after a failed replay the graph is rebuilt empty, identity indexes and
+// all).
+func openOrCreateCheckpoint(opts BuildOptions, fingerprint string, fetchTime time.Time, g *graph.Graph, logf func(string, ...any)) (*ingest.Checkpoint, []ingest.ReplayedCommit, *graph.Graph, error) {
+	dir := opts.CheckpointDir
+	if opts.Resume {
+		cp, err := ingest.OpenCheckpoint(dir)
+		switch {
+		case err != nil:
+			logf("resume: %v; starting fresh", err)
+		case cp.Fingerprint() != fingerprint:
+			cp.Close()
+			logf("resume: checkpoint in %s belongs to a different build (fingerprint %s, want %s); starting fresh",
+				dir, cp.Fingerprint(), fingerprint)
+		default:
+			replayed, err := cp.Replay(g)
+			if err == nil {
+				return cp, replayed, g, nil
+			}
+			cp.Close()
+			logf("resume: %v; starting fresh", err)
+			// A failed replay may have applied a partial prefix — discard
+			// the graph and start over.
+			g = graph.New()
+			ensureIdentityIndexes(g)
+		}
+	}
+	cp, err := ingest.CreateCheckpoint(dir, fingerprint, fetchTime)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return cp, nil, g, nil
 }
 
 // applyBuildPolicy evaluates the degraded-build policy and records the

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iyp/internal/source"
+)
+
+var resumeFetchTime = time.Date(2024, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// countingFetcher counts Fetch calls per dataset path.
+type countingFetcher struct {
+	base source.Fetcher
+	mu   sync.Mutex
+	n    map[string]int
+}
+
+func (c *countingFetcher) Fetch(ctx context.Context, path string) (io.ReadCloser, error) {
+	c.mu.Lock()
+	if c.n == nil {
+		c.n = map[string]int{}
+	}
+	c.n[path]++
+	c.mu.Unlock()
+	return c.base.Fetch(ctx, path)
+}
+
+func (c *countingFetcher) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sum := 0
+	for _, v := range c.n {
+		sum += v
+	}
+	return sum
+}
+
+func snapshotBytes(t *testing.T, res *BuildResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Graph.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestBuildDeterministic pins the foundation of resumability: two clean
+// builds with identical inputs produce byte-identical snapshots, despite
+// crawls racing each other (commits are ordered).
+func TestBuildDeterministic(t *testing.T) {
+	build := func() []byte {
+		res, err := Build(context.Background(), BuildOptions{
+			Config:      smallConfig(),
+			FetchTime:   resumeFetchTime,
+			Concurrency: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snapshotBytes(t, res)
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two clean builds produced different snapshot bytes")
+	}
+}
+
+// TestResumeProducesByteIdenticalSnapshot is the tentpole invariant: kill a
+// build after K commits, resume it, and the final snapshot is byte-for-byte
+// the snapshot of an uninterrupted build — with the K finished datasets not
+// fetched again.
+func TestResumeProducesByteIdenticalSnapshot(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "build.ckpt")
+
+	// Reference: one uninterrupted build.
+	ref, err := Build(context.Background(), BuildOptions{
+		Config:    smallConfig(),
+		FetchTime: resumeFetchTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := snapshotBytes(t, ref)
+	totalDatasets := len(ref.Report.Crawls)
+
+	// Interrupted: cancel after K successful commits.
+	const kill = 9
+	var commits atomic.Int32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = Build(ctx, BuildOptions{
+		Config:        smallConfig(),
+		FetchTime:     resumeFetchTime,
+		CheckpointDir: ckpt,
+		onCommit: func(string) {
+			if commits.Add(1) == kill {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted build returned %v, want context.Canceled", err)
+	}
+	committed := int(commits.Load())
+	if committed < kill {
+		t.Fatalf("only %d commits before cancel", committed)
+	}
+
+	// Resume: committed datasets replay from the journal, the rest crawl.
+	var cf *countingFetcher
+	var resumedCommits atomic.Int32
+	res, err := Build(context.Background(), BuildOptions{
+		Config:        smallConfig(),
+		FetchTime:     resumeFetchTime,
+		CheckpointDir: ckpt,
+		Resume:        true,
+		WrapFetcher: func(base source.Fetcher) source.Fetcher {
+			cf = &countingFetcher{base: base}
+			return cf
+		},
+		onCommit: func(string) { resumedCommits.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Resumed) != committed {
+		t.Fatalf("resumed %d datasets, want the %d committed before the kill", len(res.Resumed), committed)
+	}
+	if got := int(resumedCommits.Load()); got != totalDatasets-committed {
+		t.Fatalf("resumed build committed %d datasets, want %d", got, totalDatasets-committed)
+	}
+	if len(res.Report.Crawls) != totalDatasets {
+		t.Fatalf("resumed report covers %d datasets, want all %d", len(res.Report.Crawls), totalDatasets)
+	}
+	if cf.total() == 0 {
+		t.Fatal("resumed build fetched nothing — it should crawl the remainder")
+	}
+
+	got := snapshotBytes(t, res)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed snapshot differs from uninterrupted build (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestResumeSkipsCommittedFetches verifies resumption saves the re-fetch
+// work: dataset paths fetched before the kill are not fetched again.
+func TestResumeSkipsCommittedFetches(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "build.ckpt")
+
+	var first *countingFetcher
+	const kill = 12
+	var commits atomic.Int32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Build(ctx, BuildOptions{
+		Config:        smallConfig(),
+		FetchTime:     resumeFetchTime,
+		CheckpointDir: ckpt,
+		WrapFetcher: func(base source.Fetcher) source.Fetcher {
+			first = &countingFetcher{base: base}
+			return first
+		},
+		onCommit: func(string) {
+			if commits.Add(1) == kill {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted build returned %v", err)
+	}
+
+	var second *countingFetcher
+	res, err := Build(context.Background(), BuildOptions{
+		Config:        smallConfig(),
+		FetchTime:     resumeFetchTime,
+		CheckpointDir: ckpt,
+		Resume:        true,
+		WrapFetcher: func(base source.Fetcher) source.Fetcher {
+			second = &countingFetcher{base: base}
+			return second
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resumed run fetches strictly less than a full build would: the
+	// replayed datasets' work is saved.
+	if second.total() >= first.total()+len(res.Report.Crawls) {
+		t.Fatalf("resume did not save fetches: first=%d second=%d", first.total(), second.total())
+	}
+	if len(res.Resumed) == 0 {
+		t.Fatal("nothing was resumed")
+	}
+}
+
+// TestResumeIgnoresForeignCheckpoint: a checkpoint from a different build
+// configuration must be discarded, not replayed into the wrong graph.
+func TestResumeIgnoresForeignCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "build.ckpt")
+
+	// Leave a checkpoint behind from a seed-1 build.
+	cfgA := smallConfig()
+	cfgA.Seed = 1
+	var commits atomic.Int32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Build(ctx, BuildOptions{
+		Config:        cfgA,
+		FetchTime:     resumeFetchTime,
+		CheckpointDir: ckpt,
+		onCommit: func(string) {
+			if commits.Add(1) == 5 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted build returned %v", err)
+	}
+
+	// Resume with a different seed: the checkpoint must be ignored and the
+	// build must equal a clean build of that seed.
+	cfgB := smallConfig()
+	cfgB.Seed = 2
+	res, err := Build(context.Background(), BuildOptions{
+		Config:        cfgB,
+		FetchTime:     resumeFetchTime,
+		CheckpointDir: ckpt,
+		Resume:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Resumed) != 0 {
+		t.Fatalf("foreign checkpoint replayed %v", res.Resumed)
+	}
+	clean, err := Build(context.Background(), BuildOptions{
+		Config:    cfgB,
+		FetchTime: resumeFetchTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapshotBytes(t, res), snapshotBytes(t, clean)) {
+		t.Fatal("build with ignored checkpoint diverged from clean build")
+	}
+}
+
+// TestResumeWithoutCheckpointStartsFresh: -resume on a first run (no
+// checkpoint yet) is not an error.
+func TestResumeWithoutCheckpointStartsFresh(t *testing.T) {
+	res, err := Build(context.Background(), BuildOptions{
+		Config:        smallConfig(),
+		FetchTime:     resumeFetchTime,
+		CheckpointDir: filepath.Join(t.TempDir(), "fresh.ckpt"),
+		Resume:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Resumed) != 0 {
+		t.Fatalf("resumed %v from a nonexistent checkpoint", res.Resumed)
+	}
+	if res.Graph.NumNodes() == 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+// TestResumedBuildFetchTimePinned: provenance timestamps in a resumed build
+// come from the original build's pinned fetch time even when the resumed
+// run does not pass one.
+func TestResumedBuildFetchTimePinned(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "build.ckpt")
+	var commits atomic.Int32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Build(ctx, BuildOptions{
+		Config:        smallConfig(),
+		FetchTime:     resumeFetchTime,
+		CheckpointDir: ckpt,
+		onCommit: func(string) {
+			if commits.Add(1) == 5 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted build returned %v", err)
+	}
+
+	// No FetchTime here: the checkpoint's pinned stamp must win.
+	res, err := Build(context.Background(), BuildOptions{
+		Config:        smallConfig(),
+		CheckpointDir: ckpt,
+		Resume:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Resumed) == 0 {
+		t.Fatal("nothing resumed")
+	}
+	ref, err := Build(context.Background(), BuildOptions{
+		Config:    smallConfig(),
+		FetchTime: resumeFetchTime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snapshotBytes(t, res), snapshotBytes(t, ref)) {
+		t.Fatal("resumed build without an explicit FetchTime diverged (timestamp not pinned)")
+	}
+}

@@ -2,6 +2,7 @@ package crawlers
 
 import (
 	"context"
+	"sort"
 
 	"iyp/internal/graph"
 	"iyp/internal/ingest"
@@ -104,7 +105,8 @@ func (c *CloudflareDNSTopAses) Run(ctx context.Context, s *ingest.Session) error
 	if err != nil {
 		return err
 	}
-	for domain, ases := range d.Result {
+	for _, domain := range sortedKeys(d.Result) {
+		ases := d.Result[domain]
 		dom, err := s.Node(ontology.DomainName, domain)
 		if err != nil {
 			return err
@@ -146,7 +148,8 @@ func (c *CloudflareDNSTopLocations) Run(ctx context.Context, s *ingest.Session) 
 	if err != nil {
 		return err
 	}
-	for domain, locs := range d.Result {
+	for _, domain := range sortedKeys(d.Result) {
+		locs := d.Result[domain]
 		dom, err := s.Node(ontology.DomainName, domain)
 		if err != nil {
 			return err
@@ -162,4 +165,15 @@ func (c *CloudflareDNSTopLocations) Run(ctx context.Context, s *ingest.Session) 
 		}
 	}
 	return nil
+}
+
+// sortedKeys returns a map's keys in sorted order so JSON-object iteration
+// is deterministic — required for byte-identical snapshots and resume.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

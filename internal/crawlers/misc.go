@@ -113,7 +113,7 @@ func (c *StanfordASdb) Run(ctx context.Context, s *ingest.Session) error {
 		if err != nil {
 			return nil
 		}
-		for layer, label := range map[int]string{1: rec[1], 2: rec[2]} {
+		for layer, label := range []string{1: rec[1], 2: rec[2]} {
 			if label == "" {
 				continue
 			}

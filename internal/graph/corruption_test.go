@@ -1,0 +1,288 @@
+package graph
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"runtime"
+	"testing"
+)
+
+// corpusGraph is the deterministic graph behind the corruption sweeps:
+// small enough that per-byte sweeps stay fast, rich enough to exercise
+// every section (multi-label nodes, tombstones, every value kind, two
+// indexes).
+func corpusGraph() *Graph {
+	return fixtureGraph()
+}
+
+func v2Bytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := corpusGraph().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func v1Bytes(t *testing.T) []byte {
+	t.Helper()
+	data, err := os.ReadFile("testdata/v1-golden.snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// mustFailLoad asserts Load rejects the input without panicking and without
+// allocating beyond what the input can plausibly back.
+func mustFailLoad(t *testing.T, data []byte, what string) {
+	t.Helper()
+	g, err := Load(bytes.NewReader(data))
+	if err == nil {
+		t.Fatalf("%s: Load accepted corrupt input (%d nodes)", what, g.NumNodes())
+	}
+}
+
+func TestLoadV2TruncationSweep(t *testing.T) {
+	data := v2Bytes(t)
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	for i := 0; i < len(data); i++ {
+		_, err := Load(bytes.NewReader(data[:i]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", i, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error not ErrCorrupt: %v", i, err)
+		}
+	}
+}
+
+func TestLoadV1TruncationSweep(t *testing.T) {
+	data := v1Bytes(t)
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatalf("pristine v1 snapshot rejected: %v", err)
+	}
+	for i := 0; i < len(data); i++ {
+		_, err := Load(bytes.NewReader(data[:i]))
+		if err == nil {
+			t.Fatalf("v1 truncation at %d/%d bytes accepted", i, len(data))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("v1 truncation at %d: error not ErrCorrupt: %v", i, err)
+		}
+	}
+}
+
+func TestLoadV2BitFlipSweep(t *testing.T) {
+	data := v2Bytes(t)
+	for i := 0; i < len(data); i++ {
+		flipped := append([]byte(nil), data...)
+		flipped[i] ^= 1 << (i % 8)
+		mustFailLoad(t, flipped, "bit flip")
+	}
+}
+
+func TestLoadV1BitFlipSweep(t *testing.T) {
+	// v1's only integrity check is the gzip payload CRC, which covers the
+	// decompressed bytes — not the container. Flips in don't-care coding
+	// bits (gzip header metadata, final-block bit padding) are invisible to
+	// it; that blind spot is what format v2's whole-file checksum closes.
+	// So the v1 guarantee under test is weaker but still real: every
+	// single-bit flip either fails to load or decodes to the exact same
+	// graph — never a silently different one.
+	data := v1Bytes(t)
+	var golden bytes.Buffer
+	{
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Save(&golden); err != nil {
+			t.Fatal(err)
+		}
+	}
+	detected := 0
+	for i := 0; i < len(data); i++ {
+		flipped := append([]byte(nil), data...)
+		flipped[i] ^= 1 << (i % 8)
+		g, err := Load(bytes.NewReader(flipped))
+		if err != nil {
+			detected++
+			continue
+		}
+		var resaved bytes.Buffer
+		if err := g.Save(&resaved); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resaved.Bytes(), golden.Bytes()) {
+			t.Fatalf("v1 flip at byte %d bit %d loaded a DIFFERENT graph undetected", i, i%8)
+		}
+	}
+	// The vast majority of flips must be caught; only container don't-care
+	// bits may pass (and those provably decode identically, checked above).
+	if detected < len(data)*9/10 {
+		t.Fatalf("only %d/%d flips detected", detected, len(data))
+	}
+}
+
+// repatch recomputes the v2 total CRC after a mutation, so the test reaches
+// the per-section defenses behind the whole-file checksum.
+func repatch(data []byte, mutate func([]byte)) []byte {
+	out := append([]byte(nil), data...)
+	mutate(out)
+	crcOff := len(out) - len(snapshotEndMagic) - 4
+	binary.LittleEndian.PutUint32(out[crcOff:], crc32.Checksum(out[:crcOff], castagnoli))
+	return out
+}
+
+func TestLoadV2LyingSectionHeaders(t *testing.T) {
+	data := v2Bytes(t)
+	// First section header sits right after magic+version: id u8 at 5,
+	// crc u32 at 6, clen u64 at 10, ulen u64 at 18.
+	cases := []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"huge compressed length", func(b []byte) { binary.LittleEndian.PutUint64(b[10:], 1<<60) }},
+		{"huge uncompressed length", func(b []byte) { binary.LittleEndian.PutUint64(b[18:], 1<<60) }},
+		{"undersized uncompressed length", func(b []byte) { binary.LittleEndian.PutUint64(b[18:], 1) }},
+		{"wrong section id", func(b []byte) { b[5] = secRels }},
+		{"zeroed section crc", func(b []byte) { binary.LittleEndian.PutUint32(b[6:], 0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := repatch(data, tc.mutate)
+			g, err := Load(bytes.NewReader(bad))
+			if err == nil {
+				t.Fatalf("accepted (%d nodes)", g.NumNodes())
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error not ErrCorrupt: %v", err)
+			}
+		})
+	}
+}
+
+func TestLoadV2LyingTrailerCounts(t *testing.T) {
+	data := v2Bytes(t)
+	trailerOff := len(data) - trailerSize
+	bad := repatch(data, func(b []byte) {
+		binary.LittleEndian.PutUint64(b[trailerOff+1:], 9999) // node count
+	})
+	if _, err := Load(bytes.NewReader(bad)); err == nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("lying trailer counts: %v", err)
+	}
+}
+
+func TestLoadRejectsDuplicatedFile(t *testing.T) {
+	// A botched rename/append that doubles the file: the end magic is still
+	// in place, but the whole-file checksum exposes it.
+	data := v2Bytes(t)
+	mustFailLoad(t, append(append([]byte(nil), data...), data...), "duplicated file")
+	// Partial duplication: the file plus a prefix of itself.
+	mustFailLoad(t, append(append([]byte(nil), data...), data[:len(data)/2]...), "partial duplication")
+}
+
+// v1Stream encodes a synthetic legacy-v1 snapshot stream; the v1 format has
+// no checksums, so this is how lying length prefixes reach the decoder.
+func v1Stream(t *testing.T, body func(e *encBuf)) []byte {
+	t.Helper()
+	var enc encBuf
+	enc.b.WriteString(snapshotMagic)
+	enc.byte(snapshotV1)
+	body(&enc)
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(enc.b.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestLoadV1LyingLengthsBoundAllocation(t *testing.T) {
+	cases := []struct {
+		name string
+		body func(e *encBuf)
+	}{
+		{"huge label table", func(e *encBuf) { e.uvarint(1 << 40) }},
+		{"huge string length", func(e *encBuf) {
+			e.uvarint(1)       // one label...
+			e.uvarint(1 << 62) // ...whose name claims 4 EiB
+		}},
+		{"huge node count", func(e *encBuf) {
+			e.uvarint(0) // labels
+			e.uvarint(0) // types
+			e.uvarint(1 << 50)
+		}},
+		{"huge rel count", func(e *encBuf) {
+			e.uvarint(0)
+			e.uvarint(0)
+			e.uvarint(0) // nodes
+			e.uvarint(1 << 50)
+		}},
+		{"huge prop count", func(e *encBuf) {
+			e.uvarint(1)
+			e.string("AS")
+			e.uvarint(0)
+			e.uvarint(1)       // one node slot
+			e.byte(1)          // present
+			e.uvarint(0)       // no labels
+			e.uvarint(1 << 40) // absurd property count
+		}},
+		{"huge list length", func(e *encBuf) {
+			e.uvarint(0)
+			e.uvarint(0)
+			e.uvarint(1)
+			e.byte(1)
+			e.uvarint(0)
+			e.uvarint(1) // one prop
+			e.string("tags")
+			e.byte(byte(KindList))
+			e.uvarint(1 << 40)
+		}},
+	}
+	var before, after runtime.MemStats
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := v1Stream(t, tc.body)
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			g, err := Load(bytes.NewReader(data))
+			runtime.ReadMemStats(&after)
+			if err == nil {
+				t.Fatalf("accepted (%d nodes)", g.NumNodes())
+			}
+			// The lying prefix claims exabytes; a bounded decoder allocates
+			// a tiny fraction of that while failing.
+			if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+				t.Fatalf("rejecting corrupt input allocated %d MiB", grew>>20)
+			}
+		})
+	}
+}
+
+func TestLoadGarbageHeaders(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		{0x00},
+		[]byte("IY"),
+		[]byte("IYPG"),                // magic, nothing else
+		[]byte("IYPG\x03"),            // future version
+		[]byte("NOPE not a snapshot"), // wrong magic entirely
+		{0x1f, 0x8b},                  // bare gzip magic
+		append([]byte{0x1f, 0x8b}, bytes.Repeat([]byte{0xAA}, 64)...),
+	} {
+		if _, err := Load(bytes.NewReader(data)); err == nil {
+			t.Fatalf("garbage header %q accepted", data)
+		}
+	}
+}

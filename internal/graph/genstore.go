@@ -1,0 +1,359 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store keeps the last N graph snapshots ("generations") in one directory,
+// mirroring how the paper's weekly IYP dumps accumulate: every Save writes
+// a new gen-NNNNNN.snapshot durably and prunes the oldest beyond the
+// retention count, and Open loads the newest generation that still passes
+// verification — a torn or bit-flipped latest dump costs one generation,
+// not the database.
+//
+// Layout:
+//
+//	dir/MANIFEST            text manifest, one "gen ..." line per generation
+//	dir/gen-000001.snapshot snapshot files (format v2)
+//	dir/*.tmp-*             in-flight writes; ignored and garbage-collected
+//
+// The manifest records each generation's size and whole-file CRC32C so Open
+// can reject a damaged file before parsing it; the v2 snapshot's internal
+// checksums are verified by Load regardless, so a stale or missing manifest
+// (e.g. a crash between the snapshot rename and the manifest rename) only
+// loses the fast pre-check, never correctness.
+type Store struct {
+	dir  string
+	keep int
+}
+
+// StoreOptions configures OpenStore.
+type StoreOptions struct {
+	// Keep is how many generations to retain (0 = 3).
+	Keep int
+}
+
+// Generation describes one stored snapshot.
+type Generation struct {
+	Seq   uint64
+	Path  string
+	Size  int64
+	CRC   uint32
+	Nodes int
+	Rels  int
+	// manifested records whether the generation came from the manifest
+	// (with a verifiable size+CRC) or a directory scan.
+	manifested bool
+}
+
+// SkippedGeneration records a generation Open had to pass over, and why.
+type SkippedGeneration struct {
+	Seq    uint64
+	Path   string
+	Reason string
+}
+
+// OpenReport describes what Open loaded and what it skipped.
+type OpenReport struct {
+	Loaded  Generation
+	Skipped []SkippedGeneration
+}
+
+// ErrNoGenerations is returned by Open when the store holds no loadable
+// snapshot at all.
+var ErrNoGenerations = errors.New("graph: store has no loadable generation")
+
+const (
+	storeManifest       = "MANIFEST"
+	storeManifestHeader = "iyp-store v1"
+)
+
+// OpenStore opens (creating if needed) a generation store rooted at dir.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	keep := opts.Keep
+	if keep <= 0 {
+		keep = 3
+	}
+	return &Store{dir: dir, keep: keep}, nil
+}
+
+// Dir returns the store's root directory.
+func (st *Store) Dir() string { return st.dir }
+
+func genFileName(seq uint64) string { return fmt.Sprintf("gen-%06d.snapshot", seq) }
+
+// parseGenSeq extracts NNNNNN from gen-NNNNNN.snapshot (ok=false otherwise).
+func parseGenSeq(name string) (uint64, bool) {
+	var seq uint64
+	if n, err := fmt.Sscanf(name, "gen-%d.snapshot", &seq); n != 1 || err != nil {
+		return 0, false
+	}
+	if name != genFileName(seq) {
+		return 0, false
+	}
+	return seq, true
+}
+
+// readManifest parses the manifest, tolerating a missing file and ignoring
+// malformed lines (a torn append truncates to the good prefix).
+func (st *Store) readManifest() []Generation {
+	data, err := os.ReadFile(filepath.Join(st.dir, storeManifest))
+	if err != nil {
+		return nil
+	}
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != storeManifestHeader {
+		return nil
+	}
+	var gens []Generation
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var g Generation
+		var file string
+		var crc uint32
+		if n, err := fmt.Sscanf(line, "gen %d %s %d %08x %d %d",
+			&g.Seq, &file, &g.Size, &crc, &g.Nodes, &g.Rels); n != 6 || err != nil {
+			continue
+		}
+		g.CRC = crc
+		g.Path = filepath.Join(st.dir, file)
+		g.manifested = true
+		gens = append(gens, g)
+	}
+	return gens
+}
+
+// writeManifest durably replaces the manifest with the given generations.
+func (st *Store) writeManifest(gens []Generation) error {
+	var sb strings.Builder
+	sb.WriteString(storeManifestHeader + "\n")
+	for _, g := range gens {
+		fmt.Fprintf(&sb, "gen %d %s %d %08x %d %d\n",
+			g.Seq, filepath.Base(g.Path), g.Size, g.CRC, g.Nodes, g.Rels)
+	}
+	path := filepath.Join(st.dir, storeManifest)
+	f, err := os.CreateTemp(st.dir, storeManifest+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.WriteString(sb.String()); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(st.dir)
+}
+
+// Generations lists the store's generations, newest first: the manifest's
+// entries plus any complete-but-unmanifested snapshot files found on disk
+// (a crash between the snapshot rename and the manifest update leaves one).
+func (st *Store) Generations() ([]Generation, error) {
+	gens := st.readManifest()
+	seen := make(map[uint64]bool, len(gens))
+	for _, g := range gens {
+		seen[g.Seq] = true
+	}
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		seq, ok := parseGenSeq(e.Name())
+		if !ok || seen[seq] {
+			continue
+		}
+		g := Generation{Seq: seq, Path: filepath.Join(st.dir, e.Name())}
+		if info, err := e.Info(); err == nil {
+			g.Size = info.Size()
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i].Seq > gens[j].Seq })
+	return gens, nil
+}
+
+// Save writes g as the next generation: snapshot to a temp file (fsync'd,
+// CRC computed in-flight), atomic rename, directory fsync, then a durable
+// manifest update and pruning down to the retention count. The previous
+// generations are untouched until the new one is fully durable.
+func (st *Store) Save(g *Graph) (Generation, error) {
+	gens, err := st.Generations()
+	if err != nil {
+		return Generation{}, err
+	}
+	var seq uint64 = 1
+	if len(gens) > 0 {
+		seq = gens[0].Seq + 1
+	}
+	name := genFileName(seq)
+	path := filepath.Join(st.dir, name)
+
+	f, err := os.CreateTemp(st.dir, name+".tmp-*")
+	if err != nil {
+		return Generation{}, err
+	}
+	tmp := f.Name()
+	fail := func(err error) (Generation, error) {
+		f.Close()
+		os.Remove(tmp)
+		return Generation{}, err
+	}
+	h := crc32.New(castagnoli)
+	cw := &countWriter{w: io.MultiWriter(f, h)}
+	if err := g.Save(cw); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return Generation{}, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return Generation{}, err
+	}
+	if err := syncDir(st.dir); err != nil {
+		return Generation{}, err
+	}
+
+	st.gcTempFiles()
+
+	gen := Generation{
+		Seq:        seq,
+		Path:       path,
+		Size:       cw.n,
+		CRC:        h.Sum32(),
+		Nodes:      g.NumNodes(),
+		Rels:       g.NumRels(),
+		manifested: true,
+	}
+	keepGens := append([]Generation{gen}, gens...)
+	var pruned []Generation
+	if len(keepGens) > st.keep {
+		pruned = keepGens[st.keep:]
+		keepGens = keepGens[:st.keep]
+	}
+	// Manifest first, then prune: the manifest never references a deleted
+	// file, and a crash in between only leaves orphans a later Save removes.
+	if err := st.writeManifest(keepGens); err != nil {
+		return Generation{}, err
+	}
+	for _, p := range pruned {
+		os.Remove(p.Path)
+	}
+	return gen, nil
+}
+
+// gcTempFiles removes leftover in-flight files from crashed writers.
+func (st *Store) gcTempFiles() {
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			os.Remove(filepath.Join(st.dir, e.Name()))
+		}
+	}
+}
+
+// Open loads the newest generation that passes verification, walking
+// backwards over older generations when the latest is torn, bit-flipped, or
+// missing. The report says which generation was loaded and which were
+// skipped (and why); an error is returned only when no generation loads.
+func (st *Store) Open() (*Graph, OpenReport, error) {
+	var report OpenReport
+	gens, err := st.Generations()
+	if err != nil {
+		return nil, report, err
+	}
+	if len(gens) == 0 {
+		return nil, report, ErrNoGenerations
+	}
+	for _, gen := range gens {
+		if reason := st.verify(gen); reason != "" {
+			report.Skipped = append(report.Skipped, SkippedGeneration{Seq: gen.Seq, Path: gen.Path, Reason: reason})
+			continue
+		}
+		g, err := LoadFile(gen.Path)
+		if err != nil {
+			report.Skipped = append(report.Skipped, SkippedGeneration{Seq: gen.Seq, Path: gen.Path, Reason: err.Error()})
+			continue
+		}
+		gen.Nodes, gen.Rels = g.NumNodes(), g.NumRels()
+		report.Loaded = gen
+		return g, report, nil
+	}
+	return nil, report, fmt.Errorf("%w (%d generation(s) failed verification)", ErrNoGenerations, len(report.Skipped))
+}
+
+// verify pre-checks a generation against its manifest record. An empty
+// string means "try loading it"; Load still verifies the snapshot's own
+// checksums.
+func (st *Store) verify(gen Generation) string {
+	info, err := os.Stat(gen.Path)
+	if err != nil {
+		return fmt.Sprintf("missing: %v", err)
+	}
+	if !gen.manifested {
+		return "" // no recorded size/CRC to compare against
+	}
+	if info.Size() != gen.Size {
+		return fmt.Sprintf("size mismatch (manifest %d bytes, file %d)", gen.Size, info.Size())
+	}
+	f, err := os.Open(gen.Path)
+	if err != nil {
+		return fmt.Sprintf("unreadable: %v", err)
+	}
+	defer f.Close()
+	h := crc32.New(castagnoli)
+	if _, err := io.Copy(h, f); err != nil {
+		return fmt.Sprintf("unreadable: %v", err)
+	}
+	if h.Sum32() != gen.CRC {
+		return fmt.Sprintf("checksum mismatch (manifest %08x, file %08x)", gen.CRC, h.Sum32())
+	}
+	return ""
+}
+
+// countWriter counts bytes written through it.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,243 @@
+package graph
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testStore(t *testing.T, keep int) *Store {
+	t.Helper()
+	st, err := OpenStore(t.TempDir(), StoreOptions{Keep: keep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func mustSaveGen(t *testing.T, st *Store, g *Graph) Generation {
+	t.Helper()
+	gen, err := st.Save(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func TestStoreSaveOpenRoundTrip(t *testing.T) {
+	st := testStore(t, 3)
+	g := fixtureGraph()
+	gen := mustSaveGen(t, st, g)
+	if gen.Seq != 1 {
+		t.Fatalf("first generation seq = %d", gen.Seq)
+	}
+	loaded, report, err := st.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Skipped) != 0 || report.Loaded.Seq != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	graphsEquivalent(t, g, loaded)
+}
+
+func TestStoreKeepsNGenerationsAndPrunes(t *testing.T) {
+	st := testStore(t, 3)
+	for i := 0; i < 5; i++ {
+		mustSaveGen(t, st, randomGraph(int64(i+1), 20, 30))
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 {
+		t.Fatalf("retained %d generations, want 3", len(gens))
+	}
+	if gens[0].Seq != 5 || gens[2].Seq != 3 {
+		t.Fatalf("retained seqs: %d..%d, want 5..3", gens[0].Seq, gens[2].Seq)
+	}
+	// Pruned files are really gone.
+	for _, seq := range []uint64{1, 2} {
+		if _, err := os.Stat(filepath.Join(st.Dir(), genFileName(seq))); !os.IsNotExist(err) {
+			t.Errorf("generation %d not pruned (err=%v)", seq, err)
+		}
+	}
+}
+
+// corruptTail flips a byte near the end of a file (inside the v2 trailer
+// CRC region, so the damage is always fatal for that generation).
+func corruptTail(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreOpenFallsBackOverCorruptNewest(t *testing.T) {
+	st := testStore(t, 3)
+	good := randomGraph(1, 30, 40)
+	mustSaveGen(t, st, good)
+	latest := mustSaveGen(t, st, randomGraph(2, 30, 40))
+
+	corruptTail(t, latest.Path)
+	g, report, err := st.Open()
+	if err != nil {
+		t.Fatalf("Open with one bad generation: %v", err)
+	}
+	if report.Loaded.Seq != 1 {
+		t.Fatalf("loaded generation %d, want fallback to 1", report.Loaded.Seq)
+	}
+	if len(report.Skipped) != 1 || report.Skipped[0].Seq != 2 {
+		t.Fatalf("skipped = %+v", report.Skipped)
+	}
+	if !strings.Contains(report.Skipped[0].Reason, "mismatch") {
+		t.Errorf("skip reason does not explain the damage: %q", report.Skipped[0].Reason)
+	}
+	graphsEquivalent(t, good, g)
+}
+
+func TestStoreOpenFallsBackOverTruncatedNewest(t *testing.T) {
+	st := testStore(t, 3)
+	good := randomGraph(1, 30, 40)
+	mustSaveGen(t, st, good)
+	latest := mustSaveGen(t, st, randomGraph(2, 30, 40))
+
+	data, err := os.ReadFile(latest.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(latest.Path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, report, err := st.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Loaded.Seq != 1 || len(report.Skipped) != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+	graphsEquivalent(t, good, g)
+}
+
+func TestStoreOpenFallsBackOverMissingNewest(t *testing.T) {
+	st := testStore(t, 3)
+	mustSaveGen(t, st, randomGraph(1, 30, 40))
+	latest := mustSaveGen(t, st, randomGraph(2, 30, 40))
+	if err := os.Remove(latest.Path); err != nil {
+		t.Fatal(err)
+	}
+	_, report, err := st.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Loaded.Seq != 1 || len(report.Skipped) != 1 {
+		t.Fatalf("report = %+v", report)
+	}
+}
+
+func TestStoreOpenAllGenerationsBad(t *testing.T) {
+	st := testStore(t, 3)
+	for i := 0; i < 2; i++ {
+		gen := mustSaveGen(t, st, randomGraph(int64(i+1), 10, 10))
+		corruptTail(t, gen.Path)
+	}
+	_, report, err := st.Open()
+	if !errors.Is(err, ErrNoGenerations) {
+		t.Fatalf("err = %v, want ErrNoGenerations", err)
+	}
+	if len(report.Skipped) != 2 {
+		t.Fatalf("skipped = %+v", report.Skipped)
+	}
+}
+
+func TestStoreOpenEmpty(t *testing.T) {
+	st := testStore(t, 3)
+	if _, _, err := st.Open(); !errors.Is(err, ErrNoGenerations) {
+		t.Fatalf("err = %v, want ErrNoGenerations", err)
+	}
+}
+
+func TestStoreRecoversUnmanifestedGeneration(t *testing.T) {
+	// Crash window: the snapshot rename completed but the manifest update
+	// never happened. The dir scan must surface the orphan generation, and
+	// Open must serve it (its own internal checksums vouch for it).
+	st := testStore(t, 3)
+	mustSaveGen(t, st, randomGraph(1, 20, 20))
+	orphan := fixtureGraph()
+	if err := orphan.SaveFile(filepath.Join(st.Dir(), genFileName(7))); err != nil {
+		t.Fatal(err)
+	}
+	g, report, err := st.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Loaded.Seq != 7 {
+		t.Fatalf("loaded generation %d, want the newer unmanifested 7", report.Loaded.Seq)
+	}
+	graphsEquivalent(t, orphan, g)
+
+	// The next Save sequences after the orphan and re-manifests everything.
+	gen := mustSaveGen(t, st, randomGraph(2, 20, 20))
+	if gen.Seq != 8 {
+		t.Fatalf("next save seq = %d, want 8", gen.Seq)
+	}
+}
+
+func TestStoreToleratesTornManifestTail(t *testing.T) {
+	st := testStore(t, 3)
+	good := randomGraph(1, 30, 40)
+	mustSaveGen(t, st, good)
+	f, err := os.OpenFile(filepath.Join(st.Dir(), storeManifest), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("gen 99 gen-000099.snap"); err != nil { // torn mid-append
+		t.Fatal(err)
+	}
+	f.Close()
+	g, report, err := st.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Loaded.Seq != 1 {
+		t.Fatalf("loaded %d", report.Loaded.Seq)
+	}
+	graphsEquivalent(t, good, g)
+}
+
+func TestStoreGarbageCollectsTempFiles(t *testing.T) {
+	st := testStore(t, 3)
+	stale := filepath.Join(st.Dir(), "gen-000001.snapshot.tmp-12345")
+	if err := os.WriteFile(stale, []byte("half-written"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustSaveGen(t, st, randomGraph(1, 10, 10))
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived Save (err=%v)", err)
+	}
+}
+
+func TestStoreSaveDoesNotDisturbOldGenerationsOnNewWrite(t *testing.T) {
+	st := testStore(t, 2)
+	g1 := randomGraph(1, 20, 20)
+	gen1 := mustSaveGen(t, st, g1)
+	before, err := os.ReadFile(gen1.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSaveGen(t, st, randomGraph(2, 20, 20))
+	after, err := os.ReadFile(gen1.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("previous generation bytes changed")
+	}
+}

@@ -2,246 +2,480 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
 )
 
-// Snapshot format: a gzip stream wrapping a simple length-prefixed binary
-// layout. The paper distributes IYP as weekly Neo4j dumps (§3.1); Save/Load
-// provide the equivalent distribution channel for this reproduction.
+// Snapshot format: the paper distributes IYP as weekly Neo4j dumps (§3.1);
+// Save/Load provide the equivalent distribution channel for this
+// reproduction. Dumps are reloaded months after they were written, so the
+// format is self-verifying: v2 carries a CRC32C per section plus a trailer
+// with a whole-file checksum and entity counts, letting Load distinguish a
+// good snapshot from a torn or bit-flipped one before trusting any of it.
 //
-//	magic "IYPG" | version u8
+// Format v2 (current):
+//
+//	magic "IYPG" | version u8 = 2
+//	5 sections, in order (labels, types, nodes, rels, indexes), each:
+//	    id u8 | crc32c(compressed) u32le | compressed len u64le |
+//	    uncompressed len u64le | gzip(section body)
+//	trailer:
+//	    0xFF u8 | node count u64le | rel count u64le | label count u64le |
+//	    type count u64le | index count u64le |
+//	    crc32c(file[0:here]) u32le | end magic "GPYI"
+//
+// Section bodies use the same length-prefixed encoding as v1:
+//
 //	label table:  uvarint count, strings
 //	type table:   uvarint count, strings
 //	node slots:   uvarint count, per slot: present u8, [labels, props]
 //	rel slots:    uvarint count, per slot: present u8, [type, from, to, props]
 //	index list:   uvarint count, per entry: label string, key string
-
+//
+// Format v1 (legacy, still loadable): one gzip stream wrapping
+// magic | version u8 = 1 | the five section bodies, no checksums.
+// v1 files start with the gzip magic, v2 files with "IYPG" — Load
+// dispatches on the first two bytes.
 const (
-	snapshotMagic   = "IYPG"
-	snapshotVersion = 1
+	snapshotMagic    = "IYPG"
+	snapshotEndMagic = "GPYI"
+	snapshotV1       = 1
+	snapshotV2       = 2
 )
 
-type snapshotWriter struct {
-	w   *bufio.Writer
-	buf []byte
-	err error
+// Section identifiers, in file order.
+const (
+	secLabels  byte = 1
+	secTypes   byte = 2
+	secNodes   byte = 3
+	secRels    byte = 4
+	secIndexes byte = 5
+	secTrailer byte = 0xFF
+)
+
+var sectionOrder = [...]byte{secLabels, secTypes, secNodes, secRels, secIndexes}
+
+// trailerSize is the fixed byte size of the v2 trailer:
+// marker + five u64 counts + total CRC + end magic.
+const trailerSize = 1 + 5*8 + 4 + 4
+
+// Decoder sanity caps. Length prefixes are validated against the remaining
+// input (v2) or these absolute bounds (v1) before any allocation, so a
+// corrupt file can never trigger a multi-GiB allocation.
+const (
+	maxStringLen   = 1 << 28 // one interned string or blob
+	maxTableLen    = 1 << 16 // label/type tables (ids are u16)
+	initialSlotCap = 1 << 16 // node/rel slice pre-allocation cap
+	initialListCap = 1 << 12 // list value pre-allocation cap
+	initialPropCap = 1 << 10 // props map pre-allocation cap
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a snapshot (or batch journal) that failed structural or
+// checksum validation: truncated, bit-flipped, or otherwise damaged input.
+// Callers test with errors.Is; the Store uses it to fall back to an older
+// generation.
+var ErrCorrupt = errors.New("graph: snapshot corrupt")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }
 
-func (sw *snapshotWriter) uvarint(v uint64) {
-	if sw.err != nil {
-		return
+// asCorrupt folds I/O-level failures (unexpected EOF, bad gzip data) into
+// the typed ErrCorrupt without double-wrapping.
+func asCorrupt(err error) error {
+	if err == nil || errors.Is(err, ErrCorrupt) {
+		return err
 	}
-	sw.buf = binary.AppendUvarint(sw.buf[:0], v)
-	_, sw.err = sw.w.Write(sw.buf)
+	return fmt.Errorf("%w: %v", ErrCorrupt, err)
 }
 
-func (sw *snapshotWriter) byte(b byte) {
-	if sw.err != nil {
-		return
-	}
-	sw.err = sw.w.WriteByte(b)
+// --- encoding ---
+
+// encBuf encodes section bodies into memory. Writes cannot fail.
+type encBuf struct {
+	b       bytes.Buffer
+	scratch []byte
 }
 
-func (sw *snapshotWriter) string(s string) {
-	sw.uvarint(uint64(len(s)))
-	if sw.err != nil {
-		return
-	}
-	_, sw.err = sw.w.WriteString(s)
+func (e *encBuf) uvarint(v uint64) {
+	e.scratch = binary.AppendUvarint(e.scratch[:0], v)
+	e.b.Write(e.scratch)
 }
 
-func (sw *snapshotWriter) value(v Value) {
-	sw.byte(byte(v.kind))
+func (e *encBuf) byte(b byte) { e.b.WriteByte(b) }
+
+func (e *encBuf) string(s string) {
+	e.uvarint(uint64(len(s)))
+	e.b.WriteString(s)
+}
+
+func (e *encBuf) value(v Value) {
+	e.byte(byte(v.kind))
 	switch v.kind {
 	case KindNull:
 	case KindBool:
 		if v.b {
-			sw.byte(1)
+			e.byte(1)
 		} else {
-			sw.byte(0)
+			e.byte(0)
 		}
 	case KindInt:
-		sw.uvarint(uint64(v.i)) // two's complement round-trips through uint64
+		e.uvarint(uint64(v.i)) // two's complement round-trips through uint64
 	case KindFloat:
-		sw.uvarint(math.Float64bits(v.f))
+		e.uvarint(math.Float64bits(v.f))
 	case KindString:
-		sw.string(v.s)
+		e.string(v.s)
 	case KindList:
-		sw.uvarint(uint64(len(v.list)))
-		for _, e := range v.list {
-			sw.value(e)
+		e.uvarint(uint64(len(v.list)))
+		for _, el := range v.list {
+			e.value(el)
 		}
 	}
 }
 
-func (sw *snapshotWriter) props(p Props) {
-	sw.uvarint(uint64(len(p)))
+func (e *encBuf) props(p Props) {
+	e.uvarint(uint64(len(p)))
 	// Deterministic order keeps snapshots byte-stable for identical graphs.
 	for _, k := range p.Keys() {
-		sw.string(k)
-		sw.value(p[k])
+		e.string(k)
+		e.value(p[k])
 	}
 }
 
-// Save writes the graph snapshot to w.
+// crcWriter tracks the running CRC32C of everything written through it.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, castagnoli, p)
+	return cw.w.Write(p)
+}
+
+func (cw *crcWriter) u32(v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	_, err := cw.Write(b[:])
+	return err
+}
+
+func (cw *crcWriter) u64(v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	_, err := cw.Write(b[:])
+	return err
+}
+
+// Save writes a format-v2 snapshot of the graph to w.
 func (g *Graph) Save(w io.Writer) error {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 
-	zw := gzip.NewWriter(w)
-	sw := &snapshotWriter{w: bufio.NewWriterSize(zw, 1<<16)}
-
-	if _, err := sw.w.WriteString(snapshotMagic); err != nil {
+	out := &crcWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if _, err := out.Write([]byte(snapshotMagic)); err != nil {
 		return err
 	}
-	sw.byte(snapshotVersion)
-
-	sw.uvarint(uint64(len(g.labelNames)))
-	for _, s := range g.labelNames {
-		sw.string(s)
-	}
-	sw.uvarint(uint64(len(g.typeNames)))
-	for _, s := range g.typeNames {
-		sw.string(s)
-	}
-
-	sw.uvarint(uint64(len(g.nodes)))
-	for _, n := range g.nodes {
-		if n == nil {
-			sw.byte(0)
-			continue
-		}
-		sw.byte(1)
-		sw.uvarint(uint64(len(n.labels)))
-		for _, l := range n.labels {
-			sw.uvarint(uint64(l))
-		}
-		sw.props(n.props)
-	}
-
-	sw.uvarint(uint64(len(g.rels)))
-	for _, r := range g.rels {
-		if r == nil {
-			sw.byte(0)
-			continue
-		}
-		sw.byte(1)
-		sw.uvarint(uint64(r.typ))
-		sw.uvarint(uint64(r.from))
-		sw.uvarint(uint64(r.to))
-		sw.props(r.props)
-	}
-
-	sw.uvarint(uint64(len(g.propIdx)))
-	for pid := range g.propIdx {
-		sw.string(g.labelNames[pid.label])
-		sw.string(pid.key)
-	}
-
-	if sw.err != nil {
-		return fmt.Errorf("graph: snapshot write: %w", sw.err)
-	}
-	if err := sw.w.Flush(); err != nil {
+	if _, err := out.Write([]byte{snapshotV2}); err != nil {
 		return err
 	}
-	return zw.Close()
+
+	var enc encBuf
+	var comp bytes.Buffer
+	writeSection := func(id byte, fill func(e *encBuf)) error {
+		enc.b.Reset()
+		fill(&enc)
+		comp.Reset()
+		zw := gzip.NewWriter(&comp)
+		if _, err := zw.Write(enc.b.Bytes()); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		if _, err := out.Write([]byte{id}); err != nil {
+			return err
+		}
+		if err := out.u32(crc32.Checksum(comp.Bytes(), castagnoli)); err != nil {
+			return err
+		}
+		if err := out.u64(uint64(comp.Len())); err != nil {
+			return err
+		}
+		if err := out.u64(uint64(enc.b.Len())); err != nil {
+			return err
+		}
+		_, err := out.Write(comp.Bytes())
+		return err
+	}
+
+	if err := writeSection(secLabels, func(e *encBuf) {
+		e.uvarint(uint64(len(g.labelNames)))
+		for _, s := range g.labelNames {
+			e.string(s)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := writeSection(secTypes, func(e *encBuf) {
+		e.uvarint(uint64(len(g.typeNames)))
+		for _, s := range g.typeNames {
+			e.string(s)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := writeSection(secNodes, func(e *encBuf) {
+		e.uvarint(uint64(len(g.nodes)))
+		for _, n := range g.nodes {
+			if n == nil {
+				e.byte(0)
+				continue
+			}
+			e.byte(1)
+			e.uvarint(uint64(len(n.labels)))
+			for _, l := range n.labels {
+				e.uvarint(uint64(l))
+			}
+			e.props(n.props)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := writeSection(secRels, func(e *encBuf) {
+		e.uvarint(uint64(len(g.rels)))
+		for _, r := range g.rels {
+			if r == nil {
+				e.byte(0)
+				continue
+			}
+			e.byte(1)
+			e.uvarint(uint64(r.typ))
+			e.uvarint(uint64(r.from))
+			e.uvarint(uint64(r.to))
+			e.props(r.props)
+		}
+	}); err != nil {
+		return err
+	}
+	if err := writeSection(secIndexes, func(e *encBuf) {
+		// propIdx is a map; sort the entries so identical graphs produce
+		// byte-identical snapshots.
+		entries := make([]propIdxID, 0, len(g.propIdx))
+		for pid := range g.propIdx {
+			entries = append(entries, pid)
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			li, lj := g.labelNames[entries[i].label], g.labelNames[entries[j].label]
+			if li != lj {
+				return li < lj
+			}
+			return entries[i].key < entries[j].key
+		})
+		e.uvarint(uint64(len(entries)))
+		for _, pid := range entries {
+			e.string(g.labelNames[pid.label])
+			e.string(pid.key)
+		}
+	}); err != nil {
+		return err
+	}
+
+	// Trailer: counts, then the total CRC over everything before it.
+	if _, err := out.Write([]byte{secTrailer}); err != nil {
+		return err
+	}
+	for _, c := range [...]uint64{
+		uint64(g.nodeCount),
+		uint64(g.relCount),
+		uint64(len(g.labelNames)),
+		uint64(len(g.typeNames)),
+		uint64(len(g.propIdx)),
+	} {
+		if err := out.u64(c); err != nil {
+			return err
+		}
+	}
+	if err := out.u32(out.crc); err != nil {
+		return err
+	}
+	if _, err := out.Write([]byte(snapshotEndMagic)); err != nil {
+		return err
+	}
+	return out.w.Flush()
 }
 
-type snapshotReader struct {
+// --- decoding ---
+
+// snapReader abstracts the two decode sources: the v1 gzip stream and v2
+// in-memory section bodies. Implementations bound allocations: readFull
+// grows incrementally and limit reports how many more items could possibly
+// be encoded in the remaining input.
+type snapReader interface {
+	io.ByteReader
+	readFull(n uint64) ([]byte, error)
+	limit() uint64
+}
+
+// sliceReader decodes a fully-materialized section body with strict bounds.
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (s *sliceReader) remaining() int { return len(s.data) - s.off }
+
+func (s *sliceReader) limit() uint64 { return uint64(s.remaining()) }
+
+func (s *sliceReader) ReadByte() (byte, error) {
+	if s.off >= len(s.data) {
+		return 0, corruptf("truncated section")
+	}
+	b := s.data[s.off]
+	s.off++
+	return b, nil
+}
+
+func (s *sliceReader) readFull(n uint64) ([]byte, error) {
+	if n > uint64(s.remaining()) {
+		return nil, corruptf("length prefix %d exceeds remaining %d bytes", n, s.remaining())
+	}
+	b := s.data[s.off : s.off+int(n)]
+	s.off += int(n)
+	return b, nil
+}
+
+// streamReader decodes the legacy v1 gzip stream. The remaining input size
+// is unknown, so limit is unbounded and readFull grows its buffer as data
+// actually arrives — a lying length prefix costs at most the real payload.
+type streamReader struct {
 	r *bufio.Reader
 }
 
-func (sr *snapshotReader) uvarint() (uint64, error) {
-	return binary.ReadUvarint(sr.r)
+func (s *streamReader) limit() uint64 { return math.MaxUint64 }
+
+func (s *streamReader) ReadByte() (byte, error) { return s.r.ReadByte() }
+
+func (s *streamReader) readFull(n uint64) ([]byte, error) {
+	if n > maxStringLen {
+		return nil, corruptf("length prefix %d too large", n)
+	}
+	// ReadAll grows incrementally: a corrupt length prefix larger than the
+	// actual stream allocates only what the stream really contains.
+	b, err := io.ReadAll(io.LimitReader(s.r, int64(n)))
+	if err != nil {
+		return nil, asCorrupt(err)
+	}
+	if uint64(len(b)) != n {
+		return nil, corruptf("need %d bytes, stream ended after %d", n, len(b))
+	}
+	return b, nil
 }
 
-func (sr *snapshotReader) byte() (byte, error) {
-	return sr.r.ReadByte()
+func readUvarint(d snapReader) (uint64, error) {
+	v, err := binary.ReadUvarint(d)
+	if err != nil {
+		return 0, asCorrupt(err)
+	}
+	return v, nil
 }
 
-func (sr *snapshotReader) string() (string, error) {
-	n, err := sr.uvarint()
+func readString(d snapReader) (string, error) {
+	n, err := readUvarint(d)
 	if err != nil {
 		return "", err
 	}
-	if n > 1<<28 {
-		return "", fmt.Errorf("graph: snapshot string length %d too large", n)
+	if n > maxStringLen || n > d.limit() {
+		return "", corruptf("string length %d too large", n)
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(sr.r, b); err != nil {
+	b, err := d.readFull(n)
+	if err != nil {
 		return "", err
 	}
 	return string(b), nil
 }
 
-func (sr *snapshotReader) value() (Value, error) {
-	kb, err := sr.byte()
+func readValue(d snapReader) (Value, error) {
+	kb, err := d.ReadByte()
 	if err != nil {
-		return Null(), err
+		return Null(), asCorrupt(err)
 	}
 	switch Kind(kb) {
 	case KindNull:
 		return Null(), nil
 	case KindBool:
-		b, err := sr.byte()
+		b, err := d.ReadByte()
 		if err != nil {
-			return Null(), err
+			return Null(), asCorrupt(err)
 		}
 		return Bool(b != 0), nil
 	case KindInt:
-		u, err := sr.uvarint()
+		u, err := readUvarint(d)
 		if err != nil {
 			return Null(), err
 		}
 		return Int(int64(u)), nil
 	case KindFloat:
-		u, err := sr.uvarint()
+		u, err := readUvarint(d)
 		if err != nil {
 			return Null(), err
 		}
 		return Float(math.Float64frombits(u)), nil
 	case KindString:
-		s, err := sr.string()
+		s, err := readString(d)
 		if err != nil {
 			return Null(), err
 		}
 		return String(s), nil
 	case KindList:
-		n, err := sr.uvarint()
+		n, err := readUvarint(d)
 		if err != nil {
 			return Null(), err
 		}
-		if n > 1<<24 {
-			return Null(), fmt.Errorf("graph: snapshot list length %d too large", n)
+		// Each element is at least one byte.
+		if n > d.limit() {
+			return Null(), corruptf("list length %d too large", n)
 		}
-		vs := make([]Value, n)
-		for i := range vs {
-			if vs[i], err = sr.value(); err != nil {
+		vs := make([]Value, 0, min(n, initialListCap))
+		for i := uint64(0); i < n; i++ {
+			v, err := readValue(d)
+			if err != nil {
 				return Null(), err
 			}
+			vs = append(vs, v)
 		}
 		return List(vs...), nil
 	}
-	return Null(), fmt.Errorf("graph: snapshot: unknown value kind %d", kb)
+	return Null(), corruptf("unknown value kind %d", kb)
 }
 
-func (sr *snapshotReader) props() (Props, error) {
-	n, err := sr.uvarint()
+func readProps(d snapReader) (Props, error) {
+	n, err := readUvarint(d)
 	if err != nil {
 		return nil, err
 	}
-	p := make(Props, n)
+	// Each entry takes at least two bytes (key length + value kind).
+	if n > d.limit() {
+		return nil, corruptf("property count %d too large", n)
+	}
+	p := make(Props, min(n, initialPropCap))
 	for i := uint64(0); i < n; i++ {
-		k, err := sr.string()
+		k, err := readString(d)
 		if err != nil {
 			return nil, err
 		}
-		v, err := sr.value()
+		v, err := readValue(d)
 		if err != nil {
 			return nil, err
 		}
@@ -250,137 +484,155 @@ func (sr *snapshotReader) props() (Props, error) {
 	return p, nil
 }
 
-// Load reads a snapshot written by Save and returns the reconstructed
-// graph, including rebuilt adjacency, label indexes, and property indexes.
-func Load(r io.Reader) (*Graph, error) {
-	zr, err := gzip.NewReader(r)
-	if err != nil {
-		return nil, fmt.Errorf("graph: snapshot: %w", err)
-	}
-	defer zr.Close()
-	sr := &snapshotReader{r: bufio.NewReaderSize(zr, 1<<16)}
-
-	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(sr.r, magic); err != nil {
-		return nil, fmt.Errorf("graph: snapshot header: %w", err)
-	}
-	if string(magic) != snapshotMagic {
-		return nil, fmt.Errorf("graph: not a snapshot (bad magic %q)", magic)
-	}
-	ver, err := sr.byte()
+// decodeStringTable reads a label or type table (bounded by maxTableLen,
+// since ids are u16).
+func decodeStringTable(d snapReader, what string) ([]string, error) {
+	n, err := readUvarint(d)
 	if err != nil {
 		return nil, err
 	}
-	if ver != snapshotVersion {
-		return nil, fmt.Errorf("graph: unsupported snapshot version %d", ver)
+	if n > maxTableLen || n > d.limit() {
+		return nil, corruptf("%s table size %d too large", what, n)
 	}
-
-	g := New()
-
-	nLabels, err := sr.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	for i := uint64(0); i < nLabels; i++ {
-		s, err := sr.string()
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := readString(d)
 		if err != nil {
 			return nil, err
 		}
-		g.internLabel(s)
+		out = append(out, s)
 	}
-	nTypes, err := sr.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	for i := uint64(0); i < nTypes; i++ {
-		s, err := sr.string()
-		if err != nil {
-			return nil, err
-		}
-		g.internType(s)
-	}
+	return out, nil
+}
 
-	nNodes, err := sr.uvarint()
+// decodeNodes reads the node-slot section into g (callers hold no locks;
+// g is still private to the loader).
+func decodeNodes(g *Graph, d snapReader) error {
+	nLabels := uint64(len(g.labelNames))
+	nNodes, err := readUvarint(d)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	g.nodes = make([]*Node, 0, nNodes)
+	// Each slot takes at least one byte.
+	if nNodes > d.limit() {
+		return corruptf("node count %d exceeds input", nNodes)
+	}
+	g.nodes = make([]*Node, 0, min(nNodes, initialSlotCap))
 	for i := uint64(0); i < nNodes; i++ {
-		present, err := sr.byte()
+		present, err := d.ReadByte()
 		if err != nil {
-			return nil, err
+			return asCorrupt(err)
 		}
 		if present == 0 {
 			g.nodes = append(g.nodes, nil)
 			continue
 		}
-		nl, err := sr.uvarint()
+		nl, err := readUvarint(d)
 		if err != nil {
-			return nil, err
+			return err
+		}
+		if nl > nLabels {
+			return corruptf("node %d: label count %d exceeds table size %d", i+1, nl, nLabels)
 		}
 		n := &Node{id: NodeID(i + 1), labels: make([]labelID, nl)}
 		for j := range n.labels {
-			l, err := sr.uvarint()
+			l, err := readUvarint(d)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if l >= nLabels {
-				return nil, fmt.Errorf("graph: snapshot: label id %d out of range", l)
+				return corruptf("label id %d out of range", l)
 			}
 			n.labels[j] = labelID(l)
 		}
-		if n.props, err = sr.props(); err != nil {
-			return nil, err
+		if n.props, err = readProps(d); err != nil {
+			return err
 		}
 		g.nodes = append(g.nodes, n)
 		g.nodeCount++
 	}
+	return nil
+}
 
-	nRels, err := sr.uvarint()
+// decodeRels reads the relationship-slot section into g, validating
+// endpoints against the already-decoded nodes.
+func decodeRels(g *Graph, d snapReader) error {
+	nTypes := uint64(len(g.typeNames))
+	nRels, err := readUvarint(d)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	g.rels = make([]*Rel, 0, nRels)
+	if nRels > d.limit() {
+		return corruptf("relationship count %d exceeds input", nRels)
+	}
+	g.rels = make([]*Rel, 0, min(nRels, initialSlotCap))
 	for i := uint64(0); i < nRels; i++ {
-		present, err := sr.byte()
+		present, err := d.ReadByte()
 		if err != nil {
-			return nil, err
+			return asCorrupt(err)
 		}
 		if present == 0 {
 			g.rels = append(g.rels, nil)
 			continue
 		}
-		typ, err := sr.uvarint()
+		typ, err := readUvarint(d)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if typ >= nTypes {
-			return nil, fmt.Errorf("graph: snapshot: type id %d out of range", typ)
+			return corruptf("type id %d out of range", typ)
 		}
-		from, err := sr.uvarint()
+		from, err := readUvarint(d)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		to, err := sr.uvarint()
+		to, err := readUvarint(d)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		props, err := sr.props()
+		props, err := readProps(d)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r := &Rel{id: RelID(i + 1), typ: typeID(typ), from: NodeID(from), to: NodeID(to), props: props}
 		fn, tn := g.node(r.from), g.node(r.to)
 		if fn == nil || tn == nil {
-			return nil, fmt.Errorf("graph: snapshot: relationship %d references missing node", r.id)
+			return corruptf("relationship %d references missing node", r.id)
 		}
 		g.rels = append(g.rels, r)
 		g.relCount++
 		fn.out = append(fn.out, r.id)
 		tn.in = append(tn.in, r.id)
 	}
+	return nil
+}
 
-	// Rebuild label index.
+// decodeIndexes reads the index declarations and rebuilds each index.
+func decodeIndexes(g *Graph, d snapReader) error {
+	nIdx, err := readUvarint(d)
+	if err != nil {
+		return err
+	}
+	if nIdx > d.limit() {
+		return corruptf("index count %d exceeds input", nIdx)
+	}
+	for i := uint64(0); i < nIdx; i++ {
+		label, err := readString(d)
+		if err != nil {
+			return err
+		}
+		key, err := readString(d)
+		if err != nil {
+			return err
+		}
+		g.ensureIndexLocked(label, key)
+	}
+	return nil
+}
+
+// rebuildLabelIndex repopulates labelIdx from the decoded nodes. It must run
+// before decodeIndexes, which backfills property indexes from it.
+func rebuildLabelIndex(g *Graph) {
 	for _, n := range g.nodes {
 		if n == nil {
 			continue
@@ -394,43 +646,270 @@ func Load(r io.Reader) (*Graph, error) {
 			set[n.id] = struct{}{}
 		}
 	}
+}
 
-	nIdx, err := sr.uvarint()
+// Load reads a snapshot written by Save (either format version) and returns
+// the reconstructed graph, including rebuilt adjacency, label indexes, and
+// property indexes. Corrupt input of either version — truncated,
+// bit-flipped, or with lying length prefixes — yields an error wrapping
+// ErrCorrupt; Load never panics and never allocates beyond what the real
+// input can back.
+func Load(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
+	if err != nil {
+		return nil, corruptf("snapshot header: %v", err)
+	}
+	if head[0] == 0x1f && head[1] == 0x8b { // gzip magic: a legacy v1 stream
+		return loadV1(br)
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("graph: snapshot read: %w", err)
+	}
+	return loadV2(data)
+}
+
+func loadV1(r io.Reader) (*Graph, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, corruptf("snapshot: %v", err)
+	}
+	defer zr.Close()
+	d := &streamReader{r: bufio.NewReaderSize(zr, 1<<16)}
+
+	magic, err := d.readFull(uint64(len(snapshotMagic)))
 	if err != nil {
 		return nil, err
 	}
-	for i := uint64(0); i < nIdx; i++ {
-		label, err := sr.string()
-		if err != nil {
-			return nil, err
-		}
-		key, err := sr.string()
-		if err != nil {
-			return nil, err
-		}
-		g.ensureIndexLocked(label, key)
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("graph: not a snapshot (bad magic %q)", magic)
+	}
+	ver, err := d.ReadByte()
+	if err != nil {
+		return nil, asCorrupt(err)
+	}
+	if ver != snapshotV1 {
+		return nil, fmt.Errorf("graph: unsupported snapshot version %d", ver)
 	}
 
+	g := New()
+	labels, err := decodeStringTable(d, "label")
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range labels {
+		g.internLabel(s)
+	}
+	types, err := decodeStringTable(d, "type")
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range types {
+		g.internType(s)
+	}
+	if err := decodeNodes(g, d); err != nil {
+		return nil, err
+	}
+	if err := decodeRels(g, d); err != nil {
+		return nil, err
+	}
+	rebuildLabelIndex(g)
+	if err := decodeIndexes(g, d); err != nil {
+		return nil, err
+	}
+	// Drain to EOF: this forces the gzip reader to see (and verify) its
+	// footer checksum, catching a file truncated inside the trailing bytes
+	// that the section decode alone would never touch.
+	if _, err := d.r.ReadByte(); err != io.EOF {
+		if err == nil {
+			return nil, corruptf("trailing data after snapshot sections")
+		}
+		return nil, asCorrupt(err)
+	}
 	return g, nil
 }
 
-// SaveFile writes a snapshot to path atomically (temp file + rename).
+func loadV2(data []byte) (*Graph, error) {
+	headerSize := len(snapshotMagic) + 1
+	if len(data) < headerSize+trailerSize {
+		return nil, corruptf("file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, fmt.Errorf("graph: not a snapshot (bad magic %q)", data[:len(snapshotMagic)])
+	}
+	if v := data[len(snapshotMagic)]; v != snapshotV2 {
+		return nil, fmt.Errorf("graph: unsupported snapshot version %d", v)
+	}
+
+	// Whole-file integrity first: a missing end marker means a torn write,
+	// a total-CRC mismatch means bit rot somewhere — reject before parsing.
+	if string(data[len(data)-len(snapshotEndMagic):]) != snapshotEndMagic {
+		return nil, corruptf("missing end marker (torn or truncated file)")
+	}
+	crcOff := len(data) - len(snapshotEndMagic) - 4
+	wantCRC := binary.LittleEndian.Uint32(data[crcOff:])
+	if got := crc32.Checksum(data[:crcOff], castagnoli); got != wantCRC {
+		return nil, corruptf("total checksum mismatch (stored %08x, computed %08x)", wantCRC, got)
+	}
+	trailerOff := len(data) - trailerSize
+	if data[trailerOff] != secTrailer {
+		return nil, corruptf("bad trailer marker %#x", data[trailerOff])
+	}
+	var wantCounts [5]uint64
+	for i := range wantCounts {
+		wantCounts[i] = binary.LittleEndian.Uint64(data[trailerOff+1+8*i:])
+	}
+
+	g := New()
+	off := headerSize
+	for _, id := range sectionOrder {
+		body, n, err := readSection(data[off:trailerOff], id)
+		if err != nil {
+			return nil, err
+		}
+		off += n
+		d := &sliceReader{data: body}
+		switch id {
+		case secLabels:
+			labels, err := decodeStringTable(d, "label")
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range labels {
+				g.internLabel(s)
+			}
+		case secTypes:
+			types, err := decodeStringTable(d, "type")
+			if err != nil {
+				return nil, err
+			}
+			for _, s := range types {
+				g.internType(s)
+			}
+		case secNodes:
+			if err := decodeNodes(g, d); err != nil {
+				return nil, err
+			}
+			rebuildLabelIndex(g)
+		case secRels:
+			if err := decodeRels(g, d); err != nil {
+				return nil, err
+			}
+		case secIndexes:
+			if err := decodeIndexes(g, d); err != nil {
+				return nil, err
+			}
+		}
+		if d.remaining() != 0 {
+			return nil, corruptf("section %d has %d trailing bytes", id, d.remaining())
+		}
+	}
+	if off != trailerOff {
+		return nil, corruptf("%d unexpected bytes between sections and trailer", trailerOff-off)
+	}
+
+	// The trailer counts double-check the decode.
+	gotCounts := [5]uint64{
+		uint64(g.nodeCount),
+		uint64(g.relCount),
+		uint64(len(g.labelNames)),
+		uint64(len(g.typeNames)),
+		uint64(len(g.propIdx)),
+	}
+	if gotCounts != wantCounts {
+		return nil, corruptf("trailer counts %v do not match decoded contents %v", wantCounts, gotCounts)
+	}
+	return g, nil
+}
+
+// readSection parses one v2 section from the front of data: it validates the
+// header, checks the payload CRC before decompressing, and returns the
+// decompressed body plus the number of bytes consumed.
+func readSection(data []byte, wantID byte) ([]byte, int, error) {
+	const hdr = 1 + 4 + 8 + 8
+	if len(data) < hdr {
+		return nil, 0, corruptf("section %d: truncated header", wantID)
+	}
+	if data[0] != wantID {
+		return nil, 0, corruptf("expected section %d, found %#x", wantID, data[0])
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[1:])
+	clen := binary.LittleEndian.Uint64(data[5:])
+	ulen := binary.LittleEndian.Uint64(data[13:])
+	if clen > uint64(len(data)-hdr) {
+		return nil, 0, corruptf("section %d: compressed length %d exceeds remaining %d bytes", wantID, clen, len(data)-hdr)
+	}
+	// DEFLATE expands at most ~1032:1; a larger claim is a lying header.
+	if ulen > clen*1032+1024 {
+		return nil, 0, corruptf("section %d: uncompressed length %d implausible for %d compressed bytes", wantID, ulen, clen)
+	}
+	comp := data[hdr : hdr+int(clen)]
+	if got := crc32.Checksum(comp, castagnoli); got != wantCRC {
+		return nil, 0, corruptf("section %d: checksum mismatch (stored %08x, computed %08x)", wantID, wantCRC, got)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		return nil, 0, corruptf("section %d: %v", wantID, err)
+	}
+	defer zr.Close()
+	// Grow-as-read keeps allocation bounded by the real decompressed size.
+	var body bytes.Buffer
+	n, err := io.Copy(&body, io.LimitReader(zr, int64(ulen)+1))
+	if err != nil {
+		return nil, 0, corruptf("section %d: %v", wantID, err)
+	}
+	if uint64(n) != ulen {
+		return nil, 0, corruptf("section %d: decompressed to %d bytes, header claims %d", wantID, n, ulen)
+	}
+	return body.Bytes(), hdr + int(clen), nil
+}
+
+// --- files ---
+
+// SaveFile writes a snapshot to path durably: the snapshot is written to a
+// temp file in the same directory, fsync'd, renamed over path, and the
+// parent directory is fsync'd so the rename itself survives a crash. A
+// failure at any step leaves the previous snapshot at path untouched.
 func (g *Graph) SaveFile(path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := g.Save(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if err := g.Save(f); err != nil {
+		return fail(err)
+	}
+	// Sync file contents before the rename: rename-before-data-reaches-disk
+	// is exactly the crash window that loses a "successfully" saved snapshot.
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadFile reads a snapshot from path.

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fixtureGraph rebuilds, in code, the exact graph behind the committed
+// testdata/v1-golden.snapshot fixture (written once with the legacy v1
+// writer). Keep in sync with the fixture — regenerating the fixture means
+// regenerating it from this function.
+func fixtureGraph() *Graph {
+	g := New()
+	labels := []string{"AS", "Prefix", "IP", "HostName", "Tag"}
+	var ids []NodeID
+	for i := 0; i < 40; i++ {
+		props := Props{"id": Int(int64(i))}
+		switch i % 4 {
+		case 0:
+			props["name"] = String(fmt.Sprintf("n%d", i))
+		case 1:
+			props["score"] = Float(float64(i) / 7.0)
+		case 2:
+			props["flag"] = Bool(i%8 == 2)
+		case 3:
+			props["tags"] = Strings("x", "y")
+		}
+		nl := []string{labels[i%len(labels)]}
+		if i%3 == 0 {
+			nl = append(nl, labels[(i+1)%len(labels)])
+		}
+		ids = append(ids, g.AddNode(nl, props))
+	}
+	types := []string{"ORIGINATE", "RESOLVES_TO", "PART_OF"}
+	for i := 0; i < 60; i++ {
+		from := ids[(i*7)%len(ids)]
+		to := ids[(i*13+5)%len(ids)]
+		if _, err := g.AddRel(types[i%len(types)], from, to, Props{"w": Int(int64(i))}); err != nil {
+			panic(err)
+		}
+	}
+	for _, i := range []int{4, 17, 29} {
+		if err := g.DeleteNode(ids[i]); err != nil {
+			panic(err)
+		}
+	}
+	g.EnsureIndex("AS", "id")
+	g.EnsureIndex("Prefix", "id")
+	return g
+}
+
+// TestV1GoldenLoads is the backward-compatibility gate: the committed
+// legacy-format fixture must keep loading, bit for bit, into the graph that
+// produced it.
+func TestV1GoldenLoads(t *testing.T) {
+	g, err := LoadFile("testdata/v1-golden.snapshot")
+	if err != nil {
+		t.Fatalf("v1 golden fixture no longer loads: %v", err)
+	}
+	st := g.Stats()
+	if st.Nodes != 37 || st.Rels != 50 {
+		t.Fatalf("golden fixture decoded to %d nodes, %d rels; want 37, 50", st.Nodes, st.Rels)
+	}
+	wantByLabel := map[string]int{"AS": 11, "Prefix": 11, "IP": 10, "HostName": 10, "Tag": 9}
+	for l, n := range wantByLabel {
+		if st.ByLabel[l] != n {
+			t.Errorf("label %s: %d nodes, want %d", l, st.ByLabel[l], n)
+		}
+	}
+	for _, idx := range [][2]string{{"AS", "id"}, {"Prefix", "id"}} {
+		if !g.HasIndex(idx[0], idx[1]) {
+			t.Errorf("index %s.%s lost", idx[0], idx[1])
+		}
+	}
+	// The decoded graph matches the in-code fixture node for node.
+	graphsEquivalent(t, fixtureGraph(), g)
+}
+
+// TestV1GoldenResavesAsV2 checks the upgrade path: loading a v1 snapshot
+// and re-saving it yields a v2 file describing the identical graph.
+func TestV1GoldenResavesAsV2(t *testing.T) {
+	g, err := LoadFile("testdata/v1-golden.snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf.Bytes()[:len(snapshotMagic)]) != snapshotMagic || buf.Bytes()[len(snapshotMagic)] != snapshotV2 {
+		t.Fatal("re-save did not produce a v2 snapshot")
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("v2 re-save does not load: %v", err)
+	}
+	graphsEquivalent(t, g, g2)
+}
+
+func TestV1EmptyLoads(t *testing.T) {
+	g, err := LoadFile("testdata/v1-empty.snapshot")
+	if err != nil {
+		t.Fatalf("v1 empty fixture: %v", err)
+	}
+	if st := g.Stats(); st.Nodes != 0 || st.Rels != 0 {
+		t.Fatalf("empty fixture decoded to %d nodes, %d rels", st.Nodes, st.Rels)
+	}
+}
+
+// TestSnapshotByteStableWithMultipleIndexes pins the determinism the
+// resumable-build guarantee rests on: two saves of equivalent graphs are
+// byte-identical even with several property indexes (whose in-memory form
+// is an unordered map).
+func TestSnapshotByteStableWithMultipleIndexes(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := fixtureGraph().Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := fixtureGraph().Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("equivalent graphs produced different snapshot bytes")
+	}
+}

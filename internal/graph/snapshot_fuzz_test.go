@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// FuzzLoad throws arbitrary bytes at the snapshot loader. The invariant is
+// the corruption suite's, universally quantified: Load returns a graph or
+// an error — it never panics, hangs, or allocates beyond what the input
+// can back. Seeds cover both format versions, their truncations, and the
+// journal format (whose magic Load rejects).
+func FuzzLoad(f *testing.F) {
+	for _, fixture := range []string{"testdata/v1-golden.snapshot", "testdata/v1-empty.snapshot"} {
+		data, err := os.ReadFile(fixture)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	var v2 bytes.Buffer
+	if err := fixtureGraph().Save(&v2); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Add(v2.Bytes()[:len(v2.Bytes())/2])
+	var empty bytes.Buffer
+	if err := New().Save(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Add([]byte(snapshotMagic))
+	f.Add([]byte{0x1f, 0x8b})
+	f.Add([]byte(batchMagic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must round-trip: save it and load it back.
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			t.Fatalf("accepted graph does not re-save: %v", err)
+		}
+		if _, err := Load(&buf); err != nil {
+			t.Fatalf("accepted graph does not round-trip: %v", err)
+		}
+	})
+}
+
+// FuzzReadBatch does the same for the checkpoint journal decoder.
+func FuzzReadBatch(f *testing.F) {
+	b := NewBatch()
+	n1 := b.MergeNode("AS", "asn", Int(64500), []string{"BGPCollector"}, Props{"name": String("TEST-AS")})
+	n2 := b.MergeNode("Prefix", "prefix", String("192.0.2.0/24"), nil, nil)
+	_ = b.SetNodeProp(n1, "rank", Int(7))
+	_ = b.AddLabel(n2, "RPKI")
+	_ = b.AddRel("ORIGINATE", n1, n2, Props{"count": Int(3)})
+	var buf bytes.Buffer
+	if err := WriteBatch(&buf, b); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:len(buf.Bytes())/2])
+	f.Add([]byte(batchMagic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rb, err := ReadBatch(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must apply cleanly: every handle was validated.
+		if _, err := New().ApplyBatch(rb); err != nil {
+			t.Fatalf("accepted journal fails to apply: %v", err)
+		}
+	})
+}

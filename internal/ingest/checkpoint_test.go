@@ -1,0 +1,338 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"iyp/internal/graph"
+	"iyp/internal/ontology"
+	"iyp/internal/source"
+)
+
+var ckptFetchTime = time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// stagedSession returns a session with a few uncommitted writes, keyed by i
+// so different sessions stage different data.
+func stagedSession(t *testing.T, g *graph.Graph, dataset string, i int) *Session {
+	t.Helper()
+	s := NewSession(g, source.NewCatalog(), ontology.Reference{Organization: "T", Name: dataset, FetchTime: ckptFetchTime})
+	as, err := s.Node(ontology.AS, uint32(64500+i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfx, err := s.Node(ontology.Prefix, "192.0.2.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Link(ontology.Originate, as, pfx, nil); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckpointRecordOpenReplay(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := CreateCheckpoint(dir, "fp-1", ckptFetchTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	datasets := []string{"t.a", "t.b", "t.c"}
+	for i, d := range datasets {
+		s := stagedSession(t, g, d, i)
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Record(d, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Fingerprint() != "fp-1" {
+		t.Errorf("fingerprint = %q", re.Fingerprint())
+	}
+	if !re.FetchTime().Equal(ckptFetchTime) {
+		t.Errorf("fetch time = %v", re.FetchTime())
+	}
+	if got := re.Datasets(); len(got) != 3 || got[0] != "t.a" || got[2] != "t.c" {
+		t.Fatalf("datasets = %v", got)
+	}
+
+	// Replay reproduces the committed graph exactly.
+	rg := graph.New()
+	replayed, err := re.Replay(rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 3 {
+		t.Fatalf("replayed %d commits", len(replayed))
+	}
+	if rg.NumNodes() != g.NumNodes() || rg.NumRels() != g.NumRels() {
+		t.Fatalf("replay diverged: %d/%d nodes, %d/%d rels",
+			rg.NumNodes(), g.NumNodes(), rg.NumRels(), g.NumRels())
+	}
+}
+
+func TestCheckpointOpenMissing(t *testing.T) {
+	if _, err := OpenCheckpoint(filepath.Join(t.TempDir(), "nope")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCheckpointTornManifestTailKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := CreateCheckpoint(dir, "fp", ckptFetchTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	for i, d := range []string{"t.a", "t.b"} {
+		s := stagedSession(t, g, d, i)
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Record(d, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp.Close()
+
+	// Simulate a crash mid-append: a half-written third record.
+	f, err := os.OpenFile(filepath.Join(dir, checkpointManifest), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("commit 3 j-0000"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Datasets(); len(got) != 2 {
+		t.Fatalf("datasets after torn tail = %v", got)
+	}
+}
+
+func TestCheckpointDamagedJournalTruncatesFromThere(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := CreateCheckpoint(dir, "fp", ckptFetchTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	for i, d := range []string{"t.a", "t.b", "t.c"} {
+		s := stagedSession(t, g, d, i)
+		if err := s.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Record(d, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp.Close()
+
+	// Bit-flip the second journal: commits 2 and 3 must both be dropped
+	// (the good prefix ends at 1), and resuming re-runs them.
+	path := filepath.Join(dir, "j-000002.batch")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Datasets(); len(got) != 1 || got[0] != "t.a" {
+		t.Fatalf("datasets after damaged journal = %v", got)
+	}
+	// Recording continues from the validated prefix.
+	s := stagedSession(t, graph.New(), "t.d", 9)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Record("t.d", s); err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Datasets(); len(got) != 2 || got[1] != "t.d" {
+		t.Fatalf("datasets after recovery append = %v", got)
+	}
+}
+
+func TestCreateCheckpointDiscardsStaleState(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := CreateCheckpoint(dir, "old", ckptFetchTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stagedSession(t, graph.New(), "t.a", 0)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Record("t.a", s); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	cp2, err := CreateCheckpoint(dir, "new", ckptFetchTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if got := cp2.Datasets(); len(got) != 0 {
+		t.Fatalf("fresh checkpoint inherited %v", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".batch") {
+			t.Errorf("stale journal %s survived CreateCheckpoint", e.Name())
+		}
+	}
+}
+
+func TestCheckpointRemove(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	cp, err := CreateCheckpoint(dir, "fp", ckptFetchTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint dir survived Remove (err=%v)", err)
+	}
+}
+
+// TestPipelineCommitsInDeclarationOrder pins the determinism contract the
+// resumable-build guarantee rests on: crawls may finish in any order, but
+// batches reach the graph in crawler-declaration order.
+func TestPipelineCommitsInDeclarationOrder(t *testing.T) {
+	g := graph.New()
+	const n = 6
+	var crawlers []Crawler
+	for i := 0; i < n; i++ {
+		i := i
+		crawlers = append(crawlers, &fakeCrawler{
+			Base: Base{Org: "T", Name: "t.ds" + string(rune('a'+i))},
+			run: func(_ context.Context, s *Session) error {
+				// Later-declared crawlers finish first.
+				time.Sleep(time.Duration(n-i) * 5 * time.Millisecond)
+				_, err := s.Node(ontology.AS, uint32(1000+i))
+				return err
+			},
+		})
+	}
+	var mu sync.Mutex
+	var order []string
+	p := &Pipeline{
+		Graph: g, Fetcher: source.NewCatalog(), Crawlers: crawlers, Concurrency: n,
+		OnCommit: func(dataset string) {
+			mu.Lock()
+			order = append(order, dataset)
+			mu.Unlock()
+		},
+	}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("committed %d datasets, want %d", len(order), n)
+	}
+	for i, d := range order {
+		if want := "t.ds" + string(rune('a'+i)); d != want {
+			t.Fatalf("commit order %v is not declaration order", order)
+		}
+	}
+}
+
+// TestPipelineCheckpointsCommits runs a pipeline with a checkpoint and
+// verifies the journal replays to the same graph the pipeline built.
+func TestPipelineCheckpointsCommits(t *testing.T) {
+	dir := t.TempDir()
+	cp, err := CreateCheckpoint(dir, "fp", ckptFetchTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graph.New()
+	var crawlers []Crawler
+	for i := 0; i < 4; i++ {
+		i := i
+		crawlers = append(crawlers, &fakeCrawler{
+			Base: Base{Org: "T", Name: "t.ds" + string(rune('a'+i))},
+			run: func(_ context.Context, s *Session) error {
+				as, err := s.Node(ontology.AS, uint32(1000+i))
+				if err != nil {
+					return err
+				}
+				pfx, err := s.Node(ontology.Prefix, "10.0.0.0/8")
+				if err != nil {
+					return err
+				}
+				return s.Link(ontology.Originate, as, pfx, nil)
+			},
+		})
+	}
+	// One failing crawler: it must not be checkpointed.
+	crawlers = append(crawlers, &fakeCrawler{
+		Base: Base{Org: "T", Name: "t.broken"},
+		run:  func(context.Context, *Session) error { return errors.New("feed down") },
+	})
+	p := &Pipeline{
+		Graph: g, Fetcher: source.NewCatalog(), Crawlers: crawlers,
+		FetchTime: ckptFetchTime, Checkpoint: cp,
+	}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cp.Close()
+
+	re, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Datasets()
+	if len(got) != 4 {
+		t.Fatalf("checkpointed datasets = %v (failed crawler must be absent)", got)
+	}
+	for _, d := range got {
+		if d == "t.broken" {
+			t.Fatal("failed crawler was checkpointed")
+		}
+	}
+	rg := graph.New()
+	if _, err := re.Replay(rg); err != nil {
+		t.Fatal(err)
+	}
+	if rg.NumNodes() != g.NumNodes() || rg.NumRels() != g.NumRels() {
+		t.Fatalf("replay diverged: %d/%d nodes, %d/%d rels",
+			rg.NumNodes(), g.NumNodes(), rg.NumRels(), g.NumRels())
+	}
+}

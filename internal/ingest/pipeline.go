@@ -23,11 +23,18 @@ var ErrCrawlTimeout = errors.New("ingest: crawler timed out")
 // broken feed costs one dataset, not the snapshot), and because every
 // crawler stages its writes in its session and commits only on success, a
 // failed dataset also never leaves partial nodes or links behind.
+//
+// Crawls run concurrently, but commits are applied in crawler-declaration
+// order: the order in which batches reach the graph — and therefore node-ID
+// assignment and the final snapshot bytes — is the same on every run with
+// the same inputs. That determinism is what makes checkpointed builds
+// resumable: a resumed build replays the journaled prefix and re-runs the
+// rest, landing on a byte-identical snapshot.
 type Pipeline struct {
 	Graph   *graph.Graph
 	Fetcher source.Fetcher
-	// Crawlers to run. Order is irrelevant; dependencies between
-	// datasets do not exist by design (refinement passes run after).
+	// Crawlers to run. Declaration order fixes commit order; dependencies
+	// between datasets do not exist by design (refinement passes run after).
 	Crawlers []Crawler
 	// Concurrency bounds parallel crawler execution (0 = 4).
 	Concurrency int
@@ -39,6 +46,12 @@ type Pipeline struct {
 	MaxFetchBytes int64
 	// FetchTime is stamped on all provenance (zero = now).
 	FetchTime time.Time
+	// Checkpoint, when set, durably journals every committed batch so an
+	// interrupted build can resume without re-fetching committed datasets.
+	Checkpoint *Checkpoint
+	// OnCommit, when set, is called after each successful commit with the
+	// dataset name, in commit order.
+	OnCommit func(dataset string)
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...any)
 }
@@ -95,11 +108,21 @@ func (r Report) String() string {
 	return sb.String()
 }
 
+// crawlOutcome carries one finished (or abandoned) crawl from its runner
+// goroutine to the in-order committer.
+type crawlOutcome struct {
+	started bool
+	s       *Session
+	rep     CrawlReport
+}
+
 // Run executes all crawlers and returns the report. The only error
 // returned is a context cancellation; dataset-level failures are recorded
 // in the report. Every launched crawler is always awaited (or abandoned at
 // its deadline) before Run returns — an aborted build never leaves
-// goroutines racing on the report or the graph.
+// goroutines racing on the report or the graph. Crawls overlap up to
+// Concurrency; their staged batches are committed strictly in
+// declaration order.
 func (p *Pipeline) Run(ctx context.Context) (Report, error) {
 	start := time.Now()
 	conc := p.Concurrency
@@ -116,43 +139,71 @@ func (p *Pipeline) Run(ctx context.Context) (Report, error) {
 	}
 
 	sem := make(chan struct{}, conc)
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		reports []CrawlReport
-	)
-	for _, c := range p.Crawlers {
+	slots := make([]chan crawlOutcome, len(p.Crawlers))
+	var wg sync.WaitGroup
+	for i, c := range p.Crawlers {
+		slots[i] = make(chan crawlOutcome, 1)
 		if ctx.Err() != nil {
-			break
+			// Never launched: omitted from the report entirely.
+			slots[i] <- crawlOutcome{}
+			continue
 		}
 		wg.Add(1)
-		go func(c Crawler) {
+		go func(i int, c Crawler) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			s, rep := p.crawlOne(ctx, c, fetchTime)
+			slots[i] <- crawlOutcome{started: true, s: s, rep: rep}
+		}(i, c)
+	}
 
-			rep := p.runOne(ctx, c, fetchTime)
-			mu.Lock()
-			reports = append(reports, rep)
-			mu.Unlock()
-			if rep.Err != nil {
-				logf("crawler %s failed: %v", rep.Dataset, rep.Err)
+	// In-order committer: drain outcomes in declaration order so batches
+	// reach the graph deterministically regardless of crawl scheduling.
+	var reports []CrawlReport
+	for i := range slots {
+		out := <-slots[i]
+		if !out.started {
+			continue
+		}
+		rep := out.rep
+		if rep.Err == nil && ctx.Err() != nil {
+			// Cancelled between this crawl finishing and its commit slot
+			// coming up: discard the staged writes so the build stops at a
+			// clean commit boundary (which is what makes -resume exact).
+			rep.Err = ctx.Err()
+		}
+		if rep.Err == nil {
+			if err := out.s.Commit(); err != nil {
+				rep.Err = err
 			} else {
-				logf("crawler %s done: %d nodes, %d links in %s", rep.Dataset, rep.NodesCreated, rep.LinksCreated, rep.Duration.Round(time.Millisecond))
+				rep.NodesCreated, rep.LinksCreated = out.s.Counts()
+				if err := p.Checkpoint.Record(rep.Dataset, out.s); err != nil {
+					logf("%v", err)
+				}
+				if p.OnCommit != nil {
+					p.OnCommit(rep.Dataset)
+				}
 			}
-		}(c)
+		}
+		if rep.Err != nil {
+			logf("crawler %s failed: %v", rep.Dataset, rep.Err)
+		} else {
+			logf("crawler %s done: %d nodes, %d links in %s", rep.Dataset, rep.NodesCreated, rep.LinksCreated, rep.Duration.Round(time.Millisecond))
+		}
+		reports = append(reports, rep)
 	}
 	wg.Wait()
 	sort.Slice(reports, func(i, j int) bool { return reports[i].Dataset < reports[j].Dataset })
 	return Report{Crawls: reports, Total: time.Since(start)}, ctx.Err()
 }
 
-// runOne supervises a single crawler: it runs it with the per-crawler
-// deadline, commits the session's staged writes only on clean success, and
-// otherwise discards them. A crawler that ignores its context past the
-// deadline is abandoned — safe, because an uncommitted session only ever
-// writes to its private staging buffer.
-func (p *Pipeline) runOne(ctx context.Context, c Crawler, fetchTime time.Time) CrawlReport {
+// crawlOne supervises a single crawler's run with the per-crawler deadline,
+// returning its session with the writes still staged — the caller commits
+// (in declaration order) only when the report carries no error. A crawler
+// that ignores its context past the deadline is abandoned — safe, because
+// an uncommitted session only ever writes to its private staging buffer.
+func (p *Pipeline) crawlOne(ctx context.Context, c Crawler, fetchTime time.Time) (*Session, CrawlReport) {
 	ref := c.Reference()
 	ref.FetchTime = fetchTime
 	s := NewSession(p.Graph, p.Fetcher, ref)
@@ -172,9 +223,6 @@ func (p *Pipeline) runOne(ctx context.Context, c Crawler, fetchTime time.Time) C
 	var err error
 	select {
 	case err = <-done:
-		if err == nil {
-			err = s.Commit()
-		}
 	case <-cctx.Done():
 		// The crawler is still running; abandon it without touching the
 		// session again (it keeps writing to its own staging buffer, which
@@ -184,24 +232,11 @@ func (p *Pipeline) runOne(ctx context.Context, c Crawler, fetchTime time.Time) C
 		} else {
 			err = cctx.Err()
 		}
-		return CrawlReport{
-			Dataset:      ref.Name,
-			Organization: ref.Organization,
-			Duration:     time.Since(t0),
-			Err:          err,
-		}
 	}
-
-	var nodes, links int
-	if err == nil {
-		nodes, links = s.Counts()
-	}
-	return CrawlReport{
+	return s, CrawlReport{
 		Dataset:      ref.Name,
 		Organization: ref.Organization,
 		Duration:     time.Since(t0),
-		NodesCreated: nodes,
-		LinksCreated: links,
 		Err:          err,
 	}
 }

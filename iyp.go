@@ -64,6 +64,14 @@ type Options struct {
 	// CriticalDatasets lists dataset names (e.g. "bgpkit.pfx2asn") whose
 	// failure always fails the build.
 	CriticalDatasets []string
+	// CheckpointDir, when set, makes the build resumable: every committed
+	// dataset is journaled there, so an interrupted build can be restarted
+	// with Resume without re-fetching finished datasets. Remove the
+	// directory once the snapshot is saved.
+	CheckpointDir string
+	// Resume restores progress from CheckpointDir before crawling; a
+	// checkpoint from a different configuration is ignored.
+	Resume bool
 	// Logf receives build progress (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -101,6 +109,8 @@ func Build(ctx context.Context, opts Options) (*DB, error) {
 		CrawlerTimeout:   opts.CrawlerTimeout,
 		MinSuccessRate:   opts.MinSuccessRate,
 		CriticalDatasets: opts.CriticalDatasets,
+		CheckpointDir:    opts.CheckpointDir,
+		Resume:           opts.Resume,
 		Logf:             opts.Logf,
 	})
 	if err != nil {
