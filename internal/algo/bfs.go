@@ -1,0 +1,126 @@
+package algo
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level-synchronous parallel BFS. Distances are claimed with compare-and-
+// swap: every thread that reaches an unvisited node in the same round
+// writes the same level value, so the resulting distance array is
+// identical at any worker count even though the race winner differs.
+
+// BFSOptions tune a traversal.
+type BFSOptions struct {
+	// MaxDepth stops the expansion after this many hops (<=0 = unbounded).
+	MaxDepth int32
+	// Reverse traverses in-edges instead of out-edges.
+	Reverse bool
+	// Workers caps parallelism (<=0 = GOMAXPROCS).
+	Workers int
+}
+
+// BFS runs a multi-source breadth-first search from sources and returns
+// the hop distance to every node in the view (-1 = unreachable). Source
+// indexes out of range are ignored.
+func BFS(ctx context.Context, v *View, sources []int32, opts BFSOptions) ([]int32, error) {
+	t0 := time.Now()
+	dist, err := bfsInto(ctx, v, sources, opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	observeKernel("bfs", v.N(), time.Since(t0))
+	return dist, nil
+}
+
+// bfsInto is the reusable core: when dist is non-nil it is reset and
+// reused (len must be v.N()).
+func bfsInto(ctx context.Context, v *View, sources []int32, opts BFSOptions, dist []int32) ([]int32, error) {
+	n := v.N()
+	if dist == nil {
+		dist = make([]int32, n)
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+	frontier := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || int(s) >= n || dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		frontier = append(frontier, s)
+	}
+
+	adj := v.Out
+	if opts.Reverse {
+		adj = v.In
+	}
+
+	var level int32
+	for len(frontier) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if opts.MaxDepth > 0 && level >= opts.MaxDepth {
+			break
+		}
+		next := level + 1
+
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = defaultWorkers()
+		}
+		if workers > len(frontier) {
+			workers = len(frontier)
+		}
+		if workers == 1 {
+			var nf []int32
+			for _, u := range frontier {
+				for _, w := range adj(u) {
+					if dist[w] == -1 {
+						dist[w] = next
+						nf = append(nf, w)
+					}
+				}
+			}
+			frontier = nf
+		} else {
+			parts := make([][]int32, workers)
+			var wg sync.WaitGroup
+			chunk := (len(frontier) + workers - 1) / workers
+			for wk := 0; wk < workers; wk++ {
+				lo := wk * chunk
+				hi := lo + chunk
+				if hi > len(frontier) {
+					hi = len(frontier)
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(wk, lo, hi int) {
+					defer wg.Done()
+					var local []int32
+					for _, u := range frontier[lo:hi] {
+						for _, w := range adj(u) {
+							if atomic.CompareAndSwapInt32(&dist[w], -1, next) {
+								local = append(local, w)
+							}
+						}
+					}
+					parts[wk] = local
+				}(wk, lo, hi)
+			}
+			wg.Wait()
+			frontier = frontier[:0]
+			for _, p := range parts {
+				frontier = append(frontier, p...)
+			}
+		}
+		level = next
+	}
+	return dist, nil
+}

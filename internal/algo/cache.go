@@ -1,0 +1,84 @@
+package algo
+
+import (
+	"sync"
+
+	"iyp/internal/graph"
+)
+
+// View compilation costs one full pass over the store, so serving layers
+// must not pay it per query. CachedView memoizes compiled views keyed by
+// (graph identity, graph generation, view options): as soon as the store
+// mutates, Graph.Version moves and the stale view is replaced on next
+// use. The cache is a small bounded map — analytics workloads touch a
+// handful of view shapes — and builds are single-flighted so a burst of
+// identical CALL queries compiles once.
+
+const viewCacheCap = 8
+
+type viewCacheKey struct {
+	g    *graph.Graph
+	opts string
+}
+
+type viewCacheEntry struct {
+	once    sync.Once
+	version uint64
+	view    *View
+}
+
+var (
+	viewCacheMu  sync.Mutex
+	viewCache    = map[viewCacheKey]*viewCacheEntry{}
+	viewCacheLRU []viewCacheKey // insertion order, oldest first
+)
+
+// CachedView returns the CSR view of g under opts, compiling it at most
+// once per graph generation. Concurrent callers for the same key share
+// one build.
+func CachedView(g *graph.Graph, opts ViewOptions) *View {
+	key := viewCacheKey{g: g, opts: opts.key()}
+	version := g.Version()
+
+	viewCacheMu.Lock()
+	e := viewCache[key]
+	if e != nil && e.version != version {
+		// Stale generation: replace the slot.
+		e = nil
+	}
+	if e == nil {
+		e = &viewCacheEntry{version: version}
+		if _, exists := viewCache[key]; !exists {
+			viewCacheLRU = append(viewCacheLRU, key)
+			for len(viewCacheLRU) > viewCacheCap {
+				evict := viewCacheLRU[0]
+				viewCacheLRU = viewCacheLRU[1:]
+				delete(viewCache, evict)
+			}
+		}
+		viewCache[key] = e
+		metrics.viewMisses.Add(1)
+	} else {
+		metrics.viewHits.Add(1)
+	}
+	viewCacheMu.Unlock()
+
+	e.once.Do(func() { e.view = NewView(g, opts) })
+	return e.view
+}
+
+// InvalidateViews drops every cached view for g (all generations). Used
+// by tests and by callers that know g is about to be retired.
+func InvalidateViews(g *graph.Graph) {
+	viewCacheMu.Lock()
+	defer viewCacheMu.Unlock()
+	kept := viewCacheLRU[:0]
+	for _, k := range viewCacheLRU {
+		if k.g == g {
+			delete(viewCache, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	viewCacheLRU = kept
+}

@@ -1,0 +1,184 @@
+package algo
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Connected components. WCC uses a lock-free concurrent union-find where
+// unions always point the larger root at the smaller, so every component's
+// final root is its minimum member — a canonical labeling independent of
+// worker interleaving. SCC runs iterative Tarjan (sequential: the
+// algorithm is inherently stack-ordered) and then relabels each component
+// by its minimum member for the same canonical property.
+
+// WCC computes weakly connected components, treating every edge as
+// undirected. comp[i] is the smallest internal node index in i's
+// component; count is the number of components.
+func WCC(ctx context.Context, v *View, workers int) (comp []int32, count int, err error) {
+	t0 := time.Now()
+	n := v.N()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+
+	find := func(x int32) int32 {
+		for {
+			p := atomic.LoadInt32(&parent[x])
+			if p == x {
+				return x
+			}
+			gp := atomic.LoadInt32(&parent[p])
+			// Path-halving is safe: it only ever moves a pointer closer
+			// to the root, never changes which root is reachable.
+			atomic.CompareAndSwapInt32(&parent[x], p, gp)
+			x = gp
+		}
+	}
+	union := func(a, b int32) {
+		for {
+			ra, rb := find(a), find(b)
+			if ra == rb {
+				return
+			}
+			if ra > rb {
+				ra, rb = rb, ra
+			}
+			// Attach the larger root under the smaller. CAS failure means
+			// someone re-rooted rb first; retry from the new roots.
+			if atomic.CompareAndSwapInt32(&parent[rb], rb, ra) {
+				return
+			}
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	parallelFor(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for _, w := range v.Out(int32(i)) {
+				union(int32(i), w)
+			}
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+
+	comp = parent
+	var roots int64
+	parallelFor(n, workers, func(lo, hi int) {
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			r := find(int32(i))
+			// comp aliases parent, which concurrent find calls still read
+			// atomically; store the final label atomically too.
+			atomic.StoreInt32(&comp[i], r)
+			if r == int32(i) {
+				local++
+			}
+		}
+		atomic.AddInt64(&roots, local)
+	})
+	observeKernel("wcc", n, time.Since(t0))
+	return comp, int(roots), nil
+}
+
+// SCC computes strongly connected components with Tarjan's algorithm
+// (iterative, to survive deep recursion on path-like graphs). comp[i] is
+// the smallest internal node index in i's component.
+func SCC(ctx context.Context, v *View) (comp []int32, count int, err error) {
+	t0 := time.Now()
+	n := v.N()
+	const unvisited = -1
+	var (
+		index   = make([]int32, n)
+		lowlink = make([]int32, n)
+		onStack = make([]bool, n)
+		stack   []int32
+		next    int32
+	)
+	comp = make([]int32, n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+
+	type frame struct {
+		node int32
+		ei   int // next out-edge to explore
+	}
+	var frames []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		if root&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
+		frames = append(frames[:0], frame{node: int32(root)})
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, int32(root))
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			u := f.node
+			out := v.Out(u)
+			if f.ei < len(out) {
+				w := out[f.ei]
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w})
+				} else if onStack[w] && index[w] < lowlink[u] {
+					lowlink[u] = index[w]
+				}
+				continue
+			}
+			// u is finished.
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].node
+				if lowlink[u] < lowlink[p] {
+					lowlink[p] = lowlink[u]
+				}
+			}
+			if lowlink[u] == index[u] {
+				// Pop the component; label it by its minimum member.
+				minMember := u
+				top := len(stack)
+				for {
+					top--
+					w := stack[top]
+					onStack[w] = false
+					if w < minMember {
+						minMember = w
+					}
+					if w == u {
+						break
+					}
+				}
+				for i := top; i < len(stack); i++ {
+					comp[stack[i]] = minMember
+				}
+				stack = stack[:top]
+				count++
+			}
+		}
+	}
+	observeKernel("scc", n, time.Since(t0))
+	return comp, count, nil
+}

@@ -1,0 +1,124 @@
+package algo
+
+import (
+	"context"
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// Degree statistics and log2 histograms. Each worker accumulates into a
+// private tally; tallies are merged in worker-index order, and every
+// quantity is integral, so the result is exact and worker-count
+// independent.
+
+// histBuckets covers degrees up to 2^31 in log2 buckets: bucket 0 is
+// degree 0, bucket b>=1 is degrees in [2^(b-1), 2^b).
+const histBuckets = 33
+
+// DegreeStats summarizes the degree distribution of a view.
+type DegreeStats struct {
+	N, M           int
+	MinOut, MaxOut int
+	MinIn, MaxIn   int
+	MeanOut        float64
+	OutHist        [histBuckets]int64
+	InHist         [histBuckets]int64
+}
+
+// HistBucket returns the log2 bucket for a degree value.
+func HistBucket(deg int) int { return bits.Len64(uint64(deg)) }
+
+// BucketBounds returns the inclusive degree range [lo, hi] of a histogram
+// bucket: bucket 0 is degree 0, bucket b>=1 spans [2^(b-1), 2^b - 1].
+func BucketBounds(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 0
+	}
+	return int64(1) << (b - 1), int64(1)<<b - 1
+}
+
+// Degrees computes degree statistics over the view.
+func Degrees(ctx context.Context, v *View, workers int) (*DegreeStats, error) {
+	t0 := time.Now()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := v.N()
+	st := &DegreeStats{N: n, M: v.M()}
+	if n == 0 {
+		return st, nil
+	}
+
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	tallies := make([]DegreeStats, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(t *DegreeStats, lo, hi int) {
+			defer wg.Done()
+			t.MinOut, t.MinIn = int(^uint(0)>>1), int(^uint(0)>>1)
+			for i := lo; i < hi; i++ {
+				od, id := v.OutDegree(int32(i)), v.InDegree(int32(i))
+				if od < t.MinOut {
+					t.MinOut = od
+				}
+				if od > t.MaxOut {
+					t.MaxOut = od
+				}
+				if id < t.MinIn {
+					t.MinIn = id
+				}
+				if id > t.MaxIn {
+					t.MaxIn = id
+				}
+				t.OutHist[HistBucket(od)]++
+				t.InHist[HistBucket(id)]++
+			}
+		}(&tallies[w], lo, hi)
+	}
+	wg.Wait()
+
+	st.MinOut, st.MinIn = int(^uint(0)>>1), int(^uint(0)>>1)
+	for w := range tallies {
+		t := &tallies[w]
+		seen := int64(0)
+		for b := 0; b < histBuckets; b++ {
+			st.OutHist[b] += t.OutHist[b]
+			st.InHist[b] += t.InHist[b]
+			seen += t.OutHist[b]
+		}
+		if seen == 0 {
+			continue // unused worker slot
+		}
+		if t.MinOut < st.MinOut {
+			st.MinOut = t.MinOut
+		}
+		if t.MaxOut > st.MaxOut {
+			st.MaxOut = t.MaxOut
+		}
+		if t.MinIn < st.MinIn {
+			st.MinIn = t.MinIn
+		}
+		if t.MaxIn > st.MaxIn {
+			st.MaxIn = t.MaxIn
+		}
+	}
+	st.MeanOut = float64(st.M) / float64(n)
+	observeKernel("degree", n, time.Since(t0))
+	return st, nil
+}

@@ -1,0 +1,33 @@
+package algo
+
+import (
+	"context"
+	"testing"
+
+	"iyp/internal/cypher"
+)
+
+// TestReadmeExamples executes the CALL examples printed in README.md
+// against the simnet graph, so the documentation can't rot.
+func TestReadmeExamples(t *testing.T) {
+	g := simGraph(t)
+	defer InvalidateViews(g)
+	for _, src := range []string{
+		`CALL algo.wcc() YIELD node, component RETURN component, count(node) AS size ORDER BY size DESC LIMIT 5`,
+		`CALL algo.pagerank({labels: ['AS'], relTypes: ['PEERS_WITH'], damping: 0.85}) YIELD node, score RETURN node, score ORDER BY score DESC LIMIT 10`,
+		`CALL algo.dependency({sourceLabel: 'DomainName', k: 1}) YIELD node, dependents RETURN node, dependents ORDER BY dependents DESC LIMIT 10`,
+		`CALL db.procedures()`,
+	} {
+		q, err := cypher.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		res, err := cypher.Exec(context.Background(), g, q, cypher.ExecOptions{})
+		if err != nil {
+			t.Fatalf("exec %q: %v", src, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%q returned no rows", src)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package algo
+
+import (
+	"context"
+	"time"
+)
+
+// Sampled harmonic centrality. Harmonic centrality of t sums 1/d(s,t)
+// over every other node s; computing it exactly is |V| BFS runs, so the
+// kernel samples S sources (deterministically from a seed) and scales by
+// n/S. Samples are processed in fixed batches: BFS runs in parallel
+// inside a batch, but contributions are folded into the score array
+// sequentially in sample order — float addition order, and therefore the
+// result, never depends on the worker count.
+
+// harmonicBatch bounds memory (batch × n distance arrays) and fixes the
+// accumulation grouping.
+const harmonicBatch = 16
+
+// HarmonicOptions configure the sampling.
+type HarmonicOptions struct {
+	// Samples is the number of BFS sources (default 32; clamped to N, at
+	// which point the result is exact).
+	Samples int
+	// Seed drives the deterministic sample choice.
+	Seed uint64
+	// Workers caps parallelism (<=0 = GOMAXPROCS).
+	Workers int
+}
+
+// Harmonic estimates harmonic centrality for every node: scores[t] ≈
+// (n/S) · Σ_sampled 1/d(s,t), following out-edges from each sampled
+// source.
+func Harmonic(ctx context.Context, v *View, opts HarmonicOptions) ([]float64, error) {
+	t0 := time.Now()
+	n := v.N()
+	scores := make([]float64, n)
+	if n == 0 {
+		return scores, ctx.Err()
+	}
+	s := opts.Samples
+	if s <= 0 {
+		s = 32
+	}
+	if s > n {
+		s = n
+	}
+	samples := sampleIndexes(n, s, opts.Seed)
+
+	dists := make([][]int32, harmonicBatch)
+	for b := range dists {
+		dists[b] = make([]int32, n)
+	}
+	for lo := 0; lo < len(samples); lo += harmonicBatch {
+		hi := lo + harmonicBatch
+		if hi > len(samples) {
+			hi = len(samples)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		batch := samples[lo:hi]
+		parallelFor(len(batch), opts.Workers, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				bfsSeq(v, batch[b], -1, dists[b])
+			}
+		})
+		// Sequential fold, in sample order.
+		for b := range batch {
+			src := batch[b]
+			d := dists[b]
+			for t := 0; t < n; t++ {
+				if d[t] > 0 && int32(t) != src {
+					scores[t] += 1 / float64(d[t])
+				}
+			}
+		}
+	}
+	scale := float64(n) / float64(len(samples))
+	for t := range scores {
+		scores[t] *= scale
+	}
+	observeKernel("harmonic", n, time.Since(t0))
+	return scores, nil
+}
+
+// sampleIndexes picks k distinct indexes from [0, n) via a seeded partial
+// Fisher-Yates shuffle, returned in selection order.
+func sampleIndexes(n, k int, seed uint64) []int32 {
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng := splitmix64(seed)
+	for i := 0; i < k; i++ {
+		j := i + int(rng()%uint64(n-i))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:k]
+}
+
+// splitmix64 returns a deterministic uint64 stream — good enough mixing
+// for sampling, zero dependencies.
+func splitmix64(seed uint64) func() uint64 {
+	state := seed
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// bfsSeq is a sequential single-source BFS into a reusable dist array.
+// maxDepth <= 0 means unbounded. It returns the number of reached nodes
+// (the source included).
+func bfsSeq(v *View, src int32, maxDepth int32, dist []int32) int {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	reached := 1
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		du := dist[u]
+		if maxDepth > 0 && du >= maxDepth {
+			continue
+		}
+		for _, w := range v.Out(u) {
+			if dist[w] == -1 {
+				dist[w] = du + 1
+				queue = append(queue, w)
+				reached++
+			}
+		}
+	}
+	return reached
+}

@@ -1,0 +1,303 @@
+package algo
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestBFSMatchesNaive cross-checks the parallel multi-source BFS against
+// the textbook queue BFS for several source sets, depths and directions.
+func TestBFSMatchesNaive(t *testing.T) {
+	g := simGraph(t)
+	v := NewView(g, ViewOptions{})
+	ng := naiveExtract(g, nil, nil)
+	ctx := context.Background()
+
+	cases := []struct {
+		name     string
+		sources  []int32
+		maxDepth int32
+		reverse  bool
+	}{
+		{"single-source", []int32{0}, 0, false},
+		{"multi-source", []int32{0, 7, 42}, 0, false},
+		{"depth-bounded", []int32{0}, 2, false},
+		{"reverse", []int32{int32(v.N() - 1)}, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := BFS(ctx, v, tc.sources, BFSOptions{MaxDepth: tc.maxDepth, Reverse: tc.reverse})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := naiveBFS(ng, tc.sources, tc.maxDepth, tc.reverse)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dist[%d] = %d, naive %d", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWCCMatchesNaive: the concurrent union-find must induce exactly the
+// partition of the sequential reference, and label components by their
+// minimum member.
+func TestWCCMatchesNaive(t *testing.T) {
+	g := simGraph(t)
+	v := NewView(g, ViewOptions{})
+	comp, count, err := WCC(context.Background(), v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng := naiveExtract(g, nil, nil)
+	wantComp, wantCount := naiveWCC(ng)
+	if count != wantCount {
+		t.Fatalf("component count: %d, naive %d", count, wantCount)
+	}
+	samePartition(t, comp, wantComp)
+	for i, c := range comp {
+		if c > int32(i) {
+			t.Fatalf("component label %d of node %d is not the minimum member", c, i)
+		}
+	}
+}
+
+// TestSCCKnown checks Tarjan on a handcrafted graph with known strongly
+// connected components.
+func TestSCCKnown(t *testing.T) {
+	// Cycle {0,1,2} -> cycle {3,4}; 5 isolated; 6 with a self-loop.
+	v := NewDerived(7,
+		[]int32{0, 1, 2, 2, 3, 4, 6},
+		[]int32{1, 2, 0, 3, 4, 3, 6}, nil)
+	comp, count, err := SCC(context.Background(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("scc count = %d, want 4", count)
+	}
+	want := []int32{0, 0, 0, 3, 3, 5, 6}
+	for i := range want {
+		if comp[i] != want[i] {
+			t.Fatalf("comp = %v, want %v", comp, want)
+		}
+	}
+}
+
+// TestSCCRefinesWCC: on the simnet graph, every strong component must lie
+// inside one weak component, and there are at least as many of them.
+func TestSCCRefinesWCC(t *testing.T) {
+	g := simGraph(t)
+	v := NewView(g, ViewOptions{})
+	ctx := context.Background()
+	weak, nWeak, err := WCC(ctx, v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, nStrong, err := SCC(ctx, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nStrong < nWeak {
+		t.Fatalf("%d strong components < %d weak components", nStrong, nWeak)
+	}
+	sccWeak := map[int32]int32{}
+	for i := range strong {
+		if w, ok := sccWeak[strong[i]]; ok && w != weak[i] {
+			t.Fatalf("strong component %d spans weak components %d and %d", strong[i], w, weak[i])
+		}
+		sccWeak[strong[i]] = weak[i]
+	}
+}
+
+// TestDegreesMatchNaive recomputes the degree statistics from the naive
+// adjacency and compares every field.
+func TestDegreesMatchNaive(t *testing.T) {
+	g := simGraph(t)
+	v := NewView(g, ViewOptions{})
+	st, err := Degrees(context.Background(), v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng := naiveExtract(g, nil, nil)
+	var want DegreeStats
+	want.N, want.M = ng.n(), ng.m()
+	want.MinOut, want.MinIn = int(^uint(0)>>1), int(^uint(0)>>1)
+	for i := range ng.out {
+		od, id := len(ng.out[i]), len(ng.in[i])
+		want.MinOut = min(want.MinOut, od)
+		want.MaxOut = max(want.MaxOut, od)
+		want.MinIn = min(want.MinIn, id)
+		want.MaxIn = max(want.MaxIn, id)
+		want.OutHist[HistBucket(od)]++
+		want.InHist[HistBucket(id)]++
+	}
+	want.MeanOut = float64(want.M) / float64(want.N)
+	if *st != want {
+		t.Fatalf("degree stats mismatch:\n got %+v\nwant %+v", *st, want)
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	for deg := 0; deg < 1000; deg++ {
+		b := HistBucket(deg)
+		lo, hi := BucketBounds(b)
+		if int64(deg) < lo || int64(deg) > hi {
+			t.Fatalf("degree %d outside its bucket %d bounds [%d, %d]", deg, b, lo, hi)
+		}
+	}
+}
+
+// TestPageRankProperties: scores are a probability distribution and a
+// star's hub dominates its spokes.
+func TestPageRankProperties(t *testing.T) {
+	ctx := context.Background()
+	// Star: leaves 1..5 all point at 0.
+	v := NewDerived(6, []int32{1, 2, 3, 4, 5}, []int32{0, 0, 0, 0, 0}, nil)
+	scores, iters, err := PageRank(ctx, v, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters == 0 {
+		t.Fatal("pagerank reported zero iterations")
+	}
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("scores sum to %g, want 1", sum)
+	}
+	for i := 1; i < 6; i++ {
+		if scores[0] <= scores[i] {
+			t.Fatalf("hub score %g not above leaf score %g", scores[0], scores[i])
+		}
+	}
+
+	// Simnet graph: still a distribution.
+	sv := NewView(simGraph(t), ViewOptions{})
+	scores, _, err = PageRank(ctx, sv, PageRankOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum = 0
+	for _, s := range scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("simnet scores sum to %g, want 1", sum)
+	}
+}
+
+// TestHarmonicExact: with Samples >= N the estimate is the exact harmonic
+// centrality, checked on a 4-node line.
+func TestHarmonicExact(t *testing.T) {
+	v := lineGraph(4) // 0 -> 1 -> 2 -> 3
+	scores, err := Harmonic(context.Background(), v, HarmonicOptions{Samples: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 1.0/2 + 1, 1.0/3 + 1.0/2 + 1}
+	for i := range want {
+		if math.Abs(scores[i]-want[i]) > 1e-12 {
+			t.Fatalf("harmonic[%d] = %g, want %g", i, scores[i], want[i])
+		}
+	}
+}
+
+// TestDependencyK1: the SPoF fast path on a bipartite domain->key graph,
+// including duplicate edges.
+func TestDependencyK1(t *testing.T) {
+	// Domains 0,1,2; sinks 3,4. 0 -> 3; 1 -> 3,4; 2 -> 4 (twice).
+	v := NewDerived(5,
+		[]int32{0, 1, 1, 2, 2},
+		[]int32{3, 3, 4, 4, 4}, nil)
+	count, err := Dependency(context.Background(), v, []int32{0, 1, 2}, DependencyOptions{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 0, 0, 1, 1}
+	for i := range want {
+		if count[i] != want[i] {
+			t.Fatalf("count = %v, want %v", count, want)
+		}
+	}
+}
+
+// TestDependencyK2: the general path counts cut nodes on longer chains.
+func TestDependencyK2(t *testing.T) {
+	// 0 -> 1 -> 2 <- 3, sink 2.
+	v := NewDerived(4, []int32{0, 1, 3}, []int32{1, 2, 2}, nil)
+	count, err := Dependency(context.Background(), v, nil, DependencyOptions{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 3, 0}
+	for i := range want {
+		if count[i] != want[i] {
+			t.Fatalf("count = %v, want %v", count, want)
+		}
+	}
+}
+
+// TestDependencyMaxReach: sources whose reach set exceeds the bound are
+// skipped rather than exploding the quadratic phase.
+func TestDependencyMaxReach(t *testing.T) {
+	v := lineGraph(10)
+	ctx := context.Background()
+	full, err := Dependency(ctx, v, nil, DependencyOptions{K: 9, MaxReach: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := Dependency(ctx, v, nil, DependencyOptions{K: 9, MaxReach: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(c []int64) (s int64) {
+		for _, x := range c {
+			s += x
+		}
+		return s
+	}
+	if sum(full) <= sum(bounded) {
+		t.Fatalf("bounded run (%d) should count fewer dependencies than unbounded (%d)", sum(bounded), sum(full))
+	}
+	// The last node is every source's sink; unbounded must count all 9
+	// upstream sources for it.
+	if full[9] != 9 {
+		t.Fatalf("full[9] = %d, want 9", full[9])
+	}
+}
+
+// TestKernelsHonorCancellation: a cancelled context stops every kernel
+// with its error rather than returning partial data.
+func TestKernelsHonorCancellation(t *testing.T) {
+	g := simGraph(t)
+	v := NewView(g, ViewOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := BFS(ctx, v, []int32{0}, BFSOptions{}); err == nil {
+		t.Error("BFS ignored cancellation")
+	}
+	if _, _, err := WCC(ctx, v, 0); err == nil {
+		t.Error("WCC ignored cancellation")
+	}
+	if _, _, err := SCC(ctx, v); err == nil {
+		t.Error("SCC ignored cancellation")
+	}
+	if _, _, err := PageRank(ctx, v, PageRankOptions{}); err == nil {
+		t.Error("PageRank ignored cancellation")
+	}
+	if _, err := Harmonic(ctx, v, HarmonicOptions{}); err == nil {
+		t.Error("Harmonic ignored cancellation")
+	}
+	if _, err := Dependency(ctx, v, nil, DependencyOptions{}); err == nil {
+		t.Error("Dependency ignored cancellation")
+	}
+	if _, err := Degrees(ctx, v, 0); err == nil {
+		t.Error("Degrees ignored cancellation")
+	}
+}

@@ -1,0 +1,121 @@
+package algo
+
+import (
+	"context"
+	"math"
+	"time"
+)
+
+// Pull-based PageRank. Each node sums the contributions of its in-
+// neighbors in the fixed order of its (sorted) in-list, and the two
+// global float reductions — dangling mass and convergence delta — are
+// computed over fixed 4096-node chunks combined sequentially in chunk
+// order. Floating-point addition order therefore never depends on the
+// worker count, making scores bit-identical at any GOMAXPROCS.
+
+// reduceChunk is the fixed reduction granularity; it must not depend on
+// the worker count or the result would.
+const reduceChunk = 4096
+
+// PageRankOptions configure the iteration.
+type PageRankOptions struct {
+	Damping  float64 // default 0.85
+	Epsilon  float64 // L1 convergence threshold, default 1e-6
+	MaxIters int     // default 50
+	Workers  int     // <=0 = GOMAXPROCS
+}
+
+func (o *PageRankOptions) defaults() {
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = 0.85
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-6
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 50
+	}
+}
+
+// PageRank computes PageRank scores (summing to 1) and reports how many
+// iterations ran before convergence.
+func PageRank(ctx context.Context, v *View, opts PageRankOptions) (scores []float64, iters int, err error) {
+	t0 := time.Now()
+	opts.defaults()
+	n := v.N()
+	if n == 0 {
+		return nil, 0, ctx.Err()
+	}
+
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	init := 1 / float64(n)
+	for i := range cur {
+		cur[i] = init
+	}
+
+	// fixedReduce sums fn over fixed-size chunks, parallel across chunks,
+	// then combines the per-chunk partials in chunk order.
+	chunks := (n + reduceChunk - 1) / reduceChunk
+	partial := make([]float64, chunks)
+	fixedReduce := func(fn func(lo, hi int) float64) float64 {
+		parallelFor(chunks, opts.Workers, func(clo, chi int) {
+			for c := clo; c < chi; c++ {
+				lo := c * reduceChunk
+				hi := lo + reduceChunk
+				if hi > n {
+					hi = n
+				}
+				partial[c] = fn(lo, hi)
+			}
+		})
+		s := 0.0
+		for _, p := range partial {
+			s += p
+		}
+		return s
+	}
+
+	d := opts.Damping
+	base := (1 - d) / float64(n)
+	for iters = 0; iters < opts.MaxIters; iters++ {
+		if err := ctx.Err(); err != nil {
+			return nil, iters, err
+		}
+		dangling := fixedReduce(func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				if v.OutDegree(int32(i)) == 0 {
+					s += cur[i]
+				}
+			}
+			return s
+		})
+		redistribute := base + d*dangling/float64(n)
+
+		parallelFor(n, opts.Workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s := 0.0
+				for _, j := range v.In(int32(i)) {
+					s += cur[j] / float64(v.OutDegree(j))
+				}
+				next[i] = redistribute + d*s
+			}
+		})
+
+		delta := fixedReduce(func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += math.Abs(next[i] - cur[i])
+			}
+			return s
+		})
+		cur, next = next, cur
+		if delta < opts.Epsilon {
+			iters++
+			break
+		}
+	}
+	observeKernel("pagerank", n, time.Since(t0))
+	return cur, iters, nil
+}

@@ -88,6 +88,27 @@ type RemoveClause struct {
 	Items []SetItem // Key-form items only
 }
 
+// CallClause is CALL proc({config}) YIELD col AS alias, ... WHERE expr —
+// a registered-procedure invocation streaming rows into the pipeline.
+type CallClause struct {
+	// Proc is the lower-cased dotted procedure name.
+	Proc string
+	// Args is the argument expression (must evaluate to a map); nil when
+	// called without arguments.
+	Args Expr
+	// Yield selects and renames output columns; nil yields every column
+	// under its own name.
+	Yield []YieldItem
+	// Where filters the yielded rows; may be nil.
+	Where Expr
+}
+
+// YieldItem is one column selection in YIELD.
+type YieldItem struct {
+	Col   string
+	Alias string // "" = keep Col
+}
+
 func (*MatchClause) clause()  {}
 func (*WithClause) clause()   {}
 func (*ReturnClause) clause() {}
@@ -97,6 +118,7 @@ func (*MergeClause) clause()  {}
 func (*SetClause) clause()    {}
 func (*DeleteClause) clause() {}
 func (*RemoveClause) clause() {}
+func (*CallClause) clause()   {}
 
 // ReturnItem is one projection expression with an optional alias.
 type ReturnItem struct {

@@ -1,0 +1,137 @@
+package cypher
+
+import "strings"
+
+// CALL clause execution. The procedure streams records through an emit
+// callback, so row budgets cut the stream mid-kernel instead of
+// materializing everything first, and the query context flows into the
+// procedure for cancellation.
+
+// applyCall runs the procedure once per input row (the usual case is the
+// single empty seed row of a leading CALL). cap >= 0 bounds how many
+// output rows are produced across all input rows; final marks a
+// query-terminal CALL, whose yielded columns become the result table
+// directly.
+func (ex *executor) applyCall(c *CallClause, in []row, cap int, final bool) ([]row, error) {
+	spec, ok := LookupProc(c.Proc)
+	if !ok {
+		return nil, &Error{Msg: "unknown procedure `" + c.Proc +
+			"` (see CALL db.procedures; registered: " + strings.Join(ProcNames(), ", ") + ")"}
+	}
+	yields := c.Yield
+	if yields == nil {
+		yields = make([]YieldItem, len(spec.Cols))
+		for i, col := range spec.Cols {
+			yields[i] = YieldItem{Col: col}
+		}
+	}
+	colIdx := make([]int, len(yields))
+	names := make([]string, len(yields))
+	for yi, y := range yields {
+		colIdx[yi] = -1
+		for i, col := range spec.Cols {
+			if col == y.Col {
+				colIdx[yi] = i
+				break
+			}
+		}
+		if colIdx[yi] < 0 {
+			return nil, &Error{Msg: "procedure " + spec.Name + " does not yield `" + y.Col +
+				"` (columns: " + strings.Join(spec.Cols, ", ") + ")"}
+		}
+		names[yi] = y.Col
+		if y.Alias != "" {
+			names[yi] = y.Alias
+		}
+	}
+
+	var out []row
+	for _, r := range in {
+		cfg := map[string]Val{}
+		if c.Args != nil {
+			v, err := ex.ec.eval(c.Args, r)
+			if err != nil {
+				return nil, err
+			}
+			if m, ok := v.AsMap(); ok {
+				cfg = m
+			} else if !v.IsNull() {
+				return nil, &Error{Msg: "CALL " + spec.Name + " arguments must be a map"}
+			}
+		}
+		err := spec.Impl(ProcContext{Ctx: ex.ctx, Graph: ex.g}, cfg, func(vals []Val) error {
+			if err := ex.tick(); err != nil {
+				return err
+			}
+			if len(vals) != len(spec.Cols) {
+				return &Error{Msg: "procedure " + spec.Name + " emitted a malformed record"}
+			}
+			nr := r.clone()
+			for yi := range yields {
+				nr.set(names[yi], vals[colIdx[yi]])
+			}
+			if c.Where != nil {
+				v, err := ex.ec.eval(c.Where, nr)
+				if err != nil {
+					return err
+				}
+				if b, null := truth(v); null || !b {
+					return nil
+				}
+			}
+			out = append(out, nr)
+			if cap >= 0 && len(out) >= cap {
+				return errStop
+			}
+			return nil
+		})
+		if err == errStop {
+			break
+		}
+		if err != nil {
+			if ce := ctxErr(ex.ctx); ce != nil {
+				return nil, ce
+			}
+			if _, isCypher := err.(*Error); isCypher {
+				return nil, err
+			}
+			return nil, &Error{Msg: spec.Name + ": " + err.Error(), Cause: err}
+		}
+	}
+
+	if final {
+		if ex.budget > 0 && len(out) > ex.budget {
+			out = out[:ex.budget]
+			ex.res.Truncated = true
+		}
+		ex.res.Columns = names
+		ex.res.Rows = make([][]Val, len(out))
+		for i, r := range out {
+			vals := make([]Val, len(names))
+			for j, name := range names {
+				v, ok := r.get(name)
+				if !ok {
+					v = NullVal()
+				}
+				vals[j] = v
+			}
+			ex.res.Rows[i] = vals
+		}
+		return nil, nil
+	}
+	return out, nil
+}
+
+// queryHasCall reports whether any clause of q (including UNION branches)
+// is a CALL — such plans bypass the plan cache, since procedure results
+// depend on registry and graph state rather than query text alone.
+func queryHasCall(q *Query) bool {
+	for cur := q; cur != nil; cur = cur.Next {
+		for _, cl := range cur.Clauses {
+			if _, ok := cl.(*CallClause); ok {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,302 @@
+package cypher
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"iyp/internal/graph"
+)
+
+// Test procedures registered once for the whole package run. `test.seq`
+// streams {i, sq} pairs for i in [0, n); `test.block` parks on the query
+// context; `test.fail` returns a plain error.
+func init() {
+	RegisterProc(ProcSpec{
+		Name: "test.seq",
+		Cols: []string{"i", "sq"},
+		Help: "Emit n rows of i and i squared.",
+		Impl: func(pc ProcContext, cfg map[string]Val, emit func([]Val) error) error {
+			n := CfgInt(cfg, "n", 3)
+			for i := int64(0); i < n; i++ {
+				err := emit([]Val{ScalarVal(graph.Int(i)), ScalarVal(graph.Int(i * i))})
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	RegisterProc(ProcSpec{
+		Name: "test.block",
+		Cols: []string{"x"},
+		Help: "Block until the query context is done.",
+		Impl: func(pc ProcContext, cfg map[string]Val, emit func([]Val) error) error {
+			<-pc.Ctx.Done()
+			return pc.Ctx.Err()
+		},
+	})
+	RegisterProc(ProcSpec{
+		Name: "test.fail",
+		Cols: []string{"x"},
+		Help: "Always fail.",
+		Impl: func(pc ProcContext, cfg map[string]Val, emit func([]Val) error) error {
+			return errors.New("kernel exploded")
+		},
+	})
+}
+
+func execCall(t *testing.T, g *graph.Graph, src string, opts ExecOptions) (*Result, error) {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Exec(context.Background(), g, q, opts)
+}
+
+func TestParseCall(t *testing.T) {
+	q, err := Parse(`CALL Algo.WCC()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, ok := q.Clauses[0].(*CallClause)
+	if !ok {
+		t.Fatalf("clause is %T, want *CallClause", q.Clauses[0])
+	}
+	if c.Proc != "algo.wcc" {
+		t.Errorf("proc name %q, want lowercased algo.wcc", c.Proc)
+	}
+	if c.Yield != nil || c.Where != nil {
+		t.Error("bare CALL should have no YIELD or WHERE")
+	}
+
+	q, err = Parse(`CALL test.seq({n: 4}) YIELD i AS x, sq WHERE x > 1 RETURN x, sq`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = q.Clauses[0].(*CallClause)
+	if c.Args == nil {
+		t.Error("argument map not parsed")
+	}
+	if len(c.Yield) != 2 || c.Yield[0].Col != "i" || c.Yield[0].Alias != "x" || c.Yield[1].Col != "sq" {
+		t.Errorf("yield items parsed as %+v", c.Yield)
+	}
+	if c.Where == nil {
+		t.Error("WHERE after YIELD not parsed")
+	}
+	if len(q.Clauses) != 2 {
+		t.Errorf("expected CALL + RETURN, got %d clauses", len(q.Clauses))
+	}
+}
+
+func TestParseCallErrors(t *testing.T) {
+	for _, src := range []string{
+		`CALL`,
+		`CALL ()`,
+		`CALL algo.wcc(`,
+		`CALL algo.wcc() YIELD`,
+		`CALL algo.wcc() YIELD 1`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCallStreamsRows(t *testing.T) {
+	g := graph.New()
+	res, err := execCall(t, g, `CALL test.seq({n: 5})`, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "i" || res.Columns[1] != "sq" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		n, _ := row[0].AsInt()
+		sq, _ := row[1].AsInt()
+		if n != int64(i) || sq != int64(i*i) {
+			t.Fatalf("row %d = (%d, %d)", i, n, sq)
+		}
+	}
+}
+
+func TestCallYieldAliasAndWhere(t *testing.T) {
+	g := graph.New()
+	res, err := execCall(t, g, `CALL test.seq({n: 6}) YIELD i AS x WHERE x >= 4 RETURN x`, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, _ := res.Ints("x")
+	if len(xs) != 2 || xs[0] != 4 || xs[1] != 5 {
+		t.Fatalf("x column = %v, want [4 5]", xs)
+	}
+}
+
+func TestCallComposesWithMatch(t *testing.T) {
+	g := graph.New()
+	g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(1)})
+	g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(2)})
+	res, err := execCall(t, g,
+		`MATCH (a:AS) CALL test.seq({n: 2}) YIELD i RETURN a.asn AS asn, i ORDER BY asn, i`, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 2 ASes x 2 emissions", len(res.Rows))
+	}
+	var got []string
+	for _, row := range res.Rows {
+		a, _ := row[0].AsInt()
+		i, _ := row[1].AsInt()
+		got = append(got, fmt.Sprintf("%d/%d", a, i))
+	}
+	if want := "1/0 1/1 2/0 2/1"; strings.Join(got, " ") != want {
+		t.Fatalf("rows = %v, want %s", got, want)
+	}
+}
+
+func TestCallMaxRowsTruncates(t *testing.T) {
+	g := graph.New()
+	// Terminal CALL.
+	res, err := execCall(t, g, `CALL test.seq({n: 100})`, ExecOptions{MaxRows: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 || !res.Truncated {
+		t.Fatalf("terminal CALL: %d rows, truncated=%v; want 7, true", len(res.Rows), res.Truncated)
+	}
+	// CALL feeding a RETURN.
+	res, err = execCall(t, g, `CALL test.seq({n: 100}) YIELD i RETURN i`, ExecOptions{MaxRows: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 || !res.Truncated {
+		t.Fatalf("CALL+RETURN: %d rows, truncated=%v; want 7, true", len(res.Rows), res.Truncated)
+	}
+	// Exactly at the budget is not truncation.
+	res, err = execCall(t, g, `CALL test.seq({n: 7})`, ExecOptions{MaxRows: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 || res.Truncated {
+		t.Fatalf("budget-exact CALL: %d rows, truncated=%v; want 7, false", len(res.Rows), res.Truncated)
+	}
+}
+
+func TestCallHonorsContext(t *testing.T) {
+	g := graph.New()
+	q, err := Parse(`CALL test.block()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = Exec(ctx, g, q, ExecOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation took far longer than the deadline")
+	}
+}
+
+func TestCallErrorsAreCypherErrors(t *testing.T) {
+	g := graph.New()
+	_, err := execCall(t, g, `CALL test.fail()`, ExecOptions{})
+	if err == nil || !strings.Contains(err.Error(), "test.fail: kernel exploded") {
+		t.Fatalf("err = %v, want wrapped procedure error", err)
+	}
+
+	_, err = execCall(t, g, `CALL test.nope()`, ExecOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unknown procedure") ||
+		!strings.Contains(err.Error(), "test.seq") {
+		t.Fatalf("err = %v, want unknown-procedure error listing the registry", err)
+	}
+
+	_, err = execCall(t, g, `CALL test.seq() YIELD nope`, ExecOptions{})
+	if err == nil || !strings.Contains(err.Error(), "does not yield") {
+		t.Fatalf("err = %v, want bad-yield-column error", err)
+	}
+}
+
+func TestDbProcedures(t *testing.T) {
+	g := graph.New()
+	res, err := execCall(t, g, `CALL db.procedures() YIELD name WHERE name STARTS WITH 'test.' RETURN name`, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, _ := res.Strings("name")
+	if len(names) != 3 {
+		t.Fatalf("test.* procedures = %v, want the 3 registered here", names)
+	}
+}
+
+func TestPlanCacheBypassesCall(t *testing.T) {
+	c := NewPlanCache(8)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(`CALL test.seq({n: 1})`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Bypasses != 3 {
+		t.Errorf("bypasses = %d, want 3", st.Bypasses)
+	}
+	if st.Size != 0 {
+		t.Errorf("CALL plan cached: size = %d, want 0", st.Size)
+	}
+	if st.Hits != 0 {
+		t.Errorf("hits = %d, want 0", st.Hits)
+	}
+}
+
+func TestPlanCacheOutcome(t *testing.T) {
+	c := NewPlanCache(8)
+	if got := c.Outcome(`CALL test.seq()`); got != "bypass" {
+		t.Errorf("CALL outcome = %q, want bypass", got)
+	}
+	if got := c.Outcome(`RETURN 1 AS n`); got != "miss" {
+		t.Errorf("uncached outcome = %q, want miss", got)
+	}
+	if _, err := c.Get(`RETURN 1 AS n`); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Outcome(`RETURN 1 AS n`); got != "hit" {
+		t.Errorf("cached outcome = %q, want hit", got)
+	}
+	if got := c.Outcome(`MATCH (`); got != "error" {
+		t.Errorf("unparseable outcome = %q, want error", got)
+	}
+	// Outcome is a peek: it must not touch the counters.
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 1 || st.Bypasses != 0 {
+		t.Errorf("Outcome mutated stats: %+v", st)
+	}
+}
+
+func TestExplainCall(t *testing.T) {
+	g := graph.New()
+	plan, err := Explain(g, `CALL test.seq({n: 2}) YIELD i RETURN i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "test.seq") || !strings.Contains(plan, "not cacheable") {
+		t.Fatalf("explain output missing CALL details:\n%s", plan)
+	}
+	plan, err = Explain(g, `CALL test.nope()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "not registered") {
+		t.Fatalf("explain of unknown procedure should warn:\n%s", plan)
+	}
+}

@@ -217,6 +217,27 @@ func runSingle(ctx context.Context, g *graph.Graph, q *Query, params map[string]
 			rows, err = ex.applyDelete(c, rows)
 		case *RemoveClause:
 			rows, err = ex.applyRemove(c, rows)
+		case *CallClause:
+			// Like MATCH, a CALL feeding a row-per-row final RETURN can
+			// stop emitting at the row cap; a query-terminal CALL streams
+			// straight into the result under the budget.
+			cap := -1
+			if !last {
+				if i == len(q.Clauses)-2 {
+					if ret, ok := q.Clauses[i+1].(*ReturnClause); ok {
+						cap = ex.returnRowCap(ret)
+					}
+				}
+				rows, err = ex.applyCall(c, rows, cap, false)
+			} else {
+				if ex.budget > 0 {
+					cap = ex.budget + 1 // +1 detects truncation
+				}
+				if _, err := ex.applyCall(c, rows, cap, true); err != nil {
+					return nil, err
+				}
+				return ex.res, nil
+			}
 		case *ReturnClause:
 			if !last {
 				return nil, &Error{Msg: "RETURN must be the final clause"}

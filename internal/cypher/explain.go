@@ -29,6 +29,17 @@ func Explain(g *graph.Graph, src string) (string, error) {
 		clauses = append(clauses, cur.Clauses...)
 	}
 	for _, cl := range clauses {
+		if cc, ok := cl.(*CallClause); ok {
+			clauseNo++
+			fmt.Fprintf(&sb, "CALL #%d\n", clauseNo)
+			if spec, ok := LookupProc(cc.Proc); ok {
+				fmt.Fprintf(&sb, "  procedure %s streaming columns [%s]; plan not cacheable\n",
+					spec.Name, strings.Join(spec.Cols, ", "))
+			} else {
+				fmt.Fprintf(&sb, "  procedure %s is not registered — execution would fail\n", cc.Proc)
+			}
+			continue
+		}
 		mc, ok := cl.(*MatchClause)
 		if !ok {
 			continue
@@ -62,7 +73,7 @@ func Explain(g *graph.Graph, src string) (string, error) {
 		}
 	}
 	if clauseNo == 0 {
-		return "(no MATCH clauses)\n", nil
+		return "(no MATCH or CALL clauses)\n", nil
 	}
 	return sb.String(), nil
 }

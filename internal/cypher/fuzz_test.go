@@ -19,6 +19,9 @@ func TestParserNeverPanics(t *testing.T) {
 		`UNWIND [1, 2, 3] AS v WITH v WHERE v > 1 RETURN CASE v WHEN 2 THEN 'two' ELSE 'many' END AS w`,
 		`MATCH p = shortestPath((a)-[*..5]-(b)) RETURN nodes(p), length(p)`,
 		`RETURN {a: [1, 'x', null], b: $param}['a'][0..2] AS v UNION ALL RETURN 1 AS v`,
+		`CALL algo.pagerank({damping: 0.85, labels: ['AS']}) YIELD node AS n, score WHERE score > 0.1 RETURN n`,
+		`MATCH (a:AS) CALL algo.wcc() YIELD node, component RETURN a, component ORDER BY component`,
+		`CALL db.procedures() YIELD name, columns, help RETURN name`,
 	}
 	r := rand.New(rand.NewSource(31))
 	mangle := func(s string) string {
@@ -63,6 +66,33 @@ func TestParserNeverPanics(t *testing.T) {
 		}
 		_, _ = Parse(sb.String())
 	}
+}
+
+// FuzzParseCall is the native fuzz target for the CALL ... YIELD grammar
+// path (the CI analytics job runs it as a smoke test with -fuzztime).
+// The parser must return a value or an error for every input, never
+// panic, and a successful parse must survive plan-cache classification.
+func FuzzParseCall(f *testing.F) {
+	for _, seed := range []string{
+		`CALL algo.wcc()`,
+		`CALL algo.pagerank({damping: 0.85, maxIters: 50})`,
+		`CALL algo.bfs({sources: [1, 2], reverse: true}) YIELD node, dist`,
+		`CALL algo.harmonic({samples: 64, seed: 9}) YIELD node AS n, score WHERE score > 1.5 RETURN n, score`,
+		`MATCH (a:AS) CALL algo.degree({labels: ['AS']}) YIELD direction, count RETURN a, direction, count`,
+		`CALL db.procedures() YIELD name, columns, help RETURN name ORDER BY name`,
+		`CALL x.y.z({a: {b: [null, 'q']}}) YIELD c AS d`,
+		`CALL`,
+		`CALL algo.wcc( YIELD`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		queryHasCall(q) // classification must not panic either
+	})
 }
 
 // TestExecutorNeverPanicsOnValidParses executes every randomly mangled

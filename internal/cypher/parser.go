@@ -145,8 +145,61 @@ func (p *parser) parseClause() (Clause, error) {
 		return p.parseDelete(false)
 	case p.acceptKeyword("REMOVE"):
 		return p.parseRemove()
+	case p.acceptKeyword("CALL"):
+		return p.parseCall()
 	}
 	return nil, errorf(t, "expected clause keyword, found %q", t.text)
+}
+
+// parseCall parses CALL name.name({args}) [YIELD col [AS alias], ...
+// [WHERE expr]].
+func (p *parser) parseCall() (Clause, error) {
+	part, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	parts := []string{part}
+	for p.accept(tokDot) {
+		if part, err = p.name(); err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+	}
+	c := &CallClause{Proc: strings.ToLower(strings.Join(parts, "."))}
+	if p.accept(tokLParen) {
+		if !p.at(tokRParen) {
+			if c.Args, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("YIELD") {
+		for {
+			col, err := p.name()
+			if err != nil {
+				return nil, err
+			}
+			it := YieldItem{Col: strings.ToLower(col)}
+			if p.acceptKeyword("AS") {
+				if it.Alias, err = p.name(); err != nil {
+					return nil, err
+				}
+			}
+			c.Yield = append(c.Yield, it)
+			if !p.accept(tokComma) {
+				break
+			}
+		}
+		if p.acceptKeyword("WHERE") {
+			if c.Where, err = p.parseExpr(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
 }
 
 func (p *parser) parseMatch(optional bool) (Clause, error) {

@@ -17,8 +17,9 @@ type PlanCache struct {
 	entries  map[string]*list.Element
 	order    *list.List // front = most recently used
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	bypasses atomic.Uint64
 }
 
 type planEntry struct {
@@ -45,7 +46,12 @@ func NewPlanCache(capacity int) *PlanCache {
 
 // Get returns the parsed form of src, parsing and caching it on a miss.
 // Parse errors are returned without being cached: failed parses bail out
-// cheaply and caching them would let garbage evict useful plans.
+// cheaply and caching them would let garbage evict useful plans. Queries
+// containing CALL clauses are parsed but never cached (a bypass, counted
+// separately): procedure invocations resolve against the mutable
+// procedure registry and typically run for their side-band effects on
+// kernel metrics, so pinning them in the LRU would evict genuinely
+// reusable plans for no win.
 func (c *PlanCache) Get(src string) (*Query, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[src]; ok {
@@ -55,15 +61,20 @@ func (c *PlanCache) Get(src string) (*Query, error) {
 		return el.Value.(*planEntry).q, nil
 	}
 	c.mu.Unlock()
-	c.misses.Add(1)
 
 	// Parse outside the lock so a slow parse doesn't serialize other
 	// queries; two goroutines racing on the same new query simply parse
 	// twice, and the second insert wins harmlessly.
 	q, err := Parse(src)
 	if err != nil {
+		c.misses.Add(1)
 		return nil, err
 	}
+	if queryHasCall(q) {
+		c.bypasses.Add(1)
+		return q, nil
+	}
+	c.misses.Add(1)
 
 	c.mu.Lock()
 	if el, ok := c.entries[src]; ok {
@@ -85,11 +96,12 @@ func (c *PlanCache) Get(src string) (*Query, error) {
 type CacheStats struct {
 	Hits     uint64 `json:"hits"`
 	Misses   uint64 `json:"misses"`
+	Bypasses uint64 `json:"bypasses"`
 	Size     int    `json:"size"`
 	Capacity int    `json:"capacity"`
 }
 
-// Stats reports hit/miss counters and current occupancy.
+// Stats reports hit/miss/bypass counters and current occupancy.
 func (c *PlanCache) Stats() CacheStats {
 	c.mu.Lock()
 	size := c.order.Len()
@@ -97,7 +109,29 @@ func (c *PlanCache) Stats() CacheStats {
 	return CacheStats{
 		Hits:     c.hits.Load(),
 		Misses:   c.misses.Load(),
+		Bypasses: c.bypasses.Load(),
 		Size:     size,
 		Capacity: c.capacity,
 	}
+}
+
+// Outcome reports, without touching the counters or the LRU order, how
+// Get would treat src right now: "hit", "miss", "bypass" (a CALL query),
+// or "error" when src does not parse. EXPLAIN uses it to show callers
+// whether their query text is being re-parsed on every request.
+func (c *PlanCache) Outcome(src string) string {
+	c.mu.Lock()
+	_, cached := c.entries[src]
+	c.mu.Unlock()
+	if cached {
+		return "hit"
+	}
+	q, err := Parse(src)
+	if err != nil {
+		return "error"
+	}
+	if queryHasCall(q) {
+		return "bypass"
+	}
+	return "miss"
 }

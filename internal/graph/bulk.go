@@ -1,0 +1,173 @@
+package graph
+
+import "sort"
+
+// Bulk-read access for the analytics layer. Compiling a CSR view touches
+// every node and relationship once; doing that through the public
+// accessors would take and release the store's RWMutex millions of times.
+// BulkRead instead holds the read lock exactly once and hands the caller a
+// BulkReader whose accessors are lock-free, turning view compilation into
+// a straight array walk.
+
+// Version reports the store's mutation counter. It is bumped by every
+// write (node/relationship creation, deletion, property and label
+// changes), so a reader can cheaply detect whether anything changed since
+// a derived structure — an analytics view, a cached statistic — was built
+// from the graph.
+func (g *Graph) Version() uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.version
+}
+
+// BulkRead runs fn while holding the store's read lock once. The
+// BulkReader passed to fn reads the live store without further locking;
+// it must not escape fn, and fn must not call any mutating Graph method
+// (the write lock would deadlock against the held read lock).
+func (g *Graph) BulkRead(fn func(*BulkReader)) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	fn(&BulkReader{g: g})
+}
+
+// BulkReader is the lock-free view handed out by BulkRead.
+type BulkReader struct {
+	g *Graph
+}
+
+// Version is the store's mutation counter at lock time.
+func (br *BulkReader) Version() uint64 { return br.g.version }
+
+// MaxNodeID is the highest node ID ever allocated (dead IDs included);
+// live IDs are in [1, MaxNodeID].
+func (br *BulkReader) MaxNodeID() NodeID { return NodeID(len(br.g.nodes)) }
+
+// NumNodes is the live node count.
+func (br *BulkReader) NumNodes() int { return br.g.nodeCount }
+
+// NumRels is the live relationship count.
+func (br *BulkReader) NumRels() int { return br.g.relCount }
+
+// NodeAlive reports whether id refers to a live node.
+func (br *BulkReader) NodeAlive(id NodeID) bool { return br.g.node(id) != nil }
+
+// LabelID resolves a label name; ok is false when the label was never
+// used (it then matches no node).
+func (br *BulkReader) LabelID(label string) (uint16, bool) {
+	id, ok := br.g.labelIDs[label]
+	return uint16(id), ok
+}
+
+// NodeHasLabelID reports whether the node carries the (resolved) label.
+func (br *BulkReader) NodeHasLabelID(id NodeID, lid uint16) bool {
+	n := br.g.node(id)
+	if n == nil {
+		return false
+	}
+	for _, l := range n.labels {
+		if l == labelID(lid) {
+			return true
+		}
+		if l > labelID(lid) {
+			return false
+		}
+	}
+	return false
+}
+
+// NodeProp returns a node property (Null when absent or node missing).
+func (br *BulkReader) NodeProp(id NodeID, key string) Value {
+	n := br.g.node(id)
+	if n == nil {
+		return Null()
+	}
+	return n.props[key]
+}
+
+// EachNode calls fn for every live node in ascending ID order until fn
+// returns false.
+func (br *BulkReader) EachNode(fn func(NodeID) bool) {
+	for _, n := range br.g.nodes {
+		if n == nil {
+			continue
+		}
+		if !fn(n.id) {
+			return
+		}
+	}
+}
+
+// TypeID resolves a relationship type name; ok is false when the type was
+// never used.
+func (br *BulkReader) TypeID(typ string) (uint16, bool) {
+	id, ok := br.g.typeIDs[typ]
+	return uint16(id), ok
+}
+
+// EachRel calls fn for every live relationship in ascending ID order with
+// its type id and endpoints, until fn returns false.
+func (br *BulkReader) EachRel(fn func(id RelID, typ uint16, from, to NodeID) bool) {
+	for _, r := range br.g.rels {
+		if r == nil {
+			continue
+		}
+		if !fn(r.id, uint16(r.typ), r.from, r.to) {
+			return
+		}
+	}
+}
+
+// RelProp returns a relationship property (Null when absent).
+func (br *BulkReader) RelProp(id RelID, key string) Value {
+	r := br.g.rel(id)
+	if r == nil {
+		return Null()
+	}
+	return r.props[key]
+}
+
+// EachRelOf calls fn for each relationship incident to id in the given
+// direction (self-loops reported once under DirBoth), until fn returns
+// false. other is the far endpoint.
+func (br *BulkReader) EachRelOf(id NodeID, dir Dir, fn func(rid RelID, typ uint16, other NodeID) bool) {
+	n := br.g.node(id)
+	if n == nil {
+		return
+	}
+	if dir == DirOut || dir == DirBoth {
+		for _, rid := range n.out {
+			if r := br.g.rel(rid); r != nil {
+				if !fn(rid, uint16(r.typ), r.to) {
+					return
+				}
+			}
+		}
+	}
+	if dir == DirIn || dir == DirBoth {
+		for _, rid := range n.in {
+			if r := br.g.rel(rid); r != nil {
+				if dir == DirBoth && r.from == r.to {
+					continue // already seen in the out scan
+				}
+				if !fn(rid, uint16(r.typ), r.from) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// NodesByLabel returns the live nodes carrying label, ascending.
+func (br *BulkReader) NodesByLabel(label string) []NodeID {
+	lid, ok := br.g.labelIDs[label]
+	if !ok {
+		return nil
+	}
+	set := br.g.labelIdx[lid]
+	out := make([]NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

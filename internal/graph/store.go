@@ -78,6 +78,10 @@ type Graph struct {
 
 	nodeCount int
 	relCount  int
+
+	// version counts mutations; derived read-optimized structures (the
+	// analytics CSR views) key their caches on it. Guarded by mu.
+	version uint64
 }
 
 // New returns an empty graph.
@@ -142,6 +146,7 @@ func (g *Graph) AddNode(labels []string, props Props) NodeID {
 }
 
 func (g *Graph) addNodeLocked(labels []string, props Props) NodeID {
+	g.version++
 	n := &Node{
 		id:    NodeID(len(g.nodes) + 1),
 		props: props.Clone(),
@@ -247,6 +252,7 @@ func (g *Graph) AddLabel(id NodeID, label string) error {
 }
 
 func (g *Graph) addLabelLocked(n *Node, label string) {
+	g.version++
 	lid := g.internLabel(label)
 	before := len(n.labels)
 	n.labels = insertLabel(n.labels, lid)
@@ -301,6 +307,7 @@ func (g *Graph) SetNodeProp(id NodeID, key string, v Value) error {
 }
 
 func (g *Graph) setNodePropLocked(n *Node, id NodeID, key string, v Value) {
+	g.version++
 	if old, ok := n.props[key]; ok {
 		for _, lid := range n.labels {
 			g.propIndexRemoveLocked(lid, key, old, id)
@@ -346,6 +353,7 @@ func (g *Graph) DeleteNode(id NodeID) error {
 	if n == nil {
 		return fmt.Errorf("graph: no node %d", id)
 	}
+	g.version++
 	for _, rid := range append(append([]RelID{}, n.out...), n.in...) {
 		if r := g.rel(rid); r != nil {
 			g.deleteRelLocked(r)
@@ -377,6 +385,7 @@ func (g *Graph) addRelLocked(typ string, from, to NodeID, props Props) (RelID, e
 	if fn == nil || tn == nil {
 		return 0, fmt.Errorf("graph: relationship %s endpoints %d->%d: missing node", typ, from, to)
 	}
+	g.version++
 	r := &Rel{
 		id:    RelID(len(g.rels) + 1),
 		typ:   g.internType(typ),
@@ -395,6 +404,7 @@ func (g *Graph) addRelLocked(typ string, from, to NodeID, props Props) (RelID, e
 }
 
 func (g *Graph) deleteRelLocked(r *Rel) {
+	g.version++
 	if fn := g.node(r.from); fn != nil {
 		fn.out = removeID(fn.out, r.id)
 	}
@@ -456,6 +466,7 @@ func (g *Graph) SetRelProp(id RelID, key string, v Value) error {
 	if r == nil {
 		return fmt.Errorf("graph: no relationship %d", id)
 	}
+	g.version++
 	if v.IsNull() {
 		delete(r.props, key)
 	} else {
@@ -712,6 +723,7 @@ func (g *Graph) mergeNodeLocked(label, key string, v Value, extraLabels []string
 	// Identity lookups always deserve an index.
 	idx := g.ensureIndexLocked(label, key)
 	if set := idx[v.key()]; len(set) > 0 {
+		g.version++ // merged labels/props below mutate the node in place
 		var id NodeID
 		for nid := range set {
 			if id == 0 || nid < id {

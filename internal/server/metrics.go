@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"iyp/internal/algo"
 	"iyp/internal/cypher"
 )
 
@@ -67,8 +68,12 @@ func (m *metrics) write(w io.Writer, cache cypher.CacheStats) {
 
 	counter("iyp_plan_cache_hits_total", "Plan cache hits.", cache.Hits)
 	counter("iyp_plan_cache_misses_total", "Plan cache misses.", cache.Misses)
+	counter("iyp_plan_cache_bypasses_total", "Queries never cached (CALL statements).", cache.Bypasses)
 	gauge("iyp_plan_cache_size", "Parsed plans currently cached.", int64(cache.Size))
 	gauge("iyp_plan_cache_capacity", "Plan cache capacity.", int64(cache.Capacity))
+
+	// Per-kernel analytics counters (CALL algo.* procedures).
+	algo.WriteProm(w)
 
 	fmt.Fprintf(w, "# HELP iyp_query_duration_seconds Query latency.\n# TYPE iyp_query_duration_seconds histogram\n")
 	var cum uint64

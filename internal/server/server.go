@@ -287,7 +287,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+	// Surface how the plan cache would treat this text: repeated clients
+	// should see "hit"; CALL queries always report "bypass".
+	outcome := s.cache.Outcome(req.Query)
+	plan += "plan cache: " + outcome + "\n"
+	writeJSON(w, http.StatusOK, map[string]string{"plan": plan, "plan_cache": outcome})
 }
 
 type schemaResponse struct {

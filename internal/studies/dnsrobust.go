@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 
+	"iyp/internal/algo"
 	"iyp/internal/cypher"
 	"iyp/internal/graph"
 	"iyp/internal/netutil"
@@ -31,46 +32,102 @@ type DNSBestPracticeResult struct {
 	Domains int
 }
 
-// domainNS fetches ranked domains (optionally restricted to
-// .com/.net/.org) with their nameserver sets via the zone cuts added at
-// refinement.
-func domainNS(g *graph.Graph, comNetOrgOnly bool) (*cypher.Result, error) {
-	q := `
-MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)-[:PARENT]->(tld:DomainName)
-WHERE tld.name IN ['com', 'net', 'org']
-OPTIONAL MATCH (d)-[:MANAGED_BY]-(ns:AuthoritativeNameServer)
-RETURN d.name AS domain, collect(DISTINCT ns.name) AS nameservers`
-	if !comNetOrgOnly {
-		q = `
-MATCH (:Ranking {name:'Tranco top 1M'})-[:RANK]-(d:DomainName)
-OPTIONAL MATCH (d)-[:MANAGED_BY]-(ns:AuthoritativeNameServer)
-RETURN d.name AS domain, collect(DISTINCT ns.name) AS nameservers`
-	}
-	return run(g, "dns-robustness", q, nil)
+// harvestDomainNS walks the zone cuts added at refinement in one bulk
+// scan: ranked .com/.net/.org domains with their distinct nameserver name
+// sets. It replaces the study's original Cypher harvest.
+func harvestDomainNS(g *graph.Graph) (nsNames [][]string) {
+	g.BulkRead(func(br *graph.BulkReader) {
+		rankT, okRank := br.TypeID("RANK")
+		parentT, okParent := br.TypeID("PARENT")
+		managedT, okManaged := br.TypeID("MANAGED_BY")
+		domL, okDom := br.LabelID("DomainName")
+		nsL, okNS := br.LabelID("AuthoritativeNameServer")
+		if !okRank || !okParent || !okDom {
+			return
+		}
+		ranking := findRanking(br, TrancoRankingName)
+		if ranking == 0 {
+			return
+		}
+		seen := map[graph.NodeID]bool{}
+		br.EachRelOf(ranking, graph.DirBoth, func(_ graph.RelID, typ uint16, d graph.NodeID) bool {
+			if typ != rankT || !br.NodeHasLabelID(d, domL) || seen[d] {
+				return true
+			}
+			seen[d] = true
+			inStudy := false
+			br.EachRelOf(d, graph.DirOut, func(_ graph.RelID, t2 uint16, tld graph.NodeID) bool {
+				if t2 != parentT || !br.NodeHasLabelID(tld, domL) {
+					return true
+				}
+				n, _ := br.NodeProp(tld, "name").AsString()
+				if n == "com" || n == "net" || n == "org" {
+					inStudy = true
+					return false
+				}
+				return true
+			})
+			if !inStudy {
+				return true
+			}
+			var names []string
+			if okManaged && okNS {
+				nameSeen := map[string]bool{}
+				br.EachRelOf(d, graph.DirBoth, func(_ graph.RelID, t2 uint16, ns graph.NodeID) bool {
+					if t2 != managedT || !br.NodeHasLabelID(ns, nsL) {
+						return true
+					}
+					n, _ := br.NodeProp(ns, "name").AsString()
+					if n != "" && !nameSeen[n] {
+						nameSeen[n] = true
+						names = append(names, n)
+					}
+					return true
+				})
+			}
+			nsNames = append(nsNames, names)
+			return true
+		})
+	})
+	return nsNames
 }
 
-// DNSBestPractice reproduces Table 3.
+// DNSBestPractice reproduces Table 3. The nameserver-count classes come
+// from the out-degrees of a derived domain→nameserver bipartite view
+// compiled by the analytics engine.
 func DNSBestPractice(g *graph.Graph) (DNSBestPracticeResult, error) {
 	var out DNSBestPracticeResult
 	total, err := trancoSize(g)
 	if err != nil {
 		return out, err
 	}
-	res, err := domainNS(g, true)
-	if err != nil {
-		return out, err
+	nsNames := harvestDomainNS(g)
+
+	nd := len(nsNames)
+	nsIdx := map[string]int32{}
+	var from, to []int32
+	for i, names := range nsNames {
+		for _, n := range names {
+			j, ok := nsIdx[n]
+			if !ok {
+				j = int32(len(nsIdx))
+				nsIdx[n] = j
+			}
+			from = append(from, int32(i))
+			to = append(to, int32(nd)+j)
+		}
 	}
+	v := algo.NewDerived(nd+len(nsIdx), from, to, nil)
+
 	var discarded, meet, exceed, notMeet, inZone, kept int
-	for i := range res.Rows {
-		nsv, _ := res.Get(i, "nameservers")
-		names := stringList(nsv)
-		switch {
-		case len(names) == 0:
+	for i, names := range nsNames {
+		switch v.OutDegree(int32(i)) {
+		case 0:
 			discarded++
 			continue
-		case len(names) == 1:
+		case 1:
 			notMeet++
-		case len(names) == 2:
+		case 2:
 			meet++
 		default:
 			exceed++
@@ -84,7 +141,7 @@ func DNSBestPractice(g *graph.Graph) (DNSBestPracticeResult, error) {
 			}
 		}
 	}
-	out.Domains = res.Len()
+	out.Domains = nd
 	out.CoveragePct = pct(out.Domains, total)
 	out.DiscardedPct = pct(discarded, out.Domains)
 	out.MeetPct = pct(meet, out.Domains)

@@ -1,0 +1,71 @@
+package studies
+
+import (
+	"iyp/internal/graph"
+)
+
+// Bulk-read harvest helpers. The SPoF and DNS-robustness studies were
+// originally written as Cypher row harvests; they now walk the store once
+// under graph.BulkRead to build the derived bipartite graphs the
+// internal/algo kernels consume, which keeps their numbers identical
+// while replacing millions of per-row lock round-trips with one locked
+// scan plus parallel kernels.
+
+// findRanking locates the Ranking node with the given name (0 = absent).
+func findRanking(br *graph.BulkReader, name string) graph.NodeID {
+	for _, id := range br.NodesByLabel("Ranking") {
+		if s, _ := br.NodeProp(id, "name").AsString(); s == name {
+			return id
+		}
+	}
+	return 0
+}
+
+// bipartite accumulates a derived domain→key edge list for the analytics
+// kernels: the first len(doms) internal indexes are source (domain)
+// nodes, the rest are key nodes. Indexes are assigned in encounter
+// order, which is deterministic because BulkReader iteration follows
+// store order.
+type bipartite struct {
+	domIdx map[graph.NodeID]int32
+	keyIdx map[string]int32
+	keys   []string
+}
+
+func newBipartite() *bipartite {
+	return &bipartite{domIdx: map[graph.NodeID]int32{}, keyIdx: map[string]int32{}}
+}
+
+func (b *bipartite) domain(id graph.NodeID) int32 {
+	i, ok := b.domIdx[id]
+	if !ok {
+		i = int32(len(b.domIdx))
+		b.domIdx[id] = i
+	}
+	return i
+}
+
+func (b *bipartite) key(k string) int32 {
+	i, ok := b.keyIdx[k]
+	if !ok {
+		i = int32(len(b.keys))
+		b.keyIdx[k] = i
+		b.keys = append(b.keys, k)
+	}
+	return i
+}
+
+// n is the total node count of the derived graph; key j lives at internal
+// index numDomains+j.
+func (b *bipartite) n() int { return len(b.domIdx) + len(b.keys) }
+
+func (b *bipartite) numDomains() int { return len(b.domIdx) }
+
+// sources lists every domain index, the kernel's source set.
+func (b *bipartite) sources() []int32 {
+	s := make([]int32, len(b.domIdx))
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}

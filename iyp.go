@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"time"
 
+	_ "iyp/internal/algo" // registers the CALL algo.* procedures
 	"iyp/internal/core"
 	"iyp/internal/cypher"
 	"iyp/internal/graph"
