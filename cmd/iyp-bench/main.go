@@ -1,0 +1,141 @@
+// Command iyp-bench measures Cypher query latency across morsel
+// parallelism settings against a synthetic paper-scale graph and writes a
+// machine-readable baseline, tracked in the repository as BENCH_5.json so
+// regressions show up in review diffs.
+//
+// Usage:
+//
+//	iyp-bench                      # print the baseline JSON to stdout
+//	iyp-bench -o BENCH_5.json      # write (regenerate) the tracked file
+//	iyp-bench -scale 0.5 -reps 10  # bigger graph, more repetitions
+//
+// Every query runs at each worker budget; per (query, workers) the best
+// of -reps runs is kept (the usual way to suppress scheduler noise) and
+// the speedup against the same query's serial run is derived. The host's
+// CPU count is recorded because speedups are only meaningful relative to
+// it: on a single-core machine every speedup is ~1.0 by construction.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"iyp"
+)
+
+// benchQueries are the paper-shaped MATCH workloads the baseline tracks.
+var benchQueries = []struct {
+	Name  string
+	Query string
+}{
+	{"listing1_originating_ases",
+		`MATCH (x:AS)-[:ORIGINATE]-(:Prefix) RETURN DISTINCT x.asn`},
+	{"listing2_moas",
+		`MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS) WHERE x.asn <> y.asn RETURN DISTINCT p.prefix`},
+	{"rpki_tag_coverage",
+		`MATCH (a:AS)-[:ORIGINATE]-(p:Prefix)-[:CATEGORIZED]-(t:Tag) WHERE t.label = "RPKI Valid" RETURN a.asn, p.prefix`},
+	{"country_aggregation",
+		`MATCH (a:AS)-[:COUNTRY]-(c:Country) RETURN c.country_code AS cc, count(*) AS n ORDER BY n DESC, cc`},
+}
+
+type benchResult struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"` // best-of-reps wall time
+	Rows    int     `json:"rows"`
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+type benchFile struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Scale       float64       `json:"scale"`
+	Reps        int           `json:"reps"`
+	Results     []benchResult `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		out   = flag.String("o", "", "output file (empty = stdout)")
+		scale = flag.Float64("scale", 0.25, "synthetic Internet scale factor")
+		reps  = flag.Int("reps", 5, "repetitions per (query, workers); best run is kept")
+	)
+	flag.Parse()
+
+	db, err := iyp.Build(context.Background(), iyp.Options{Scale: *scale})
+	if err != nil {
+		log.Fatalf("iyp-bench: build: %v", err)
+	}
+	st := db.Stats()
+	log.Printf("graph: %d nodes, %d relationships (scale %g)", st.Nodes, st.Rels, *scale)
+
+	workerSet := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		workerSet = append(workerSet, n)
+	}
+
+	bf := benchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       *scale,
+		Reps:        *reps,
+	}
+	for _, bq := range benchQueries {
+		var serial float64
+		for _, workers := range workerSet {
+			best := 0.0
+			rows := 0
+			for r := 0; r < *reps+1; r++ {
+				t0 := time.Now()
+				res, err := db.Query(context.Background(), bq.Query, iyp.WithParallelism(workers))
+				if err != nil {
+					log.Fatalf("iyp-bench: %s (workers=%d): %v", bq.Name, workers, err)
+				}
+				took := time.Since(t0).Seconds()
+				if r == 0 {
+					continue // warm-up run: plan cache fill, first-touch costs
+				}
+				if best == 0 || took < best {
+					best = took
+				}
+				rows = res.Len()
+			}
+			if workers == 1 {
+				serial = best
+			}
+			speedup := 0.0
+			if best > 0 {
+				speedup = serial / best
+			}
+			bf.Results = append(bf.Results, benchResult{
+				Name: bq.Name, Workers: workers, Seconds: best, Rows: rows, Speedup: speedup,
+			})
+			log.Printf("%-28s workers=%-2d %8.3fms  %6d rows  %.2fx", bq.Name, workers, best*1e3, rows, speedup)
+		}
+	}
+
+	enc, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		fmt.Print(string(enc))
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("iyp-bench: write %s: %v", *out, err)
+	}
+	log.Printf("wrote %s", *out)
+}

@@ -27,6 +27,7 @@ func main() {
 		query   = flag.String("q", "", "query to run (empty = REPL on stdin)")
 		maxRows = flag.Int("rows", 50, "max rows to display (0 = all)")
 		timeout = flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+		par     = flag.Int("parallelism", 0, "MATCH worker budget (0 = all CPUs, 1 = serial)")
 		explain = flag.Bool("explain", false, "describe the match strategy instead of executing")
 	)
 	flag.Parse()
@@ -49,6 +50,9 @@ func main() {
 		var opts []iyp.QueryOption
 		if *timeout > 0 {
 			opts = append(opts, iyp.WithTimeout(*timeout))
+		}
+		if *par > 0 {
+			opts = append(opts, iyp.WithParallelism(*par))
 		}
 		t0 := time.Now()
 		res, err := db.Query(context.Background(), q, opts...)

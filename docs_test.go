@@ -1,0 +1,61 @@
+package iyp_test
+
+// Pins the EXPLAIN examples printed in README.md to the engine's real
+// output: every plan line shown in the README must be produced verbatim
+// by Explain on an equivalent graph, so the docs cannot drift from the
+// planner.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"iyp"
+	"iyp/internal/graph"
+)
+
+func TestReadmeExplainExamples(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+
+	g := graph.New()
+	as1 := g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(2497)})
+	pfx := g.AddNode([]string{"Prefix"}, graph.Props{"prefix": graph.String("192.0.2.0/24")})
+	tag := g.AddNode([]string{"Tag"}, graph.Props{"label": graph.String("RPKI Valid")})
+	if _, err := g.AddRel("ORIGINATE", as1, pfx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddRel("CATEGORIZED", pfx, tag, nil); err != nil {
+		t.Fatal(err)
+	}
+	g.EnsureIndex("AS", "asn")
+	db := iyp.Wrap(g)
+
+	for _, q := range []string{
+		`MATCH (a:AS)-[:ORIGINATE]->(p:Prefix)-[:CATEGORIZED]->(t:Tag) WHERE a.asn IN [2497, 65001] RETURN p.prefix, t.label`,
+		`MATCH p = shortestPath((a:AS {asn: 2497})-[*..4]-(t:Tag)) RETURN length(p)`,
+	} {
+		out, err := db.Explain(q)
+		if err != nil {
+			t.Fatalf("Explain(%q): %v", q, err)
+		}
+		for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+			if !strings.Contains(doc, line) {
+				t.Errorf("README.md does not contain the engine's EXPLAIN line %q\nfull output for %q:\n%s", line, q, out)
+			}
+		}
+	}
+
+	// The metric names documented in the README must match the exposition.
+	for _, name := range []string{
+		"iyp_match_parallel_total", "iyp_match_morsels_total",
+		"iyp_match_workers_total", "iyp_match_serial_total{reason=",
+	} {
+		if !strings.Contains(doc, name) {
+			t.Errorf("README.md does not mention metric %s", name)
+		}
+	}
+}

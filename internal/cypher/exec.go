@@ -36,8 +36,10 @@ type executor struct {
 	res    *Result
 	params map[string]Val
 	ctx    context.Context
-	budget int // max final result rows (0 = unlimited)
-	ticks  int // cooperative-cancellation tick counter (single-threaded paths)
+	q      *Query // the UNION branch being executed (for parallel eligibility)
+	budget int    // max final result rows (0 = unlimited)
+	par    int    // resolved worker budget (>= 1)
+	ticks  int    // cooperative-cancellation tick counter (single-threaded paths)
 }
 
 // tickMask controls how often cooperative loops poll ctx.Err(): every
@@ -80,6 +82,11 @@ type ExecOptions struct {
 	// materialized result. Result.Truncated reports whether rows were
 	// dropped.
 	MaxRows int
+	// Parallelism bounds the worker count for morsel-parallel MATCH
+	// execution: 0 uses GOMAXPROCS, 1 forces serial execution, and any
+	// larger value caps the pool at that many workers. Results are
+	// byte-identical at every setting.
+	Parallelism int
 }
 
 // Run parses and executes src against g. params provides $parameter values
@@ -124,6 +131,10 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Res
 	if q.Next != nil {
 		branchBudget = 0
 	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	params := make(map[string]Val, len(opts.Params)+len(opts.ParamVals))
 	for k, v := range opts.Params {
 		params[k] = ScalarVal(v)
@@ -131,7 +142,7 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Res
 	for k, v := range opts.ParamVals {
 		params[k] = v
 	}
-	res, err := runSingle(ctx, g, q, params, branchBudget)
+	res, err := runSingle(ctx, g, q, params, branchBudget, par)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +150,7 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Res
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
-		next, err := runSingle(ctx, g, cur.Next, params, 0)
+		next, err := runSingle(ctx, g, cur.Next, params, 0, par)
 		if err != nil {
 			return nil, err
 		}
@@ -176,11 +187,14 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Res
 }
 
 // runSingle executes one UNION branch.
-func runSingle(ctx context.Context, g *graph.Graph, q *Query, params map[string]Val, budget int) (*Result, error) {
+func runSingle(ctx context.Context, g *graph.Graph, q *Query, params map[string]Val, budget, par int) (*Result, error) {
 	if params == nil {
 		params = map[string]Val{}
 	}
-	ex := &executor{g: g, params: params, res: &Result{g: g}, ctx: ctx, budget: budget}
+	if par < 1 {
+		par = 1
+	}
+	ex := &executor{g: g, params: params, res: &Result{g: g}, ctx: ctx, q: q, budget: budget, par: par}
 	ex.ec = &evalCtx{g: g, params: params, ex: ex}
 
 	rows := []row{{}}
@@ -265,8 +279,34 @@ func runSingle(ctx context.Context, g *graph.Graph, q *Query, params map[string]
 const parallelMatchThreshold = 256
 
 func (ex *executor) applyMatch(c *MatchClause, in []row, cap int) ([]row, error) {
+	// Static parallel eligibility for this clause: the runtime knob plus
+	// query-shape constraints (writes, multi-path bindings, shortestPath).
+	// Dynamic checks (bound anchor, candidate count) happen per input row
+	// inside matchOnceParallel. OPTIONAL MATCH is parallel-eligible — the
+	// null-row fallback sits above the per-row match.
+	reason := serialReason(ex.q, c)
+	if reason == "" && ex.par < 2 {
+		reason = reasonDisabled
+	}
+	morselOK := reason == ""
+	if !morselOK {
+		countSerialStatic(reason)
+	}
+	var push []pushdown
+	if morselOK {
+		push = collectPushdowns(c.Where, patternVarSet(c.Patterns))
+	}
+
 	matchRow := func(r row, limit int) ([]row, error) {
-		matches, err := ex.matchOnce(c.Patterns, c.Where, r, limit)
+		var matches []row
+		var err error
+		ran := false
+		if morselOK {
+			matches, ran, err = ex.matchOnceParallel(c.Patterns[0], c.Where, push, r, limit)
+		}
+		if !ran {
+			matches, err = ex.matchOnce(c.Patterns, c.Where, r, limit)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -283,8 +323,11 @@ func (ex *executor) applyMatch(c *MatchClause, in []row, cap int) ([]row, error)
 		return matches, nil
 	}
 
-	workers := runtime.GOMAXPROCS(0)
-	if cap >= 0 || len(in) < parallelMatchThreshold || workers < 2 {
+	// The per-input-row fan-out below and the morsel engine must not nest:
+	// when morsel parallelism is available the outer loop stays serial and
+	// the fan-out happens inside each match.
+	workers := ex.par
+	if morselOK || cap >= 0 || len(in) < parallelMatchThreshold || workers < 2 {
 		var out []row
 		for _, r := range in {
 			if err := ex.tick(); err != nil {
@@ -373,6 +416,7 @@ func (ex *executor) matchOnce(patterns []PatternPath, where Expr, seed row, limi
 		g:       ex.g,
 		ctx:     ex.ctx,
 		binding: seed.clone(),
+		push:    collectPushdowns(where, patternVarSet(patterns)),
 	}
 	m.emit = func() error {
 		if where != nil {

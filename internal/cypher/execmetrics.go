@@ -1,0 +1,93 @@
+package cypher
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Lock-free counters describing how MATCH clauses were executed: how many
+// ran morsel-parallel vs serial, why serial executions could not be
+// parallelised, and how much morsel/worker fan-out the parallel ones used.
+// Rendered into the server's GET /metrics via WriteMatchMetrics.
+var (
+	metricMatchParallel atomic.Uint64 // MATCH executions run morsel-parallel
+	metricMatchMorsels  atomic.Uint64 // morsels dispatched across all parallel runs
+	metricMatchWorkers  atomic.Uint64 // workers launched across all parallel runs
+
+	// Serial executions, bucketed by the reason parallelism was ruled out.
+	metricMatchSerialDisabled      atomic.Uint64 // parallelism knob < 2
+	metricMatchSerialWrites        atomic.Uint64 // write clauses in the branch
+	metricMatchSerialMultiPath     atomic.Uint64 // comma-separated paths share bindings
+	metricMatchSerialShortest      atomic.Uint64 // shortestPath BFS
+	metricMatchSerialBoundAnchor   atomic.Uint64 // anchor already bound by an earlier clause
+	metricMatchSerialFewCandidates atomic.Uint64 // fewer anchor candidates than two morsels
+)
+
+// countSerialStatic records a clause-level (static) serial decision.
+func countSerialStatic(reason string) {
+	switch reason {
+	case reasonDisabled:
+		metricMatchSerialDisabled.Add(1)
+	case reasonWrites:
+		metricMatchSerialWrites.Add(1)
+	case reasonMultiPath:
+		metricMatchSerialMultiPath.Add(1)
+	case reasonShortest:
+		metricMatchSerialShortest.Add(1)
+	}
+}
+
+// Canonical serial-fallback reasons, shared by EXPLAIN output and the
+// metric buckets.
+const (
+	reasonDisabled      = "parallelism disabled"
+	reasonWrites        = "query contains write clauses"
+	reasonMultiPath     = "multiple pattern paths share one binding"
+	reasonShortest      = "shortestPath requires sequential BFS"
+	reasonBoundAnchor   = "anchor variable already bound"
+	reasonFewCandidates = "fewer anchor candidates than two morsels"
+)
+
+// MatchStats is a point-in-time snapshot of the MATCH execution counters.
+type MatchStats struct {
+	Parallel uint64
+	Morsels  uint64
+	Workers  uint64
+	Serial   map[string]uint64 // keyed by fallback reason
+}
+
+// SnapshotMatchStats returns the current counter values.
+func SnapshotMatchStats() MatchStats {
+	return MatchStats{
+		Parallel: metricMatchParallel.Load(),
+		Morsels:  metricMatchMorsels.Load(),
+		Workers:  metricMatchWorkers.Load(),
+		Serial: map[string]uint64{
+			"disabled":       metricMatchSerialDisabled.Load(),
+			"writes":         metricMatchSerialWrites.Load(),
+			"multi_path":     metricMatchSerialMultiPath.Load(),
+			"shortest_path":  metricMatchSerialShortest.Load(),
+			"bound_anchor":   metricMatchSerialBoundAnchor.Load(),
+			"few_candidates": metricMatchSerialFewCandidates.Load(),
+		},
+	}
+}
+
+// serialExpositionOrder fixes the label order in the Prometheus output.
+var serialExpositionOrder = []string{
+	"disabled", "writes", "multi_path", "shortest_path", "bound_anchor", "few_candidates",
+}
+
+// WriteMatchMetrics renders the MATCH execution counters in the Prometheus
+// text exposition format.
+func WriteMatchMetrics(w io.Writer) {
+	s := SnapshotMatchStats()
+	fmt.Fprintf(w, "# HELP iyp_match_parallel_total MATCH executions run morsel-parallel.\n# TYPE iyp_match_parallel_total counter\niyp_match_parallel_total %d\n", s.Parallel)
+	fmt.Fprintf(w, "# HELP iyp_match_morsels_total Morsels dispatched by parallel MATCH executions.\n# TYPE iyp_match_morsels_total counter\niyp_match_morsels_total %d\n", s.Morsels)
+	fmt.Fprintf(w, "# HELP iyp_match_workers_total Workers launched by parallel MATCH executions.\n# TYPE iyp_match_workers_total counter\niyp_match_workers_total %d\n", s.Workers)
+	fmt.Fprintf(w, "# HELP iyp_match_serial_total MATCH executions that fell back to serial, by reason.\n# TYPE iyp_match_serial_total counter\n")
+	for _, k := range serialExpositionOrder {
+		fmt.Fprintf(w, "iyp_match_serial_total{reason=%q} %d\n", k, s.Serial[k])
+	}
+}

@@ -7,12 +7,16 @@ import (
 	"iyp/internal/graph"
 )
 
-// Explain describes, without executing, how the engine would start
-// matching each MATCH pattern of a query against g: which node position
-// anchors the search and whether that anchor is served by an identity
-// index, a label scan, or a full scan. It is the reproduction's
-// counterpart of Cypher's EXPLAIN, useful when a query against a large
-// snapshot is unexpectedly slow.
+// Explain describes, without executing, how the engine would run each
+// MATCH pattern of a query against g: which node position anchors the
+// search, how its candidates are produced (bound variable, index lookup,
+// label scan, full scan) with the statistics-estimated cardinality, which
+// WHERE predicates are pushed into index lookups, and whether the clause
+// is eligible for morsel-parallel execution. The plan printed here is
+// computed by the same planner that drives execution (planner.go), so
+// what EXPLAIN says is what runs. It is the reproduction's counterpart of
+// Cypher's EXPLAIN, useful when a query against a large snapshot is
+// unexpectedly slow.
 func Explain(g *graph.Graph, src string) (string, error) {
 	q, err := Parse(src)
 	if err != nil {
@@ -23,52 +27,77 @@ func Explain(g *graph.Graph, src string) (string, error) {
 
 	var sb strings.Builder
 	clauseNo := 0
-	// Walk every UNION branch.
-	var clauses []Clause
+	// Walk every UNION branch; parallel eligibility is judged per branch
+	// (a write clause anywhere in a branch serialises that branch's
+	// matches).
 	for cur := q; cur != nil; cur = cur.Next {
-		clauses = append(clauses, cur.Clauses...)
-	}
-	for _, cl := range clauses {
-		if cc, ok := cl.(*CallClause); ok {
-			clauseNo++
-			fmt.Fprintf(&sb, "CALL #%d\n", clauseNo)
-			if spec, ok := LookupProc(cc.Proc); ok {
-				fmt.Fprintf(&sb, "  procedure %s streaming columns [%s]; plan not cacheable\n",
-					spec.Name, strings.Join(spec.Cols, ", "))
-			} else {
-				fmt.Fprintf(&sb, "  procedure %s is not registered — execution would fail\n", cc.Proc)
-			}
-			continue
-		}
-		mc, ok := cl.(*MatchClause)
-		if !ok {
-			continue
-		}
-		clauseNo++
-		kind := "MATCH"
-		if mc.Optional {
-			kind = "OPTIONAL MATCH"
-		}
-		fmt.Fprintf(&sb, "%s #%d\n", kind, clauseNo)
-		for i, path := range mc.Patterns {
-			if path.Shortest {
-				fmt.Fprintf(&sb, "  path %d: shortestPath BFS, %s\n", i+1,
-					describeAnchor(m, path.Nodes[m.chooseAnchor(path)]))
+		for _, cl := range cur.Clauses {
+			if cc, ok := cl.(*CallClause); ok {
+				clauseNo++
+				fmt.Fprintf(&sb, "CALL #%d\n", clauseNo)
+				if spec, ok := LookupProc(cc.Proc); ok {
+					fmt.Fprintf(&sb, "  procedure %s streaming columns [%s]; plan not cacheable\n",
+						spec.Name, strings.Join(spec.Cols, ", "))
+				} else {
+					fmt.Fprintf(&sb, "  procedure %s is not registered — execution would fail\n", cc.Proc)
+				}
 				continue
 			}
-			anchor := m.chooseAnchor(path)
-			fmt.Fprintf(&sb, "  path %d: anchor at node %d of %d — %s; expand %d hop(s)\n",
-				i+1, anchor+1, len(path.Nodes),
-				describeAnchor(m, path.Nodes[anchor]), len(path.Rels))
-			// After the first path matches, its variables are
-			// effectively bound for later paths; approximate by marking
-			// them bound for subsequent explain lines.
-			for _, np := range path.Nodes {
-				if np.Var != "" {
-					if _, bound := m.binding.get(np.Var); !bound {
-						m.binding = append(m.binding, binding{np.Var, NodeVal(0)})
+			mc, ok := cl.(*MatchClause)
+			if !ok {
+				continue
+			}
+			clauseNo++
+			kind := "MATCH"
+			if mc.Optional {
+				kind = "OPTIONAL MATCH"
+			}
+			fmt.Fprintf(&sb, "%s #%d\n", kind, clauseNo)
+			pds := collectPushdowns(mc.Where, patternVarSet(mc.Patterns))
+			for i, path := range mc.Patterns {
+				if path.Shortest {
+					// solveShortest roots the BFS at whichever endpoint is
+					// cheaper to enumerate.
+					startAcc := m.planAccess(path.Nodes[0], pds)
+					endAcc := m.planAccess(path.Nodes[len(path.Nodes)-1], pds)
+					np, acc := path.Nodes[0], startAcc
+					if endAcc.cost < startAcc.cost {
+						np, acc = path.Nodes[len(path.Nodes)-1], endAcc
+					}
+					fmt.Fprintf(&sb, "  path %d: shortestPath BFS, %s\n", i+1, acc.describe(np))
+				} else {
+					plan := m.planPath(path, pds)
+					fmt.Fprintf(&sb, "  path %d: anchor at node %d of %d — %s; expand %d hop(s)\n",
+						i+1, plan.anchor+1, len(path.Nodes),
+						plan.acc.describe(path.Nodes[plan.anchor]), len(path.Rels))
+				}
+				// After the first path matches, its variables are
+				// effectively bound for later paths; approximate by marking
+				// them bound for subsequent explain lines.
+				for _, np := range path.Nodes {
+					if np.Var != "" {
+						if _, bound := m.binding.get(np.Var); !bound {
+							m.binding = append(m.binding, binding{np.Var, NodeVal(0)})
+						}
 					}
 				}
+			}
+			if len(pds) > 0 {
+				parts := make([]string, len(pds))
+				for j, pd := range pds {
+					op := "="
+					if pd.In {
+						op = "IN"
+					}
+					parts[j] = fmt.Sprintf("%s.%s %s …", pd.Var, pd.Key, op)
+				}
+				fmt.Fprintf(&sb, "  index-serviceable WHERE predicates: %s\n", strings.Join(parts, ", "))
+			}
+			if reason := serialReason(cur, mc); reason != "" {
+				fmt.Fprintf(&sb, "  execution: serial — %s\n", reason)
+			} else {
+				fmt.Fprintf(&sb, "  execution: morsel-parallel eligible (morsels of %d; serial below %d anchor candidates)\n",
+					morselSize, minParallelCandidates)
 			}
 		}
 	}
@@ -76,34 +105,4 @@ func Explain(g *graph.Graph, src string) (string, error) {
 		return "(no MATCH or CALL clauses)\n", nil
 	}
 	return sb.String(), nil
-}
-
-func describeAnchor(m *matcher, np NodePattern) string {
-	if np.Var != "" {
-		if _, bound := m.binding.get(np.Var); bound {
-			return fmt.Sprintf("bound variable `%s`", np.Var)
-		}
-	}
-	if len(np.Labels) > 0 && len(np.Props) > 0 {
-		for _, l := range np.Labels {
-			for k := range np.Props {
-				if m.g.HasIndex(l, k) {
-					return fmt.Sprintf("index lookup %s.%s", l, k)
-				}
-			}
-		}
-		return fmt.Sprintf("label scan :%s filtered on properties (%d nodes)",
-			np.Labels[0], m.g.CountByLabel(np.Labels[0]))
-	}
-	if len(np.Labels) > 0 {
-		label := np.Labels[0]
-		minCount := m.g.CountByLabel(label)
-		for _, l := range np.Labels[1:] {
-			if c := m.g.CountByLabel(l); c < minCount {
-				label, minCount = l, c
-			}
-		}
-		return fmt.Sprintf("label scan :%s (%d nodes)", label, minCount)
-	}
-	return fmt.Sprintf("full node scan (%d nodes)", m.g.NumNodes())
 }

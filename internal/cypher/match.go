@@ -19,9 +19,11 @@ type matcher struct {
 	g       *graph.Graph
 	ctx     context.Context // nil = never cancelled (Explain)
 	binding row             // mutated during search (append + truncate)
-	used    []graph.RelID   // rels used by the current pattern (stack)
+	used    relSet          // rels used by the current pattern (stack)
+	push    []pushdown      // WHERE conjuncts usable for anchor index lookups
 	emit    func() error    // called with binding fully extended
 	ticks   int             // cooperative-cancellation tick counter
+	scratch *bfsScratch     // pooled shortestPath BFS state (lazily allocated)
 }
 
 // tick polls the context every tickMask+1 calls. It sits on the matcher's
@@ -36,14 +38,53 @@ func (m *matcher) tick() error {
 	return nil
 }
 
-func (m *matcher) relUsed(id graph.RelID) bool {
-	for _, u := range m.used {
+// relSet tracks the relationships used by the current pattern (Cypher's
+// relationship-isomorphism rule). Pushes and pops follow strict LIFO order
+// during backtracking. Membership is a linear scan while the stack is
+// short; once it outgrows relSetIdxThreshold — long variable-length paths
+// otherwise turn the scan quadratic — a map index is built and kept in
+// sync for the rest of the matcher's life.
+type relSet struct {
+	stack []graph.RelID
+	idx   map[graph.RelID]struct{}
+}
+
+const relSetIdxThreshold = 16
+
+func (s *relSet) push(id graph.RelID) {
+	s.stack = append(s.stack, id)
+	if s.idx != nil {
+		s.idx[id] = struct{}{}
+	} else if len(s.stack) > relSetIdxThreshold {
+		s.idx = make(map[graph.RelID]struct{}, 2*len(s.stack))
+		for _, u := range s.stack {
+			s.idx[u] = struct{}{}
+		}
+	}
+}
+
+func (s *relSet) pop() {
+	id := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	if s.idx != nil {
+		delete(s.idx, id)
+	}
+}
+
+func (s *relSet) has(id graph.RelID) bool {
+	if s.idx != nil {
+		_, ok := s.idx[id]
+		return ok
+	}
+	for _, u := range s.stack {
 		if u == id {
 			return true
 		}
 	}
 	return false
 }
+
+func (m *matcher) relUsed(id graph.RelID) bool { return m.used.has(id) }
 
 // solvePaths matches paths[idx:] and invokes m.emit for every complete
 // assignment.
@@ -65,6 +106,45 @@ func (m *matcher) solvePath(path PatternPath, cont func() error) error {
 	return m.solvePathAll(path, cont)
 }
 
+// bfsScratch is the per-anchor BFS state of solveShortest, pooled on the
+// matcher so repeated anchors (and repeated shortestPath invocations from
+// the same seed row) reuse one allocation instead of building fresh maps
+// per start node.
+type bfsScratch struct {
+	parentRel  map[graph.NodeID]graph.RelID
+	parentNode map[graph.NodeID]graph.NodeID
+	visited    map[graph.NodeID]bool
+	queue      []bfsNode
+}
+
+type bfsNode struct {
+	id    graph.NodeID
+	depth int
+}
+
+// bfsScratchTake hands out the pooled scratch, cleared, detaching it from
+// the matcher so a nested shortestPath (a later path of the same clause
+// reached through cont) allocates its own instead of clobbering state in
+// use. bfsScratchGive returns it to the pool.
+func (m *matcher) bfsScratchTake() *bfsScratch {
+	sc := m.scratch
+	m.scratch = nil
+	if sc == nil {
+		return &bfsScratch{
+			parentRel:  map[graph.NodeID]graph.RelID{},
+			parentNode: map[graph.NodeID]graph.NodeID{},
+			visited:    map[graph.NodeID]bool{},
+		}
+	}
+	clear(sc.parentRel)
+	clear(sc.parentNode)
+	clear(sc.visited)
+	sc.queue = sc.queue[:0]
+	return sc
+}
+
+func (m *matcher) bfsScratchGive(sc *bfsScratch) { m.scratch = sc }
+
 // solveShortest matches shortestPath((a)-[*min..max]-(b)) by BFS: for each
 // candidate start node, a breadth-first expansion discovers every
 // reachable node at its minimal depth; each node satisfying the end
@@ -72,9 +152,11 @@ func (m *matcher) solvePath(path PatternPath, cont func() error) error {
 func (m *matcher) solveShortest(path PatternPath, cont func() error) error {
 	rp := path.Rels[0]
 	startNP, endNP := path.Nodes[0], path.Nodes[1]
+	startAcc, endAcc := m.planAccess(startNP, m.push), m.planAccess(endNP, m.push)
 	// Anchor at the cheaper end, flipping the pattern when needed.
-	if m.anchorCost(endNP) < m.anchorCost(startNP) {
+	if endAcc.cost < startAcc.cost {
 		startNP, endNP = endNP, startNP
+		startAcc = endAcc
 		switch rp.Dir {
 		case DirRight:
 			rp.Dir = DirLeft
@@ -96,7 +178,7 @@ func (m *matcher) solveShortest(path PatternPath, cont func() error) error {
 		maxHops = 1 << 30
 	}
 
-	return m.forAnchorCandidates(startNP, func(start graph.NodeID) error {
+	return m.forPlanCandidates(startNP, startAcc, func(start graph.NodeID) error {
 		startMark, ok, err := m.bindNode(startNP, start)
 		if err != nil {
 			return err
@@ -106,15 +188,16 @@ func (m *matcher) solveShortest(path PatternPath, cont func() error) error {
 		}
 		defer func() { m.binding = m.binding[:startMark] }()
 
-		type bfsNode struct {
-			id    graph.NodeID
-			depth int
-		}
-		// Parent edge per discovered node, for path reconstruction.
-		parentRel := map[graph.NodeID]graph.RelID{}
-		parentNode := map[graph.NodeID]graph.NodeID{}
-		visited := map[graph.NodeID]bool{start: true}
-		queue := []bfsNode{{start, 0}}
+		// Parent edge per discovered node, for path reconstruction. The
+		// scratch maps are pooled across anchors.
+		sc := m.bfsScratchTake()
+		parentRel, parentNode, visited := sc.parentRel, sc.parentNode, sc.visited
+		visited[start] = true
+		queue := append(sc.queue, bfsNode{start, 0})
+		defer func() {
+			sc.queue = queue[:0]
+			m.bfsScratchGive(sc)
+		}()
 
 		emitAt := func(end graph.NodeID, depth int) error {
 			if depth < rp.MinHops {
@@ -202,11 +285,20 @@ func (m *matcher) solveShortest(path PatternPath, cont func() error) error {
 
 // solvePathAll is the general backtracking matcher.
 func (m *matcher) solvePathAll(path PatternPath, cont func() error) error {
+	plan := m.planPath(path, m.push)
+	return m.solvePathPlanned(path, plan, nil, cont)
+}
+
+// solvePathPlanned expands path from the planned anchor. When morsel is
+// non-nil it restricts anchor enumeration to exactly those candidate IDs
+// (the morsel-parallel engine partitions the planned candidate list and
+// hands each worker a slice); nil enumerates the plan's full access.
+func (m *matcher) solvePathPlanned(path PatternPath, plan pathPlan, morsel []graph.NodeID, cont func() error) error {
 	// Per-position state for path-variable construction.
 	nodeIDs := make([]graph.NodeID, len(path.Nodes))
 	relVals := make([]Val, len(path.Rels))
 
-	anchor := m.chooseAnchor(path)
+	anchor := plan.anchor
 
 	finish := func() error {
 		mark := len(m.binding)
@@ -241,7 +333,7 @@ func (m *matcher) solvePathAll(path PatternPath, cont func() error) error {
 		})
 	}
 
-	return m.forAnchorCandidates(path.Nodes[anchor], func(id graph.NodeID) error {
+	tryAnchor := func(id graph.NodeID) error {
 		np := path.Nodes[anchor]
 		mark, ok, err := m.bindNode(np, id)
 		if err != nil {
@@ -254,7 +346,16 @@ func (m *matcher) solvePathAll(path PatternPath, cont func() error) error {
 		err = right(anchor)
 		m.binding = m.binding[:mark]
 		return err
-	})
+	}
+	if morsel != nil {
+		for _, id := range morsel {
+			if err := tryAnchor(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return m.forPlanCandidates(path.Nodes[anchor], plan.acc, tryAnchor)
 }
 
 // expandStep matches path.Rels[relIdx] between the already-bound node at
@@ -373,13 +474,13 @@ func (m *matcher) tryRel(rp RelPattern, np NodePattern, cur graph.NodeID, dir gr
 	if rp.Var != "" && !preBound {
 		m.binding = append(m.binding, binding{rp.Var, RelVal(rid)})
 	}
-	m.used = append(m.used, rid)
+	m.used.push(rid)
 	nodeIDs[toIdx] = other
 	relVals[relIdx] = RelVal(rid)
 
 	err = cont()
 
-	m.used = m.used[:len(m.used)-1]
+	m.used.pop()
 	m.binding = m.binding[:mark]
 	return err
 }
@@ -453,11 +554,11 @@ func (m *matcher) expandVarLen(rp RelPattern, np NodePattern, cur graph.NodeID, 
 			if to == at && from != at {
 				other = from
 			}
-			m.used = append(m.used, rid)
+			m.used.push(rid)
 			pathRels = append(pathRels, rid)
 			err = dfs(other, depth+1)
 			pathRels = pathRels[:len(pathRels)-1]
-			m.used = m.used[:len(m.used)-1]
+			m.used.pop()
 			if err != nil {
 				return err
 			}
@@ -535,131 +636,6 @@ func (m *matcher) relPropsMatch(rp RelPattern, rid graph.RelID) (bool, error) {
 		}
 	}
 	return true, nil
-}
-
-// chooseAnchor picks the node position to start matching from: a bound
-// variable if present, otherwise the position with the smallest estimated
-// candidate set.
-func (m *matcher) chooseAnchor(path PatternPath) int {
-	best, bestCost := 0, int(^uint(0)>>1)
-	for i, np := range path.Nodes {
-		cost := m.anchorCost(np)
-		if cost < bestCost {
-			best, bestCost = i, cost
-		}
-	}
-	return best
-}
-
-func (m *matcher) anchorCost(np NodePattern) int {
-	if np.Var != "" {
-		if v, ok := m.binding.get(np.Var); ok {
-			if _, isNode := v.AsNode(); isNode {
-				return 0
-			}
-		}
-	}
-	if len(np.Labels) > 0 {
-		minCount := int(^uint(0) >> 1)
-		for _, l := range np.Labels {
-			c := m.g.CountByLabel(l)
-			if c < minCount {
-				minCount = c
-			}
-		}
-		if len(np.Props) > 0 {
-			// Indexed equality lookups are far cheaper than label scans;
-			// approximate with a big discount.
-			for _, l := range np.Labels {
-				for key := range np.Props {
-					if m.g.HasIndex(l, key) {
-						return 1 + minCount/1024
-					}
-				}
-			}
-			return 1 + minCount/2
-		}
-		return 2 + minCount
-	}
-	return 3 + m.g.NumNodes()
-}
-
-// forAnchorCandidates enumerates candidate node IDs for the anchor
-// position.
-func (m *matcher) forAnchorCandidates(np NodePattern, fn func(graph.NodeID) error) error {
-	// Bound variable.
-	if np.Var != "" {
-		if v, ok := m.binding.get(np.Var); ok {
-			if id, isNode := v.AsNode(); isNode {
-				return fn(id)
-			}
-			return nil // bound to a non-node: cannot match
-		}
-	}
-	// Indexed or scanned property equality.
-	if len(np.Labels) > 0 && len(np.Props) > 0 {
-		// Use the first (label, prop) pair that is indexed, else the
-		// first pair at all; remaining constraints are verified by
-		// nodeSatisfies.
-		var label, key string
-		var val graph.Value
-		found := false
-		for _, l := range np.Labels {
-			for k, expr := range np.Props {
-				v, err := m.ec.eval(expr, m.binding)
-				if err != nil {
-					continue
-				}
-				sv, ok := v.Scalar()
-				if !ok {
-					continue
-				}
-				if m.g.HasIndex(l, k) {
-					label, key, val, found = l, k, sv, true
-					break
-				}
-				if !found {
-					label, key, val, found = l, k, sv, true
-				}
-			}
-			if found && m.g.HasIndex(label, key) {
-				break
-			}
-		}
-		if found {
-			for _, id := range m.g.NodesByProp(label, key, val) {
-				if err := fn(id); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-	}
-	if len(np.Labels) > 0 {
-		// Scan the rarest label.
-		label := np.Labels[0]
-		minCount := m.g.CountByLabel(label)
-		for _, l := range np.Labels[1:] {
-			if c := m.g.CountByLabel(l); c < minCount {
-				label, minCount = l, c
-			}
-		}
-		for _, id := range m.g.NodesByLabel(label) {
-			if err := fn(id); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var outerErr error
-	m.g.EachNode(func(id graph.NodeID) bool {
-		if err := fn(id); err != nil {
-			outerErr = err
-			return false
-		}
-		return true
-	})
-	return outerErr
 }
 
 func (m *matcher) buildPath(path PatternPath, nodeIDs []graph.NodeID, relVals []Val) Val {

@@ -1,0 +1,230 @@
+package cypher
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"iyp/internal/graph"
+)
+
+// Morsel-driven parallel MATCH. The planned anchor candidate list is
+// materialized once, partitioned into fixed-size morsels, and executed by
+// a bounded worker pool; every worker owns a private matcher clone
+// (binding, used-relationship stack, BFS scratch), so the only shared
+// state is the read-locked graph and the immutable plan. Emitted rows are
+// merged back in morsel order, which makes the result table byte-identical
+// to serial execution at any worker count:
+//
+//   - Serial enumeration visits candidates in ascending node-ID order;
+//     morsels partition that exact order, so concatenating per-morsel rows
+//     in morsel index order reproduces the serial row order.
+//   - A row limit (LIMIT / MaxRows pushdown) caps each morsel locally at
+//     the full limit — after the in-order merge trims at the limit, no
+//     morsel can contribute more rows than that — and a completion
+//     frontier cancels morsels that start past the point where the
+//     contiguous completed prefix already satisfies the limit.
+//   - Errors replay deterministically: the merge walks morsels in order,
+//     stops successfully once the limit is reached, and otherwise returns
+//     the first error in morsel order — the same error serial execution
+//     would have hit first (candidates within a morsel run in order, and
+//     serial execution stops at the limit before reaching later errors).
+//
+// Queries whose semantics force sequential execution (writes anywhere in
+// the branch, multiple comma-separated paths sharing one binding,
+// shortestPath) fall back serial with an explicit reason, surfaced by
+// EXPLAIN and counted in the metrics.
+
+const (
+	// morselSize is the number of anchor candidates per morsel: large
+	// enough to amortize scheduling, small enough to balance skewed
+	// expansion costs across workers.
+	morselSize = 64
+	// minParallelCandidates is the anchor candidate count below which
+	// fan-out costs more than it buys (fewer than two full morsels).
+	minParallelCandidates = 2 * morselSize
+)
+
+// serialReason explains why clause c of branch q cannot run
+// morsel-parallel, or "" when it can (subject to the runtime parallelism
+// knob and the dynamic candidate-count check).
+func serialReason(q *Query, c *MatchClause) string {
+	for _, cl := range q.Clauses {
+		switch cl.(type) {
+		case *CreateClause, *MergeClause, *SetClause, *DeleteClause, *RemoveClause:
+			return reasonWrites
+		}
+	}
+	if len(c.Patterns) > 1 {
+		return reasonMultiPath
+	}
+	if c.Patterns[0].Shortest {
+		return reasonShortest
+	}
+	return ""
+}
+
+// frontier tracks per-morsel completion so workers can skip morsels that
+// are provably unnecessary: once the contiguous completed prefix holds
+// enough rows to satisfy the limit (or an earlier morsel errored), every
+// later morsel's output would be trimmed away by the in-order merge.
+type frontier struct {
+	mu    sync.Mutex
+	done  []bool
+	rows  []int
+	next  int // first morsel index not yet in the completed prefix
+	acc   int // rows accumulated over the completed prefix
+	limit int // -1 = unlimited (frontier inactive except for errors)
+
+	cutoff atomic.Int64 // morsels at index >= cutoff need not run
+}
+
+func newFrontier(n, limit int) *frontier {
+	f := &frontier{done: make([]bool, n), rows: make([]int, n), limit: limit}
+	f.cutoff.Store(int64(n))
+	return f
+}
+
+func (f *frontier) skip(i int) bool { return int64(i) >= f.cutoff.Load() }
+
+func (f *frontier) lower(c int) {
+	for {
+		cur := f.cutoff.Load()
+		if int64(c) >= cur || f.cutoff.CompareAndSwap(cur, int64(c)) {
+			return
+		}
+	}
+}
+
+// complete records morsel i finishing with n emitted rows and advances the
+// frontier; errorAt marks morsel i failed, so later morsels are moot.
+func (f *frontier) complete(i, n int) {
+	if f.limit < 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.done[i] = true
+	f.rows[i] = n
+	for f.next < len(f.done) && f.done[f.next] {
+		f.acc += f.rows[f.next]
+		f.next++
+		if f.acc >= f.limit {
+			f.lower(f.next)
+			return
+		}
+	}
+}
+
+func (f *frontier) errorAt(i int) { f.lower(i + 1) }
+
+// matchOnceParallel is the morsel-parallel counterpart of matchOnce for a
+// single-path clause. ran is false when the dynamic checks (bound anchor,
+// too few candidates) chose serial execution instead — the caller falls
+// back to matchOnce, which re-plans identically.
+func (ex *executor) matchOnceParallel(path PatternPath, where Expr, push []pushdown, seed row, limit int) (out []row, ran bool, err error) {
+	base := &matcher{ec: ex.ec, g: ex.g, ctx: ex.ctx, binding: seed.clone(), push: push}
+	plan := base.planPath(path, push)
+	if plan.acc.kind == accessBound {
+		metricMatchSerialBoundAnchor.Add(1)
+		return nil, false, nil
+	}
+	var cands []graph.NodeID
+	if err := base.forPlanCandidates(path.Nodes[plan.anchor], plan.acc, func(id graph.NodeID) error {
+		cands = append(cands, id)
+		return nil
+	}); err != nil {
+		return nil, true, err
+	}
+	if len(cands) < minParallelCandidates {
+		metricMatchSerialFewCandidates.Add(1)
+		return nil, false, nil
+	}
+
+	n := (len(cands) + morselSize - 1) / morselSize
+	workers := ex.par
+	if workers > n {
+		workers = n
+	}
+	metricMatchParallel.Add(1)
+	metricMatchMorsels.Add(uint64(n))
+	metricMatchWorkers.Add(uint64(workers))
+
+	results := make([][]row, n)
+	errs := make([]error, n)
+	front := newFrontier(n, limit)
+	var nextMorsel atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wm := &matcher{ec: ex.ec, g: ex.g, ctx: ex.ctx, binding: seed.clone(), push: push}
+			for {
+				i := int(nextMorsel.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if front.skip(i) {
+					front.complete(i, 0)
+					continue
+				}
+				lo := i * morselSize
+				hi := lo + morselSize
+				if hi > len(cands) {
+					hi = len(cands)
+				}
+				rows, err := ex.runMorsel(wm, path, plan, cands[lo:hi], where, limit)
+				results[i], errs[i] = rows, err
+				if err != nil {
+					front.errorAt(i)
+					continue
+				}
+				front.complete(i, len(rows))
+			}
+		}()
+	}
+	wg.Wait()
+
+	// In-order merge: concatenate, trim at the limit, and surface the
+	// first error in morsel order only if serial execution would have
+	// reached it before satisfying the limit.
+	for i := 0; i < n; i++ {
+		out = append(out, results[i]...)
+		if limit >= 0 && len(out) >= limit {
+			return out[:limit], true, nil
+		}
+		if errs[i] != nil {
+			return nil, true, errs[i]
+		}
+	}
+	return out, true, nil
+}
+
+// runMorsel enumerates one morsel's candidates on the worker's private
+// matcher. The binding and used stacks are push/pop balanced, so the same
+// matcher is reused for the worker's next morsel without reallocation.
+func (ex *executor) runMorsel(m *matcher, path PatternPath, plan pathPlan, morsel []graph.NodeID, where Expr, limit int) ([]row, error) {
+	var out []row
+	m.emit = func() error {
+		if where != nil {
+			v, err := ex.ec.eval(where, m.binding)
+			if err != nil {
+				return err
+			}
+			if b, null := truth(v); null || !b {
+				return nil
+			}
+		}
+		out = append(out, m.binding.clone())
+		if limit >= 0 && len(out) >= limit {
+			return errStop
+		}
+		return nil
+	}
+	err := m.solvePathPlanned(path, plan, morsel, m.emit)
+	if err == errStop {
+		err = nil
+	}
+	return out, err
+}

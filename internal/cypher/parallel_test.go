@@ -1,0 +1,293 @@
+package cypher
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+// buildWideIYP creates an IYP-shaped graph big enough to clear the morsel
+// engine's candidate threshold: nAS ASes with country and name metadata,
+// 0–2 originated prefixes each (some RPKI-tagged), and a sparse PEERS_WITH
+// mesh. Everything is derived from the loop index through a fixed LCG, so
+// the graph is identical across runs.
+func buildWideIYP(t testing.TB, nAS int) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	countries := []string{"JP", "NL", "US", "BR", "KE"}
+	ccNodes := make([]graph.NodeID, len(countries))
+	for i, cc := range countries {
+		ccNodes[i] = g.AddNode([]string{"Country"}, graph.Props{"country_code": graph.String(cc)})
+	}
+	tagValid := g.AddNode([]string{"Tag"}, graph.Props{"label": graph.String("RPKI Valid")})
+	tagInvalid := g.AddNode([]string{"Tag"}, graph.Props{"label": graph.String("RPKI Invalid")})
+
+	rng := uint64(42)
+	next := func(n int) int {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int(rng>>33) % n
+	}
+
+	ases := make([]graph.NodeID, nAS)
+	for i := 0; i < nAS; i++ {
+		asn := int64(64000 + i)
+		ases[i] = g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(asn)})
+		mustRel(t, g, "COUNTRY", ases[i], ccNodes[next(len(ccNodes))], nil)
+		if i%3 != 0 {
+			name := g.AddNode([]string{"Name"}, graph.Props{"name": graph.String(fmt.Sprintf("AS-%d", asn))})
+			mustRel(t, g, "NAME", ases[i], name, nil)
+		}
+		for p := 0; p < next(3); p++ {
+			pfx := g.AddNode([]string{"Prefix"}, graph.Props{
+				"prefix": graph.String(fmt.Sprintf("10.%d.%d.0/24", i%256, p)),
+				"af":     graph.Int(4),
+			})
+			mustRel(t, g, "ORIGINATE", ases[i], pfx, nil)
+			tag := tagValid
+			if next(4) == 0 {
+				tag = tagInvalid
+			}
+			mustRel(t, g, "CATEGORIZED", pfx, tag, nil)
+		}
+	}
+	for i := 0; i < nAS; i++ {
+		for k := 0; k < 2; k++ {
+			j := next(nAS)
+			if j != i {
+				mustRel(t, g, "PEERS_WITH", ases[i], ases[j], nil)
+			}
+		}
+	}
+	g.EnsureIndex("AS", "asn")
+	return g
+}
+
+// resultKey renders a result table (columns, rows, truncation flag) into a
+// single comparable string.
+func resultKey(res *Result) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(res.Columns, ","))
+	fmt.Fprintf(&sb, "|truncated=%v\n", res.Truncated)
+	for _, r := range res.Rows {
+		for _, v := range r {
+			sb.WriteString(v.groupKey())
+			sb.WriteByte('\x1e')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// identityQueries are the paper-shaped query forms the morsel engine must
+// reproduce byte-identically at every worker count.
+var identityQueries = []struct {
+	name string
+	q    string
+	opts ExecOptions
+}{
+	{"rpki_coverage", `MATCH (a:AS)-[:ORIGINATE]->(p:Prefix)-[:CATEGORIZED]->(t:Tag)
+		WHERE t.label = "RPKI Valid" RETURN a.asn, p.prefix`, ExecOptions{}},
+	{"moas_style_join", `MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS)
+		WHERE x.asn <> y.asn RETURN DISTINCT p.prefix`, ExecOptions{}},
+	{"var_length_peering", `MATCH (a:AS)-[:PEERS_WITH*1..2]->(b:AS)
+		RETURN a.asn, b.asn`, ExecOptions{}},
+	{"optional_match", `MATCH (a:AS) OPTIONAL MATCH (a)-[:NAME]->(n:Name)
+		RETURN a.asn, n.name`, ExecOptions{}},
+	{"aggregation_by_country", `MATCH (a:AS)-[:COUNTRY]->(c:Country)
+		RETURN c.country_code AS cc, count(*) AS n ORDER BY n DESC, cc`, ExecOptions{}},
+	{"limit_pushdown", `MATCH (a:AS)-[:ORIGINATE]->(p:Prefix)
+		RETURN a.asn, p.prefix LIMIT 7`, ExecOptions{}},
+	{"order_skip_limit", `MATCH (a:AS) RETURN a.asn ORDER BY a.asn DESC SKIP 3 LIMIT 11`, ExecOptions{}},
+	{"in_pushdown", `MATCH (a:AS)-[:COUNTRY]->(c:Country)
+		WHERE a.asn IN [64003, 64007, 64211, 64399, 99999] RETURN a.asn, c.country_code`, ExecOptions{}},
+	{"max_rows_budget", `MATCH (a:AS)-[:PEERS_WITH]->(b:AS) RETURN a.asn, b.asn`,
+		ExecOptions{MaxRows: 13}},
+	{"shortest_path_fallback", `MATCH p = shortestPath((a:AS {asn: 64001})-[:PEERS_WITH*..6]-(b:AS {asn: 64399}))
+		RETURN length(p)`, ExecOptions{}},
+	{"union_branches", `MATCH (a:AS)-[:COUNTRY]->(c:Country {country_code: "JP"}) RETURN a.asn AS asn
+		UNION MATCH (a:AS)-[:COUNTRY]->(c:Country {country_code: "NL"}) RETURN a.asn AS asn`, ExecOptions{}},
+	{"exists_subquery", `MATCH (a:AS) WHERE EXISTS { (a)-[:ORIGINATE]->(:Prefix) }
+		RETURN count(a)`, ExecOptions{}},
+}
+
+// TestParallelMatchesSerial runs every query shape at worker counts 1, 2
+// and 8 and requires the result tables to be byte-identical to serial
+// execution. Run under -race this also exercises the engine's sharing
+// discipline (per-worker matchers over a read-only graph and plan).
+func TestParallelMatchesSerial(t *testing.T) {
+	g := buildWideIYP(t, 400)
+	for _, tc := range identityQueries {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := Parse(tc.q)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			serialOpts := tc.opts
+			serialOpts.Parallelism = 1
+			want, err := Exec(context.Background(), g, q, serialOpts)
+			if err != nil {
+				t.Fatalf("serial exec: %v", err)
+			}
+			wantKey := resultKey(want)
+			for _, workers := range []int{2, 8} {
+				opts := tc.opts
+				opts.Parallelism = workers
+				got, err := Exec(context.Background(), g, q, opts)
+				if err != nil {
+					t.Fatalf("parallel exec (workers=%d): %v", workers, err)
+				}
+				if gotKey := resultKey(got); gotKey != wantKey {
+					t.Errorf("workers=%d: result differs from serial\nserial (%d rows):\n%.400s\nparallel (%d rows):\n%.400s",
+						workers, len(want.Rows), wantKey, len(got.Rows), gotKey)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelErrorDeterminism checks the morsel merge's error semantics:
+// a runtime error in a late candidate surfaces identically to serial
+// execution, and is suppressed identically when an earlier LIMIT is
+// satisfied before serial execution would have reached it.
+func TestParallelErrorDeterminism(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 400; i++ {
+		d := int64(1)
+		if i == 300 {
+			d = 0 // candidate 300 divides by zero inside WHERE
+		}
+		g.AddNode([]string{"N"}, graph.Props{"i": graph.Int(int64(i)), "d": graph.Int(d)})
+	}
+	q, err := Parse(`MATCH (n:N) WHERE 10 / n.d >= 0 RETURN n.i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialErr := func(limit string) string {
+		src := `MATCH (n:N) WHERE 10 / n.d >= 0 RETURN n.i` + limit
+		pq, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, execErr := Exec(context.Background(), g, pq, ExecOptions{Parallelism: 1})
+		if execErr == nil {
+			return ""
+		}
+		return execErr.Error()
+	}
+
+	// Without a limit both modes must fail with the same error.
+	wantErr := serialErr("")
+	if wantErr == "" {
+		t.Fatal("expected serial execution to fail on division by zero")
+	}
+	if _, err := Exec(context.Background(), g, q, ExecOptions{Parallelism: 8}); err == nil || err.Error() != wantErr {
+		t.Fatalf("parallel error = %v, want %q", err, wantErr)
+	}
+
+	// With LIMIT 50 serial execution stops before candidate 300; parallel
+	// execution must also succeed with the same rows.
+	lq, err := Parse(`MATCH (n:N) WHERE 10 / n.d >= 0 RETURN n.i LIMIT 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Exec(context.Background(), g, lq, ExecOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatalf("serial with limit: %v", err)
+	}
+	got, err := Exec(context.Background(), g, lq, ExecOptions{Parallelism: 8})
+	if err != nil {
+		t.Fatalf("parallel with limit: %v", err)
+	}
+	if resultKey(got) != resultKey(want) {
+		t.Fatalf("limited results differ:\nserial %d rows\nparallel %d rows", len(want.Rows), len(got.Rows))
+	}
+}
+
+// TestParallelCancellation checks that a cancelled context stops a
+// parallel match and surfaces the cancellation error.
+func TestParallelCancellation(t *testing.T) {
+	g := buildWideIYP(t, 400)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q, err := Parse(`MATCH (a:AS)-[:PEERS_WITH*1..3]-(b:AS) RETURN count(*)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Exec(ctx, g, q, ExecOptions{Parallelism: 8}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+}
+
+// TestFrontierCutoff exercises the completion-frontier bookkeeping
+// directly: once the contiguous completed prefix satisfies the limit,
+// later morsels are marked skippable.
+func TestFrontierCutoff(t *testing.T) {
+	f := newFrontier(10, 100)
+	if f.skip(9) {
+		t.Fatal("nothing completed yet; morsel 9 must not be skipped")
+	}
+	// Morsel 1 completes first — no contiguous prefix yet.
+	f.complete(1, 60)
+	if f.skip(5) {
+		t.Fatal("prefix incomplete; no cutoff expected")
+	}
+	// Morsel 0 completes: prefix [0,1] holds 120 >= 100 rows.
+	f.complete(0, 60)
+	if !f.skip(2) || !f.skip(9) {
+		t.Fatal("cutoff after morsel 1 expected once prefix satisfies the limit")
+	}
+	if f.skip(1) {
+		t.Fatal("morsels inside the satisfying prefix must not be skipped")
+	}
+
+	// Unlimited frontier never cuts off on completions.
+	u := newFrontier(4, -1)
+	u.complete(0, 1000)
+	u.complete(1, 1000)
+	if u.skip(3) {
+		t.Fatal("unlimited frontier must not cut off")
+	}
+	// But an error still does.
+	u.errorAt(2)
+	if !u.skip(3) || u.skip(2) {
+		t.Fatal("error cutoff must skip exactly the morsels after the failed one")
+	}
+}
+
+// TestParallelMetricsMove sanity-checks that parallel runs and serial
+// fallbacks are counted.
+func TestParallelMetricsMove(t *testing.T) {
+	g := buildWideIYP(t, 400)
+	beforePar := metricMatchParallel.Load()
+	beforeShort := metricMatchSerialShortest.Load()
+
+	mustExec := func(src string, par int) {
+		t.Helper()
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Exec(context.Background(), g, q, ExecOptions{Parallelism: par}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(`MATCH (a:AS) RETURN count(a)`, 4)
+	if got := metricMatchParallel.Load(); got == beforePar {
+		t.Error("iyp_match_parallel_total did not move after a parallel run")
+	}
+	mustExec(`MATCH p = shortestPath((a:AS {asn: 64001})-[:PEERS_WITH*..4]-(b:AS {asn: 64010})) RETURN length(p)`, 4)
+	if got := metricMatchSerialShortest.Load(); got == beforeShort {
+		t.Error("shortest-path serial fallback was not counted")
+	}
+
+	var sb strings.Builder
+	WriteMatchMetrics(&sb)
+	for _, want := range []string{"iyp_match_parallel_total", "iyp_match_morsels_total", "iyp_match_serial_total{reason=\"shortest_path\"}"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,492 @@
+package cypher
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iyp/internal/graph"
+)
+
+// Statistics-driven access planning for MATCH patterns. planPath decides,
+// per pattern path, which node position anchors the search and how its
+// candidates are produced — a bound variable, a (label,property) index
+// lookup seeded by inline props or WHERE pushdowns, a filtered label scan,
+// a plain label scan, or a full node scan — using the graph's maintained
+// cardinality counters (graph.PropCardinality, CountByLabel, NumNodes) to
+// estimate each option. The same plan drives execution (match.go), the
+// morsel-parallel engine (parallel.go), and EXPLAIN (explain.go), so what
+// EXPLAIN prints is what runs.
+
+// accessKind enumerates anchor candidate sources, cheapest first.
+type accessKind int
+
+const (
+	accessBound     accessKind = iota // variable already bound to a node
+	accessIndex                       // (label,key) index lookup on resolved value(s)
+	accessPropScan                    // label scan filtered on an inline property
+	accessLabelScan                   // scan of the rarest label
+	accessFullScan                    // every node
+)
+
+// pushdown is one WHERE conjunct of the form `var.key = expr` or `var.key
+// IN expr` whose value expression does not depend on variables introduced
+// by the clause's own patterns. Such a conjunct can seed the anchor's
+// candidate enumeration through a (label,key) index before expansion
+// starts; the full WHERE is still evaluated on every emitted row, so a
+// pushdown only ever restricts the candidate set.
+type pushdown struct {
+	Var string
+	Key string
+	In  bool // `IN expr` rather than `= expr`
+	Val Expr // the value expression (for IN, the list expression)
+}
+
+// collectPushdowns splits where into top-level AND conjuncts and keeps the
+// index-serviceable ones. patVars is the set of variables the clause's own
+// patterns introduce: a value expression referencing any of them cannot be
+// resolved before enumeration and is not collected.
+func collectPushdowns(where Expr, patVars map[string]bool) []pushdown {
+	var out []pushdown
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		b, ok := e.(*BinaryExpr)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case OpAnd:
+			walk(b.Left)
+			walk(b.Right)
+		case OpEq:
+			if pd, ok := eqPushdown(b.Left, b.Right, patVars); ok {
+				out = append(out, pd)
+			} else if pd, ok := eqPushdown(b.Right, b.Left, patVars); ok {
+				out = append(out, pd)
+			}
+		case OpIn:
+			if pa, ok := propOfPatternVar(b.Left, patVars); ok && !refsAny(b.Right, patVars) {
+				out = append(out, pushdown{Var: pa.Target.(*Variable).Name, Key: pa.Key, In: true, Val: b.Right})
+			}
+		}
+	}
+	walk(where)
+	return out
+}
+
+func eqPushdown(lhs, rhs Expr, patVars map[string]bool) (pushdown, bool) {
+	pa, ok := propOfPatternVar(lhs, patVars)
+	if !ok || refsAny(rhs, patVars) {
+		return pushdown{}, false
+	}
+	return pushdown{Var: pa.Target.(*Variable).Name, Key: pa.Key, Val: rhs}, true
+}
+
+// propOfPatternVar matches `v.key` where v is one of the clause's pattern
+// variables.
+func propOfPatternVar(e Expr, patVars map[string]bool) (*PropAccess, bool) {
+	pa, ok := e.(*PropAccess)
+	if !ok {
+		return nil, false
+	}
+	v, ok := pa.Target.(*Variable)
+	if !ok || !patVars[v.Name] {
+		return nil, false
+	}
+	return pa, true
+}
+
+// refsAny reports whether e references any variable in vars. Variables
+// locally bound by list comprehensions are excluded within their scope.
+func refsAny(e Expr, vars map[string]bool) bool {
+	found := false
+	var walk func(e Expr, shadow map[string]bool)
+	walk = func(e Expr, shadow map[string]bool) {
+		if found || e == nil {
+			return
+		}
+		switch x := e.(type) {
+		case *Variable:
+			if vars[x.Name] && !shadow[x.Name] {
+				found = true
+			}
+		case *PropAccess:
+			walk(x.Target, shadow)
+		case *FnCall:
+			for _, a := range x.Args {
+				walk(a, shadow)
+			}
+		case *ListExpr:
+			for _, el := range x.Elems {
+				walk(el, shadow)
+			}
+		case *MapExpr:
+			for _, el := range x.Exprs {
+				walk(el, shadow)
+			}
+		case *IndexExpr:
+			walk(x.Target, shadow)
+			walk(x.Index, shadow)
+			walk(x.SliceLo, shadow)
+			walk(x.SliceHi, shadow)
+		case *BinaryExpr:
+			walk(x.Left, shadow)
+			walk(x.Right, shadow)
+		case *UnaryExpr:
+			walk(x.X, shadow)
+		case *IsNullExpr:
+			walk(x.X, shadow)
+		case *CaseExpr:
+			walk(x.Operand, shadow)
+			walk(x.Else, shadow)
+			for i := range x.Whens {
+				walk(x.Whens[i], shadow)
+				walk(x.Thens[i], shadow)
+			}
+		case *ListComprehension:
+			walk(x.Source, shadow)
+			inner := shadow
+			if vars[x.Var] {
+				inner = make(map[string]bool, len(shadow)+1)
+				for k := range shadow {
+					inner[k] = true
+				}
+				inner[x.Var] = true
+			}
+			walk(x.Where, inner)
+			walk(x.Proj, inner)
+		case *ExistsExpr:
+			// Subquery patterns may rebind names; conservatively treat any
+			// reference inside as a dependency.
+			walk(x.Where, shadow)
+			walkPatternProps(x.Patterns, func(e Expr) { walk(e, shadow) })
+		case *CountExpr:
+			walk(x.Where, shadow)
+			walkPatternProps(x.Patterns, func(e Expr) { walk(e, shadow) })
+		}
+	}
+	walk(e, nil)
+	return found
+}
+
+func walkPatternProps(paths []PatternPath, visit func(Expr)) {
+	for _, p := range paths {
+		for _, n := range p.Nodes {
+			for _, e := range n.Props {
+				visit(e)
+			}
+		}
+		for _, r := range p.Rels {
+			for _, e := range r.Props {
+				visit(e)
+			}
+		}
+	}
+}
+
+// anchorAccess is the planned candidate source for one node position.
+type anchorAccess struct {
+	kind  accessKind
+	label string // accessIndex / accessPropScan / accessLabelScan
+	key   string // accessIndex / accessPropScan
+	// vals are the resolved lookup values for accessIndex, already
+	// deduplicated. Empty with kind accessIndex means the predicate is
+	// statically unsatisfiable (e.g. `= null`): zero candidates.
+	vals     []graph.Value
+	fromPush bool    // accessIndex seeded by a WHERE pushdown, not an inline prop
+	in       bool    // pushdown used IN rather than equality
+	est      float64 // estimated candidate count after the access filter
+	cost     float64 // anchor-selection cost; lower wins
+}
+
+// planAccess decides how to enumerate candidates for node pattern np given
+// the current binding and the clause's pushdowns.
+func (m *matcher) planAccess(np NodePattern, pds []pushdown) anchorAccess {
+	if np.Var != "" {
+		if v, ok := m.binding.get(np.Var); ok {
+			if _, isNode := v.AsNode(); isNode {
+				return anchorAccess{kind: accessBound, est: 1, cost: 0}
+			}
+		}
+	}
+	if len(np.Labels) > 0 {
+		if acc, ok := m.planIndexAccess(np, pds); ok {
+			return acc
+		}
+		minCount := m.g.CountByLabel(np.Labels[0])
+		label := np.Labels[0]
+		for _, l := range np.Labels[1:] {
+			if c := m.g.CountByLabel(l); c < minCount {
+				label, minCount = l, c
+			}
+		}
+		if len(np.Props) > 0 {
+			// Unindexed inline props: NodesByProp scans the label but the
+			// equality filter usually discards most of it.
+			key := sortedPropKeys(np.Props)[0]
+			return anchorAccess{kind: accessPropScan, label: label, key: key,
+				est: float64(minCount), cost: 1 + float64(minCount)/2}
+		}
+		return anchorAccess{kind: accessLabelScan, label: label,
+			est: float64(minCount), cost: 2 + float64(minCount)}
+	}
+	n := float64(m.g.NumNodes())
+	return anchorAccess{kind: accessFullScan, est: n, cost: 3 + n}
+}
+
+// planIndexAccess tries every (label, key) pair available from inline
+// properties and WHERE pushdowns, resolves the lookup values against the
+// current binding, and returns the indexed access with the smallest
+// estimated candidate count. ok is false when no pair has an index or
+// resolvable values.
+func (m *matcher) planIndexAccess(np NodePattern, pds []pushdown) (anchorAccess, bool) {
+	best := anchorAccess{}
+	found := false
+	consider := func(acc anchorAccess) {
+		if !found || acc.est < best.est {
+			best, found = acc, true
+		}
+	}
+	for _, label := range np.Labels {
+		for _, key := range sortedPropKeys(np.Props) {
+			if !m.g.HasIndex(label, key) {
+				continue
+			}
+			v, err := m.ec.eval(np.Props[key], m.binding)
+			if err != nil {
+				continue
+			}
+			sv, ok := v.Scalar()
+			if !ok {
+				continue
+			}
+			sel := m.g.PropCardinality(label, key).Selectivity()
+			consider(anchorAccess{kind: accessIndex, label: label, key: key,
+				vals: []graph.Value{sv}, est: sel, cost: 1 + sel})
+		}
+		for _, pd := range pds {
+			if pd.Var == "" || pd.Var != np.Var || !m.g.HasIndex(label, pd.Key) {
+				continue
+			}
+			vals, ok := m.resolvePushdownVals(pd)
+			if !ok {
+				continue
+			}
+			sel := m.g.PropCardinality(label, pd.Key).Selectivity()
+			consider(anchorAccess{kind: accessIndex, label: label, key: pd.Key,
+				vals: vals, fromPush: true, in: pd.In,
+				est: sel * float64(len(vals)), cost: 1 + sel*float64(len(vals))})
+		}
+	}
+	return best, found
+}
+
+// resolvePushdownVals evaluates a pushdown's value expression to concrete
+// lookup values. ok is false when the expression cannot be resolved into
+// index lookups without changing semantics — evaluation errors (which must
+// surface at WHERE time), non-list IN operands, or list elements that are
+// not graph scalars.
+func (m *matcher) resolvePushdownVals(pd pushdown) ([]graph.Value, bool) {
+	v, err := m.ec.eval(pd.Val, m.binding)
+	if err != nil {
+		return nil, false
+	}
+	if v.IsNull() {
+		// `= null` and `IN null` evaluate to null: the conjunct — and with
+		// it the whole AND — never holds, so the candidate set is empty.
+		return nil, true
+	}
+	if !pd.In {
+		sv, ok := v.Scalar()
+		if !ok {
+			return nil, false
+		}
+		return []graph.Value{sv}, true
+	}
+	elems, ok := v.AsList()
+	if !ok {
+		if sv, isScalar := v.Scalar(); isScalar {
+			if gl, isList := sv.AsList(); isList {
+				out := make([]graph.Value, 0, len(gl))
+				for _, e := range gl {
+					if !e.IsNull() {
+						out = append(out, e)
+					}
+				}
+				return dedupeVals(out), true
+			}
+		}
+		return nil, false // IN over a non-list errors at eval time; keep that
+	}
+	out := make([]graph.Value, 0, len(elems))
+	for _, e := range elems {
+		if e.IsNull() {
+			continue // null never equals a stored value
+		}
+		sv, isScalar := e.Scalar()
+		if !isScalar {
+			return nil, false
+		}
+		out = append(out, sv)
+	}
+	return dedupeVals(out), true
+}
+
+func dedupeVals(vals []graph.Value) []graph.Value {
+	seen := make(map[string]bool, len(vals))
+	out := vals[:0]
+	for _, v := range vals {
+		k := v.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func sortedPropKeys(props map[string]Expr) []string {
+	ks := make([]string, 0, len(props))
+	for k := range props {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// pathPlan is the chosen start strategy for one pattern path.
+type pathPlan struct {
+	anchor int
+	acc    anchorAccess
+}
+
+// planPath picks the anchor position with the cheapest access.
+func (m *matcher) planPath(path PatternPath, pds []pushdown) pathPlan {
+	best, bestAcc := 0, m.planAccess(path.Nodes[0], pds)
+	for i := 1; i < len(path.Nodes); i++ {
+		if acc := m.planAccess(path.Nodes[i], pds); acc.cost < bestAcc.cost {
+			best, bestAcc = i, acc
+		}
+	}
+	return pathPlan{anchor: best, acc: bestAcc}
+}
+
+// forPlanCandidates enumerates the access's candidate node IDs in
+// ascending order — the order every access path already produces, which
+// keeps planned execution row-for-row identical across access choices.
+func (m *matcher) forPlanCandidates(np NodePattern, acc anchorAccess, fn func(graph.NodeID) error) error {
+	switch acc.kind {
+	case accessBound:
+		if v, ok := m.binding.get(np.Var); ok {
+			if id, isNode := v.AsNode(); isNode {
+				return fn(id)
+			}
+			return nil // bound to a non-node: cannot match
+		}
+		// Should not happen (planAccess saw a binding); fall back safely.
+		return nil
+	case accessIndex:
+		for _, id := range m.plannedIndexIDs(acc) {
+			if err := fn(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	case accessPropScan:
+		// NodesByProp falls back to a filtered label scan when no index
+		// exists; remaining constraints are verified by nodeSatisfies.
+		v, err := m.ec.eval(np.Props[acc.key], m.binding)
+		if err == nil {
+			if sv, ok := v.Scalar(); ok {
+				for _, id := range m.g.NodesByProp(acc.label, acc.key, sv) {
+					if err := fn(id); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		// Unresolvable inline value: scan the label, let nodeSatisfies
+		// decide (it re-evaluates per candidate and rejects on error).
+		fallthrough
+	case accessLabelScan:
+		for _, id := range m.g.NodesByLabel(acc.label) {
+			if err := fn(id); err != nil {
+				return err
+			}
+		}
+		return nil
+	default: // accessFullScan
+		var outerErr error
+		m.g.EachNode(func(id graph.NodeID) bool {
+			if err := fn(id); err != nil {
+				outerErr = err
+				return false
+			}
+			return true
+		})
+		return outerErr
+	}
+}
+
+// plannedIndexIDs returns the union of index buckets for the access's
+// values, deduplicated and sorted ascending.
+func (m *matcher) plannedIndexIDs(acc anchorAccess) []graph.NodeID {
+	if len(acc.vals) == 0 {
+		return nil
+	}
+	if len(acc.vals) == 1 {
+		return m.g.NodesByProp(acc.label, acc.key, acc.vals[0])
+	}
+	var ids []graph.NodeID
+	seen := map[graph.NodeID]bool{}
+	for _, v := range acc.vals {
+		for _, id := range m.g.NodesByProp(acc.label, acc.key, v) {
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// describe renders the access for EXPLAIN.
+func (acc anchorAccess) describe(np NodePattern) string {
+	switch acc.kind {
+	case accessBound:
+		return fmt.Sprintf("bound variable `%s`", np.Var)
+	case accessIndex:
+		src := "inline property"
+		if acc.fromPush {
+			src = "WHERE pushdown ="
+			if acc.in {
+				src = "WHERE pushdown IN"
+			}
+		}
+		return fmt.Sprintf("index lookup %s.%s (%s, est. %s rows)",
+			acc.label, acc.key, src, fmtEst(acc.est))
+	case accessPropScan:
+		return fmt.Sprintf("label scan :%s filtered on properties (%d nodes)",
+			acc.label, int(acc.est))
+	case accessLabelScan:
+		return fmt.Sprintf("label scan :%s (%d nodes)", acc.label, int(acc.est))
+	default:
+		return fmt.Sprintf("full node scan (%d nodes)", int(acc.est))
+	}
+}
+
+func fmtEst(f float64) string {
+	s := fmt.Sprintf("%.1f", f)
+	return strings.TrimSuffix(s, ".0")
+}
+
+// patternVarSet collects the variables a clause's patterns introduce.
+func patternVarSet(patterns []PatternPath) map[string]bool {
+	set := map[string]bool{}
+	for _, name := range patternVars(patterns) {
+		set[name] = true
+	}
+	return set
+}

@@ -1,0 +1,156 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+func parseWhere(t *testing.T, src string) (Expr, map[string]bool) {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	mc := q.Clauses[0].(*MatchClause)
+	return mc.Where, patternVarSet(mc.Patterns)
+}
+
+func TestPushdownCollection(t *testing.T) {
+	// Equality conjuncts on pattern variables are collected from both
+	// orientations and through nested ANDs; IN is collected; anything
+	// referencing the clause's own pattern variables on the value side is
+	// not.
+	where, vars := parseWhere(t,
+		`MATCH (a:AS)-[:ORIGINATE]->(p:Prefix)
+		 WHERE a.asn = 64500 AND "x" = p.prefix AND p.af IN [4, 6] AND a.name = p.prefix
+		 RETURN a`)
+	pds := collectPushdowns(where, vars)
+	got := map[string]bool{}
+	for _, pd := range pds {
+		key := pd.Var + "." + pd.Key
+		if pd.In {
+			key += " IN"
+		}
+		got[key] = true
+	}
+	for _, want := range []string{"a.asn", "p.prefix", "p.af IN"} {
+		if !got[want] {
+			t.Errorf("pushdown %s not collected (got %v)", want, got)
+		}
+	}
+	if got["a.name"] {
+		t.Error("a.name = p.prefix references a pattern variable and must not be collected")
+	}
+
+	// OR poisons the whole disjunction: no conjunct under it is safe.
+	where, vars = parseWhere(t, `MATCH (a:AS) WHERE a.asn = 1 OR a.asn = 2 RETURN a`)
+	if pds := collectPushdowns(where, vars); len(pds) != 0 {
+		t.Errorf("OR must not produce pushdowns, got %v", pds)
+	}
+
+	// Variables bound before the clause (not in patVars) are resolvable.
+	where, vars = parseWhere(t, `MATCH (a:AS) WHERE a.asn = $wanted RETURN a`)
+	if pds := collectPushdowns(where, vars); len(pds) != 1 {
+		t.Errorf("parameter RHS must be collected, got %v", pds)
+	}
+}
+
+// TestPushdownSemantics checks that index-seeded enumeration never changes
+// results: the same query returns identical rows with and without the
+// index that enables the pushdown.
+func TestPushdownSemantics(t *testing.T) {
+	build := func(index bool) *graph.Graph {
+		g := graph.New()
+		for i := 0; i < 300; i++ {
+			g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(int64(64000 + i))})
+		}
+		// One node without the property, one with a float value that is
+		// integrally equal to an existing int asn.
+		g.AddNode([]string{"AS"}, nil)
+		g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Float(64007)})
+		if index {
+			g.EnsureIndex("AS", "asn")
+		}
+		return g
+	}
+	queries := []string{
+		`MATCH (a:AS) WHERE a.asn = 64007 RETURN count(a)`,
+		`MATCH (a:AS) WHERE a.asn IN [64001, 64007, 64299, 99999] RETURN a.asn ORDER BY a.asn`,
+		`MATCH (a:AS) WHERE a.asn IN [64001, null, 64002] RETURN a.asn ORDER BY a.asn`,
+		`MATCH (a:AS) WHERE a.asn = null RETURN count(a)`,
+		`MATCH (a:AS) WHERE a.asn = 64003 AND a.asn <> 64004 RETURN a.asn`,
+	}
+	for _, q := range queries {
+		plain := mustRun(t, build(false), q, nil)
+		indexed := mustRun(t, build(true), q, nil)
+		if resultKey(plain) != resultKey(indexed) {
+			t.Errorf("query %q: indexed pushdown changed the result\nplain:   %s\nindexed: %s",
+				q, resultKey(plain), resultKey(indexed))
+		}
+	}
+}
+
+// TestPushdownExplain pins the EXPLAIN lines the planner emits for
+// pushdown-seeded index access.
+func TestPushdownExplain(t *testing.T) {
+	g := graph.New()
+	for i := 0; i < 10; i++ {
+		g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(int64(i))})
+	}
+	g.EnsureIndex("AS", "asn")
+
+	out, err := Explain(g, `MATCH (a:AS)-[:ORIGINATE]->(p:Prefix) WHERE a.asn = 7 RETURN a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"index lookup AS.asn (WHERE pushdown =",
+		"index-serviceable WHERE predicates: a.asn =",
+		"morsel-parallel eligible",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = Explain(g, `MATCH (a:AS) WHERE a.asn IN [1, 2, 3] RETURN a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "index lookup AS.asn (WHERE pushdown IN") {
+		t.Errorf("EXPLAIN output missing IN pushdown line:\n%s", out)
+	}
+
+	// Serial-fallback reasons surface in EXPLAIN.
+	out, err = Explain(g, `MATCH (a:AS) CREATE (b:Copy {asn: a.asn}) RETURN count(b)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "execution: serial — query contains write clauses") {
+		t.Errorf("EXPLAIN output missing write-clause serial reason:\n%s", out)
+	}
+}
+
+// TestPlannerAnchorsByCardinality checks that statistics move the anchor:
+// with a selective index on one end of the pattern the planner starts
+// there rather than at the syntactically first node.
+func TestPlannerAnchorsByCardinality(t *testing.T) {
+	g := graph.New()
+	// Many prefixes, few tags; tag label+prop is indexed.
+	tag := g.AddNode([]string{"Tag"}, graph.Props{"label": graph.String("RPKI Valid")})
+	for i := 0; i < 50; i++ {
+		p := g.AddNode([]string{"Prefix"}, graph.Props{"prefix": graph.String("x")})
+		mustRel(t, g, "CATEGORIZED", p, tag, nil)
+	}
+	g.EnsureIndex("Tag", "label")
+
+	out, err := Explain(g, `MATCH (p:Prefix)-[:CATEGORIZED]->(t:Tag {label: "RPKI Valid"}) RETURN count(p)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "anchor at node 2 of 2") || !strings.Contains(out, "index lookup Tag.label") {
+		t.Errorf("planner should anchor at the indexed Tag node:\n%s", out)
+	}
+}

@@ -718,6 +718,7 @@ func loadV1(r io.Reader) (*Graph, error) {
 	if err := decodeIndexes(g, d); err != nil {
 		return nil, err
 	}
+	g.rebuildStatsLocked()
 	// Drain to EOF: this forces the gzip reader to see (and verify) its
 	// footer checksum, catching a file truncated inside the trailing bytes
 	// that the section decode alone would never touch.
@@ -820,6 +821,7 @@ func loadV2(data []byte) (*Graph, error) {
 	if gotCounts != wantCounts {
 		return nil, corruptf("trailer counts %v do not match decoded contents %v", wantCounts, gotCounts)
 	}
+	g.rebuildStatsLocked()
 	return g, nil
 }
 

@@ -79,6 +79,13 @@ type Graph struct {
 	nodeCount int
 	relCount  int
 
+	// Planner statistics, maintained incrementally alongside the indexes
+	// (and rebuilt in one pass on snapshot load): live relationship count
+	// per type, and the number of nodes per (label, property-key) pair.
+	// Guarded by mu; see stats.go for the read API.
+	typeCounts    []int
+	labelKeyCount map[propIdxID]int
+
 	// version counts mutations; derived read-optimized structures (the
 	// analytics CSR views) key their caches on it. Guarded by mu.
 	version uint64
@@ -87,10 +94,11 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		labelIDs: make(map[string]labelID),
-		typeIDs:  make(map[string]typeID),
-		labelIdx: make(map[labelID]map[NodeID]struct{}),
-		propIdx:  make(map[propIdxID]map[indexKey]map[NodeID]struct{}),
+		labelIDs:      make(map[string]labelID),
+		typeIDs:       make(map[string]typeID),
+		labelIdx:      make(map[labelID]map[NodeID]struct{}),
+		propIdx:       make(map[propIdxID]map[indexKey]map[NodeID]struct{}),
+		labelKeyCount: make(map[propIdxID]int),
 	}
 }
 
@@ -112,6 +120,7 @@ func (g *Graph) internType(name string) typeID {
 	}
 	id := typeID(len(g.typeNames))
 	g.typeNames = append(g.typeNames, name)
+	g.typeCounts = append(g.typeCounts, 0)
 	g.typeIDs[name] = id
 	return id
 }
@@ -183,9 +192,11 @@ func (g *Graph) indexNodeLabelLocked(n *Node, lid labelID) {
 		g.labelIdx[lid] = set
 	}
 	set[n.id] = struct{}{}
-	// Populate any property indexes that exist for this label.
+	// Populate any property indexes that exist for this label, and count
+	// the node into the (label, key) statistics.
 	for key, v := range n.props {
 		g.propIndexAddLocked(lid, key, v, n.id)
+		g.labelKeyCount[propIdxID{lid, key}]++
 	}
 }
 
@@ -308,18 +319,38 @@ func (g *Graph) SetNodeProp(id NodeID, key string, v Value) error {
 
 func (g *Graph) setNodePropLocked(n *Node, id NodeID, key string, v Value) {
 	g.version++
-	if old, ok := n.props[key]; ok {
+	old, had := n.props[key]
+	if had {
 		for _, lid := range n.labels {
 			g.propIndexRemoveLocked(lid, key, old, id)
 		}
 	}
 	if v.IsNull() {
-		delete(n.props, key)
+		if had {
+			delete(n.props, key)
+			for _, lid := range n.labels {
+				g.statPropRemoveLocked(lid, key)
+			}
+		}
 		return
 	}
 	n.props[key] = v
 	for _, lid := range n.labels {
 		g.propIndexAddLocked(lid, key, v, id)
+		if !had {
+			g.labelKeyCount[propIdxID{lid, key}]++
+		}
+	}
+}
+
+// statPropRemoveLocked decrements the (label, key) node count, dropping the
+// entry at zero so the statistics map doesn't accumulate dead pairs.
+func (g *Graph) statPropRemoveLocked(lid labelID, key string) {
+	pid := propIdxID{lid, key}
+	if c := g.labelKeyCount[pid]; c <= 1 {
+		delete(g.labelKeyCount, pid)
+	} else {
+		g.labelKeyCount[pid] = c - 1
 	}
 }
 
@@ -363,6 +394,7 @@ func (g *Graph) DeleteNode(id NodeID) error {
 		delete(g.labelIdx[lid], id)
 		for key, v := range n.props {
 			g.propIndexRemoveLocked(lid, key, v, id)
+			g.statPropRemoveLocked(lid, key)
 		}
 	}
 	g.nodes[id-1] = nil
@@ -398,6 +430,7 @@ func (g *Graph) addRelLocked(typ string, from, to NodeID, props Props) (RelID, e
 	}
 	g.rels = append(g.rels, r)
 	g.relCount++
+	g.typeCounts[r.typ]++
 	fn.out = append(fn.out, r.id)
 	tn.in = append(tn.in, r.id)
 	return r.id, nil
@@ -413,6 +446,7 @@ func (g *Graph) deleteRelLocked(r *Rel) {
 	}
 	g.rels[r.id-1] = nil
 	g.relCount--
+	g.typeCounts[r.typ]--
 }
 
 func removeID(ids []RelID, id RelID) []RelID {
@@ -744,6 +778,7 @@ func (g *Graph) mergeNodeLocked(label, key string, v Value, extraLabels []string
 				n.props[k] = pv
 				for _, l := range n.labels {
 					g.propIndexAddLocked(l, k, pv, id)
+					g.labelKeyCount[propIdxID{l, k}]++
 				}
 			}
 		}

@@ -75,6 +75,9 @@ func (m *metrics) write(w io.Writer, cache cypher.CacheStats) {
 	// Per-kernel analytics counters (CALL algo.* procedures).
 	algo.WriteProm(w)
 
+	// Morsel-parallel MATCH execution counters.
+	cypher.WriteMatchMetrics(w)
+
 	fmt.Fprintf(w, "# HELP iyp_query_duration_seconds Query latency.\n# TYPE iyp_query_duration_seconds histogram\n")
 	var cum uint64
 	for i, ub := range latencyBuckets {

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"runtime"
 	"time"
 
 	"iyp/internal/cypher"
@@ -130,6 +131,10 @@ type queryRequest struct {
 	// MaxRows overrides the server's default row budget, capped at
 	// Config.HardMaxRows.
 	MaxRows int `json:"max_rows"`
+	// Parallelism bounds the worker count for morsel-parallel MATCH
+	// execution: 0 uses all CPUs, 1 forces serial execution. Results are
+	// identical at any setting. Capped at the server's CPU count.
+	Parallelism int `json:"parallelism"`
 }
 
 type queryResponse struct {
@@ -196,6 +201,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			maxRows = s.cfg.HardMaxRows
 		}
 	}
+	parallelism := req.Parallelism
+	if parallelism < 0 {
+		parallelism = 1
+	}
+	if max := runtime.GOMAXPROCS(0); parallelism > max {
+		parallelism = max
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
@@ -208,7 +220,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
-	res, err := cypher.Exec(ctx, s.g, plan, cypher.ExecOptions{ParamVals: params, MaxRows: maxRows})
+	res, err := cypher.Exec(ctx, s.g, plan, cypher.ExecOptions{ParamVals: params, MaxRows: maxRows, Parallelism: parallelism})
 	took := time.Since(t0)
 	s.met.observe(took)
 	if err != nil {

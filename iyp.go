@@ -133,9 +133,10 @@ func (db *DB) Graph() *graph.Graph { return db.g }
 type QueryOption func(*queryConfig)
 
 type queryConfig struct {
-	params  map[string]graph.Value
-	timeout time.Duration
-	maxRows int
+	params      map[string]graph.Value
+	timeout     time.Duration
+	maxRows     int
+	parallelism int
 }
 
 // WithParams supplies $parameter values for the query.
@@ -159,6 +160,14 @@ func WithMaxRows(n int) QueryOption {
 	return func(c *queryConfig) { c.maxRows = n }
 }
 
+// WithParallelism bounds the worker count for morsel-parallel MATCH
+// execution: 0 (the default) uses GOMAXPROCS, 1 forces serial execution,
+// and any larger value caps the pool. Result tables are byte-identical at
+// every setting, so the knob trades only latency against CPU.
+func WithParallelism(n int) QueryOption {
+	return func(c *queryConfig) { c.parallelism = n }
+}
+
 // Query runs a Cypher query under ctx. Cancellation and deadlines are
 // honoured mid-query. Parsed plans are cached per DB, so repeating a query
 // string skips the parser. Options tune parameters, deadline and row
@@ -180,7 +189,11 @@ func (db *DB) Query(ctx context.Context, q string, opts ...QueryOption) (*cypher
 	if err != nil {
 		return nil, err
 	}
-	return cypher.Exec(ctx, db.g, plan, cypher.ExecOptions{Params: cfg.params, MaxRows: cfg.maxRows})
+	return cypher.Exec(ctx, db.g, plan, cypher.ExecOptions{
+		Params:      cfg.params,
+		MaxRows:     cfg.maxRows,
+		Parallelism: cfg.parallelism,
+	})
 }
 
 // QueryParams runs a Cypher query with $parameters.
