@@ -8,12 +8,21 @@
 //	iyp-bench                      # print the baseline JSON to stdout
 //	iyp-bench -o BENCH_5.json      # write (regenerate) the tracked file
 //	iyp-bench -scale 0.5 -reps 10  # bigger graph, more repetitions
+//	iyp-bench -baseline BENCH_5.json   # compare against a tracked baseline
+//	iyp-bench -contention          # reader latency under a concurrent writer
 //
 // Every query runs at each worker budget; per (query, workers) the best
 // of -reps runs is kept (the usual way to suppress scheduler noise) and
 // the speedup against the same query's serial run is derived. The host's
 // CPU count is recorded because speedups are only meaningful relative to
-// it: on a single-core machine every speedup is ~1.0 by construction.
+// it: on a single-core machine every speedup is ~1.0 by construction —
+// which is also why -baseline refuses to compare runs taken at different
+// core counts instead of reporting a phantom regression.
+//
+// The -contention mode measures what MVCC snapshot isolation buys: reader
+// p50/p99 while a writer continuously publishes batches, once through the
+// MVCC store (readers pin lock-free generations) and once against a live
+// RWMutex graph (readers share the lock with the writer), same workload.
 package main
 
 import (
@@ -24,9 +33,13 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"iyp"
+	"iyp/internal/cypher"
+	"iyp/internal/graph"
 )
 
 // benchQueries are the paper-shaped MATCH workloads the baseline tracks.
@@ -65,9 +78,13 @@ type benchFile struct {
 func main() {
 	log.SetFlags(0)
 	var (
-		out   = flag.String("o", "", "output file (empty = stdout)")
-		scale = flag.Float64("scale", 0.25, "synthetic Internet scale factor")
-		reps  = flag.Int("reps", 5, "repetitions per (query, workers); best run is kept")
+		out        = flag.String("o", "", "output file (empty = stdout)")
+		scale      = flag.Float64("scale", 0.25, "synthetic Internet scale factor")
+		reps       = flag.Int("reps", 5, "repetitions per (query, workers); best run is kept")
+		baseline   = flag.String("baseline", "", "compare this run against a previously written baseline file")
+		contention = flag.Bool("contention", false, "measure reader latency under a concurrent writer (MVCC vs RWMutex)")
+		duration   = flag.Duration("duration", 3*time.Second, "per-mode measurement window for -contention")
+		readers    = flag.Int("readers", 4, "concurrent reader goroutines for -contention")
 	)
 	flag.Parse()
 
@@ -77,6 +94,11 @@ func main() {
 	}
 	st := db.Stats()
 	log.Printf("graph: %d nodes, %d relationships (scale %g)", st.Nodes, st.Rels, *scale)
+
+	if *contention {
+		runContention(db, *scale, *duration, *readers, *out)
+		return
+	}
 
 	workerSet := []int{1, 2, 4, 8}
 	if n := runtime.GOMAXPROCS(0); n > 8 {
@@ -125,17 +147,236 @@ func main() {
 		}
 	}
 
-	enc, err := json.MarshalIndent(bf, "", "  ")
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, bf); err != nil {
+			log.Fatalf("iyp-bench: %v", err)
+		}
+	}
+
+	writeOut(*out, bf)
+}
+
+// compareBaseline prints this run against a previously written baseline —
+// refusing outright when the runs are not comparable. A baseline taken in
+// a 1-CPU container makes every parallel speedup ~1x by construction;
+// comparing it against a many-core run reports phantom regressions (or
+// phantom wins), so mismatched core counts are an error, not a footnote.
+func compareBaseline(path string, cur benchFile) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.NumCPU != cur.NumCPU || base.GOMAXPROCS != cur.GOMAXPROCS {
+		return fmt.Errorf(
+			"baseline %s was taken on num_cpu=%d gomaxprocs=%d but this run has num_cpu=%d gomaxprocs=%d: "+
+				"latencies and speedups are not comparable across core counts — regenerate the baseline on this machine",
+			path, base.NumCPU, base.GOMAXPROCS, cur.NumCPU, cur.GOMAXPROCS)
+	}
+	if base.Scale != cur.Scale {
+		return fmt.Errorf("baseline %s was taken at scale %g, this run at %g: rerun with -scale %g",
+			path, base.Scale, cur.Scale, base.Scale)
+	}
+	old := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		old[fmt.Sprintf("%s/%d", r.Name, r.Workers)] = r
+	}
+	log.Printf("comparison vs %s (generated %s):", path, base.GeneratedAt)
+	for _, r := range cur.Results {
+		o, ok := old[fmt.Sprintf("%s/%d", r.Name, r.Workers)]
+		if !ok || o.Seconds <= 0 {
+			continue
+		}
+		log.Printf("%-28s workers=%-2d %8.3fms -> %8.3fms  (%+.1f%%)",
+			r.Name, r.Workers, o.Seconds*1e3, r.Seconds*1e3, (r.Seconds/o.Seconds-1)*100)
+	}
+	return nil
+}
+
+// --- contention benchmark ---
+
+// contentionQuery is the analytical workload readers run while the writer
+// churns: a two-hop join, long enough that writer interference shows up in
+// tail latency.
+const contentionQuery = `MATCH (x:AS)-[:ORIGINATE]-(p:Prefix)-[:ORIGINATE]-(y:AS) WHERE x.asn <> y.asn RETURN DISTINCT p.prefix`
+
+type contentionResult struct {
+	// Mode is "rwmutex" (readers share one RWMutex with the writer — the
+	// pre-MVCC engine) or "mvcc" (readers pin lock-free generations).
+	Mode    string  `json:"mode"`
+	Queries int     `json:"queries"`
+	Writes  int     `json:"writes"`
+	P50MS   float64 `json:"p50_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+}
+
+type contentionFile struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	NumCPU      int                `json:"num_cpu"`
+	GOMAXPROCS  int                `json:"gomaxprocs"`
+	Scale       float64            `json:"scale"`
+	Readers     int                `json:"readers"`
+	DurationSec float64            `json:"duration_sec"`
+	Results     []contentionResult `json:"results"`
+	// P99Improvement is rwmutex p99 / mvcc p99: how much faster the tail
+	// got under concurrent ingestion.
+	P99Improvement float64 `json:"p99_improvement"`
+}
+
+// churnBatch stages the writer's per-iteration work: upsert a slice of AS
+// nodes and tag them, the shape of an incremental crawler commit.
+func churnBatch(i int) *graph.Batch {
+	b := graph.NewBatch()
+	for k := 0; k < 50; k++ {
+		asn := int64(900000 + (i*50+k)%5000)
+		h := b.MergeNode("AS", "asn", graph.Int(asn), nil, graph.Props{
+			"name": graph.String(fmt.Sprintf("CHURN-%d", asn)),
+		})
+		_ = b.SetNodeProp(h, "updated", graph.Int(int64(i)))
+	}
+	return b
+}
+
+// measure runs the reader/writer mix for the window and returns latencies.
+func measure(window time.Duration, readers int, query func() error, write func(i int) error) (lat []float64, writes int) {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []float64
+			for {
+				select {
+				case <-stop:
+					mu.Lock()
+					lat = append(lat, local...)
+					mu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				if err := query(); err != nil {
+					log.Fatalf("iyp-bench: contention query: %v", err)
+				}
+				local = append(local, time.Since(t0).Seconds()*1e3)
+			}
+		}()
+	}
+	deadline := time.After(window)
+	for i := 0; ; i++ {
+		select {
+		case <-deadline:
+			close(stop)
+			wg.Wait()
+			return lat, i
+		default:
+		}
+		if err := write(i); err != nil {
+			log.Fatalf("iyp-bench: contention write: %v", err)
+		}
+	}
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func summarize(mode string, lat []float64, writes int) contentionResult {
+	sort.Float64s(lat)
+	res := contentionResult{
+		Mode:    mode,
+		Queries: len(lat),
+		Writes:  writes,
+		P50MS:   percentile(lat, 0.50),
+		P99MS:   percentile(lat, 0.99),
+	}
+	if n := len(lat); n > 0 {
+		res.MaxMS = lat[n-1]
+	}
+	log.Printf("%-8s %6d queries  %6d writes  p50=%8.3fms  p99=%8.3fms  max=%8.3fms",
+		mode, res.Queries, res.Writes, res.P50MS, res.P99MS, res.MaxMS)
+	return res
+}
+
+func runContention(db *iyp.DB, scale float64, window time.Duration, readers int, out string) {
+	cache := cypher.NewPlanCache(0)
+	plan, err := cache.Get(contentionQuery)
+	if err != nil {
+		log.Fatalf("iyp-bench: %v", err)
+	}
+
+	// Baseline: the pre-MVCC engine. Clone() of the frozen head is a live
+	// mutable graph guarded by its RWMutex, so readers and the writer
+	// contend on one lock exactly as they did before generations existed.
+	live := db.Graph().Clone()
+	rwLat, rwWrites := measure(window, readers,
+		func() error {
+			_, err := cypher.Exec(context.Background(), live, plan, cypher.ExecOptions{})
+			return err
+		},
+		func(i int) error {
+			_, err := live.ApplyBatch(churnBatch(i))
+			return err
+		})
+
+	// MVCC: readers pin immutable generations through the store; the
+	// writer publishes each batch as a new generation.
+	st := db.Store()
+	db.RetainGenerations(1) // keep memory flat while churning generations
+	mvLat, mvWrites := measure(window, readers,
+		func() error {
+			g, _, release := st.Acquire()
+			defer release()
+			_, err := cypher.Exec(context.Background(), g, plan, cypher.ExecOptions{})
+			return err
+		},
+		func(i int) error {
+			_, _, err := st.ApplyBatch(churnBatch(i))
+			return err
+		})
+
+	cf := contentionFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       scale,
+		Readers:     readers,
+		DurationSec: window.Seconds(),
+	}
+	rw := summarize("rwmutex", rwLat, rwWrites)
+	mv := summarize("mvcc", mvLat, mvWrites)
+	cf.Results = append(cf.Results, rw, mv)
+	if mv.P99MS > 0 {
+		cf.P99Improvement = rw.P99MS / mv.P99MS
+		log.Printf("p99 improvement (rwmutex/mvcc): %.2fx", cf.P99Improvement)
+	}
+	writeOut(out, cf)
+}
+
+func writeOut(out string, v any) {
+	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		log.Fatal(err)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if out == "" {
 		fmt.Print(string(enc))
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
-		log.Fatalf("iyp-bench: write %s: %v", *out, err)
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
+		log.Fatalf("iyp-bench: write %s: %v", out, err)
 	}
-	log.Printf("wrote %s", *out)
+	log.Printf("wrote %s", out)
 }

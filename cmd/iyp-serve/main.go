@@ -2,12 +2,13 @@
 // snapshot: POST /v1/query with {"query": "...", "params": {...},
 // "timeout_ms": ..., "max_rows": ...}, plus POST /v1/explain,
 // GET /v1/schema, GET /v1/stats, GET /metrics and GET /healthz. The
-// original /db/* paths remain as aliases.
+// original /db/* paths remain as deprecated aliases (Deprecation/Sunset
+// headers); start with -legacy=false to disable them (410 Gone).
 //
 // Usage:
 //
 //	iyp-serve -db iyp.snapshot -addr :7474
-//	iyp-serve -db ./iyp-store -addr :7474
+//	iyp-serve -db ./iyp-store -addr :7474 -legacy=false
 //	curl -s localhost:7474/v1/query -d '{"query":"MATCH (n:AS) RETURN count(n) AS n"}'
 //
 // When -db names a generation-store directory (written by iyp-build
@@ -64,6 +65,7 @@ func main() {
 		maxRows     = flag.Int("max-rows", 100000, "default per-query row budget")
 		concurrency = flag.Int("concurrency", 64, "max queries executing at once (excess gets 429)")
 		slowQuery   = flag.Duration("slow-query", time.Second, "log queries slower than this")
+		legacy      = flag.Bool("legacy", true, "serve the deprecated /db/* aliases (false answers them with 410)")
 	)
 	flag.Parse()
 
@@ -74,12 +76,13 @@ func main() {
 	st := db.Stats()
 	log.Printf("serving %d nodes, %d relationships on %s", st.Nodes, st.Rels, *addr)
 
-	handler := server.New(db.Graph(), server.Config{
+	handler := server.New(db.Store(), server.Config{
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		DefaultMaxRows: *maxRows,
 		MaxConcurrent:  *concurrency,
 		SlowQuery:      *slowQuery,
+		DisableLegacy:  !*legacy,
 		Logf:           log.Printf,
 	})
 	srv := &http.Server{

@@ -66,22 +66,31 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Run the private crawler against the same graph.
+	// 2. Run the private crawler through a writer transaction: the DB is
+	// versioned, so the session runs against a private clone of the
+	// current generation and the dataset is published as the next
+	// generation atomically — an error discards it without a trace, and
+	// concurrent readers keep their snapshot throughout.
 	crawler := &BlocklistCrawler{ingest.Base{
 		Org: "Example SOC", Name: "example.blocklist",
 		InfoURL: "https://intranet.example/blocklist",
 	}}
-	session := ingest.NewSession(db.Graph(), nil, crawler.Reference())
-	if err := crawler.Run(context.Background(), session); err != nil {
+	var nodes, links int
+	gen, err := db.Update(func(g *graph.Graph) error {
+		session := ingest.NewSession(g, nil, crawler.Reference())
+		if err := crawler.Run(context.Background(), session); err != nil {
+			return err
+		}
+		if err := session.Commit(); err != nil {
+			return err
+		}
+		nodes, links = session.Counts()
+		return nil
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
-	// Sessions stage their writes; the dataset lands in the graph
-	// atomically at Commit (a failed Run above would have left no trace).
-	if err := session.Commit(); err != nil {
-		log.Fatal(err)
-	}
-	nodes, links := session.Counts()
-	fmt.Printf("private dataset imported: %d new nodes, %d links\n", nodes, links)
+	fmt.Printf("private dataset imported: %d new nodes, %d links (generation %d)\n", nodes, links, gen)
 
 	// 3. The private data now joins every public dataset: which prefixes
 	// do the flagged ASes originate, and are popular domains hosted

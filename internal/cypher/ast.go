@@ -10,6 +10,22 @@ type Query struct {
 	UnionAll bool
 }
 
+// IsWrite reports whether the query mutates the graph (CREATE, MERGE,
+// SET, DELETE or REMOVE anywhere in the query, including UNION branches).
+// The MVCC layer routes write queries through a writer transaction and
+// runs everything else against a pinned immutable generation.
+func (q *Query) IsWrite() bool {
+	for ; q != nil; q = q.Next {
+		for _, c := range q.Clauses {
+			switch c.(type) {
+			case *CreateClause, *MergeClause, *SetClause, *DeleteClause, *RemoveClause:
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // Clause is implemented by every top-level clause node.
 type Clause interface{ clause() }
 

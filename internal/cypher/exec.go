@@ -124,6 +124,13 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Res
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
+	// A frozen graph is a published MVCC generation: write clauses must go
+	// through a writer transaction against a mutable clone, never a
+	// snapshot. Catch it here so the mistake surfaces as a query error
+	// instead of a store panic deep in a SET/CREATE handler.
+	if g.Frozen() && q.IsWrite() {
+		return nil, &Error{Msg: "write query against a read-only snapshot (route writes through DB.Update / DB.Query on the live store)"}
+	}
 	// With UNION branches the budget cannot be pushed into a branch
 	// (dedup across branches may need more input rows than it keeps), so
 	// it is applied to the merged result only.

@@ -1,6 +1,14 @@
 package graph
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFrozen is returned when a write batch targets a frozen (published)
+// generation. Writers must go through an MVStore, which clones the head
+// generation and applies batches to the mutable clone.
+var ErrFrozen = errors.New("graph: generation is frozen (apply writes through the MVStore)")
 
 // Batch is a staging write-buffer for graph mutations. Writes are recorded
 // against virtual node handles and applied to a Graph in a single
@@ -149,6 +157,9 @@ func (g *Graph) ApplyBatch(b *Batch) (BatchResult, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	var res BatchResult
+	if g.frozen {
+		return res, ErrFrozen
+	}
 	ids := make([]NodeID, len(b.merges))
 	res.IDs = ids
 	for i, m := range b.merges {
@@ -164,9 +175,9 @@ func (g *Graph) ApplyBatch(b *Batch) (BatchResult, error) {
 		}
 		switch op.kind {
 		case opSetNodeProp:
-			g.setNodePropLocked(g.node(ids[op.node-1]), ids[op.node-1], op.name, op.val)
+			g.setNodePropLocked(ids[op.node-1], op.name, op.val)
 		case opAddLabel:
-			g.addLabelLocked(g.node(ids[op.node-1]), op.name)
+			g.addLabelLocked(ids[op.node-1], op.name)
 		case opAddRel:
 			if int(op.to) > len(ids) {
 				return res, fmt.Errorf("graph: batch: op references unknown handle %d", op.to)

@@ -15,18 +15,19 @@ import "sort"
 // a derived structure — an analytics view, a cached statistic — was built
 // from the graph.
 func (g *Graph) Version() uint64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	return g.version
 }
 
 // BulkRead runs fn while holding the store's read lock once. The
 // BulkReader passed to fn reads the live store without further locking;
 // it must not escape fn, and fn must not call any mutating Graph method
-// (the write lock would deadlock against the held read lock).
+// (the write lock would deadlock against the held read lock). On a frozen
+// generation no lock is taken at all — the graph is immutable.
 func (g *Graph) BulkRead(fn func(*BulkReader)) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	fn(&BulkReader{g: g})
 }
 
@@ -164,8 +165,11 @@ func (br *BulkReader) NodesByLabel(label string) []NodeID {
 		return nil
 	}
 	set := br.g.labelIdx[lid]
-	out := make([]NodeID, 0, len(set))
-	for id := range set {
+	if set == nil {
+		return nil
+	}
+	out := make([]NodeID, 0, len(set.ids))
+	for id := range set.ids {
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

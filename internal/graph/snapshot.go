@@ -180,8 +180,8 @@ func (cw *crcWriter) u64(v uint64) error {
 
 // Save writes a format-v2 snapshot of the graph to w.
 func (g *Graph) Save(w io.Writer) error {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 
 	out := &crcWriter{w: bufio.NewWriterSize(w, 1<<16)}
 	if _, err := out.Write([]byte(snapshotMagic)); err != nil {
@@ -534,7 +534,7 @@ func decodeNodes(g *Graph, d snapReader) error {
 		if nl > nLabels {
 			return corruptf("node %d: label count %d exceeds table size %d", i+1, nl, nLabels)
 		}
-		n := &Node{id: NodeID(i + 1), labels: make([]labelID, nl)}
+		n := &Node{id: NodeID(i + 1), owner: g.owner, labels: make([]labelID, nl)}
 		for j := range n.labels {
 			l, err := readUvarint(d)
 			if err != nil {
@@ -594,7 +594,7 @@ func decodeRels(g *Graph, d snapReader) error {
 		if err != nil {
 			return err
 		}
-		r := &Rel{id: RelID(i + 1), typ: typeID(typ), from: NodeID(from), to: NodeID(to), props: props}
+		r := &Rel{id: RelID(i + 1), owner: g.owner, typ: typeID(typ), from: NodeID(from), to: NodeID(to), props: props}
 		fn, tn := g.node(r.from), g.node(r.to)
 		if fn == nil || tn == nil {
 			return corruptf("relationship %d references missing node", r.id)
@@ -640,10 +640,10 @@ func rebuildLabelIndex(g *Graph) {
 		for _, lid := range n.labels {
 			set := g.labelIdx[lid]
 			if set == nil {
-				set = make(map[NodeID]struct{})
+				set = newIDSet(g.owner)
 				g.labelIdx[lid] = set
 			}
-			set[n.id] = struct{}{}
+			set.ids[n.id] = struct{}{}
 		}
 	}
 }

@@ -17,8 +17,8 @@ type Stats struct {
 
 // Stats computes a summary of the graph.
 func (g *Graph) Stats() Stats {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	s := Stats{
 		Nodes:     g.nodeCount,
 		Rels:      g.relCount,
@@ -26,8 +26,8 @@ func (g *Graph) Stats() Stats {
 		ByRelType: make(map[string]int, len(g.typeNames)),
 	}
 	for lid, set := range g.labelIdx {
-		if len(set) > 0 {
-			s.ByLabel[g.labelNames[lid]] = len(set)
+		if set != nil && len(set.ids) > 0 {
+			s.ByLabel[g.labelNames[lid]] = len(set.ids)
 		}
 	}
 	for tid, c := range g.typeCounts {
@@ -72,8 +72,8 @@ func (ps PropStats) Selectivity() float64 {
 
 // PropCardinality returns the statistics for (label, key).
 func (g *Graph) PropCardinality(label, key string) PropStats {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	lid, ok := g.labelIDs[label]
 	if !ok {
 		return PropStats{}
@@ -82,15 +82,15 @@ func (g *Graph) PropCardinality(label, key string) PropStats {
 	ps := PropStats{WithKey: g.labelKeyCount[pid]}
 	if idx, ok := g.propIdx[pid]; ok {
 		ps.Indexed = true
-		ps.Distinct = len(idx)
+		ps.Distinct = len(idx.buckets)
 	}
 	return ps
 }
 
 // RelTypeCardinality returns the number of live relationships of typ.
 func (g *Graph) RelTypeCardinality(typ string) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	tid, ok := g.typeIDs[typ]
 	if !ok {
 		return 0
@@ -102,8 +102,8 @@ func (g *Graph) RelTypeCardinality(typ string) int {
 // — the expansion fan-out estimate for a one-hop pattern edge. Zero for an
 // empty graph or unknown type.
 func (g *Graph) RelTypeDegree(typ string) float64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	tid, ok := g.typeIDs[typ]
 	if !ok || g.nodeCount == 0 {
 		return 0

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a node. IDs are assigned sequentially starting at 1; 0
@@ -16,10 +17,20 @@ type RelID uint64
 type labelID uint16
 type typeID uint16
 
+// ownerTokens hands out ownership stamps for the copy-on-write machinery.
+// Every Graph (fresh, loaded, or cloned) gets a unique token; a node,
+// relationship, or index bucket whose stamp differs from its graph's token
+// is structurally shared with an older generation and must be copied
+// before it is mutated.
+var ownerTokens atomic.Uint64
+
+func newOwnerToken() uint64 { return ownerTokens.Add(1) }
+
 // Node is a labeled property vertex. Fields are unexported; all access goes
 // through methods so the store can synchronize and maintain indexes.
 type Node struct {
 	id     NodeID
+	owner  uint64    // COW stamp: which graph generation may mutate this struct
 	labels []labelID // sorted
 	props  Props
 	out    []RelID
@@ -29,6 +40,7 @@ type Node struct {
 // Rel is a typed, directed edge with properties.
 type Rel struct {
 	id    RelID
+	owner uint64 // COW stamp, as on Node
 	typ   typeID
 	from  NodeID
 	to    NodeID
@@ -55,15 +67,78 @@ func (r *Rel) Other(n NodeID) NodeID {
 	return r.from
 }
 
+// clone returns a deep-enough copy of n owned by the given generation:
+// label/adjacency slices and the property map are copied, property values
+// (immutable) are shared.
+func (n *Node) clone(owner uint64) *Node {
+	return &Node{
+		id:     n.id,
+		owner:  owner,
+		labels: append([]labelID(nil), n.labels...),
+		props:  n.props.Clone(),
+		out:    append([]RelID(nil), n.out...),
+		in:     append([]RelID(nil), n.in...),
+	}
+}
+
+func (r *Rel) clone(owner uint64) *Rel {
+	return &Rel{
+		id:    r.id,
+		owner: owner,
+		typ:   r.typ,
+		from:  r.from,
+		to:    r.to,
+		props: r.props.Clone(),
+	}
+}
+
 type propIdxID struct {
 	label labelID
 	key   string
 }
 
+// idSet is a node-ID set with a COW ownership stamp — the bucket type of
+// the label index and of each property-index value bucket.
+type idSet struct {
+	owner uint64
+	ids   map[NodeID]struct{}
+}
+
+func newIDSet(owner uint64) *idSet {
+	return &idSet{owner: owner, ids: make(map[NodeID]struct{})}
+}
+
+func (s *idSet) clone(owner uint64) *idSet {
+	c := &idSet{owner: owner, ids: make(map[NodeID]struct{}, len(s.ids))}
+	for id := range s.ids {
+		c.ids[id] = struct{}{}
+	}
+	return c
+}
+
+// propIndex is one (label, key) hash index: value bucket map plus a COW
+// stamp for the bucket map itself (leaf sets carry their own stamps).
+type propIndex struct {
+	owner   uint64
+	buckets map[indexKey]*idSet
+}
+
 // Graph is the in-memory property graph. All exported methods are safe for
-// concurrent use; reads proceed in parallel under an RWMutex.
+// concurrent use; reads on a live graph proceed in parallel under an
+// RWMutex, while reads on a frozen graph (see Freeze) skip the lock
+// entirely — a frozen graph is an immutable generation and its read path
+// is lock-free by construction.
 type Graph struct {
 	mu sync.RWMutex
+
+	// frozen marks the graph an immutable generation: reads skip the lock,
+	// mutations panic (ApplyBatch returns ErrFrozen). Set once by Freeze,
+	// which must happen-before the graph is shared with lock-free readers
+	// (MVStore publishes frozen graphs through an atomic pointer, which
+	// provides that ordering).
+	frozen bool
+	// owner is this graph's COW stamp (see ownerTokens).
+	owner uint64
 
 	labelNames []string
 	labelIDs   map[string]labelID
@@ -73,8 +148,8 @@ type Graph struct {
 	nodes []*Node // index id-1; nil = deleted
 	rels  []*Rel
 
-	labelIdx map[labelID]map[NodeID]struct{}
-	propIdx  map[propIdxID]map[indexKey]map[NodeID]struct{}
+	labelIdx map[labelID]*idSet
+	propIdx  map[propIdxID]*propIndex
 
 	nodeCount int
 	relCount  int
@@ -94,12 +169,174 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
+		owner:         newOwnerToken(),
 		labelIDs:      make(map[string]labelID),
 		typeIDs:       make(map[string]typeID),
-		labelIdx:      make(map[labelID]map[NodeID]struct{}),
-		propIdx:       make(map[propIdxID]map[indexKey]map[NodeID]struct{}),
+		labelIdx:      make(map[labelID]*idSet),
+		propIdx:       make(map[propIdxID]*propIndex),
 		labelKeyCount: make(map[propIdxID]int),
 	}
+}
+
+// --- freezing & copy-on-write cloning (the MVCC substrate) ---
+
+// Freeze marks the graph an immutable generation. From then on every read
+// accessor is lock-free and every mutation panics (ApplyBatch returns
+// ErrFrozen instead). Freeze must not race with writers: callers freeze a
+// graph only once it has a single owner (a finished build, or a clone
+// about to be published). It returns g for chaining.
+func (g *Graph) Freeze() *Graph {
+	g.mu.Lock()
+	g.frozen = true
+	g.mu.Unlock()
+	return g
+}
+
+// Frozen reports whether the graph is an immutable generation.
+func (g *Graph) Frozen() bool { return g.frozen }
+
+// Clone returns a mutable copy-on-write graph derived from a frozen
+// generation: top-level tables (slot slices, interning, statistics, index
+// directories) are copied eagerly — O(nodes + rels) pointer copies — while
+// nodes, relationships and index buckets are shared with the parent and
+// copied lazily the first time this clone mutates them. The parent stays
+// frozen and is never touched; this is how a writer builds generation N+1
+// while generation N keeps serving lock-free readers.
+func (g *Graph) Clone() *Graph {
+	if !g.frozen {
+		panic("graph: Clone of a live graph (Freeze it first — only immutable generations can be cloned safely)")
+	}
+	ng := &Graph{
+		owner:         newOwnerToken(),
+		labelNames:    append([]string(nil), g.labelNames...),
+		labelIDs:      make(map[string]labelID, len(g.labelIDs)),
+		typeNames:     append([]string(nil), g.typeNames...),
+		typeIDs:       make(map[string]typeID, len(g.typeIDs)),
+		nodes:         append([]*Node(nil), g.nodes...),
+		rels:          append([]*Rel(nil), g.rels...),
+		labelIdx:      make(map[labelID]*idSet, len(g.labelIdx)),
+		propIdx:       make(map[propIdxID]*propIndex, len(g.propIdx)),
+		nodeCount:     g.nodeCount,
+		relCount:      g.relCount,
+		typeCounts:    append([]int(nil), g.typeCounts...),
+		labelKeyCount: make(map[propIdxID]int, len(g.labelKeyCount)),
+		version:       g.version,
+	}
+	for k, v := range g.labelIDs {
+		ng.labelIDs[k] = v
+	}
+	for k, v := range g.typeIDs {
+		ng.typeIDs[k] = v
+	}
+	for k, v := range g.labelIdx {
+		ng.labelIdx[k] = v // shared; mutLabelSet copies on first write
+	}
+	for k, v := range g.propIdx {
+		ng.propIdx[k] = v // shared; mutIndex copies on first write
+	}
+	for k, v := range g.labelKeyCount {
+		ng.labelKeyCount[k] = v
+	}
+	return ng
+}
+
+// checkMutable panics when the graph is frozen. Called (with mu held) at
+// the top of every mutating method: writing to a published generation is a
+// programming error, never a recoverable condition.
+func (g *Graph) checkMutable() {
+	if g.frozen {
+		panic("graph: mutation of a frozen generation (Clone it to build the next one)")
+	}
+}
+
+// rlock/runlock take the read lock only on live graphs; frozen generations
+// are immutable, so their readers skip the lock entirely.
+func (g *Graph) rlock() {
+	if !g.frozen {
+		g.mu.RLock()
+	}
+}
+
+func (g *Graph) runlock() {
+	if !g.frozen {
+		g.mu.RUnlock()
+	}
+}
+
+// --- COW mutation helpers (callers hold mu on a live graph) ---
+
+// mutNode returns the node for id, first copying it into this generation
+// if it is still shared with a frozen parent. Returns nil for dead IDs.
+func (g *Graph) mutNode(id NodeID) *Node {
+	n := g.node(id)
+	if n == nil || n.owner == g.owner {
+		return n
+	}
+	c := n.clone(g.owner)
+	g.nodes[id-1] = c
+	return c
+}
+
+// mutRel is mutNode for relationships.
+func (g *Graph) mutRel(id RelID) *Rel {
+	r := g.rel(id)
+	if r == nil || r.owner == g.owner {
+		return r
+	}
+	c := r.clone(g.owner)
+	g.rels[id-1] = c
+	return c
+}
+
+// mutLabelSet returns the label bucket for lid, creating it if absent and
+// copying it into this generation if shared.
+func (g *Graph) mutLabelSet(lid labelID) *idSet {
+	s := g.labelIdx[lid]
+	if s == nil {
+		s = newIDSet(g.owner)
+		g.labelIdx[lid] = s
+		return s
+	}
+	if s.owner != g.owner {
+		s = s.clone(g.owner)
+		g.labelIdx[lid] = s
+	}
+	return s
+}
+
+// mutIndex returns the property index for pid with its bucket directory
+// owned by this generation (leaf sets stay shared until mutBucket). Nil
+// when no index exists on pid.
+func (g *Graph) mutIndex(pid propIdxID) *propIndex {
+	idx := g.propIdx[pid]
+	if idx == nil {
+		return nil
+	}
+	if idx.owner != g.owner {
+		c := &propIndex{owner: g.owner, buckets: make(map[indexKey]*idSet, len(idx.buckets))}
+		for k, v := range idx.buckets {
+			c.buckets[k] = v
+		}
+		idx = c
+		g.propIdx[pid] = idx
+	}
+	return idx
+}
+
+// mutBucket returns the (owned) leaf set for k in an owned index, creating
+// or copying as needed.
+func (idx *propIndex) mutBucket(k indexKey, owner uint64) *idSet {
+	s := idx.buckets[k]
+	if s == nil {
+		s = newIDSet(owner)
+		idx.buckets[k] = s
+		return s
+	}
+	if s.owner != owner {
+		s = s.clone(owner)
+		idx.buckets[k] = s
+	}
+	return s
 }
 
 // --- interning (callers hold mu) ---
@@ -127,8 +364,8 @@ func (g *Graph) internType(name string) typeID {
 
 // Labels returns all label names ever used, sorted.
 func (g *Graph) Labels() []string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	out := make([]string, len(g.labelNames))
 	copy(out, g.labelNames)
 	sort.Strings(out)
@@ -137,8 +374,8 @@ func (g *Graph) Labels() []string {
 
 // RelTypes returns all relationship type names ever used, sorted.
 func (g *Graph) RelTypes() []string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	out := make([]string, len(g.typeNames))
 	copy(out, g.typeNames)
 	sort.Strings(out)
@@ -151,6 +388,7 @@ func (g *Graph) RelTypes() []string {
 func (g *Graph) AddNode(labels []string, props Props) NodeID {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.checkMutable()
 	return g.addNodeLocked(labels, props)
 }
 
@@ -158,6 +396,7 @@ func (g *Graph) addNodeLocked(labels []string, props Props) NodeID {
 	g.version++
 	n := &Node{
 		id:    NodeID(len(g.nodes) + 1),
+		owner: g.owner,
 		props: props.Clone(),
 	}
 	if n.props == nil {
@@ -186,12 +425,7 @@ func insertLabel(ls []labelID, l labelID) []labelID {
 }
 
 func (g *Graph) indexNodeLabelLocked(n *Node, lid labelID) {
-	set := g.labelIdx[lid]
-	if set == nil {
-		set = make(map[NodeID]struct{})
-		g.labelIdx[lid] = set
-	}
-	set[n.id] = struct{}{}
+	g.mutLabelSet(lid).ids[n.id] = struct{}{}
 	// Populate any property indexes that exist for this label, and count
 	// the node into the (label, key) statistics.
 	for key, v := range n.props {
@@ -201,31 +435,36 @@ func (g *Graph) indexNodeLabelLocked(n *Node, lid labelID) {
 }
 
 func (g *Graph) propIndexAddLocked(lid labelID, key string, v Value, id NodeID) {
-	idx, ok := g.propIdx[propIdxID{lid, key}]
-	if !ok {
+	pid := propIdxID{lid, key}
+	if g.propIdx[pid] == nil {
 		return
 	}
-	k := v.key()
-	set := idx[k]
-	if set == nil {
-		set = make(map[NodeID]struct{})
-		idx[k] = set
-	}
-	set[id] = struct{}{}
+	idx := g.mutIndex(pid)
+	idx.mutBucket(v.key(), g.owner).ids[id] = struct{}{}
 }
 
 func (g *Graph) propIndexRemoveLocked(lid labelID, key string, v Value, id NodeID) {
-	idx, ok := g.propIdx[propIdxID{lid, key}]
-	if !ok {
+	pid := propIdxID{lid, key}
+	idx := g.propIdx[pid]
+	if idx == nil {
 		return
 	}
 	k := v.key()
-	if set := idx[k]; set != nil {
-		delete(set, id)
-		if len(set) == 0 {
-			delete(idx, k)
-		}
+	s := idx.buckets[k]
+	if s == nil {
+		return
 	}
+	if _, present := s.ids[id]; !present {
+		return
+	}
+	idx = g.mutIndex(pid)
+	if len(s.ids) == 1 {
+		// Removing the last member: drop the bucket from the (owned)
+		// directory; the shared leaf set itself is untouched.
+		delete(idx.buckets, k)
+		return
+	}
+	delete(idx.mutBucket(k, g.owner).ids, id)
 }
 
 // node returns the live node for id (callers hold mu).
@@ -245,8 +484,8 @@ func (g *Graph) rel(id RelID) *Rel {
 
 // HasNode reports whether id refers to a live node.
 func (g *Graph) HasNode(id NodeID) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	return g.node(id) != nil
 }
 
@@ -254,16 +493,17 @@ func (g *Graph) HasNode(id NodeID) bool {
 func (g *Graph) AddLabel(id NodeID, label string) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	n := g.node(id)
-	if n == nil {
+	g.checkMutable()
+	if g.node(id) == nil {
 		return fmt.Errorf("graph: no node %d", id)
 	}
-	g.addLabelLocked(n, label)
+	g.addLabelLocked(id, label)
 	return nil
 }
 
-func (g *Graph) addLabelLocked(n *Node, label string) {
+func (g *Graph) addLabelLocked(id NodeID, label string) {
 	g.version++
+	n := g.mutNode(id)
 	lid := g.internLabel(label)
 	before := len(n.labels)
 	n.labels = insertLabel(n.labels, lid)
@@ -274,8 +514,8 @@ func (g *Graph) addLabelLocked(n *Node, label string) {
 
 // NodeLabels returns the node's labels, sorted by name.
 func (g *Graph) NodeLabels(id NodeID) []string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	n := g.node(id)
 	if n == nil {
 		return nil
@@ -290,8 +530,8 @@ func (g *Graph) NodeLabels(id NodeID) []string {
 
 // NodeHasLabel reports whether the node carries label.
 func (g *Graph) NodeHasLabel(id NodeID, label string) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	n := g.node(id)
 	if n == nil {
 		return false
@@ -309,16 +549,17 @@ func (g *Graph) NodeHasLabel(id NodeID, label string) bool {
 func (g *Graph) SetNodeProp(id NodeID, key string, v Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	n := g.node(id)
-	if n == nil {
+	g.checkMutable()
+	if g.node(id) == nil {
 		return fmt.Errorf("graph: no node %d", id)
 	}
-	g.setNodePropLocked(n, id, key, v)
+	g.setNodePropLocked(id, key, v)
 	return nil
 }
 
-func (g *Graph) setNodePropLocked(n *Node, id NodeID, key string, v Value) {
+func (g *Graph) setNodePropLocked(id NodeID, key string, v Value) {
 	g.version++
+	n := g.mutNode(id)
 	old, had := n.props[key]
 	if had {
 		for _, lid := range n.labels {
@@ -356,8 +597,8 @@ func (g *Graph) statPropRemoveLocked(lid labelID, key string) {
 
 // NodeProp returns a node property (Null when absent or node missing).
 func (g *Graph) NodeProp(id NodeID, key string) Value {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	n := g.node(id)
 	if n == nil {
 		return Null()
@@ -367,8 +608,8 @@ func (g *Graph) NodeProp(id NodeID, key string) Value {
 
 // NodeProps returns a copy of the node's property map.
 func (g *Graph) NodeProps(id NodeID) Props {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	n := g.node(id)
 	if n == nil {
 		return nil
@@ -380,6 +621,7 @@ func (g *Graph) NodeProps(id NodeID) Props {
 func (g *Graph) DeleteNode(id NodeID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.checkMutable()
 	n := g.node(id)
 	if n == nil {
 		return fmt.Errorf("graph: no node %d", id)
@@ -390,8 +632,10 @@ func (g *Graph) DeleteNode(id NodeID) error {
 			g.deleteRelLocked(r)
 		}
 	}
+	// deleteRelLocked may have COW-copied the node (self-loops); n itself
+	// is only read below, so the stale pointer is fine for props/labels.
 	for _, lid := range n.labels {
-		delete(g.labelIdx[lid], id)
+		delete(g.mutLabelSet(lid).ids, id)
 		for key, v := range n.props {
 			g.propIndexRemoveLocked(lid, key, v, id)
 			g.statPropRemoveLocked(lid, key)
@@ -409,17 +653,18 @@ func (g *Graph) DeleteNode(id NodeID) error {
 func (g *Graph) AddRel(typ string, from, to NodeID, props Props) (RelID, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.checkMutable()
 	return g.addRelLocked(typ, from, to, props)
 }
 
 func (g *Graph) addRelLocked(typ string, from, to NodeID, props Props) (RelID, error) {
-	fn, tn := g.node(from), g.node(to)
-	if fn == nil || tn == nil {
+	if g.node(from) == nil || g.node(to) == nil {
 		return 0, fmt.Errorf("graph: relationship %s endpoints %d->%d: missing node", typ, from, to)
 	}
 	g.version++
 	r := &Rel{
 		id:    RelID(len(g.rels) + 1),
+		owner: g.owner,
 		typ:   g.internType(typ),
 		from:  from,
 		to:    to,
@@ -431,17 +676,19 @@ func (g *Graph) addRelLocked(typ string, from, to NodeID, props Props) (RelID, e
 	g.rels = append(g.rels, r)
 	g.relCount++
 	g.typeCounts[r.typ]++
+	fn := g.mutNode(from)
 	fn.out = append(fn.out, r.id)
+	tn := g.mutNode(to)
 	tn.in = append(tn.in, r.id)
 	return r.id, nil
 }
 
 func (g *Graph) deleteRelLocked(r *Rel) {
 	g.version++
-	if fn := g.node(r.from); fn != nil {
+	if fn := g.mutNode(r.from); fn != nil {
 		fn.out = removeID(fn.out, r.id)
 	}
-	if tn := g.node(r.to); tn != nil {
+	if tn := g.mutNode(r.to); tn != nil {
 		tn.in = removeID(tn.in, r.id)
 	}
 	g.rels[r.id-1] = nil
@@ -462,6 +709,7 @@ func removeID(ids []RelID, id RelID) []RelID {
 func (g *Graph) DeleteRel(id RelID) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.checkMutable()
 	r := g.rel(id)
 	if r == nil {
 		return fmt.Errorf("graph: no relationship %d", id)
@@ -472,8 +720,8 @@ func (g *Graph) DeleteRel(id RelID) error {
 
 // RelType returns the relationship's type name.
 func (g *Graph) RelType(id RelID) string {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	r := g.rel(id)
 	if r == nil {
 		return ""
@@ -483,8 +731,8 @@ func (g *Graph) RelType(id RelID) string {
 
 // RelEndpoints returns the from and to node IDs (0,0 when missing).
 func (g *Graph) RelEndpoints(id RelID) (NodeID, NodeID) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	r := g.rel(id)
 	if r == nil {
 		return 0, 0
@@ -496,11 +744,12 @@ func (g *Graph) RelEndpoints(id RelID) (NodeID, NodeID) {
 func (g *Graph) SetRelProp(id RelID, key string, v Value) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	r := g.rel(id)
-	if r == nil {
+	g.checkMutable()
+	if g.rel(id) == nil {
 		return fmt.Errorf("graph: no relationship %d", id)
 	}
 	g.version++
+	r := g.mutRel(id)
 	if v.IsNull() {
 		delete(r.props, key)
 	} else {
@@ -511,8 +760,8 @@ func (g *Graph) SetRelProp(id RelID, key string, v Value) error {
 
 // RelProp returns a relationship property (Null when absent).
 func (g *Graph) RelProp(id RelID, key string) Value {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	r := g.rel(id)
 	if r == nil {
 		return Null()
@@ -522,8 +771,8 @@ func (g *Graph) RelProp(id RelID, key string) Value {
 
 // RelProps returns a copy of the relationship's property map.
 func (g *Graph) RelProps(id RelID) Props {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	r := g.rel(id)
 	if r == nil {
 		return nil
@@ -550,8 +799,8 @@ const (
 // all). It returns the extended buffer, enabling allocation reuse in the
 // query executor's hot path.
 func (g *Graph) Rels(id NodeID, dir Dir, types []string, buf []RelID) []RelID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	n := g.node(id)
 	if n == nil {
 		return buf
@@ -612,8 +861,8 @@ func (g *Graph) Degree(id NodeID, dir Dir, types []string) int {
 
 // EachNode calls fn for every live node until fn returns false.
 func (g *Graph) EachNode(fn func(NodeID) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	for _, n := range g.nodes {
 		if n == nil {
 			continue
@@ -626,8 +875,8 @@ func (g *Graph) EachNode(fn func(NodeID) bool) {
 
 // EachRel calls fn for every live relationship until fn returns false.
 func (g *Graph) EachRel(fn func(RelID) bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	for _, r := range g.rels {
 		if r == nil {
 			continue
@@ -641,16 +890,18 @@ func (g *Graph) EachRel(fn func(RelID) bool) {
 // NodesByLabel returns the IDs of all nodes carrying label, in ascending
 // order.
 func (g *Graph) NodesByLabel(label string) []NodeID {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	lid, ok := g.labelIDs[label]
 	if !ok {
 		return nil
 	}
-	set := g.labelIdx[lid]
-	out := make([]NodeID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+	var out []NodeID
+	if set := g.labelIdx[lid]; set != nil {
+		out = make([]NodeID, 0, len(set.ids))
+		for id := range set.ids {
+			out = append(out, id)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -658,13 +909,16 @@ func (g *Graph) NodesByLabel(label string) []NodeID {
 
 // CountByLabel returns the number of nodes carrying label.
 func (g *Graph) CountByLabel(label string) int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	lid, ok := g.labelIDs[label]
 	if !ok {
 		return 0
 	}
-	return len(g.labelIdx[lid])
+	if set := g.labelIdx[lid]; set != nil {
+		return len(set.ids)
+	}
+	return 0
 }
 
 // EnsureIndex creates (and backfills) a hash index on (label, property) if
@@ -672,24 +926,27 @@ func (g *Graph) CountByLabel(label string) int {
 func (g *Graph) EnsureIndex(label, key string) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.checkMutable()
 	g.ensureIndexLocked(label, key)
 }
 
-func (g *Graph) ensureIndexLocked(label, key string) map[indexKey]map[NodeID]struct{} {
+func (g *Graph) ensureIndexLocked(label, key string) *propIndex {
 	lid := g.internLabel(label)
 	pid := propIdxID{lid, key}
 	if idx, ok := g.propIdx[pid]; ok {
 		return idx
 	}
-	idx := make(map[indexKey]map[NodeID]struct{})
+	idx := &propIndex{owner: g.owner, buckets: make(map[indexKey]*idSet)}
 	g.propIdx[pid] = idx
-	for id := range g.labelIdx[lid] {
-		n := g.node(id)
-		if n == nil {
-			continue
-		}
-		if v, ok := n.props[key]; ok {
-			g.propIndexAddLocked(lid, key, v, id)
+	if set := g.labelIdx[lid]; set != nil {
+		for id := range set.ids {
+			n := g.node(id)
+			if n == nil {
+				continue
+			}
+			if v, ok := n.props[key]; ok {
+				idx.mutBucket(v.key(), g.owner).ids[id] = struct{}{}
+			}
 		}
 	}
 	return idx
@@ -697,8 +954,8 @@ func (g *Graph) ensureIndexLocked(label, key string) map[indexKey]map[NodeID]str
 
 // HasIndex reports whether an index exists on (label, key).
 func (g *Graph) HasIndex(label, key string) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	lid, ok := g.labelIDs[label]
 	if !ok {
 		return false
@@ -711,33 +968,37 @@ func (g *Graph) HasIndex(label, key string) bool {
 // the (label,key) index when present and otherwise falls back to scanning
 // the label's nodes.
 func (g *Graph) NodesByProp(label, key string, v Value) []NodeID {
-	g.mu.RLock()
+	g.rlock()
 	lid, ok := g.labelIDs[label]
 	if !ok {
-		g.mu.RUnlock()
+		g.runlock()
 		return nil
 	}
 	if idx, ok := g.propIdx[propIdxID{lid, key}]; ok {
-		set := idx[v.key()]
-		out := make([]NodeID, 0, len(set))
-		for id := range set {
-			out = append(out, id)
+		var out []NodeID
+		if set := idx.buckets[v.key()]; set != nil {
+			out = make([]NodeID, 0, len(set.ids))
+			for id := range set.ids {
+				out = append(out, id)
+			}
 		}
-		g.mu.RUnlock()
+		g.runlock()
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out
 	}
 	var out []NodeID
-	for id := range g.labelIdx[lid] {
-		n := g.node(id)
-		if n == nil {
-			continue
-		}
-		if pv, ok := n.props[key]; ok && pv.Equal(v) {
-			out = append(out, id)
+	if set := g.labelIdx[lid]; set != nil {
+		for id := range set.ids {
+			n := g.node(id)
+			if n == nil {
+				continue
+			}
+			if pv, ok := n.props[key]; ok && pv.Equal(v) {
+				out = append(out, id)
+			}
 		}
 	}
-	g.mu.RUnlock()
+	g.runlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -750,21 +1011,22 @@ func (g *Graph) NodesByProp(label, key string, v Value) []NodeID {
 func (g *Graph) MergeNode(label, key string, v Value, extraLabels []string, props Props) (NodeID, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.checkMutable()
 	return g.mergeNodeLocked(label, key, v, extraLabels, props)
 }
 
 func (g *Graph) mergeNodeLocked(label, key string, v Value, extraLabels []string, props Props) (NodeID, bool) {
 	// Identity lookups always deserve an index.
 	idx := g.ensureIndexLocked(label, key)
-	if set := idx[v.key()]; len(set) > 0 {
+	if set := idx.buckets[v.key()]; set != nil && len(set.ids) > 0 {
 		g.version++ // merged labels/props below mutate the node in place
 		var id NodeID
-		for nid := range set {
+		for nid := range set.ids {
 			if id == 0 || nid < id {
 				id = nid
 			}
 		}
-		n := g.node(id)
+		n := g.mutNode(id)
 		for _, l := range extraLabels {
 			elid := g.internLabel(l)
 			before := len(n.labels)
@@ -796,14 +1058,14 @@ func (g *Graph) mergeNodeLocked(label, key string, v Value, extraLabels []string
 
 // NumNodes returns the live node count.
 func (g *Graph) NumNodes() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	return g.nodeCount
 }
 
 // NumRels returns the live relationship count.
 func (g *Graph) NumRels() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
+	g.rlock()
+	defer g.runlock()
 	return g.relCount
 }

@@ -16,7 +16,7 @@ import (
 func TestQueryCallWCC(t *testing.T) {
 	g := testGraph()
 	defer algo.InvalidateViews(g)
-	srv := New(g)
+	srv := newTestServer(g)
 
 	w := post(t, srv, "/v1/query", `{"query": "CALL algo.wcc()"}`)
 	if w.Code != 200 {
@@ -45,7 +45,7 @@ func TestQueryCallWCC(t *testing.T) {
 func TestQueryCallPageRankComposed(t *testing.T) {
 	g := testGraph()
 	defer algo.InvalidateViews(g)
-	srv := New(g)
+	srv := newTestServer(g)
 
 	w := post(t, srv, "/v1/query",
 		`{"query": "CALL algo.pagerank() YIELD node, score RETURN node, score ORDER BY score DESC LIMIT 1"}`)
@@ -67,7 +67,7 @@ func TestQueryCallPageRankComposed(t *testing.T) {
 func TestQueryCallMaxRows(t *testing.T) {
 	g := testGraph()
 	defer algo.InvalidateViews(g)
-	srv := New(g)
+	srv := newTestServer(g)
 
 	w := post(t, srv, "/v1/query", `{"query": "CALL algo.wcc()", "max_rows": 2}`)
 	if w.Code != 200 {
@@ -99,7 +99,7 @@ func chainGraph(n int) *graph.Graph {
 func TestQueryCallTimeout(t *testing.T) {
 	g := chainGraph(3000)
 	defer algo.InvalidateViews(g)
-	srv := New(g)
+	srv := newTestServer(g)
 
 	w := post(t, srv, "/v1/query",
 		`{"query": "CALL algo.dependency({k: 3000, maxReach: -1})", "timeout_ms": 1}`)
@@ -117,7 +117,7 @@ func TestQueryCallTimeout(t *testing.T) {
 
 func TestExplainCallReportsBypass(t *testing.T) {
 	g := testGraph()
-	srv := New(g)
+	srv := newTestServer(g)
 
 	w := post(t, srv, "/v1/explain", `{"query": "CALL algo.wcc() YIELD node RETURN node"}`)
 	if w.Code != 200 {
@@ -151,7 +151,7 @@ func TestExplainCallReportsBypass(t *testing.T) {
 func TestMetricsIncludeAlgoCounters(t *testing.T) {
 	g := testGraph()
 	defer algo.InvalidateViews(g)
-	srv := New(g)
+	srv := newTestServer(g)
 
 	post(t, srv, "/v1/query", `{"query": "CALL algo.wcc()"}`)
 	w := get(t, srv, "/metrics")

@@ -49,8 +49,16 @@ func (m *metrics) observe(d time.Duration) {
 	m.buckets[len(latencyBuckets)].Add(1)
 }
 
-// write renders the Prometheus text format, folding in plan-cache stats.
-func (m *metrics) write(w io.Writer, cache cypher.CacheStats) {
+// genStats carries the MVCC generation-store gauges into the renderer.
+type genStats struct {
+	current   uint64 // generation currently serving reads
+	live      int    // generations tracked (current + retained + pinned)
+	reclaimed uint64 // superseded generations reclaimed so far
+}
+
+// write renders the Prometheus text format, folding in plan-cache stats
+// and the generation-store gauges.
+func (m *metrics) write(w io.Writer, cache cypher.CacheStats, gens genStats) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -71,6 +79,11 @@ func (m *metrics) write(w io.Writer, cache cypher.CacheStats) {
 	counter("iyp_plan_cache_bypasses_total", "Queries never cached (CALL statements).", cache.Bypasses)
 	gauge("iyp_plan_cache_size", "Parsed plans currently cached.", int64(cache.Size))
 	gauge("iyp_plan_cache_capacity", "Plan cache capacity.", int64(cache.Capacity))
+
+	// MVCC generation store.
+	gauge("iyp_generation_current", "Generation number currently serving reads.", int64(gens.current))
+	gauge("iyp_generations_live", "Generations tracked by the store (current + retained + pinned).", int64(gens.live))
+	counter("iyp_generations_reclaimed_total", "Superseded generations reclaimed after their last reader released.", gens.reclaimed)
 
 	// Per-kernel analytics counters (CALL algo.* procedures).
 	algo.WriteProm(w)

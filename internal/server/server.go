@@ -7,17 +7,28 @@
 // plan cache parses each distinct query text once, and GET /metrics
 // exposes the serving counters.
 //
+// The server reads through the MVCC generation store: every query pins one
+// immutable generation for its whole execution — lock-free reads, no
+// torn results while ingestion publishes new generations — and clients can
+// pin an explicit generation across requests with the "generation" request
+// field (GET /v1/generations lists what is available). The API is
+// read-only; write queries are rejected with code "read_only".
+//
 // Endpoints are versioned under /v1/ (POST /v1/query, POST /v1/explain,
-// GET /v1/schema, GET /v1/stats); the original /db/* paths remain as
-// aliases for existing clients.
+// GET /v1/schema, GET /v1/stats, GET /v1/generations); the original /db/*
+// paths remain as deprecated aliases for existing clients — they emit
+// Deprecation/Sunset headers and can be disabled entirely with
+// Config.DisableLegacy (iyp-serve -legacy=false), turning them into 410s.
 package server
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	"iyp/internal/cypher"
@@ -48,9 +59,16 @@ type Config struct {
 	// SlowQuery is the latency above which a completed query is logged
 	// through Logf (0 = 1s).
 	SlowQuery time.Duration
+	// DisableLegacy turns the deprecated /db/* aliases into 410 Gone
+	// responses instead of serving them (with deprecation headers).
+	DisableLegacy bool
 	// Logf receives slow-query and lifecycle logs (nil = silent).
 	Logf func(format string, args ...any)
 }
+
+// legacySunset is the advertised retirement date of the /db/* aliases,
+// sent in the Sunset header (RFC 8594) alongside Deprecation (RFC 9745).
+const legacySunset = "Sun, 01 Nov 2026 00:00:00 GMT"
 
 func (c Config) withDefaults() Config {
 	if c.DefaultTimeout <= 0 {
@@ -74,9 +92,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server serves read-only query access to a graph.
+// Server serves read-only query access to the MVCC generation store.
 type Server struct {
-	g     *graph.Graph
+	st    *graph.MVStore
 	mux   *http.ServeMux
 	cfg   Config
 	cache *cypher.PlanCache
@@ -84,9 +102,10 @@ type Server struct {
 	met   metrics
 }
 
-// New builds the API handler. An optional Config tunes timeouts, budgets
-// and the shared plan cache; New(g) uses production defaults.
-func New(g *graph.Graph, cfgs ...Config) *Server {
+// New builds the API handler over a generation store. An optional Config
+// tunes timeouts, budgets and the shared plan cache; New(st) uses
+// production defaults.
+func New(st *graph.MVStore, cfgs ...Config) *Server {
 	var cfg Config
 	if len(cfgs) > 0 {
 		cfg = cfgs[0]
@@ -97,24 +116,49 @@ func New(g *graph.Graph, cfgs ...Config) *Server {
 		cache = cypher.NewPlanCache(0)
 	}
 	s := &Server{
-		g:     g,
+		st:    st,
 		mux:   http.NewServeMux(),
 		cfg:   cfg,
 		cache: cache,
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 	}
-	// v1 API plus legacy /db/* aliases.
-	for _, prefix := range []string{"/v1", "/db"} {
-		s.mux.HandleFunc("POST "+prefix+"/query", s.handleQuery)
-		s.mux.HandleFunc("POST "+prefix+"/explain", s.handleExplain)
-		s.mux.HandleFunc("GET "+prefix+"/schema", s.handleSchema)
-		s.mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	endpoints := []struct {
+		pattern string // method + path, relative to the prefix
+		h       http.HandlerFunc
+	}{
+		{"POST %s/query", s.handleQuery},
+		{"POST %s/explain", s.handleExplain},
+		{"GET %s/schema", s.handleSchema},
+		{"GET %s/stats", s.handleStats},
+		{"GET %s/generations", s.handleGenerations},
+	}
+	for _, ep := range endpoints {
+		s.mux.HandleFunc(fmt.Sprintf(ep.pattern, "/v1"), ep.h)
+		s.mux.HandleFunc(fmt.Sprintf(ep.pattern, "/db"), s.legacy(ep.h))
 	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
 	return s
+}
+
+// legacy wraps a handler for the deprecated /db/* aliases: it advertises
+// the deprecation on every response and, when the aliases are disabled,
+// answers 410 Gone pointing clients at the /v1 path.
+func (s *Server) legacy(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		successor := "/v1" + strings.TrimPrefix(r.URL.Path, "/db")
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Sunset", legacySunset)
+		w.Header().Set("Link", `<`+successor+`>; rel="successor-version"`)
+		if s.cfg.DisableLegacy {
+			writeError(w, http.StatusGone, "legacy_disabled",
+				"the /db/* aliases are disabled on this server; use "+successor)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -135,6 +179,10 @@ type queryRequest struct {
 	// execution: 0 uses all CPUs, 1 forces serial execution. Results are
 	// identical at any setting. Capped at the server's CPU count.
 	Parallelism int `json:"parallelism"`
+	// Generation pins the query to a specific retained generation (see
+	// GET /v1/generations); 0 means the current one. Queries against a
+	// reclaimed generation fail with code "generation_gone".
+	Generation uint64 `json:"generation"`
 }
 
 type queryResponse struct {
@@ -145,12 +193,17 @@ type queryResponse struct {
 	Count     int   `json:"count"`
 	Truncated bool  `json:"truncated"`
 	TookMS    int64 `json:"took_ms"`
+	// Generation is the generation the query actually read — echo it back
+	// in the next request's "generation" field to keep reading the same
+	// immutable view across requests.
+	Generation uint64 `json:"generation"`
 }
 
 type errorResponse struct {
 	Error string `json:"error"`
 	// Code is a stable, machine-readable error class: bad_request,
-	// parse_error, query_error, timeout, canceled, too_many_requests.
+	// parse_error, query_error, timeout, canceled, too_many_requests,
+	// read_only, generation_gone, legacy_disabled.
 	Code string `json:"code"`
 }
 
@@ -220,7 +273,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
 		return
 	}
-	res, err := cypher.Exec(ctx, s.g, plan, cypher.ExecOptions{ParamVals: params, MaxRows: maxRows, Parallelism: parallelism})
+	// The public instance is read-only: writes would fork the generation
+	// history out from under every other client.
+	if plan.IsWrite() {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "read_only",
+			"this server is read-only: CREATE/MERGE/SET/DELETE/REMOVE are not allowed")
+		return
+	}
+
+	// Pin one immutable generation for the whole query: reads are
+	// lock-free and cannot observe concurrent ingestion.
+	var g *graph.Graph
+	var gen uint64
+	var release func()
+	if req.Generation > 0 {
+		var err error
+		g, release, err = s.st.AcquireGen(req.Generation)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "generation_gone", err.Error())
+			return
+		}
+		gen = req.Generation
+	} else {
+		g, gen, release = s.st.Acquire()
+	}
+	defer release()
+
+	res, err := cypher.Exec(ctx, g, plan, cypher.ExecOptions{ParamVals: params, MaxRows: maxRows, Parallelism: parallelism})
 	took := time.Since(t0)
 	s.met.observe(took)
 	if err != nil {
@@ -248,11 +328,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			took.Milliseconds(), len(rows), res.Truncated, req.Query)
 	}
 	writeJSON(w, http.StatusOK, queryResponse{
-		Columns:   res.Columns,
-		Rows:      rows,
-		Count:     len(rows),
-		Truncated: res.Truncated,
-		TookMS:    took.Milliseconds(),
+		Columns:    res.Columns,
+		Rows:       rows,
+		Count:      len(rows),
+		Truncated:  res.Truncated,
+		TookMS:     took.Milliseconds(),
+		Generation: gen,
+	})
+}
+
+// generationsResponse is the GET /v1/generations payload.
+type generationsResponse struct {
+	Current     uint64          `json:"current"`
+	Generations []graph.GenInfo `json:"generations"`
+}
+
+func (s *Server) handleGenerations(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, generationsResponse{
+		Current:     s.st.CurrentGen(),
+		Generations: s.st.Generations(),
 	})
 }
 
@@ -294,7 +388,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "missing query")
 		return
 	}
-	plan, err := cypher.Explain(s.g, req.Query)
+	plan, err := cypher.Explain(s.st.Current(), req.Query)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "parse_error", err.Error())
 		return
@@ -319,12 +413,16 @@ func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.g.Stats())
+	writeJSON(w, http.StatusOK, s.st.Current().Stats())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.write(w, s.cache.Stats())
+	s.met.write(w, s.cache.Stats(), genStats{
+		current:   s.st.CurrentGen(),
+		live:      s.st.Live(),
+		reclaimed: s.st.Reclaimed(),
+	})
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {

@@ -15,6 +15,12 @@ import (
 	"iyp/internal/graph"
 )
 
+// newTestServer wraps a freshly-built graph in an MVCC store, the only
+// form New accepts (the server always reads through pinned generations).
+func newTestServer(g *graph.Graph, cfgs ...Config) *Server {
+	return New(graph.NewMVStore(g), cfgs...)
+}
+
 func testGraph() *graph.Graph {
 	g := graph.New()
 	a := g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(2497)})
@@ -52,11 +58,12 @@ func get(t *testing.T, srv http.Handler, path string) *httptest.ResponseRecorder
 }
 
 type queryResp struct {
-	Columns   []string         `json:"columns"`
-	Rows      []map[string]any `json:"rows"`
-	Count     int              `json:"count"`
-	Truncated bool             `json:"truncated"`
-	TookMS    int64            `json:"took_ms"`
+	Columns    []string         `json:"columns"`
+	Rows       []map[string]any `json:"rows"`
+	Count      int              `json:"count"`
+	Truncated  bool             `json:"truncated"`
+	TookMS     int64            `json:"took_ms"`
+	Generation uint64           `json:"generation"`
 }
 
 type errResp struct {
@@ -65,7 +72,7 @@ type errResp struct {
 }
 
 func TestQueryEndpoint(t *testing.T) {
-	srv := New(testGraph())
+	srv := newTestServer(testGraph())
 	// The v1 path and the legacy alias serve the identical API.
 	for _, path := range []string{"/v1/query", "/db/query"} {
 		w := post(t, srv, path, `{"query": "MATCH (x:AS) RETURN x.asn AS asn ORDER BY asn"}`)
@@ -86,7 +93,7 @@ func TestQueryEndpoint(t *testing.T) {
 }
 
 func TestQueryEndpointWithParams(t *testing.T) {
-	srv := New(testGraph())
+	srv := newTestServer(testGraph())
 	w := post(t, srv, "/v1/query", `{"query": "MATCH (x:AS {asn: $asn}) RETURN count(x) AS n", "params": {"asn": 2497}}`)
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", w.Code, w.Body)
@@ -129,7 +136,7 @@ func TestNormalizeParamNestedMap(t *testing.T) {
 }
 
 func TestNestedMapParamThroughEndpoint(t *testing.T) {
-	srv := New(testGraph())
+	srv := newTestServer(testGraph())
 	w := post(t, srv, "/v1/query",
 		`{"query": "MATCH (x:AS {asn: $o.asn}) RETURN count(x) AS n", "params": {"o": {"asn": 2497}}}`)
 	if w.Code != http.StatusOK {
@@ -143,7 +150,7 @@ func TestNestedMapParamThroughEndpoint(t *testing.T) {
 }
 
 func TestQueryEndpointNodeSerialization(t *testing.T) {
-	srv := New(testGraph())
+	srv := newTestServer(testGraph())
 	w := post(t, srv, "/v1/query", `{"query": "MATCH (x:AS {asn: 2497}) RETURN x"}`)
 	var resp queryResp
 	_ = json.Unmarshal(w.Body.Bytes(), &resp)
@@ -161,7 +168,7 @@ func TestQueryEndpointNodeSerialization(t *testing.T) {
 }
 
 func TestQueryEndpointErrors(t *testing.T) {
-	srv := New(testGraph())
+	srv := newTestServer(testGraph())
 	cases := []struct {
 		body string
 		code int
@@ -191,7 +198,7 @@ func TestQueryEndpointErrors(t *testing.T) {
 }
 
 func TestMaxRowsTruncationFlag(t *testing.T) {
-	srv := New(bigGraph(50), Config{DefaultMaxRows: 10})
+	srv := newTestServer(bigGraph(50), Config{DefaultMaxRows: 10})
 	w := post(t, srv, "/v1/query", `{"query": "MATCH (n:N) RETURN n.i AS i"}`)
 	var resp queryResp
 	_ = json.Unmarshal(w.Body.Bytes(), &resp)
@@ -225,7 +232,7 @@ func TestMaxRowsTruncationFlag(t *testing.T) {
 }
 
 func TestQueryDeadlineReturns504(t *testing.T) {
-	srv := New(bigGraph(300))
+	srv := newTestServer(bigGraph(300))
 	t0 := time.Now()
 	w := post(t, srv, "/v1/query",
 		`{"query": "MATCH (a:N), (b:N), (c:N), (d:N) RETURN count(*)", "timeout_ms": 1}`)
@@ -244,7 +251,7 @@ func TestQueryDeadlineReturns504(t *testing.T) {
 }
 
 func TestQueryCancellationMidQuery(t *testing.T) {
-	srv := New(bigGraph(300))
+	srv := newTestServer(bigGraph(300))
 	// Cancel the request context shortly after the query starts — the
 	// same signal a dropped client connection produces.
 	ctx, cancel := context.WithCancel(context.Background())
@@ -267,7 +274,7 @@ func TestQueryCancellationMidQuery(t *testing.T) {
 }
 
 func TestConcurrencyLimiterRejects(t *testing.T) {
-	srv := New(testGraph(), Config{MaxConcurrent: 2})
+	srv := newTestServer(testGraph(), Config{MaxConcurrent: 2})
 	// Fill the semaphore directly: deterministic stand-in for two
 	// long-running queries in flight.
 	srv.sem <- struct{}{}
@@ -291,7 +298,7 @@ func TestConcurrencyLimiterRejects(t *testing.T) {
 }
 
 func TestMetricsEndpoint(t *testing.T) {
-	srv := New(testGraph())
+	srv := newTestServer(testGraph())
 	// Repeat one query so the plan cache records hits.
 	for i := 0; i < 3; i++ {
 		if w := post(t, srv, "/v1/query", `{"query": "MATCH (x:AS) RETURN count(x) AS n"}`); w.Code != 200 {
@@ -339,7 +346,7 @@ func TestMetricsEndpoint(t *testing.T) {
 func TestSlowQueryLogging(t *testing.T) {
 	var mu sync.Mutex
 	var logged []string
-	srv := New(testGraph(), Config{
+	srv := newTestServer(testGraph(), Config{
 		SlowQuery: time.Nanosecond, // everything is slow
 		Logf: func(format string, args ...any) {
 			mu.Lock()
@@ -358,7 +365,7 @@ func TestSlowQueryLogging(t *testing.T) {
 func TestConcurrentQueriesRace(t *testing.T) {
 	// Hammer one server from many goroutines; meaningful mainly under
 	// `go test -race`, which CI runs.
-	srv := New(testGraph(), Config{MaxConcurrent: 32})
+	srv := newTestServer(testGraph(), Config{MaxConcurrent: 32})
 	queries := []string{
 		`{"query": "MATCH (x:AS) RETURN x.asn AS asn ORDER BY asn"}`,
 		`{"query": "MATCH (x:AS)-[:ORIGINATE]-(p:Prefix) RETURN count(p) AS n"}`,
@@ -389,7 +396,7 @@ func TestConcurrentQueriesRace(t *testing.T) {
 }
 
 func TestSchemaEndpoint(t *testing.T) {
-	srv := New(testGraph())
+	srv := newTestServer(testGraph())
 	for _, path := range []string{"/v1/schema", "/db/schema"} {
 		w := get(t, srv, path)
 		if w.Code != http.StatusOK {
@@ -409,7 +416,7 @@ func TestSchemaEndpoint(t *testing.T) {
 }
 
 func TestStatsAndHealthEndpoints(t *testing.T) {
-	srv := New(testGraph())
+	srv := newTestServer(testGraph())
 	w := get(t, srv, "/v1/stats")
 	var st struct {
 		Nodes int
@@ -427,7 +434,7 @@ func TestStatsAndHealthEndpoints(t *testing.T) {
 }
 
 func TestExplainEndpoint(t *testing.T) {
-	srv := New(testGraph())
+	srv := newTestServer(testGraph())
 	w := post(t, srv, "/v1/explain", `{"query": "MATCH (x:AS)-[:ORIGINATE]->(p:Prefix) RETURN p"}`)
 	if w.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", w.Code, w.Body)
@@ -444,5 +451,164 @@ func TestExplainEndpoint(t *testing.T) {
 	// Parse errors surface as 400.
 	if w := post(t, srv, "/v1/explain", `{"query": "MATCH ("}`); w.Code != http.StatusBadRequest {
 		t.Errorf("bad query explain status = %d", w.Code)
+	}
+}
+
+func TestLegacyAliasDeprecationHeaders(t *testing.T) {
+	srv := newTestServer(testGraph())
+	w := post(t, srv, "/db/query", `{"query": "RETURN 1 AS n"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("legacy alias status = %d: %s", w.Code, w.Body)
+	}
+	if got := w.Header().Get("Deprecation"); got != "true" {
+		t.Errorf("Deprecation header = %q", got)
+	}
+	if w.Header().Get("Sunset") == "" {
+		t.Error("Sunset header missing on legacy alias")
+	}
+	if link := w.Header().Get("Link"); !strings.Contains(link, "/v1/query") || !strings.Contains(link, "successor-version") {
+		t.Errorf("Link header = %q, want successor-version pointing at /v1/query", link)
+	}
+	// The v1 path must NOT carry deprecation headers.
+	w = post(t, srv, "/v1/query", `{"query": "RETURN 1 AS n"}`)
+	if w.Header().Get("Deprecation") != "" || w.Header().Get("Sunset") != "" {
+		t.Error("deprecation headers leaked onto the /v1 path")
+	}
+}
+
+func TestLegacyAliasDisabled(t *testing.T) {
+	srv := newTestServer(testGraph(), Config{DisableLegacy: true})
+	for _, tc := range []struct{ method, path string }{
+		{http.MethodPost, "/db/query"},
+		{http.MethodGet, "/db/schema"},
+		{http.MethodGet, "/db/stats"},
+	} {
+		req := httptest.NewRequest(tc.method, tc.path, bytes.NewReader([]byte(`{"query":"RETURN 1 AS n"}`)))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusGone {
+			t.Errorf("%s %s = %d, want 410", tc.method, tc.path, w.Code)
+		}
+		var e errResp
+		_ = json.Unmarshal(w.Body.Bytes(), &e)
+		if e.Code != "legacy_disabled" {
+			t.Errorf("%s: code = %q", tc.path, e.Code)
+		}
+	}
+	// v1 still serves.
+	if w := post(t, srv, "/v1/query", `{"query": "RETURN 1 AS n"}`); w.Code != http.StatusOK {
+		t.Errorf("/v1/query with legacy disabled = %d", w.Code)
+	}
+}
+
+func TestWriteQueryRejectedReadOnly(t *testing.T) {
+	srv := newTestServer(testGraph())
+	for _, q := range []string{
+		`{"query": "CREATE (n:X) RETURN n"}`,
+		`{"query": "MATCH (x:AS) SET x.seen = true"}`,
+		`{"query": "MATCH (x:AS) DELETE x"}`,
+		`{"query": "MERGE (n:X {k: 1}) RETURN n"}`,
+		`{"query": "MATCH (x:AS) REMOVE x.asn"}`,
+		`{"query": "RETURN 1 AS n UNION MATCH (x) SET x.k = 1 RETURN 1 AS n"}`,
+	} {
+		w := post(t, srv, "/v1/query", q)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", q, w.Code)
+		}
+		var e errResp
+		_ = json.Unmarshal(w.Body.Bytes(), &e)
+		if e.Code != "read_only" {
+			t.Errorf("%s: code = %q, want read_only", q, e.Code)
+		}
+	}
+}
+
+func TestGenerationsEndpointAndPinning(t *testing.T) {
+	st := graph.NewMVStore(testGraph())
+	srv := New(st)
+
+	// Initially one generation.
+	w := get(t, srv, "/v1/generations")
+	if w.Code != http.StatusOK {
+		t.Fatalf("generations status = %d", w.Code)
+	}
+	var gens generationsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &gens); err != nil {
+		t.Fatal(err)
+	}
+	if gens.Current != 1 || len(gens.Generations) != 1 || !gens.Generations[0].Current {
+		t.Fatalf("initial generations = %+v", gens)
+	}
+
+	// Every query response reports the generation it read.
+	w = post(t, srv, "/v1/query", `{"query": "MATCH (x:AS) RETURN count(x) AS n"}`)
+	var resp queryResp
+	_ = json.Unmarshal(w.Body.Bytes(), &resp)
+	if resp.Generation != 1 {
+		t.Fatalf("query generation = %d, want 1", resp.Generation)
+	}
+
+	// Publish generation 2 out-of-band (the ingest path).
+	if _, err := st.Update(func(g *graph.Graph) error {
+		g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(64999)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unpinned queries see the new generation...
+	w = post(t, srv, "/v1/query", `{"query": "MATCH (x:AS) RETURN count(x) AS n"}`)
+	resp = queryResp{}
+	_ = json.Unmarshal(w.Body.Bytes(), &resp)
+	if resp.Generation != 2 || resp.Rows[0]["n"] != float64(3) {
+		t.Fatalf("unpinned after write: gen=%d rows=%v", resp.Generation, resp.Rows)
+	}
+	// ...while an explicitly pinned request still reads generation 1.
+	w = post(t, srv, "/v1/query", `{"query": "MATCH (x:AS) RETURN count(x) AS n", "generation": 1}`)
+	resp = queryResp{}
+	_ = json.Unmarshal(w.Body.Bytes(), &resp)
+	if resp.Generation != 1 || resp.Rows[0]["n"] != float64(2) {
+		t.Fatalf("pinned read: gen=%d rows=%v", resp.Generation, resp.Rows)
+	}
+
+	// /v1/generations now lists both.
+	w = get(t, srv, "/v1/generations")
+	gens = generationsResponse{}
+	_ = json.Unmarshal(w.Body.Bytes(), &gens)
+	if gens.Current != 2 || len(gens.Generations) != 2 {
+		t.Fatalf("generations after write = %+v", gens)
+	}
+
+	// A reclaimed/unknown generation is a clean 404.
+	w = post(t, srv, "/v1/query", `{"query": "RETURN 1 AS n", "generation": 99}`)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown generation status = %d, want 404", w.Code)
+	}
+	var e errResp
+	_ = json.Unmarshal(w.Body.Bytes(), &e)
+	if e.Code != "generation_gone" {
+		t.Errorf("code = %q, want generation_gone", e.Code)
+	}
+}
+
+func TestMetricsGenerationGauges(t *testing.T) {
+	st := graph.NewMVStore(testGraph())
+	srv := New(st)
+	if _, err := st.Update(func(g *graph.Graph) error {
+		g.AddNode([]string{"AS"}, nil)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	w := get(t, srv, "/metrics")
+	body := w.Body.String()
+	for _, want := range []string{
+		"iyp_generation_current 2",
+		"iyp_generations_live 2",
+		"iyp_generations_reclaimed_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
 	}
 }

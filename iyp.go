@@ -28,7 +28,7 @@ import (
 	"net/http"
 	"time"
 
-	_ "iyp/internal/algo" // registers the CALL algo.* procedures
+	"iyp/internal/algo" // imported for CALL algo.* registration + view cache hooks
 	"iyp/internal/core"
 	"iyp/internal/cypher"
 	"iyp/internal/graph"
@@ -78,8 +78,15 @@ type Options struct {
 }
 
 // DB is a built (or loaded) IYP knowledge graph.
+//
+// A DB is versioned: the graph is held as a sequence of immutable
+// generations behind an MVCC store. Reads (Query, Snapshot, Stats,
+// Explain) pin one generation and run lock-free against it; writes
+// (Update, ApplyBatch, and write queries through Query) build the next
+// generation from a copy-on-write clone and publish it atomically. Readers
+// are never blocked by writers and never observe a half-applied write.
 type DB struct {
-	g     *graph.Graph
+	store *graph.MVStore
 	cache *cypher.PlanCache
 	// Report holds the per-dataset import outcome (empty for loaded
 	// snapshots).
@@ -87,7 +94,11 @@ type DB struct {
 }
 
 func newDB(g *graph.Graph) *DB {
-	return &DB{g: g, cache: cypher.NewPlanCache(0)}
+	st := graph.NewMVStore(g)
+	// Drop the analytics CSR views of a generation when the store reclaims
+	// it, so superseded generations don't linger in the view cache.
+	st.OnRetire(algo.InvalidateViews)
+	return &DB{store: st, cache: cypher.NewPlanCache(0)}
 }
 
 // Build constructs the knowledge graph: simulate the Internet, render the
@@ -123,11 +134,107 @@ func Build(ctx context.Context, opts Options) (*DB, error) {
 }
 
 // Wrap exposes an existing graph as a DB (used by tests and studies that
-// build through internal/core directly).
+// build through internal/core directly). The DB takes ownership: the graph
+// is frozen as generation 1 and must not be mutated directly afterwards —
+// use Update or write queries.
 func Wrap(g *graph.Graph) *DB { return newDB(g) }
 
-// Graph returns the underlying property graph.
-func (db *DB) Graph() *graph.Graph { return db.g }
+// Graph returns the current generation's graph. It is immutable (reads
+// are lock-free; mutations panic): to change the graph, use Update,
+// ApplyBatch, or a write query through Query.
+func (db *DB) Graph() *graph.Graph { return db.store.Current() }
+
+// Store exposes the underlying MVCC generation store for callers that
+// need pin-level control (the HTTP server, benchmarks).
+func (db *DB) Store() *graph.MVStore { return db.store }
+
+// Update runs fn against a private mutable clone of the current
+// generation and, when fn succeeds, publishes the result as the next
+// generation, returning its number. On error the clone is discarded and
+// the DB is untouched — writes are atomic at generation granularity.
+// Concurrent readers keep their pinned generation throughout.
+func (db *DB) Update(fn func(*graph.Graph) error) (uint64, error) {
+	return db.store.Update(fn)
+}
+
+// ApplyBatch publishes a staged write-batch (see graph.NewBatch) as one
+// new generation and reports what it created plus the generation number.
+func (db *DB) ApplyBatch(b *graph.Batch) (graph.BatchResult, uint64, error) {
+	return db.store.ApplyBatch(b)
+}
+
+// CurrentGeneration returns the number of the generation serving reads.
+func (db *DB) CurrentGeneration() uint64 { return db.store.CurrentGen() }
+
+// Generations lists the generations currently available to SnapshotAt /
+// WithGeneration, newest last.
+func (db *DB) Generations() []graph.GenInfo { return db.store.Generations() }
+
+// RetainGenerations sets how many superseded generations stay available
+// to SnapshotAt / WithGeneration with no reader pinning them (default
+// graph.DefaultRetain). Pinned generations always survive until released.
+func (db *DB) RetainGenerations(n int) { db.store.SetRetain(n) }
+
+// Snapshot pins the current generation and returns it as a read view plus
+// a release function. Until release is called the snapshot's generation
+// stays available, unaffected by concurrent writes; every query on it is
+// lock-free. release is idempotent; forgetting it keeps the generation
+// alive (holding memory) until the process exits.
+func (db *DB) Snapshot() (*Snapshot, func()) {
+	g, gen, release := db.store.Acquire()
+	return &Snapshot{db: db, g: g, gen: gen}, release
+}
+
+// SnapshotAt pins a specific retained generation — the AS-OF read path.
+// It fails when gen has been reclaimed or never published.
+func (db *DB) SnapshotAt(gen uint64) (*Snapshot, func(), error) {
+	g, release, err := db.store.AcquireGen(gen)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Snapshot{db: db, g: g, gen: gen}, release, nil
+}
+
+// Snapshot is a pinned, immutable read view of one generation. All reads
+// on it are lock-free and mutually consistent: two queries on the same
+// Snapshot always see the same graph, regardless of concurrent writes to
+// the DB. A Snapshot is valid until its release function is called.
+type Snapshot struct {
+	db  *DB
+	g   *graph.Graph
+	gen uint64
+}
+
+// Generation returns the pinned generation number.
+func (s *Snapshot) Generation() uint64 { return s.gen }
+
+// Graph returns the pinned (immutable) graph.
+func (s *Snapshot) Graph() *graph.Graph { return s.g }
+
+// Stats summarizes the pinned generation's contents.
+func (s *Snapshot) Stats() graph.Stats { return s.g.Stats() }
+
+// Explain describes how a query would be matched against the pinned
+// generation without executing it.
+func (s *Snapshot) Explain(q string) (string, error) {
+	return cypher.Explain(s.g, q)
+}
+
+// Query runs a read-only Cypher query against the pinned generation,
+// mirroring DB.Query. Write queries fail: a snapshot is immutable by
+// definition — run writes through DB.Query or DB.Update instead.
+func (s *Snapshot) Query(ctx context.Context, q string, opts ...QueryOption) (*cypher.Result, error) {
+	cfg, ctx, cancel := buildQueryConfig(ctx, opts)
+	defer cancel()
+	if cfg.genSet && cfg.generation != s.gen {
+		return nil, fmt.Errorf("iyp: WithGeneration(%d) conflicts with snapshot generation %d", cfg.generation, s.gen)
+	}
+	plan, err := s.db.cache.Get(q)
+	if err != nil {
+		return nil, err
+	}
+	return cypher.Exec(ctx, s.g, plan, cfg.execOptions())
+}
 
 // QueryOption configures a single Query call.
 type QueryOption func(*queryConfig)
@@ -137,6 +244,33 @@ type queryConfig struct {
 	timeout     time.Duration
 	maxRows     int
 	parallelism int
+	generation  uint64
+	genSet      bool
+}
+
+func (c *queryConfig) execOptions() cypher.ExecOptions {
+	return cypher.ExecOptions{
+		Params:      c.params,
+		MaxRows:     c.maxRows,
+		Parallelism: c.parallelism,
+	}
+}
+
+// buildQueryConfig applies options and attaches the timeout to ctx. The
+// returned cancel is always non-nil.
+func buildQueryConfig(ctx context.Context, opts []QueryOption) (queryConfig, context.Context, context.CancelFunc) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cancel := func() {}
+	if cfg.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+	}
+	return cfg, ctx, cancel
 }
 
 // WithParams supplies $parameter values for the query.
@@ -168,53 +302,72 @@ func WithParallelism(n int) QueryOption {
 	return func(c *queryConfig) { c.parallelism = n }
 }
 
+// WithGeneration pins the query to a specific retained generation instead
+// of the current one — the foundation for AS-OF queries. The query fails
+// when the generation has been reclaimed (see RetainGenerations) and when
+// combined with a write query (superseded generations are immutable
+// history).
+func WithGeneration(gen uint64) QueryOption {
+	return func(c *queryConfig) { c.generation = gen; c.genSet = true }
+}
+
 // Query runs a Cypher query under ctx. Cancellation and deadlines are
 // honoured mid-query. Parsed plans are cached per DB, so repeating a query
-// string skips the parser. Options tune parameters, deadline and row
-// budget per call.
+// string skips the parser. Options tune parameters, deadline, row budget
+// and generation pinning per call.
+//
+// Reads run against a snapshot acquired and released internally, so every
+// call sees one consistent generation even while writes land concurrently.
+// Write queries (CREATE, MERGE, SET, DELETE, REMOVE) run as an atomic
+// writer transaction: they build the next generation and publish it on
+// success, or leave the DB untouched on error.
 func (db *DB) Query(ctx context.Context, q string, opts ...QueryOption) (*cypher.Result, error) {
-	var cfg queryConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if cfg.timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
-		defer cancel()
-	}
+	cfg, ctx, cancel := buildQueryConfig(ctx, opts)
+	defer cancel()
 	plan, err := db.cache.Get(q)
 	if err != nil {
 		return nil, err
 	}
-	return cypher.Exec(ctx, db.g, plan, cypher.ExecOptions{
-		Params:      cfg.params,
-		MaxRows:     cfg.maxRows,
-		Parallelism: cfg.parallelism,
-	})
+	if plan.IsWrite() {
+		if cfg.genSet {
+			return nil, fmt.Errorf("iyp: write query cannot run against pinned generation %d (superseded generations are immutable)", cfg.generation)
+		}
+		var res *cypher.Result
+		if _, err := db.store.Update(func(g *graph.Graph) error {
+			var err error
+			res, err = cypher.Exec(ctx, g, plan, cfg.execOptions())
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+	var g *graph.Graph
+	var release func()
+	if cfg.genSet {
+		g, release, err = db.store.AcquireGen(cfg.generation)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		g, _, release = db.store.Acquire()
+	}
+	defer release()
+	return cypher.Exec(ctx, g, plan, cfg.execOptions())
 }
 
-// QueryParams runs a Cypher query with $parameters.
-//
-// Deprecated: use Query with WithParams.
-func (db *DB) QueryParams(q string, params map[string]Value) (*cypher.Result, error) {
-	return db.Query(context.Background(), q, WithParams(params))
-}
-
-// Stats summarizes graph contents.
-func (db *DB) Stats() graph.Stats { return db.g.Stats() }
+// Stats summarizes the current generation's contents.
+func (db *DB) Stats() graph.Stats { return db.Graph().Stats() }
 
 // Explain describes how a query would be matched (anchor and access-path
 // choice per MATCH pattern) without executing it.
 func (db *DB) Explain(q string) (string, error) {
-	return cypher.Explain(db.g, q)
+	return cypher.Explain(db.Graph(), q)
 }
 
-// Save writes a compressed snapshot to path (the equivalent of the weekly
-// public dumps, paper §3.1).
-func (db *DB) Save(path string) error { return db.g.SaveFile(path) }
+// Save writes a compressed snapshot of the current generation to path (the
+// equivalent of the weekly public dumps, paper §3.1).
+func (db *DB) Save(path string) error { return db.Graph().SaveFile(path) }
 
 // Load reads a snapshot produced by Save.
 func Load(path string) (*DB, error) {
@@ -230,7 +383,7 @@ func Load(path string) (*DB, error) {
 // GET /v1/stats (plus legacy /db/* aliases), GET /metrics and
 // GET /healthz. The handler shares the DB's plan cache.
 func (db *DB) Handler() http.Handler {
-	return server.New(db.g, server.Config{Cache: db.cache})
+	return server.New(db.store, server.Config{Cache: db.cache})
 }
 
 // ListenAndServe runs the query API on addr until ctx is done.

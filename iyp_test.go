@@ -282,15 +282,15 @@ func TestListenAndServeLifecycle(t *testing.T) {
 
 func TestValueHelpers(t *testing.T) {
 	db := testDB(t)
-	res, err := db.QueryParams(`
+	res, err := db.Query(context.Background(), `
 RETURN $s AS s, $i AS i, $f AS f, $b AS b, size($l) AS n`,
-		map[string]iyp.Value{
+		iyp.WithParams(map[string]iyp.Value{
 			"s": iyp.StringValue("x"),
 			"i": iyp.IntValue(7),
 			"f": iyp.FloatValue(2.5),
 			"b": iyp.BoolValue(true),
 			"l": iyp.ListValue(iyp.IntValue(1), iyp.IntValue(2)),
-		})
+		}))
 	if err != nil {
 		t.Fatal(err)
 	}
