@@ -10,6 +10,7 @@
 //	iyp-bench -scale 0.5 -reps 10  # bigger graph, more repetitions
 //	iyp-bench -baseline BENCH_5.json   # compare against a tracked baseline
 //	iyp-bench -contention          # reader latency under a concurrent writer
+//	iyp-bench -overload -o OVERLOAD.json  # goodput at 4x capacity, governed vs not
 //
 // Every query runs at each worker budget; per (query, workers) the best
 // of -reps runs is kept (the usual way to suppress scheduler noise) and
@@ -83,7 +84,8 @@ func main() {
 		reps       = flag.Int("reps", 5, "repetitions per (query, workers); best run is kept")
 		baseline   = flag.String("baseline", "", "compare this run against a previously written baseline file")
 		contention = flag.Bool("contention", false, "measure reader latency under a concurrent writer (MVCC vs RWMutex)")
-		duration   = flag.Duration("duration", 3*time.Second, "per-mode measurement window for -contention")
+		overload   = flag.Bool("overload", false, "measure cheap-query goodput at 4x capacity, governed vs ungoverned")
+		duration   = flag.Duration("duration", 3*time.Second, "per-mode measurement window for -contention / -overload")
 		readers    = flag.Int("readers", 4, "concurrent reader goroutines for -contention")
 	)
 	flag.Parse()
@@ -97,6 +99,10 @@ func main() {
 
 	if *contention {
 		runContention(db, *scale, *duration, *readers, *out)
+		return
+	}
+	if *overload {
+		runOverload(db, *scale, *duration, *out)
 		return
 	}
 

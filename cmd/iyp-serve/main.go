@@ -1,7 +1,10 @@
 // Command iyp-serve runs the public-instance query API (paper §3.1) over a
 // snapshot: POST /v1/query with {"query": "...", "params": {...},
 // "timeout_ms": ..., "max_rows": ...}, plus POST /v1/explain,
-// GET /v1/schema, GET /v1/stats, GET /metrics and GET /healthz. The
+// GET /v1/schema, GET /v1/stats, GET /v1/health, GET /metrics and
+// GET /healthz. Overload governance (admission queue, per-client budgets,
+// degrade ladder, per-query memory caps) is tuned with -queue-depth,
+// -client-qps and -max-query-mem. The
 // original /db/* paths remain as deprecated aliases (Deprecation/Sunset
 // headers); start with -legacy=false to disable them (410 Gone).
 //
@@ -63,7 +66,12 @@ func main() {
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "cap on the per-request timeout_ms field")
 		maxRows     = flag.Int("max-rows", 100000, "default per-query row budget")
-		concurrency = flag.Int("concurrency", 64, "max queries executing at once (excess gets 429)")
+		concurrency = flag.Int("concurrency", 64, "max queries executing at once")
+		queueDepth  = flag.Int("queue-depth", 0, "admission queue beyond -concurrency (0 = 2x concurrency, negative disables queueing)")
+		queueWait   = flag.Duration("max-queue-wait", 2*time.Second, "longest a request may wait in the admission queue before a 503")
+		clientQPS   = flag.Float64("client-qps", 0, "per-client request budget in queries/sec (0 disables the token buckets)")
+		clientBurst = flag.Float64("client-burst", 0, "per-client burst allowance (0 = 2x -client-qps)")
+		maxQueryMem = flag.Int64("max-query-mem", 256<<20, "per-query memory budget in bytes (negative disables)")
 		slowQuery   = flag.Duration("slow-query", time.Second, "log queries slower than this")
 		legacy      = flag.Bool("legacy", true, "serve the deprecated /db/* aliases (false answers them with 410)")
 	)
@@ -81,6 +89,11 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		DefaultMaxRows: *maxRows,
 		MaxConcurrent:  *concurrency,
+		QueueDepth:     *queueDepth,
+		MaxQueueWait:   *queueWait,
+		ClientQPS:      *clientQPS,
+		ClientBurst:    *clientBurst,
+		MaxQueryMem:    *maxQueryMem,
 		SlowQuery:      *slowQuery,
 		DisableLegacy:  !*legacy,
 		Logf:           log.Printf,

@@ -53,12 +53,18 @@ func (st *aggState) add(ec *evalCtx, r row, fn *FnCall) error {
 		if st.seen[k] {
 			return nil
 		}
+		if err := st.chargeBuf(ec, int64(len(k))+16); err != nil {
+			return err
+		}
 		st.seen[k] = true
 	}
 	switch fn.Name {
 	case "count":
 		st.count++
 	case "collect":
+		if err := st.chargeBuf(ec, valBytes(v)); err != nil {
+			return err
+		}
 		st.vals = append(st.vals, v)
 	case "sum", "avg":
 		st.count++
@@ -100,13 +106,29 @@ func (st *aggState) add(ec *evalCtx, r row, fn *FnCall) error {
 			st.pct = p
 			st.pctSet = true
 		}
+		if err := st.chargeBuf(ec, valBytes(v)); err != nil {
+			return err
+		}
 		st.vals = append(st.vals, v)
 	case "stdev", "stdevp":
+		if err := st.chargeBuf(ec, valBytes(v)); err != nil {
+			return err
+		}
 		st.vals = append(st.vals, v)
 	default:
 		return &Error{Msg: "unknown aggregate " + fn.Name + "()"}
 	}
 	return nil
+}
+
+// chargeBuf accounts growth of this state's retained buffers (collect /
+// percentile / stdev values, DISTINCT keys) against the query's memory
+// budget, when one is armed.
+func (st *aggState) chargeBuf(ec *evalCtx, n int64) error {
+	if ec == nil || ec.ex == nil || ec.ex.mem == nil {
+		return nil
+	}
+	return ec.ex.mem.charge(n)
 }
 
 // finish produces the aggregate result.

@@ -79,6 +79,9 @@ func (ex *executor) applyCall(c *CallClause, in []row, cap int, final bool) ([]r
 					return nil
 				}
 			}
+			if err := ex.chargeRow(nr); err != nil {
+				return err
+			}
 			out = append(out, nr)
 			if cap >= 0 && len(out) >= cap {
 				return errStop

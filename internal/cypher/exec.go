@@ -36,10 +36,11 @@ type executor struct {
 	res    *Result
 	params map[string]Val
 	ctx    context.Context
-	q      *Query // the UNION branch being executed (for parallel eligibility)
-	budget int    // max final result rows (0 = unlimited)
-	par    int    // resolved worker budget (>= 1)
-	ticks  int    // cooperative-cancellation tick counter (single-threaded paths)
+	q      *Query      // the UNION branch being executed (for parallel eligibility)
+	budget int         // max final result rows (0 = unlimited)
+	par    int         // resolved worker budget (>= 1)
+	ticks  int         // cooperative-cancellation tick counter (single-threaded paths)
+	mem    *memTracker // per-query memory accountant (nil = no budget)
 }
 
 // tickMask controls how often cooperative loops poll ctx.Err(): every
@@ -87,6 +88,13 @@ type ExecOptions struct {
 	// larger value caps the pool at that many workers. Results are
 	// byte-identical at every setting.
 	Parallelism int
+	// MaxMemBytes, when > 0, bounds the memory a query may materialize
+	// across row emission, UNWIND expansion, projection, aggregation
+	// buffers, sort keys and CALL streams. A query passing the budget
+	// aborts with an error wrapping ErrMemoryBudget. The accounting is a
+	// conservative cumulative over-approximation (see mem.go), so real
+	// allocations stay bounded by a small multiple of the budget.
+	MaxMemBytes int64
 }
 
 // Run parses and executes src against g. params provides $parameter values
@@ -117,7 +125,17 @@ func RunQuery(g *graph.Graph, q *Query, params map[string]graph.Value) (*Result,
 // Exec executes an already-parsed query under ctx with the given options.
 // It is the engine's full-control entry point; Run, RunCtx and RunQuery
 // are thin wrappers around it.
-func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Result, error) {
+//
+// Exec never panics: a panic anywhere in execution (including inside
+// registered CALL procedures and parallel match workers) is recovered and
+// returned as an error wrapping ErrQueryPanic, so one crashing plan cannot
+// terminate a process serving other queries.
+func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, panicError(p)
+		}
+	}()
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -149,7 +167,9 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Res
 	for k, v := range opts.ParamVals {
 		params[k] = v
 	}
-	res, err := runSingle(ctx, g, q, params, branchBudget, par)
+	// One tracker for the whole statement: UNION branches share the budget.
+	mem := newMemTracker(opts.MaxMemBytes)
+	res, err = runSingle(ctx, g, q, params, branchBudget, par, mem)
 	if err != nil {
 		return nil, err
 	}
@@ -157,7 +177,7 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Res
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
-		next, err := runSingle(ctx, g, cur.Next, params, 0, par)
+		next, err := runSingle(ctx, g, cur.Next, params, 0, par, mem)
 		if err != nil {
 			return nil, err
 		}
@@ -194,14 +214,14 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (*Res
 }
 
 // runSingle executes one UNION branch.
-func runSingle(ctx context.Context, g *graph.Graph, q *Query, params map[string]Val, budget, par int) (*Result, error) {
+func runSingle(ctx context.Context, g *graph.Graph, q *Query, params map[string]Val, budget, par int, mem *memTracker) (*Result, error) {
 	if params == nil {
 		params = map[string]Val{}
 	}
 	if par < 1 {
 		par = 1
 	}
-	ex := &executor{g: g, params: params, res: &Result{g: g}, ctx: ctx, q: q, budget: budget, par: par}
+	ex := &executor{g: g, params: params, res: &Result{g: g}, ctx: ctx, q: q, budget: budget, par: par, mem: mem}
 	ex.ec = &evalCtx{g: g, params: params, ex: ex}
 
 	rows := []row{{}}
@@ -381,6 +401,13 @@ func (ex *executor) applyMatch(c *MatchClause, in []row, cap int) ([]row, error)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// A panic in a goroutine would kill the process regardless of
+			// Exec's own recovery; convert it to this worker's error.
+			defer func() {
+				if p := recover(); p != nil {
+					errs[w] = panicError(p)
+				}
+			}()
 			for {
 				if err := ctxErr(ex.ctx); err != nil {
 					errs[w] = err
@@ -434,6 +461,9 @@ func (ex *executor) matchOnce(patterns []PatternPath, where Expr, seed row, limi
 			if b, null := truth(v); null || !b {
 				return nil
 			}
+		}
+		if err := ex.chargeRow(m.binding); err != nil {
+			return err
 		}
 		out = append(out, m.binding.clone())
 		if limit >= 0 && len(out) >= limit {
@@ -543,6 +573,9 @@ func (ex *executor) applyUnwind(c *UnwindClause, in []row) ([]row, error) {
 			}
 			nr := r.clone()
 			nr.set(c.Alias, e)
+			if err := ex.chargeRow(nr); err != nil {
+				return nil, err
+			}
 			out = append(out, nr)
 		}
 	}
@@ -687,6 +720,9 @@ func (ex *executor) project(items []ReturnItem, distinct bool, in []row) ([]row,
 				}
 				nr = append(nr, binding{cols[i], v})
 			}
+			if err := ex.chargeRow(nr); err != nil {
+				return nil, nil, nil, err
+			}
 			projected = append(projected, nr)
 			origs = append(origs, r)
 		}
@@ -775,6 +811,17 @@ func (ex *executor) aggregate(items []ReturnItem, cols []string, in []row) ([]ro
 		}
 		grp := groups[key]
 		if grp == nil {
+			// Aggregation-map growth: each new group retains its key string,
+			// key values and a representative input row for the output pass.
+			if ex.mem != nil {
+				n := int64(len(key)) + rowBytes(r)
+				for _, kv := range keyParts {
+					n += valBytes(kv)
+				}
+				if err := ex.mem.charge(n); err != nil {
+					return nil, err
+				}
+			}
 			grp = &group{rep: r, keys: keyParts}
 			for _, p := range plans {
 				for _, fc := range p.aggs {
@@ -948,6 +995,9 @@ func (ex *executor) orderRows(rows []row, origs []row, sortItems []SortItem) err
 			v, err := ex.ec.eval(si.Expr, env)
 			if err != nil {
 				return err
+			}
+			if err := ex.chargeVal(v); err != nil {
+				return err // sort buffers count against the memory budget
 			}
 			ks[j] = v
 		}

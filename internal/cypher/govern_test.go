@@ -1,0 +1,155 @@
+package cypher
+
+// Tests for per-query resource governance: the memory budget
+// (ExecOptions.MaxMemBytes / ErrMemoryBudget) and panic recovery
+// (ErrQueryPanic) in both the serial executor and the morsel workers.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+func init() {
+	RegisterProc(ProcSpec{
+		Name: "test.crash",
+		Cols: []string{"x"},
+		Help: "Always panics (recovery tests).",
+		Impl: func(pc ProcContext, cfg map[string]Val, emit func([]Val) error) error {
+			panic("injected proc panic")
+		},
+	})
+}
+
+func execQ(t *testing.T, g *graph.Graph, text string, opts ExecOptions) (*Result, error) {
+	t.Helper()
+	q, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	return Exec(context.Background(), g, q, opts)
+}
+
+// TestMemoryBudgetPaths drives every charge point — match rows (serial and
+// parallel), UNWIND expansion, aggregation buffers, collect() growth and
+// ORDER BY keys — into a budget too small to hold them, and requires the
+// typed error each time.
+func TestMemoryBudgetPaths(t *testing.T) {
+	g := buildWideIYP(t, 400)
+	cases := []struct {
+		name string
+		q    string
+		opts ExecOptions
+	}{
+		{"serial_rows", `MATCH (a:AS) RETURN a.asn`, ExecOptions{Parallelism: 1}},
+		{"parallel_rows", `MATCH (a:AS)-[:PEERS_WITH]->(b:AS) RETURN a.asn, b.asn`, ExecOptions{Parallelism: 4}},
+		{"unwind", `UNWIND range(1, 100000) AS i RETURN i`, ExecOptions{}},
+		{"aggregation_groups", `MATCH (a:AS) RETURN a.asn AS asn, count(*) AS n`, ExecOptions{}},
+		{"collect_buffer", `MATCH (a:AS) RETURN collect(a.asn) AS all`, ExecOptions{}},
+		{"order_by_keys", `MATCH (a:AS) RETURN a.asn ORDER BY a.asn DESC`, ExecOptions{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := tc.opts
+			opts.MaxMemBytes = 512
+			_, err := execQ(t, g, tc.q, opts)
+			if !errors.Is(err, ErrMemoryBudget) {
+				t.Fatalf("got %v, want ErrMemoryBudget", err)
+			}
+			// The same query succeeds with room to breathe.
+			opts.MaxMemBytes = 1 << 30
+			if _, err := execQ(t, g, tc.q, opts); err != nil {
+				t.Fatalf("with a 1 GiB budget: %v", err)
+			}
+			// And with the budget disabled (the default).
+			opts.MaxMemBytes = 0
+			if _, err := execQ(t, g, tc.q, opts); err != nil {
+				t.Fatalf("with no budget: %v", err)
+			}
+		})
+	}
+}
+
+// TestMemoryBudgetBoundsHeap is the acceptance check that the accounting is
+// conservative: a query whose full result would be tens of megabytes, run
+// under a 1 MiB budget, must abort before the process heap grows past a
+// small multiple of that budget.
+func TestMemoryBudgetBoundsHeap(t *testing.T) {
+	g := graph.New()
+	// ~50k nodes × ~200-byte payload ≈ 10 MiB of would-be result rows.
+	for i := 0; i < 50000; i++ {
+		g.AddNode([]string{"Blob"}, graph.Props{
+			"i": graph.Int(int64(i)),
+			"s": graph.String(fmt.Sprintf("%0200d", i)),
+		})
+	}
+	q, err := Parse(`MATCH (b:Blob) RETURN b.s, b.i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	const budget = 1 << 20
+	_, execErr := Exec(context.Background(), g, q, ExecOptions{MaxMemBytes: budget, Parallelism: 1})
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if !errors.Is(execErr, ErrMemoryBudget) {
+		t.Fatalf("got %v, want ErrMemoryBudget", execErr)
+	}
+	// Generous bound: the retained heap may grow by runtime noise and the
+	// small prefix of rows materialized before the budget tripped, but not
+	// by anything near the full result set.
+	if grew := int64(after.HeapAlloc) - int64(before.HeapAlloc); grew > 8*budget {
+		t.Fatalf("heap grew %d bytes under a %d-byte budget", grew, budget)
+	}
+}
+
+func TestPanicRecoverySerial(t *testing.T) {
+	g := buildWideIYP(t, 10)
+	_, err := execQ(t, g, `CALL test.crash() YIELD x RETURN x`, ExecOptions{})
+	if !errors.Is(err, ErrQueryPanic) {
+		t.Fatalf("got %v, want ErrQueryPanic", err)
+	}
+	// The executor is reusable after a recovered panic.
+	if _, err := execQ(t, g, `MATCH (a:AS) RETURN count(a)`, ExecOptions{}); err != nil {
+		t.Fatalf("query after recovered panic: %v", err)
+	}
+}
+
+// TestPanicRecoveryMorselWorker injects a panic inside a morsel worker
+// goroutine (where an unrecovered panic would kill the whole process, not
+// just the query) and requires the in-order merge to surface it as a typed
+// error.
+func TestPanicRecoveryMorselWorker(t *testing.T) {
+	g := buildWideIYP(t, 400)
+	testMorselHook = func(i int) {
+		if i == 1 {
+			panic("injected morsel panic")
+		}
+	}
+	defer func() { testMorselHook = nil }()
+
+	// Parallel-eligible shape: single path, label-scan anchor over 400
+	// candidates (> 2 morsels), no writes.
+	_, err := execQ(t, g, `MATCH (a:AS)-[:PEERS_WITH]->(b:AS) RETURN a.asn, b.asn`,
+		ExecOptions{Parallelism: 4})
+	if !errors.Is(err, ErrQueryPanic) {
+		t.Fatalf("got %v, want ErrQueryPanic", err)
+	}
+
+	testMorselHook = nil
+	if _, err := execQ(t, g, `MATCH (a:AS)-[:PEERS_WITH]->(b:AS) RETURN count(*)`,
+		ExecOptions{Parallelism: 4}); err != nil {
+		t.Fatalf("query after recovered worker panic: %v", err)
+	}
+}

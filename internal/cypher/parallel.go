@@ -159,11 +159,26 @@ func (ex *executor) matchOnceParallel(path PatternPath, where Expr, push []pushd
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic escaping a worker goroutine would kill the process;
+			// recover per worker and let the in-order merge surface it as
+			// this morsel's error (claimed is the morsel being run when the
+			// panic fired).
+			claimed := -1
+			defer func() {
+				if p := recover(); p != nil && claimed >= 0 && claimed < n {
+					errs[claimed] = panicError(p)
+					front.errorAt(claimed)
+				}
+			}()
 			wm := &matcher{ec: ex.ec, g: ex.g, ctx: ex.ctx, binding: seed.clone(), push: push}
 			for {
 				i := int(nextMorsel.Add(1) - 1)
 				if i >= n {
 					return
+				}
+				claimed = i
+				if testMorselHook != nil {
+					testMorselHook(i)
 				}
 				if front.skip(i) {
 					front.complete(i, 0)
@@ -201,6 +216,11 @@ func (ex *executor) matchOnceParallel(path PatternPath, where Expr, push []pushd
 	return out, true, nil
 }
 
+// testMorselHook, when non-nil, runs at the start of every morsel. It
+// exists so tests can inject a worker-goroutine panic and prove the
+// per-worker recovery path; production code never sets it.
+var testMorselHook func(morselIndex int)
+
 // runMorsel enumerates one morsel's candidates on the worker's private
 // matcher. The binding and used stacks are push/pop balanced, so the same
 // matcher is reused for the worker's next morsel without reallocation.
@@ -215,6 +235,11 @@ func (ex *executor) runMorsel(m *matcher, path PatternPath, plan pathPlan, morse
 			if b, null := truth(v); null || !b {
 				return nil
 			}
+		}
+		// The tracker is shared by every worker of this query (one atomic),
+		// so the budget holds across the whole morsel fan-out.
+		if err := ex.chargeRow(m.binding); err != nil {
+			return err
 		}
 		out = append(out, m.binding.clone())
 		if limit >= 0 && len(out) >= limit {

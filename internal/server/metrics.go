@@ -24,16 +24,30 @@ type metrics struct {
 	errors    atomic.Uint64 // parse/runtime failures
 	timeouts  atomic.Uint64 // deadline-exceeded queries
 	canceled  atomic.Uint64 // client-cancelled queries
-	rejected  atomic.Uint64 // 429s from the concurrency limiter
 	truncated atomic.Uint64 // responses with truncated=true
 	rows      atomic.Uint64 // result rows returned to clients
 	inflight  atomic.Int64  // queries currently executing
+
+	// Admission-control outcomes (see admission.go).
+	sheds    [len(shedReasons)]atomic.Uint64 // indexed like shedReasons
+	memKills atomic.Uint64                   // queries killed by the memory budget
+	panics   atomic.Uint64                   // query panics recovered by the executor
 
 	// Histogram: buckets[i] counts observations <= latencyBuckets[i];
 	// buckets[len] is the +Inf overflow. Non-cumulative internally,
 	// accumulated at render time per Prometheus convention.
 	buckets    [len(latencyBuckets) + 1]atomic.Uint64
 	durationNS atomic.Uint64
+}
+
+// shed counts one request shed for the given reason (a shedReasons value).
+func (m *metrics) shed(reason string) {
+	for i, r := range shedReasons {
+		if r == reason {
+			m.sheds[i].Add(1)
+			return
+		}
+	}
 }
 
 func (m *metrics) observe(d time.Duration) {
@@ -56,9 +70,17 @@ type genStats struct {
 	reclaimed uint64 // superseded generations reclaimed so far
 }
 
+// admStats carries the admission-layer gauges into the renderer.
+type admStats struct {
+	queued        int64  // requests waiting in the admission queue
+	level         int64  // current degrade-ladder level (0-3)
+	quarantined   int    // query texts currently quarantined
+	watchdogKills uint64 // runaway queries hard-cancelled by the watchdog
+}
+
 // write renders the Prometheus text format, folding in plan-cache stats
-// and the generation-store gauges.
-func (m *metrics) write(w io.Writer, cache cypher.CacheStats, gens genStats) {
+// and the generation-store and admission gauges.
+func (m *metrics) write(w io.Writer, cache cypher.CacheStats, gens genStats, adm admStats) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -69,10 +91,21 @@ func (m *metrics) write(w io.Writer, cache cypher.CacheStats, gens genStats) {
 	counter("iyp_query_errors_total", "Queries that failed to parse or execute.", m.errors.Load())
 	counter("iyp_query_timeouts_total", "Queries stopped by a deadline.", m.timeouts.Load())
 	counter("iyp_query_canceled_total", "Queries stopped by client cancellation.", m.canceled.Load())
-	counter("iyp_query_rejected_total", "Requests rejected by the concurrency limiter.", m.rejected.Load())
 	counter("iyp_query_truncated_total", "Responses truncated by a row budget.", m.truncated.Load())
 	counter("iyp_rows_returned_total", "Result rows returned to clients.", m.rows.Load())
 	gauge("iyp_queries_in_flight", "Queries currently executing.", m.inflight.Load())
+
+	// Admission control and resource governance.
+	fmt.Fprintf(w, "# HELP iyp_sheds_total Requests shed by admission control, by reason.\n# TYPE iyp_sheds_total counter\n")
+	for i, r := range shedReasons {
+		fmt.Fprintf(w, "iyp_sheds_total{reason=%q} %d\n", r, m.sheds[i].Load())
+	}
+	counter("iyp_memory_budget_kills_total", "Queries aborted by the per-query memory budget.", m.memKills.Load())
+	counter("iyp_query_panics_recovered_total", "Query panics recovered by the executor (plan quarantined).", m.panics.Load())
+	counter("iyp_watchdog_kills_total", "Runaway queries hard-cancelled past deadline+grace.", adm.watchdogKills)
+	gauge("iyp_admission_queue_depth", "Requests waiting in the admission queue.", adm.queued)
+	gauge("iyp_degrade_level", "Current degrade-ladder level (0 = full service).", adm.level)
+	gauge("iyp_quarantined_plans", "Query texts currently quarantined by the panic breaker.", int64(adm.quarantined))
 
 	counter("iyp_plan_cache_hits_total", "Plan cache hits.", cache.Hits)
 	counter("iyp_plan_cache_misses_total", "Plan cache misses.", cache.Misses)

@@ -54,8 +54,41 @@ type Config struct {
 	// HardMaxRows caps the per-request max_rows field (0 = 1000000).
 	HardMaxRows int
 	// MaxConcurrent bounds queries executing at once; excess requests
-	// get 429 immediately rather than queueing (0 = 64).
+	// queue up to QueueDepth, then shed with 503 (0 = 64).
 	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an execution slot beyond
+	// MaxConcurrent (0 = 2×MaxConcurrent; < 0 disables queueing — at
+	// capacity requests shed immediately).
+	QueueDepth int
+	// MaxQueueWait bounds how long a request may wait queued before it is
+	// shed with 503 + Retry-After (0 = 2s).
+	MaxQueueWait time.Duration
+	// ClientQPS is the per-client sustained admission rate (token bucket
+	// keyed by client IP / first X-Forwarded-For hop). 0 disables
+	// per-client budgets.
+	ClientQPS float64
+	// ClientBurst is the bucket capacity for ClientQPS (0 = max(10,
+	// 2×ClientQPS)).
+	ClientBurst float64
+	// MaxQueryMem bounds the memory one query may materialize (rows,
+	// aggregation buffers, sort keys); exceeding it aborts the query with
+	// code "memory_budget" (0 = 256 MiB; < 0 disables the budget).
+	MaxQueryMem int64
+	// MaxQueryCost is the pre-execution cost estimate above which a query
+	// counts as expensive for the degrade ladder (0 = one full pass over
+	// the current graph, nodes+rels).
+	MaxQueryCost float64
+	// QuarantineFor is how long a query text whose plan panicked stays
+	// quarantined (0 = 1m).
+	QuarantineFor time.Duration
+	// WatchdogGrace is how far past its deadline an executing query may
+	// run before the watchdog hard-cancels it (0 = 5s).
+	WatchdogGrace time.Duration
+	// DisableGovernance reverts admission to the bare semaphore (instant
+	// shed at MaxConcurrent, no budgets, no cost shedding, no degrade
+	// ladder). Exists for the iyp-bench -overload baseline; production
+	// servers should leave it off.
+	DisableGovernance bool
 	// SlowQuery is the latency above which a completed query is logged
 	// through Logf (0 = 1s).
 	SlowQuery time.Duration
@@ -86,6 +119,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = 64
 	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 2 * c.MaxConcurrent
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.MaxQueueWait <= 0 {
+		c.MaxQueueWait = 2 * time.Second
+	}
+	if c.MaxQueryMem == 0 {
+		c.MaxQueryMem = 256 << 20
+	}
+	if c.MaxQueryMem < 0 {
+		c.MaxQueryMem = 0
+	}
+	if c.QuarantineFor <= 0 {
+		c.QuarantineFor = time.Minute
+	}
+	if c.WatchdogGrace <= 0 {
+		c.WatchdogGrace = 5 * time.Second
+	}
 	if c.SlowQuery <= 0 {
 		c.SlowQuery = time.Second
 	}
@@ -98,7 +152,7 @@ type Server struct {
 	mux   *http.ServeMux
 	cfg   Config
 	cache *cypher.PlanCache
-	sem   chan struct{} // concurrency limiter (len == queries in flight)
+	adm   *admission // admission queue, budgets, quarantine, watchdog
 	met   metrics
 }
 
@@ -120,7 +174,8 @@ func New(st *graph.MVStore, cfgs ...Config) *Server {
 		mux:   http.NewServeMux(),
 		cfg:   cfg,
 		cache: cache,
-		sem:   make(chan struct{}, cfg.MaxConcurrent),
+		adm: newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, cfg.MaxQueueWait,
+			cfg.ClientQPS, cfg.ClientBurst, cfg.QuarantineFor, cfg.WatchdogGrace),
 	}
 	endpoints := []struct {
 		pattern string // method + path, relative to the prefix
@@ -137,6 +192,7 @@ func New(st *graph.MVStore, cfgs ...Config) *Server {
 		s.mux.HandleFunc(fmt.Sprintf(ep.pattern, "/db"), s.legacy(ep.h))
 	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -202,25 +258,16 @@ type queryResponse struct {
 type errorResponse struct {
 	Error string `json:"error"`
 	// Code is a stable, machine-readable error class: bad_request,
-	// parse_error, query_error, timeout, canceled, too_many_requests,
-	// read_only, generation_gone, legacy_disabled.
+	// parse_error, query_error, timeout, canceled, overloaded,
+	// budget_exhausted, plan_quarantined, memory_budget, internal_panic,
+	// read_only, generation_gone, legacy_disabled. Responses with status
+	// 429 or 503 also carry a Retry-After header (seconds).
 	Code string `json:"code"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	// Shed load immediately when at capacity: a public instance must not
-	// build an unbounded queue of expensive queries.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	default:
-		s.met.rejected.Add(1)
-		writeError(w, http.StatusTooManyRequests, "too_many_requests", "server is at its concurrent query limit, retry later")
-		return
-	}
-	s.met.inflight.Add(1)
-	defer s.met.inflight.Add(-1)
-
+	// Decode before admitting: shedding decisions are cost-aware, and a
+	// 1 MiB-capped JSON decode is noise next to query execution.
 	var req queryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad_request", "invalid request body: "+err.Error())
@@ -230,6 +277,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad_request", "missing query")
 		return
 	}
+
+	governed := !s.cfg.DisableGovernance
+	client := clientKey(r)
+	// Per-client budget first: one token per request, parse errors
+	// included — the budget is for server attention, not successes.
+	if governed && s.adm.buckets != nil {
+		if ok, retry := s.adm.buckets.take(client); !ok {
+			s.met.shed(shedReasonBudget)
+			writeShed(w, http.StatusTooManyRequests, "budget_exhausted",
+				"client query budget exhausted, slow down", retry)
+			return
+		}
+	}
+
 	params := make(map[string]cypher.Val, len(req.Params))
 	for k, v := range req.Params {
 		pv, err := cypher.ValOf(normalizeParam(v))
@@ -262,9 +323,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		parallelism = max
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-
 	t0 := time.Now()
 	plan, err := s.cache.Get(req.Query)
 	if err != nil {
@@ -280,6 +338,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "read_only",
 			"this server is read-only: CREATE/MERGE/SET/DELETE/REMOVE are not allowed")
 		return
+	}
+	// Plans that panicked recently are circuit-broken: replaying a
+	// crashing query in a retry loop buys nothing and costs a slot each
+	// time.
+	if governed {
+		if left, blocked := s.adm.quar.blocked(req.Query); blocked {
+			s.met.shed(shedReasonQuarantine)
+			writeShed(w, http.StatusServiceUnavailable, "plan_quarantined",
+				"this query recently crashed its plan and is quarantined, retry later", left)
+			return
+		}
 	}
 
 	// Pin one immutable generation for the whole query: reads are
@@ -300,11 +369,98 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res, err := cypher.Exec(ctx, g, plan, cypher.ExecOptions{ParamVals: params, MaxRows: maxRows, Parallelism: parallelism})
+	// Degrade ladder: under load, expensive work is refused up front so
+	// cheap indexed lookups keep their latency. The estimate comes from
+	// the same planner that will execute the query.
+	if governed {
+		if level := s.degradeLevel(); level >= 1 {
+			est := cypher.EstimateQuery(g, plan, params)
+			retry := s.shedRetryAfter()
+			switch {
+			case est.Analytics:
+				s.met.shed(shedReasonAnalytics)
+				writeShed(w, http.StatusServiceUnavailable, "overloaded",
+					"server is under load and shedding CALL algo.* analytics, retry later", retry)
+				return
+			case est.Cost > s.costThreshold(level):
+				s.met.shed(shedReasonCost)
+				writeShed(w, http.StatusServiceUnavailable, "overloaded",
+					"server is under load and shedding expensive queries (estimated cost too high), retry later", retry)
+				return
+			case level >= 3 && !est.IndexOnly:
+				s.met.shed(shedReasonIndexOnly)
+				writeShed(w, http.StatusServiceUnavailable, "overloaded",
+					"server is heavily loaded and serving only index-anchored queries, retry later", retry)
+				return
+			}
+			if level >= 2 {
+				parallelism = 1 // keep CPUs for the queue, not per-query fan-out
+			}
+		}
+	}
+
+	// Admission: take an executing slot, queueing (deadline- and
+	// cancellation-aware) when governed, shedding instantly otherwise.
+	if governed {
+		if err := s.adm.acquire(r.Context()); err != nil {
+			if r.Context().Err() != nil {
+				// Client disconnected while queued: give the budget token
+				// back — the server never did the work it was spent on.
+				if s.adm.buckets != nil {
+					s.adm.buckets.refund(client)
+				}
+				s.met.canceled.Add(1)
+				writeError(w, http.StatusRequestTimeout, "canceled", "client canceled the request while queued")
+				return
+			}
+			s.met.shed(shedReasonQueueFull)
+			writeShed(w, http.StatusServiceUnavailable, "overloaded",
+				"server is at capacity and its admission queue is full, retry later", s.shedRetryAfter())
+			return
+		}
+	} else if !s.adm.tryAcquire() {
+		s.met.shed(shedReasonQueueFull)
+		writeShed(w, http.StatusServiceUnavailable, "overloaded",
+			"server is at its concurrent query limit, retry later", s.shedRetryAfter())
+		return
+	}
+	defer s.adm.release()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	// Watchdog: if this query ignores its deadline, the scan cancels it
+	// again and counts the runaway.
+	wid := s.adm.track(time.Now().Add(timeout), cancel)
+	defer s.adm.untrack(wid)
+
+	res, err := cypher.Exec(ctx, g, plan, cypher.ExecOptions{
+		ParamVals:   params,
+		MaxRows:     maxRows,
+		Parallelism: parallelism,
+		MaxMemBytes: s.cfg.MaxQueryMem,
+	})
 	took := time.Since(t0)
 	s.met.observe(took)
+	s.adm.lat.observe(took)
 	if err != nil {
 		switch {
+		case errors.Is(err, cypher.ErrQueryPanic):
+			// The executor recovered the panic; quarantine the plan so the
+			// crash is not replayed while the bug stands.
+			s.met.panics.Add(1)
+			s.met.errors.Add(1)
+			if governed {
+				s.adm.quar.trip(req.Query)
+			}
+			s.logf("query panic recovered (plan quarantined): query=%q err=%v", req.Query, err)
+			writeError(w, http.StatusInternalServerError, "internal_panic", err.Error())
+		case errors.Is(err, cypher.ErrMemoryBudget):
+			s.met.memKills.Add(1)
+			s.met.errors.Add(1)
+			s.logf("query killed by memory budget: limit=%d query=%q", s.cfg.MaxQueryMem, req.Query)
+			writeError(w, http.StatusUnprocessableEntity, "memory_budget", err.Error())
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.timeouts.Add(1)
 			s.logf("slow query killed: deadline=%s query=%q", timeout, req.Query)
@@ -334,6 +490,44 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Truncated:  res.Truncated,
 		TookMS:     took.Milliseconds(),
 		Generation: gen,
+	})
+}
+
+// shedRetryAfter suggests when a shed client should retry: the recent p99
+// approximates how long the backlog takes to drain, floored at one second.
+func (s *Server) shedRetryAfter() time.Duration {
+	if p := s.adm.lat.p99(); p > time.Second {
+		return p
+	}
+	return time.Second
+}
+
+// healthResponse is the GET /v1/health payload, shaped for load balancers:
+// degrade_level > 0 means the server is shedding some query classes, and
+// queue_depth / capacity show how much headroom is left.
+type healthResponse struct {
+	Status       string `json:"status"` // "ok" or "degraded"
+	DegradeLevel int    `json:"degrade_level"`
+	QueueDepth   int    `json:"queue_depth"`
+	InFlight     int    `json:"in_flight"`
+	Capacity     int    `json:"capacity"`
+	Generation   uint64 `json:"generation"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.adm.scanOverdue(time.Now()) // piggyback the watchdog on health probes
+	level := s.degradeLevel()
+	status := "ok"
+	if level > 0 {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, healthResponse{
+		Status:       status,
+		DegradeLevel: level,
+		QueueDepth:   int(s.adm.queued.Load()),
+		InFlight:     s.adm.inflight(),
+		Capacity:     cap(s.adm.slots),
+		Generation:   s.st.CurrentGen(),
 	})
 }
 
@@ -417,15 +611,29 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.adm.scanOverdue(time.Now()) // piggyback the watchdog on scrapes
+	s.degradeLevel()              // refresh the gauge
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.met.write(w, s.cache.Stats(), genStats{
 		current:   s.st.CurrentGen(),
 		live:      s.st.Live(),
 		reclaimed: s.st.Reclaimed(),
+	}, admStats{
+		queued:        s.adm.queued.Load(),
+		level:         s.adm.level.Load(),
+		quarantined:   s.adm.quar.size(),
+		watchdogKills: s.adm.watchdogKills.Load(),
 	})
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg, Code: code})
+}
+
+// writeShed writes a load-shedding error with the Retry-After header every
+// 429/503 carries, so well-behaved clients back off instead of spinning.
+func writeShed(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retrySeconds(retryAfter)))
 	writeJSON(w, status, errorResponse{Error: msg, Code: code})
 }
 

@@ -274,27 +274,33 @@ func TestQueryCancellationMidQuery(t *testing.T) {
 }
 
 func TestConcurrencyLimiterRejects(t *testing.T) {
-	srv := newTestServer(testGraph(), Config{MaxConcurrent: 2})
-	// Fill the semaphore directly: deterministic stand-in for two
+	// QueueDepth < 0 disables queueing: at capacity, requests shed
+	// immediately with 503 + Retry-After — the old semaphore behaviour
+	// with the new envelope.
+	srv := newTestServer(testGraph(), Config{MaxConcurrent: 2, QueueDepth: -1})
+	// Fill the slots directly: deterministic stand-in for two
 	// long-running queries in flight.
-	srv.sem <- struct{}{}
-	srv.sem <- struct{}{}
+	srv.adm.slots <- struct{}{}
+	srv.adm.slots <- struct{}{}
 	w := post(t, srv, "/v1/query", `{"query": "RETURN 1 AS n"}`)
-	if w.Code != http.StatusTooManyRequests {
-		t.Fatalf("status = %d, want 429", w.Code)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", w.Code)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Errorf("shed response is missing Retry-After")
 	}
 	var e errResp
 	_ = json.Unmarshal(w.Body.Bytes(), &e)
-	if e.Code != "too_many_requests" {
+	if e.Code != "overloaded" {
 		t.Errorf("code = %q", e.Code)
 	}
 	// Draining a slot admits queries again.
-	<-srv.sem
+	<-srv.adm.slots
 	w = post(t, srv, "/v1/query", `{"query": "RETURN 1 AS n"}`)
 	if w.Code != http.StatusOK {
 		t.Errorf("after drain: status = %d", w.Code)
 	}
-	<-srv.sem
+	<-srv.adm.slots
 }
 
 func TestMetricsEndpoint(t *testing.T) {

@@ -244,6 +244,7 @@ type queryConfig struct {
 	timeout     time.Duration
 	maxRows     int
 	parallelism int
+	maxMem      int64
 	generation  uint64
 	genSet      bool
 }
@@ -253,6 +254,7 @@ func (c *queryConfig) execOptions() cypher.ExecOptions {
 		Params:      c.params,
 		MaxRows:     c.maxRows,
 		Parallelism: c.parallelism,
+		MaxMemBytes: c.maxMem,
 	}
 }
 
@@ -300,6 +302,16 @@ func WithMaxRows(n int) QueryOption {
 // every setting, so the knob trades only latency against CPU.
 func WithParallelism(n int) QueryOption {
 	return func(c *queryConfig) { c.parallelism = n }
+}
+
+// WithMaxMemory bounds the bytes the query may materialize across match
+// rows, UNWIND expansion, projection, aggregation buffers and sort keys.
+// A query passing the budget aborts with an error satisfying
+// errors.Is(err, cypher.ErrMemoryBudget). The accounting is a conservative
+// over-approximation, so real allocations stay bounded by a small multiple
+// of the budget; 0 (the default) means unlimited.
+func WithMaxMemory(bytes int64) QueryOption {
+	return func(c *queryConfig) { c.maxMem = bytes }
 }
 
 // WithGeneration pins the query to a specific retained generation instead
