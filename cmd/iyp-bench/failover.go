@@ -1,0 +1,368 @@
+package main
+
+// The -failover mode measures what the replica tier buys when the builder
+// misbehaves. A seeded publisher pushes generations into a store on a fixed
+// cadence — first all good, then a schedule of injected faults (bit-flips,
+// lying manifests, truncations, torn manifest tails, rename-then-crash
+// orphans) — while closed-loop clients run index lookups against the
+// serving process. Three phases are measured:
+//
+//   - replica, fault-free publishes: the goodput yardstick
+//   - replica, faulted publishes: the resilience claim (acceptance floor:
+//     goodput >= 95% of fault-free — rejected generations must cost nothing
+//     on the serving path)
+//   - restart baseline, faulted publishes: the pre-replica workflow, where
+//     each new generation is picked up by stopping the serving process and
+//     reloading from disk; every query during a reload fails
+//
+// The tracked FAILOVER.json reports goodput, availability and latency
+// percentiles for all three, plus the follower's reload classification
+// counts, so regressions in the hot-swap path show up in review diffs.
+
+import (
+	"log"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iyp"
+	"iyp/internal/graph"
+	"iyp/internal/replica"
+	"iyp/internal/server"
+)
+
+// faultSchedule is the repeating publish pattern of the faulted phases:
+// every builder betrayal the harness can inject, interleaved with good
+// publishes so convergence (not just survival) is exercised. Distinct
+// fault classes come first: on a starved box the publisher may only get a
+// few slots per window, and those should still cover more than one class.
+var faultSchedule = []string{
+	"good", "bitflip", "truncated", "good", "lying", "torn", "orphan", "good",
+}
+
+type failoverMode struct {
+	Mode      string `json:"mode"` // "replica_fault_free", "replica_faulted", "restart_faulted"
+	Publishes int    `json:"publishes"`
+	Faults    int    `json:"faults_injected"`
+	Attempted int    `json:"attempted"`
+	OK        int    `json:"ok"`
+	// Unavailable counts 503s: the restart baseline's reload windows (a
+	// replica never answers 503 once ready).
+	Unavailable int     `json:"unavailable"`
+	Failed      int     `json:"failed"`
+	GoodputQPS  float64 `json:"goodput_qps"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	// Reload classification counts (replica modes only), keyed like
+	// replica.ReloadResults.
+	Reloads map[string]uint64 `json:"reloads,omitempty"`
+}
+
+type failoverFile struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version"`
+	NumCPU      int      `json:"num_cpu"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	Scale       float64  `json:"scale"`
+	WindowSec   float64  `json:"window_sec"`
+	Seed        int64    `json:"seed"`
+	Clients     int      `json:"clients"`
+	Schedule    []string `json:"fault_schedule"`
+	Modes       []failoverMode `json:"modes"`
+	// GoodputRetention is replica faulted goodput / replica fault-free
+	// goodput: the headline number (acceptance floor: 0.95).
+	GoodputRetention float64 `json:"goodput_retention"`
+	// BaselineAvailability is the restart baseline's success rate under the
+	// same fault schedule, for contrast.
+	BaselineAvailability float64 `json:"baseline_availability"`
+}
+
+// publisher pushes generations from graphs() into fs on a cadence until
+// stop closes, following schedule (or all-good when schedule is nil).
+func publisher(fs *replica.FaultStore, build func() *graph.Graph, schedule []string, every time.Duration, stop <-chan struct{}, wg *sync.WaitGroup, published, faulted *atomic.Int64) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			kind := "good"
+			if len(schedule) > 0 {
+				kind = schedule[i%len(schedule)]
+			}
+			g := build()
+			var err error
+			switch kind {
+			case "good":
+				_, err = fs.PublishGood(g)
+			case "bitflip":
+				_, err = fs.PublishBitFlip(g, false)
+			case "lying":
+				_, err = fs.PublishBitFlip(g, true)
+			case "truncated":
+				_, err = fs.PublishTruncated(g, false)
+			case "torn":
+				_, err = fs.PublishTornManifest(g)
+			case "orphan":
+				_, err = fs.PublishOrphan(g)
+			}
+			if err != nil {
+				log.Fatalf("iyp-bench: publish %s: %v", kind, err)
+			}
+			published.Add(1)
+			if kind != "good" && kind != "orphan" && kind != "torn" {
+				// torn and orphan generations are recoverable (the snapshot
+				// is intact); the rest must be rejected.
+				faulted.Add(1)
+			}
+		}
+	}()
+}
+
+// closedLoop runs clients workers posting index lookups at h for the window
+// and tallies outcomes into m.
+func closedLoop(h http.Handler, asns []int64, clients int, window time.Duration, m *failoverMode) {
+	var mu sync.Mutex
+	var lat []float64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var localLat []float64
+			attempted, ok, unavail, failed := 0, 0, 0, 0
+			for i := c; ; i += clients {
+				select {
+				case <-stop:
+					mu.Lock()
+					m.Attempted += attempted
+					m.OK += ok
+					m.Unavailable += unavail
+					m.Failed += failed
+					lat = append(lat, localLat...)
+					mu.Unlock()
+					return
+				default:
+				}
+				t0 := time.Now()
+				w := overloadPost(h, cheapBody(asns, i))
+				attempted++
+				switch w.Code {
+				case http.StatusOK:
+					ok++
+					localLat = append(localLat, time.Since(t0).Seconds()*1e3)
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					unavail++
+				default:
+					failed++
+				}
+			}
+		}(c)
+	}
+	time.Sleep(window)
+	close(stop)
+	wg.Wait()
+	sort.Float64s(lat)
+	m.P50MS = percentile(lat, 0.50)
+	m.P99MS = percentile(lat, 0.99)
+	m.GoodputQPS = float64(m.OK) / window.Seconds()
+}
+
+// restartHandler models the pre-replica workflow: a single process that
+// must stop serving to pick up a new generation. Its watch loop polls the
+// store head and, on change, takes the server down for the full duration of
+// a from-disk reload — exactly the window a process restart costs, minus
+// exec and listen overhead (so the baseline is flattered, not maligned).
+type restartHandler struct {
+	down atomic.Bool
+	h    atomic.Pointer[server.Server]
+}
+
+func (rs *restartHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if rs.down.Load() {
+		http.Error(w, `{"error":"restarting to load a new generation","code":"unavailable"}`, http.StatusServiceUnavailable)
+		return
+	}
+	rs.h.Load().ServeHTTP(w, r)
+}
+
+// watch polls for head changes and restarts on each one.
+func (rs *restartHandler) watch(st *graph.Store, every time.Duration, stop <-chan struct{}, wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var lastHead uint64
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			head, okHead, err := st.Head()
+			if err != nil || !okHead || head.Seq == lastHead {
+				continue
+			}
+			lastHead = head.Seq
+			rs.down.Store(true)
+			g, _, err := st.Open() // newest-good-first, same as a cold start
+			if err == nil {
+				rs.h.Store(server.New(graph.NewMVStore(g)))
+			}
+			rs.down.Store(false)
+		}
+	}()
+}
+
+func runFailover(db *iyp.DB, scale float64, window time.Duration, seed int64, tmpDir func() string, out string) {
+	const clients = 4
+	pubEvery := window / 8
+	if pubEvery < 100*time.Millisecond {
+		pubEvery = 100 * time.Millisecond
+	}
+	pollEvery := 25 * time.Millisecond
+
+	asns := sampleASNs(db)
+	base := db.Graph()
+	// Each publish ships a clone of the built graph with a unique stamp, the
+	// shape of an incremental builder run producing a slightly-different
+	// generation. Clones are cut outside the measured loop — cloning a
+	// paper-scale graph costs seconds of CPU the publisher would otherwise
+	// steal from the cadence — and recycled round-robin; FaultStore
+	// serializes from the graph on every publish, so reuse is safe.
+	var stamp atomic.Int64
+	prebuilt := make([]*graph.Graph, 2*len(faultSchedule))
+	for i := range prebuilt {
+		g := base.Clone()
+		g.AddNode([]string{"BuildStamp"}, graph.Props{"n": graph.Int(stamp.Add(1))})
+		prebuilt[i] = g
+	}
+	var next atomic.Int64
+	build := func() *graph.Graph {
+		return prebuilt[int(next.Add(1))%len(prebuilt)]
+	}
+
+	ff := failoverFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Scale:       scale,
+		WindowSec:   window.Seconds(),
+		Seed:        seed,
+		Clients:     clients,
+		Schedule:    faultSchedule,
+	}
+
+	// replicaPhase measures one publish-while-serving window on a fresh
+	// store + follower + server.
+	replicaPhase := func(mode string, schedule []string) failoverMode {
+		fs, err := replica.NewFaultStore(tmpDir(), seed)
+		if err != nil {
+			log.Fatalf("iyp-bench: %v", err)
+		}
+		mv := graph.NewMVStore(graph.New())
+		mv.SetRetain(1)
+		f := replica.New(fs.Store(), mv, replica.Config{Interval: pollEvery, Seed: seed})
+		h := server.New(mv, server.Config{Replica: f})
+
+		// Seed one good generation and wait until the replica is ready.
+		if _, err := fs.PublishGood(build()); err != nil {
+			log.Fatalf("iyp-bench: seed publish: %v", err)
+		}
+		f.Start()
+		defer f.Close()
+		for deadline := time.Now().Add(10 * time.Second); f.LastGood() == 0; {
+			if time.Now().After(deadline) {
+				log.Fatalf("iyp-bench: replica never became ready")
+			}
+			time.Sleep(time.Millisecond)
+		}
+
+		m := failoverMode{Mode: mode}
+		var wg sync.WaitGroup
+		var published, faulted atomic.Int64
+		stop := make(chan struct{})
+		publisher(fs, build, schedule, pubEvery, stop, &wg, &published, &faulted)
+		closedLoop(h, asns, clients, window, &m)
+		close(stop)
+		wg.Wait()
+		m.Publishes = int(published.Load())
+		m.Faults = int(faulted.Load())
+		st := f.Status()
+		m.Reloads = make(map[string]uint64, len(replica.ReloadResults))
+		for i, r := range replica.ReloadResults {
+			m.Reloads[r] = st.Reloads[i]
+		}
+		return m
+	}
+
+	// Restart baseline: same faulted schedule, pre-replica serving model.
+	restartPhase := func(schedule []string) failoverMode {
+		fs, err := replica.NewFaultStore(tmpDir(), seed)
+		if err != nil {
+			log.Fatalf("iyp-bench: %v", err)
+		}
+		if _, err := fs.PublishGood(build()); err != nil {
+			log.Fatalf("iyp-bench: seed publish: %v", err)
+		}
+		g, _, err := fs.Store().Open()
+		if err != nil {
+			log.Fatalf("iyp-bench: baseline open: %v", err)
+		}
+		rs := &restartHandler{}
+		rs.h.Store(server.New(graph.NewMVStore(g)))
+
+		m := failoverMode{Mode: "restart_faulted"}
+		var wg sync.WaitGroup
+		var published, faulted atomic.Int64
+		stop := make(chan struct{})
+		rs.watch(fs.Store(), pollEvery, stop, &wg)
+		publisher(fs, build, schedule, pubEvery, stop, &wg, &published, &faulted)
+		closedLoop(rs, asns, clients, window, &m)
+		close(stop)
+		wg.Wait()
+		m.Publishes = int(published.Load())
+		m.Faults = int(faulted.Load())
+		return m
+	}
+
+	for _, phase := range []struct {
+		mode     string
+		schedule []string
+	}{
+		{"replica_fault_free", nil},
+		{"replica_faulted", faultSchedule},
+	} {
+		m := replicaPhase(phase.mode, phase.schedule)
+		ff.Modes = append(ff.Modes, m)
+		log.Printf("%-20s publishes=%d faults=%d  ok=%d unavailable=%d failed=%d of %d  (%.0f qps, p50=%.2fms p99=%.2fms)  reloads=%v",
+			m.Mode, m.Publishes, m.Faults, m.OK, m.Unavailable, m.Failed, m.Attempted,
+			m.GoodputQPS, m.P50MS, m.P99MS, m.Reloads)
+	}
+	bl := restartPhase(faultSchedule)
+	ff.Modes = append(ff.Modes, bl)
+	log.Printf("%-20s publishes=%d faults=%d  ok=%d unavailable=%d failed=%d of %d  (%.0f qps, p50=%.2fms p99=%.2fms)",
+		bl.Mode, bl.Publishes, bl.Faults, bl.OK, bl.Unavailable, bl.Failed, bl.Attempted,
+		bl.GoodputQPS, bl.P50MS, bl.P99MS)
+
+	if ff.Modes[0].GoodputQPS > 0 {
+		ff.GoodputRetention = ff.Modes[1].GoodputQPS / ff.Modes[0].GoodputQPS
+	}
+	if bl.Attempted > 0 {
+		ff.BaselineAvailability = float64(bl.OK) / float64(bl.Attempted)
+	}
+	log.Printf("replica goodput retention under faults: %.3f (floor 0.95); restart-baseline availability: %.3f",
+		ff.GoodputRetention, ff.BaselineAvailability)
+	writeOut(out, ff)
+}

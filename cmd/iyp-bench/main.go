@@ -11,6 +11,7 @@
 //	iyp-bench -baseline BENCH_5.json   # compare against a tracked baseline
 //	iyp-bench -contention          # reader latency under a concurrent writer
 //	iyp-bench -overload -o OVERLOAD.json  # goodput at 4x capacity, governed vs not
+//	iyp-bench -failover -o FAILOVER.json  # replica goodput across injected builder faults
 //
 // Every query runs at each worker budget; per (query, workers) the best
 // of -reps runs is kept (the usual way to suppress scheduler noise) and
@@ -85,8 +86,10 @@ func main() {
 		baseline   = flag.String("baseline", "", "compare this run against a previously written baseline file")
 		contention = flag.Bool("contention", false, "measure reader latency under a concurrent writer (MVCC vs RWMutex)")
 		overload   = flag.Bool("overload", false, "measure cheap-query goodput at 4x capacity, governed vs ungoverned")
-		duration   = flag.Duration("duration", 3*time.Second, "per-mode measurement window for -contention / -overload")
+		failover   = flag.Bool("failover", false, "measure replica goodput across injected builder faults vs a restart baseline")
+		duration   = flag.Duration("duration", 3*time.Second, "per-mode measurement window for -contention / -overload / -failover")
 		readers    = flag.Int("readers", 4, "concurrent reader goroutines for -contention")
+		seed       = flag.Int64("seed", 1, "fault-injection seed for -failover")
 	)
 	flag.Parse()
 
@@ -103,6 +106,17 @@ func main() {
 	}
 	if *overload {
 		runOverload(db, *scale, *duration, *out)
+		return
+	}
+	if *failover {
+		tmpDir := func() string {
+			dir, err := os.MkdirTemp("", "iyp-failover-*")
+			if err != nil {
+				log.Fatalf("iyp-bench: %v", err)
+			}
+			return dir
+		}
+		runFailover(db, *scale, *duration, *seed, tmpDir, *out)
 		return
 	}
 

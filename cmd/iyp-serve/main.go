@@ -18,6 +18,15 @@
 // -store), the newest snapshot generation that passes checksum
 // verification is served: a torn or bit-flipped latest dump costs one
 // generation, not the service. Skipped generations are logged.
+//
+// With -follow the process becomes a read replica: it watches the store
+// directory for generations a separate builder publishes, loads and
+// verifies each off the serving path, and hot-swaps verified graphs in
+// while queries keep running. GET /v1/ready answers 503 until the first
+// good load (put it behind the load balancer's readiness probe) and
+// "degraded" once the serving generation is older than -stale-after.
+//
+//	iyp-serve -follow ./iyp-store -addr :7474 -poll 250ms
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 
 	"iyp"
 	"iyp/internal/graph"
+	"iyp/internal/replica"
 	"iyp/internal/server"
 )
 
@@ -74,17 +84,13 @@ func main() {
 		maxQueryMem = flag.Int64("max-query-mem", 256<<20, "per-query memory budget in bytes (negative disables)")
 		slowQuery   = flag.Duration("slow-query", time.Second, "log queries slower than this")
 		legacy      = flag.Bool("legacy", true, "serve the deprecated /db/* aliases (false answers them with 410)")
+		follow      = flag.String("follow", "", "replica mode: follow this generation-store directory, hot-swapping new builder generations in")
+		poll        = flag.Duration("poll", 250*time.Millisecond, "store poll interval in -follow mode")
+		staleAfter  = flag.Duration("stale-after", 0, "report degraded when the serving generation is older than this in -follow mode (0 disables)")
 	)
 	flag.Parse()
 
-	db, err := load(*dbPath)
-	if err != nil {
-		log.Fatalf("iyp-serve: %v", err)
-	}
-	st := db.Stats()
-	log.Printf("serving %d nodes, %d relationships on %s", st.Nodes, st.Rels, *addr)
-
-	handler := server.New(db.Store(), server.Config{
+	cfg := server.Config{
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		DefaultMaxRows: *maxRows,
@@ -97,7 +103,41 @@ func main() {
 		SlowQuery:      *slowQuery,
 		DisableLegacy:  !*legacy,
 		Logf:           log.Printf,
-	})
+	}
+
+	var mv *graph.MVStore
+	if *follow != "" {
+		// Replica mode: start serving an empty placeholder immediately
+		// (readiness gates traffic, not the listener) and let the follower
+		// swap real generations in as the builder publishes them. One
+		// retained generation is enough headroom for in-flight queries to
+		// drain; replicas should not hoard superseded graphs.
+		store, err := graph.OpenStore(*follow, graph.StoreOptions{})
+		if err != nil {
+			log.Fatalf("iyp-serve: %v", err)
+		}
+		mv = graph.NewMVStore(graph.New())
+		mv.SetRetain(1)
+		f := replica.New(store, mv, replica.Config{
+			Interval:   *poll,
+			StaleAfter: *staleAfter,
+			Logf:       log.Printf,
+		})
+		f.Start()
+		defer f.Close()
+		cfg.Replica = f
+		log.Printf("following %s (poll %s) on %s", *follow, *poll, *addr)
+	} else {
+		db, err := load(*dbPath)
+		if err != nil {
+			log.Fatalf("iyp-serve: %v", err)
+		}
+		mv = db.Store()
+		st := db.Stats()
+		log.Printf("serving %d nodes, %d relationships on %s", st.Nodes, st.Rels, *addr)
+	}
+
+	handler := server.New(mv, cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           handler,

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Store keeps the last N graph snapshots ("generations") in one directory,
@@ -32,6 +33,12 @@ import (
 type Store struct {
 	dir  string
 	keep int
+
+	// hookMu guards onSave. Hooks are an in-process convenience: a
+	// follower embedded in the builder's process gets woken without
+	// polling; cross-process followers poll Head/Generations.
+	hookMu sync.Mutex
+	onSave []func(Generation)
 }
 
 // StoreOptions configures OpenStore.
@@ -69,6 +76,23 @@ type OpenReport struct {
 // ErrNoGenerations is returned by Open when the store holds no loadable
 // snapshot at all.
 var ErrNoGenerations = errors.New("graph: store has no loadable generation")
+
+// Typed verification failures, so a follower can classify why a generation
+// was rejected (torn publish vs bit rot vs pruned-under-us) instead of
+// pattern-matching reason strings. Checksum and structural damage are the
+// existing ErrCorrupt.
+var (
+	// ErrGenMissing: the snapshot file is gone — pruned by the builder
+	// between listing and loading, or never renamed into place.
+	ErrGenMissing = errors.New("graph: generation file missing")
+	// ErrGenTruncated: the file is shorter than its manifest record — a
+	// torn write or partial copy still in flight.
+	ErrGenTruncated = errors.New("graph: generation file truncated")
+)
+
+// Manifested reports whether the generation came from the manifest (with a
+// verifiable size and CRC) rather than an orphan directory scan.
+func (g Generation) Manifested() bool { return g.manifested }
 
 const (
 	storeManifest       = "MANIFEST"
@@ -175,6 +199,16 @@ func (st *Store) writeManifest(gens []Generation) error {
 // Generations lists the store's generations, newest first: the manifest's
 // entries plus any complete-but-unmanifested snapshot files found on disk
 // (a crash between the snapshot rename and the manifest update leaves one).
+//
+// Listing is safe while another process (or goroutine) is mid-Publish on
+// the same directory: the manifest and every snapshot land via atomic
+// rename, so each read sees a complete old or new file, never a torn one.
+// The manifest read and the directory scan are two separate snapshots of a
+// moving directory, though, so the combined view can be transiently stale —
+// a just-published generation may appear as an orphan before its manifest
+// entry is visible, and a just-pruned file may still be listed. Callers
+// must treat every entry as a candidate to verify (VerifyGen / Open do),
+// not as a promise the file is still there.
 func (st *Store) Generations() ([]Generation, error) {
 	gens := st.readManifest()
 	seen := make(map[uint64]bool, len(gens))
@@ -191,13 +225,40 @@ func (st *Store) Generations() ([]Generation, error) {
 			continue
 		}
 		g := Generation{Seq: seq, Path: filepath.Join(st.dir, e.Name())}
-		if info, err := e.Info(); err == nil {
-			g.Size = info.Size()
+		info, err := e.Info()
+		if err != nil {
+			// The file vanished between the directory read and the stat: a
+			// concurrent Save pruned it. It was never manifested in the view
+			// we read, so it is not a generation we can offer.
+			continue
 		}
+		g.Size = info.Size()
 		gens = append(gens, g)
 	}
 	sort.Slice(gens, func(i, j int) bool { return gens[i].Seq > gens[j].Seq })
 	return gens, nil
+}
+
+// Head returns the newest generation currently visible in the store (ok is
+// false when the store is empty). This is the follower's poll target: cheap
+// enough to call every few hundred milliseconds, and safe against a
+// concurrent Publish — see Generations.
+func (st *Store) Head() (Generation, bool, error) {
+	gens, err := st.Generations()
+	if err != nil || len(gens) == 0 {
+		return Generation{}, false, err
+	}
+	return gens[0], true, nil
+}
+
+// OnSave registers fn to run after every successful Save in this process,
+// with the generation just published. Cross-process followers cannot use
+// this (they poll Head); an embedded follower uses it to reload without
+// waiting out its poll interval. fn must not call Save.
+func (st *Store) OnSave(fn func(Generation)) {
+	st.hookMu.Lock()
+	st.onSave = append(st.onSave, fn)
+	st.hookMu.Unlock()
 }
 
 // Save writes g as the next generation: snapshot to a temp file (fsync'd,
@@ -271,6 +332,12 @@ func (st *Store) Save(g *Graph) (Generation, error) {
 	for _, p := range pruned {
 		os.Remove(p.Path)
 	}
+	st.hookMu.Lock()
+	hooks := append([]func(Generation){}, st.onSave...)
+	st.hookMu.Unlock()
+	for _, fn := range hooks {
+		fn(gen)
+	}
 	return gen, nil
 }
 
@@ -321,29 +388,53 @@ func (st *Store) Open() (*Graph, OpenReport, error) {
 // string means "try loading it"; Load still verifies the snapshot's own
 // checksums.
 func (st *Store) verify(gen Generation) string {
+	if err := st.VerifyGen(gen); err != nil {
+		return err.Error()
+	}
+	return ""
+}
+
+// VerifyGen pre-checks a generation against its manifest record without
+// loading it, returning a typed error a follower can classify: ErrGenMissing
+// when the file is gone, ErrGenTruncated when it is shorter than the
+// manifest says, ErrCorrupt on a checksum mismatch (or an over-long file —
+// garbage appended past a valid snapshot is damage, not slack). A nil
+// return means "try loading it": Load still verifies the snapshot's own
+// internal checksums, so an unmanifested orphan (no recorded size/CRC)
+// passes here and is judged by the loader.
+func (st *Store) VerifyGen(gen Generation) error {
 	info, err := os.Stat(gen.Path)
 	if err != nil {
-		return fmt.Sprintf("missing: %v", err)
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s", ErrGenMissing, gen.Path)
+		}
+		return err
 	}
 	if !gen.manifested {
-		return "" // no recorded size/CRC to compare against
+		return nil // no recorded size/CRC to compare against
 	}
-	if info.Size() != gen.Size {
-		return fmt.Sprintf("size mismatch (manifest %d bytes, file %d)", gen.Size, info.Size())
+	if info.Size() < gen.Size {
+		return fmt.Errorf("%w: manifest records %d bytes, file has %d", ErrGenTruncated, gen.Size, info.Size())
+	}
+	if info.Size() > gen.Size {
+		return corruptf("file is %d bytes, manifest records %d", info.Size(), gen.Size)
 	}
 	f, err := os.Open(gen.Path)
 	if err != nil {
-		return fmt.Sprintf("unreadable: %v", err)
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s", ErrGenMissing, gen.Path)
+		}
+		return err
 	}
 	defer f.Close()
 	h := crc32.New(castagnoli)
 	if _, err := io.Copy(h, f); err != nil {
-		return fmt.Sprintf("unreadable: %v", err)
+		return err
 	}
 	if h.Sum32() != gen.CRC {
-		return fmt.Sprintf("checksum mismatch (manifest %08x, file %08x)", gen.CRC, h.Sum32())
+		return corruptf("checksum mismatch (manifest %08x, file %08x)", gen.CRC, h.Sum32())
 	}
-	return ""
+	return nil
 }
 
 // countWriter counts bytes written through it.

@@ -241,3 +241,106 @@ func TestStoreSaveDoesNotDisturbOldGenerationsOnNewWrite(t *testing.T) {
 		t.Fatal("previous generation bytes changed")
 	}
 }
+
+// markerGen builds a tiny graph identified by seq: one Marker node plus a
+// few filler nodes, so a concurrent reader can check which generation it
+// got and that the generation is internally consistent.
+func markerGen(seq uint64) *Graph {
+	g := New()
+	items := int(seq%4) + 2
+	g.AddNode([]string{"Marker"}, Props{"gen": Int(int64(seq)), "items": Int(int64(items))})
+	for i := 0; i < items; i++ {
+		g.AddNode([]string{"Item"}, Props{"gen": Int(int64(seq))})
+	}
+	return g
+}
+
+// checkMarkerGraph asserts the loaded graph is one whole markerGen — the
+// marker's recorded item count matches the Item nodes present, i.e. the
+// reader never sees a half-published generation.
+func checkMarkerGraph(t *testing.T, g *Graph, seq uint64) {
+	t.Helper()
+	markers := g.NodesByLabel("Marker")
+	if len(markers) != 1 {
+		t.Fatalf("generation %d: %d Marker nodes, want 1", seq, len(markers))
+	}
+	gen, _ := g.NodeProp(markers[0], "gen").AsInt()
+	items, _ := g.NodeProp(markers[0], "items").AsInt()
+	if uint64(gen) != seq {
+		t.Fatalf("loaded generation says gen=%d, store says seq=%d", gen, seq)
+	}
+	if got := len(g.NodesByLabel("Item")); got != int(items) {
+		t.Fatalf("generation %d: marker records %d items, graph has %d", seq, items, got)
+	}
+}
+
+// TestGenerationsSafeDuringConcurrentPublish is the follower's view of a
+// live builder: one goroutine publishes (and prunes) generations in the
+// same directory another lists and opens. Listing must never error, heads
+// must be monotone, every load must be a whole generation, and the only
+// acceptable skip reason is a file pruned between listing and loading.
+func TestGenerationsSafeDuringConcurrentPublish(t *testing.T) {
+	dir := t.TempDir()
+	builder, err := OpenStore(dir, StoreOptions{Keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const pubs = 30
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; i <= pubs; i++ {
+			if _, err := builder.Save(markerGen(uint64(i))); err != nil {
+				t.Errorf("publish %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	checkOnce := func(lastHead uint64) uint64 {
+		gens, err := follower.Generations()
+		if err != nil {
+			t.Fatalf("Generations during publish: %v", err)
+		}
+		for i := 1; i < len(gens); i++ {
+			if gens[i-1].Seq <= gens[i].Seq {
+				t.Fatalf("listing not strictly newest-first: %d then %d", gens[i-1].Seq, gens[i].Seq)
+			}
+		}
+		g, report, err := follower.Open()
+		if err != nil {
+			if errors.Is(err, ErrNoGenerations) && lastHead == 0 {
+				return 0 // builder hasn't landed the first generation yet
+			}
+			t.Fatalf("Open during publish: %v", err)
+		}
+		for _, s := range report.Skipped {
+			if !strings.Contains(s.Reason, "missing") && !strings.Contains(s.Reason, "no such file") {
+				t.Fatalf("generation %d skipped for %q; concurrent publish must only ever race as a vanished file", s.Seq, s.Reason)
+			}
+		}
+		if report.Loaded.Seq < lastHead {
+			t.Fatalf("head went backwards: %d after %d", report.Loaded.Seq, lastHead)
+		}
+		checkMarkerGraph(t, g, report.Loaded.Seq)
+		return report.Loaded.Seq
+	}
+
+	var head uint64
+	for {
+		select {
+		case <-done:
+			if final := checkOnce(head); final != pubs {
+				t.Fatalf("after publishing finished, Open loaded %d, want %d", final, pubs)
+			}
+			return
+		default:
+			head = checkOnce(head)
+		}
+	}
+}

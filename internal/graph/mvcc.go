@@ -192,6 +192,31 @@ func (st *MVStore) Update(fn func(*Graph) error) (uint64, error) {
 	return e.gen, nil
 }
 
+// Swap publishes g — a complete graph built elsewhere, typically loaded
+// from a snapshot — as the next generation, replacing the head without the
+// clone-mutate cycle. This is the replica reload path: a follower loads and
+// verifies a new builder generation off the serving path, then swaps it in
+// with one atomic publish. Readers pinned to the old head finish on it;
+// the old generation drains through the usual pin-count reclamation. Swap
+// takes ownership of g (it is frozen here) and returns the new generation
+// number.
+func (st *MVStore) Swap(g *Graph) uint64 {
+	st.writeMu.Lock()
+	defer st.writeMu.Unlock()
+
+	g.Freeze()
+	cur := st.head.Load()
+	e := &mvGen{gen: cur.gen + 1, g: g}
+	st.mu.Lock()
+	st.retained[e.gen] = e
+	st.mu.Unlock()
+
+	st.head.Store(e)
+	cur.retired.Store(true)
+	st.tryReclaim()
+	return e.gen
+}
+
 // ApplyBatch applies a staged write-batch as one new generation (see
 // Graph.ApplyBatch for the batch semantics) and returns the apply result
 // and the generation it produced.

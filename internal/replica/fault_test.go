@@ -1,0 +1,166 @@
+package replica
+
+// Tests pinning the fault harness's shapes at the store level: each Publish*
+// method must leave the directory in exactly the state the corresponding
+// real-world crash would, or the failover suite is testing fiction.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+func TestFaultStoreBitFlipHonestManifestFailsPrecheck(t *testing.T) {
+	fs, err := NewFaultStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PublishBitFlip(markerGraph(1), false); err != nil {
+		t.Fatal(err)
+	}
+	// Re-list so the generation carries its manifest entry (the intact
+	// size/CRC the builder meant to publish).
+	head, ok, err := fs.Store().Head()
+	if err != nil || !ok {
+		t.Fatalf("Head: %v ok=%v", err, ok)
+	}
+	if err := fs.Store().VerifyGen(head); !errors.Is(err, graph.ErrCorrupt) {
+		t.Fatalf("VerifyGen = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFaultStoreBitFlipLyingManifestPassesPrecheck(t *testing.T) {
+	fs, err := NewFaultStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PublishBitFlip(markerGraph(1), true); err != nil {
+		t.Fatal(err)
+	}
+	// Re-list so the generation carries the rewritten (lying) manifest entry.
+	head, ok, err := fs.Store().Head()
+	if err != nil || !ok {
+		t.Fatalf("Head: %v ok=%v", err, ok)
+	}
+	if err := fs.Store().VerifyGen(head); err != nil {
+		t.Fatalf("lying manifest should pass the pre-check, got %v", err)
+	}
+	// ...but the loader's internal checksums must refuse it.
+	if _, err := graph.LoadFile(head.Path); !errors.Is(err, graph.ErrCorrupt) {
+		t.Fatalf("LoadFile = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestFaultStoreTruncationShapes(t *testing.T) {
+	fs, err := NewFaultStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := fs.PublishTruncated(markerGraph(1), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(gen.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= gen.Size || info.Size() < 1 {
+		t.Fatalf("truncated to %d of %d bytes, want strictly shorter and non-empty", info.Size(), gen.Size)
+	}
+	head, ok, err := fs.Store().Head()
+	if err != nil || !ok {
+		t.Fatalf("Head: %v ok=%v", err, ok)
+	}
+	if err := fs.Store().VerifyGen(head); !errors.Is(err, graph.ErrGenTruncated) {
+		t.Fatalf("VerifyGen = %v, want ErrGenTruncated", err)
+	}
+}
+
+func TestFaultStoreTornManifestLeavesIntactOrphan(t *testing.T) {
+	fs, err := NewFaultStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := fs.PublishTornManifest(markerGraph(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gens, err := fs.Store().Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0].Seq != 2 {
+		t.Fatalf("listing after torn manifest: %+v", gens)
+	}
+	// The tear lands inside the first (newest) entry, so every record after
+	// the header is lost: both generations surface as unmanifested orphans.
+	if gens[0].Manifested() || gens[1].Manifested() {
+		t.Fatalf("torn manifest should leave only orphans: %+v", gens)
+	}
+	if gens[1].Seq != 1 {
+		t.Fatalf("prior generation missing from orphan scan: %+v", gens[1])
+	}
+	// The snapshot itself is intact: the loader accepts it.
+	if _, err := graph.LoadFile(gen.Path); err != nil {
+		t.Fatalf("torn-manifest snapshot should load, got %v", err)
+	}
+}
+
+func TestFaultStoreOrphanRevertsManifest(t *testing.T) {
+	fs, err := NewFaultStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(filepath.Join(fs.Store().Dir(), "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PublishOrphan(markerGraph(2)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(fs.Store().Dir(), "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatalf("manifest changed across PublishOrphan:\nbefore: %q\nafter:  %q", before, after)
+	}
+	gens, err := fs.Store().Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 2 || gens[0].Seq != 2 || gens[0].Manifested() {
+		t.Fatalf("orphan listing: %+v", gens)
+	}
+}
+
+func TestFaultStoreOrphanWithNoPriorManifest(t *testing.T) {
+	fs, err := NewFaultStore(t.TempDir(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.PublishOrphan(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(fs.Store().Dir(), "MANIFEST")); !os.IsNotExist(err) {
+		t.Fatalf("manifest should not exist after pre-manifest crash, stat err = %v", err)
+	}
+	// The store still recovers the snapshot by scanning.
+	g, _, err := fs.Store().Open()
+	if err != nil {
+		t.Fatalf("Open after pre-manifest crash: %v", err)
+	}
+	if got := len(g.NodesByLabel("Marker")); got != 1 {
+		t.Fatalf("recovered graph has %d markers, want 1", got)
+	}
+}

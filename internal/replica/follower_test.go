@@ -1,0 +1,383 @@
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"iyp/internal/graph"
+)
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// markerGraph builds a tiny graph stamped with seq so tests can tell which
+// builder generation is serving.
+func markerGraph(seq uint64) *graph.Graph {
+	g := graph.New()
+	g.AddNode([]string{"Marker"}, graph.Props{"gen": graph.Int(int64(seq))})
+	for i := 0; i < 3; i++ {
+		g.AddNode([]string{"Item"}, graph.Props{"n": graph.Int(int64(i))})
+	}
+	return g
+}
+
+// servingSeq reads the marker stamp out of the MVStore's current head, or 0
+// for the placeholder graph.
+func servingSeq(mv *graph.MVStore) uint64 {
+	g, _, release := mv.Acquire()
+	defer release()
+	markers := g.NodesByLabel("Marker")
+	if len(markers) != 1 {
+		return 0
+	}
+	v, _ := g.NodeProp(markers[0], "gen").AsInt()
+	return uint64(v)
+}
+
+func newTestFollower(t *testing.T, cfg Config) (*FaultStore, *graph.MVStore, *Follower) {
+	t.Helper()
+	fs, err := NewFaultStore(t.TempDir(), 42)
+	if err != nil {
+		t.Fatalf("NewFaultStore: %v", err)
+	}
+	mv := graph.NewMVStore(graph.New())
+	mv.SetRetain(1)
+	return fs, mv, New(fs.Store(), mv, cfg)
+}
+
+func TestFollowerServesFirstGoodGeneration(t *testing.T) {
+	fs, mv, f := newTestFollower(t, Config{})
+
+	// Empty store: not ready, not faulted — nothing to serve is not a fault.
+	out := f.Poll()
+	if out.Loaded || out.Faulted {
+		t.Fatalf("empty-store poll = %+v, want idle", out)
+	}
+	if st := f.Status(); st.Ready {
+		t.Fatalf("ready before any load: %+v", st)
+	}
+
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	out = f.Poll()
+	if !out.Loaded || out.Seq != 1 {
+		t.Fatalf("poll after publish = %+v, want Loaded seq 1", out)
+	}
+	if got := servingSeq(mv); got != 1 {
+		t.Fatalf("serving seq = %d, want 1", got)
+	}
+	st := f.Status()
+	if !st.Ready || st.Degraded || st.LastGoodGen != 1 || st.Reloads[0] != 1 {
+		t.Fatalf("status after load: %+v", st)
+	}
+
+	// Re-poll with no news: no-op, still serving 1.
+	out = f.Poll()
+	if out.Loaded || out.Faulted || servingSeq(mv) != 1 {
+		t.Fatalf("idle re-poll = %+v serving=%d", out, servingSeq(mv))
+	}
+}
+
+func TestFollowerKeepsLastGoodPastCorruptHead(t *testing.T) {
+	fs, mv, f := newTestFollower(t, Config{})
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Poll()
+
+	if _, err := fs.PublishBitFlip(markerGraph(2), false); err != nil {
+		t.Fatalf("PublishBitFlip: %v", err)
+	}
+	out := f.Poll()
+	if out.Loaded || !out.Faulted {
+		t.Fatalf("poll over corrupt head = %+v, want faulted not loaded", out)
+	}
+	if !errors.Is(out.Err, graph.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", out.Err)
+	}
+	if got := servingSeq(mv); got != 1 {
+		t.Fatalf("serving seq = %d, want last-good 1", got)
+	}
+	if n := f.Status().Reloads[indexOf(ReloadCorrupt)]; n != 1 {
+		t.Fatalf("corrupt count = %d, want 1", n)
+	}
+
+	// Builder recovers with gen 3: follower converges.
+	if _, err := fs.PublishGood(markerGraph(3)); err != nil {
+		t.Fatal(err)
+	}
+	out = f.Poll()
+	if !out.Loaded || out.Seq != 3 || servingSeq(mv) != 3 {
+		t.Fatalf("recovery poll = %+v serving=%d, want 3", out, servingSeq(mv))
+	}
+}
+
+func TestFollowerLyingManifestCaughtByLoader(t *testing.T) {
+	fs, mv, f := newTestFollower(t, Config{})
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Poll()
+
+	// Lying manifest vouches for the flipped bytes: the CRC pre-check
+	// passes, so only the snapshot's internal checksums can refuse it.
+	if _, err := fs.PublishBitFlip(markerGraph(2), true); err != nil {
+		t.Fatalf("PublishBitFlip lying: %v", err)
+	}
+	out := f.Poll()
+	if out.Loaded || servingSeq(mv) != 1 {
+		t.Fatalf("lying-manifest generation served: %+v serving=%d", out, servingSeq(mv))
+	}
+	if n := f.Status().Reloads[indexOf(ReloadCorrupt)]; n != 1 {
+		t.Fatalf("corrupt count = %d, want 1", n)
+	}
+}
+
+func TestFollowerClassifiesTruncation(t *testing.T) {
+	fs, mv, f := newTestFollower(t, Config{})
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Poll()
+
+	if _, err := fs.PublishTruncated(markerGraph(2), false); err != nil {
+		t.Fatalf("PublishTruncated: %v", err)
+	}
+	out := f.Poll()
+	if out.Loaded || !errors.Is(out.Err, graph.ErrGenTruncated) {
+		t.Fatalf("poll = %+v, want ErrGenTruncated", out)
+	}
+	if n := f.Status().Reloads[indexOf(ReloadTruncated)]; n != 1 {
+		t.Fatalf("truncated count = %d, want 1", n)
+	}
+	if servingSeq(mv) != 1 {
+		t.Fatalf("serving seq = %d, want 1", servingSeq(mv))
+	}
+}
+
+func TestFollowerRecoversTornManifestViaOrphanScan(t *testing.T) {
+	fs, mv, f := newTestFollower(t, Config{})
+	// Tear needs an existing manifest line to ruin, so seed one first.
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Poll()
+
+	// The snapshot is intact; only its manifest record is torn. The orphan
+	// scan finds it and the loader's internal checksums vouch for it.
+	if _, err := fs.PublishTornManifest(markerGraph(2)); err != nil {
+		t.Fatalf("PublishTornManifest: %v", err)
+	}
+	out := f.Poll()
+	if !out.Loaded || out.Seq != 2 || servingSeq(mv) != 2 {
+		t.Fatalf("torn-manifest poll = %+v serving=%d, want 2", out, servingSeq(mv))
+	}
+}
+
+func TestFollowerRecoversRenameThenCrashOrphan(t *testing.T) {
+	fs, mv, f := newTestFollower(t, Config{})
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Poll()
+
+	// Crash between the snapshot rename and the manifest rename: the new
+	// generation exists only as an unmanifested file.
+	if _, err := fs.PublishOrphan(markerGraph(2)); err != nil {
+		t.Fatalf("PublishOrphan: %v", err)
+	}
+	out := f.Poll()
+	if !out.Loaded || out.Seq != 2 || servingSeq(mv) != 2 {
+		t.Fatalf("orphan poll = %+v serving=%d, want 2", out, servingSeq(mv))
+	}
+}
+
+func TestFollowerRetryBudgetSkipsWornGeneration(t *testing.T) {
+	fs, mv, f := newTestFollower(t, Config{MaxAttempts: 2})
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Poll()
+	if _, err := fs.PublishBitFlip(markerGraph(2), false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two polls spend the budget; the third skips without re-reading.
+	for i := 0; i < 3; i++ {
+		if out := f.Poll(); out.Loaded || !out.Faulted {
+			t.Fatalf("poll %d = %+v, want faulted", i, out)
+		}
+	}
+	if n := f.Status().Reloads[indexOf(ReloadCorrupt)]; n != 2 {
+		t.Fatalf("corrupt count = %d, want exactly MaxAttempts=2", n)
+	}
+
+	// A newer good generation clears the wedge and prunes the budget map.
+	if _, err := fs.PublishGood(markerGraph(3)); err != nil {
+		t.Fatal(err)
+	}
+	if out := f.Poll(); !out.Loaded || out.Seq != 3 {
+		t.Fatalf("recovery poll = %+v, want 3", out)
+	}
+	if servingSeq(mv) != 3 {
+		t.Fatalf("serving seq = %d, want 3", servingSeq(mv))
+	}
+	f.mu.Lock()
+	pending := len(f.attempts)
+	f.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("attempts map holds %d superseded entries, want 0", pending)
+	}
+}
+
+func TestFollowerListErrorClassified(t *testing.T) {
+	fs, _, f := newTestFollower(t, Config{})
+	if err := os.RemoveAll(fs.Store().Dir()); err != nil {
+		t.Fatal(err)
+	}
+	out := f.Poll()
+	if !out.Faulted || out.Err == nil {
+		t.Fatalf("poll on removed dir = %+v, want faulted", out)
+	}
+	if n := f.Status().Reloads[indexOf(ReloadListError)]; n != 1 {
+		t.Fatalf("list_error count = %d, want 1", n)
+	}
+}
+
+func TestFollowerChaosLoaderFailuresAreIOErrors(t *testing.T) {
+	fs, mv, _ := newTestFollower(t, Config{})
+	f := New(fs.Store(), mv, Config{
+		Load: ChaosLoader(7, 1.0, 0, nil), // every read fails
+	})
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	out := f.Poll()
+	if out.Loaded || !out.Faulted {
+		t.Fatalf("poll with failing loader = %+v", out)
+	}
+	if n := f.Status().Reloads[indexOf(ReloadIOError)]; n != 1 {
+		t.Fatalf("io_error count = %d, want 1", n)
+	}
+
+	// Same store, healthy loader: the generation is fine.
+	healthy := New(fs.Store(), mv, Config{})
+	if out := healthy.Poll(); !out.Loaded || out.Seq != 1 {
+		t.Fatalf("healthy poll = %+v, want loaded 1", out)
+	}
+}
+
+func TestFollowerStartNotifyClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	fs, mv, f := newTestFollower(t, Config{Interval: time.Hour}) // polling off: Notify drives it
+	fs.Store().OnSave(func(graph.Generation) { f.Notify() })
+	f.Start()
+	f.Start() // idempotent
+	t.Cleanup(f.Close)
+
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.LastGood() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never picked up gen 1: %v", f.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if servingSeq(mv) != 1 {
+		t.Fatalf("serving seq = %d, want 1", servingSeq(mv))
+	}
+
+	f.Close()
+	f.Close() // idempotent
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFollowerBackoffBoundedAndJittered(t *testing.T) {
+	_, _, f := newTestFollower(t, Config{Interval: 100 * time.Millisecond, MaxBackoff: time.Second, Seed: 3})
+	rng := newSeededRand(3)
+	for consecutive := 1; consecutive <= 10; consecutive++ {
+		d := f.backoffDelay(rng, consecutive)
+		if d < 50*time.Millisecond || d >= time.Second {
+			t.Fatalf("consecutive=%d: delay %v outside [Interval/2, MaxBackoff)", consecutive, d)
+		}
+	}
+	// Determinism: the same seed replays the same schedule.
+	a, b := newSeededRand(9), newSeededRand(9)
+	for i := 1; i <= 5; i++ {
+		if da, db := f.backoffDelay(a, i), f.backoffDelay(b, i); da != db {
+			t.Fatalf("seeded backoff diverged at %d: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestFollowerStatusDegradedPastStaleness(t *testing.T) {
+	fs, _, _ := newTestFollower(t, Config{})
+	now := time.Unix(1000, 0)
+	mv := graph.NewMVStore(graph.New())
+	f := New(fs.Store(), mv, Config{
+		StaleAfter: time.Minute,
+		Now:        func() time.Time { return now },
+	})
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	f.Poll()
+
+	if st := f.Status(); !st.Ready || st.Degraded {
+		t.Fatalf("fresh status: %+v", st)
+	}
+	now = now.Add(2 * time.Minute)
+	st := f.Status()
+	if !st.Ready || !st.Degraded || st.Age != 2*time.Minute {
+		t.Fatalf("stale status: %+v", st)
+	}
+	if !strings.Contains(st.String(), "degraded") {
+		t.Fatalf("String() = %q, want degraded", st.String())
+	}
+}
+
+func TestChaosLoaderDeterministic(t *testing.T) {
+	okLoad := func(string) (*graph.Graph, error) { return graph.New(), nil }
+	run := func(seed int64) string {
+		ld := ChaosLoader(seed, 0.5, 0, okLoad)
+		var sb strings.Builder
+		for i := 0; i < 32; i++ {
+			if _, err := ld("x"); err != nil {
+				sb.WriteByte('F')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		return sb.String()
+	}
+	if a, b := run(11), run(11); a != b {
+		t.Fatalf("same seed diverged: %s vs %s", a, b)
+	}
+	if a, b := run(11), run(12); a == b {
+		t.Fatalf("different seeds identical (suspicious): %s", a)
+	}
+}
+
+// indexOf maps a reload-result label to its slot in Status.Reloads.
+func indexOf(result string) int {
+	for i, r := range ReloadResults {
+		if r == result {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("unknown reload result %q", result))
+}

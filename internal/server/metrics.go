@@ -12,12 +12,19 @@ import (
 
 	"iyp/internal/algo"
 	"iyp/internal/cypher"
+	"iyp/internal/replica"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the query-duration
 // histogram, chosen to straddle the paper instance's interactive range:
 // sub-millisecond index lookups up to multi-second analytical scans.
 var latencyBuckets = [...]float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+// ratioBuckets are the upper bounds of the cost-estimate accuracy histogram
+// (actual result rows ÷ planner-estimated rows). A well-calibrated planner
+// piles mass around 1; mass at the edges means the degrade ladder is
+// shedding (or admitting) the wrong queries.
+var ratioBuckets = [...]float64{0.01, 0.1, 0.25, 0.5, 1, 2, 4, 10, 100}
 
 type metrics struct {
 	queries   atomic.Uint64 // completed query requests (any outcome)
@@ -38,6 +45,24 @@ type metrics struct {
 	// accumulated at render time per Prometheus convention.
 	buckets    [len(latencyBuckets) + 1]atomic.Uint64
 	durationNS atomic.Uint64
+
+	// Cost-estimate accuracy histogram (actual rows ÷ estimated rows),
+	// same internal layout. The sum is kept in micro-units so it fits an
+	// atomic counter without float CAS loops.
+	ratios        [len(ratioBuckets) + 1]atomic.Uint64
+	ratioSumMicro atomic.Uint64
+}
+
+// observeRatio records one actual÷estimated row-count ratio.
+func (m *metrics) observeRatio(ratio float64) {
+	m.ratioSumMicro.Add(uint64(ratio * 1e6))
+	for i, ub := range ratioBuckets {
+		if ratio <= ub {
+			m.ratios[i].Add(1)
+			return
+		}
+	}
+	m.ratios[len(ratioBuckets)].Add(1)
 }
 
 // shed counts one request shed for the given reason (a shedReasons value).
@@ -78,9 +103,10 @@ type admStats struct {
 	watchdogKills uint64 // runaway queries hard-cancelled by the watchdog
 }
 
-// write renders the Prometheus text format, folding in plan-cache stats
-// and the generation-store and admission gauges.
-func (m *metrics) write(w io.Writer, cache cypher.CacheStats, gens genStats, adm admStats) {
+// write renders the Prometheus text format, folding in plan-cache stats,
+// the generation-store and admission gauges, and (on a replica) the
+// follower's health. repl is nil on single-process servers.
+func (m *metrics) write(w io.Writer, cache cypher.CacheStats, gens genStats, adm admStats, repl *replica.Status) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -118,6 +144,28 @@ func (m *metrics) write(w io.Writer, cache cypher.CacheStats, gens genStats, adm
 	gauge("iyp_generations_live", "Generations tracked by the store (current + retained + pinned).", int64(gens.live))
 	counter("iyp_generations_reclaimed_total", "Superseded generations reclaimed after their last reader released.", gens.reclaimed)
 
+	// Replica follower (present only with -follow).
+	if repl != nil {
+		gauge("iyp_replica_last_good_generation", "Builder generation currently serving reads (0 = never loaded).", int64(repl.LastGoodGen))
+		fmt.Fprintf(w, "# HELP iyp_replica_generation_age_seconds Age of the serving generation.\n# TYPE iyp_replica_generation_age_seconds gauge\n")
+		fmt.Fprintf(w, "iyp_replica_generation_age_seconds %g\n", repl.Age.Seconds())
+		fmt.Fprintf(w, "# HELP iyp_replica_reloads_total Reload attempts by result.\n# TYPE iyp_replica_reloads_total counter\n")
+		for i, r := range replica.ReloadResults {
+			fmt.Fprintf(w, "iyp_replica_reloads_total{result=%q} %d\n", r, repl.Reloads[i])
+		}
+		counter("iyp_replica_polls_total", "Store watch iterations.", repl.Polls)
+		counter("iyp_replica_backoffs_total", "Backoff sleeps taken after faulted polls.", repl.Backoffs)
+		var ready, degraded int64
+		if repl.Ready {
+			ready = 1
+		}
+		if repl.Degraded {
+			degraded = 1
+		}
+		gauge("iyp_replica_ready", "1 once a generation has been loaded and served.", ready)
+		gauge("iyp_replica_degraded", "1 when the serving generation is older than the staleness threshold.", degraded)
+	}
+
 	// Per-kernel analytics counters (CALL algo.* procedures).
 	algo.WriteProm(w)
 
@@ -134,4 +182,15 @@ func (m *metrics) write(w io.Writer, cache cypher.CacheStats, gens genStats, adm
 	fmt.Fprintf(w, "iyp_query_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "iyp_query_duration_seconds_sum %g\n", float64(m.durationNS.Load())/1e9)
 	fmt.Fprintf(w, "iyp_query_duration_seconds_count %d\n", cum)
+
+	fmt.Fprintf(w, "# HELP iyp_cost_estimate_ratio Actual result rows divided by planner-estimated rows, per completed query.\n# TYPE iyp_cost_estimate_ratio histogram\n")
+	cum = 0
+	for i, ub := range ratioBuckets {
+		cum += m.ratios[i].Load()
+		fmt.Fprintf(w, "iyp_cost_estimate_ratio_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.ratios[len(ratioBuckets)].Load()
+	fmt.Fprintf(w, "iyp_cost_estimate_ratio_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "iyp_cost_estimate_ratio_sum %g\n", float64(m.ratioSumMicro.Load())/1e6)
+	fmt.Fprintf(w, "iyp_cost_estimate_ratio_count %d\n", cum)
 }

@@ -34,6 +34,7 @@ import (
 	"iyp/internal/cypher"
 	"iyp/internal/graph"
 	"iyp/internal/ontology"
+	"iyp/internal/replica"
 )
 
 // Config tunes the serving layer. The zero value serves with production
@@ -95,6 +96,12 @@ type Config struct {
 	// DisableLegacy turns the deprecated /db/* aliases into 410 Gone
 	// responses instead of serving them (with deprecation headers).
 	DisableLegacy bool
+	// Replica, when set, marks this server as a read replica following a
+	// generation store. GET /v1/ready answers from its status (503 until
+	// the first good load, "degraded" past the staleness threshold) and
+	// GET /metrics grows the iyp_replica_* family. Nil on single-process
+	// servers; /v1/ready then mirrors /v1/health's view.
+	Replica *replica.Follower
 	// Logf receives slow-query and lifecycle logs (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -193,6 +200,7 @@ func New(st *graph.MVStore, cfgs ...Config) *Server {
 	}
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/ready", s.handleReady)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 	})
@@ -479,6 +487,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.Truncated {
 		s.met.truncated.Add(1)
 	}
+	// Planner calibration: record actual÷estimated rows so drift in the
+	// cost model (which drives the degrade ladder's shedding) is visible.
+	// Analytics calls are skipped (their cardinality is kernel-defined, not
+	// pattern-derived), as are truncated results (the true count is unknown)
+	// and zero estimates (the ratio is undefined).
+	if est := cypher.EstimateQuery(g, plan, params); !est.Analytics && !res.Truncated && est.Rows > 0 {
+		s.met.observeRatio(float64(len(rows)) / est.Rows)
+	}
 	if took >= s.cfg.SlowQuery {
 		s.logf("slow query: took_ms=%d rows=%d truncated=%v query=%q",
 			took.Milliseconds(), len(rows), res.Truncated, req.Query)
@@ -529,6 +545,49 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Capacity:     cap(s.adm.slots),
 		Generation:   s.st.CurrentGen(),
 	})
+}
+
+// readyResponse is the GET /v1/ready payload, shaped for load-balancer
+// readiness checks on replicas: a follower answers 503 until its first good
+// load (a replica with no data must not take traffic), then 200 — "ok"
+// normally, "degraded" once the serving generation is older than the
+// staleness threshold (still serving; stale-but-consistent beats
+// fresh-but-broken, but the balancer may prefer fresher peers).
+type readyResponse struct {
+	Status string `json:"status"` // "ok", "degraded" or "not_ready"
+	// Generation is the MVCC chain generation serving reads.
+	Generation uint64 `json:"generation"`
+	// BuilderGeneration is the builder store seq being served (replicas
+	// only; 0 on single-process servers and before the first load).
+	BuilderGeneration uint64 `json:"builder_generation,omitempty"`
+	// AgeSeconds is how long ago that generation was swapped live
+	// (replicas only).
+	AgeSeconds float64 `json:"age_seconds,omitempty"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Replica == nil {
+		// Single-process: the graph was loaded before the listener opened,
+		// so serving at all means ready.
+		writeJSON(w, http.StatusOK, readyResponse{Status: "ok", Generation: s.st.CurrentGen()})
+		return
+	}
+	st := s.cfg.Replica.Status()
+	resp := readyResponse{
+		Status:            "ok",
+		Generation:        st.ServingChainGen,
+		BuilderGeneration: st.LastGoodGen,
+		AgeSeconds:        st.Age.Seconds(),
+	}
+	switch {
+	case !st.Ready:
+		resp.Status = "not_ready"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	case st.Degraded:
+		resp.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // generationsResponse is the GET /v1/generations payload.
@@ -614,6 +673,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.adm.scanOverdue(time.Now()) // piggyback the watchdog on scrapes
 	s.degradeLevel()              // refresh the gauge
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var repl *replica.Status
+	if s.cfg.Replica != nil {
+		st := s.cfg.Replica.Status()
+		repl = &st
+	}
 	s.met.write(w, s.cache.Stats(), genStats{
 		current:   s.st.CurrentGen(),
 		live:      s.st.Live(),
@@ -623,7 +687,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		level:         s.adm.level.Load(),
 		quarantined:   s.adm.quar.size(),
 		watchdogKills: s.adm.watchdogKills.Load(),
-	})
+	}, repl)
 }
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
