@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"log"
+	"runtime"
+	"time"
+
+	"iyp"
+	"iyp/internal/simnet"
+	"iyp/internal/temporal"
+)
+
+// The -diff mode benchmarks the generation-diff kernel (temporal.Diff)
+// between two dated snapshots — the 2015-calibrated Internet and the
+// default 2024 one — across worker budgets, and proves the determinism
+// contract the CI temporal job depends on: the rendered diff must be
+// byte-identical at every worker count. DIFF.json is the tracked
+// artifact, carrying the same host metadata as the other baselines so
+// multi-core re-runs are comparable.
+
+type diffRunResult struct {
+	Workers int     `json:"workers"`
+	Seconds float64 `json:"seconds"` // best-of-reps wall time
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+type diffFile struct {
+	GeneratedAt string  `json:"generated_at"`
+	GoVersion   string  `json:"go_version"`
+	NumCPU      int     `json:"num_cpu"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Scale       float64 `json:"scale"`
+	Reps        int     `json:"reps"`
+
+	FromNodes int `json:"from_nodes"`
+	FromRels  int `json:"from_rels"`
+	ToNodes   int `json:"to_nodes"`
+	ToRels    int `json:"to_rels"`
+
+	// Deterministic is true when every (worker count, rep) run rendered
+	// a byte-identical diff table — the kernel's core contract.
+	Deterministic bool `json:"deterministic"`
+
+	NodeTotals temporal.Totals `json:"node_totals"`
+	RelTotals  temporal.Totals `json:"rel_totals"`
+
+	Results []diffRunResult `json:"results"`
+}
+
+// runDiffBench diffs the 2015-era snapshot against the already-built
+// 2024 one (db) at each worker budget, keeping the best of reps runs and
+// checking that every run renders the identical table.
+func runDiffBench(db *iyp.DB, scale float64, reps int, out string) {
+	old, err := iyp.Build(context.Background(), iyp.Options{Config: simnet.Config2015().Scale(scale)})
+	if err != nil {
+		log.Fatalf("iyp-bench: build 2015 snapshot: %v", err)
+	}
+	from, to := old.Graph(), db.Graph()
+	log.Printf("diff: 2015 snapshot %d nodes, %d relationships", from.NumNodes(), from.NumRels())
+
+	workerSet := []int{1, 2, 4, 8}
+	if n := runtime.GOMAXPROCS(0); n > 8 {
+		workerSet = append(workerSet, n)
+	}
+
+	df := diffFile{
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Scale:         scale,
+		Reps:          reps,
+		FromNodes:     from.NumNodes(),
+		FromRels:      from.NumRels(),
+		ToNodes:       to.NumNodes(),
+		ToRels:        to.NumRels(),
+		Deterministic: true,
+	}
+
+	var serial float64
+	var canonical string
+	for _, workers := range workerSet {
+		best := 0.0
+		for r := 0; r < reps+1; r++ {
+			t0 := time.Now()
+			res, err := temporal.Diff(context.Background(), from, to, temporal.DiffOptions{Workers: workers})
+			if err != nil {
+				log.Fatalf("iyp-bench: diff (workers=%d): %v", workers, err)
+			}
+			took := time.Since(t0).Seconds()
+			rendered := res.String()
+			if canonical == "" {
+				canonical = rendered
+				df.NodeTotals = res.Nodes
+				df.RelTotals = res.Rels
+			} else if rendered != canonical {
+				df.Deterministic = false
+				log.Printf("iyp-bench: NONDETERMINISTIC diff at workers=%d rep=%d", workers, r)
+			}
+			if r == 0 {
+				continue // warm-up run
+			}
+			if best == 0 || took < best {
+				best = took
+			}
+		}
+		if workers == 1 {
+			serial = best
+		}
+		speedup := 0.0
+		if best > 0 {
+			speedup = serial / best
+		}
+		df.Results = append(df.Results, diffRunResult{Workers: workers, Seconds: best, Speedup: speedup})
+		log.Printf("diff workers=%-2d %8.3fms  %.2fx", workers, best*1e3, speedup)
+	}
+	log.Printf("diff totals: nodes +%d -%d ~%d, rels +%d -%d ~%d, deterministic=%v",
+		df.NodeTotals.Added, df.NodeTotals.Removed, df.NodeTotals.Changed,
+		df.RelTotals.Added, df.RelTotals.Removed, df.RelTotals.Changed, df.Deterministic)
+	writeOut(out, df)
+	if !df.Deterministic {
+		log.Fatal("iyp-bench: diff kernel produced different results across worker counts")
+	}
+}

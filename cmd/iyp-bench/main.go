@@ -12,6 +12,7 @@
 //	iyp-bench -contention          # reader latency under a concurrent writer
 //	iyp-bench -overload -o OVERLOAD.json  # goodput at 4x capacity, governed vs not
 //	iyp-bench -failover -o FAILOVER.json  # replica goodput across injected builder faults
+//	iyp-bench -diff -o DIFF.json          # generation-diff kernel latency + determinism check
 //
 // Every query runs at each worker budget; per (query, workers) the best
 // of -reps runs is kept (the usual way to suppress scheduler noise) and
@@ -87,6 +88,7 @@ func main() {
 		contention = flag.Bool("contention", false, "measure reader latency under a concurrent writer (MVCC vs RWMutex)")
 		overload   = flag.Bool("overload", false, "measure cheap-query goodput at 4x capacity, governed vs ungoverned")
 		failover   = flag.Bool("failover", false, "measure replica goodput across injected builder faults vs a restart baseline")
+		diffBench  = flag.Bool("diff", false, "benchmark the generation-diff kernel across worker budgets and verify determinism")
 		duration   = flag.Duration("duration", 3*time.Second, "per-mode measurement window for -contention / -overload / -failover")
 		readers    = flag.Int("readers", 4, "concurrent reader goroutines for -contention")
 		seed       = flag.Int64("seed", 1, "fault-injection seed for -failover")
@@ -102,6 +104,10 @@ func main() {
 
 	if *contention {
 		runContention(db, *scale, *duration, *readers, *out)
+		return
+	}
+	if *diffBench {
+		runDiffBench(db, *scale, *reps, *out)
 		return
 	}
 	if *overload {

@@ -8,6 +8,7 @@
 //	iyp-build -o iyp.snapshot [-scale 1.0] [-seed 42] [-http] [-jobs 4] [-v]
 //	          [-crawler-timeout 0] [-min-success 0] [-critical a,b]
 //	          [-resume] [-checkpoint dir] [-store dir -keep 3]
+//	iyp-build -store dir -delta [-datasets a,b]
 //
 // Builds are resumable: progress is checkpointed after every committed
 // dataset (to -checkpoint, default <out>.ckpt), and a crashed or cancelled
@@ -16,7 +17,12 @@
 // byte-identical to an uninterrupted build's. With -store the snapshot is
 // written as a new generation in a store directory that retains the last
 // -keep generations; iyp-serve pointed at the directory falls back to an
-// older generation if the newest is damaged.
+// older generation if the newest is damaged. Store builds also record each
+// dataset's input hashes in a DATASETS manifest, which is what -delta
+// compares against: a delta build re-crawls only datasets whose inputs
+// changed (plus any forced with -datasets) against the previous
+// generation, publishing the next generation without a full rebuild — and
+// publishing nothing at all when every input is unchanged.
 package main
 
 import (
@@ -28,7 +34,9 @@ import (
 	"strings"
 
 	"iyp"
+	"iyp/internal/core"
 	"iyp/internal/graph"
+	"iyp/internal/simnet"
 )
 
 func main() {
@@ -47,8 +55,54 @@ func main() {
 		timeout  = flag.Duration("crawler-timeout", 0, "per-crawler deadline; hung feeds are abandoned (0 = none)")
 		minRate  = flag.Float64("min-success", 0, "fraction of datasets that must ingest or the build fails (0 = best effort)")
 		critical = flag.String("critical", "", "comma-separated dataset names whose failure always fails the build")
+		delta    = flag.Bool("delta", false, "incremental build: re-crawl only datasets whose inputs changed against -store's DATASETS manifest")
+		datasets = flag.String("datasets", "", "comma-separated dataset names to force re-crawl with -delta")
 	)
 	flag.Parse()
+
+	if *delta {
+		if *storeDir == "" {
+			log.Fatal("iyp-build: -delta requires -store (the previous full build's generation store)")
+		}
+		cfg := simnet.DefaultConfig()
+		if *scale > 0 {
+			cfg = cfg.Scale(*scale)
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		dopts := core.DeltaOptions{
+			Build: core.BuildOptions{
+				Config:         cfg,
+				UseHTTP:        *useHTTP,
+				Concurrency:    *jobs,
+				CrawlerTimeout: *timeout,
+			},
+			StoreDir: *storeDir,
+			Keep:     *keep,
+		}
+		if *verbose {
+			dopts.Build.Logf = log.Printf
+		}
+		for _, name := range strings.Split(*datasets, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				dopts.Datasets = append(dopts.Datasets, name)
+			}
+		}
+		res, err := core.BuildDelta(context.Background(), dopts)
+		if err != nil {
+			log.Fatalf("iyp-build: %v", err)
+		}
+		if res.Unchanged {
+			fmt.Printf("all datasets unchanged against generation %d; nothing published\n", res.PrevSeq)
+			return
+		}
+		fmt.Print(res.Report)
+		fmt.Printf("wrote %s (generation %d, delta from %d): %d nodes, %d relationships; re-crawled %s\n",
+			res.Gen.Path, res.Gen.Seq, res.PrevSeq, res.Graph.NumNodes(), res.Graph.NumRels(),
+			strings.Join(res.Recrawled, ", "))
+		return
+	}
 
 	checkpoint := *ckptDir
 	if checkpoint == "" {
@@ -97,6 +151,10 @@ func main() {
 		gen, err := store.Save(db.Graph())
 		if err != nil {
 			log.Fatalf("iyp-build: store save: %v", err)
+		}
+		man := core.ManifestFromReport(db.BuildFingerprint, gen.Seq, db.BuildFetchTime, db.Report)
+		if err := core.WriteDatasetsManifest(*storeDir, man); err != nil {
+			log.Fatalf("iyp-build: datasets manifest: %v", err)
 		}
 		fmt.Printf("wrote %s (generation %d): %d nodes, %d relationships\n", gen.Path, gen.Seq, st.Nodes, st.Rels)
 	} else {

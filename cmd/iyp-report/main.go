@@ -8,6 +8,8 @@
 //	iyp-report -db iyp.snapshot            # use an existing snapshot
 //	iyp-report -scale 0.5                  # build fresh at half scale
 //	iyp-report -db iyp.snapshot -inventory # also print the dataset inventory
+//	iyp-report -diff old.snapshot new.snapshot  # diff two snapshots
+//	iyp-report -diff -store gens/ 3 5      # diff two persisted generations
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strconv"
 	"time"
 
 	"iyp"
@@ -24,6 +27,7 @@ import (
 	"iyp/internal/graph"
 	"iyp/internal/ontology"
 	"iyp/internal/studies"
+	"iyp/internal/temporal"
 )
 
 func main() {
@@ -36,8 +40,18 @@ func main() {
 		sneak     = flag.Bool("sneakpeek", false, "walk the graph around the top-ranked domain (Figure 4)")
 		validate  = flag.Bool("validate", false, "check the graph against the ontology before reporting")
 		algoRun   = flag.Bool("algo", false, "run the whole-graph analytics kernels and print a structural summary")
+		diffRun   = flag.Bool("diff", false, "diff two snapshots (or, with -store, two generation numbers)")
+		storeDir  = flag.String("store", "", "generation store directory for -diff")
+		workers   = flag.Int("workers", 0, "diff workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *diffRun {
+		if err := runDiff(*storeDir, flag.Args(), *workers); err != nil {
+			log.Fatalf("iyp-report: diff: %v", err)
+		}
+		return
+	}
 
 	var (
 		db  *iyp.DB
@@ -104,6 +118,56 @@ func main() {
 		fmt.Printf("%d relationships from %d distinct datasets: %v\n",
 			len(sp.Lines), len(sp.Datasets), sp.Datasets)
 	}
+}
+
+// runDiff is the -diff path: it loads two frozen generations — either two
+// snapshot files, or two generation numbers out of a -store directory —
+// and prints the temporal diff between them.
+func runDiff(storeDir string, args []string, workers int) error {
+	if len(args) != 2 {
+		return fmt.Errorf("need exactly two arguments (got %d): two snapshot paths, or with -store two generation numbers", len(args))
+	}
+	var fromG, toG *graph.Graph
+	var fromSeq, toSeq uint64
+	if storeDir != "" {
+		st, err := graph.OpenStore(storeDir, graph.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		seqs := make([]uint64, 2)
+		for i, a := range args {
+			n, err := strconv.ParseUint(a, 10, 64)
+			if err != nil || n == 0 {
+				return fmt.Errorf("%q is not a generation number", a)
+			}
+			seqs[i] = n
+		}
+		fromSeq, toSeq = seqs[0], seqs[1]
+		if fromG, err = temporal.LoadGeneration(st, fromSeq); err != nil {
+			return err
+		}
+		if toG, err = temporal.LoadGeneration(st, toSeq); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		if fromG, err = graph.LoadFile(args[0]); err != nil {
+			return err
+		}
+		if toG, err = graph.LoadFile(args[1]); err != nil {
+			return err
+		}
+		fromG.Freeze()
+		toG.Freeze()
+		fromSeq, toSeq = 1, 2
+	}
+	res, err := temporal.Diff(context.Background(), fromG, toG, temporal.DiffOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	res.From, res.To = fromSeq, toSeq
+	fmt.Print(res)
+	return nil
 }
 
 // runAnalytics is the -algo path: it compiles a CSR view of the whole

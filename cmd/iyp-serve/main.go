@@ -43,6 +43,7 @@ import (
 	"iyp/internal/graph"
 	"iyp/internal/replica"
 	"iyp/internal/server"
+	"iyp/internal/temporal"
 )
 
 // load opens either a single snapshot file or a generation-store directory.
@@ -51,11 +52,10 @@ import (
 func load(path string) (*iyp.DB, error) {
 	info, err := os.Stat(path)
 	if err == nil && info.IsDir() {
-		store, err := graph.OpenStore(path, graph.StoreOptions{})
-		if err != nil {
-			return nil, err
-		}
-		g, report, err := store.Open()
+		// iyp.OpenStore numbers the MVCC chain from the loaded seq and
+		// attaches the persisted history, so AS-OF queries reach every
+		// generation still in the store, not just the retain window.
+		db, report, err := iyp.OpenStore(path)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +63,7 @@ func load(path string) (*iyp.DB, error) {
 			log.Printf("iyp-serve: skipped generation %d (%s): %s", s.Seq, s.Path, s.Reason)
 		}
 		log.Printf("iyp-serve: loaded generation %d from %s", report.Loaded.Seq, report.Loaded.Path)
-		return iyp.Wrap(g), nil
+		return db, nil
 	}
 	return iyp.Load(path)
 }
@@ -86,6 +86,7 @@ func main() {
 		legacy      = flag.Bool("legacy", true, "serve the deprecated /db/* aliases (false answers them with 410)")
 		follow      = flag.String("follow", "", "replica mode: follow this generation-store directory, hot-swapping new builder generations in")
 		poll        = flag.Duration("poll", 250*time.Millisecond, "store poll interval in -follow mode")
+		bump        = flag.Duration("bump", 0, "manifest-mtime watch interval in -follow mode: stat the store manifest this often and reload the moment a builder publishes (0 disables; lets -poll be much longer)")
 		staleAfter  = flag.Duration("stale-after", 0, "report degraded when the serving generation is older than this in -follow mode (0 disables)")
 	)
 	flag.Parse()
@@ -118,10 +119,14 @@ func main() {
 		}
 		mv = graph.NewMVStore(graph.New())
 		mv.SetRetain(1)
+		// Replicas answer AS-OF queries for generations beyond their one
+		// retained graph by materializing them from the followed store.
+		temporal.Attach(mv, store, 0)
 		f := replica.New(store, mv, replica.Config{
-			Interval:   *poll,
-			StaleAfter: *staleAfter,
-			Logf:       log.Printf,
+			Interval:     *poll,
+			StaleAfter:   *staleAfter,
+			BumpInterval: *bump,
+			Logf:         log.Printf,
 		})
 		f.Start()
 		defer f.Close()

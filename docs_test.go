@@ -6,6 +6,7 @@ package iyp_test
 // planner.
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -57,5 +58,93 @@ func TestReadmeExplainExamples(t *testing.T) {
 		if !strings.Contains(doc, name) {
 			t.Errorf("README.md does not mention metric %s", name)
 		}
+	}
+}
+
+// TestReadmeTemporalExamples pins the temporal-subsystem docs the same
+// way: the query surfaces the README and DESIGN.md advertise must parse
+// and execute exactly as written.
+func TestReadmeTemporalExamples(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme) + string(design)
+
+	// The advertised surfaces must be mentioned in the docs.
+	for _, want := range []string{
+		"AS OF $gen",
+		"/v1/diff?from=3&to=5",
+		"-store snapshots/ -delta",
+		"temporal.diff({from: 3, to: 5})",
+		"iyp-report -diff",
+		"iyp-bench -diff",
+		"kind, name, added, removed,",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("docs do not mention %q", want)
+		}
+	}
+
+	// And they must be real: build a two-generation store and run the
+	// README's temporal queries verbatim against it.
+	mkGen := func(extraPrefix bool) *graph.Graph {
+		g := graph.New()
+		p := g.AddNode([]string{"Prefix"}, graph.Props{"prefix": graph.String("192.0.2.0/24")})
+		tag := g.AddNode([]string{"Tag"}, graph.Props{"label": graph.String("RPKI Valid")})
+		if _, err := g.AddRel("CATEGORIZED", p, tag, nil); err != nil {
+			t.Fatal(err)
+		}
+		if extraPrefix {
+			g.AddNode([]string{"Prefix"}, graph.Props{"prefix": graph.String("198.51.100.0/24")})
+		}
+		return g
+	}
+	g1, g2 := mkGen(false), mkGen(true)
+
+	dir := t.TempDir()
+	st, err := graph.OpenStore(dir, graph.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(g1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(g2); err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := iyp.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The README's AS OF example, verbatim shape.
+	ctx := context.Background()
+	res, err := db.Query(ctx, `
+MATCH (p:Prefix)-[:CATEGORIZED]-(t:Tag)
+WHERE t.label STARTS WITH 'RPKI'
+RETURN count(*) AS n
+AS OF $gen`, iyp.WithParams(map[string]iyp.Value{"gen": iyp.IntValue(1)}))
+	if err != nil {
+		t.Fatalf("README AS OF example does not run: %v", err)
+	}
+	if n, err := res.ScalarInt(); err != nil || n != 1 {
+		t.Fatalf("AS OF example returned %d (%v), want 1", n, err)
+	}
+
+	// The documented CALL temporal.diff column list.
+	res, err = db.Query(ctx, `CALL temporal.diff({from: 1, to: 2}) YIELD kind, name, added, removed, changed RETURN kind, name, added, removed, changed`)
+	if err != nil {
+		t.Fatalf("CALL temporal.diff example does not run: %v", err)
+	}
+	if got := strings.Join(res.Columns, ", "); got != "kind, name, added, removed, changed" {
+		t.Fatalf("temporal.diff columns = %q", got)
+	}
+	if res.Len() == 0 {
+		t.Fatal("temporal.diff returned no rows")
 	}
 }

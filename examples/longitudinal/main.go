@@ -1,10 +1,13 @@
 // Longitudinal analysis: the paper's §7 notes that IYP models snapshots in
 // time, and that the authors ran a longitudinal study by operating
 // multiple instances representing different dates and merging results
-// themselves. This example reproduces that workflow: build two snapshots —
-// one calibrated to the 2015 RiPKI-era Internet, one to 2024 — save both
-// to disk, reload them as independent instances, run the *same* query
-// against each, and merge the trend.
+// themselves. This example runs that workflow through the temporal
+// subsystem instead: build two dated snapshots — one calibrated to the
+// 2015 RiPKI-era Internet, one to 2024 — publish them as generations 1 and
+// 2 of one generation store, then ask ONE instance both longitudinal
+// questions: the same query `AS OF` each generation, and `CALL
+// temporal.diff` for what changed in between. No per-date instances, no
+// hand-merged results.
 //
 //	go run ./examples/longitudinal
 package main
@@ -14,9 +17,9 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 
 	"iyp"
+	"iyp/internal/graph"
 	"iyp/internal/simnet"
 )
 
@@ -28,45 +31,52 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	// Build and persist the two dated snapshots, exactly as one would
-	// archive the weekly public dumps.
-	snapshots := map[string]simnet.Config{
+	// Build the two dated snapshots and publish them as successive
+	// generations of one store — the weekly-dump archive as a database.
+	store, err := graph.OpenStore(dir, graph.StoreOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dates := []string{"2015-05-01", "2024-05-01"}
+	configs := map[string]simnet.Config{
 		"2015-05-01": simnet.Config2015().Scale(0.15),
 		"2024-05-01": simnet.DefaultConfig().Scale(0.15),
 	}
-	paths := map[string]string{}
-	for date, cfg := range snapshots {
-		db, err := iyp.Build(context.Background(), iyp.Options{Config: cfg})
+	for _, date := range dates {
+		built, err := iyp.Build(context.Background(), iyp.Options{Config: configs[date]})
 		if err != nil {
 			log.Fatal(err)
 		}
-		p := filepath.Join(dir, "iyp-"+date+".snapshot")
-		if err := db.Save(p); err != nil {
+		gen, err := store.Save(built.Graph())
+		if err != nil {
 			log.Fatal(err)
 		}
-		paths[date] = p
-		st := db.Stats()
-		fmt.Printf("snapshot %s: %d nodes, %d relationships -> %s\n", date, st.Nodes, st.Rels, p)
+		st := built.Stats()
+		fmt.Printf("snapshot %s: %d nodes, %d relationships -> generation %d\n", date, st.Nodes, st.Rels, gen.Seq)
 	}
 
-	// The longitudinal query: RPKI coverage of routed prefixes, per
-	// snapshot. One shared query, N instances, merged by hand — the
-	// paper's §7 workflow.
+	// One instance serves the whole archive: it opens on the newest
+	// generation, and AS-OF queries materialize older ones from the store.
+	db, _, err := iyp.OpenStore(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The longitudinal query: RPKI coverage of routed prefixes, per date.
+	// The `AS OF <generation>` suffix pins the query to that date's graph.
 	const coverageQuery = `
 MATCH (p:Prefix)-[:CATEGORIZED]-(t:Tag)
 WHERE t.label STARTS WITH 'RPKI'
 WITH p, collect(t.label) AS labels
 WITH p, size([l IN labels WHERE l <> 'RPKI NotFound']) > 0 AS covered
-RETURN toFloat(count(CASE WHEN covered THEN 1 END)) * 100 / count(*) AS pct`
+RETURN toFloat(count(CASE WHEN covered THEN 1 END)) * 100 / count(*) AS pct
+AS OF $gen`
 
 	fmt.Println("\nRPKI coverage of the routed table, per snapshot:")
 	results := map[string]float64{}
-	for _, date := range []string{"2015-05-01", "2024-05-01"} {
-		db, err := iyp.Load(paths[date])
-		if err != nil {
-			log.Fatal(err)
-		}
-		res, err := db.Query(context.Background(), coverageQuery)
+	for i, date := range dates {
+		res, err := db.Query(context.Background(), coverageQuery,
+			iyp.WithParams(map[string]iyp.Value{"gen": iyp.IntValue(int64(i + 1))}))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -79,4 +89,19 @@ RETURN toFloat(count(CASE WHEN covered THEN 1 END)) * 100 / count(*) AS pct`
 	}
 	fmt.Printf("\ntrend: RPKI coverage grew %.0fx between the snapshots\n", results["2024-05-01"]/results["2015-05-01"])
 	fmt.Println("(the real Internet went from ~6% of web prefixes in 2015 to >50% in 2024 — paper §4.1)")
+
+	// And the new question the diff engine makes first-class: what changed
+	// between the two dates, by relationship type?
+	res, err := db.Query(context.Background(),
+		`CALL temporal.diff({from: 1, to: 2}) YIELD kind, name, added, removed, changed
+		 WHERE kind = 'reltype' OR kind = 'total'
+		 RETURN kind, name, added, removed, changed`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n2015 -> 2024 generation diff:")
+	fmt.Printf("  %-26s %8s %8s %8s\n", "", "added", "removed", "changed")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-26s %8v %8v %8v\n", fmt.Sprintf("%v %v", row[0], row[1]), row[2], row[3], row[4])
+	}
 }

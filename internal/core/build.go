@@ -83,6 +83,11 @@ type BuildResult struct {
 	// Resumed lists datasets restored from the checkpoint journal instead
 	// of being re-fetched (empty for non-resumed builds).
 	Resumed []string
+	// Fingerprint identifies the build's inputs (config + dataset list);
+	// it keys the checkpoint and the store's DATASETS manifest.
+	Fingerprint string
+	// FetchTime is the provenance timestamp stamped on this build.
+	FetchTime time.Time
 	// Elapsed is the total wall-clock build time.
 	Elapsed time.Duration
 }
@@ -233,12 +238,14 @@ func Build(ctx context.Context, opts BuildOptions) (*BuildResult, error) {
 	logf("build complete: %d nodes, %d relationships in %s",
 		g.NumNodes(), g.NumRels(), time.Since(start).Round(time.Millisecond))
 	return &BuildResult{
-		Graph:    g,
-		Report:   report,
-		Internet: in,
-		Catalog:  catalog,
-		Resumed:  resumed,
-		Elapsed:  time.Since(start),
+		Graph:       g,
+		Report:      report,
+		Internet:    in,
+		Catalog:     catalog,
+		Resumed:     resumed,
+		Fingerprint: buildFingerprint(cfg, datasets),
+		FetchTime:   fetchTime,
+		Elapsed:     time.Since(start),
 	}, nil
 }
 

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"iyp/internal/graph"
+	"iyp/internal/temporal"
+)
+
+// fullBuildIntoStore runs a full build and publishes it as generation 1 of
+// a fresh store, with the DATASETS manifest a delta build needs — the same
+// sequence `iyp-build -store` performs.
+func fullBuildIntoStore(t *testing.T, dir string, opts BuildOptions) *BuildResult {
+	t.Helper()
+	res, err := Build(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := graph.OpenStore(dir, graph.StoreOptions{Keep: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := st.Save(res.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := ManifestFromReport(res.Fingerprint, gen.Seq, res.FetchTime, res.Report)
+	if err := WriteDatasetsManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDeltaUnchangedInputsPublishesNothing(t *testing.T) {
+	dir := t.TempDir()
+	opts := BuildOptions{Config: smallConfig()}
+	full := fullBuildIntoStore(t, dir, opts)
+
+	res, err := BuildDelta(context.Background(), DeltaOptions{Build: opts, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Unchanged {
+		t.Fatalf("delta against identical inputs re-crawled %v", res.Recrawled)
+	}
+	if res.PrevSeq != 1 || res.Gen.Seq != 0 {
+		t.Fatalf("unchanged delta: prev=%d gen=%+v", res.PrevSeq, res.Gen)
+	}
+	// Nothing new on disk; the store still holds exactly generation 1.
+	st, err := graph.OpenStore(dir, graph.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 || gens[0].Seq != 1 {
+		t.Fatalf("store generations after no-op delta: %+v", gens)
+	}
+	// And the returned graph IS the previous build's content.
+	full.Graph.Freeze()
+	res.Graph.Freeze()
+	d, err := temporal.Diff(context.Background(), full.Graph, res.Graph, temporal.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("no-op delta graph differs from the full build:\n%s", d)
+	}
+}
+
+// TestDeltaForcedRecrawlEquivalentToFullBuild is the ISSUE's equivalence
+// bar: a delta that re-crawls a dataset whose inputs did not change must
+// publish a generation semantically identical to a full rebuild —
+// temporal.Diff between the two is empty. FetchTime is pinned so
+// provenance timestamps cannot differ between the two runs.
+func TestDeltaForcedRecrawlEquivalentToFullBuild(t *testing.T) {
+	fetchTime := time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+	opts := BuildOptions{Config: smallConfig(), FetchTime: fetchTime}
+
+	dir := t.TempDir()
+	fullBuildIntoStore(t, dir, opts)
+
+	res, err := BuildDelta(context.Background(), DeltaOptions{
+		Build:    opts,
+		StoreDir: dir,
+		Datasets: []string{"bgpkit.pfx2asn", "ripe.as_names"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unchanged {
+		t.Fatal("forced re-crawl reported unchanged")
+	}
+	if len(res.Recrawled) != 2 {
+		t.Fatalf("re-crawled %v, want exactly the 2 forced datasets", res.Recrawled)
+	}
+	if res.Gen.Seq != 2 || res.PrevSeq != 1 {
+		t.Fatalf("delta published generation %d from %d, want 2 from 1", res.Gen.Seq, res.PrevSeq)
+	}
+	if res.RelsDeleted == 0 {
+		t.Fatal("forced re-crawl deleted no relationships — the dataset drop did not run")
+	}
+
+	// An independent full rebuild with the same pinned inputs.
+	ref, err := Build(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref.Graph.Freeze()
+	res.Graph.Freeze()
+	d, err := temporal.Diff(context.Background(), ref.Graph, res.Graph, temporal.DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Empty() {
+		t.Fatalf("delta build differs from full rebuild:\n%s", d)
+	}
+}
+
+func TestDeltaRejectsUnknownDatasetAndMissingManifest(t *testing.T) {
+	opts := BuildOptions{Config: smallConfig()}
+
+	// No manifest: the store was never written by a full -store build.
+	dir := t.TempDir()
+	if _, err := graph.OpenStore(dir, graph.StoreOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDelta(context.Background(), DeltaOptions{Build: opts, StoreDir: dir}); err == nil {
+		t.Fatal("delta without a DATASETS manifest succeeded")
+	}
+
+	dir2 := t.TempDir()
+	fullBuildIntoStore(t, dir2, opts)
+	if _, err := BuildDelta(context.Background(), DeltaOptions{
+		Build: opts, StoreDir: dir2, Datasets: []string{"no.such.dataset"},
+	}); err == nil {
+		t.Fatal("delta with an unknown forced dataset succeeded")
+	}
+
+	// A different simulated Internet means a different fingerprint: the
+	// delta must refuse rather than mix two worlds.
+	other := opts
+	other.Config.Seed += 1000
+	if _, err := BuildDelta(context.Background(), DeltaOptions{Build: other, StoreDir: dir2}); err == nil {
+		t.Fatal("delta against a mismatched build fingerprint succeeded")
+	}
+}

@@ -8,6 +8,15 @@ type Query struct {
 	Next *Query
 	// UnionAll keeps duplicate rows when combining with Next.
 	UnionAll bool
+	// AsOf, when non-nil, is the generation expression of a trailing
+	// `AS OF <gen>` suffix: the statement is pinned to that historical
+	// generation. It is only set on the outermost query (the suffix
+	// applies to the whole statement, including UNION branches) and must
+	// evaluate to a positive integer — an int literal or a $parameter.
+	// Resolution happens in the DB/server layer (see AsOfGeneration), not
+	// in the executor: the caller acquires the generation and executes
+	// against it.
+	AsOf Expr
 }
 
 // IsWrite reports whether the query mutates the graph (CREATE, MERGE,

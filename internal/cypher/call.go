@@ -59,7 +59,7 @@ func (ex *executor) applyCall(c *CallClause, in []row, cap int, final bool) ([]r
 				return nil, &Error{Msg: "CALL " + spec.Name + " arguments must be a map"}
 			}
 		}
-		err := spec.Impl(ProcContext{Ctx: ex.ctx, Graph: ex.g}, cfg, func(vals []Val) error {
+		err := spec.Impl(ProcContext{Ctx: ex.ctx, Graph: ex.g, Resolve: ex.resolve}, cfg, func(vals []Val) error {
 			if err := ex.tick(); err != nil {
 				return err
 			}

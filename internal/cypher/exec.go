@@ -31,16 +31,17 @@ type Result struct {
 }
 
 type executor struct {
-	g      *graph.Graph
-	ec     *evalCtx
-	res    *Result
-	params map[string]Val
-	ctx    context.Context
-	q      *Query      // the UNION branch being executed (for parallel eligibility)
-	budget int         // max final result rows (0 = unlimited)
-	par    int         // resolved worker budget (>= 1)
-	ticks  int         // cooperative-cancellation tick counter (single-threaded paths)
-	mem    *memTracker // per-query memory accountant (nil = no budget)
+	g       *graph.Graph
+	ec      *evalCtx
+	res     *Result
+	params  map[string]Val
+	ctx     context.Context
+	q       *Query      // the UNION branch being executed (for parallel eligibility)
+	budget  int         // max final result rows (0 = unlimited)
+	par     int         // resolved worker budget (>= 1)
+	ticks   int         // cooperative-cancellation tick counter (single-threaded paths)
+	mem     *memTracker // per-query memory accountant (nil = no budget)
+	resolve GenResolver // generation pinning for procedures (may be nil)
 }
 
 // tickMask controls how often cooperative loops poll ctx.Err(): every
@@ -95,6 +96,11 @@ type ExecOptions struct {
 	// conservative cumulative over-approximation (see mem.go), so real
 	// allocations stay bounded by a small multiple of the budget.
 	MaxMemBytes int64
+	// GenResolver, when non-nil, lets procedures pin other graph
+	// generations than the one the query runs against (temporal.diff
+	// compares two). It is passed through to ProcContext.Resolve; the
+	// engine itself never calls it.
+	GenResolver GenResolver
 }
 
 // Run parses and executes src against g. params provides $parameter values
@@ -169,7 +175,7 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (res 
 	}
 	// One tracker for the whole statement: UNION branches share the budget.
 	mem := newMemTracker(opts.MaxMemBytes)
-	res, err = runSingle(ctx, g, q, params, branchBudget, par, mem)
+	res, err = runSingle(ctx, g, q, params, branchBudget, par, mem, opts.GenResolver)
 	if err != nil {
 		return nil, err
 	}
@@ -177,7 +183,7 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (res 
 		if err := ctxErr(ctx); err != nil {
 			return nil, err
 		}
-		next, err := runSingle(ctx, g, cur.Next, params, 0, par, mem)
+		next, err := runSingle(ctx, g, cur.Next, params, 0, par, mem, opts.GenResolver)
 		if err != nil {
 			return nil, err
 		}
@@ -214,14 +220,14 @@ func Exec(ctx context.Context, g *graph.Graph, q *Query, opts ExecOptions) (res 
 }
 
 // runSingle executes one UNION branch.
-func runSingle(ctx context.Context, g *graph.Graph, q *Query, params map[string]Val, budget, par int, mem *memTracker) (*Result, error) {
+func runSingle(ctx context.Context, g *graph.Graph, q *Query, params map[string]Val, budget, par int, mem *memTracker, resolve GenResolver) (*Result, error) {
 	if params == nil {
 		params = map[string]Val{}
 	}
 	if par < 1 {
 		par = 1
 	}
-	ex := &executor{g: g, params: params, res: &Result{g: g}, ctx: ctx, q: q, budget: budget, par: par, mem: mem}
+	ex := &executor{g: g, params: params, res: &Result{g: g}, ctx: ctx, q: q, budget: budget, par: par, mem: mem, resolve: resolve}
 	ex.ec = &evalCtx{g: g, params: params, ex: ex}
 
 	rows := []row{{}}

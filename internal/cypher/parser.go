@@ -22,6 +22,14 @@ func Parse(src string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.atAsOf() {
+		p.pos += 2 // AS OF
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.AsOf = e
+	}
 	if !p.at(tokEOF) {
 		return nil, errorf(p.cur(), "unexpected %q after query", p.cur().text)
 	}
@@ -30,7 +38,7 @@ func Parse(src string) (*Query, error) {
 
 func (p *parser) parseQuery() (*Query, error) {
 	q := &Query{}
-	for !p.at(tokEOF) && !p.atKeyword("UNION") {
+	for !p.at(tokEOF) && !p.atKeyword("UNION") && !p.atAsOf() {
 		c, err := p.parseClause()
 		if err != nil {
 			return nil, err
@@ -67,6 +75,25 @@ func (p *parser) acceptKeyword(kw string) bool {
 		return true
 	}
 	return false
+}
+
+// peekKeyword reports whether the token d positions past the current one is
+// the given keyword.
+func (p *parser) peekKeyword(d int, kw string) bool {
+	i := p.pos + d
+	if i >= len(p.toks) {
+		return false
+	}
+	t := p.toks[i]
+	return t.kind == tokKeyword && strings.EqualFold(t.text, kw)
+}
+
+// atAsOf reports whether the parser sits on the `AS OF` temporal suffix.
+// It is checked wherever a bare AS alias is parsed, so `RETURN x AS OF 3`
+// reads as the suffix rather than an alias named "of" (which is therefore
+// not expressible — an acceptable trade for the temporal surface).
+func (p *parser) atAsOf() bool {
+	return p.atKeyword("AS") && p.peekKeyword(1, "OF")
 }
 
 func (p *parser) accept(k tokenKind) bool {
@@ -183,7 +210,7 @@ func (p *parser) parseCall() (Clause, error) {
 				return nil, err
 			}
 			it := YieldItem{Col: strings.ToLower(col)}
-			if p.acceptKeyword("AS") {
+			if !p.atAsOf() && p.acceptKeyword("AS") {
 				if it.Alias, err = p.name(); err != nil {
 					return nil, err
 				}
@@ -329,7 +356,7 @@ func (p *parser) parseReturnItems() ([]ReturnItem, error) {
 		}
 		end := p.cur().pos
 		item := ReturnItem{Expr: e, Text: strings.TrimSpace(p.src[start:end])}
-		if p.acceptKeyword("AS") {
+		if !p.atAsOf() && p.acceptKeyword("AS") {
 			if item.Alias, err = p.name(); err != nil {
 				return nil, err
 			}

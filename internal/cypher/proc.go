@@ -15,6 +15,13 @@ import (
 // implementing package registers its procedures in an init function and
 // the executor looks them up by name at run time.
 
+// GenResolver pins a specific graph generation for the duration of a
+// procedure call: it returns the frozen graph for gen and a release
+// function the caller must invoke when done. The DB/server layer supplies
+// one backed by MVStore.AcquireGen (including its persisted-history
+// fallback).
+type GenResolver func(gen uint64) (*graph.Graph, func(), error)
+
 // ProcContext is what a procedure implementation gets to work with.
 type ProcContext struct {
 	// Ctx is the query context; long-running procedures must honour its
@@ -22,6 +29,10 @@ type ProcContext struct {
 	Ctx context.Context
 	// Graph is the store the query runs against.
 	Graph *graph.Graph
+	// Resolve pins other generations for cross-generation procedures
+	// (temporal.diff); nil when the caller cannot resolve generations
+	// (e.g. bare cypher.Run against a naked graph).
+	Resolve GenResolver
 }
 
 // ProcImpl computes a procedure's rows. cfg is the evaluated CALL

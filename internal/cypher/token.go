@@ -92,7 +92,7 @@ var keywords = map[string]bool{
 	"MERGE": true, "SET": true, "DELETE": true, "DETACH": true,
 	"UNWIND": true, "ON": true, "REMOVE": true, "CASE": true, "WHEN": true, "THEN": true,
 	"ELSE": true, "END": true, "EXISTS": true, "COUNT": true, "UNION": true,
-	"ALL": true, "CALL": true, "YIELD": true,
+	"ALL": true, "CALL": true, "YIELD": true, "OF": true,
 }
 
 // Error is a query error carrying source position information and, for

@@ -85,6 +85,31 @@ func (br *BulkReader) NodeProp(id NodeID, key string) Value {
 	return n.props[key]
 }
 
+// NodeLabels returns the node's label names, sorted (nil for a dead id).
+func (br *BulkReader) NodeLabels(id NodeID) []string {
+	n := br.g.node(id)
+	if n == nil {
+		return nil
+	}
+	out := make([]string, len(n.labels))
+	for i, lid := range n.labels {
+		out[i] = br.g.labelNames[lid]
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EachNodeProp calls fn for every property of the node, in map order.
+func (br *BulkReader) EachNodeProp(id NodeID, fn func(key string, v Value)) {
+	n := br.g.node(id)
+	if n == nil {
+		return
+	}
+	for k, v := range n.props {
+		fn(k, v)
+	}
+}
+
 // EachNode calls fn for every live node in ascending ID order until fn
 // returns false.
 func (br *BulkReader) EachNode(fn func(NodeID) bool) {
@@ -115,6 +140,20 @@ func (br *BulkReader) EachRel(fn func(id RelID, typ uint16, from, to NodeID) boo
 		if !fn(r.id, uint16(r.typ), r.from, r.to) {
 			return
 		}
+	}
+}
+
+// TypeName resolves a relationship type id to its name.
+func (br *BulkReader) TypeName(t uint16) string { return br.g.typeNames[typeID(t)] }
+
+// EachRelProp calls fn for every property of the relationship, in map order.
+func (br *BulkReader) EachRelProp(id RelID, fn func(key string, v Value)) {
+	r := br.g.rel(id)
+	if r == nil {
+		return
+	}
+	for k, v := range r.props {
+		fn(k, v)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Store keeps the last N graph snapshots ("generations") in one directory,
@@ -34,11 +35,12 @@ type Store struct {
 	dir  string
 	keep int
 
-	// hookMu guards onSave. Hooks are an in-process convenience: a
-	// follower embedded in the builder's process gets woken without
-	// polling; cross-process followers poll Head/Generations.
-	hookMu sync.Mutex
-	onSave []func(Generation)
+	// hookMu guards onSave and protect. Hooks are an in-process
+	// convenience: a follower embedded in the builder's process gets woken
+	// without polling; cross-process followers poll Head/Generations.
+	hookMu  sync.Mutex
+	onSave  []func(Generation)
+	protect []func(seq uint64) bool
 }
 
 // StoreOptions configures OpenStore.
@@ -251,6 +253,44 @@ func (st *Store) Head() (Generation, bool, error) {
 	return gens[0], true, nil
 }
 
+// MTime returns the manifest's modification time (ok=false when the store
+// has no manifest yet). Every Save atomically replaces the manifest, so the
+// mtime is a one-stat change signal: a cross-process follower can watch it
+// at a fast cadence and run a full listing only when it moves — the
+// cheap half of builder→replica push notification.
+func (st *Store) MTime() (time.Time, bool) {
+	info, err := os.Stat(filepath.Join(st.dir, storeManifest))
+	if err != nil {
+		return time.Time{}, false
+	}
+	return info.ModTime(), true
+}
+
+// Protect registers a predicate consulted before Save prunes a generation
+// beyond the retention count: any generation whose sequence some registered
+// predicate reports true for is kept on disk (and in the manifest, so its
+// CRC record survives) until a later Save finds it unprotected. AS-OF
+// history caches use this so pruning never deletes a snapshot that a
+// pinned or materialized historical reader still depends on.
+func (st *Store) Protect(fn func(seq uint64) bool) {
+	st.hookMu.Lock()
+	st.protect = append(st.protect, fn)
+	st.hookMu.Unlock()
+}
+
+// protected reports whether any registered predicate claims seq.
+func (st *Store) protected(seq uint64) bool {
+	st.hookMu.Lock()
+	fns := st.protect
+	st.hookMu.Unlock()
+	for _, fn := range fns {
+		if fn(seq) {
+			return true
+		}
+	}
+	return false
+}
+
 // OnSave registers fn to run after every successful Save in this process,
 // with the generation just published. Cross-process followers cannot use
 // this (they poll Head); an embedded follower uses it to reload without
@@ -318,11 +358,22 @@ func (st *Store) Save(g *Graph) (Generation, error) {
 		Rels:       g.NumRels(),
 		manifested: true,
 	}
-	keepGens := append([]Generation{gen}, gens...)
+	all := append([]Generation{gen}, gens...)
+	keepGens := all
 	var pruned []Generation
-	if len(keepGens) > st.keep {
-		pruned = keepGens[st.keep:]
-		keepGens = keepGens[:st.keep]
+	if len(all) > st.keep {
+		// Generations beyond the retention count are pruned unless a
+		// Protect predicate claims them (a historical reader has the
+		// snapshot pinned or materialized); protected ones stay in the
+		// manifest so their CRC records survive until protection drains.
+		keepGens = all[:st.keep:st.keep]
+		for _, p := range all[st.keep:] {
+			if st.protected(p.Seq) {
+				keepGens = append(keepGens, p)
+			} else {
+				pruned = append(pruned, p)
+			}
+		}
 	}
 	// Manifest first, then prune: the manifest never references a deleted
 	// file, and a crash in between only leaves orphans a later Save removes.
@@ -358,40 +409,48 @@ func (st *Store) gcTempFiles() {
 // backwards over older generations when the latest is torn, bit-flipped, or
 // missing. The report says which generation was loaded and which were
 // skipped (and why); an error is returned only when no generation loads.
+//
+// A fast concurrent publisher can lap a reader: every generation in one
+// listing may be pruned before Open reaches it. When all candidates
+// vanished that way, Open re-lists (bounded) — by definition newer
+// generations were published meanwhile.
 func (st *Store) Open() (*Graph, OpenReport, error) {
+	const relistAttempts = 3
 	var report OpenReport
-	gens, err := st.Generations()
-	if err != nil {
-		return nil, report, err
-	}
-	if len(gens) == 0 {
-		return nil, report, ErrNoGenerations
-	}
-	for _, gen := range gens {
-		if reason := st.verify(gen); reason != "" {
-			report.Skipped = append(report.Skipped, SkippedGeneration{Seq: gen.Seq, Path: gen.Path, Reason: reason})
-			continue
-		}
-		g, err := LoadFile(gen.Path)
+	for attempt := 1; ; attempt++ {
+		report = OpenReport{}
+		gens, err := st.Generations()
 		if err != nil {
-			report.Skipped = append(report.Skipped, SkippedGeneration{Seq: gen.Seq, Path: gen.Path, Reason: err.Error()})
-			continue
+			return nil, report, err
 		}
-		gen.Nodes, gen.Rels = g.NumNodes(), g.NumRels()
-		report.Loaded = gen
-		return g, report, nil
+		if len(gens) == 0 {
+			return nil, report, ErrNoGenerations
+		}
+		allVanished := true
+		for _, gen := range gens {
+			if err := st.VerifyGen(gen); err != nil {
+				report.Skipped = append(report.Skipped, SkippedGeneration{Seq: gen.Seq, Path: gen.Path, Reason: err.Error()})
+				if !errors.Is(err, ErrGenMissing) {
+					allVanished = false
+				}
+				continue
+			}
+			g, err := LoadFile(gen.Path)
+			if err != nil {
+				report.Skipped = append(report.Skipped, SkippedGeneration{Seq: gen.Seq, Path: gen.Path, Reason: err.Error()})
+				if !errors.Is(err, os.ErrNotExist) {
+					allVanished = false
+				}
+				continue
+			}
+			gen.Nodes, gen.Rels = g.NumNodes(), g.NumRels()
+			report.Loaded = gen
+			return g, report, nil
+		}
+		if !allVanished || attempt >= relistAttempts {
+			return nil, report, fmt.Errorf("%w (%d generation(s) failed verification)", ErrNoGenerations, len(report.Skipped))
+		}
 	}
-	return nil, report, fmt.Errorf("%w (%d generation(s) failed verification)", ErrNoGenerations, len(report.Skipped))
-}
-
-// verify pre-checks a generation against its manifest record. An empty
-// string means "try loading it"; Load still verifies the snapshot's own
-// checksums.
-func (st *Store) verify(gen Generation) string {
-	if err := st.VerifyGen(gen); err != nil {
-		return err.Error()
-	}
-	return ""
 }
 
 // VerifyGen pre-checks a generation against its manifest record without

@@ -344,3 +344,26 @@ func TestGenerationsSafeDuringConcurrentPublish(t *testing.T) {
 		}
 	}
 }
+
+func TestStoreMTimeMovesOnSave(t *testing.T) {
+	st := testStore(t, 3)
+	if _, ok := st.MTime(); ok {
+		t.Fatal("empty store reported a manifest mtime")
+	}
+	mustSaveGen(t, st, fixtureGraph())
+	mt1, ok := st.MTime()
+	if !ok {
+		t.Fatal("no manifest mtime after save")
+	}
+	mustSaveGen(t, st, fixtureGraph())
+	mt2, ok := st.MTime()
+	if !ok {
+		t.Fatal("no manifest mtime after second save")
+	}
+	if !mt2.After(mt1) && !mt2.Equal(mt1) {
+		t.Fatalf("mtime went backwards: %v -> %v", mt1, mt2)
+	}
+	if mt2.Equal(mt1) {
+		t.Log("filesystem mtime granularity too coarse to distinguish saves (not a failure)")
+	}
+}

@@ -46,7 +46,21 @@ type MVStore struct {
 	retain   int
 	onRetire []func(*Graph)
 
+	// history, when set, resolves generations that have aged out of the
+	// in-memory retain window from persistent storage (the generation
+	// store). AcquireGen falls back to it after an in-memory miss.
+	history atomic.Pointer[HistorySource]
+
 	reclaimed atomic.Uint64
+}
+
+// HistorySource resolves generations that are no longer retained in
+// memory — typically by materializing gen-NNNNNN.snapshot files from the
+// on-disk generation store. AcquireHistorical returns a frozen graph for
+// gen, pinned until release is called. Implementations must be safe for
+// concurrent use.
+type HistorySource interface {
+	AcquireHistorical(gen uint64) (*Graph, func(), error)
 }
 
 // mvGen is one published generation and its reader bookkeeping.
@@ -64,16 +78,35 @@ const DefaultRetain = 4
 // NewMVStore takes ownership of g, freezes it as generation 1 and returns
 // the versioned store. The caller must not mutate g afterwards; all writes
 // go through Update or ApplyBatch.
-func NewMVStore(g *Graph) *MVStore {
+func NewMVStore(g *Graph) *MVStore { return NewMVStoreAt(g, 1) }
+
+// NewMVStoreAt is NewMVStore with an explicit starting generation number.
+// When the graph was loaded from a generation store, passing the store's
+// head sequence aligns the in-memory chain with the on-disk one, so AS-OF
+// reads of older numbers can be resolved from disk through a HistorySource.
+func NewMVStoreAt(g *Graph, gen uint64) *MVStore {
+	if gen == 0 {
+		gen = 1
+	}
 	st := &MVStore{
 		retained: make(map[uint64]*mvGen),
 		retain:   DefaultRetain,
 	}
 	g.Freeze()
-	e := &mvGen{gen: 1, g: g}
-	st.retained[1] = e
+	e := &mvGen{gen: gen, g: g}
+	st.retained[gen] = e
 	st.head.Store(e)
 	return st
+}
+
+// SetHistory installs (or, with nil, removes) the fallback source AcquireGen
+// consults for generations outside the in-memory retain window.
+func (st *MVStore) SetHistory(h HistorySource) {
+	if h == nil {
+		st.history.Store(nil)
+		return
+	}
+	st.history.Store(&h)
 }
 
 // SetRetain sets how many generations beyond the current are kept for
@@ -118,8 +151,11 @@ func (st *MVStore) Acquire() (*Graph, uint64, func()) {
 	}
 }
 
-// AcquireGen pins a specific retained generation (the AS-OF read path).
-// It fails when gen has been reclaimed or never existed.
+// AcquireGen pins a specific generation (the AS-OF read path). Recent
+// generations are served from the in-memory retain window; older ones fall
+// back to the HistorySource (when one is installed), which materializes the
+// persisted snapshot. It fails when gen is not in memory and the history
+// cannot supply it either.
 func (st *MVStore) AcquireGen(gen uint64) (*Graph, func(), error) {
 	st.mu.Lock()
 	e, ok := st.retained[gen]
@@ -127,10 +163,17 @@ func (st *MVStore) AcquireGen(gen uint64) (*Graph, func(), error) {
 		e.pins.Add(1)
 	}
 	st.mu.Unlock()
-	if !ok {
-		return nil, nil, fmt.Errorf("graph: generation %d is not available (reclaimed or never published; current is %d)", gen, st.CurrentGen())
+	if ok {
+		return e.g, st.releaseFunc(e), nil
 	}
-	return e.g, st.releaseFunc(e), nil
+	if hp := st.history.Load(); hp != nil {
+		g, release, err := (*hp).AcquireHistorical(gen)
+		if err == nil {
+			return g, release, nil
+		}
+		return nil, nil, fmt.Errorf("graph: generation %d is not in the retain window and could not be loaded from history (current is %d): %w", gen, st.CurrentGen(), err)
+	}
+	return nil, nil, fmt.Errorf("graph: generation %d is not available (reclaimed or never published; current is %d)", gen, st.CurrentGen())
 }
 
 // releaseFunc returns an idempotent unpin for e that triggers reclamation
@@ -201,12 +244,25 @@ func (st *MVStore) Update(fn func(*Graph) error) (uint64, error) {
 // takes ownership of g (it is frozen here) and returns the new generation
 // number.
 func (st *MVStore) Swap(g *Graph) uint64 {
+	return st.SwapAt(g, 0)
+}
+
+// SwapAt is Swap with an explicit generation number: the new head is
+// published as gen when that keeps the chain strictly increasing, and as
+// head+1 otherwise (gen 0 always means "next"). Followers use it to keep
+// the chain numbering aligned with the builder's on-disk sequence numbers,
+// so that AS-OF targets and the persisted-history fallback agree about
+// what generation N means.
+func (st *MVStore) SwapAt(g *Graph, gen uint64) uint64 {
 	st.writeMu.Lock()
 	defer st.writeMu.Unlock()
 
 	g.Freeze()
 	cur := st.head.Load()
-	e := &mvGen{gen: cur.gen + 1, g: g}
+	if gen <= cur.gen {
+		gen = cur.gen + 1
+	}
+	e := &mvGen{gen: gen, g: g}
 	st.mu.Lock()
 	st.retained[e.gen] = e
 	st.mu.Unlock()

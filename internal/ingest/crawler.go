@@ -7,6 +7,8 @@ package ingest
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -60,6 +62,17 @@ type Session struct {
 	resolved     []graph.NodeID
 	nodesCreated int
 	linksCreated int
+	fetches      []FetchRecord
+}
+
+// FetchRecord identifies one dataset payload read during a crawl: the path
+// fetched and the SHA-256 of the bytes received. The ordered record list is
+// a dataset's input fingerprint — a later build whose payloads hash the
+// same at these paths would crawl to the same result, which is what lets a
+// delta build skip the dataset entirely.
+type FetchRecord struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
 }
 
 type cacheKey struct {
@@ -80,10 +93,21 @@ func (s *Session) Reference() ontology.Reference { return s.ref }
 // Commit.
 func (s *Session) Graph() *graph.Graph { return s.g }
 
-// Fetch retrieves a dataset payload through the session's fetcher.
+// Fetch retrieves a dataset payload through the session's fetcher and
+// records its content hash (see Fetches).
 func (s *Session) Fetch(ctx context.Context, path string) ([]byte, error) {
-	return source.ReadAllLimit(ctx, s.Fetcher, path, s.MaxFetchBytes)
+	data, err := source.ReadAllLimit(ctx, s.Fetcher, path, s.MaxFetchBytes)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	s.fetches = append(s.fetches, FetchRecord{Path: path, SHA256: hex.EncodeToString(sum[:])})
+	return data, nil
 }
+
+// Fetches returns the payloads this session has read, in fetch order —
+// the dataset's input fingerprint. The slice is owned by the session.
+func (s *Session) Fetches() []FetchRecord { return s.fetches }
 
 // Commit atomically applies every staged write to the graph and records the
 // applied write counts. It is idempotent; the pipeline calls it once after

@@ -64,7 +64,12 @@ type CrawlReport struct {
 	Duration     time.Duration
 	NodesCreated int
 	LinksCreated int
-	Err          error
+	// Inputs is the dataset's input fingerprint — the payloads fetched, in
+	// order, with content hashes. Empty for failed crawls and for datasets
+	// replayed from a checkpoint (the journal does not record fetches); a
+	// delta build treats a dataset without inputs as changed.
+	Inputs []FetchRecord
+	Err    error
 }
 
 // Report is the pipeline outcome.
@@ -178,6 +183,7 @@ func (p *Pipeline) Run(ctx context.Context) (Report, error) {
 				rep.Err = err
 			} else {
 				rep.NodesCreated, rep.LinksCreated = out.s.Counts()
+				rep.Inputs = out.s.Fetches()
 				if err := p.Checkpoint.Record(rep.Dataset, out.s); err != nil {
 					logf("%v", err)
 				}

@@ -78,6 +78,13 @@ type Config struct {
 	// reports Degraded — the "builder has been quiet too long" threshold
 	// (0 = disabled). The follower keeps serving regardless.
 	StaleAfter time.Duration
+	// BumpInterval enables push-style notification for cross-process
+	// builders: a watcher stats the store's manifest at this cadence and
+	// Notify()s the poll loop the moment its mtime moves — one stat per
+	// tick instead of a full listing, so Interval can be set much longer
+	// without adding reload latency (0 = disabled; in-process builders
+	// should wire graph.Store.OnSave to Notify instead).
+	BumpInterval time.Duration
 	// Seed fixes the backoff jitter (0 = 1); deterministic for tests.
 	Seed int64
 	// Load opens and parses a snapshot path (nil = graph.LoadFile). The
@@ -199,7 +206,10 @@ func (f *Follower) Poll() PollOutcome {
 			f.logf("replica: generation %d rejected (%s): %v", gen.Seq, result, err)
 			continue
 		}
-		mvGen := f.mv.Swap(g)
+		// SwapAt keeps the chain numbering on the builder's seq, so a
+		// client-pinned generation number and the persisted-history
+		// fallback both mean the same on-disk generation.
+		mvGen := f.mv.SwapAt(g, gen.Seq)
 		f.setLastGood(gen.Seq)
 		f.logf("replica: serving generation %d (%d nodes, %d rels) as chain gen %d",
 			gen.Seq, g.NumNodes(), g.NumRels(), mvGen)
@@ -335,13 +345,40 @@ func (f *Follower) Status() Status {
 }
 
 // Start launches the watch loop (idempotent). An immediate first poll runs
-// before the first sleep, so a populated store is served right away.
+// before the first sleep, so a populated store is served right away. With
+// BumpInterval set, a manifest-mtime watcher runs alongside the loop and
+// Notify()s it as soon as a builder publishes.
 func (f *Follower) Start() {
 	if f.started.Swap(true) {
 		return
 	}
 	f.wg.Add(1)
 	go f.run()
+	if f.cfg.BumpInterval > 0 {
+		f.wg.Add(1)
+		go f.watchBump()
+	}
+}
+
+// watchBump stats the store manifest every BumpInterval and wakes the poll
+// loop when its mtime changes — the receive half of builder→replica push
+// notification (the send half is Save's atomic manifest replace).
+func (f *Follower) watchBump() {
+	defer f.wg.Done()
+	last, _ := f.st.MTime()
+	tick := time.NewTicker(f.cfg.BumpInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-f.done:
+			return
+		case <-tick.C:
+			if mt, ok := f.st.MTime(); ok && !mt.Equal(last) {
+				last = mt
+				f.Notify()
+			}
+		}
+	}
 }
 
 // Notify wakes the watch loop for an immediate poll (used by in-process

@@ -381,3 +381,45 @@ func indexOf(result string) int {
 	}
 	panic(fmt.Sprintf("unknown reload result %q", result))
 }
+
+// TestFollowerBumpWatcherPicksUpPublish proves the push-notification path:
+// polling is effectively off (hour-long interval), so the only way the
+// follower can see the new generation inside the deadline is the manifest
+// mtime watcher Notify()ing the poll loop.
+func TestFollowerBumpWatcherPicksUpPublish(t *testing.T) {
+	before := runtime.NumGoroutine()
+	fs, mv, f := newTestFollower(t, Config{
+		Interval:     time.Hour,
+		BumpInterval: 2 * time.Millisecond,
+	})
+	f.Start()
+	t.Cleanup(f.Close)
+
+	// Let Start's immediate first poll (empty store) and the watcher's
+	// initial mtime read settle, so the pickup below must come from a
+	// detected mtime change, not the startup poll.
+	time.Sleep(50 * time.Millisecond)
+
+	if _, err := fs.PublishGood(markerGraph(1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.LastGood() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("bump watcher never woke the poll loop: %v", f.Status())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if servingSeq(mv) != 1 {
+		t.Fatalf("serving seq = %d, want 1", servingSeq(mv))
+	}
+
+	f.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

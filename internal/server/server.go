@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,6 +36,7 @@ import (
 	"iyp/internal/graph"
 	"iyp/internal/ontology"
 	"iyp/internal/replica"
+	"iyp/internal/temporal"
 )
 
 // Config tunes the serving layer. The zero value serves with production
@@ -193,6 +195,7 @@ func New(st *graph.MVStore, cfgs ...Config) *Server {
 		{"GET %s/schema", s.handleSchema},
 		{"GET %s/stats", s.handleStats},
 		{"GET %s/generations", s.handleGenerations},
+		{"GET %s/diff", s.handleDiff},
 	}
 	for _, ep := range endpoints {
 		s.mux.HandleFunc(fmt.Sprintf(ep.pattern, "/v1"), ep.h)
@@ -243,9 +246,13 @@ type queryRequest struct {
 	// execution: 0 uses all CPUs, 1 forces serial execution. Results are
 	// identical at any setting. Capped at the server's CPU count.
 	Parallelism int `json:"parallelism"`
-	// Generation pins the query to a specific retained generation (see
-	// GET /v1/generations); 0 means the current one. Queries against a
-	// reclaimed generation fail with code "generation_gone".
+	// Generation pins the query to a specific generation (see
+	// GET /v1/generations); 0 means the current one. When the store has
+	// persisted history attached, generations beyond the in-memory retain
+	// window are materialized from disk; otherwise queries against a
+	// reclaimed generation fail with code "generation_gone". The in-query
+	// `AS OF <gen>` suffix is equivalent (and must agree when both are
+	// given).
 	Generation uint64 `json:"generation"`
 }
 
@@ -346,6 +353,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "read_only",
 			"this server is read-only: CREATE/MERGE/SET/DELETE/REMOVE are not allowed")
 		return
+	}
+	// A trailing `AS OF <gen>` suffix is the in-language equivalent of the
+	// "generation" request field; both at once must agree.
+	if asOf, ok, err := cypher.AsOfGeneration(plan, cypher.ExecOptions{ParamVals: params}); err != nil {
+		s.met.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "query_error", err.Error())
+		return
+	} else if ok {
+		if req.Generation > 0 && req.Generation != asOf {
+			s.met.errors.Add(1)
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("AS OF %d conflicts with request generation %d", asOf, req.Generation))
+			return
+		}
+		req.Generation = asOf
 	}
 	// Plans that panicked recently are circuit-broken: replaying a
 	// crashing query in a retry loop buys nothing and costs a slot each
@@ -448,6 +470,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		MaxRows:     maxRows,
 		Parallelism: parallelism,
 		MaxMemBytes: s.cfg.MaxQueryMem,
+		GenResolver: s.st.AcquireGen,
 	})
 	took := time.Since(t0)
 	s.met.observe(took)
@@ -588,6 +611,69 @@ func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
 		resp.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDiff serves GET /v1/diff?from=N[&to=M][&workers=K]: the
+// generation-diff engine over HTTP. `to` defaults to the current
+// generation. Both generations resolve through AcquireGen, so persisted
+// history (when attached) is reachable; an unavailable generation answers
+// 404 generation_gone. The diff runs under the server's default query
+// deadline and is deterministic at any worker count.
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	from, err := strconv.ParseUint(q.Get("from"), 10, 64)
+	if err != nil || from == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "missing or invalid `from` generation")
+		return
+	}
+	var to uint64
+	if ts := q.Get("to"); ts != "" {
+		if to, err = strconv.ParseUint(ts, 10, 64); err != nil || to == 0 {
+			writeError(w, http.StatusBadRequest, "bad_request", "invalid `to` generation")
+			return
+		}
+	}
+	workers, _ := strconv.Atoi(q.Get("workers"))
+
+	fromG, releaseFrom, err := s.st.AcquireGen(from)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "generation_gone", err.Error())
+		return
+	}
+	defer releaseFrom()
+	var toG *graph.Graph
+	if to > 0 {
+		g, release, err := s.st.AcquireGen(to)
+		if err != nil {
+			writeError(w, http.StatusNotFound, "generation_gone", err.Error())
+			return
+		}
+		defer release()
+		toG = g
+	} else {
+		g, gen, release := s.st.Acquire()
+		defer release()
+		toG, to = g, gen
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	t0 := time.Now()
+	res, err := temporal.Diff(ctx, fromG, toG, temporal.DiffOptions{Workers: workers})
+	if err != nil {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "timeout", err.Error())
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusRequestTimeout, "canceled", err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, "query_error", err.Error())
+		}
+		return
+	}
+	res.From, res.To = from, to
+	s.met.observe(time.Since(t0))
+	writeJSON(w, http.StatusOK, res)
 }
 
 // generationsResponse is the GET /v1/generations payload.

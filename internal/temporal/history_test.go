@@ -1,0 +1,237 @@
+package temporal
+
+import (
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"iyp/internal/graph"
+)
+
+// histStore writes n distinguishable generations (a single AS node whose
+// asn is the sequence number) into a fresh store with the given retention.
+func histStore(t *testing.T, n, keep int) *graph.Store {
+	t.Helper()
+	st, err := graph.OpenStore(t.TempDir(), graph.StoreOptions{Keep: keep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= n; i++ {
+		if _, err := st.Save(genGraph(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func genGraph(seq int64) *graph.Graph {
+	g := graph.New()
+	g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(seq)})
+	return g
+}
+
+// asnOf reads back the marker property that identifies which generation a
+// materialized graph came from.
+func asnOf(t *testing.T, g *graph.Graph) int64 {
+	t.Helper()
+	var got int64 = -1
+	g.EachNode(func(id graph.NodeID) bool {
+		if v, ok := g.NodeProp(id, "asn").AsInt(); ok {
+			got = v
+		}
+		return true
+	})
+	return got
+}
+
+func TestHistoryMaterializesAndCachesGenerations(t *testing.T) {
+	st := histStore(t, 3, 3)
+	h := NewHistory(st, 2)
+
+	g, release, err := h.AcquireHistorical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asnOf(t, g) != 1 {
+		t.Fatalf("generation 1 materialized wrong content (marker %d)", asnOf(t, g))
+	}
+	release()
+
+	// Second acquire is a cache hit, not a second disk load.
+	g2, release2, err := h.AcquireHistorical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Error("cache hit returned a different graph instance")
+	}
+	release2()
+	if s := h.Stats(); s.Loads != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 load and 1 hit", s)
+	}
+
+	if _, _, err := h.AcquireHistorical(99); err == nil || !strings.Contains(err.Error(), "not present") {
+		t.Fatalf("acquiring absent generation: err = %v", err)
+	}
+}
+
+func TestHistoryLRUPinDrainEviction(t *testing.T) {
+	st := histStore(t, 3, 3)
+	h := NewHistory(st, 1)
+
+	g1, release1, err := h.AcquireHistorical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generation 1 is pinned: materializing generation 2 overshoots the
+	// budget of 1 instead of evicting a graph someone is reading.
+	_, release2, err := h.AcquireHistorical(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := h.Stats(); s.Resident != 2 || s.Pinned != 2 {
+		t.Fatalf("stats = %+v while both pinned, want overshoot to 2 resident", s)
+	}
+
+	// Pin drain: releasing a pin re-runs eviction; the unpinned entry is
+	// the only eligible victim, so the budget holds again — and the still
+	// pinned generation 1 survives even though it is the older one.
+	release2()
+	if s := h.Stats(); s.Resident != 1 || s.Evictions == 0 {
+		t.Fatalf("after pin drain: stats = %+v, want 1 resident after eviction", s)
+	}
+	g1b, release1b, err := h.AcquireHistorical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1b != g1 {
+		t.Error("pinned generation was evicted: re-acquire returned a new instance")
+	}
+	release1b()
+	release1()
+}
+
+func TestHistoryProtectsResidentGenerationsFromPruning(t *testing.T) {
+	st := histStore(t, 2, 2) // keep-2: the next save prunes the oldest unprotected
+	h := NewHistory(st, 1)
+
+	g, release, err := h.AcquireHistorical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := ""
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gen := range gens {
+		if gen.Seq == 1 {
+			path = gen.Path
+		}
+	}
+	if path == "" {
+		t.Fatal("generation 1 not listed while materialized")
+	}
+
+	// Publish more generations: keep-2 wants generation 1 gone, but it is
+	// resident in the history cache — the snapshot file must survive.
+	for i := 3; i <= 5; i++ {
+		if _, err := st.Save(genGraph(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("pinned generation's snapshot deleted by pruning: %v", err)
+	}
+	if asnOf(t, g) != 1 {
+		t.Fatal("materialized generation mutated")
+	}
+
+	// Evict generation 1 (release, then materialize another so the LRU
+	// budget of 1 pushes it out): the next save may prune it.
+	release()
+	_, release2, err := h.AcquireHistorical(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+	if _, err := st.Save(genGraph(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("unprotected generation 1 still on disk after pruning (stat err = %v)", err)
+	}
+}
+
+func TestHistorySingleFlightLoads(t *testing.T) {
+	st := histStore(t, 1, 3)
+	h := NewHistory(st, 2)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g, release, err := h.AcquireHistorical(1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if asnOf(t, g) != 1 {
+				t.Error("wrong generation materialized")
+			}
+			release()
+		}()
+	}
+	wg.Wait()
+	if s := h.Stats(); s.Loads != 1 {
+		t.Fatalf("loads = %d, want 1 (single-flight)", s.Loads)
+	}
+}
+
+// TestStoreOpenFallsBackWithHistoryResident: Store.Open's newest-good
+// fallback must keep working while the history cache holds older
+// generations resident (and therefore protected from pruning).
+func TestStoreOpenFallsBackWithHistoryResident(t *testing.T) {
+	st := histStore(t, 3, 3)
+	h := NewHistory(st, 2)
+
+	_, release, err := h.AcquireHistorical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// Damage the newest generation on disk; Open must fall back to 2.
+	gens, err := st.Generations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gens[0].Seq != 3 {
+		t.Fatalf("newest generation = %d, want 3", gens[0].Seq)
+	}
+	if err := os.WriteFile(gens[0].Path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	g, report, err := st.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Loaded.Seq != 2 || asnOf(t, g) != 2 {
+		t.Fatalf("fallback loaded generation %d (marker %d), want 2", report.Loaded.Seq, asnOf(t, g))
+	}
+	if len(report.Skipped) != 1 || report.Skipped[0].Seq != 3 {
+		t.Fatalf("skip report = %+v", report.Skipped)
+	}
+	// And the resident historical generation is still readable.
+	g1, release1, err := h.AcquireHistorical(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release1()
+	if asnOf(t, g1) != 1 {
+		t.Fatal("resident generation unreadable after fallback open")
+	}
+}

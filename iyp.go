@@ -36,6 +36,7 @@ import (
 	"iyp/internal/server"
 	"iyp/internal/simnet"
 	"iyp/internal/source"
+	"iyp/internal/temporal" // CALL temporal.* registration + AS-OF history
 )
 
 // Options configures Build. The zero value builds the default-scale graph
@@ -86,15 +87,27 @@ type Options struct {
 // generation from a copy-on-write clone and publish it atomically. Readers
 // are never blocked by writers and never observe a half-applied write.
 type DB struct {
-	store *graph.MVStore
-	cache *cypher.PlanCache
+	store   *graph.MVStore
+	cache   *cypher.PlanCache
+	history *temporal.History // nil until AttachHistory / OpenStore
 	// Report holds the per-dataset import outcome (empty for loaded
 	// snapshots).
 	Report ingest.Report
+	// BuildFingerprint identifies the build's inputs (config + dataset
+	// list) and BuildFetchTime its provenance timestamp; both are zero for
+	// loaded snapshots. They key the generation store's DATASETS manifest,
+	// which is what makes incremental delta builds possible.
+	BuildFingerprint string
+	BuildFetchTime   time.Time
 }
 
-func newDB(g *graph.Graph) *DB {
-	st := graph.NewMVStore(g)
+func newDB(g *graph.Graph) *DB { return newDBAt(g, 1) }
+
+// newDBAt is newDB with an explicit starting generation number, used when
+// the graph came from a generation store whose on-disk sequence numbers
+// should stay meaningful as AS-OF targets.
+func newDBAt(g *graph.Graph, gen uint64) *DB {
+	st := graph.NewMVStoreAt(g, gen)
 	// Drop the analytics CSR views of a generation when the store reclaims
 	// it, so superseded generations don't linger in the view cache.
 	st.OnRetire(algo.InvalidateViews)
@@ -130,6 +143,8 @@ func Build(ctx context.Context, opts Options) (*DB, error) {
 	}
 	db := newDB(res.Graph)
 	db.Report = res.Report
+	db.BuildFingerprint = res.Fingerprint
+	db.BuildFetchTime = res.FetchTime
 	return db, nil
 }
 
@@ -233,7 +248,14 @@ func (s *Snapshot) Query(ctx context.Context, q string, opts ...QueryOption) (*c
 	if err != nil {
 		return nil, err
 	}
-	return cypher.Exec(ctx, s.g, plan, cfg.execOptions())
+	execOpts := cfg.execOptions()
+	execOpts.GenResolver = s.db.genResolver()
+	if gen, ok, err := cypher.AsOfGeneration(plan, execOpts); err != nil {
+		return nil, err
+	} else if ok && gen != s.gen {
+		return nil, fmt.Errorf("iyp: AS OF %d conflicts with snapshot generation %d", gen, s.gen)
+	}
+	return cypher.Exec(ctx, s.g, plan, execOpts)
 }
 
 // QueryOption configures a single Query call.
@@ -340,6 +362,18 @@ func (db *DB) Query(ctx context.Context, q string, opts ...QueryOption) (*cypher
 	if err != nil {
 		return nil, err
 	}
+	execOpts := cfg.execOptions()
+	execOpts.GenResolver = db.genResolver()
+	// A trailing `AS OF <gen>` suffix pins the statement to a historical
+	// generation, exactly like WithGeneration; both at once must agree.
+	if gen, ok, err := cypher.AsOfGeneration(plan, execOpts); err != nil {
+		return nil, err
+	} else if ok {
+		if cfg.genSet && cfg.generation != gen {
+			return nil, fmt.Errorf("iyp: AS OF %d conflicts with WithGeneration(%d)", gen, cfg.generation)
+		}
+		cfg.generation, cfg.genSet = gen, true
+	}
 	if plan.IsWrite() {
 		if cfg.genSet {
 			return nil, fmt.Errorf("iyp: write query cannot run against pinned generation %d (superseded generations are immutable)", cfg.generation)
@@ -347,7 +381,7 @@ func (db *DB) Query(ctx context.Context, q string, opts ...QueryOption) (*cypher
 		var res *cypher.Result
 		if _, err := db.store.Update(func(g *graph.Graph) error {
 			var err error
-			res, err = cypher.Exec(ctx, g, plan, cfg.execOptions())
+			res, err = cypher.Exec(ctx, g, plan, execOpts)
 			return err
 		}); err != nil {
 			return nil, err
@@ -365,7 +399,15 @@ func (db *DB) Query(ctx context.Context, q string, opts ...QueryOption) (*cypher
 		g, _, release = db.store.Acquire()
 	}
 	defer release()
-	return cypher.Exec(ctx, g, plan, cfg.execOptions())
+	return cypher.Exec(ctx, g, plan, execOpts)
+}
+
+// genResolver exposes AcquireGen (with its history fallback) to
+// cross-generation procedures like temporal.diff.
+func (db *DB) genResolver() cypher.GenResolver {
+	return func(gen uint64) (*graph.Graph, func(), error) {
+		return db.store.AcquireGen(gen)
+	}
 }
 
 // Stats summarizes the current generation's contents.
@@ -389,6 +431,43 @@ func Load(path string) (*DB, error) {
 	}
 	return newDB(g), nil
 }
+
+// OpenStore serves a generation-store directory (written by iyp-build
+// -store): the newest generation that passes verification becomes the
+// current one, the in-memory generation numbering is aligned with the
+// store's on-disk sequence numbers, and the store is attached as AS-OF
+// history — older persisted generations stay queryable through
+// WithGeneration / `AS OF` even though only the head is materialized
+// up-front. The report says which generation was loaded and which were
+// skipped.
+func OpenStore(dir string) (*DB, graph.OpenReport, error) {
+	st, err := graph.OpenStore(dir, graph.StoreOptions{})
+	if err != nil {
+		return nil, graph.OpenReport{}, err
+	}
+	g, report, err := st.Open()
+	if err != nil {
+		return nil, report, err
+	}
+	db := newDBAt(g, report.Loaded.Seq)
+	db.history = temporal.Attach(db.store, st, 0)
+	return db, report, nil
+}
+
+// AttachHistory wires the DB's AS-OF fallback to an on-disk generation
+// store: WithGeneration / `AS OF` reads that miss the in-memory retain
+// window materialize the persisted gen-NNNNNN.snapshot instead of failing.
+// maxResident bounds how many historical generations stay materialized at
+// once (0 = temporal.DefaultMaxResident); pinned generations are never
+// evicted, and resident ones are shielded from the store's keep-N pruning.
+func (db *DB) AttachHistory(store *graph.Store, maxResident int) *temporal.History {
+	db.history = temporal.Attach(db.store, store, maxResident)
+	return db.history
+}
+
+// History returns the AS-OF materialization cache, nil when none is
+// attached.
+func (db *DB) History() *temporal.History { return db.history }
 
 // Handler returns the HTTP query API handler for running a public
 // read-only instance: POST /v1/query, POST /v1/explain, GET /v1/schema,

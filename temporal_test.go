@@ -1,0 +1,218 @@
+package iyp_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"iyp"
+	"iyp/internal/cypher"
+	"iyp/internal/graph"
+)
+
+// This file is the temporal-subsystem identity suite: AS-OF reads must
+// return byte-identical rows whether the generation is served from the
+// in-memory retain window or re-materialized from its persisted snapshot
+// — and they must keep doing so while a builder concurrently publishes
+// and prunes generations. Run under -race it doubles as the data-race
+// proof for the History cache (single-flight loads, pin-drain eviction,
+// prune protection) on the live query path.
+
+const asofQuery = `MATCH (a:AS)-[:COUNTRY]-(c:Country) RETURN c.country_code AS cc, count(*) AS n ORDER BY n DESC, cc`
+
+func renderRows(t *testing.T, res *cypher.Result) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		fmt.Fprintf(&sb, "%v\n", row)
+	}
+	return sb.String()
+}
+
+// TestASOFIdentityAcrossRetainWindow pins the core AS-OF contract: rows
+// for generation g after it has left the in-memory retain window (served
+// by materializing gen-NNNNNN.snapshot) are byte-identical to the rows
+// the same query returned while g was live in memory.
+func TestASOFIdentityAcrossRetainWindow(t *testing.T) {
+	built, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := graph.OpenStore(dir, graph.StoreOptions{Keep: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(built.Graph()); err != nil {
+		t.Fatal(err)
+	}
+
+	db, report, err := iyp.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Loaded.Seq != 1 {
+		t.Fatalf("opened generation %d, want 1", report.Loaded.Seq)
+	}
+
+	// Rows for generation 1 while it is the live in-memory head.
+	live, err := db.Query(context.Background(), asofQuery, iyp.WithGeneration(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRows(t, live)
+	if want == "" {
+		t.Fatal("reference query returned no rows; test is vacuous")
+	}
+
+	// Push generation 1 out of the retain window: publish write
+	// generations on top and shrink the window to the head only.
+	for i := 1; i <= 3; i++ {
+		if _, err := db.Query(context.Background(),
+			fmt.Sprintf(`CREATE (:Marker {idx: %d})`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.RetainGenerations(1)
+
+	// Same query, same generation — now only reachable by materializing
+	// the persisted snapshot through the history fallback.
+	loadsBefore := db.History().Stats().Loads
+	for _, q := range []string{asofQuery, asofQuery + " AS OF 1"} {
+		opts := []iyp.QueryOption{}
+		if !strings.Contains(q, "AS OF") {
+			opts = append(opts, iyp.WithGeneration(1))
+		}
+		res, err := db.Query(context.Background(), q, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := renderRows(t, res); got != want {
+			t.Fatalf("AS-OF rows differ from live rows\nlive:\n%s\nhistorical:\n%s", want, got)
+		}
+	}
+	if loads := db.History().Stats().Loads; loads <= loadsBefore {
+		t.Fatalf("history loads = %d (was %d): AS-OF read did not go through the persisted fallback", loads, loadsBefore)
+	}
+
+	// The head must NOT equal generation 1 (the markers landed), proving
+	// the pinned read was not just served the current graph.
+	head, err := db.Query(context.Background(), `MATCH (m:Marker) RETURN count(m) AS c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := head.ScalarInt(); err != nil || n != 3 {
+		t.Fatalf("head marker count = %d, %v", n, err)
+	}
+	old, err := db.Query(context.Background(), `MATCH (m:Marker) RETURN count(m) AS c AS OF 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := old.ScalarInt(); err != nil || n != 0 {
+		t.Fatalf("generation 1 marker count = %d, %v (head leaked into AS-OF read)", n, err)
+	}
+}
+
+// TestASOFConcurrentReadsDuringPublishAndPrune runs AS-OF readers against
+// a generation that exists only on disk while a builder concurrently
+// publishes new generations into the same keep-2 store — pruning pressure
+// that wants the readers' generation deleted. Prune protection plus the
+// pinned materialization must keep every read identical.
+func TestASOFConcurrentReadsDuringPublishAndPrune(t *testing.T) {
+	built, err := iyp.Build(context.Background(), iyp.Options{Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := graph.OpenStore(dir, graph.StoreOptions{Keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(built.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	db, _, err := iyp.OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := db.Query(context.Background(), asofQuery, iyp.WithGeneration(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRows(t, ref)
+
+	// Age generation 1 out of memory so every AS-OF read must reach disk.
+	if _, err := db.Query(context.Background(), `CREATE (:Marker {idx: 1})`); err != nil {
+		t.Fatal(err)
+	}
+	db.RetainGenerations(1)
+
+	// Builder: publish generations 2..9 through the history's own store
+	// handle; keep-2 pruning runs on every save.
+	stop := make(chan struct{})
+	var builderErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < 8; i++ {
+			g := graph.New()
+			g.AddNode([]string{"AS"}, graph.Props{"asn": graph.Int(int64(i))})
+			if _, err := st.Save(g); err != nil {
+				builderErr = err
+				return
+			}
+		}
+	}()
+
+	const readers = 4
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					if i > 0 {
+						errs <- nil
+						return
+					}
+				default:
+				}
+				res, err := db.Query(context.Background(), asofQuery+" AS OF 1")
+				if err != nil {
+					errs <- fmt.Errorf("read %d: %w", i, err)
+					return
+				}
+				if got := renderRows(t, res); got != want {
+					errs <- fmt.Errorf("read %d: rows diverged", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if builderErr != nil {
+		t.Fatalf("builder: %v", builderErr)
+	}
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// After the storm the store head is generation 9 and generation 1 is
+	// still materializable (it stayed protected while resident).
+	res, err := db.Query(context.Background(), asofQuery+" AS OF 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderRows(t, res); got != want {
+		t.Fatal("post-storm AS-OF rows diverged")
+	}
+}
