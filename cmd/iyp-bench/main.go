@@ -13,14 +13,17 @@
 //	iyp-bench -overload -o OVERLOAD.json  # goodput at 4x capacity, governed vs not
 //	iyp-bench -failover -o FAILOVER.json  # replica goodput across injected builder faults
 //	iyp-bench -diff -o DIFF.json          # generation-diff kernel latency + determinism check
+//	iyp-bench -scalebench -mult 100 -o SCALE.json  # columnar-vs-boxed memory + scan at scale
 //
 // Every query runs at each worker budget; per (query, workers) the best
 // of -reps runs is kept (the usual way to suppress scheduler noise) and
-// the speedup against the same query's serial run is derived. The host's
-// CPU count is recorded because speedups are only meaningful relative to
-// it: on a single-core machine every speedup is ~1.0 by construction —
-// which is also why -baseline refuses to compare runs taken at different
-// core counts instead of reporting a phantom regression.
+// the speedup against the same query's serial run is derived, along with
+// the run's allocation profile (allocs/op, bytes/op) so memory-layout
+// regressions are visible even where wall time is noisy. The host's CPU
+// count is recorded because speedups are only meaningful relative to it:
+// on a single-core machine every speedup is ~1.0 by construction — so
+// -baseline annotates comparisons across different core counts as
+// latency-only instead of treating speedup drift as a regression.
 //
 // The -contention mode measures what MVCC snapshot isolation buys: reader
 // p50/p99 while a writer continuously publishes batches, once through the
@@ -66,6 +69,11 @@ type benchResult struct {
 	Seconds float64 `json:"seconds"` // best-of-reps wall time
 	Rows    int     `json:"rows"`
 	Speedup float64 `json:"speedup_vs_serial"`
+	// Allocation profile averaged over the timed reps (warm-up excluded):
+	// with dictionary-encoded properties these track how much boxing the
+	// query path still does, independent of scheduler noise.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
 }
 
 type benchFile struct {
@@ -89,11 +97,21 @@ func main() {
 		overload   = flag.Bool("overload", false, "measure cheap-query goodput at 4x capacity, governed vs ungoverned")
 		failover   = flag.Bool("failover", false, "measure replica goodput across injected builder faults vs a restart baseline")
 		diffBench  = flag.Bool("diff", false, "benchmark the generation-diff kernel across worker budgets and verify determinism")
+		scaleBench = flag.Bool("scalebench", false, "measure columnar-vs-boxed memory and scan throughput, then build/serve the -mult graph")
+		mult       = flag.Int("mult", 100, "scale multiplier for -scalebench (100 = the 10M-node bar)")
 		duration   = flag.Duration("duration", 3*time.Second, "per-mode measurement window for -contention / -overload / -failover")
 		readers    = flag.Int("readers", 4, "concurrent reader goroutines for -contention")
 		seed       = flag.Int64("seed", 1, "fault-injection seed for -failover")
 	)
 	flag.Parse()
+
+	if *scaleBench {
+		// The scale mode builds its own graphs (including the boxed
+		// mirror); the default paper-shaped build would only distort its
+		// heap accounting.
+		runScaleBench(*mult, *reps, *out)
+		return
+	}
 
 	db, err := iyp.Build(context.Background(), iyp.Options{Scale: *scale})
 	if err != nil {
@@ -139,12 +157,20 @@ func main() {
 		Scale:       *scale,
 		Reps:        *reps,
 	}
+	var ms runtime.MemStats
 	for _, bq := range benchQueries {
 		var serial float64
 		for _, workers := range workerSet {
 			best := 0.0
 			rows := 0
+			var allocs, bytes uint64
 			for r := 0; r < *reps+1; r++ {
+				if r == 1 {
+					// Warm-up done: snapshot the allocator counters so the
+					// averages below cover exactly the timed reps.
+					runtime.ReadMemStats(&ms)
+					allocs, bytes = ms.Mallocs, ms.TotalAlloc
+				}
 				t0 := time.Now()
 				res, err := db.Query(context.Background(), bq.Query, iyp.WithParallelism(workers))
 				if err != nil {
@@ -159,6 +185,9 @@ func main() {
 				}
 				rows = res.Len()
 			}
+			runtime.ReadMemStats(&ms)
+			allocsPerOp := (ms.Mallocs - allocs) / uint64(*reps)
+			bytesPerOp := (ms.TotalAlloc - bytes) / uint64(*reps)
 			if workers == 1 {
 				serial = best
 			}
@@ -168,8 +197,10 @@ func main() {
 			}
 			bf.Results = append(bf.Results, benchResult{
 				Name: bq.Name, Workers: workers, Seconds: best, Rows: rows, Speedup: speedup,
+				AllocsPerOp: allocsPerOp, BytesPerOp: bytesPerOp,
 			})
-			log.Printf("%-28s workers=%-2d %8.3fms  %6d rows  %.2fx", bq.Name, workers, best*1e3, rows, speedup)
+			log.Printf("%-28s workers=%-2d %8.3fms  %6d rows  %.2fx  %7d allocs/op  %8.1f KB/op",
+				bq.Name, workers, best*1e3, rows, speedup, allocsPerOp, float64(bytesPerOp)/1e3)
 		}
 	}
 
@@ -182,11 +213,14 @@ func main() {
 	writeOut(*out, bf)
 }
 
-// compareBaseline prints this run against a previously written baseline —
-// refusing outright when the runs are not comparable. A baseline taken in
-// a 1-CPU container makes every parallel speedup ~1x by construction;
-// comparing it against a many-core run reports phantom regressions (or
-// phantom wins), so mismatched core counts are an error, not a footnote.
+// compareBaseline prints this run against a previously written baseline.
+// A baseline taken in a 1-CPU container makes every parallel speedup ~1x
+// by construction, so when core counts differ the comparison is annotated
+// as latency-only — speedup drift across core counts is expected, not a
+// regression — rather than refused: allocs/op and bytes/op stay perfectly
+// comparable across machines, and those are what the columnar layout
+// guards. A scale mismatch still refuses outright; different graph sizes
+// share nothing.
 func compareBaseline(path string, cur benchFile) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -197,9 +231,10 @@ func compareBaseline(path string, cur benchFile) error {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
 	if base.NumCPU != cur.NumCPU || base.GOMAXPROCS != cur.GOMAXPROCS {
-		return fmt.Errorf(
-			"baseline %s was taken on num_cpu=%d gomaxprocs=%d but this run has num_cpu=%d gomaxprocs=%d: "+
-				"latencies and speedups are not comparable across core counts — regenerate the baseline on this machine",
+		log.Printf(
+			"WARNING: baseline %s was taken on num_cpu=%d gomaxprocs=%d; this run has num_cpu=%d gomaxprocs=%d. "+
+				"Latency deltas below reflect the machine change as much as the code; "+
+				"trust the allocs/op and bytes/op columns, not wall time.",
 			path, base.NumCPU, base.GOMAXPROCS, cur.NumCPU, cur.GOMAXPROCS)
 	}
 	if base.Scale != cur.Scale {
@@ -216,8 +251,14 @@ func compareBaseline(path string, cur benchFile) error {
 		if !ok || o.Seconds <= 0 {
 			continue
 		}
-		log.Printf("%-28s workers=%-2d %8.3fms -> %8.3fms  (%+.1f%%)",
-			r.Name, r.Workers, o.Seconds*1e3, r.Seconds*1e3, (r.Seconds/o.Seconds-1)*100)
+		allocNote := ""
+		if o.AllocsPerOp > 0 && r.AllocsPerOp > 0 {
+			allocNote = fmt.Sprintf("  %d -> %d allocs/op (%+.1f%%)",
+				o.AllocsPerOp, r.AllocsPerOp,
+				(float64(r.AllocsPerOp)/float64(o.AllocsPerOp)-1)*100)
+		}
+		log.Printf("%-28s workers=%-2d %8.3fms -> %8.3fms  (%+.1f%%)%s",
+			r.Name, r.Workers, o.Seconds*1e3, r.Seconds*1e3, (r.Seconds/o.Seconds-1)*100, allocNote)
 	}
 	return nil
 }

@@ -1,0 +1,364 @@
+package main
+
+// The -scalebench mode: measure what the columnar store buys at scale.
+//
+// Phase 1 (1x, comparative): build the scale graph, then materialize a
+// "boxed" mirror of it — per-node label slices and map[string]Value
+// property maps with every string value re-allocated per occurrence, the
+// layout the engine used before dictionary encoding. Resident heap is
+// measured around each (GC-settled HeapAlloc deltas), and the same
+// label-scan + provenance-aggregate workload runs against both layouts:
+// the columnar side groups by interned ids, the boxed side hashes strings.
+//
+// Phase 2 (multiplier x, columnar only): build the full-size graph —
+// 10M+ nodes at -mult 100 — prove it serves queries in memory through the
+// regular engine (CountByLabel, the bulk aggregate, and a Cypher
+// aggregation via iyp.Wrap), and record bytes/node plus dictionary size.
+//
+// The output (SCALE.json when -o is given) is tracked in the repository so
+// layout regressions show up in review diffs.
+
+import (
+	"context"
+	"log"
+	"runtime"
+	"strings"
+	"time"
+
+	"iyp"
+	"iyp/internal/graph"
+	"iyp/internal/simnet"
+)
+
+type scaleLayout struct {
+	BuildSeconds float64 `json:"build_seconds,omitempty"`
+	HeapBytes    uint64  `json:"heap_bytes"`
+	BytesPerNode float64 `json:"bytes_per_node"`
+	BytesPerRel  float64 `json:"bytes_per_rel"`
+	ScanSeconds  float64 `json:"scan_seconds"`
+	ScanGroups   int     `json:"scan_groups"`
+	ScanEntities int     `json:"scan_entities"`
+}
+
+type scaleComparison struct {
+	Nodes             int         `json:"nodes"`
+	Rels              int         `json:"rels"`
+	Columnar          scaleLayout `json:"columnar"`
+	Boxed             scaleLayout `json:"boxed"`
+	BytesPerNodeRatio float64     `json:"bytes_per_node_ratio"` // boxed / columnar
+	ScanSpeedup       float64     `json:"scan_speedup"`         // boxed / columnar
+}
+
+type scaleFull struct {
+	Nodes             int     `json:"nodes"`
+	Rels              int     `json:"rels"`
+	DictStrings       int     `json:"dict_strings"`
+	BuildSeconds      float64 `json:"build_seconds"`
+	HeapBytes         uint64  `json:"heap_bytes"`
+	BytesPerNode      float64 `json:"bytes_per_node"`
+	ScanSeconds       float64 `json:"scan_seconds"`
+	ScanGroups        int     `json:"scan_groups"`
+	LabelCountSeconds float64 `json:"label_count_seconds"`
+	LabelCount        int     `json:"label_count"`
+	CypherSeconds     float64 `json:"cypher_seconds"`
+	CypherRows        int     `json:"cypher_rows"`
+}
+
+type scaleFile struct {
+	GeneratedAt string          `json:"generated_at"`
+	GoVersion   string          `json:"go_version"`
+	NumCPU      int             `json:"num_cpu"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Multiplier  int             `json:"multiplier"`
+	OneX        scaleComparison `json:"one_x"`
+	Full        scaleFull       `json:"full"`
+}
+
+// heapSettled GCs twice (finalizer queue, then the real collection) and
+// reports HeapAlloc: live bytes only, no dead spans or fragmentation.
+func heapSettled() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+func heapDelta(before, after uint64) uint64 {
+	if after <= before {
+		return 0
+	}
+	return after - before
+}
+
+// --- boxed mirror: the pre-columnar layout, rebuilt for comparison ---
+
+type boxedNode struct {
+	id     graph.NodeID
+	labels []string
+	props  map[string]graph.Value
+}
+
+type boxedRel struct {
+	id       graph.RelID
+	typ      string
+	from, to graph.NodeID
+	props    map[string]graph.Value
+}
+
+type boxedGraph struct {
+	nodes   []boxedNode
+	rels    []boxedRel
+	byLabel map[string][]int // label -> indexes into nodes (the label index)
+}
+
+// boxedValue deep-copies v so every string occurrence owns its bytes —
+// what a parse-per-occurrence pipeline allocates. Map keys are left shared
+// (the compiler interns most literal keys), which under-counts the boxed
+// side: the measured ratio is a floor, not a flattering estimate.
+func boxedValue(v graph.Value) graph.Value {
+	switch v.Kind() {
+	case graph.KindString:
+		s, _ := v.AsString()
+		return graph.String(strings.Clone(s))
+	case graph.KindList:
+		l, _ := v.AsList()
+		out := make([]graph.Value, len(l))
+		for i, e := range l {
+			out[i] = boxedValue(e)
+		}
+		return graph.List(out...)
+	default:
+		return v
+	}
+}
+
+// mirrorBoxed materializes g in the boxed layout.
+func mirrorBoxed(g *graph.Graph) *boxedGraph {
+	bg := &boxedGraph{byLabel: make(map[string][]int)}
+	g.BulkRead(func(br *graph.BulkReader) {
+		br.EachNode(func(id graph.NodeID) bool {
+			bn := boxedNode{
+				id:     id,
+				labels: br.NodeLabels(id),
+				props:  make(map[string]graph.Value),
+			}
+			br.EachNodeProp(id, func(key string, v graph.Value) {
+				bn.props[key] = boxedValue(v)
+			})
+			idx := len(bg.nodes)
+			bg.nodes = append(bg.nodes, bn)
+			for _, l := range bn.labels {
+				bg.byLabel[l] = append(bg.byLabel[l], idx)
+			}
+			return true
+		})
+		br.EachRel(func(id graph.RelID, typ uint16, from, to graph.NodeID) bool {
+			brel := boxedRel{
+				id: id, typ: br.TypeName(typ), from: from, to: to,
+				props: make(map[string]graph.Value),
+			}
+			br.EachRelProp(id, func(key string, v graph.Value) {
+				brel.props[key] = boxedValue(v)
+			})
+			bg.rels = append(bg.rels, brel)
+			return true
+		})
+	})
+	return bg
+}
+
+// --- the scan workload, one implementation per layout ---
+
+// scanResult is the aggregate both layouts must agree on: AS nodes grouped
+// by country plus every relationship grouped by its provenance string.
+type scanResult struct {
+	ccGroups   int
+	provGroups int
+	entities   int // nodes + rels touched
+}
+
+// columnarScan groups by interned ids: the label index hands over dense
+// node IDs, property access is a binary search over 16-byte entries, and
+// the aggregation hashes uint64 dictionary refs instead of strings.
+func columnarScan(g *graph.Graph) scanResult {
+	var res scanResult
+	g.BulkRead(func(br *graph.BulkReader) {
+		cc := make(map[uint64]int)
+		as := br.NodesByLabel("AS")
+		for _, id := range as {
+			if _, ref, ok := br.NodePropRef(id, "country_code"); ok {
+				cc[ref]++
+			}
+		}
+		prov := make(map[uint64]int)
+		rels := 0
+		br.EachRel(func(id graph.RelID, _ uint16, _, _ graph.NodeID) bool {
+			rels++
+			if _, ref, ok := br.RelPropRef(id, "reference_name"); ok {
+				prov[ref]++
+			}
+			return true
+		})
+		res = scanResult{ccGroups: len(cc), provGroups: len(prov), entities: len(as) + rels}
+	})
+	return res
+}
+
+// boxedScan is the identical workload against the boxed mirror: map
+// lookups per entity and string-keyed aggregation maps.
+func boxedScan(bg *boxedGraph) scanResult {
+	cc := make(map[string]int)
+	as := bg.byLabel["AS"]
+	for _, i := range as {
+		if v, ok := bg.nodes[i].props["country_code"]; ok {
+			s, _ := v.AsString()
+			cc[s]++
+		}
+	}
+	prov := make(map[string]int)
+	for i := range bg.rels {
+		if v, ok := bg.rels[i].props["reference_name"]; ok {
+			s, _ := v.AsString()
+			prov[s]++
+		}
+	}
+	return scanResult{ccGroups: len(cc), provGroups: len(prov), entities: len(as) + len(bg.rels)}
+}
+
+// bestOf runs fn reps+1 times (first run warms caches and is discarded)
+// and returns the fastest wall time plus fn's last result.
+func bestOf[T any](reps int, fn func() T) (float64, T) {
+	var best float64
+	var out T
+	for r := 0; r <= reps; r++ {
+		t0 := time.Now()
+		out = fn()
+		took := time.Since(t0).Seconds()
+		if r == 0 {
+			continue
+		}
+		if best == 0 || took < best {
+			best = took
+		}
+	}
+	return best, out
+}
+
+func runScaleBench(mult, reps int, out string) {
+	sf := scaleFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Multiplier:  mult,
+	}
+
+	// --- Phase 1: 1x, columnar vs boxed mirror ---
+	base := heapSettled()
+	t0 := time.Now()
+	g1 := simnet.BuildScale(simnet.ScaleSpecFor(1))
+	buildSec := time.Since(t0).Seconds()
+	g1.Freeze()
+	colHeap := heapDelta(base, heapSettled())
+	st := g1.Stats()
+
+	colScanSec, colRes := bestOf(reps, func() scanResult { return columnarScan(g1) })
+
+	boxedBase := heapSettled()
+	bg := mirrorBoxed(g1)
+	boxHeap := heapDelta(boxedBase, heapSettled())
+	boxScanSec, boxRes := bestOf(reps, func() scanResult { return boxedScan(bg) })
+
+	if colRes != boxRes {
+		log.Fatalf("iyp-bench: scan results diverge: columnar %+v vs boxed %+v", colRes, boxRes)
+	}
+
+	nodes, rels := float64(st.Nodes), float64(st.Rels)
+	sf.OneX = scaleComparison{
+		Nodes: st.Nodes,
+		Rels:  st.Rels,
+		Columnar: scaleLayout{
+			BuildSeconds: buildSec,
+			HeapBytes:    colHeap,
+			BytesPerNode: float64(colHeap) / nodes,
+			BytesPerRel:  float64(colHeap) / rels,
+			ScanSeconds:  colScanSec,
+			ScanGroups:   colRes.ccGroups + colRes.provGroups,
+			ScanEntities: colRes.entities,
+		},
+		Boxed: scaleLayout{
+			HeapBytes:    boxHeap,
+			BytesPerNode: float64(boxHeap) / nodes,
+			BytesPerRel:  float64(boxHeap) / rels,
+			ScanSeconds:  boxScanSec,
+			ScanGroups:   boxRes.ccGroups + boxRes.provGroups,
+			ScanEntities: boxRes.entities,
+		},
+	}
+	if colHeap > 0 {
+		sf.OneX.BytesPerNodeRatio = float64(boxHeap) / float64(colHeap)
+	}
+	if colScanSec > 0 {
+		sf.OneX.ScanSpeedup = boxScanSec / colScanSec
+	}
+	log.Printf("1x: %d nodes, %d rels", st.Nodes, st.Rels)
+	log.Printf("1x columnar: %7.1f MB (%.0f B/node)  scan %8.3fms",
+		float64(colHeap)/1e6, sf.OneX.Columnar.BytesPerNode, colScanSec*1e3)
+	log.Printf("1x boxed:    %7.1f MB (%.0f B/node)  scan %8.3fms",
+		float64(boxHeap)/1e6, sf.OneX.Boxed.BytesPerNode, boxScanSec*1e3)
+	log.Printf("1x ratio: %.2fx smaller, %.2fx faster scan",
+		sf.OneX.BytesPerNodeRatio, sf.OneX.ScanSpeedup)
+
+	// Release phase-1 graphs before the big build.
+	g1, bg = nil, nil
+	_ = bg
+
+	// --- Phase 2: full multiplier, columnar only ---
+	fullReps := reps
+	if fullReps > 2 {
+		fullReps = 2 // each scan walks every relationship; two timed runs suffice
+	}
+	base = heapSettled()
+	t0 = time.Now()
+	gN := simnet.BuildScale(simnet.ScaleSpecFor(mult))
+	fullBuild := time.Since(t0).Seconds()
+	gN.Freeze()
+	fullHeap := heapDelta(base, heapSettled())
+	stN := gN.Stats()
+	log.Printf("%dx: %d nodes, %d rels built in %.1fs, %.1f GB resident",
+		mult, stN.Nodes, stN.Rels, fullBuild, float64(fullHeap)/1e9)
+
+	scanSec, scanRes := bestOf(fullReps, func() scanResult { return columnarScan(gN) })
+	countSec, ipCount := bestOf(fullReps, func() int { return gN.CountByLabel("IP") })
+
+	// Serve it: the regular engine over the full graph, one aggregation.
+	db := iyp.Wrap(gN)
+	const q = `MATCH (a:AS) RETURN a.country_code AS cc, count(*) AS n ORDER BY n DESC, cc`
+	cypherSec, cypherRows := bestOf(fullReps, func() int {
+		res, err := db.Query(context.Background(), q)
+		if err != nil {
+			log.Fatalf("iyp-bench: scale cypher: %v", err)
+		}
+		return res.Len()
+	})
+
+	sf.Full = scaleFull{
+		Nodes:             stN.Nodes,
+		Rels:              stN.Rels,
+		DictStrings:       db.Graph().Interner().Len(),
+		BuildSeconds:      fullBuild,
+		HeapBytes:         fullHeap,
+		BytesPerNode:      float64(fullHeap) / float64(stN.Nodes),
+		ScanSeconds:       scanSec,
+		ScanGroups:        scanRes.ccGroups + scanRes.provGroups,
+		LabelCountSeconds: countSec,
+		LabelCount:        ipCount,
+		CypherSeconds:     cypherSec,
+		CypherRows:        cypherRows,
+	}
+	log.Printf("%dx scan %8.3fms  label-count %8.3fms (%d IPs)  cypher %8.3fms (%d rows)  dict %d strings",
+		mult, scanSec*1e3, countSec*1e3, ipCount, cypherSec*1e3, cypherRows, sf.Full.DictStrings)
+
+	writeOut(out, sf)
+}

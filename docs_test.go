@@ -7,7 +7,10 @@ package iyp_test
 
 import (
 	"context"
+	"encoding/json"
+	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -57,6 +60,86 @@ func TestReadmeExplainExamples(t *testing.T) {
 	} {
 		if !strings.Contains(doc, name) {
 			t.Errorf("README.md does not mention metric %s", name)
+		}
+	}
+}
+
+// TestReadmeMemoryTable pins the README's memory-footprint table (and the
+// DESIGN.md proof paragraph's headline ratio) to the tracked SCALE.json:
+// regenerating the benchmark without updating the docs — or editing the
+// docs to numbers the benchmark never produced — fails here.
+func TestReadmeMemoryTable(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(readme)
+
+	raw, err := os.ReadFile("SCALE.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sf struct {
+		OneX struct {
+			Nodes    int `json:"nodes"`
+			Rels     int `json:"rels"`
+			Columnar struct {
+				BytesPerNode float64 `json:"bytes_per_node"`
+			} `json:"columnar"`
+			Boxed struct {
+				BytesPerNode float64 `json:"bytes_per_node"`
+			} `json:"boxed"`
+			Ratio float64 `json:"bytes_per_node_ratio"`
+		} `json:"one_x"`
+		Full struct {
+			Nodes        int     `json:"nodes"`
+			Rels         int     `json:"rels"`
+			BytesPerNode float64 `json:"bytes_per_node"`
+		} `json:"full"`
+	}
+	if err := json.Unmarshal(raw, &sf); err != nil {
+		t.Fatalf("SCALE.json: %v", err)
+	}
+	if sf.Full.Nodes < 10_000_000 {
+		t.Fatalf("SCALE.json full build has %d nodes; the 100x bar is 10M", sf.Full.Nodes)
+	}
+	if sf.OneX.Ratio < 2 {
+		t.Fatalf("SCALE.json bytes/node ratio %.2f < 2: the columnar layout lost its headline", sf.OneX.Ratio)
+	}
+
+	group := func(n int) string {
+		s := strconv.Itoa(n)
+		for i := len(s) - 3; i > 0; i -= 3 {
+			s = s[:i] + "," + s[i:]
+		}
+		return s
+	}
+	// Table cells are padded for alignment; compare space-free.
+	squash := strings.ReplaceAll(doc, " ", "")
+	for _, want := range []string{
+		fmt.Sprintf("%s nodes, %s rels", group(sf.OneX.Nodes), group(sf.OneX.Rels)),
+		fmt.Sprintf("%s nodes, %s rels", group(sf.Full.Nodes), group(sf.Full.Rels)),
+		fmt.Sprintf("| %.0f |", sf.OneX.Boxed.BytesPerNode),
+		fmt.Sprintf("| %.0f |", sf.OneX.Columnar.BytesPerNode),
+		fmt.Sprintf("| %.0f |", sf.Full.BytesPerNode),
+		fmt.Sprintf("%.1f× smaller", sf.OneX.Ratio),
+	} {
+		if !strings.Contains(squash, strings.ReplaceAll(want, " ", "")) {
+			t.Errorf("README memory table does not match SCALE.json: missing %q", want)
+		}
+	}
+
+	// The replica dictionary-reuse metrics documented in DESIGN.md must be
+	// the exposition's real names (metrics.go renders them).
+	design, err := os.ReadFile("DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"iyp_replica_dict_strings_total", "iyp_replica_dict_reused_total",
+	} {
+		if !strings.Contains(string(design), name) {
+			t.Errorf("DESIGN.md does not mention metric %s", name)
 		}
 	}
 }

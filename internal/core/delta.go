@@ -53,6 +53,12 @@ type DeltaResult struct {
 	// previous generation before re-crawling (refinement rels included).
 	RelsDeleted  int
 	NodesDeleted int
+	// DictCarried is the string-dictionary size inherited from the previous
+	// generation; DictTotal is the size after the delta. The published
+	// generation's intern table is the previous one's, extended — only
+	// strings the re-crawled datasets introduced were newly allocated.
+	DictCarried int
+	DictTotal   int
 	// Report covers only the re-crawled datasets.
 	Report  ingest.Report
 	Elapsed time.Duration
@@ -157,10 +163,14 @@ func BuildDelta(ctx context.Context, opts DeltaOptions) (*DeltaResult, error) {
 		return nil, fmt.Errorf("core: delta: %w", err)
 	}
 	prevSeq := openRep.Loaded.Seq
+	// The delta mutates the loaded graph in place, so the next generation
+	// inherits this intern table and only newly-seen strings allocate.
+	dictCarried := g.Interner().Len()
 
 	if len(changed) == 0 {
 		logf("delta: all %d datasets unchanged against generation %d; nothing to publish", len(datasets), prevSeq)
-		return &DeltaResult{Graph: g, PrevSeq: prevSeq, Unchanged: true, Elapsed: time.Since(start)}, nil
+		return &DeltaResult{Graph: g, PrevSeq: prevSeq, Unchanged: true,
+			DictCarried: dictCarried, DictTotal: dictCarried, Elapsed: time.Since(start)}, nil
 	}
 	logf("delta: re-crawling %d of %d datasets against generation %d", len(changed), len(datasets), prevSeq)
 
@@ -271,8 +281,9 @@ func BuildDelta(ctx context.Context, opts DeltaOptions) (*DeltaResult, error) {
 		return nil, fmt.Errorf("core: delta: %w", err)
 	}
 
-	logf("delta: published generation %d (%d nodes, %d relationships; -%d rels, -%d nodes, %d datasets re-crawled) in %s",
-		gen.Seq, g.NumNodes(), g.NumRels(), relsDeleted, nodesDeleted, len(changed), time.Since(start).Round(time.Millisecond))
+	dictTotal := g.Interner().Len()
+	logf("delta: published generation %d (%d nodes, %d relationships; -%d rels, -%d nodes, %d datasets re-crawled; dictionary %d strings, %d carried) in %s",
+		gen.Seq, g.NumNodes(), g.NumRels(), relsDeleted, nodesDeleted, len(changed), dictTotal, dictCarried, time.Since(start).Round(time.Millisecond))
 	return &DeltaResult{
 		Graph:        g,
 		PrevSeq:      prevSeq,
@@ -280,6 +291,8 @@ func BuildDelta(ctx context.Context, opts DeltaOptions) (*DeltaResult, error) {
 		Recrawled:    changed,
 		RelsDeleted:  relsDeleted,
 		NodesDeleted: nodesDeleted,
+		DictCarried:  dictCarried,
+		DictTotal:    dictTotal,
 		Report:       report,
 		Elapsed:      time.Since(start),
 	}, nil

@@ -104,6 +104,15 @@ func TestDeltaForcedRecrawlEquivalentToFullBuild(t *testing.T) {
 	if res.RelsDeleted == 0 {
 		t.Fatal("forced re-crawl deleted no relationships — the dataset drop did not run")
 	}
+	// The published generation's intern table was seeded from the previous
+	// generation's: most strings carried over, only the re-crawl's new
+	// strings allocated on top.
+	if res.DictCarried == 0 {
+		t.Fatal("delta carried no dictionary strings from the previous generation")
+	}
+	if res.DictTotal < res.DictCarried {
+		t.Fatalf("delta dictionary shrank: %d carried, %d total (the table is append-only)", res.DictCarried, res.DictTotal)
+	}
 
 	// An independent full rebuild with the same pinned inputs.
 	ref, err := Build(context.Background(), opts)

@@ -52,6 +52,10 @@ func (br *BulkReader) NumRels() int { return br.g.relCount }
 // NodeAlive reports whether id refers to a live node.
 func (br *BulkReader) NodeAlive(id NodeID) bool { return br.g.node(id) != nil }
 
+// Interner exposes the graph's dictionary, letting callers (the temporal
+// diff kernel) detect that two readers share payload ids.
+func (br *BulkReader) Interner() *Interner { return br.g.dict }
+
 // LabelID resolves a label name; ok is false when the label was never
 // used (it then matches no node).
 func (br *BulkReader) LabelID(label string) (uint16, bool) {
@@ -65,7 +69,7 @@ func (br *BulkReader) NodeHasLabelID(id NodeID, lid uint16) bool {
 	if n == nil {
 		return false
 	}
-	for _, l := range n.labels {
+	for _, l := range br.g.lsets[n.lset] {
 		if l == labelID(lid) {
 			return true
 		}
@@ -82,7 +86,40 @@ func (br *BulkReader) NodeProp(id NodeID, key string) Value {
 	if n == nil {
 		return Null()
 	}
-	return n.props[key]
+	keyID, ok := br.g.dict.lookupStr(key)
+	if !ok {
+		return Null()
+	}
+	if i, had := findEntry(n.cprops, keyID); had {
+		return br.g.decEntry(n.cprops[i])
+	}
+	return Null()
+}
+
+// NodePropRef returns the raw columnar payload of a node property: its
+// kind and the fixed-size num field (string/list payloads appear as
+// Interner ids, bools as 0/1). For two readers sharing an Interner, equal
+// (kind, num) pairs mean equal values without materializing either — the
+// temporal diff identity fast path. ok is false when the property is
+// absent.
+func (br *BulkReader) NodePropRef(id NodeID, key string) (Kind, uint64, bool) {
+	n := br.g.node(id)
+	if n == nil {
+		return KindNull, 0, false
+	}
+	keyID, ok := br.g.dict.lookupStr(key)
+	if !ok {
+		return KindNull, 0, false
+	}
+	i, had := findEntry(n.cprops, keyID)
+	if !had {
+		return KindNull, 0, false
+	}
+	e := n.cprops[i]
+	if e.kind == KindBool {
+		return KindBool, uint64(e.flag), true
+	}
+	return e.kind, e.num, true
 }
 
 // NodeLabels returns the node's label names, sorted (nil for a dead id).
@@ -91,22 +128,40 @@ func (br *BulkReader) NodeLabels(id NodeID) []string {
 	if n == nil {
 		return nil
 	}
-	out := make([]string, len(n.labels))
-	for i, lid := range n.labels {
+	ls := br.g.lsets[n.lset]
+	out := make([]string, len(ls))
+	for i, lid := range ls {
 		out[i] = br.g.labelNames[lid]
 	}
 	sort.Strings(out)
 	return out
 }
 
-// EachNodeProp calls fn for every property of the node, in map order.
+// EachNodeProp calls fn for every property of the node, in key-id order.
 func (br *BulkReader) EachNodeProp(id NodeID, fn func(key string, v Value)) {
 	n := br.g.node(id)
 	if n == nil {
 		return
 	}
-	for k, v := range n.props {
-		fn(k, v)
+	for _, e := range n.cprops {
+		fn(br.g.dict.str(e.key), br.g.decEntry(e))
+	}
+}
+
+// EachNodePropRef is EachNodeProp plus each value's raw columnar payload:
+// ref carries string and list payloads as Interner ids and bools as 0/1.
+// Two readers sharing an Interner can compare string values by ref alone.
+func (br *BulkReader) EachNodePropRef(id NodeID, fn func(key string, kind Kind, ref uint64, v Value)) {
+	n := br.g.node(id)
+	if n == nil {
+		return
+	}
+	for _, e := range n.cprops {
+		ref := e.num
+		if e.kind == KindBool {
+			ref = uint64(e.flag)
+		}
+		fn(br.g.dict.str(e.key), e.kind, ref, br.g.decEntry(e))
 	}
 }
 
@@ -146,14 +201,30 @@ func (br *BulkReader) EachRel(fn func(id RelID, typ uint16, from, to NodeID) boo
 // TypeName resolves a relationship type id to its name.
 func (br *BulkReader) TypeName(t uint16) string { return br.g.typeNames[typeID(t)] }
 
-// EachRelProp calls fn for every property of the relationship, in map order.
+// EachRelProp calls fn for every property of the relationship, in key-id
+// order.
 func (br *BulkReader) EachRelProp(id RelID, fn func(key string, v Value)) {
 	r := br.g.rel(id)
 	if r == nil {
 		return
 	}
-	for k, v := range r.props {
-		fn(k, v)
+	for _, e := range r.cprops {
+		fn(br.g.dict.str(e.key), br.g.decEntry(e))
+	}
+}
+
+// EachRelPropRef is EachNodePropRef for relationship properties.
+func (br *BulkReader) EachRelPropRef(id RelID, fn func(key string, kind Kind, ref uint64, v Value)) {
+	r := br.g.rel(id)
+	if r == nil {
+		return
+	}
+	for _, e := range r.cprops {
+		ref := e.num
+		if e.kind == KindBool {
+			ref = uint64(e.flag)
+		}
+		fn(br.g.dict.str(e.key), e.kind, ref, br.g.decEntry(e))
 	}
 }
 
@@ -163,7 +234,35 @@ func (br *BulkReader) RelProp(id RelID, key string) Value {
 	if r == nil {
 		return Null()
 	}
-	return r.props[key]
+	keyID, ok := br.g.dict.lookupStr(key)
+	if !ok {
+		return Null()
+	}
+	if i, had := findEntry(r.cprops, keyID); had {
+		return br.g.decEntry(r.cprops[i])
+	}
+	return Null()
+}
+
+// RelPropRef is NodePropRef for relationship properties.
+func (br *BulkReader) RelPropRef(id RelID, key string) (Kind, uint64, bool) {
+	r := br.g.rel(id)
+	if r == nil {
+		return KindNull, 0, false
+	}
+	keyID, ok := br.g.dict.lookupStr(key)
+	if !ok {
+		return KindNull, 0, false
+	}
+	i, had := findEntry(r.cprops, keyID)
+	if !had {
+		return KindNull, 0, false
+	}
+	e := r.cprops[i]
+	if e.kind == KindBool {
+		return KindBool, uint64(e.flag), true
+	}
+	return e.kind, e.num, true
 }
 
 // EachRelOf calls fn for each relationship incident to id in the given
@@ -197,7 +296,9 @@ func (br *BulkReader) EachRelOf(id NodeID, dir Dir, fn func(rid RelID, typ uint1
 	}
 }
 
-// NodesByLabel returns the live nodes carrying label, ascending.
+// NodesByLabel returns the live nodes carrying label, ascending. When the
+// label bucket has no pending delta this is the index's own dense base
+// slice — callers must treat the result as read-only.
 func (br *BulkReader) NodesByLabel(label string) []NodeID {
 	lid, ok := br.g.labelIDs[label]
 	if !ok {
@@ -207,10 +308,5 @@ func (br *BulkReader) NodesByLabel(label string) []NodeID {
 	if set == nil {
 		return nil
 	}
-	out := make([]NodeID, 0, len(set.ids))
-	for id := range set.ids {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return set.sorted()
 }

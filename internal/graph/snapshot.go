@@ -22,10 +22,10 @@ import (
 // with a whole-file checksum and entity counts, letting Load distinguish a
 // good snapshot from a torn or bit-flipped one before trusting any of it.
 //
-// Format v2 (current):
+// Format v2 (current, columnar):
 //
 //	magic "IYPG" | version u8 = 2
-//	5 sections, in order (labels, types, nodes, rels, indexes), each:
+//	6 sections, in order (labels, types, dict, nodes, rels, indexes), each:
 //	    id u8 | crc32c(compressed) u32le | compressed len u64le |
 //	    uncompressed len u64le | gzip(section body)
 //	trailer:
@@ -33,18 +33,34 @@ import (
 //	    type count u64le | index count u64le |
 //	    crc32c(file[0:here]) u32le | end magic "GPYI"
 //
-// Section bodies use the same length-prefixed encoding as v1:
+// Section bodies:
 //
 //	label table:  uvarint count, strings
 //	type table:   uvarint count, strings
-//	node slots:   uvarint count, per slot: present u8, [labels, props]
-//	rel slots:    uvarint count, per slot: present u8, [type, from, to, props]
+//	dictionary:   uvarint count, strings — every property key and string
+//	              value the snapshot references, dense file-local ids in
+//	              first-use order
+//	node slots:   uvarint count, per slot: present u8,
+//	              [label count + label ids, prop count + prop entries]
+//	rel slots:    uvarint count, per slot: present u8,
+//	              [type, from, to, prop count + prop entries]
 //	index list:   uvarint count, per entry: label string, key string
 //
+// A prop entry is: uvarint dict-id of the key, kind u8, then the payload —
+// nothing for null, one byte for bool, uvarint bits for int/float, a
+// uvarint dict-id for string, and an inline element-count + element values
+// for list. Loads therefore materialize the columnar layout directly, and
+// a loader seeded with an existing Interner (replica reloads, delta
+// builds) reuses unchanged strings instead of re-allocating them.
+//
+// v2 files written before the dictionary section (nodes follow types
+// directly, properties are inline key/value pairs) still load: the decoder
+// dispatches on the section id that follows the type table.
+//
 // Format v1 (legacy, still loadable): one gzip stream wrapping
-// magic | version u8 = 1 | the five section bodies, no checksums.
-// v1 files start with the gzip magic, v2 files with "IYPG" — Load
-// dispatches on the first two bytes.
+// magic | version u8 = 1 | label/type/node/rel/index bodies with inline
+// properties, no checksums. v1 files start with the gzip magic, v2 files
+// with "IYPG" — Load dispatches on the first two bytes.
 const (
 	snapshotMagic    = "IYPG"
 	snapshotEndMagic = "GPYI"
@@ -52,17 +68,17 @@ const (
 	snapshotV2       = 2
 )
 
-// Section identifiers, in file order.
+// Section identifiers, in file order (secDict is absent from pre-columnar
+// v2 files).
 const (
 	secLabels  byte = 1
 	secTypes   byte = 2
 	secNodes   byte = 3
 	secRels    byte = 4
 	secIndexes byte = 5
+	secDict    byte = 6
 	secTrailer byte = 0xFF
 )
-
-var sectionOrder = [...]byte{secLabels, secTypes, secNodes, secRels, secIndexes}
 
 // trailerSize is the fixed byte size of the v2 trailer:
 // marker + five u64 counts + total CRC + end magic.
@@ -153,6 +169,51 @@ func (e *encBuf) props(p Props) {
 	}
 }
 
+// dictRemap assigns dense file-local ids to the Interner strings a
+// snapshot actually references. The lineage-shared Interner may hold
+// strings from sibling generations or discarded clones; remapping keeps
+// the on-disk dictionary exactly as large as this graph's working set and
+// makes the bytes a function of graph content alone.
+type dictRemap struct {
+	ids  map[uint32]uint32
+	strs []string
+}
+
+func newDictRemap() *dictRemap {
+	return &dictRemap{ids: make(map[uint32]uint32)}
+}
+
+func (dr *dictRemap) file(globalID uint32, in *Interner) uint32 {
+	if id, ok := dr.ids[globalID]; ok {
+		return id
+	}
+	id := uint32(len(dr.strs))
+	dr.strs = append(dr.strs, in.str(globalID))
+	dr.ids[globalID] = id
+	return id
+}
+
+// centry encodes one columnar prop entry: remapped key id, kind, payload.
+func (e *encBuf) centry(g *Graph, dr *dictRemap, ce centry) {
+	e.uvarint(uint64(dr.file(ce.key, g.dict)))
+	e.byte(byte(ce.kind))
+	switch ce.kind {
+	case KindNull:
+	case KindBool:
+		e.byte(ce.flag)
+	case KindInt, KindFloat:
+		e.uvarint(ce.num)
+	case KindString:
+		e.uvarint(uint64(dr.file(uint32(ce.num), g.dict)))
+	case KindList:
+		list := g.dict.list(uint32(ce.num))
+		e.uvarint(uint64(len(list)))
+		for _, el := range list {
+			e.value(el)
+		}
+	}
+}
+
 // crcWriter tracks the running CRC32C of everything written through it.
 type crcWriter struct {
 	w   *bufio.Writer
@@ -178,10 +239,59 @@ func (cw *crcWriter) u64(v uint64) error {
 	return err
 }
 
-// Save writes a format-v2 snapshot of the graph to w.
+// Save writes a format-v2 columnar snapshot of the graph to w.
 func (g *Graph) Save(w io.Writer) error {
 	g.rlock()
 	defer g.runlock()
+
+	// Pass 1: encode the node and relationship bodies into memory,
+	// collecting every referenced dictionary string in first-use order.
+	// The dictionary section precedes them in the file (the decoder needs
+	// it first), so the bodies are buffered until it is written.
+	dr := newDictRemap()
+	// Columns are sorted by global dictionary id, which reflects interning
+	// history (op order, or a previous snapshot's file order after a
+	// reload). Serializing in key-NAME order instead makes the bytes a pure
+	// function of graph content, so a resumed build and an uninterrupted
+	// one emit identical snapshots.
+	var scratch []centry
+	emitProps := func(e *encBuf, cp []centry) {
+		scratch = append(scratch[:0], cp...)
+		sort.Slice(scratch, func(i, j int) bool {
+			return g.dict.str(scratch[i].key) < g.dict.str(scratch[j].key)
+		})
+		e.uvarint(uint64(len(scratch)))
+		for _, ce := range scratch {
+			e.centry(g, dr, ce)
+		}
+	}
+	var nodesBody, relsBody encBuf
+	nodesBody.uvarint(uint64(len(g.nodes)))
+	for _, n := range g.nodes {
+		if n == nil {
+			nodesBody.byte(0)
+			continue
+		}
+		nodesBody.byte(1)
+		ls := g.lsets[n.lset]
+		nodesBody.uvarint(uint64(len(ls)))
+		for _, l := range ls {
+			nodesBody.uvarint(uint64(l))
+		}
+		emitProps(&nodesBody, n.cprops)
+	}
+	relsBody.uvarint(uint64(len(g.rels)))
+	for _, r := range g.rels {
+		if r == nil {
+			relsBody.byte(0)
+			continue
+		}
+		relsBody.byte(1)
+		relsBody.uvarint(uint64(r.typ))
+		relsBody.uvarint(uint64(r.from))
+		relsBody.uvarint(uint64(r.to))
+		emitProps(&relsBody, r.cprops)
+	}
 
 	out := &crcWriter{w: bufio.NewWriterSize(w, 1<<16)}
 	if _, err := out.Write([]byte(snapshotMagic)); err != nil {
@@ -191,14 +301,11 @@ func (g *Graph) Save(w io.Writer) error {
 		return err
 	}
 
-	var enc encBuf
 	var comp bytes.Buffer
-	writeSection := func(id byte, fill func(e *encBuf)) error {
-		enc.b.Reset()
-		fill(&enc)
+	writeSection := func(id byte, body []byte) error {
 		comp.Reset()
 		zw := gzip.NewWriter(&comp)
-		if _, err := zw.Write(enc.b.Bytes()); err != nil {
+		if _, err := zw.Write(body); err != nil {
 			return err
 		}
 		if err := zw.Close(); err != nil {
@@ -213,14 +320,19 @@ func (g *Graph) Save(w io.Writer) error {
 		if err := out.u64(uint64(comp.Len())); err != nil {
 			return err
 		}
-		if err := out.u64(uint64(enc.b.Len())); err != nil {
+		if err := out.u64(uint64(len(body))); err != nil {
 			return err
 		}
 		_, err := out.Write(comp.Bytes())
 		return err
 	}
+	writeFilled := func(id byte, fill func(e *encBuf)) error {
+		var enc encBuf
+		fill(&enc)
+		return writeSection(id, enc.b.Bytes())
+	}
 
-	if err := writeSection(secLabels, func(e *encBuf) {
+	if err := writeFilled(secLabels, func(e *encBuf) {
 		e.uvarint(uint64(len(g.labelNames)))
 		for _, s := range g.labelNames {
 			e.string(s)
@@ -228,7 +340,7 @@ func (g *Graph) Save(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	if err := writeSection(secTypes, func(e *encBuf) {
+	if err := writeFilled(secTypes, func(e *encBuf) {
 		e.uvarint(uint64(len(g.typeNames)))
 		for _, s := range g.typeNames {
 			e.string(s)
@@ -236,40 +348,21 @@ func (g *Graph) Save(w io.Writer) error {
 	}); err != nil {
 		return err
 	}
-	if err := writeSection(secNodes, func(e *encBuf) {
-		e.uvarint(uint64(len(g.nodes)))
-		for _, n := range g.nodes {
-			if n == nil {
-				e.byte(0)
-				continue
-			}
-			e.byte(1)
-			e.uvarint(uint64(len(n.labels)))
-			for _, l := range n.labels {
-				e.uvarint(uint64(l))
-			}
-			e.props(n.props)
+	if err := writeFilled(secDict, func(e *encBuf) {
+		e.uvarint(uint64(len(dr.strs)))
+		for _, s := range dr.strs {
+			e.string(s)
 		}
 	}); err != nil {
 		return err
 	}
-	if err := writeSection(secRels, func(e *encBuf) {
-		e.uvarint(uint64(len(g.rels)))
-		for _, r := range g.rels {
-			if r == nil {
-				e.byte(0)
-				continue
-			}
-			e.byte(1)
-			e.uvarint(uint64(r.typ))
-			e.uvarint(uint64(r.from))
-			e.uvarint(uint64(r.to))
-			e.props(r.props)
-		}
-	}); err != nil {
+	if err := writeSection(secNodes, nodesBody.b.Bytes()); err != nil {
 		return err
 	}
-	if err := writeSection(secIndexes, func(e *encBuf) {
+	if err := writeSection(secRels, relsBody.b.Bytes()); err != nil {
+		return err
+	}
+	if err := writeFilled(secIndexes, func(e *encBuf) {
 		// propIdx is a map; sort the entries so identical graphs produce
 		// byte-identical snapshots.
 		entries := make([]propIdxID, 0, len(g.propIdx))
@@ -281,12 +374,12 @@ func (g *Graph) Save(w io.Writer) error {
 			if li != lj {
 				return li < lj
 			}
-			return entries[i].key < entries[j].key
+			return g.dict.str(entries[i].key) < g.dict.str(entries[j].key)
 		})
 		e.uvarint(uint64(len(entries)))
 		for _, pid := range entries {
 			e.string(g.labelNames[pid.label])
-			e.string(pid.key)
+			e.string(g.dict.str(pid.key))
 		}
 	}); err != nil {
 		return err
@@ -484,6 +577,87 @@ func readProps(d snapReader) (Props, error) {
 	return p, nil
 }
 
+// fileDict is the decoded dictionary section: file-local id → Interner id.
+type fileDict struct {
+	ids []uint32
+}
+
+// readCProps decodes a columnar prop-entry list into a sorted column.
+func readCProps(g *Graph, d snapReader, fd *fileDict) ([]centry, error) {
+	n, err := readUvarint(d)
+	if err != nil {
+		return nil, err
+	}
+	// Each entry takes at least two bytes (key id + kind).
+	if n > d.limit() {
+		return nil, corruptf("property count %d too large", n)
+	}
+	cp := make([]centry, 0, min(n, initialPropCap))
+	for i := uint64(0); i < n; i++ {
+		keyRef, err := readUvarint(d)
+		if err != nil {
+			return nil, err
+		}
+		if keyRef >= uint64(len(fd.ids)) {
+			return nil, corruptf("property key id %d out of dictionary range %d", keyRef, len(fd.ids))
+		}
+		e := centry{key: fd.ids[keyRef]}
+		kb, err := d.ReadByte()
+		if err != nil {
+			return nil, asCorrupt(err)
+		}
+		e.kind = Kind(kb)
+		switch e.kind {
+		case KindNull:
+		case KindBool:
+			b, err := d.ReadByte()
+			if err != nil {
+				return nil, asCorrupt(err)
+			}
+			if b != 0 {
+				e.flag = 1
+			}
+		case KindInt, KindFloat:
+			if e.num, err = readUvarint(d); err != nil {
+				return nil, err
+			}
+		case KindString:
+			ref, err := readUvarint(d)
+			if err != nil {
+				return nil, err
+			}
+			if ref >= uint64(len(fd.ids)) {
+				return nil, corruptf("string id %d out of dictionary range %d", ref, len(fd.ids))
+			}
+			e.num = uint64(fd.ids[ref])
+		case KindList:
+			cnt, err := readUvarint(d)
+			if err != nil {
+				return nil, err
+			}
+			if cnt > d.limit() {
+				return nil, corruptf("list length %d too large", cnt)
+			}
+			vs := make([]Value, 0, min(cnt, initialListCap))
+			for j := uint64(0); j < cnt; j++ {
+				v, err := readValue(d)
+				if err != nil {
+					return nil, err
+				}
+				vs = append(vs, v)
+			}
+			e.num = uint64(g.dict.internListKey(listDedupKey(vs), vs))
+		default:
+			return nil, corruptf("unknown value kind %d", kb)
+		}
+		cp = append(cp, e)
+	}
+	// Entries are sorted by the graph's global key ids; with a seeded
+	// dictionary those need not follow file order.
+	sort.Slice(cp, func(i, j int) bool { return cp[i].key < cp[j].key })
+	return cp, nil
+}
+
 // decodeStringTable reads a label or type table (bounded by maxTableLen,
 // since ids are u16).
 func decodeStringTable(d snapReader, what string) ([]string, error) {
@@ -505,10 +679,61 @@ func decodeStringTable(d snapReader, what string) ([]string, error) {
 	return out, nil
 }
 
-// decodeNodes reads the node-slot section into g (callers hold no locks;
-// g is still private to the loader).
-func decodeNodes(g *Graph, d snapReader) error {
+// decodeDict reads the dictionary section, interning every string into the
+// graph's (possibly seeded) Interner and recording reuse statistics.
+func decodeDict(g *Graph, d snapReader, rep *LoadReport) (*fileDict, error) {
+	n, err := readUvarint(d)
+	if err != nil {
+		return nil, err
+	}
+	// Each string takes at least one byte (its length prefix).
+	if n > d.limit() {
+		return nil, corruptf("dictionary size %d exceeds input", n)
+	}
+	fd := &fileDict{ids: make([]uint32, 0, min(n, uint64(initialSlotCap)))}
+	for i := uint64(0); i < n; i++ {
+		s, err := readString(d)
+		if err != nil {
+			return nil, err
+		}
+		id, existed := g.dict.internHit(s)
+		fd.ids = append(fd.ids, id)
+		rep.DictStrings++
+		if existed {
+			rep.DictReused++
+		}
+	}
+	return fd, nil
+}
+
+// readNodeLabels decodes and validates one node's label-id list, returning
+// the graph's label-set id for it.
+func readNodeLabels(g *Graph, d snapReader, slot uint64) (lsetID, error) {
 	nLabels := uint64(len(g.labelNames))
+	nl, err := readUvarint(d)
+	if err != nil {
+		return 0, err
+	}
+	if nl > nLabels {
+		return 0, corruptf("node %d: label count %d exceeds table size %d", slot+1, nl, nLabels)
+	}
+	var ls []labelID
+	for j := uint64(0); j < nl; j++ {
+		l, err := readUvarint(d)
+		if err != nil {
+			return 0, err
+		}
+		if l >= nLabels {
+			return 0, corruptf("label id %d out of range", l)
+		}
+		ls = insertLabel(ls, labelID(l))
+	}
+	return g.internLset(ls), nil
+}
+
+// decodeNodes reads a legacy (inline-property) node section into g,
+// converting each boxed property map to the columnar layout.
+func decodeNodes(g *Graph, d snapReader) error {
 	nNodes, err := readUvarint(d)
 	if err != nil {
 		return err
@@ -527,25 +752,45 @@ func decodeNodes(g *Graph, d snapReader) error {
 			g.nodes = append(g.nodes, nil)
 			continue
 		}
-		nl, err := readUvarint(d)
+		n := &Node{id: NodeID(i + 1), owner: g.owner}
+		if n.lset, err = readNodeLabels(g, d, i); err != nil {
+			return err
+		}
+		props, err := readProps(d)
 		if err != nil {
 			return err
 		}
-		if nl > nLabels {
-			return corruptf("node %d: label count %d exceeds table size %d", i+1, nl, nLabels)
+		n.cprops = g.encodeProps(props)
+		g.nodes = append(g.nodes, n)
+		g.nodeCount++
+	}
+	return nil
+}
+
+// decodeNodesColumnar reads the columnar node section into g.
+func decodeNodesColumnar(g *Graph, d snapReader, fd *fileDict) error {
+	nNodes, err := readUvarint(d)
+	if err != nil {
+		return err
+	}
+	if nNodes > d.limit() {
+		return corruptf("node count %d exceeds input", nNodes)
+	}
+	g.nodes = make([]*Node, 0, min(nNodes, initialSlotCap))
+	for i := uint64(0); i < nNodes; i++ {
+		present, err := d.ReadByte()
+		if err != nil {
+			return asCorrupt(err)
 		}
-		n := &Node{id: NodeID(i + 1), owner: g.owner, labels: make([]labelID, nl)}
-		for j := range n.labels {
-			l, err := readUvarint(d)
-			if err != nil {
-				return err
-			}
-			if l >= nLabels {
-				return corruptf("label id %d out of range", l)
-			}
-			n.labels[j] = labelID(l)
+		if present == 0 {
+			g.nodes = append(g.nodes, nil)
+			continue
 		}
-		if n.props, err = readProps(d); err != nil {
+		n := &Node{id: NodeID(i + 1), owner: g.owner}
+		if n.lset, err = readNodeLabels(g, d, i); err != nil {
+			return err
+		}
+		if n.cprops, err = readCProps(g, d, fd); err != nil {
 			return err
 		}
 		g.nodes = append(g.nodes, n)
@@ -554,9 +799,26 @@ func decodeNodes(g *Graph, d snapReader) error {
 	return nil
 }
 
-// decodeRels reads the relationship-slot section into g, validating
+// decodeRels reads a legacy relationship section into g, validating
 // endpoints against the already-decoded nodes.
 func decodeRels(g *Graph, d snapReader) error {
+	return decodeRelsWith(g, d, func(d snapReader) ([]centry, error) {
+		props, err := readProps(d)
+		if err != nil {
+			return nil, err
+		}
+		return g.encodeProps(props), nil
+	})
+}
+
+// decodeRelsColumnar reads the columnar relationship section.
+func decodeRelsColumnar(g *Graph, d snapReader, fd *fileDict) error {
+	return decodeRelsWith(g, d, func(d snapReader) ([]centry, error) {
+		return readCProps(g, d, fd)
+	})
+}
+
+func decodeRelsWith(g *Graph, d snapReader, props func(snapReader) ([]centry, error)) error {
 	nTypes := uint64(len(g.typeNames))
 	nRels, err := readUvarint(d)
 	if err != nil {
@@ -590,11 +852,11 @@ func decodeRels(g *Graph, d snapReader) error {
 		if err != nil {
 			return err
 		}
-		props, err := readProps(d)
+		cp, err := props(d)
 		if err != nil {
 			return err
 		}
-		r := &Rel{id: RelID(i + 1), owner: g.owner, typ: typeID(typ), from: NodeID(from), to: NodeID(to), props: props}
+		r := &Rel{id: RelID(i + 1), owner: g.owner, typ: typeID(typ), from: NodeID(from), to: NodeID(to), cprops: cp}
 		fn, tn := g.node(r.from), g.node(r.to)
 		if fn == nil || tn == nil {
 			return corruptf("relationship %d references missing node", r.id)
@@ -631,46 +893,75 @@ func decodeIndexes(g *Graph, d snapReader) error {
 }
 
 // rebuildLabelIndex repopulates labelIdx from the decoded nodes. It must run
-// before decodeIndexes, which backfills property indexes from it.
+// before decodeIndexes, which backfills property indexes from it. Nodes are
+// walked in ascending ID order, so every bucket fills through the idSet
+// in-order append fast path: dense sorted base slices, no delta maps.
 func rebuildLabelIndex(g *Graph) {
 	for _, n := range g.nodes {
 		if n == nil {
 			continue
 		}
-		for _, lid := range n.labels {
+		for _, lid := range g.lsets[n.lset] {
 			set := g.labelIdx[lid]
 			if set == nil {
 				set = newIDSet(g.owner)
 				g.labelIdx[lid] = set
 			}
-			set.ids[n.id] = struct{}{}
+			set.add(n.id)
 		}
 	}
 }
 
-// Load reads a snapshot written by Save (either format version) and returns
+// LoadOptions tunes a snapshot load.
+type LoadOptions struct {
+	// Dict seeds the loaded graph's dictionary. A loader given the
+	// previous generation's Interner reuses every unchanged string
+	// (replica hot-swap reloads, delta builds); nil starts fresh.
+	Dict *Interner
+}
+
+// LoadReport describes what a load did with the dictionary.
+type LoadReport struct {
+	// DictStrings is the number of dictionary entries the snapshot
+	// carries (zero for legacy formats, which inline their strings).
+	DictStrings int
+	// DictReused counts the entries already present in the seeded
+	// dictionary — strings that were NOT re-allocated.
+	DictReused int
+}
+
+// Load reads a snapshot written by Save (any format version) and returns
 // the reconstructed graph, including rebuilt adjacency, label indexes, and
-// property indexes. Corrupt input of either version — truncated,
-// bit-flipped, or with lying length prefixes — yields an error wrapping
-// ErrCorrupt; Load never panics and never allocates beyond what the real
-// input can back.
+// property indexes. Corrupt input of any version — truncated, bit-flipped,
+// or with lying length prefixes — yields an error wrapping ErrCorrupt;
+// Load never panics and never allocates beyond what the real input can
+// back.
 func Load(r io.Reader) (*Graph, error) {
+	g, _, err := LoadWith(r, LoadOptions{})
+	return g, err
+}
+
+// LoadWith is Load with options (dictionary seeding) and a reuse report.
+func LoadWith(r io.Reader, opts LoadOptions) (*Graph, LoadReport, error) {
+	var rep LoadReport
 	br := bufio.NewReaderSize(r, 1<<16)
 	head, err := br.Peek(2)
 	if err != nil {
-		return nil, corruptf("snapshot header: %v", err)
+		return nil, rep, corruptf("snapshot header: %v", err)
 	}
 	if head[0] == 0x1f && head[1] == 0x8b { // gzip magic: a legacy v1 stream
-		return loadV1(br)
+		g, err := loadV1(br, opts)
+		return g, rep, err
 	}
 	data, err := io.ReadAll(br)
 	if err != nil {
-		return nil, fmt.Errorf("graph: snapshot read: %w", err)
+		return nil, rep, fmt.Errorf("graph: snapshot read: %w", err)
 	}
-	return loadV2(data)
+	g, err := loadV2(data, opts, &rep)
+	return g, rep, err
 }
 
-func loadV1(r io.Reader) (*Graph, error) {
+func loadV1(r io.Reader, opts LoadOptions) (*Graph, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, corruptf("snapshot: %v", err)
@@ -693,7 +984,7 @@ func loadV1(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("graph: unsupported snapshot version %d", ver)
 	}
 
-	g := New()
+	g := NewWithInterner(opts.Dict)
 	labels, err := decodeStringTable(d, "label")
 	if err != nil {
 		return nil, err
@@ -731,7 +1022,7 @@ func loadV1(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-func loadV2(data []byte) (*Graph, error) {
+func loadV2(data []byte, opts LoadOptions, rep *LoadReport) (*Graph, error) {
 	headerSize := len(snapshotMagic) + 1
 	if len(data) < headerSize+trailerSize {
 		return nil, corruptf("file too short (%d bytes)", len(data))
@@ -762,49 +1053,108 @@ func loadV2(data []byte) (*Graph, error) {
 		wantCounts[i] = binary.LittleEndian.Uint64(data[trailerOff+1+8*i:])
 	}
 
-	g := New()
+	g := NewWithInterner(opts.Dict)
 	off := headerSize
-	for _, id := range sectionOrder {
+	next := func(id byte) (*sliceReader, error) {
 		body, n, err := readSection(data[off:trailerOff], id)
 		if err != nil {
 			return nil, err
 		}
 		off += n
-		d := &sliceReader{data: body}
-		switch id {
-		case secLabels:
-			labels, err := decodeStringTable(d, "label")
-			if err != nil {
-				return nil, err
-			}
-			for _, s := range labels {
-				g.internLabel(s)
-			}
-		case secTypes:
-			types, err := decodeStringTable(d, "type")
-			if err != nil {
-				return nil, err
-			}
-			for _, s := range types {
-				g.internType(s)
-			}
-		case secNodes:
-			if err := decodeNodes(g, d); err != nil {
-				return nil, err
+		return &sliceReader{data: body}, nil
+	}
+	finish := func(d *sliceReader, id byte) error {
+		if d.remaining() != 0 {
+			return corruptf("section %d has %d trailing bytes", id, d.remaining())
+		}
+		return nil
+	}
+	decode := func(id byte, fn func(*sliceReader) error) error {
+		d, err := next(id)
+		if err != nil {
+			return err
+		}
+		if err := fn(d); err != nil {
+			return err
+		}
+		return finish(d, id)
+	}
+
+	if err := decode(secLabels, func(d *sliceReader) error {
+		labels, err := decodeStringTable(d, "label")
+		if err != nil {
+			return err
+		}
+		for _, s := range labels {
+			g.internLabel(s)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := decode(secTypes, func(d *sliceReader) error {
+		types, err := decodeStringTable(d, "type")
+		if err != nil {
+			return err
+		}
+		for _, s := range types {
+			g.internType(s)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// The section after the type table decides the layout: columnar files
+	// carry a dictionary (secDict) before their node section; files from
+	// before the columnar layout go straight to secNodes with inline
+	// properties. Both remain loadable.
+	if off >= trailerOff {
+		return nil, corruptf("sections end after type table")
+	}
+	if data[off] == secDict {
+		var fd *fileDict
+		if err := decode(secDict, func(d *sliceReader) error {
+			var err error
+			fd, err = decodeDict(g, d, rep)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		if err := decode(secNodes, func(d *sliceReader) error {
+			if err := decodeNodesColumnar(g, d, fd); err != nil {
+				return err
 			}
 			rebuildLabelIndex(g)
-		case secRels:
-			if err := decodeRels(g, d); err != nil {
-				return nil, err
-			}
-		case secIndexes:
-			if err := decodeIndexes(g, d); err != nil {
-				return nil, err
-			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
-		if d.remaining() != 0 {
-			return nil, corruptf("section %d has %d trailing bytes", id, d.remaining())
+		if err := decode(secRels, func(d *sliceReader) error {
+			return decodeRelsColumnar(g, d, fd)
+		}); err != nil {
+			return nil, err
 		}
+	} else {
+		if err := decode(secNodes, func(d *sliceReader) error {
+			if err := decodeNodes(g, d); err != nil {
+				return err
+			}
+			rebuildLabelIndex(g)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := decode(secRels, func(d *sliceReader) error {
+			return decodeRels(g, d)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if err := decode(secIndexes, func(d *sliceReader) error {
+		return decodeIndexes(g, d)
+	}); err != nil {
+		return nil, err
 	}
 	if off != trailerOff {
 		return nil, corruptf("%d unexpected bytes between sections and trailer", trailerOff-off)
@@ -916,10 +1266,17 @@ func syncDir(dir string) error {
 
 // LoadFile reads a snapshot from path.
 func LoadFile(path string) (*Graph, error) {
+	g, _, err := LoadFileWith(path, LoadOptions{})
+	return g, err
+}
+
+// LoadFileWith reads a snapshot from path with options (dictionary
+// seeding) and a reuse report.
+func LoadFileWith(path string, opts LoadOptions) (*Graph, LoadReport, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, LoadReport{}, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadWith(f, opts)
 }

@@ -98,6 +98,36 @@ func TestV1GoldenResavesAsV2(t *testing.T) {
 	graphsEquivalent(t, g, g2)
 }
 
+// TestV2BoxedGoldenLoads pins the pre-columnar v2 format: the committed
+// fixture was written by the v2 encoder before the dictionary section
+// existed (inline key/value properties, nodes directly after types). Those
+// files are what deployed replicas and stores hold; they must keep loading.
+func TestV2BoxedGoldenLoads(t *testing.T) {
+	g, rep, err := LoadFileWith("testdata/v2-boxed.snapshot", LoadOptions{})
+	if err != nil {
+		t.Fatalf("pre-columnar v2 fixture no longer loads: %v", err)
+	}
+	if rep.DictStrings != 0 {
+		t.Fatalf("boxed fixture reported %d dictionary strings; the format has no dictionary section", rep.DictStrings)
+	}
+	graphsEquivalent(t, fixtureGraph(), g)
+	for _, idx := range [][2]string{{"AS", "id"}, {"Prefix", "id"}} {
+		if !g.HasIndex(idx[0], idx[1]) {
+			t.Errorf("index %s.%s lost", idx[0], idx[1])
+		}
+	}
+	// Round-trip through the current (columnar) encoder.
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("columnar re-save of boxed fixture does not load: %v", err)
+	}
+	graphsEquivalent(t, g, g2)
+}
+
 func TestV1EmptyLoads(t *testing.T) {
 	g, err := LoadFile("testdata/v1-empty.snapshot")
 	if err != nil {

@@ -26,8 +26,8 @@ func (g *Graph) Stats() Stats {
 		ByRelType: make(map[string]int, len(g.typeNames)),
 	}
 	for lid, set := range g.labelIdx {
-		if set != nil && len(set.ids) > 0 {
-			s.ByLabel[g.labelNames[lid]] = len(set.ids)
+		if set != nil && set.n > 0 {
+			s.ByLabel[g.labelNames[lid]] = set.n
 		}
 	}
 	for tid, c := range g.typeCounts {
@@ -78,7 +78,11 @@ func (g *Graph) PropCardinality(label, key string) PropStats {
 	if !ok {
 		return PropStats{}
 	}
-	pid := propIdxID{lid, key}
+	keyID, ok := g.dict.lookupStr(key)
+	if !ok {
+		return PropStats{}
+	}
+	pid := propIdxID{lid, keyID}
 	ps := PropStats{WithKey: g.labelKeyCount[pid]}
 	if idx, ok := g.propIdx[pid]; ok {
 		ps.Indexed = true
@@ -127,9 +131,9 @@ func (g *Graph) rebuildStatsLocked() {
 		if n == nil {
 			continue
 		}
-		for _, lid := range n.labels {
-			for key := range n.props {
-				g.labelKeyCount[propIdxID{lid, key}]++
+		for _, lid := range g.lsets[n.lset] {
+			for _, e := range n.cprops {
+				g.labelKeyCount[propIdxID{lid, e.key}]++
 			}
 		}
 	}

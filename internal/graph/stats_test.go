@@ -21,9 +21,9 @@ func bruteStats(g *Graph) (typeCounts []int, labelKey map[propIdxID]int) {
 		if n == nil {
 			continue
 		}
-		for _, lid := range n.labels {
-			for key := range n.props {
-				labelKey[propIdxID{lid, key}]++
+		for _, lid := range g.lsets[n.lset] {
+			for _, e := range n.cprops {
+				labelKey[propIdxID{lid, e.key}]++
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -17,6 +18,12 @@ type RelID uint64
 type labelID uint16
 type typeID uint16
 
+// lsetID names one distinct sorted label combination in the graph's
+// label-set dictionary (g.lsets); 0 is always the empty set. Real graphs
+// have millions of nodes but only dozens of label combinations, so a node
+// carries one 4-byte id instead of a heap-allocated label slice.
+type lsetID uint32
+
 // ownerTokens hands out ownership stamps for the copy-on-write machinery.
 // Every Graph (fresh, loaded, or cloned) gets a unique token; a node,
 // relationship, or index bucket whose stamp differs from its graph's token
@@ -26,25 +33,38 @@ var ownerTokens atomic.Uint64
 
 func newOwnerToken() uint64 { return ownerTokens.Add(1) }
 
+// centry is one property in the columnar layout: an interned key id, the
+// value kind, and a fixed-size payload. Strings and lists live in the
+// lineage-shared Interner and are referenced by id, so a property entry is
+// 16 bytes regardless of payload size and values shared across generations
+// (or repeated across nodes — provenance strings, dataset URLs) are stored
+// once. Entries are kept sorted by key id.
+type centry struct {
+	key  uint32
+	kind Kind
+	flag uint8  // bool payload
+	num  uint64 // int bits / float bits / string id / list id
+}
+
 // Node is a labeled property vertex. Fields are unexported; all access goes
 // through methods so the store can synchronize and maintain indexes.
 type Node struct {
 	id     NodeID
-	owner  uint64    // COW stamp: which graph generation may mutate this struct
-	labels []labelID // sorted
-	props  Props
+	owner  uint64 // COW stamp: which graph generation may mutate this struct
+	lset   lsetID // label-set id into the graph's label-set dictionary
+	cprops []centry
 	out    []RelID
 	in     []RelID
 }
 
 // Rel is a typed, directed edge with properties.
 type Rel struct {
-	id    RelID
-	owner uint64 // COW stamp, as on Node
-	typ   typeID
-	from  NodeID
-	to    NodeID
-	props Props
+	id     RelID
+	owner  uint64 // COW stamp, as on Node
+	typ    typeID
+	from   NodeID
+	to     NodeID
+	cprops []centry
 }
 
 // ID returns the node's identifier.
@@ -68,14 +88,14 @@ func (r *Rel) Other(n NodeID) NodeID {
 }
 
 // clone returns a deep-enough copy of n owned by the given generation:
-// label/adjacency slices and the property map are copied, property values
-// (immutable) are shared.
+// the property column and adjacency slices are copied; interned payloads
+// (immutable) are shared through the dictionary.
 func (n *Node) clone(owner uint64) *Node {
 	return &Node{
 		id:     n.id,
 		owner:  owner,
-		labels: append([]labelID(nil), n.labels...),
-		props:  n.props.Clone(),
+		lset:   n.lset,
+		cprops: append([]centry(nil), n.cprops...),
 		out:    append([]RelID(nil), n.out...),
 		in:     append([]RelID(nil), n.in...),
 	}
@@ -83,44 +103,184 @@ func (n *Node) clone(owner uint64) *Node {
 
 func (r *Rel) clone(owner uint64) *Rel {
 	return &Rel{
-		id:    r.id,
-		owner: owner,
-		typ:   r.typ,
-		from:  r.from,
-		to:    r.to,
-		props: r.props.Clone(),
+		id:     r.id,
+		owner:  owner,
+		typ:    r.typ,
+		from:   r.from,
+		to:     r.to,
+		cprops: append([]centry(nil), r.cprops...),
 	}
 }
 
+// propIdxID names one (label, property-key) index; the key is an Interner
+// string id, so building and probing indexes never hashes key strings.
 type propIdxID struct {
 	label labelID
-	key   string
+	key   uint32
 }
 
 // idSet is a node-ID set with a COW ownership stamp — the bucket type of
-// the label index and of each property-index value bucket.
+// the label index and of each property-index value bucket. It is a hybrid
+// of a sorted immutable base slice and a small delta map: bulk builds and
+// snapshot loads append monotonically increasing IDs straight onto the
+// base (dense, cache-friendly, and shared wholesale by COW clones), while
+// out-of-order additions and deletions land in the delta. A clone shares
+// the base and copies only the delta, so cloning a million-node label
+// bucket is O(delta), not O(members).
 type idSet struct {
 	owner uint64
-	ids   map[NodeID]struct{}
+	base  []NodeID        // sorted ascending
+	dirty map[NodeID]bool // overrides: true = added (not in base), false = removed from base
+	n     int             // live membership count
 }
 
 func newIDSet(owner uint64) *idSet {
-	return &idSet{owner: owner, ids: make(map[NodeID]struct{})}
+	return &idSet{owner: owner}
 }
 
 func (s *idSet) clone(owner uint64) *idSet {
-	c := &idSet{owner: owner, ids: make(map[NodeID]struct{}, len(s.ids))}
-	for id := range s.ids {
-		c.ids[id] = struct{}{}
+	c := &idSet{
+		owner: owner,
+		// Full slice expression: a sibling clone appending to the shared
+		// base array must reallocate rather than write into our view.
+		base: s.base[:len(s.base):len(s.base)],
+		n:    s.n,
+	}
+	if len(s.dirty) > 0 {
+		c.dirty = make(map[NodeID]bool, len(s.dirty))
+		for id, v := range s.dirty {
+			c.dirty[id] = v
+		}
 	}
 	return c
+}
+
+func (s *idSet) inBase(id NodeID) bool {
+	i := sort.Search(len(s.base), func(i int) bool { return s.base[i] >= id })
+	return i < len(s.base) && s.base[i] == id
+}
+
+func (s *idSet) has(id NodeID) bool {
+	if v, ok := s.dirty[id]; ok {
+		return v
+	}
+	return s.inBase(id)
+}
+
+func (s *idSet) add(id NodeID) {
+	if v, ok := s.dirty[id]; ok {
+		if v {
+			return
+		}
+		delete(s.dirty, id) // back into the base
+		s.n++
+		return
+	}
+	if s.inBase(id) {
+		return
+	}
+	s.n++
+	if len(s.base) == 0 || id > s.base[len(s.base)-1] {
+		s.base = append(s.base, id) // in-order fast path
+		return
+	}
+	if s.dirty == nil {
+		s.dirty = make(map[NodeID]bool)
+	}
+	s.dirty[id] = true
+}
+
+func (s *idSet) remove(id NodeID) {
+	if v, ok := s.dirty[id]; ok {
+		if !v {
+			return
+		}
+		delete(s.dirty, id)
+		s.n--
+		return
+	}
+	if !s.inBase(id) {
+		return
+	}
+	if s.dirty == nil {
+		s.dirty = make(map[NodeID]bool)
+	}
+	s.dirty[id] = false
+	s.n--
+}
+
+// sorted returns the live members ascending. When the set has no delta the
+// base is returned directly — callers must treat the result as read-only.
+func (s *idSet) sorted() []NodeID {
+	if len(s.dirty) == 0 {
+		return s.base
+	}
+	var added []NodeID
+	for id, v := range s.dirty {
+		if v {
+			added = append(added, id)
+		}
+	}
+	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
+	out := make([]NodeID, 0, s.n)
+	ai := 0
+	for _, id := range s.base {
+		for ai < len(added) && added[ai] < id {
+			out = append(out, added[ai])
+			ai++
+		}
+		if v, ok := s.dirty[id]; ok && !v {
+			continue
+		}
+		out = append(out, id)
+	}
+	out = append(out, added[ai:]...)
+	return out
+}
+
+// each calls fn for every live member in ascending order until fn returns
+// false.
+func (s *idSet) each(fn func(NodeID) bool) {
+	for _, id := range s.sorted() {
+		if !fn(id) {
+			return
+		}
+	}
+}
+
+// min returns the smallest live member (0 when empty).
+func (s *idSet) min() NodeID {
+	if len(s.dirty) == 0 {
+		if len(s.base) == 0 {
+			return 0
+		}
+		return s.base[0]
+	}
+	var best NodeID
+	s.each(func(id NodeID) bool {
+		best = id
+		return false
+	})
+	return best
 }
 
 // propIndex is one (label, key) hash index: value bucket map plus a COW
 // stamp for the bucket map itself (leaf sets carry their own stamps).
 type propIndex struct {
 	owner   uint64
-	buckets map[indexKey]*idSet
+	buckets map[ckey]*idSet
+}
+
+// ckey is the columnar index-bucket key: the value kind plus a fixed-size
+// payload in which strings and lists appear as Interner ids. Probing an
+// index with a string no node carries therefore fails at the dictionary
+// lookup, before touching any bucket. Integral floats normalize to the int
+// encoding so Int(2) and Float(2.0) collide, matching Value.Equal — the
+// same invariant indexKey (value.go) maintains for DISTINCT/grouping.
+type ckey struct {
+	kind Kind
+	b    bool
+	num  uint64
 }
 
 // Graph is the in-memory property graph. All exported methods are safe for
@@ -140,10 +300,21 @@ type Graph struct {
 	// owner is this graph's COW stamp (see ownerTokens).
 	owner uint64
 
+	// dict is the lineage-shared string/list dictionary. Clones share it;
+	// loaders may be seeded with an existing one (replica reloads, delta
+	// builds) so unchanged strings are reused instead of re-allocated.
+	dict *Interner
+
 	labelNames []string
 	labelIDs   map[string]labelID
 	typeNames  []string
 	typeIDs    map[string]typeID
+
+	// lsets is the label-set dictionary: lsetID → sorted label ids.
+	// Entry 0 is the empty set. Append-only; clones share the table
+	// (capacity-capped) and copy the small lookup map.
+	lsets   [][]labelID
+	lsetIDs map[string]lsetID
 
 	nodes []*Node // index id-1; nil = deleted
 	rels  []*Rel
@@ -166,17 +337,36 @@ type Graph struct {
 	version uint64
 }
 
-// New returns an empty graph.
+// New returns an empty graph with a fresh dictionary.
 func New() *Graph {
+	return NewWithInterner(NewInterner())
+}
+
+// NewWithInterner returns an empty graph whose string/list payloads intern
+// into dict. Sharing a dictionary across graphs is always safe (ids are
+// content-addressed); it is how replicas and delta builds reuse a previous
+// generation's strings.
+func NewWithInterner(dict *Interner) *Graph {
+	if dict == nil {
+		dict = NewInterner()
+	}
 	return &Graph{
 		owner:         newOwnerToken(),
+		dict:          dict,
 		labelIDs:      make(map[string]labelID),
 		typeIDs:       make(map[string]typeID),
+		lsets:         make([][]labelID, 1), // entry 0: the empty label set
+		lsetIDs:       make(map[string]lsetID),
 		labelIdx:      make(map[labelID]*idSet),
 		propIdx:       make(map[propIdxID]*propIndex),
 		labelKeyCount: make(map[propIdxID]int),
 	}
 }
+
+// Interner returns the graph's dictionary. Callers use it to seed another
+// load (replica delta reloads) or to detect that two graphs share payload
+// ids (temporal diff's interned fast path).
+func (g *Graph) Interner() *Interner { return g.dict }
 
 // --- freezing & copy-on-write cloning (the MVCC substrate) ---
 
@@ -198,20 +388,24 @@ func (g *Graph) Frozen() bool { return g.frozen }
 // Clone returns a mutable copy-on-write graph derived from a frozen
 // generation: top-level tables (slot slices, interning, statistics, index
 // directories) are copied eagerly — O(nodes + rels) pointer copies — while
-// nodes, relationships and index buckets are shared with the parent and
-// copied lazily the first time this clone mutates them. The parent stays
-// frozen and is never touched; this is how a writer builds generation N+1
-// while generation N keeps serving lock-free readers.
+// nodes, relationships, index buckets, the string dictionary and the
+// label-set table are shared with the parent and copied lazily (or, for
+// the append-only dictionaries, never). The parent stays frozen and is
+// never touched; this is how a writer builds generation N+1 while
+// generation N keeps serving lock-free readers.
 func (g *Graph) Clone() *Graph {
 	if !g.frozen {
 		panic("graph: Clone of a live graph (Freeze it first — only immutable generations can be cloned safely)")
 	}
 	ng := &Graph{
 		owner:         newOwnerToken(),
+		dict:          g.dict,
 		labelNames:    append([]string(nil), g.labelNames...),
 		labelIDs:      make(map[string]labelID, len(g.labelIDs)),
 		typeNames:     append([]string(nil), g.typeNames...),
 		typeIDs:       make(map[string]typeID, len(g.typeIDs)),
+		lsets:         g.lsets[:len(g.lsets):len(g.lsets)],
+		lsetIDs:       make(map[string]lsetID, len(g.lsetIDs)),
 		nodes:         append([]*Node(nil), g.nodes...),
 		rels:          append([]*Rel(nil), g.rels...),
 		labelIdx:      make(map[labelID]*idSet, len(g.labelIdx)),
@@ -227,6 +421,9 @@ func (g *Graph) Clone() *Graph {
 	}
 	for k, v := range g.typeIDs {
 		ng.typeIDs[k] = v
+	}
+	for k, v := range g.lsetIDs {
+		ng.lsetIDs[k] = v
 	}
 	for k, v := range g.labelIdx {
 		ng.labelIdx[k] = v // shared; mutLabelSet copies on first write
@@ -313,7 +510,7 @@ func (g *Graph) mutIndex(pid propIdxID) *propIndex {
 		return nil
 	}
 	if idx.owner != g.owner {
-		c := &propIndex{owner: g.owner, buckets: make(map[indexKey]*idSet, len(idx.buckets))}
+		c := &propIndex{owner: g.owner, buckets: make(map[ckey]*idSet, len(idx.buckets))}
 		for k, v := range idx.buckets {
 			c.buckets[k] = v
 		}
@@ -325,7 +522,7 @@ func (g *Graph) mutIndex(pid propIdxID) *propIndex {
 
 // mutBucket returns the (owned) leaf set for k in an owned index, creating
 // or copying as needed.
-func (idx *propIndex) mutBucket(k indexKey, owner uint64) *idSet {
+func (idx *propIndex) mutBucket(k ckey, owner uint64) *idSet {
 	s := idx.buckets[k]
 	if s == nil {
 		s = newIDSet(owner)
@@ -362,6 +559,37 @@ func (g *Graph) internType(name string) typeID {
 	return id
 }
 
+// internLset returns the label-set id for the (sorted) label combination,
+// appending a new dictionary entry on first sight. The append copies the
+// table when it is shared with a frozen parent (capacity-capped by Clone),
+// so a parent generation's table is never written through.
+func (g *Graph) internLset(ls []labelID) lsetID {
+	if len(ls) == 0 {
+		return 0
+	}
+	key := lsetKey(ls)
+	if id, ok := g.lsetIDs[key]; ok {
+		return id
+	}
+	id := lsetID(len(g.lsets))
+	g.lsets = append(g.lsets, append([]labelID(nil), ls...))
+	g.lsetIDs[key] = id
+	return id
+}
+
+func lsetKey(ls []labelID) string {
+	b := make([]byte, 2*len(ls))
+	for i, l := range ls {
+		b[2*i] = byte(l >> 8)
+		b[2*i+1] = byte(l)
+	}
+	return string(b)
+}
+
+// nodeLabels resolves a node's label-set id to the (shared, do-not-mutate)
+// sorted label-id slice.
+func (g *Graph) nodeLabels(n *Node) []labelID { return g.lsets[n.lset] }
+
 // Labels returns all label names ever used, sorted.
 func (g *Graph) Labels() []string {
 	g.rlock()
@@ -382,6 +610,150 @@ func (g *Graph) RelTypes() []string {
 	return out
 }
 
+// --- columnar value encoding (callers hold mu on live graphs) ---
+
+// encEntry encodes a property value into a 16-byte column entry, interning
+// string and list payloads.
+func (g *Graph) encEntry(key uint32, v Value) centry {
+	e := centry{key: key, kind: v.kind}
+	switch v.kind {
+	case KindBool:
+		if v.b {
+			e.flag = 1
+		}
+	case KindInt:
+		e.num = uint64(v.i)
+	case KindFloat:
+		e.num = math.Float64bits(v.f)
+	case KindString:
+		e.num = uint64(g.dict.intern(v.s))
+	case KindList:
+		e.num = uint64(g.dict.internListKey(listDedupKey(v.list), v.list))
+	}
+	return e
+}
+
+// decEntry materializes a column entry back into a Value. String and list
+// payloads are shared with the dictionary, not copied.
+func (g *Graph) decEntry(e centry) Value {
+	switch e.kind {
+	case KindBool:
+		return Value{kind: KindBool, b: e.flag != 0}
+	case KindInt:
+		return Value{kind: KindInt, i: int64(e.num)}
+	case KindFloat:
+		return Value{kind: KindFloat, f: math.Float64frombits(e.num)}
+	case KindString:
+		return Value{kind: KindString, s: g.dict.str(uint32(e.num))}
+	case KindList:
+		return Value{kind: KindList, list: g.dict.list(uint32(e.num))}
+	}
+	return Value{}
+}
+
+// entryKey converts a stored column entry to its index-bucket key without
+// materializing the value: interned ids pass through, integral floats
+// normalize to the int encoding (the Value.Equal invariant).
+func (g *Graph) entryKey(e centry) ckey {
+	switch e.kind {
+	case KindBool:
+		return ckey{kind: KindBool, b: e.flag != 0}
+	case KindInt:
+		return ckey{kind: KindInt, num: e.num}
+	case KindFloat:
+		f := math.Float64frombits(e.num)
+		if f == math.Trunc(f) && !math.IsInf(f, 0) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			return ckey{kind: KindInt, num: uint64(int64(f))}
+		}
+		return ckey{kind: KindFloat, num: e.num}
+	case KindList:
+		// Lists key by their normalized flattened encoding (see Value.key)
+		// so numerically-equal elements of different kinds still collide.
+		return ckey{kind: KindList, num: uint64(g.dict.intern(g.decEntry(e).key().s))}
+	case KindString:
+		return ckey{kind: KindString, num: e.num}
+	}
+	return ckey{kind: KindNull}
+}
+
+// internKey converts a Value to its index-bucket key on the write path,
+// interning payloads as needed.
+func (g *Graph) internKey(v Value) ckey {
+	switch v.kind {
+	case KindBool:
+		return ckey{kind: KindBool, b: v.b}
+	case KindInt:
+		return ckey{kind: KindInt, num: uint64(v.i)}
+	case KindFloat:
+		if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) && v.f >= math.MinInt64 && v.f <= math.MaxInt64 {
+			return ckey{kind: KindInt, num: uint64(int64(v.f))}
+		}
+		return ckey{kind: KindFloat, num: math.Float64bits(v.f)}
+	case KindString:
+		return ckey{kind: KindString, num: uint64(g.dict.intern(v.s))}
+	case KindList:
+		return ckey{kind: KindList, num: uint64(g.dict.intern(v.key().s))}
+	}
+	return ckey{kind: KindNull}
+}
+
+// probeKey converts a Value to its index-bucket key on the read path. ok is
+// false when the value's payload is not in the dictionary — no stored value
+// can equal it, so the probe can return empty without touching a bucket.
+func (g *Graph) probeKey(v Value) (ckey, bool) {
+	switch v.kind {
+	case KindString:
+		id, ok := g.dict.lookupStr(v.s)
+		if !ok {
+			return ckey{}, false
+		}
+		return ckey{kind: KindString, num: uint64(id)}, true
+	case KindList:
+		id, ok := g.dict.lookupStr(v.key().s)
+		if !ok {
+			return ckey{}, false
+		}
+		return ckey{kind: KindList, num: uint64(id)}, true
+	default:
+		return g.internKey(v), true
+	}
+}
+
+// findEntry locates keyID in a sorted property column.
+func findEntry(cp []centry, keyID uint32) (int, bool) {
+	i := sort.Search(len(cp), func(i int) bool { return cp[i].key >= keyID })
+	if i < len(cp) && cp[i].key == keyID {
+		return i, true
+	}
+	return i, false
+}
+
+// encodeProps converts a boxed property map into a sorted column.
+func (g *Graph) encodeProps(p Props) []centry {
+	if len(p) == 0 {
+		return nil
+	}
+	// Intern in sorted-key order: global dictionary ids are assigned on
+	// first sight, so iterating the map directly would make id assignment
+	// (and with it snapshot bytes) depend on map iteration order.
+	cp := make([]centry, 0, len(p))
+	for _, k := range p.Keys() {
+		cp = append(cp, g.encEntry(g.dict.intern(k), p[k]))
+	}
+	sort.Slice(cp, func(i, j int) bool { return cp[i].key < cp[j].key })
+	return cp
+}
+
+// decodeProps materializes a column back into a boxed map (the public
+// NodeProps/RelProps view).
+func (g *Graph) decodeProps(cp []centry) Props {
+	out := make(Props, len(cp))
+	for _, e := range cp {
+		out[g.dict.str(e.key)] = g.decEntry(e)
+	}
+	return out
+}
+
 // --- node lifecycle ---
 
 // AddNode creates a node with the given labels and a copy of props.
@@ -395,19 +767,18 @@ func (g *Graph) AddNode(labels []string, props Props) NodeID {
 func (g *Graph) addNodeLocked(labels []string, props Props) NodeID {
 	g.version++
 	n := &Node{
-		id:    NodeID(len(g.nodes) + 1),
-		owner: g.owner,
-		props: props.Clone(),
+		id:     NodeID(len(g.nodes) + 1),
+		owner:  g.owner,
+		cprops: g.encodeProps(props),
 	}
-	if n.props == nil {
-		n.props = Props{}
-	}
+	var ls []labelID
 	for _, l := range labels {
-		n.labels = insertLabel(n.labels, g.internLabel(l))
+		ls = insertLabel(ls, g.internLabel(l))
 	}
+	n.lset = g.internLset(ls)
 	g.nodes = append(g.nodes, n)
 	g.nodeCount++
-	for _, lid := range n.labels {
+	for _, lid := range ls {
 		g.indexNodeLabelLocked(n, lid)
 	}
 	return n.id
@@ -425,46 +796,43 @@ func insertLabel(ls []labelID, l labelID) []labelID {
 }
 
 func (g *Graph) indexNodeLabelLocked(n *Node, lid labelID) {
-	g.mutLabelSet(lid).ids[n.id] = struct{}{}
+	g.mutLabelSet(lid).add(n.id)
 	// Populate any property indexes that exist for this label, and count
 	// the node into the (label, key) statistics.
-	for key, v := range n.props {
-		g.propIndexAddLocked(lid, key, v, n.id)
-		g.labelKeyCount[propIdxID{lid, key}]++
+	for _, e := range n.cprops {
+		g.propIndexAddLocked(lid, e, n.id)
+		g.labelKeyCount[propIdxID{lid, e.key}]++
 	}
 }
 
-func (g *Graph) propIndexAddLocked(lid labelID, key string, v Value, id NodeID) {
-	pid := propIdxID{lid, key}
+func (g *Graph) propIndexAddLocked(lid labelID, e centry, id NodeID) {
+	pid := propIdxID{lid, e.key}
 	if g.propIdx[pid] == nil {
 		return
 	}
 	idx := g.mutIndex(pid)
-	idx.mutBucket(v.key(), g.owner).ids[id] = struct{}{}
+	idx.mutBucket(g.entryKey(e), g.owner).add(id)
 }
 
-func (g *Graph) propIndexRemoveLocked(lid labelID, key string, v Value, id NodeID) {
-	pid := propIdxID{lid, key}
+func (g *Graph) propIndexRemoveLocked(lid labelID, e centry, id NodeID) {
+	pid := propIdxID{lid, e.key}
 	idx := g.propIdx[pid]
 	if idx == nil {
 		return
 	}
-	k := v.key()
+	k := g.entryKey(e)
 	s := idx.buckets[k]
-	if s == nil {
-		return
-	}
-	if _, present := s.ids[id]; !present {
+	if s == nil || !s.has(id) {
 		return
 	}
 	idx = g.mutIndex(pid)
-	if len(s.ids) == 1 {
+	if s.n == 1 {
 		// Removing the last member: drop the bucket from the (owned)
 		// directory; the shared leaf set itself is untouched.
 		delete(idx.buckets, k)
 		return
 	}
-	delete(idx.mutBucket(k, g.owner).ids, id)
+	idx.mutBucket(k, g.owner).remove(id)
 }
 
 // node returns the live node for id (callers hold mu).
@@ -505,11 +873,13 @@ func (g *Graph) addLabelLocked(id NodeID, label string) {
 	g.version++
 	n := g.mutNode(id)
 	lid := g.internLabel(label)
-	before := len(n.labels)
-	n.labels = insertLabel(n.labels, lid)
-	if len(n.labels) != before {
-		g.indexNodeLabelLocked(n, lid)
+	old := g.nodeLabels(n)
+	nl := insertLabel(append([]labelID(nil), old...), lid)
+	if len(nl) == len(old) {
+		return // already present
 	}
+	n.lset = g.internLset(nl)
+	g.indexNodeLabelLocked(n, lid)
 }
 
 // NodeLabels returns the node's labels, sorted by name.
@@ -520,8 +890,9 @@ func (g *Graph) NodeLabels(id NodeID) []string {
 	if n == nil {
 		return nil
 	}
-	out := make([]string, len(n.labels))
-	for i, lid := range n.labels {
+	ls := g.nodeLabels(n)
+	out := make([]string, len(ls))
+	for i, lid := range ls {
 		out[i] = g.labelNames[lid]
 	}
 	sort.Strings(out)
@@ -540,8 +911,9 @@ func (g *Graph) NodeHasLabel(id NodeID, label string) bool {
 	if !ok {
 		return false
 	}
-	i := sort.Search(len(n.labels), func(i int) bool { return n.labels[i] >= lid })
-	return i < len(n.labels) && n.labels[i] == lid
+	ls := g.nodeLabels(n)
+	i := sort.Search(len(ls), func(i int) bool { return ls[i] >= lid })
+	return i < len(ls) && ls[i] == lid
 }
 
 // SetNodeProp sets (or with a Null value, clears) a node property,
@@ -560,34 +932,43 @@ func (g *Graph) SetNodeProp(id NodeID, key string, v Value) error {
 func (g *Graph) setNodePropLocked(id NodeID, key string, v Value) {
 	g.version++
 	n := g.mutNode(id)
-	old, had := n.props[key]
+	keyID := g.dict.intern(key)
+	i, had := findEntry(n.cprops, keyID)
 	if had {
-		for _, lid := range n.labels {
-			g.propIndexRemoveLocked(lid, key, old, id)
+		old := n.cprops[i]
+		for _, lid := range g.nodeLabels(n) {
+			g.propIndexRemoveLocked(lid, old, id)
 		}
 	}
 	if v.IsNull() {
 		if had {
-			delete(n.props, key)
-			for _, lid := range n.labels {
-				g.statPropRemoveLocked(lid, key)
+			n.cprops = append(n.cprops[:i], n.cprops[i+1:]...)
+			for _, lid := range g.nodeLabels(n) {
+				g.statPropRemoveLocked(lid, keyID)
 			}
 		}
 		return
 	}
-	n.props[key] = v
-	for _, lid := range n.labels {
-		g.propIndexAddLocked(lid, key, v, id)
+	e := g.encEntry(keyID, v)
+	if had {
+		n.cprops[i] = e
+	} else {
+		n.cprops = append(n.cprops, centry{})
+		copy(n.cprops[i+1:], n.cprops[i:])
+		n.cprops[i] = e
+	}
+	for _, lid := range g.nodeLabels(n) {
+		g.propIndexAddLocked(lid, e, id)
 		if !had {
-			g.labelKeyCount[propIdxID{lid, key}]++
+			g.labelKeyCount[propIdxID{lid, keyID}]++
 		}
 	}
 }
 
 // statPropRemoveLocked decrements the (label, key) node count, dropping the
 // entry at zero so the statistics map doesn't accumulate dead pairs.
-func (g *Graph) statPropRemoveLocked(lid labelID, key string) {
-	pid := propIdxID{lid, key}
+func (g *Graph) statPropRemoveLocked(lid labelID, keyID uint32) {
+	pid := propIdxID{lid, keyID}
 	if c := g.labelKeyCount[pid]; c <= 1 {
 		delete(g.labelKeyCount, pid)
 	} else {
@@ -603,10 +984,18 @@ func (g *Graph) NodeProp(id NodeID, key string) Value {
 	if n == nil {
 		return Null()
 	}
-	return n.props[key]
+	keyID, ok := g.dict.lookupStr(key)
+	if !ok {
+		return Null()
+	}
+	if i, had := findEntry(n.cprops, keyID); had {
+		return g.decEntry(n.cprops[i])
+	}
+	return Null()
 }
 
-// NodeProps returns a copy of the node's property map.
+// NodeProps returns the node's properties as a boxed map (materialized
+// from the property column; string payloads are shared, not copied).
 func (g *Graph) NodeProps(id NodeID) Props {
 	g.rlock()
 	defer g.runlock()
@@ -614,7 +1003,7 @@ func (g *Graph) NodeProps(id NodeID) Props {
 	if n == nil {
 		return nil
 	}
-	return n.props.Clone()
+	return g.decodeProps(n.cprops)
 }
 
 // DeleteNode removes a node and all its relationships (DETACH DELETE).
@@ -634,11 +1023,11 @@ func (g *Graph) DeleteNode(id NodeID) error {
 	}
 	// deleteRelLocked may have COW-copied the node (self-loops); n itself
 	// is only read below, so the stale pointer is fine for props/labels.
-	for _, lid := range n.labels {
-		delete(g.mutLabelSet(lid).ids, id)
-		for key, v := range n.props {
-			g.propIndexRemoveLocked(lid, key, v, id)
-			g.statPropRemoveLocked(lid, key)
+	for _, lid := range g.nodeLabels(n) {
+		g.mutLabelSet(lid).remove(id)
+		for _, e := range n.cprops {
+			g.propIndexRemoveLocked(lid, e, id)
+			g.statPropRemoveLocked(lid, e.key)
 		}
 	}
 	g.nodes[id-1] = nil
@@ -663,15 +1052,12 @@ func (g *Graph) addRelLocked(typ string, from, to NodeID, props Props) (RelID, e
 	}
 	g.version++
 	r := &Rel{
-		id:    RelID(len(g.rels) + 1),
-		owner: g.owner,
-		typ:   g.internType(typ),
-		from:  from,
-		to:    to,
-		props: props.Clone(),
-	}
-	if r.props == nil {
-		r.props = Props{}
+		id:     RelID(len(g.rels) + 1),
+		owner:  g.owner,
+		typ:    g.internType(typ),
+		from:   from,
+		to:     to,
+		cprops: g.encodeProps(props),
 	}
 	g.rels = append(g.rels, r)
 	g.relCount++
@@ -750,10 +1136,21 @@ func (g *Graph) SetRelProp(id RelID, key string, v Value) error {
 	}
 	g.version++
 	r := g.mutRel(id)
+	keyID := g.dict.intern(key)
+	i, had := findEntry(r.cprops, keyID)
 	if v.IsNull() {
-		delete(r.props, key)
+		if had {
+			r.cprops = append(r.cprops[:i], r.cprops[i+1:]...)
+		}
+		return nil
+	}
+	e := g.encEntry(keyID, v)
+	if had {
+		r.cprops[i] = e
 	} else {
-		r.props[key] = v
+		r.cprops = append(r.cprops, centry{})
+		copy(r.cprops[i+1:], r.cprops[i:])
+		r.cprops[i] = e
 	}
 	return nil
 }
@@ -766,10 +1163,17 @@ func (g *Graph) RelProp(id RelID, key string) Value {
 	if r == nil {
 		return Null()
 	}
-	return r.props[key]
+	keyID, ok := g.dict.lookupStr(key)
+	if !ok {
+		return Null()
+	}
+	if i, had := findEntry(r.cprops, keyID); had {
+		return g.decEntry(r.cprops[i])
+	}
+	return Null()
 }
 
-// RelProps returns a copy of the relationship's property map.
+// RelProps returns the relationship's properties as a boxed map.
 func (g *Graph) RelProps(id RelID) Props {
 	g.rlock()
 	defer g.runlock()
@@ -777,7 +1181,7 @@ func (g *Graph) RelProps(id RelID) Props {
 	if r == nil {
 		return nil
 	}
-	return r.props.Clone()
+	return g.decodeProps(r.cprops)
 }
 
 // --- traversal ---
@@ -896,15 +1300,12 @@ func (g *Graph) NodesByLabel(label string) []NodeID {
 	if !ok {
 		return nil
 	}
-	var out []NodeID
-	if set := g.labelIdx[lid]; set != nil {
-		out = make([]NodeID, 0, len(set.ids))
-		for id := range set.ids {
-			out = append(out, id)
-		}
+	set := g.labelIdx[lid]
+	if set == nil {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	// Copy: the clean-set fast path of sorted() aliases the shared base.
+	return append([]NodeID(nil), set.sorted()...)
 }
 
 // CountByLabel returns the number of nodes carrying label.
@@ -916,7 +1317,7 @@ func (g *Graph) CountByLabel(label string) int {
 		return 0
 	}
 	if set := g.labelIdx[lid]; set != nil {
-		return len(set.ids)
+		return set.n
 	}
 	return 0
 }
@@ -932,22 +1333,24 @@ func (g *Graph) EnsureIndex(label, key string) {
 
 func (g *Graph) ensureIndexLocked(label, key string) *propIndex {
 	lid := g.internLabel(label)
-	pid := propIdxID{lid, key}
+	keyID := g.dict.intern(key)
+	pid := propIdxID{lid, keyID}
 	if idx, ok := g.propIdx[pid]; ok {
 		return idx
 	}
-	idx := &propIndex{owner: g.owner, buckets: make(map[indexKey]*idSet)}
+	idx := &propIndex{owner: g.owner, buckets: make(map[ckey]*idSet)}
 	g.propIdx[pid] = idx
 	if set := g.labelIdx[lid]; set != nil {
-		for id := range set.ids {
+		set.each(func(id NodeID) bool {
 			n := g.node(id)
 			if n == nil {
-				continue
+				return true
 			}
-			if v, ok := n.props[key]; ok {
-				idx.mutBucket(v.key(), g.owner).ids[id] = struct{}{}
+			if i, had := findEntry(n.cprops, keyID); had {
+				idx.mutBucket(g.entryKey(n.cprops[i]), g.owner).add(id)
 			}
-		}
+			return true
+		})
 	}
 	return idx
 }
@@ -960,13 +1363,18 @@ func (g *Graph) HasIndex(label, key string) bool {
 	if !ok {
 		return false
 	}
-	_, ok = g.propIdx[propIdxID{lid, key}]
+	keyID, ok := g.dict.lookupStr(key)
+	if !ok {
+		return false
+	}
+	_, ok = g.propIdx[propIdxID{lid, keyID}]
 	return ok
 }
 
 // NodesByProp returns nodes with label whose property key equals v. It uses
 // the (label,key) index when present and otherwise falls back to scanning
-// the label's nodes.
+// the label's nodes. Either way the comparison is by interned id, so a
+// probe string the graph has never seen returns empty without a scan.
 func (g *Graph) NodesByProp(label, key string, v Value) []NodeID {
 	g.rlock()
 	lid, ok := g.labelIDs[label]
@@ -974,32 +1382,38 @@ func (g *Graph) NodesByProp(label, key string, v Value) []NodeID {
 		g.runlock()
 		return nil
 	}
-	if idx, ok := g.propIdx[propIdxID{lid, key}]; ok {
+	keyID, keyKnown := g.dict.lookupStr(key)
+	if !keyKnown {
+		g.runlock()
+		return nil
+	}
+	k, valKnown := g.probeKey(v)
+	if idx, ok := g.propIdx[propIdxID{lid, keyID}]; ok {
 		var out []NodeID
-		if set := idx.buckets[v.key()]; set != nil {
-			out = make([]NodeID, 0, len(set.ids))
-			for id := range set.ids {
-				out = append(out, id)
+		if valKnown {
+			if set := idx.buckets[k]; set != nil {
+				out = append([]NodeID(nil), set.sorted()...)
 			}
 		}
 		g.runlock()
-		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 		return out
 	}
 	var out []NodeID
-	if set := g.labelIdx[lid]; set != nil {
-		for id := range set.ids {
-			n := g.node(id)
-			if n == nil {
-				continue
-			}
-			if pv, ok := n.props[key]; ok && pv.Equal(v) {
-				out = append(out, id)
-			}
+	if valKnown {
+		if set := g.labelIdx[lid]; set != nil {
+			set.each(func(id NodeID) bool {
+				n := g.node(id)
+				if n == nil {
+					return true
+				}
+				if i, had := findEntry(n.cprops, keyID); had && g.entryKey(n.cprops[i]) == k {
+					out = append(out, id)
+				}
+				return true
+			})
 		}
 	}
 	g.runlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -1018,29 +1432,29 @@ func (g *Graph) MergeNode(label, key string, v Value, extraLabels []string, prop
 func (g *Graph) mergeNodeLocked(label, key string, v Value, extraLabels []string, props Props) (NodeID, bool) {
 	// Identity lookups always deserve an index.
 	idx := g.ensureIndexLocked(label, key)
-	if set := idx.buckets[v.key()]; set != nil && len(set.ids) > 0 {
+	if set := idx.buckets[g.internKey(v)]; set != nil && set.n > 0 {
 		g.version++ // merged labels/props below mutate the node in place
-		var id NodeID
-		for nid := range set.ids {
-			if id == 0 || nid < id {
-				id = nid
-			}
-		}
+		id := set.min()
 		n := g.mutNode(id)
 		for _, l := range extraLabels {
 			elid := g.internLabel(l)
-			before := len(n.labels)
-			n.labels = insertLabel(n.labels, elid)
-			if len(n.labels) != before {
+			old := g.nodeLabels(n)
+			nl := insertLabel(append([]labelID(nil), old...), elid)
+			if len(nl) != len(old) {
+				n.lset = g.internLset(nl)
 				g.indexNodeLabelLocked(n, elid)
 			}
 		}
 		for k, pv := range props {
-			if _, exists := n.props[k]; !exists {
-				n.props[k] = pv
-				for _, l := range n.labels {
-					g.propIndexAddLocked(l, k, pv, id)
-					g.labelKeyCount[propIdxID{l, k}]++
+			keyID := g.dict.intern(k)
+			if i, exists := findEntry(n.cprops, keyID); !exists {
+				e := g.encEntry(keyID, pv)
+				n.cprops = append(n.cprops, centry{})
+				copy(n.cprops[i+1:], n.cprops[i:])
+				n.cprops[i] = e
+				for _, l := range g.nodeLabels(n) {
+					g.propIndexAddLocked(l, e, id)
+					g.labelKeyCount[propIdxID{l, keyID}]++
 				}
 			}
 		}

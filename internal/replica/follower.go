@@ -87,8 +87,12 @@ type Config struct {
 	BumpInterval time.Duration
 	// Seed fixes the backoff jitter (0 = 1); deterministic for tests.
 	Seed int64
-	// Load opens and parses a snapshot path (nil = graph.LoadFile). The
-	// fault harness injects slow and partial readers here.
+	// Load opens and parses a snapshot path. Nil uses the built-in loader,
+	// which seeds each load with the last-good generation's string
+	// dictionary so a reload re-allocates only the strings that actually
+	// changed between generations (counted in Status.DictStrings/
+	// DictReused). The fault harness injects slow and partial readers here;
+	// a custom Load bypasses dictionary reuse.
 	Load func(path string) (*graph.Graph, error)
 	// Logf receives reload lifecycle logs (nil = silent).
 	Logf func(format string, args ...any)
@@ -109,9 +113,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
-	}
-	if c.Load == nil {
-		c.Load = graph.LoadFile
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -135,9 +136,16 @@ type Follower struct {
 	loaded      bool      // at least one generation ever served
 	attempts    map[uint64]int // verify/load failures per candidate seq
 
-	reloads  [len(ReloadResults)]atomic.Uint64
-	polls    atomic.Uint64
-	backoffs atomic.Uint64
+	// dict is the serving generation's string dictionary, fed to the next
+	// reload so unchanged strings (the overwhelming majority between
+	// weekly generations) are shared rather than re-allocated.
+	dict *graph.Interner
+
+	reloads     [len(ReloadResults)]atomic.Uint64
+	polls       atomic.Uint64
+	backoffs    atomic.Uint64
+	dictStrings atomic.Uint64
+	dictReused  atomic.Uint64
 
 	wake     chan struct{}
 	done     chan struct{}
@@ -210,7 +218,7 @@ func (f *Follower) Poll() PollOutcome {
 		// client-pinned generation number and the persisted-history
 		// fallback both mean the same on-disk generation.
 		mvGen := f.mv.SwapAt(g, gen.Seq)
-		f.setLastGood(gen.Seq)
+		f.setLastGood(gen.Seq, g.Interner())
 		f.logf("replica: serving generation %d (%d nodes, %d rels) as chain gen %d",
 			gen.Seq, g.NumNodes(), g.NumRels(), mvGen)
 		return PollOutcome{Loaded: true, Seq: gen.Seq}
@@ -225,10 +233,22 @@ func (f *Follower) fetch(gen graph.Generation) (*graph.Graph, string, error) {
 	if err := f.st.VerifyGen(gen); err != nil {
 		return nil, classify(err), err
 	}
-	g, err := f.cfg.Load(gen.Path)
+	if f.cfg.Load != nil {
+		g, err := f.cfg.Load(gen.Path)
+		if err != nil {
+			return nil, classify(err), err
+		}
+		return g, ReloadOK, nil
+	}
+	f.mu.Lock()
+	dict := f.dict
+	f.mu.Unlock()
+	g, rep, err := graph.LoadFileWith(gen.Path, graph.LoadOptions{Dict: dict})
 	if err != nil {
 		return nil, classify(err), err
 	}
+	f.dictStrings.Add(uint64(rep.DictStrings))
+	f.dictReused.Add(uint64(rep.DictReused))
 	return g, ReloadOK, nil
 }
 
@@ -261,11 +281,12 @@ func (f *Follower) noteFailure(seq uint64) {
 	f.mu.Unlock()
 }
 
-func (f *Follower) setLastGood(seq uint64) {
+func (f *Follower) setLastGood(seq uint64, dict *graph.Interner) {
 	f.mu.Lock()
 	f.lastGoodSeq = seq
 	f.lastGoodAt = f.cfg.Now()
 	f.loaded = true
+	f.dict = dict
 	// Failure bookkeeping for superseded candidates is dead weight now.
 	for s := range f.attempts {
 		if s <= seq {
@@ -317,6 +338,12 @@ type Status struct {
 	Backoffs uint64
 	// Reloads counts reload attempts by result, indexed like ReloadResults.
 	Reloads [len(ReloadResults)]uint64
+	// DictStrings counts dictionary entries seen across all successful
+	// reloads; DictReused is how many of them were already present in the
+	// previous generation's dictionary and were shared instead of
+	// re-allocated. A healthy weekly cadence reuses almost everything.
+	DictStrings uint64
+	DictReused  uint64
 }
 
 // Status reports the follower's current health. Safe to call from any
@@ -331,6 +358,8 @@ func (f *Follower) Status() Status {
 		ServingChainGen: f.mv.CurrentGen(),
 		Polls:           f.polls.Load(),
 		Backoffs:        f.backoffs.Load(),
+		DictStrings:     f.dictStrings.Load(),
+		DictReused:      f.dictReused.Load(),
 	}
 	if loaded {
 		s.Age = f.cfg.Now().Sub(at)

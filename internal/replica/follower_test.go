@@ -423,3 +423,62 @@ func TestFollowerBumpWatcherPicksUpPublish(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestFollowerReloadsReuseDictionary pins the columnar reload win: the
+// second generation's snapshot load is seeded with the first's string
+// dictionary, so every string that survived the rebuild is shared rather
+// than re-allocated, and the iyp_replica_dict_* counters show it.
+func TestFollowerReloadsReuseDictionary(t *testing.T) {
+	fs, mv, f := newTestFollower(t, Config{})
+
+	stable := func(g *graph.Graph) {
+		for i := 0; i < 20; i++ {
+			g.AddNode([]string{"AS"}, graph.Props{
+				"name":    graph.String(fmt.Sprintf("Example Network %d", i)),
+				"country": graph.String("NL"),
+			})
+		}
+	}
+	g1 := markerGraph(1)
+	stable(g1)
+	if _, err := fs.PublishGood(g1); err != nil {
+		t.Fatal(err)
+	}
+	if out := f.Poll(); !out.Loaded {
+		t.Fatalf("poll 1 = %+v", out)
+	}
+	st := f.Status()
+	if st.DictStrings == 0 {
+		t.Fatal("first reload decoded no dictionary entries; snapshot not columnar?")
+	}
+	if st.DictReused != 0 {
+		t.Fatalf("first reload reports %d reused entries with no previous dictionary", st.DictReused)
+	}
+
+	g2 := markerGraph(2)
+	stable(g2)
+	g2.AddNode([]string{"AS"}, graph.Props{"name": graph.String("Newcomer")})
+	if _, err := fs.PublishGood(g2); err != nil {
+		t.Fatal(err)
+	}
+	if out := f.Poll(); !out.Loaded || out.Seq != 2 {
+		t.Fatalf("poll 2 = %+v", out)
+	}
+	st2 := f.Status()
+	reused := st2.DictReused - st.DictReused
+	decoded := st2.DictStrings - st.DictStrings
+	if reused == 0 {
+		t.Fatal("second reload reused no dictionary entries from the previous generation")
+	}
+	if reused >= decoded {
+		t.Fatalf("second reload reused %d of %d entries; the new string should have missed", reused, decoded)
+	}
+
+	// The serving generation's graph really shares storage: its dictionary
+	// is the same object the previous generation populated.
+	g, _, release := mv.Acquire()
+	defer release()
+	if g.Interner() == nil {
+		t.Fatal("serving graph has no dictionary")
+	}
+}

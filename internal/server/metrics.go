@@ -155,6 +155,8 @@ func (m *metrics) write(w io.Writer, cache cypher.CacheStats, gens genStats, adm
 		}
 		counter("iyp_replica_polls_total", "Store watch iterations.", repl.Polls)
 		counter("iyp_replica_backoffs_total", "Backoff sleeps taken after faulted polls.", repl.Backoffs)
+		counter("iyp_replica_dict_strings_total", "Dictionary entries decoded across successful reloads.", repl.DictStrings)
+		counter("iyp_replica_dict_reused_total", "Dictionary entries shared with the previous generation instead of re-allocated.", repl.DictReused)
 		var ready, degraded int64
 		if repl.Ready {
 			ready = 1

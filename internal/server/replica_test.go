@@ -134,6 +134,8 @@ func TestMetricsReplicaFamily(t *testing.T) {
 		"iyp_replica_polls_total 1",
 		"iyp_replica_ready 1",
 		"iyp_replica_degraded 0",
+		"iyp_replica_dict_strings_total",
+		"iyp_replica_dict_reused_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)

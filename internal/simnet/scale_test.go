@@ -1,0 +1,46 @@
+package simnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestBuildScaleShapeAndDeterminism(t *testing.T) {
+	spec := ScaleSpecFor(1)
+	spec.ASes = 50 // keep the unit test fast; the bench runs real sizes
+	g := BuildScale(spec)
+
+	st := g.Stats()
+	if st.Nodes != spec.Nodes() {
+		t.Fatalf("nodes = %d, want %d", st.Nodes, spec.Nodes())
+	}
+	if got := g.CountByLabel("AS"); got != spec.ASes {
+		t.Fatalf("AS nodes = %d, want %d", got, spec.ASes)
+	}
+	if got := g.CountByLabel("Prefix"); got != spec.ASes*spec.PrefixesPerAS {
+		t.Fatalf("Prefix nodes = %d, want %d", got, spec.ASes*spec.PrefixesPerAS)
+	}
+	if got := g.CountByLabel("IP"); got != spec.ASes*spec.PrefixesPerAS*spec.IPsPerPrefix {
+		t.Fatalf("IP nodes = %d, want %d", got, spec.ASes*spec.PrefixesPerAS*spec.IPsPerPrefix)
+	}
+	if !g.HasIndex("AS", "asn") {
+		t.Fatal("scale graph missing the AS(asn) identity index")
+	}
+	// Every relationship carries provenance; the dictionary should hold the
+	// pool's strings exactly once no matter how many edges repeat them.
+	if st.Rels == 0 {
+		t.Fatal("scale graph has no relationships")
+	}
+
+	// Determinism: identical specs produce byte-identical snapshots.
+	var a, b bytes.Buffer
+	if err := g.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := BuildScale(spec).Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("BuildScale is not deterministic: snapshots differ")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -142,36 +143,76 @@ type relEntry struct {
 	ds  string
 }
 
+// tokener renders property values inside identity keys and fingerprints.
+// Keys and fingerprints are compared, never displayed, so their value
+// encoding only has to preserve equality. When both generations share one
+// Interner — a delta build against its parent, a replica following a store
+// that seeds reloads — a string value's dictionary id IS its content
+// address, and the token is a few base-36 digits instead of a re-quoted,
+// re-escaped copy of the payload (provenance URLs, organisation names).
+// Distinct lineages fall back to the literal rendering.
+type tokener struct {
+	shared bool
+}
+
+func newTokener(a, b *graph.BulkReader) tokener {
+	return tokener{shared: a.Interner() != nil && a.Interner() == b.Interner()}
+}
+
+// render encodes one value. Only strings use the id fast path: their "s"
+// prefix cannot collide with any literal rendering (null, true/false,
+// digits, quotes, brackets), and id equality is exactly string equality
+// under a shared Interner. Other kinds keep the literal form — numeric
+// cross-kind folding (Int(2) vs Float(2.0)) must match the slow path.
+func (tk tokener) render(kind graph.Kind, ref uint64, v graph.Value) string {
+	if tk.shared && kind == graph.KindString {
+		return "s" + strconv.FormatUint(ref, 36)
+	}
+	return v.String()
+}
+
+// identity renders the identity-property value for nodeKey, which reads
+// single properties rather than iterating columns.
+func (tk tokener) identity(br *graph.BulkReader, id graph.NodeID, key string, v graph.Value) string {
+	if tk.shared && v.Kind() == graph.KindString {
+		if kind, ref, ok := br.NodePropRef(id, key); ok && kind == graph.KindString {
+			return "s" + strconv.FormatUint(ref, 36)
+		}
+	}
+	return v.String()
+}
+
 func diff(ctx context.Context, a, b *graph.BulkReader, opts DiffOptions) (*DiffResult, error) {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	tok := newTokener(a, b)
 
 	// Phase 1: node identity keys, dense by NodeID, per graph.
-	keysA, err := nodeKeys(ctx, a, workers)
+	keysA, err := nodeKeys(ctx, a, workers, tok)
 	if err != nil {
 		return nil, err
 	}
-	keysB, err := nodeKeys(ctx, b, workers)
+	keysB, err := nodeKeys(ctx, b, workers, tok)
 	if err != nil {
 		return nil, err
 	}
 
 	// Phase 2: shard node and relationship entries by identity hash.
-	nodesA, err := shardNodes(ctx, a, keysA, workers)
+	nodesA, err := shardNodes(ctx, a, keysA, workers, tok)
 	if err != nil {
 		return nil, err
 	}
-	nodesB, err := shardNodes(ctx, b, keysB, workers)
+	nodesB, err := shardNodes(ctx, b, keysB, workers, tok)
 	if err != nil {
 		return nil, err
 	}
-	relsA, err := shardRels(ctx, a, keysA, workers)
+	relsA, err := shardRels(ctx, a, keysA, workers, tok)
 	if err != nil {
 		return nil, err
 	}
-	relsB, err := shardRels(ctx, b, keysB, workers)
+	relsB, err := shardRels(ctx, b, keysB, workers, tok)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +298,7 @@ func sortGroups(m map[string]*GroupDelta) []GroupDelta {
 
 // nodeKeys computes every live node's identity key in parallel ID-range
 // chunks; the result is a dense slice indexed by NodeID.
-func nodeKeys(ctx context.Context, br *graph.BulkReader, workers int) ([]string, error) {
+func nodeKeys(ctx context.Context, br *graph.BulkReader, workers int, tok tokener) ([]string, error) {
 	max := int(br.MaxNodeID())
 	keys := make([]string, max+1)
 	chunk := (max + workers) / workers
@@ -278,7 +319,7 @@ func nodeKeys(ctx context.Context, br *graph.BulkReader, workers int) ([]string,
 				if !br.NodeAlive(nid) {
 					continue
 				}
-				keys[id] = nodeKey(br, nid)
+				keys[id] = nodeKey(br, nid, tok)
 			}
 		}(lo, hi)
 	}
@@ -288,7 +329,7 @@ func nodeKeys(ctx context.Context, br *graph.BulkReader, workers int) ([]string,
 
 // nodeKey derives a node's cross-generation identity: the first ontology
 // label (sorted order) whose identity property is present, plus its value.
-func nodeKey(br *graph.BulkReader, id graph.NodeID) string {
+func nodeKey(br *graph.BulkReader, id graph.NodeID, tok tokener) string {
 	labels := br.NodeLabels(id)
 	for _, l := range labels {
 		ik := ontology.IdentityKey(l)
@@ -297,29 +338,29 @@ func nodeKey(br *graph.BulkReader, id graph.NodeID) string {
 		}
 		v := br.NodeProp(id, ik)
 		if !v.IsNull() {
-			return "N\x1f" + l + "\x1f" + ik + "\x1f" + v.String()
+			return "N\x1f" + l + "\x1f" + ik + "\x1f" + tok.identity(br, id, ik, v)
 		}
 	}
 	// No ontology identity: the node is its label set plus content.
-	return "N\x1f" + strings.Join(labels, ",") + "\x1f\x1f" + nodeFingerprint(br, id, labels)
+	return "N\x1f" + strings.Join(labels, ",") + "\x1f\x1f" + nodeFingerprint(br, id, labels, tok)
 }
 
 // nodeFingerprint encodes the node's labels and full property map
-// canonically (sorted keys, Cypher-literal values).
-func nodeFingerprint(br *graph.BulkReader, id graph.NodeID, labels []string) string {
+// canonically (sorted keys, equality-preserving value tokens).
+func nodeFingerprint(br *graph.BulkReader, id graph.NodeID, labels []string, tok tokener) string {
 	var kv []string
-	br.EachNodeProp(id, func(k string, v graph.Value) {
-		kv = append(kv, k+"="+v.String())
+	br.EachNodePropRef(id, func(k string, kind graph.Kind, ref uint64, v graph.Value) {
+		kv = append(kv, k+"="+tok.render(kind, ref, v))
 	})
 	sort.Strings(kv)
 	return strings.Join(labels, ",") + "\x1e" + strings.Join(kv, "\x1e")
 }
 
 // relFingerprint encodes the relationship's full property map canonically.
-func relFingerprint(br *graph.BulkReader, id graph.RelID) string {
+func relFingerprint(br *graph.BulkReader, id graph.RelID, tok tokener) string {
 	var kv []string
-	br.EachRelProp(id, func(k string, v graph.Value) {
-		kv = append(kv, k+"="+v.String())
+	br.EachRelPropRef(id, func(k string, kind graph.Kind, ref uint64, v graph.Value) {
+		kv = append(kv, k+"="+tok.render(kind, ref, v))
 	})
 	sort.Strings(kv)
 	return strings.Join(kv, "\x1e")
@@ -335,7 +376,7 @@ func shardOf(key string) int {
 // scan disjoint ID ranges into private buckets; buckets concatenate in
 // worker order, which is ID order — deterministic at any worker count up
 // to within-shard ordering, which diffNodeShard re-sorts anyway.
-func shardNodes(ctx context.Context, br *graph.BulkReader, keys []string, workers int) ([][]nodeEntry, error) {
+func shardNodes(ctx context.Context, br *graph.BulkReader, keys []string, workers int, tok tokener) ([][]nodeEntry, error) {
 	max := len(keys) - 1
 	chunk := (max + workers) / workers
 	if chunk < 1 {
@@ -364,7 +405,7 @@ func shardNodes(ctx context.Context, br *graph.BulkReader, keys []string, worker
 				}
 				nid := graph.NodeID(id)
 				labels := br.NodeLabels(nid)
-				e := nodeEntry{key: key, fp: nodeFingerprint(br, nid, labels), labels: labels}
+				e := nodeEntry{key: key, fp: nodeFingerprint(br, nid, labels, tok), labels: labels}
 				s := shardOf(key)
 				p.buckets[s] = append(p.buckets[s], e)
 			}
@@ -384,7 +425,7 @@ func shardNodes(ctx context.Context, br *graph.BulkReader, keys []string, worker
 }
 
 // shardRels buckets every live relationship's entry by identity hash.
-func shardRels(ctx context.Context, br *graph.BulkReader, keys []string, workers int) ([][]relEntry, error) {
+func shardRels(ctx context.Context, br *graph.BulkReader, keys []string, workers int, tok tokener) ([][]relEntry, error) {
 	// Collect IDs first so ranges can be split evenly.
 	var ids []graph.RelID
 	var typs []uint16
@@ -427,7 +468,7 @@ func shardRels(ctx context.Context, br *graph.BulkReader, keys []string, workers
 				if ds == "" {
 					ds = "(none)"
 				}
-				e := relEntry{key: key, fp: relFingerprint(br, id), typ: typ, ds: ds}
+				e := relEntry{key: key, fp: relFingerprint(br, id, tok), typ: typ, ds: ds}
 				s := shardOf(key)
 				p.buckets[s] = append(p.buckets[s], e)
 			}

@@ -265,3 +265,74 @@ func TestDiffStringRendersEmptyMarker(t *testing.T) {
 		t.Fatal("zero DiffResult not Empty")
 	}
 }
+
+// valueZoo builds a generation exercising every value kind — strings,
+// ints, floats (integral and not), bools, lists, plus cross-kind numeric
+// pairs — with a controlled mutation knob, into the provided empty graph.
+func valueZoo(t *testing.T, g *graph.Graph, mutate bool) *graph.Graph {
+	t.Helper()
+	for asn := int64(1); asn <= 50; asn++ {
+		name := fmt.Sprintf("AS Example %d — https://example.net/as/%d", asn, asn)
+		if mutate && asn%11 == 3 {
+			name += " (renamed)"
+		}
+		props := graph.Props{
+			"asn":   graph.Int(asn),
+			"name":  graph.String(name),
+			"score": graph.Float(float64(asn) / 3),
+			"flag":  graph.Bool(asn%2 == 0),
+			"tags":  graph.List(graph.String("tag"), graph.Int(asn%5)),
+		}
+		if asn%7 == 0 {
+			// Cross-kind numeric: the diff's value rendering folds
+			// Int(2) and Float(2.0) together; both paths must agree.
+			props["score"] = graph.Int(asn)
+		}
+		a := g.AddNode([]string{"AS"}, props)
+		if mutate && asn%13 == 5 {
+			continue // drop this AS's origination entirely
+		}
+		p := g.AddNode([]string{"Prefix"}, graph.Props{"prefix": graph.String(fmt.Sprintf("10.%d.0.0/16", asn))})
+		if _, err := g.AddRel("ORIGINATE", a, p, graph.Props{
+			ontology.PropReferenceName: graph.String("bgpkit.pfx2asn"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// TestDiffSharedDictionaryMatchesDistinct pins the interned fast path:
+// when both generations share one dictionary (delta builds, replica
+// reloads), identity keys and fingerprints compare string payloads by
+// dictionary id — and the result must be byte-identical to the literal
+// comparison two unrelated lineages get.
+func TestDiffSharedDictionaryMatchesDistinct(t *testing.T) {
+	slowA := valueZoo(t, graph.New(), false)
+	slowB := valueZoo(t, graph.New(), true)
+
+	dict := graph.NewInterner()
+	fastA := valueZoo(t, graph.NewWithInterner(dict), false)
+	fastB := valueZoo(t, graph.NewWithInterner(dict), true)
+	if fastA.Interner() != fastB.Interner() {
+		t.Fatal("shared-dictionary pair does not share an Interner; fast path never engages")
+	}
+
+	want := mustDiff(t, slowA, slowB, 0)
+	got := mustDiff(t, fastA, fastB, 0)
+	if want.Empty() {
+		t.Fatal("mutated zoo produced an empty diff; test is vacuous")
+	}
+	wj, _ := json.Marshal(want)
+	gj, _ := json.Marshal(got)
+	if string(wj) != string(gj) {
+		t.Fatalf("shared-dictionary diff differs from distinct-dictionary diff:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Identical generations must also stay identical through the fast path.
+	sameA := valueZoo(t, graph.NewWithInterner(dict), false)
+	if res := mustDiff(t, fastA, sameA, 0); !res.Empty() {
+		t.Fatalf("fast-path diff of identical graphs not empty:\n%s", res)
+	}
+}
